@@ -1,0 +1,325 @@
+// Per-figure benchmarks: one testing.B benchmark per table/figure of
+// the paper's evaluation (Section 6), in the same workloads as the
+// wcqbench sweep harness. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Sub-benchmarks are keyed by the queue names of the paper's legends.
+// Shapes to expect (paper vs. this reproduction is recorded in
+// EXPERIMENTS.md): FAA fastest, LCRQ/wCQ/SCQ close behind, then YMC,
+// then CCQueue/MSQueue/CRTurn.
+package wcqueue
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"wcqueue/internal/core"
+	"wcqueue/internal/queues/queueiface"
+	"wcqueue/internal/queues/registry"
+	"wcqueue/internal/unbounded"
+)
+
+// benchThreads is sized so RunParallel can register every goroutine.
+func benchThreads() int { return 4*runtime.GOMAXPROCS(0) + 4 }
+
+func buildQueue(b *testing.B, name string, llsc bool) queueiface.Queue {
+	b.Helper()
+	q, err := registry.New(name, registry.Config{
+		Threads:     benchThreads(),
+		RingOrder:   16, // the paper's ring size (2^16)
+		EmulatedFAA: llsc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// benchParallel drives fn under RunParallel with a per-goroutine
+// handle.
+func benchParallel(b *testing.B, q queueiface.Queue, fn func(h queueiface.Handle, i uint64)) {
+	b.Helper()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		h, err := q.Register()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer q.Unregister(h)
+		var i uint64
+		for pb.Next() {
+			fn(h, i)
+			i++
+		}
+	})
+}
+
+// BenchmarkFig11bPairwise: enqueue immediately followed by dequeue, the
+// paper's pairwise test (also Fig. 12b in the LLSC variants).
+func BenchmarkFig11bPairwise(b *testing.B) {
+	for _, name := range registry.PaperOrder {
+		b.Run(name, func(b *testing.B) {
+			q := buildQueue(b, name, false)
+			benchParallel(b, q, func(h queueiface.Handle, i uint64) {
+				q.Enqueue(h, i)
+				q.Dequeue(h)
+			})
+		})
+	}
+}
+
+// BenchmarkFig11cRandom5050: 50% enqueue / 50% dequeue chosen by a
+// thread-local xorshift, the paper's random test.
+func BenchmarkFig11cRandom5050(b *testing.B) {
+	for _, name := range registry.PaperOrder {
+		b.Run(name, func(b *testing.B) {
+			q := buildQueue(b, name, false)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				h, err := q.Register()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer q.Unregister(h)
+				s := uint64(0x9E3779B97F4A7C15)
+				var i uint64
+				for pb.Next() {
+					s ^= s >> 12
+					s ^= s << 25
+					s ^= s >> 27
+					if s&1 == 0 {
+						q.Enqueue(h, i)
+						i++
+					} else {
+						q.Dequeue(h)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFig11aEmptyDequeue: dequeue in a tight loop on an empty
+// queue. wCQ and SCQ shine here via the Threshold fast-exit.
+func BenchmarkFig11aEmptyDequeue(b *testing.B) {
+	for _, name := range registry.PaperOrder {
+		b.Run(name, func(b *testing.B) {
+			q := buildQueue(b, name, false)
+			benchParallel(b, q, func(h queueiface.Handle, _ uint64) {
+				q.Dequeue(h)
+			})
+		})
+	}
+}
+
+// BenchmarkFig10Memory: the memory test — 50/50 random ops with tiny
+// random delays; the queue footprint is reported as a custom metric
+// (bytes), the signal of Fig. 10a.
+func BenchmarkFig10Memory(b *testing.B) {
+	for _, name := range registry.PaperOrder {
+		b.Run(name, func(b *testing.B) {
+			q := buildQueue(b, name, false)
+			var peak atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				h, err := q.Register()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer q.Unregister(h)
+				s := uint64(0x2545F4914F6CDD1D)
+				var i uint64
+				for pb.Next() {
+					s ^= s >> 12
+					s ^= s << 25
+					s ^= s >> 27
+					if s&1 == 0 {
+						q.Enqueue(h, i)
+						i++
+					} else {
+						q.Dequeue(h)
+					}
+					for spin := s & 0x1F; spin > 0; spin-- {
+						runtime.Gosched()
+					}
+				}
+				if f := q.Footprint(); f > peak.Load() {
+					peak.Store(f)
+				}
+			})
+			b.ReportMetric(float64(peak.Load()), "footprint-bytes")
+		})
+	}
+}
+
+// BenchmarkFig12bPairwiseLLSC / Fig12cRandomLLSC / Fig12aEmptyLLSC:
+// the PowerPC-analog builds (F&A and OR emulated via CAS loops) for
+// the queues Fig. 12 presents (no LCRQ: it needs true CAS2).
+func BenchmarkFig12aEmptyDequeueLLSC(b *testing.B) {
+	for _, name := range []string{"wCQ", "SCQ"} {
+		b.Run(name+"-LLSC", func(b *testing.B) {
+			q := buildQueue(b, name, true)
+			benchParallel(b, q, func(h queueiface.Handle, _ uint64) {
+				q.Dequeue(h)
+			})
+		})
+	}
+}
+
+// BenchmarkFig12bPairwiseLLSC is the LL/SC pairwise series.
+func BenchmarkFig12bPairwiseLLSC(b *testing.B) {
+	for _, name := range []string{"wCQ", "SCQ"} {
+		b.Run(name+"-LLSC", func(b *testing.B) {
+			q := buildQueue(b, name, true)
+			benchParallel(b, q, func(h queueiface.Handle, i uint64) {
+				q.Enqueue(h, i)
+				q.Dequeue(h)
+			})
+		})
+	}
+}
+
+// BenchmarkFig12cRandom5050LLSC is the LL/SC random series.
+func BenchmarkFig12cRandom5050LLSC(b *testing.B) {
+	for _, name := range []string{"wCQ", "SCQ"} {
+		b.Run(name+"-LLSC", func(b *testing.B) {
+			q := buildQueue(b, name, true)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				h, _ := q.Register()
+				defer q.Unregister(h)
+				s := uint64(0x9E3779B97F4A7C15)
+				var i uint64
+				for pb.Next() {
+					s ^= s >> 12
+					s ^= s << 25
+					s ^= s >> 27
+					if s&1 == 0 {
+						q.Enqueue(h, i)
+						i++
+					} else {
+						q.Dequeue(h)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationPatience: wCQ pairwise across MAX_PATIENCE values
+// (A1), exposing the fast/slow path trade-off; slow-path entries per
+// million ops are reported as a custom metric (A3).
+func BenchmarkAblationPatience(b *testing.B) {
+	for _, patience := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("patience=%d", patience), func(b *testing.B) {
+			q, err := core.NewQueue[uint64](14, benchThreads(), core.Options{
+				EnqPatience: patience, DeqPatience: patience,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				h, err := q.Register()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer q.Unregister(h)
+				var i uint64
+				for pb.Next() {
+					q.Enqueue(h, i)
+					q.Dequeue(h)
+					i++
+				}
+			})
+			s := q.Stats()
+			b.ReportMetric(float64(s.SlowEnqueues+s.SlowDequeues)/float64(b.N)*1e6, "slow-per-Mop")
+		})
+	}
+}
+
+// BenchmarkAblationHelpDelay: wCQ pairwise across HELP_DELAY values
+// (A2).
+func BenchmarkAblationHelpDelay(b *testing.B) {
+	for _, delay := range []int{1, 16, 64, 1024} {
+		b.Run(fmt.Sprintf("delay=%d", delay), func(b *testing.B) {
+			q, err := core.NewQueue[uint64](14, benchThreads(), core.Options{HelpDelay: delay})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				h, err := q.Register()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer q.Unregister(h)
+				var i uint64
+				for pb.Next() {
+					q.Enqueue(h, i)
+					q.Dequeue(h)
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationRemap: wCQ pairwise with and without the
+// Cache_Remap permutation (A4).
+func BenchmarkAblationRemap(b *testing.B) {
+	for _, noRemap := range []bool{false, true} {
+		name := "remap=on"
+		if noRemap {
+			name = "remap=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			q, err := core.NewQueue[uint64](14, benchThreads(), core.Options{NoRemap: noRemap})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				h, err := q.Register()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer q.Unregister(h)
+				var i uint64
+				for pb.Next() {
+					q.Enqueue(h, i)
+					q.Dequeue(h)
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkUnboundedPairwise exercises the Appendix A construction.
+func BenchmarkUnboundedPairwise(b *testing.B) {
+	q, err := unbounded.New[uint64](14, benchThreads(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		h, err := q.Register()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer q.Unregister(h)
+		var i uint64
+		for pb.Next() {
+			q.Enqueue(h, i)
+			q.Dequeue(h)
+			i++
+		}
+	})
+}

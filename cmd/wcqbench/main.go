@@ -1,0 +1,114 @@
+// Command wcqbench regenerates the paper's evaluation (Figures 10-12)
+// and the design ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	wcqbench -experiment list
+//	wcqbench -experiment pairwise -ops 10000000 -repeats 10
+//	wcqbench -experiment memory -threads 1,2,4,8
+//	wcqbench -experiment all -ops 1000000          # every figure
+//	wcqbench -experiment patience                  # ablation A1/A3
+//
+// Output is one table per experiment in the row format of the paper's
+// figures (queue, thread count, Mops/s, CV, and footprint for the
+// memory test).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"wcqueue/internal/bench"
+)
+
+func main() {
+	var (
+		expID   = flag.String("experiment", "list", "experiment id, 'all', or 'list'")
+		ops     = flag.Int("ops", 1_000_000, "operations per measured point (paper: 10000000)")
+		repeats = flag.Int("repeats", 3, "repetitions per point (paper: 10)")
+		threads = flag.String("threads", "", "comma-separated thread counts (default: 1,2,4..2×GOMAXPROCS)")
+		order   = flag.Uint("ring-order", 16, "wCQ/SCQ ring order (capacity 2^order, paper: 16)")
+	)
+	flag.Parse()
+
+	tlist, err := parseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	opts := bench.RunOptions{Ops: *ops, Repeats: *repeats, Threads: tlist, RingOrder: *order}
+
+	switch *expID {
+	case "list":
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Figure)
+		}
+		fmt.Printf("  %-14s %s\n", "patience", "A1/A3: MAX_PATIENCE ablation + slow-path frequency")
+		fmt.Printf("  %-14s %s\n", "helpdelay", "A2: HELP_DELAY ablation")
+		fmt.Printf("  %-14s %s\n", "remap", "A4: Cache_Remap ablation")
+		fmt.Printf("  %-14s %s\n", "all", "every figure experiment")
+		return
+	case "all":
+		for _, e := range bench.Experiments {
+			if err := bench.RunExperiment(os.Stdout, e, opts); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	case "patience":
+		if err := bench.RunPatienceAblation(os.Stdout, ablationThreads(tlist), *ops); err != nil {
+			fatal(err)
+		}
+		return
+	case "helpdelay":
+		if err := bench.RunHelpDelayAblation(os.Stdout, ablationThreads(tlist), *ops); err != nil {
+			fatal(err)
+		}
+		return
+	case "remap":
+		if err := bench.RunRemapAblation(os.Stdout, ablationThreads(tlist), *ops); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	e, ok := bench.FindExperiment(*expID)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q; try -experiment list", *expID))
+	}
+	if err := bench.RunExperiment(os.Stdout, e, opts); err != nil {
+		fatal(err)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func ablationThreads(tlist []int) int {
+	if len(tlist) > 0 {
+		return tlist[len(tlist)-1]
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wcqbench:", err)
+	os.Exit(1)
+}

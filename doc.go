@@ -1,0 +1,11 @@
+// Package wcqueue is a from-scratch Go reproduction of "wCQ: A Fast
+// Wait-Free Queue with Bounded Memory Usage" (Nikolaev & Ravindran,
+// SPAA '22).
+//
+// The public API lives in the wcq and scq subpackages; the benchmark
+// and correctness tools are cmd/wcqbench and cmd/wcqstress. See
+// README.md for the map, DESIGN.md for the system inventory and
+// platform substitutions, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package exists to host the per-figure benchmarks
+// in bench_test.go.
+package wcqueue

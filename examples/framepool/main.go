@@ -1,0 +1,126 @@
+// Framepool: a DPDK-style network frame pool. The paper's introduction
+// motivates SCQ/wCQ with exactly this workload — "high-speed
+// networking and storage libraries such as DPDK and SPDK use ring
+// buffers for various purposes when allocating and transferring
+// network frames" — and notes that DPDK's own ring is only
+// pseudo-nonblocking: a preempted thread stalls every other thread.
+//
+// Here a fixed arena of frame buffers cycles through a wait-free free
+// ring: RX goroutines allocate frames, fill them, and hand them to TX
+// goroutines over a second ring; TX returns frames to the pool. No
+// frame is ever allocated after startup, and a preempted RX or TX
+// thread cannot stall the others.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wcqueue/wcq"
+)
+
+const (
+	frameSize  = 2048 // bytes per frame, MTU-ish
+	poolOrder  = 10   // 1024 frames in the arena
+	rxThreads  = 3
+	txThreads  = 3
+	framesToTx = 200_000
+)
+
+// frameRef is an index into the arena (frames never move or copy).
+type frameRef uint32
+
+func main() {
+	arena := make([]byte, frameSize<<poolOrder)
+	threads := rxThreads + txThreads + 1
+
+	// freeQ holds unused frame refs; txQ carries filled frames to TX.
+	freeQ := wcq.Must[frameRef](poolOrder, threads)
+	txQ := wcq.Must[frameRef](poolOrder, threads)
+
+	// Seed the pool with every frame.
+	seed, _ := freeQ.Register()
+	for i := 0; i < 1<<poolOrder; i++ {
+		if !freeQ.Enqueue(seed, frameRef(i)) {
+			panic("pool seeding overflow")
+		}
+	}
+	freeQ.Unregister(seed)
+
+	var (
+		wg       sync.WaitGroup
+		sent     atomic.Int64
+		rxDrops  atomic.Int64 // pool empty: receiver would drop the packet
+		txSum    atomic.Uint64
+		rxActive atomic.Int32
+	)
+	rxActive.Store(rxThreads)
+
+	for r := 0; r < rxThreads; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer rxActive.Add(-1)
+			hFree, _ := freeQ.Register()
+			defer freeQ.Unregister(hFree)
+			hTx, _ := txQ.Register()
+			defer txQ.Unregister(hTx)
+			for sent.Load() < framesToTx {
+				ref, ok := freeQ.Dequeue(hFree)
+				if !ok {
+					rxDrops.Add(1) // out of frames: drop, as a NIC would
+					runtime.Gosched()
+					continue
+				}
+				// "Receive" a packet into the frame.
+				frame := arena[int(ref)*frameSize : (int(ref)+1)*frameSize]
+				frame[0] = byte(r)
+				frame[1] = byte(ref)
+				for !txQ.Enqueue(hTx, ref) {
+					runtime.Gosched()
+				}
+				sent.Add(1)
+			}
+		}(r)
+	}
+
+	for t := 0; t < txThreads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hFree, _ := freeQ.Register()
+			defer freeQ.Unregister(hFree)
+			hTx, _ := txQ.Register()
+			defer txQ.Unregister(hTx)
+			for {
+				ref, ok := txQ.Dequeue(hTx)
+				if !ok {
+					if rxActive.Load() == 0 {
+						if ref, ok = txQ.Dequeue(hTx); !ok {
+							return
+						}
+					} else {
+						runtime.Gosched()
+						continue
+					}
+				}
+				// "Transmit": checksum the header, then recycle.
+				frame := arena[int(ref)*frameSize : (int(ref)+1)*frameSize]
+				txSum.Add(uint64(frame[0]) + uint64(frame[1]))
+				for !freeQ.Enqueue(hFree, ref) {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	fmt.Printf("transmitted %d frames through a %d-frame arena (%d KiB, fixed)\n",
+		sent.Load(), 1<<poolOrder, len(arena)/1024)
+	fmt.Printf("rx drops under pool pressure: %d\n", rxDrops.Load())
+	fmt.Printf("tx checksum: %d\n", txSum.Load())
+	fmt.Printf("queue footprints: free=%dKiB tx=%dKiB (no allocation after startup)\n",
+		freeQ.Footprint()/1024, txQ.Footprint()/1024)
+}

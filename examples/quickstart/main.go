@@ -1,0 +1,62 @@
+// Quickstart: the smallest complete wCQ program — create a bounded
+// wait-free queue, register handles, move values through it from
+// multiple goroutines, and inspect the wait-free machinery's stats.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"wcqueue/wcq"
+)
+
+func main() {
+	// A queue of 2^10 = 1024 strings, used by up to 8 goroutines.
+	q := wcq.Must[string](10, 8)
+
+	fmt.Printf("capacity=%d footprint=%dKiB maxOps=%.1e\n",
+		q.Cap(), q.Footprint()/1024, float64(q.MaxOps()))
+
+	var wg sync.WaitGroup
+	const producers, perProducer = 3, 5
+
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			panic(err)
+		}
+		wg.Add(1)
+		go func(p int, h *wcq.Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			for i := 0; i < perProducer; i++ {
+				msg := fmt.Sprintf("producer-%d message-%d", p, i)
+				for !q.Enqueue(h, msg) {
+					// Full queues reject enqueues rather than block.
+				}
+			}
+		}(p, h)
+	}
+	wg.Wait()
+
+	// Drain from the main goroutine with its own handle.
+	h, err := q.Register()
+	if err != nil {
+		panic(err)
+	}
+	defer q.Unregister(h)
+	n := 0
+	for {
+		msg, ok := q.Dequeue(h)
+		if !ok {
+			break
+		}
+		n++
+		fmt.Println("got:", msg)
+	}
+	fmt.Printf("drained %d messages\n", n)
+
+	s := q.Stats()
+	fmt.Printf("slow-path enqueues=%d dequeues=%d helps=%d (0 under no contention)\n",
+		s.SlowEnqueues, s.SlowDequeues, s.Helps)
+}

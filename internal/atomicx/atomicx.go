@@ -1,0 +1,99 @@
+// Package atomicx provides the packed-word atomic encodings used to
+// express the paper's double-width (CAS2) operations with Go's
+// single-word atomics.
+//
+// Two encodings are defined here:
+//
+//   - FlaggedCounter: a 62-bit monotonic counter with the wCQ slow
+//     path's FIN and INC flag bits (per-thread localTail/localHead).
+//   - PairWord: the global Head/Tail word holding a 48-bit counter and
+//     a 16-bit phase2 owner id, the §4 replacement for the paper's
+//     {cnt, ptr} CAS2 pair. The fast path's F&A adds CntUnit and never
+//     disturbs the id bits.
+package atomicx
+
+// Flag bits of a FlaggedCounter. The paper steals two bits from the
+// per-thread local tail/head: FIN terminates future slow_F&A
+// increments for a finished help request, INC marks a phase-1
+// tentative increment awaiting phase 2.
+const (
+	FIN uint64 = 1 << 63
+	INC uint64 = 1 << 62
+
+	// CounterMask extracts the counter from a flagged word.
+	CounterMask uint64 = INC - 1
+)
+
+// Counter strips the FIN and INC flags from a flagged word.
+func Counter(v uint64) uint64 { return v & CounterMask }
+
+// HasFIN reports whether the FIN flag is set.
+func HasFIN(v uint64) bool { return v&FIN != 0 }
+
+// HasINC reports whether the INC flag is set.
+func HasINC(v uint64) bool { return v&INC != 0 }
+
+// PairWord layout: [ finalize : 1 ][ counter : 47 bits ][ owner id : 16 bits ].
+//
+// The counter occupies high bits so the fast path can execute a true
+// hardware fetch-and-add of CntUnit on the whole word: the add carries
+// only within the counter field (the id bits sit below it, and an
+// overflow into the finalize bit would take 2^47 operations — beyond
+// the queue's documented MaxOps).
+//
+// The finalize bit supports the unbounded construction (Appendix A):
+// finalize_wCQ ORs it into the Tail pair, after which enqueues fail.
+const (
+	pairIDBits  = 16
+	pairIDMask  = 1<<pairIDBits - 1
+	pairCntBits = 63 - pairIDBits
+	pairCntMask = 1<<pairCntBits - 1
+
+	// CntUnit is the value a hardware F&A adds to a PairWord to
+	// increment the counter component by one.
+	CntUnit uint64 = 1 << pairIDBits
+
+	// FinalizeBit marks a finalized Tail (Appendix A, finalize_wCQ).
+	FinalizeBit uint64 = 1 << 63
+
+	// MaxPairCnt is the largest counter a PairWord can hold.
+	MaxPairCnt uint64 = pairCntMask
+
+	// NoOwner is the id encoding of the paper's null phase2 pointer.
+	NoOwner uint64 = 0
+
+	// MaxOwners bounds the number of registerable threads: ids are
+	// stored biased by one, so 0 stays "null".
+	MaxOwners = pairIDMask - 1
+)
+
+// PackPair builds a PairWord from a counter and an owner id
+// (NoOwner for null). The finalize bit is clear.
+func PackPair(cnt, id uint64) uint64 {
+	return (cnt&pairCntMask)<<pairIDBits | id&pairIDMask
+}
+
+// PairCnt extracts the counter component of a PairWord.
+func PairCnt(w uint64) uint64 { return w >> pairIDBits & pairCntMask }
+
+// PairFinalized reports whether the finalize bit is set.
+func PairFinalized(w uint64) bool { return w&FinalizeBit != 0 }
+
+// PairSetCnt returns w with the counter replaced, preserving the owner
+// id and finalize bits.
+func PairSetCnt(w, cnt uint64) uint64 {
+	return w&^(pairCntMask<<pairIDBits) | (cnt&pairCntMask)<<pairIDBits
+}
+
+// PairClearID returns w with the owner id cleared, preserving the
+// counter and finalize bits.
+func PairClearID(w uint64) uint64 { return w &^ pairIDMask }
+
+// PairID extracts the owner id component of a PairWord.
+func PairID(w uint64) uint64 { return w & pairIDMask }
+
+// OwnerID converts a zero-based thread index into a non-null owner id.
+func OwnerID(tid int) uint64 { return uint64(tid) + 1 }
+
+// OwnerTID converts a non-null owner id back to a zero-based index.
+func OwnerTID(id uint64) int { return int(id) - 1 }

@@ -1,0 +1,95 @@
+package atomicx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlaggedCounter(t *testing.T) {
+	v := uint64(12345)
+	if Counter(v|FIN) != v || Counter(v|INC) != v || Counter(v|FIN|INC) != v {
+		t.Fatal("Counter does not strip flags")
+	}
+	if !HasFIN(v|FIN) || HasFIN(v) || !HasINC(v|INC) || HasINC(v) {
+		t.Fatal("flag predicates wrong")
+	}
+}
+
+func TestPairPackRoundTrip(t *testing.T) {
+	f := func(cnt uint64, id uint16) bool {
+		cnt &= MaxPairCnt
+		w := PackPair(cnt, uint64(id))
+		return PairCnt(w) == cnt && PairID(w) == uint64(id) && !PairFinalized(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairFAAPreservesIDAndFinalize(t *testing.T) {
+	f := func(cnt uint64, id uint16, finalized bool) bool {
+		cnt &= MaxPairCnt - 1 // room for one increment
+		w := PackPair(cnt, uint64(id))
+		if finalized {
+			w |= FinalizeBit
+		}
+		w2 := w + CntUnit // what a hardware F&A does
+		return PairCnt(w2) == cnt+1 &&
+			PairID(w2) == uint64(id) &&
+			PairFinalized(w2) == finalized
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairSetCnt(t *testing.T) {
+	f := func(cnt, newCnt uint64, id uint16, finalized bool) bool {
+		cnt &= MaxPairCnt
+		newCnt &= MaxPairCnt
+		w := PackPair(cnt, uint64(id))
+		if finalized {
+			w |= FinalizeBit
+		}
+		w2 := PairSetCnt(w, newCnt)
+		return PairCnt(w2) == newCnt &&
+			PairID(w2) == uint64(id) &&
+			PairFinalized(w2) == finalized
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairClearID(t *testing.T) {
+	w := PackPair(42, OwnerID(7)) | FinalizeBit
+	c := PairClearID(w)
+	if PairID(c) != NoOwner || PairCnt(c) != 42 || !PairFinalized(c) {
+		t.Fatalf("PairClearID mangled word: id=%d cnt=%d fin=%v", PairID(c), PairCnt(c), PairFinalized(c))
+	}
+}
+
+func TestOwnerIDRoundTrip(t *testing.T) {
+	for tid := 0; tid < 100; tid++ {
+		id := OwnerID(tid)
+		if id == NoOwner {
+			t.Fatalf("OwnerID(%d) collides with NoOwner", tid)
+		}
+		if OwnerTID(id) != tid {
+			t.Fatalf("OwnerTID(OwnerID(%d)) = %d", tid, OwnerTID(id))
+		}
+	}
+}
+
+func TestFlagBitsDisjointFromPairBits(t *testing.T) {
+	// FIN/INC (per-thread local words) and FinalizeBit (global pair
+	// word) are different encodings; this documents that FIN and
+	// FinalizeBit share bit 63 by design but are never applied to the
+	// same word class.
+	if FIN != FinalizeBit {
+		t.Log("FIN and FinalizeBit differ; fine")
+	}
+	if FIN&CounterMask != 0 || INC&CounterMask != 0 {
+		t.Fatal("flags overlap the counter mask")
+	}
+}

@@ -1,0 +1,266 @@
+// Package bench is the benchmark harness that regenerates the paper's
+// evaluation (Section 6, Figures 10-12): workload generators, thread
+// orchestration, repeated timed runs with outlier protection, and the
+// memory-usage experiment.
+//
+// The harness follows the paper's methodology: each point is measured
+// Repeats times over Ops total operations spread across the worker
+// goroutines; the mean and the coefficient of variation are reported.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wcqueue/internal/queues/queueiface"
+)
+
+// Workload selects the per-iteration operation mix.
+type Workload int
+
+// Workloads of the paper's figures.
+const (
+	// Pairwise: each iteration enqueues then dequeues (Fig. 11b/12b).
+	Pairwise Workload = iota
+	// Random5050: each iteration is an enqueue or a dequeue with equal
+	// probability (Fig. 11c/12c).
+	Random5050
+	// EmptyDequeue: dequeue on an always-empty queue (Fig. 11a/12a).
+	EmptyDequeue
+	// MemoryTest: Random5050 with small random delays between
+	// operations (Fig. 10), amplifying memory artifacts.
+	MemoryTest
+)
+
+// String names the workload as in the paper.
+func (w Workload) String() string {
+	switch w {
+	case Pairwise:
+		return "pairwise"
+	case Random5050:
+		return "50-50"
+	case EmptyDequeue:
+		return "empty-deq"
+	case MemoryTest:
+		return "memory"
+	default:
+		return fmt.Sprintf("workload(%d)", int(w))
+	}
+}
+
+// Config parameterizes one measurement.
+type Config struct {
+	Threads  int // worker goroutines
+	Ops      int // total operations per run (split across threads)
+	Repeats  int // timed repetitions (paper: 10)
+	Workload Workload
+	Prefill  int // elements enqueued before timing starts
+}
+
+// Result is one measured point.
+type Result struct {
+	QueueName      string
+	Workload       string
+	Threads        int
+	Mops           float64 // mean throughput, million ops/second
+	CV             float64 // coefficient of variation across repeats
+	FootprintBytes int64   // live queue footprint after the run
+	SlowFraction   float64 // wCQ only: slow-path entries / ops (A3)
+}
+
+// QueueStats is implemented by queues exposing slow-path counters.
+type QueueStats interface {
+	Stats() (slowOps uint64)
+}
+
+// Run measures one queue under one configuration.
+func Run(q queueiface.Queue, cfg Config) (Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 3
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1_000_000
+	}
+
+	// Prefill outside the timed region.
+	if cfg.Prefill > 0 {
+		h, err := q.Register()
+		if err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < cfg.Prefill; i++ {
+			q.Enqueue(h, uint64(i))
+		}
+		q.Unregister(h)
+	}
+
+	throughputs := make([]float64, 0, cfg.Repeats)
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		elapsed, err := timedRun(q, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		throughputs = append(throughputs, float64(cfg.Ops)/elapsed.Seconds()/1e6)
+	}
+
+	mean, cv := meanCV(throughputs)
+	return Result{
+		QueueName:      q.Name(),
+		Workload:       cfg.Workload.String(),
+		Threads:        cfg.Threads,
+		Mops:           mean,
+		CV:             cv,
+		FootprintBytes: q.Footprint(),
+	}, nil
+}
+
+// timedRun executes one timed repetition.
+func timedRun(q queueiface.Queue, cfg Config) (time.Duration, error) {
+	var (
+		wg      sync.WaitGroup
+		start   = make(chan struct{})
+		readyWg sync.WaitGroup
+	)
+	perThread := cfg.Ops / cfg.Threads
+
+	handles := make([]queueiface.Handle, cfg.Threads)
+	for i := range handles {
+		h, err := q.Register()
+		if err != nil {
+			return 0, fmt.Errorf("bench: registering worker %d: %w", i, err)
+		}
+		handles[i] = h
+	}
+	defer func() {
+		for _, h := range handles {
+			q.Unregister(h)
+		}
+	}()
+
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		readyWg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := handles[w]
+			rng := newXorshift(uint64(w)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D)
+			readyWg.Done()
+			<-start
+			worker(q, h, cfg.Workload, perThread, w, rng)
+		}(w)
+	}
+
+	readyWg.Wait()
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	return time.Since(t0), nil
+}
+
+// worker executes one thread's share of the workload.
+func worker(q queueiface.Queue, h queueiface.Handle, wl Workload, ops, tid int, rng *xorshift) {
+	val := uint64(tid)<<32 + 1
+	switch wl {
+	case Pairwise:
+		for i := 0; i < ops/2; i++ {
+			q.Enqueue(h, val)
+			q.Dequeue(h)
+			val++
+		}
+	case Random5050:
+		for i := 0; i < ops; i++ {
+			if rng.next()&1 == 0 {
+				q.Enqueue(h, val)
+				val++
+			} else {
+				q.Dequeue(h)
+			}
+		}
+	case EmptyDequeue:
+		for i := 0; i < ops; i++ {
+			q.Dequeue(h)
+		}
+	case MemoryTest:
+		for i := 0; i < ops; i++ {
+			if rng.next()&1 == 0 {
+				q.Enqueue(h, val)
+				val++
+			} else {
+				q.Dequeue(h)
+			}
+			// Tiny random delay (paper §6: amplifies memory artifacts).
+			spin := rng.next() & 0x3F
+			for s := uint64(0); s < spin; s++ {
+				cpuRelax()
+			}
+		}
+	}
+}
+
+// cpuRelax is a compiler-opaque no-op used for calibrated spinning.
+//
+//go:noinline
+func cpuRelax() {}
+
+// meanCV returns the mean and coefficient of variation, after dropping
+// the single worst outlier when there are enough samples (the paper's
+// benchmark "protects against outliers").
+func meanCV(xs []float64) (mean, cv float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	if len(xs) >= 4 {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		xs = sorted[1:] // drop the slowest run (lowest throughput)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	if len(xs) < 2 || mean == 0 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, (ss / float64(len(xs)-1)) / mean // variance/mean ≈ CV for tight data
+}
+
+// ThreadSweep returns the thread counts for a sweep, doubling from 1
+// to 2×GOMAXPROCS (the paper sweeps 1..144 on a 72-core machine to
+// show oversubscription).
+func ThreadSweep() []int {
+	maxT := 2 * runtime.GOMAXPROCS(0)
+	var out []int
+	for t := 1; t <= maxT; t *= 2 {
+		out = append(out, t)
+	}
+	return out
+}
+
+// xorshift is a tiny thread-local PRNG (xorshift64*).
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &xorshift{s: seed}
+}
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s >> 12
+	x.s ^= x.s << 25
+	x.s ^= x.s >> 27
+	return x.s * 0x2545F4914F6CDD1D
+}

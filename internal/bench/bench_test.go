@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wcqueue/internal/queues/registry"
+)
+
+func TestMeanCV(t *testing.T) {
+	mean, cv := meanCV([]float64{10, 10, 10})
+	if mean != 10 || cv != 0 {
+		t.Fatalf("constant series: mean=%f cv=%f", mean, cv)
+	}
+	if m, _ := meanCV(nil); m != 0 {
+		t.Fatal("empty series")
+	}
+	// With ≥4 samples the slowest is dropped.
+	mean, _ = meanCV([]float64{1, 10, 10, 10})
+	if mean != 10 {
+		t.Fatalf("outlier not dropped: mean=%f", mean)
+	}
+}
+
+func TestXorshiftNonzeroAndVaried(t *testing.T) {
+	x := newXorshift(0) // zero seed must be remapped
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := x.next()
+		if v == 0 {
+			t.Fatal("xorshift emitted zero")
+		}
+		seen[v] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("xorshift poor variety: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestWorkloadStrings(t *testing.T) {
+	for wl, want := range map[Workload]string{
+		Pairwise: "pairwise", Random5050: "50-50",
+		EmptyDequeue: "empty-deq", MemoryTest: "memory",
+	} {
+		if wl.String() != want {
+			t.Fatalf("%v.String() = %q", int(wl), wl.String())
+		}
+	}
+	if !strings.Contains(Workload(99).String(), "99") {
+		t.Fatal("unknown workload string")
+	}
+}
+
+func TestThreadSweepShape(t *testing.T) {
+	sweep := ThreadSweep()
+	if len(sweep) == 0 || sweep[0] != 1 {
+		t.Fatalf("sweep = %v", sweep)
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] != 2*sweep[i-1] {
+			t.Fatalf("sweep not doubling: %v", sweep)
+		}
+	}
+}
+
+func TestRunMeasuresEveryWorkload(t *testing.T) {
+	for _, wl := range []Workload{Pairwise, Random5050, EmptyDequeue, MemoryTest} {
+		q, err := registry.New("SCQ", registry.Config{Threads: 3, RingOrder: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(q, Config{Threads: 2, Ops: 20_000, Repeats: 2, Workload: wl})
+		if err != nil {
+			t.Fatalf("%v: %v", wl, err)
+		}
+		if res.Mops <= 0 {
+			t.Fatalf("%v: nonpositive throughput %f", wl, res.Mops)
+		}
+		if res.QueueName != "SCQ" || res.Threads != 2 {
+			t.Fatalf("%v: bad result metadata %+v", wl, res)
+		}
+	}
+}
+
+func TestRunWithPrefill(t *testing.T) {
+	q, err := registry.New("wCQ", registry.Config{Threads: 3, RingOrder: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(q, Config{Threads: 1, Ops: 5_000, Repeats: 1, Workload: Random5050, Prefill: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mops <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	for _, e := range Experiments {
+		got, ok := FindExperiment(e.ID)
+		if !ok || got.Figure != e.Figure {
+			t.Fatalf("FindExperiment(%q) failed", e.ID)
+		}
+	}
+	if _, ok := FindExperiment("nope"); ok {
+		t.Fatal("unknown experiment found")
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e, _ := FindExperiment("pairwise")
+	e.Queues = []string{"SCQ", "wCQ"} // narrow for speed
+	var buf bytes.Buffer
+	err := RunExperiment(&buf, e, RunOptions{Ops: 20_000, Repeats: 1, Threads: []int{1, 2}, RingOrder: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SCQ", "wCQ", "Mops/s", "Fig. 11b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunPatienceAblation(&buf, 2, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunHelpDelayAblation(&buf, 2, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunRemapAblation(&buf, 2, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MAX_PATIENCE", "HELP_DELAY", "Cache_Remap", "slow-fraction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}

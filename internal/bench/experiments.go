@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"wcqueue/internal/core"
+	"wcqueue/internal/queues/registry"
+)
+
+// Experiment regenerates one of the paper's figures or one of the
+// ablations listed in DESIGN.md §3.
+type Experiment struct {
+	// ID is the experiment key used by cmd/wcqbench (-experiment).
+	ID string
+	// Figure names the paper artifact this regenerates.
+	Figure string
+	// Workload drives the run.
+	Workload Workload
+	// Queues are the registry names to compare, in legend order.
+	Queues []string
+	// LLSC selects the emulated-F&A builds (Fig. 12).
+	LLSC bool
+	// MeasureMemory reports footprints instead of only throughput.
+	MeasureMemory bool
+}
+
+// Experiments is the full per-figure index (DESIGN.md §3).
+var Experiments = []Experiment{
+	{ID: "memory", Figure: "Fig. 10a/10b (memory usage + throughput)", Workload: MemoryTest,
+		Queues: registry.PaperOrder, MeasureMemory: true},
+	{ID: "empty", Figure: "Fig. 11a (empty dequeue throughput)", Workload: EmptyDequeue,
+		Queues: registry.PaperOrder},
+	{ID: "pairwise", Figure: "Fig. 11b (pairwise enqueue-dequeue)", Workload: Pairwise,
+		Queues: registry.PaperOrder},
+	{ID: "random", Figure: "Fig. 11c (50%/50% enqueue-dequeue)", Workload: Random5050,
+		Queues: registry.PaperOrder},
+	{ID: "empty-llsc", Figure: "Fig. 12a (PowerPC analog: empty dequeue)", Workload: EmptyDequeue,
+		Queues: ppcQueues, LLSC: true},
+	{ID: "pairwise-llsc", Figure: "Fig. 12b (PowerPC analog: pairwise)", Workload: Pairwise,
+		Queues: ppcQueues, LLSC: true},
+	{ID: "random-llsc", Figure: "Fig. 12c (PowerPC analog: 50%/50%)", Workload: Random5050,
+		Queues: ppcQueues, LLSC: true},
+}
+
+// ppcQueues mirrors Fig. 12's legend: LCRQ is absent (it requires true
+// CAS2 and "its results are only presented for x86_64").
+var ppcQueues = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue"}
+
+// FindExperiment looks up an experiment by ID.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunOptions tunes a sweep.
+type RunOptions struct {
+	Ops       int   // operations per point (paper: 10,000,000)
+	Repeats   int   // repetitions per point (paper: 10)
+	Threads   []int // thread counts; nil → ThreadSweep()
+	RingOrder uint  // wCQ/SCQ ring order (paper: 16)
+}
+
+func (o RunOptions) defaults() RunOptions {
+	if o.Ops == 0 {
+		o.Ops = 1_000_000
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = ThreadSweep()
+	}
+	if o.RingOrder == 0 {
+		o.RingOrder = 16
+	}
+	return o
+}
+
+// RunExperiment sweeps every queue of the experiment over the thread
+// counts and writes one table in the paper's row format.
+func RunExperiment(w io.Writer, e Experiment, opts RunOptions) error {
+	opts = opts.defaults()
+	fmt.Fprintf(w, "# %s — workload %s, %d ops/point, %d repeats\n",
+		e.Figure, e.Workload, opts.Ops, opts.Repeats)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+
+	fmt.Fprintf(tw, "queue\tthreads\tMops/s\tCV\t")
+	if e.MeasureMemory {
+		fmt.Fprintf(tw, "footprint-MB\t")
+	}
+	fmt.Fprintln(tw)
+
+	for _, name := range e.Queues {
+		for _, threads := range opts.Threads {
+			q, err := registry.New(name, registry.Config{
+				Threads:     threads + 1, // +1 for the prefill handle
+				RingOrder:   opts.RingOrder,
+				EmulatedFAA: e.LLSC,
+			})
+			if err != nil {
+				return fmt.Errorf("bench: building %s: %w", name, err)
+			}
+			cfg := Config{
+				Threads:  threads,
+				Ops:      opts.Ops,
+				Repeats:  opts.Repeats,
+				Workload: e.Workload,
+			}
+			res, err := Run(q, cfg)
+			if err != nil {
+				return fmt.Errorf("bench: running %s: %w", name, err)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.4f\t", res.QueueName, res.Threads, res.Mops, res.CV)
+			if e.MeasureMemory {
+				fmt.Fprintf(tw, "%.2f\t", float64(res.FootprintBytes)/(1<<20))
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	return nil
+}
+
+// AblationRow is one point of a parameter ablation.
+type AblationRow struct {
+	Param   string
+	Value   int
+	Mops    float64
+	SlowEnq uint64
+	SlowDeq uint64
+	Helps   uint64
+}
+
+// RunPatienceAblation measures wCQ pairwise throughput and slow-path
+// frequency across MAX_PATIENCE values (experiment A1/A3).
+func RunPatienceAblation(w io.Writer, threads, ops int) error {
+	fmt.Fprintf(w, "# A1/A3: MAX_PATIENCE ablation — pairwise, %d threads, %d ops\n", threads, ops)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "patience\tMops/s\tslow-enq\tslow-deq\thelps\tslow-fraction")
+	for _, patience := range []int{1, 2, 4, 16, 64, 256} {
+		q, err := core.NewQueue[uint64](12, threads, core.Options{
+			EnqPatience: patience, DeqPatience: patience,
+		})
+		if err != nil {
+			return err
+		}
+		mops, err := runWCQPairwise(q, threads, ops)
+		if err != nil {
+			return err
+		}
+		s := q.Stats()
+		slowFrac := float64(s.SlowEnqueues+s.SlowDequeues) / float64(ops)
+		fmt.Fprintf(tw, "%d\t%.2f\t%d\t%d\t%d\t%.6f\n",
+			patience, mops, s.SlowEnqueues, s.SlowDequeues, s.Helps, slowFrac)
+	}
+	return nil
+}
+
+// RunHelpDelayAblation measures wCQ pairwise throughput across
+// HELP_DELAY values (experiment A2).
+func RunHelpDelayAblation(w io.Writer, threads, ops int) error {
+	fmt.Fprintf(w, "# A2: HELP_DELAY ablation — pairwise, %d threads, %d ops\n", threads, ops)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "help-delay\tMops/s\thelps")
+	for _, delay := range []int{1, 4, 16, 64, 256, 1024} {
+		q, err := core.NewQueue[uint64](12, threads, core.Options{HelpDelay: delay})
+		if err != nil {
+			return err
+		}
+		mops, err := runWCQPairwise(q, threads, ops)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%d\n", delay, mops, q.Stats().Helps)
+	}
+	return nil
+}
+
+// RunRemapAblation compares wCQ pairwise throughput with and without
+// Cache_Remap (experiment A4).
+func RunRemapAblation(w io.Writer, threads, ops int) error {
+	fmt.Fprintf(w, "# A4: Cache_Remap ablation — pairwise, %d threads, %d ops\n", threads, ops)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "remap\tMops/s")
+	for _, noRemap := range []bool{false, true} {
+		q, err := core.NewQueue[uint64](12, threads, core.Options{NoRemap: noRemap})
+		if err != nil {
+			return err
+		}
+		mops, err := runWCQPairwise(q, threads, ops)
+		if err != nil {
+			return err
+		}
+		label := "on"
+		if noRemap {
+			label = "off"
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\n", label, mops)
+	}
+	return nil
+}
+
+// runWCQPairwise drives a typed wCQ queue directly (the ablations need
+// access to core.Options and Stats).
+func runWCQPairwise(q *core.Queue[uint64], threads, ops int) (float64, error) {
+	a := &wcqDirect{q: q}
+	res, err := Run(a, Config{Threads: threads, Ops: ops, Repeats: 3, Workload: Pairwise})
+	if err != nil {
+		return 0, err
+	}
+	return res.Mops, nil
+}
+
+// wcqDirect adapts core.Queue for the ablation runs.
+type wcqDirect struct{ q *core.Queue[uint64] }
+
+func (a *wcqDirect) Register() (any, error)       { return a.q.Register() }
+func (a *wcqDirect) Unregister(h any)             { a.q.Unregister(h.(*core.Handle)) }
+func (a *wcqDirect) Enqueue(h any, v uint64) bool { return a.q.Enqueue(h.(*core.Handle), v) }
+func (a *wcqDirect) Dequeue(h any) (uint64, bool) { return a.q.Dequeue(h.(*core.Handle)) }
+func (a *wcqDirect) Footprint() int64             { return a.q.Footprint() }
+func (a *wcqDirect) Name() string                 { return "wCQ" }

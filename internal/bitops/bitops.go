@@ -1,0 +1,62 @@
+// Package bitops provides the small bit-manipulation helpers shared by
+// the ring-buffer queues: power-of-two sizing and the Cache_Remap
+// position permutation from the SCQ/wCQ papers.
+package bitops
+
+import "math/bits"
+
+// CeilLog2 returns the smallest k such that 1<<k >= v. CeilLog2(0) and
+// CeilLog2(1) are both 0.
+func CeilLog2(v uint64) uint {
+	if v <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(v - 1))
+}
+
+// FloorLog2 returns the largest k such that 1<<k <= v. v must be > 0.
+func FloorLog2(v uint64) uint {
+	if v == 0 {
+		panic("bitops: FloorLog2 of zero")
+	}
+	return uint(bits.Len64(v)) - 1
+}
+
+// RoundPow2 rounds v up to the next power of two. RoundPow2(0) == 1.
+func RoundPow2(v uint64) uint64 {
+	return 1 << CeilLog2(v)
+}
+
+// IsPow2 reports whether v is a power of two. Zero is not.
+func IsPow2(v uint64) bool {
+	return v != 0 && v&(v-1) == 0
+}
+
+// slotShift is log2 of the number of 8-byte ring entries per 64-byte
+// cache line. Consecutive logical positions are mapped 8 entries
+// apart so that they land on distinct lines.
+const slotShift = 3
+
+// Remap implements Cache_Remap from the SCQ paper: a bijective
+// permutation of [0, 2^ringOrder) that places adjacent logical
+// positions on different cache lines and reuses a line as late as
+// possible. It is a bit-rotation of the ringOrder-bit position left by
+// slotShift: position bit 0 becomes bit 3, so positions i and i+1 are
+// 8 entries (one cache line) apart, and a given line is revisited only
+// every 2^(ringOrder-3) positions.
+//
+// Rings with 8 or fewer entries fit one line; the identity map is used.
+func Remap(pos uint64, ringOrder uint) uint64 {
+	if ringOrder <= slotShift {
+		return pos & ((1 << ringOrder) - 1)
+	}
+	mask := uint64(1)<<ringOrder - 1
+	pos &= mask
+	return (pos<<slotShift | pos>>(ringOrder-slotShift)) & mask
+}
+
+// RemapIdentity is a Remap-compatible identity permutation, used by
+// the remap ablation experiment (A4 in DESIGN.md).
+func RemapIdentity(pos uint64, ringOrder uint) uint64 {
+	return pos & ((1 << ringOrder) - 1)
+}

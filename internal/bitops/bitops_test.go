@@ -1,0 +1,119 @@
+package bitops
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.in); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1 << 40, 40},
+	}
+	for _, c := range cases {
+		if got := FloorLog2(c.in); got != c.want {
+			t.Errorf("FloorLog2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFloorLog2PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FloorLog2(0) did not panic")
+		}
+	}()
+	FloorLog2(0)
+}
+
+func TestRoundPow2(t *testing.T) {
+	f := func(v uint32) bool {
+		r := RoundPow2(uint64(v))
+		return IsPow2(r) && r >= uint64(v) && (r == 1 || r/2 < uint64(v) || uint64(v) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for k := uint(0); k < 63; k++ {
+		if !IsPow2(1 << k) {
+			t.Errorf("IsPow2(1<<%d) = false", k)
+		}
+	}
+	for _, v := range []uint64{0, 3, 5, 6, 7, 9, 100, 1<<40 + 1} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestRemapSpreadsAdjacentPositions(t *testing.T) {
+	// Consecutive positions must land ≥ 8 entries (one 64-byte line of
+	// 8-byte entries) apart for rings larger than one line.
+	const order = 10
+	for i := uint64(0); i+1 < 1<<order; i++ {
+		a, b := Remap(i, order), Remap(i+1, order)
+		d := a/8 == b/8
+		if d {
+			t.Fatalf("positions %d,%d map to the same cache line (%d,%d)", i, i+1, a, b)
+		}
+	}
+}
+
+func TestRemapQuickBijective(t *testing.T) {
+	f := func(x uint16, orderSeed uint8) bool {
+		order := uint(orderSeed)%12 + 1
+		mask := uint64(1)<<order - 1
+		a := uint64(x) & mask
+		b := (uint64(x) + 1) & mask
+		if a == b {
+			return true
+		}
+		return Remap(a, order) != Remap(b, order)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapIdentity(t *testing.T) {
+	for i := uint64(0); i < 64; i++ {
+		if RemapIdentity(i, 6) != i {
+			t.Fatalf("RemapIdentity(%d) != %d", i, i)
+		}
+	}
+	if RemapIdentity(100, 6) != 100&63 {
+		t.Fatal("RemapIdentity does not mask")
+	}
+}
+
+func TestRemapTinyRingIdentity(t *testing.T) {
+	// Rings of ≤ 8 entries fit one cache line; Remap degenerates to
+	// the identity (masked).
+	for order := uint(1); order <= 3; order++ {
+		for i := uint64(0); i < 1<<order; i++ {
+			if Remap(i, order) != i {
+				t.Fatalf("order %d: Remap(%d) = %d, want identity", order, i, Remap(i, order))
+			}
+		}
+	}
+}

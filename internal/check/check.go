@@ -1,0 +1,106 @@
+// Package check provides correctness verification for concurrent FIFO
+// queues: value encoding for multi-producer runs and the standard
+// MPMC queue checks (no loss, no duplication, per-producer FIFO
+// order), which together are the necessary-and-sufficient conditions
+// for linearizable FIFO behaviour observable from dequeue streams.
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Encode packs a (producer, sequence) pair into a queue value.
+// Producers get 16 bits, sequences 47 — within the 63-bit payload
+// every queue in this repository carries.
+func Encode(producer int, seq uint64) uint64 {
+	return uint64(producer)<<47 | seq
+}
+
+// Decode splits a value produced by Encode.
+func Decode(v uint64) (producer int, seq uint64) {
+	return int(v >> 47), v & (1<<47 - 1)
+}
+
+// Report is the outcome of Verify.
+type Report struct {
+	Total           int // values dequeued across all consumers
+	Duplicates      int
+	Missing         int
+	OrderViolations int
+}
+
+func (r Report) Err() error {
+	if r.Duplicates == 0 && r.Missing == 0 && r.OrderViolations == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d duplicates, %d missing, %d per-producer order violations (of %d dequeued)",
+		r.Duplicates, r.Missing, r.OrderViolations, r.Total)
+}
+
+// Verify checks the dequeue streams of an MPMC run in which
+// `producers` producers each enqueued sequences 0..perProducer-1
+// (Encode'd), and every enqueued value was eventually dequeued.
+// streams[i] is consumer i's dequeued values in its local order.
+//
+// Checks performed:
+//  1. every (producer, seq) pair appears exactly once across streams;
+//  2. within each consumer stream, the seqs of any single producer
+//     appear in increasing order (FIFO necessary condition: a single
+//     consumer can never observe producer-local reordering).
+func Verify(streams [][]uint64, producers int, perProducer uint64) Report {
+	var rep Report
+	seen := make([]map[uint64]bool, producers)
+	for p := range seen {
+		seen[p] = make(map[uint64]bool, perProducer)
+	}
+	for _, s := range streams {
+		last := make([]int64, producers)
+		for p := range last {
+			last[p] = -1
+		}
+		for _, v := range s {
+			rep.Total++
+			p, seq := Decode(v)
+			if p < 0 || p >= producers || seq >= perProducer {
+				rep.Duplicates++ // corrupted value counts as duplicate-class failure
+				continue
+			}
+			if seen[p][seq] {
+				rep.Duplicates++
+			}
+			seen[p][seq] = true
+			if int64(seq) <= last[p] {
+				rep.OrderViolations++
+			}
+			last[p] = int64(seq)
+		}
+	}
+	for p := 0; p < producers; p++ {
+		rep.Missing += int(perProducer) - len(seen[p])
+	}
+	return rep
+}
+
+// VerifySequential checks that a single consumer stream from a single
+// producer is exactly 0..n-1 in order — the strict FIFO check for the
+// SPSC case.
+func VerifySequential(stream []uint64) error {
+	for i, v := range stream {
+		if v != uint64(i) {
+			return fmt.Errorf("check: position %d holds %d, want %d", i, v, i)
+		}
+	}
+	return nil
+}
+
+// MergeSorted flattens streams and sorts, for tests that only assert
+// the multiset of dequeued values.
+func MergeSorted(streams [][]uint64) []uint64 {
+	var all []uint64
+	for _, s := range streams {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}

@@ -1,0 +1,99 @@
+package check
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(p uint16, seq uint64) bool {
+		seq &= 1<<47 - 1
+		gp, gs := Decode(Encode(int(p), seq))
+		return gp == int(p) && gs == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCleanRun(t *testing.T) {
+	streams := [][]uint64{
+		{Encode(0, 0), Encode(1, 0), Encode(0, 1)},
+		{Encode(1, 1), Encode(0, 2), Encode(1, 2)},
+	}
+	rep := Verify(streams, 2, 3)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 6 {
+		t.Fatalf("Total = %d, want 6", rep.Total)
+	}
+}
+
+func TestVerifyDetectsDuplicate(t *testing.T) {
+	streams := [][]uint64{{Encode(0, 0), Encode(0, 0), Encode(0, 1)}}
+	rep := Verify(streams, 1, 2)
+	if rep.Duplicates == 0 {
+		t.Fatal("duplicate not detected")
+	}
+	if rep.Err() == nil {
+		t.Fatal("Err() nil despite duplicate")
+	}
+}
+
+func TestVerifyDetectsMissing(t *testing.T) {
+	streams := [][]uint64{{Encode(0, 0)}}
+	rep := Verify(streams, 1, 3)
+	if rep.Missing != 2 {
+		t.Fatalf("Missing = %d, want 2", rep.Missing)
+	}
+}
+
+func TestVerifyDetectsOrderViolation(t *testing.T) {
+	// Same consumer sees producer 0's seq 1 before seq 0: a genuine
+	// FIFO violation.
+	streams := [][]uint64{{Encode(0, 1), Encode(0, 0)}}
+	rep := Verify(streams, 1, 2)
+	if rep.OrderViolations == 0 {
+		t.Fatal("order violation not detected")
+	}
+}
+
+func TestVerifyAllowsCrossConsumerInterleaving(t *testing.T) {
+	// Different consumers may see a producer's values "out of order"
+	// relative to each other — that is not a FIFO violation.
+	streams := [][]uint64{
+		{Encode(0, 1)},
+		{Encode(0, 0)},
+	}
+	if err := Verify(streams, 1, 2).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFlagsCorruptValues(t *testing.T) {
+	streams := [][]uint64{{Encode(5, 0)}} // producer 5 of 1
+	rep := Verify(streams, 1, 1)
+	if rep.Err() == nil {
+		t.Fatal("out-of-range producer accepted")
+	}
+}
+
+func TestVerifySequential(t *testing.T) {
+	if err := VerifySequential([]uint64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySequential([]uint64{0, 2, 1}); err == nil {
+		t.Fatal("reorder not detected")
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	got := MergeSorted([][]uint64{{3, 1}, {2}})
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MergeSorted = %v", got)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"wcqueue/internal/atomicx"
+)
+
+func TestFinalizeStopsEnqueues(t *testing.T) {
+	q := Must(4, 1, Options{})
+	tid, _ := q.Register()
+	if !q.EnqueueClosable(tid, 1) {
+		t.Fatal("enqueue on open ring failed")
+	}
+	q.Finalize()
+	if !q.Finalized() {
+		t.Fatal("Finalized() false after Finalize")
+	}
+	if q.EnqueueClosable(tid, 2) {
+		t.Fatal("enqueue succeeded on finalized ring")
+	}
+	// Dequeues continue to drain.
+	v, ok := q.Dequeue(tid)
+	if !ok || v != 1 {
+		t.Fatalf("drain got (%d,%v)", v, ok)
+	}
+	if _, ok := q.Dequeue(tid); ok {
+		t.Fatal("finalized ring not empty after drain")
+	}
+}
+
+func TestFinalizeBitSurvivesFAAAndCatchup(t *testing.T) {
+	q := Must(4, 1, Options{})
+	tid, _ := q.Register()
+	q.Finalize()
+	// Dequeues on an empty finalized ring run catchup (tail CAS) and
+	// F&A on head; the finalize bit must survive both.
+	for i := 0; i < 200; i++ {
+		q.Dequeue(tid)
+	}
+	if !q.Finalized() {
+		t.Fatal("finalize bit lost")
+	}
+	if q.EnqueueClosable(tid, 9) {
+		t.Fatal("enqueue succeeded after counter churn")
+	}
+}
+
+func TestEnqueueClosableSelfCloses(t *testing.T) {
+	// Fill every physical slot (the ring allocates 2n entries and can
+	// physically hold up to 2n values; the ≤ n bound is the
+	// indirection construction's invariant, not a ring limit). The
+	// next enqueue starves on occupied slots and must finalize rather
+	// than spin forever.
+	q := Must(3, 1, Options{}) // n = 8, physical capacity 16
+	tid, _ := q.Register()
+	for i := uint64(0); i < 16; i++ {
+		if !q.EnqueueClosable(tid, i%8) {
+			t.Fatalf("fill enqueue %d failed", i)
+		}
+	}
+	if q.EnqueueClosable(tid, 7) {
+		t.Fatal("enqueue beyond physical capacity succeeded")
+	}
+	if !q.Finalized() {
+		t.Fatal("starving enqueuer did not close the ring")
+	}
+	// The 16 original values drain intact and in order.
+	for i := uint64(0); i < 16; i++ {
+		v, ok := q.Dequeue(tid)
+		if !ok || v != i%8 {
+			t.Fatalf("drain %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestPairWordInvariants(t *testing.T) {
+	q := Must(4, 2, Options{})
+	tid, _ := q.Register()
+	// Tail id bits stay NoOwner through fast-path traffic.
+	for i := uint64(0); i < 32; i++ {
+		q.Enqueue(tid, i%16)
+		q.Dequeue(tid)
+	}
+	if id := atomicx.PairID(q.tail.Load()); id != atomicx.NoOwner {
+		t.Fatalf("tail owner id leaked: %d", id)
+	}
+	if id := atomicx.PairID(q.head.Load()); id != atomicx.NoOwner {
+		t.Fatalf("head owner id leaked: %d", id)
+	}
+}
+
+func TestThresholdNeverExceedsBound(t *testing.T) {
+	q := Must(4, 1, Options{})
+	tid, _ := q.Register()
+	bound := 3*int64(16) - 1
+	for i := 0; i < 500; i++ {
+		q.Enqueue(tid, uint64(i%16))
+		if th := q.Threshold(); th > bound {
+			t.Fatalf("threshold %d exceeds 3n-1=%d", th, bound)
+		}
+		q.Dequeue(tid)
+		q.Dequeue(tid) // extra empty dequeue decrements
+		if th := q.Threshold(); th > bound {
+			t.Fatalf("threshold %d exceeds 3n-1=%d", th, bound)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+// This file implements wCQ's helping procedures (Figure 6):
+// help_threads, help_enqueue and help_dequeue.
+
+// helpThreads scans one peer for a pending help request, amortized by
+// HELP_DELAY (Figure 6, help_threads). Called at the start of every
+// operation.
+func (q *WCQ) helpThreads(rec *record) {
+	rec.nextCheck--
+	if rec.nextCheck > 0 {
+		return
+	}
+	thr := &q.records[rec.nextTid]
+	if thr != rec && thr.pending.Load() {
+		if thr.enqueue.Load() {
+			q.helpEnqueue(rec, thr)
+		} else {
+			q.helpDequeue(rec, thr)
+		}
+		rec.statHelps.Add(1)
+	}
+	rec.nextCheck = q.helpDelay
+	rec.nextTid = (rec.nextTid + 1) % len(q.records)
+}
+
+// helpEnqueue snapshots thr's enqueue request and, if still valid,
+// joins its slow path (Figure 6, help_enqueue). The read order —
+// seq2 first, fields, then the seq1 check — guarantees the snapshot
+// is internally consistent: a request can only pass the check if all
+// fields belong to it.
+func (q *WCQ) helpEnqueue(rec, thr *record) {
+	seq := thr.seq2.Load()
+	enqueue := thr.enqueue.Load()
+	idx := thr.index.Load()
+	tail := thr.initTail.Load()
+	if enqueue && thr.seq1.Load() == seq {
+		q.enqueueSlow(tail, idx, rec, thr, seq)
+	}
+}
+
+// helpDequeue is the dequeue counterpart of helpEnqueue.
+func (q *WCQ) helpDequeue(rec, thr *record) {
+	seq := thr.seq2.Load()
+	enqueue := thr.enqueue.Load()
+	head := thr.initHead.Load()
+	if !enqueue && thr.seq1.Load() == seq {
+		q.dequeueSlow(head, rec, thr, seq)
+	}
+}
+
+// HelpAll forces one helping pass over every registered record,
+// regardless of HELP_DELAY. Tests use it to drive helping
+// deterministically.
+func (q *WCQ) HelpAll(tid int) {
+	rec := &q.records[tid]
+	for i := range q.records {
+		thr := &q.records[i]
+		if thr == rec || !thr.pending.Load() {
+			continue
+		}
+		if thr.enqueue.Load() {
+			q.helpEnqueue(rec, thr)
+		} else {
+			q.helpDequeue(rec, thr)
+		}
+	}
+}
+
+// Stats aggregates operation counters across all records. Counters
+// are read racily; they are monotone, so values are a consistent
+// lower bound.
+type Stats struct {
+	SlowEnqueues uint64 // enqueues that took the slow path
+	SlowDequeues uint64 // dequeues that took the slow path
+	Helps        uint64 // help_threads invocations that found a request
+}
+
+// Stats returns the queue's accumulated slow-path statistics
+// (experiment A3: slow-path frequency).
+func (q *WCQ) Stats() Stats {
+	var s Stats
+	for i := range q.records {
+		r := &q.records[i]
+		s.SlowEnqueues += r.statSlowEnq.Load()
+		s.SlowDequeues += r.statSlowDeq.Load()
+		s.Helps += r.statHelps.Load()
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+package core
+
+import "testing"
+
+// TestInitFullTailPosition guards the full-ring initial state: tail
+// must start n ahead of head so the first n enqueues land on the
+// second half of the physical ring via the fast path.
+func TestInitFullTailPosition(t *testing.T) {
+	q := Must(6, 1, Options{}) // n = 64
+	q.InitFull()
+	if got, want := q.Tail()-q.Head(), uint64(64); got != want {
+		t.Fatalf("InitFull tail-head gap = %d, want %d", got, want)
+	}
+	tid, _ := q.Register()
+	// Drain one index and re-enqueue it: both must stay on the fast path.
+	idx, ok := q.Dequeue(tid)
+	if !ok {
+		t.Fatal("full ring empty")
+	}
+	q.Enqueue(tid, idx)
+	if s := q.Stats(); s.SlowEnqueues != 0 || s.SlowDequeues != 0 {
+		t.Fatalf("full-ring ops took the slow path uncontended: %+v", s)
+	}
+	// Full drain still yields each index exactly once.
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		v, ok := q.Dequeue(tid)
+		if !ok {
+			t.Fatalf("empty after %d of 64", i)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+}

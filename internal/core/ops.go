@@ -1,0 +1,218 @@
+package core
+
+import "wcqueue/internal/atomicx"
+
+// DeqStatus is the outcome of one fast-path dequeue attempt.
+type DeqStatus int
+
+// Fast-path dequeue outcomes.
+const (
+	DeqOK DeqStatus = iota
+	DeqEmpty
+	DeqRetry
+)
+
+// tryEnqFast is one SCQ fast-path enqueue attempt (Figure 3 try_enq on
+// wCQ's entry layout: Enq is set and Note is preserved). On failure it
+// returns the tail counter it tried, the slow path's starting point.
+// finalized reports that the ring was closed before our F&A, in which
+// case no attempt was made.
+func (q *WCQ) tryEnqFast(index uint64) (tried uint64, ok, finalized bool) {
+	w := q.faaRaw(&q.tail)
+	if atomicx.PairFinalized(w) {
+		return 0, false, true
+	}
+	t := atomicx.PairCnt(w)
+	j := q.remapPos(t)
+	tcyc := q.cycleOf(t)
+	for {
+		e := q.entries[j].Load()
+		idx := q.entIndex(e)
+		if q.vcyc(e) < tcyc &&
+			(q.entSafe(e) || q.headCnt() <= t) &&
+			(idx == q.bottom || idx == q.bottomC) {
+			n := q.noteBits(e) | q.packVal(tcyc, true, true, index)
+			if !q.entries[j].CompareAndSwap(e, n) {
+				continue // entry changed; re-evaluate
+			}
+			if q.threshold.Load() != q.thresh3n {
+				q.threshold.Store(q.thresh3n)
+			}
+			return 0, true, false
+		}
+		return t, false, false
+	}
+}
+
+// consume marks the entry at position j (head counter h) consumed:
+// index bits all set (⊥c) and Enq forced to 1. If the producer's slow
+// path has not finalized (Enq=0), the consumer finalizes the request
+// first (Figure 5, consume).
+func (q *WCQ) consume(h, j, e uint64) {
+	if !q.entEnq(e) {
+		q.finalizeRequest(h)
+	}
+	q.orEntry(j, q.enqBit|q.bottomC)
+}
+
+// finalizeRequest sets FIN on the localTail of whichever thread has a
+// pending slow-path enqueue at head counter h (Figure 5,
+// finalize_request). The scan covers all records; a slot whose counter
+// does not match h is skipped, and at most one record can match.
+func (q *WCQ) finalizeRequest(h uint64) {
+	for i := range q.records {
+		tail := &q.records[i].localTail
+		v := tail.Load()
+		if atomicx.Counter(v) == h {
+			tail.CompareAndSwap(h, h|atomicx.FIN)
+			return
+		}
+	}
+}
+
+// tryDeqFast is one SCQ fast-path dequeue attempt on wCQ's layout
+// (Note preserved, Enq honored). tried is meaningful only for DeqRetry.
+func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
+	h := q.faa(&q.head)
+	j := q.remapPos(h)
+	hcyc := q.cycleOf(h)
+	for {
+		e := q.entries[j].Load()
+		idx := q.entIndex(e)
+		if q.vcyc(e) == hcyc {
+			q.consume(h, j, e)
+			return idx, DeqOK, 0
+		}
+		var n uint64
+		if idx == q.bottom || idx == q.bottomC {
+			// Mark the slot with our cycle so an older producer
+			// cannot use it.
+			n = q.noteBits(e) | q.packVal(hcyc, q.entSafe(e), true, q.bottom)
+		} else {
+			// Old-cycle value: clear IsSafe, keep everything else.
+			n = q.noteBits(e) | q.packVal(q.vcyc(e), false, q.entEnq(e), idx)
+		}
+		if q.vcyc(e) < hcyc {
+			if !q.entries[j].CompareAndSwap(e, n) {
+				continue
+			}
+		}
+		t := q.tailCnt()
+		if t <= h+1 {
+			q.catchup(t, h+1)
+			q.threshold.Add(-1)
+			return 0, DeqEmpty, 0
+		}
+		if q.threshold.Add(-1) <= -1 { // F&A(&Threshold,−1) ≤ 0 on old value
+			return 0, DeqEmpty, 0
+		}
+		return 0, DeqRetry, h
+	}
+}
+
+// Enqueue inserts index (Figure 5, Enqueue_wCQ). The caller's tid must
+// come from Register. Wait-free: bounded fast-path attempts followed
+// by the helping slow path. Enqueue must only be used on rings that
+// are never finalized (the bounded queue); the unbounded construction
+// uses EnqueueClosable.
+func (q *WCQ) Enqueue(tid int, index uint64) {
+	rec := &q.records[tid]
+	q.helpThreads(rec)
+
+	var lastTail uint64
+	for count := q.enqPatience; count > 0; count-- {
+		tail, ok, _ := q.tryEnqFast(index)
+		if ok {
+			return
+		}
+		lastTail = tail
+	}
+
+	// Slow path: publish the help request and run it ourselves.
+	rec.statSlowEnq.Add(1)
+	seq := rec.seq1.Load()
+	rec.localTail.Store(lastTail)
+	rec.initTail.Store(lastTail)
+	rec.index.Store(index)
+	rec.enqueue.Store(true)
+	rec.seq2.Store(seq)
+	rec.pending.Store(true)
+	q.enqueueSlow(lastTail, index, rec, rec, seq)
+	rec.pending.Store(false)
+	rec.seq1.Store(seq + 1)
+}
+
+// EnqueueClosable inserts index into a finalizable ring, or returns
+// false once the ring is finalized. A starving enqueuer finalizes the
+// ring itself (LCRQ's "tantrum", which the unbounded layer adopts per
+// Appendix A): the caller then moves to a fresh ring. Using only the
+// fast path keeps finalization races trivial — an enqueue either
+// linearizes before the finalize OR (its claiming CAS succeeded) or
+// observably fails — at the cost of ring-local wait-freedom; the
+// unbounded queue is lock-free overall (see DESIGN.md §5).
+func (q *WCQ) EnqueueClosable(tid int, index uint64) bool {
+	rec := &q.records[tid]
+	q.helpThreads(rec)
+	for attempts := 0; ; attempts++ {
+		_, ok, finalized := q.tryEnqFast(index)
+		if ok {
+			return true
+		}
+		if finalized {
+			return false
+		}
+		if attempts >= closePatience {
+			q.Finalize()
+			return false
+		}
+	}
+}
+
+// closePatience is the starvation limit before EnqueueClosable closes
+// the ring. Generous: fast-path failures on an uncontended ring are
+// rare, so closing fires only under real starvation or a full ring.
+const closePatience = 256
+
+// Dequeue removes the oldest index (Figure 5, Dequeue_wCQ), or returns
+// ok=false when the queue is empty. Wait-free.
+func (q *WCQ) Dequeue(tid int) (index uint64, ok bool) {
+	if q.threshold.Load() < 0 {
+		return 0, false // empty fast-exit
+	}
+	rec := &q.records[tid]
+	q.helpThreads(rec)
+
+	var lastHead uint64
+	for count := q.deqPatience; count > 0; count-- {
+		idx, st, tried := q.tryDeqFast()
+		switch st {
+		case DeqOK:
+			return idx, true
+		case DeqEmpty:
+			return 0, false
+		}
+		lastHead = tried
+	}
+
+	// Slow path.
+	rec.statSlowDeq.Add(1)
+	seq := rec.seq1.Load()
+	rec.localHead.Store(lastHead)
+	rec.initHead.Store(lastHead)
+	rec.enqueue.Store(false)
+	rec.seq2.Store(seq)
+	rec.pending.Store(true)
+	q.dequeueSlow(lastHead, rec, rec, seq)
+	rec.pending.Store(false)
+	rec.seq1.Store(seq + 1)
+
+	// Gather the slow-path result (Figure 5, lines 48-54).
+	h := atomicx.Counter(rec.localHead.Load())
+	j := q.remapPos(h)
+	e := q.entries[j].Load()
+	if q.vcyc(e) == q.cycleOf(h) && q.entIndex(e) != q.bottom {
+		q.consume(h, j, e)
+		return q.entIndex(e), true
+	}
+	return 0, false
+}

@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// Queue is a bounded wait-free MPMC queue of values of type T, built
+// from two WCQ rings by indirection (Figure 2): fq holds free indices,
+// aq holds allocated ones, values live in a flat array. Capacity is
+// n = 2^order values.
+type Queue[T any] struct {
+	aq   *WCQ
+	fq   *WCQ
+	data []T
+}
+
+// NewQueue creates a bounded wait-free queue with capacity 2^order
+// values, usable by up to numThreads registered handles.
+func NewQueue[T any](order uint, numThreads int, opts Options) (*Queue[T], error) {
+	aq, err := New(order, numThreads, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating aq: %w", err)
+	}
+	fq, err := New(order, numThreads, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating fq: %w", err)
+	}
+	fq.InitFull()
+	return &Queue[T]{aq: aq, fq: fq, data: make([]T, 1<<order)}, nil
+}
+
+// MustQueue is NewQueue that panics on error.
+func MustQueue[T any](order uint, numThreads int, opts Options) *Queue[T] {
+	q, err := NewQueue[T](order, numThreads, opts)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Handle is a registered thread slot of a Queue. Handles must not be
+// shared between concurrently running goroutines.
+type Handle struct {
+	tid int
+}
+
+// Register claims a thread slot on both underlying rings.
+func (q *Queue[T]) Register() (*Handle, error) {
+	tid, err := q.aq.Register()
+	if err != nil {
+		return nil, err
+	}
+	// Mirror the registration on fq so the same tid is valid there.
+	ftid, err := q.fq.Register()
+	if err != nil {
+		q.aq.Unregister(tid)
+		return nil, err
+	}
+	if ftid != tid {
+		// Ring registries move in lock step under Queue's API; a
+		// divergence means a caller bypassed it.
+		panic("core: aq/fq registration diverged")
+	}
+	return &Handle{tid: tid}, nil
+}
+
+// Unregister releases the handle's slot.
+func (q *Queue[T]) Unregister(h *Handle) {
+	q.aq.Unregister(h.tid)
+	q.fq.Unregister(h.tid)
+}
+
+// Cap returns the queue capacity n.
+func (q *Queue[T]) Cap() int { return len(q.data) }
+
+// Enqueue inserts v. It returns false if the queue is full. Wait-free.
+func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
+	index, ok := q.fq.Dequeue(h.tid)
+	if !ok {
+		return false // no free index: full
+	}
+	q.data[index] = v
+	q.aq.Enqueue(h.tid, index)
+	return true
+}
+
+// Dequeue removes the oldest value, or returns ok=false when empty.
+// Wait-free.
+func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
+	index, ok := q.aq.Dequeue(h.tid)
+	if !ok {
+		return v, false
+	}
+	v = q.data[index]
+	var zero T
+	q.data[index] = zero
+	q.fq.Enqueue(h.tid, index)
+	return v, true
+}
+
+// Stats returns combined slow-path statistics of both rings.
+func (q *Queue[T]) Stats() Stats {
+	a, f := q.aq.Stats(), q.fq.Stats()
+	return Stats{
+		SlowEnqueues: a.SlowEnqueues + f.SlowEnqueues,
+		SlowDequeues: a.SlowDequeues + f.SlowDequeues,
+		Helps:        a.Helps + f.Helps,
+	}
+}
+
+// Footprint returns the live bytes owned by the queue; constant.
+func (q *Queue[T]) Footprint() int64 {
+	return q.aq.Footprint() + q.fq.Footprint() + int64(len(q.data))*8
+}
+
+// MaxOps returns the safe-operation bound of the underlying rings.
+func (q *Queue[T]) MaxOps() uint64 { return min(q.aq.MaxOps(), q.fq.MaxOps()) }

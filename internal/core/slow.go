@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"wcqueue/internal/atomicx"
+	"wcqueue/internal/pad"
+)
+
+// This file implements wCQ's slow path (Figure 7): slow_F&A, the
+// phase-2 help protocol, and the slow enqueue/dequeue attempts.
+//
+// Parameters shared by the functions here:
+//
+//	rec — the record of the thread EXECUTING the code (owner of the
+//	      phase2 block it publishes);
+//	thr — the record of the request being worked on (helpee; equal to
+//	      rec when a thread runs its own slow path);
+//	seq — the helpee's seq1 snapshot validating the request. If
+//	      thr.seq1 moves past seq the request completed and the helper
+//	      must stop: the staleness guard below aborts helping whenever
+//	      a value adopted from thr's local counter could belong to a
+//	      newer request. Counters are monotonic per record, so stale
+//	      CASes can never succeed; only adopted reads need the guard.
+
+// enqueueSlow runs the slow-path enqueue loop (Figure 7, line 70).
+func (q *WCQ) enqueueSlow(t, index uint64, rec, thr *record, seq uint64) {
+	v := t
+	for q.slowFAA(&q.tail, &thr.localTail, &v, nil, rec, thr, seq) {
+		if q.tryEnqSlow(v, index, thr) {
+			break
+		}
+	}
+}
+
+// dequeueSlow runs the slow-path dequeue loop (Figure 7, line 73).
+// The threshold is decremented inside slow_F&A, once per global Head
+// increment (Lemma 5.6).
+func (q *WCQ) dequeueSlow(h uint64, rec, thr *record, seq uint64) {
+	v := h
+	for q.slowFAA(&q.head, &thr.localHead, &v, &q.threshold, rec, thr, seq) {
+		if q.tryDeqSlow(v, thr) {
+			break
+		}
+	}
+}
+
+// slowFAA is the synchronized replacement for the fast path's F&A
+// (Figure 7, lines 21-37). All cooperative threads (helpee + helpers)
+// serialize their view of the next counter through thr's local word
+// so that the global counter advances exactly once per group
+// iteration. On return true, *v holds the counter the caller should
+// attempt; on return false the request is finished (FIN) or stale.
+func (q *WCQ) slowFAA(global *pad.Uint64, local *atomic.Uint64, v *uint64, thld *pad.Int64, rec, thr *record, seq uint64) bool {
+	ph := &rec.phase2
+	for {
+		cnt, ok := q.loadGlobalHelpPhase2(global, local, thr, seq)
+		if !ok || !local.CompareAndSwap(*v, cnt|atomicx.INC) { // Phase 1
+			*v = local.Load()
+			if atomicx.HasFIN(*v) {
+				return false // request finished
+			}
+			if thr != rec && thr.seq1.Load() != seq {
+				return false // staleness guard: adopted value may be a newer request's
+			}
+			if !atomicx.HasINC(*v) {
+				return true // group already advanced; use the adopted counter
+			}
+			cnt = atomicx.Counter(*v)
+		} else {
+			*v = cnt | atomicx.INC // Phase 1 complete
+		}
+		q.preparePhase2(ph, local, cnt)
+		if global.CompareAndSwap(
+			atomicx.PackPair(cnt, atomicx.NoOwner),
+			atomicx.PackPair(cnt+1, atomicx.OwnerID(rec.tid)),
+		) {
+			if thld != nil {
+				thld.Add(-1)
+			}
+			local.CompareAndSwap(cnt|atomicx.INC, cnt) // Phase 2
+			global.CompareAndSwap(
+				atomicx.PackPair(cnt+1, atomicx.OwnerID(rec.tid)),
+				atomicx.PackPair(cnt+1, atomicx.NoOwner),
+			)
+			*v = cnt
+			return true
+		}
+		// Global changed (fast-path F&A or another phase2); retry.
+	}
+}
+
+// preparePhase2 publishes a phase-2 help request in the executing
+// thread's phase2 block (Figure 7, line 38). Seqlock write protocol.
+func (q *WCQ) preparePhase2(ph *phase2rec, local *atomic.Uint64, cnt uint64) {
+	seq := ph.seq1.Add(1)
+	ph.local.Store(local)
+	ph.cnt.Store(cnt)
+	ph.seq2.Store(seq)
+}
+
+// loadGlobalHelpPhase2 loads the global pair, completing any pending
+// phase-2 request it finds so the pointer component returns to null
+// (Figure 7, line 77). Returns ok=false when the caller's own request
+// has finished (FIN) or gone stale.
+func (q *WCQ) loadGlobalHelpPhase2(global *pad.Uint64, mylocal *atomic.Uint64, thr *record, seq uint64) (cnt uint64, ok bool) {
+	for {
+		lv := mylocal.Load()
+		if atomicx.HasFIN(lv) {
+			return 0, false // the outer loop exits
+		}
+		if thr.seq1.Load() != seq {
+			return 0, false // staleness guard
+		}
+		gp := global.Load()
+		id := atomicx.PairID(gp)
+		if id == atomicx.NoOwner {
+			return atomicx.PairCnt(gp), true // no help request
+		}
+		ph := &q.records[atomicx.OwnerTID(id)].phase2
+		pseq := ph.seq2.Load()
+		loc := ph.local.Load()
+		pcnt := ph.cnt.Load()
+		// Help finish Phase 2; the CAS fails harmlessly if the local
+		// was already advanced.
+		if loc != nil && ph.seq1.Load() == pseq {
+			loc.CompareAndSwap(pcnt|atomicx.INC, pcnt)
+		}
+		// Clear the pointer, preserving the counter and finalize bits.
+		// No ABA on the id bits: the counter increments monotonically.
+		if global.CompareAndSwap(gp, atomicx.PairClearID(gp)) {
+			return atomicx.PairCnt(gp), true
+		}
+	}
+}
+
+// tryEnqSlow is one slow-path enqueue attempt at tail counter t
+// (Figure 7, line 1). Returns true when the request's element is in
+// the ring (inserted by us or a cooperative thread); false directs the
+// group to the next counter.
+func (q *WCQ) tryEnqSlow(t, index uint64, thr *record) bool {
+	j := q.remapPos(t)
+	tcyc := q.cycleOf(t)
+	for {
+		e := q.entries[j].Load()
+		idx := q.entIndex(e)
+		if q.vcyc(e) < tcyc && q.noteLess(e, tcyc) {
+			if !(q.entSafe(e) || q.headCnt() <= t) || (idx != q.bottom && idx != q.bottomC) {
+				// Advance Note so later helpers skip this slot too
+				// (the disqualifying condition may later turn false).
+				if !q.entries[j].CompareAndSwap(e, q.setNote(e, tcyc)) {
+					continue
+				}
+				return false
+			}
+			// Produce the entry with Enq=0 (two-step insert).
+			n := q.noteBits(e) | q.packVal(tcyc, true, false, index)
+			if !q.entries[j].CompareAndSwap(e, n) {
+				continue
+			}
+			// Finalize the help request, then flip Enq to 1.
+			if thr.localTail.CompareAndSwap(t, t|atomicx.FIN) {
+				q.entries[j].CompareAndSwap(n, n|q.enqBit)
+			}
+			if q.threshold.Load() != q.thresh3n {
+				q.threshold.Store(q.thresh3n)
+			}
+			return true
+		}
+		if q.vcyc(e) != tcyc {
+			return false // slot unusable for this cycle
+		}
+		return true // already inserted by a cooperative thread
+	}
+}
+
+// tryDeqSlow is one slow-path dequeue attempt at head counter h
+// (Figure 7, line 43). Returns true when the result is ready (or the
+// queue is empty and FIN was set); false directs the group onward.
+func (q *WCQ) tryDeqSlow(h uint64, thr *record) bool {
+	j := q.remapPos(h)
+	hcyc := q.cycleOf(h)
+	for {
+		e := q.entries[j].Load()
+		idx := q.entIndex(e)
+		// Ready, or consumed by the request owner (⊥c or a value).
+		if q.vcyc(e) == hcyc && idx != q.bottom {
+			thr.localHead.CompareAndSwap(h, h|atomicx.FIN) // terminate helpers
+			return true
+		}
+		var n uint64
+		if idx != q.bottom && idx != q.bottomC {
+			if q.vcyc(e) < hcyc && q.noteLess(e, hcyc) {
+				// Avert helper dequeuers from using this slot: mark
+				// Note, then re-read (the subsequent value CAS against
+				// the stale word would fail anyway).
+				if q.entries[j].CompareAndSwap(e, q.setNote(e, hcyc)) {
+					continue
+				}
+				continue
+			}
+			// Old-cycle value: clear IsSafe, keep cycle/Enq/index.
+			n = q.noteBits(e) | q.packVal(q.vcyc(e), false, q.entEnq(e), idx)
+		} else {
+			// Empty slot: stamp our cycle with ⊥ so an older producer
+			// cannot use it.
+			n = q.noteBits(e) | q.packVal(hcyc, q.entSafe(e), true, q.bottom)
+		}
+		if q.vcyc(e) < hcyc {
+			if !q.entries[j].CompareAndSwap(e, n) {
+				continue
+			}
+		}
+		// Empty detection: threshold is decremented by slow_F&A.
+		t := q.tailCnt()
+		if t <= h+1 {
+			q.catchup(t, h+1)
+			if q.threshold.Load() < 0 {
+				thr.localHead.CompareAndSwap(h, h|atomicx.FIN)
+				return true // empty result
+			}
+		}
+		return false
+	}
+}

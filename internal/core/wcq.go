@@ -1,0 +1,422 @@
+// Package core implements wCQ, the wait-free circular queue of
+// Nikolaev & Ravindran (SPAA '22) — the paper's primary contribution.
+//
+// wCQ extends SCQ with a fast-path-slow-path scheme: every operation
+// first runs the SCQ algorithm for a bounded number of attempts
+// (MAX_PATIENCE) and then publishes a help request in its per-thread
+// record. All threads periodically scan for pending requests and
+// execute the slow path on the requester's behalf; the slow_F&A
+// protocol (Figure 7) keeps the cooperating threads in lock step so
+// the global Head/Tail advance exactly once per group iteration.
+//
+// Platform substitutions (see DESIGN.md §2): the paper's CAS2 on the
+// 128-bit {Note, Value} entry pair becomes a single-word CAS on a
+// packed 64-bit word, and the {cnt, phase2-ptr} Head/Tail pairs become
+// a 48-bit counter plus 16-bit owner id, which is the paper's own §4
+// porting suggestion.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wcqueue/internal/atomicx"
+	"wcqueue/internal/bitops"
+	"wcqueue/internal/pad"
+)
+
+// Default tuning constants, matching §6 of the paper.
+const (
+	DefaultEnqPatience = 16 // MAX_PATIENCE for Enqueue
+	DefaultDeqPatience = 64 // MAX_PATIENCE for Dequeue
+	DefaultHelpDelay   = 64 // HELP_DELAY between help_threads scans
+)
+
+// Options configures a WCQ ring.
+type Options struct {
+	// EnqPatience and DeqPatience are the fast-path attempt budgets
+	// (MAX_PATIENCE). Zero selects the defaults.
+	EnqPatience int
+	DeqPatience int
+	// HelpDelay is the number of operations between help_threads
+	// scans. Zero selects the default.
+	HelpDelay int
+	// EmulatedFAA replaces hardware F&A and atomic OR with CAS loops,
+	// modeling LL/SC architectures (PowerPC/MIPS, paper §4). Used by
+	// the Fig. 12 experiments.
+	EmulatedFAA bool
+	// NoRemap disables the Cache_Remap permutation (ablation A4).
+	NoRemap bool
+}
+
+// WCQ is a wait-free bounded MPMC ring of indices in [0, n), n = 2^order.
+//
+// As with scq.Ring, the indirection construction guarantees at most n
+// live indices, so Enqueue always finds a slot. Operations take the
+// caller's thread id from Register.
+type WCQ struct {
+	order     uint   // k: n = 1<<k usable entries
+	ringOrder uint   // k+1: 2n physical entries
+	posMask   uint64 // 2n-1
+	idxBits   uint   // k+1
+	idxMask   uint64
+	enqBit    uint64 // Enq flag, bit idxBits
+	safeBit   uint64 // IsSafe flag, bit idxBits+1
+	vShift    uint   // value-cycle field offset: idxBits+2
+	vBits     uint
+	vMask     uint64 // unshifted value-cycle mask
+	noteShift uint   // note field offset: idxBits+2+vBits
+	nMask     uint64 // unshifted note mask
+	valMask   uint64 // mask of all non-note bits: (1<<noteShift)-1
+	bottom    uint64 // ⊥  = 2n-2
+	bottomC   uint64 // ⊥c = 2n-1
+	thresh3n  int64
+	noRemap   bool
+	emulFAA   bool
+
+	enqPatience int
+	deqPatience int
+	helpDelay   int
+
+	threshold pad.Int64
+	tail      pad.Uint64 // PairWord {cnt:48, owner:16}
+	head      pad.Uint64 // PairWord
+
+	entries []atomic.Uint64
+	records []record
+
+	regMu    sync.Mutex
+	regFree  []int
+	maxOps   uint64
+	footSize int64
+}
+
+// phase2rec is the second-phase help request (Figure 4). The seq1/seq2
+// pair is a seqlock: the writer bumps seq1, fills the fields, then
+// publishes seq2 = seq1; readers snapshot seq2 first and re-check seq1
+// after reading the fields.
+type phase2rec struct {
+	seq1  atomic.Uint64
+	local atomic.Pointer[atomic.Uint64]
+	cnt   atomic.Uint64
+	seq2  atomic.Uint64
+}
+
+// record is the per-thread state (thrdrec_t, Figure 4), padded to its
+// own cache lines.
+type record struct {
+	_ pad.DoublePad
+
+	// Private fields: touched only by the owning thread.
+	nextCheck int
+	nextTid   int
+	tid       int
+
+	// Owner-written statistics (read racily by Stats; monotone
+	// counters, so staleness is benign).
+	statSlowEnq atomic.Uint64
+	statSlowDeq atomic.Uint64
+	statHelps   atomic.Uint64
+
+	// Shared fields: the help request.
+	phase2    phase2rec
+	seq1      atomic.Uint64 // starts at 1
+	enqueue   atomic.Bool
+	pending   atomic.Bool
+	localTail atomic.Uint64 // FlaggedCounter (FIN/INC over 62-bit counter)
+	initTail  atomic.Uint64
+	localHead atomic.Uint64 // FlaggedCounter
+	initHead  atomic.Uint64
+	index     atomic.Uint64
+	seq2      atomic.Uint64 // starts at 0
+
+	registered bool
+
+	_ pad.DoublePad
+}
+
+// New creates a WCQ ring of order k (n = 2^k usable slots) supporting
+// up to numThreads registered threads.
+func New(order uint, numThreads int, opts Options) (*WCQ, error) {
+	if order < 1 || order > 24 {
+		return nil, fmt.Errorf("core: ring order %d out of range [1, 24]", order)
+	}
+	if numThreads < 1 || uint64(numThreads) > atomicx.MaxOwners {
+		return nil, fmt.Errorf("core: numThreads %d out of range [1, %d]", numThreads, atomicx.MaxOwners)
+	}
+	q := &WCQ{
+		order:       order,
+		ringOrder:   order + 1,
+		posMask:     1<<(order+1) - 1,
+		idxBits:     order + 1,
+		idxMask:     1<<(order+1) - 1,
+		enqBit:      1 << (order + 1),
+		safeBit:     1 << (order + 2),
+		vShift:      order + 3,
+		bottom:      1<<(order+1) - 2,
+		bottomC:     1<<(order+1) - 1,
+		thresh3n:    3*int64(1<<order) - 1,
+		noRemap:     opts.NoRemap,
+		emulFAA:     opts.EmulatedFAA,
+		enqPatience: opts.EnqPatience,
+		deqPatience: opts.DeqPatience,
+		helpDelay:   opts.HelpDelay,
+	}
+	rest := 64 - (q.idxBits + 2) // bits left for the two cycle fields
+	nBits := rest / 2
+	vBits := rest - nBits
+	q.vBits = vBits
+	q.vMask = 1<<vBits - 1
+	q.noteShift = q.vShift + vBits
+	q.nMask = 1<<nBits - 1
+	q.valMask = 1<<q.noteShift - 1
+	if q.enqPatience <= 0 {
+		q.enqPatience = DefaultEnqPatience
+	}
+	if q.deqPatience <= 0 {
+		q.deqPatience = DefaultDeqPatience
+	}
+	if q.helpDelay <= 0 {
+		q.helpDelay = DefaultHelpDelay
+	}
+	// Cycle wrap bound: the smaller cycle field (note is biased by 1)
+	// times the ring size, also capped by the 48-bit pair counter.
+	maxCyc := min(q.vMask, q.nMask-1)
+	q.maxOps = min(maxCyc<<q.ringOrder, atomicx.MaxPairCnt)
+
+	q.entries = make([]atomic.Uint64, 1<<q.ringOrder)
+	q.records = make([]record, numThreads)
+	q.regFree = make([]int, 0, numThreads)
+	for i := numThreads - 1; i >= 0; i-- {
+		q.regFree = append(q.regFree, i)
+	}
+	for i := range q.records {
+		r := &q.records[i]
+		r.tid = i
+		r.nextCheck = q.helpDelay
+		r.nextTid = (i + 1) % numThreads
+		r.seq1.Store(1)
+	}
+	q.initEmpty()
+	q.footSize = int64(len(q.entries))*8 + int64(numThreads)*int64(recordBytes)
+	return q, nil
+}
+
+const recordBytes = 512 // approximate padded record size, for footprint accounting
+
+// Must is New that panics on error.
+func Must(order uint, numThreads int, opts Options) *WCQ {
+	q, err := New(order, numThreads, opts)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// N returns the usable capacity n.
+func (q *WCQ) N() uint64 { return 1 << q.order }
+
+// Order returns the ring order k.
+func (q *WCQ) Order() uint { return q.order }
+
+// NumThreads returns the registration capacity.
+func (q *WCQ) NumThreads() int { return len(q.records) }
+
+// MaxOps returns the number of operations the queue can safely execute
+// before its packed cycle counters could wrap (DESIGN.md §2.1). For
+// the default order 16 this is ≈5·10^11.
+func (q *WCQ) MaxOps() uint64 { return q.maxOps }
+
+// Footprint returns the live bytes of queue-owned memory; constant,
+// since wCQ never allocates after construction (Theorem 5.8).
+func (q *WCQ) Footprint() int64 { return q.footSize }
+
+// Register claims a thread slot and returns its id. Every goroutine
+// operating on the queue must use a distinct id. Release the slot with
+// Unregister.
+func (q *WCQ) Register() (int, error) {
+	q.regMu.Lock()
+	defer q.regMu.Unlock()
+	if len(q.regFree) == 0 {
+		return 0, fmt.Errorf("core: all %d thread slots registered", len(q.records))
+	}
+	tid := q.regFree[len(q.regFree)-1]
+	q.regFree = q.regFree[:len(q.regFree)-1]
+	q.records[tid].registered = true
+	return tid, nil
+}
+
+// Unregister returns a thread slot for reuse. The caller must have no
+// operation in flight.
+func (q *WCQ) Unregister(tid int) {
+	q.regMu.Lock()
+	defer q.regMu.Unlock()
+	if !q.records[tid].registered {
+		panic("core: Unregister of unregistered tid")
+	}
+	q.records[tid].registered = false
+	q.regFree = append(q.regFree, tid)
+}
+
+// ---- Entry word encoding -------------------------------------------------
+//
+// [ note : nBits ][ vcycle : vBits ][ IsSafe : 1 ][ Enq : 1 ][ index : idxBits ]
+//
+// note stores the Note cycle biased by +1 so the zero value encodes
+// the initial −1. A single-word CAS on this layout is exactly the
+// paper's CAS2 on the {Note, Value} pair.
+
+// packVal builds the non-note (Value) bits of an entry word.
+func (q *WCQ) packVal(cycle uint64, safe, enq bool, index uint64) uint64 {
+	w := (cycle&q.vMask)<<q.vShift | index
+	if safe {
+		w |= q.safeBit
+	}
+	if enq {
+		w |= q.enqBit
+	}
+	return w
+}
+
+func (q *WCQ) vcyc(e uint64) uint64     { return (e >> q.vShift) & q.vMask }
+func (q *WCQ) entIndex(e uint64) uint64 { return e & q.idxMask }
+func (q *WCQ) entSafe(e uint64) bool    { return e&q.safeBit != 0 }
+func (q *WCQ) entEnq(e uint64) bool     { return e&q.enqBit != 0 }
+
+// noteBits returns just the note field bits of e (in place).
+func (q *WCQ) noteBits(e uint64) uint64 { return e &^ q.valMask }
+
+// noteLess reports Note < cycle (with the +1 bias: field ≤ cycle).
+func (q *WCQ) noteLess(e, cycle uint64) bool {
+	return e>>q.noteShift <= cycle&q.nMask
+}
+
+// setNote returns e with the Note field advanced to cycle.
+func (q *WCQ) setNote(e, cycle uint64) uint64 {
+	return e&q.valMask | ((cycle+1)&q.nMask)<<q.noteShift
+}
+
+// cycleOf maps a Head/Tail counter to its cycle number (field width).
+func (q *WCQ) cycleOf(counter uint64) uint64 { return (counter >> q.ringOrder) & q.vMask }
+
+func (q *WCQ) remapPos(counter uint64) uint64 {
+	if q.noRemap {
+		return counter & q.posMask
+	}
+	return bitops.Remap(counter&q.posMask, q.ringOrder)
+}
+
+// initEmpty sets the canonical empty state: Tail = Head = 2n (cycle 1),
+// entries {Note: −1, Cycle: 0, IsSafe: 1, Enq: 1, Index: ⊥},
+// Threshold = −1.
+func (q *WCQ) initEmpty() {
+	for i := range q.entries {
+		q.entries[i].Store(q.packVal(0, true, true, q.bottom))
+	}
+	twoN := uint64(1) << q.ringOrder
+	q.head.Store(atomicx.PackPair(twoN, atomicx.NoOwner))
+	q.tail.Store(atomicx.PackPair(twoN, atomicx.NoOwner))
+	q.threshold.Store(-1)
+}
+
+// InitFull fills the ring with indices 0..n-1 (the free queue's start
+// state). Must be called before concurrent use.
+func (q *WCQ) InitFull() {
+	n := uint64(1) << q.order
+	twoN := n * 2
+	for p := uint64(0); p < n; p++ {
+		q.entries[q.remapPos(p)].Store(q.packVal(1, true, true, p))
+	}
+	for p := n; p < twoN; p++ {
+		q.entries[q.remapPos(p)].Store(q.packVal(0, true, true, q.bottom))
+	}
+	q.head.Store(atomicx.PackPair(twoN, atomicx.NoOwner))
+	q.tail.Store(atomicx.PackPair(twoN+n, atomicx.NoOwner))
+	q.threshold.Store(q.thresh3n)
+}
+
+// ---- Global counter access ------------------------------------------------
+
+// faaRaw fetches-and-increments the counter of a global pair word,
+// returning the previous raw word (callers extract the counter and the
+// finalize bit). With EmulatedFAA it runs the CAS loop an LL/SC
+// machine would.
+func (q *WCQ) faaRaw(global *pad.Uint64) uint64 {
+	if q.emulFAA {
+		for {
+			w := global.Load()
+			if global.CompareAndSwap(w, w+atomicx.CntUnit) {
+				return w
+			}
+		}
+	}
+	return global.Add(atomicx.CntUnit) - atomicx.CntUnit
+}
+
+// faa is faaRaw returning just the previous counter.
+func (q *WCQ) faa(global *pad.Uint64) uint64 {
+	return atomicx.PairCnt(q.faaRaw(global))
+}
+
+// orEntry atomically ORs mask into entry j (hardware OR, or a CAS loop
+// under EmulatedFAA).
+func (q *WCQ) orEntry(j uint64, mask uint64) {
+	if q.emulFAA {
+		for {
+			e := q.entries[j].Load()
+			if e&mask == mask || q.entries[j].CompareAndSwap(e, e|mask) {
+				return
+			}
+		}
+	}
+	q.entries[j].Or(mask)
+}
+
+func (q *WCQ) headCnt() uint64 { return atomicx.PairCnt(q.head.Load()) }
+func (q *WCQ) tailCnt() uint64 { return atomicx.PairCnt(q.tail.Load()) }
+
+// Head and Tail expose raw counters for tests.
+func (q *WCQ) Head() uint64 { return q.headCnt() }
+
+// Tail returns the raw tail counter.
+func (q *WCQ) Tail() uint64 { return q.tailCnt() }
+
+// Threshold returns the current threshold value.
+func (q *WCQ) Threshold() int64 { return q.threshold.Load() }
+
+// ResetThreshold restores the threshold to 3n−1 (Appendix A, line 59).
+func (q *WCQ) ResetThreshold() { q.threshold.Store(q.thresh3n) }
+
+// maxCatchup bounds catchup iterations (required for wait-freedom,
+// §3.2 "Bounding catchup").
+const maxCatchup = 8
+
+// catchup advances Tail's counter to head when dequeuers overran it,
+// preserving the phase2 owner id and finalize bits.
+func (q *WCQ) catchup(tail, head uint64) {
+	for i := 0; i < maxCatchup; i++ {
+		w := q.tail.Load()
+		if atomicx.PairCnt(w) != tail {
+			tail = atomicx.PairCnt(w)
+			head = q.headCnt()
+			if tail >= head {
+				return
+			}
+			continue
+		}
+		if q.tail.CompareAndSwap(w, atomicx.PairSetCnt(w, head)) {
+			return
+		}
+	}
+}
+
+// Finalize permanently closes the ring for enqueues (Appendix A,
+// finalize_wCQ): an atomic OR of the finalize bit into the Tail pair.
+// Dequeues continue to drain remaining elements. Enqueues whose F&A
+// precedes the OR may still complete; enqueues after it fail, which is
+// the linearization the unbounded construction relies on.
+func (q *WCQ) Finalize() { q.tail.Or(atomicx.FinalizeBit) }
+
+// Finalized reports whether the ring is closed for enqueues.
+func (q *WCQ) Finalized() bool { return atomicx.PairFinalized(q.tail.Load()) }

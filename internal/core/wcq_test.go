@@ -1,0 +1,383 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wcqueue/internal/atomicx"
+	"wcqueue/internal/check"
+)
+
+func newRing(t *testing.T, order uint, threads int, opts Options) *WCQ {
+	t.Helper()
+	q, err := New(order, threads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestWCQSequentialFIFO(t *testing.T) {
+	q := newRing(t, 4, 1, Options{})
+	tid, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 16; i++ {
+		q.Enqueue(tid, i)
+	}
+	for i := uint64(0); i < 16; i++ {
+		got, ok := q.Dequeue(tid)
+		if !ok || got != i {
+			t.Fatalf("Dequeue %d: got (%d,%v)", i, got, ok)
+		}
+	}
+	if _, ok := q.Dequeue(tid); ok {
+		t.Fatal("Dequeue on empty ring returned a value")
+	}
+}
+
+func TestWCQWrapAroundManyCycles(t *testing.T) {
+	q := newRing(t, 2, 1, Options{}) // n = 4
+	tid, _ := q.Register()
+	for round := uint64(0); round < 2000; round++ {
+		for i := uint64(0); i < 4; i++ {
+			q.Enqueue(tid, i)
+		}
+		for i := uint64(0); i < 4; i++ {
+			got, ok := q.Dequeue(tid)
+			if !ok || got != i {
+				t.Fatalf("round %d pos %d: got (%d,%v)", round, i, got, ok)
+			}
+		}
+		if _, ok := q.Dequeue(tid); ok {
+			t.Fatalf("round %d: ring not empty after drain", round)
+		}
+	}
+}
+
+func TestWCQRegisterExhaustion(t *testing.T) {
+	q := newRing(t, 4, 2, Options{})
+	a, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = q.Register(); err == nil {
+		t.Fatal("third Register on 2-slot queue succeeded")
+	}
+	q.Unregister(a)
+	if _, err = q.Register(); err != nil {
+		t.Fatalf("Register after Unregister failed: %v", err)
+	}
+}
+
+func TestWCQEntryEncodingRoundTrip(t *testing.T) {
+	q := Must(6, 1, Options{})
+	f := func(cycle, note, index uint64, safe, enq bool) bool {
+		cycle &= q.vMask
+		note &= q.nMask - 1 // leave room for the +1 bias
+		index &= q.idxMask
+		e := q.setNote(q.packVal(cycle, safe, enq, index), note)
+		return q.vcyc(e) == cycle &&
+			q.entSafe(e) == safe &&
+			q.entEnq(e) == enq &&
+			q.entIndex(e) == index &&
+			!q.noteLess(e, note) && // Note == note, so not <
+			q.noteLess(e, note+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCQConsumePreservesCycleAndNote(t *testing.T) {
+	q := Must(5, 1, Options{})
+	e := q.setNote(q.packVal(7, true, false, 3), 9)
+	q.entries[0].Store(e)
+	q.orEntry(0, q.enqBit|q.bottomC)
+	got := q.entries[0].Load()
+	if q.vcyc(got) != 7 || !q.entSafe(got) || !q.entEnq(got) || q.entIndex(got) != q.bottomC {
+		t.Fatalf("consume mangled entry: cyc=%d safe=%v enq=%v idx=%d",
+			q.vcyc(got), q.entSafe(got), q.entEnq(got), q.entIndex(got))
+	}
+	if q.noteLess(got, 8) || !q.noteLess(got, 10) {
+		t.Fatal("consume disturbed the Note field")
+	}
+}
+
+func TestWCQPairWordFAAPreservesOwner(t *testing.T) {
+	q := Must(4, 1, Options{})
+	q.tail.Store(atomicx.PackPair(100, atomicx.OwnerID(3)))
+	got := q.faa(&q.tail)
+	if got != 100 {
+		t.Fatalf("faa returned %d, want 100", got)
+	}
+	w := q.tail.Load()
+	if atomicx.PairCnt(w) != 101 || atomicx.PairID(w) != atomicx.OwnerID(3) {
+		t.Fatalf("faa mangled pair word: cnt=%d id=%d", atomicx.PairCnt(w), atomicx.PairID(w))
+	}
+	q.initEmpty()
+}
+
+// wcqAdapter drives a value Queue with per-goroutine handles.
+type wcqAdapter struct {
+	q *Queue[uint64]
+}
+
+func runWCQMPMC(t *testing.T, q *Queue[uint64], producers, consumers int, perProducer uint64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	streams := make([][]uint64, consumers)
+	total := uint64(producers) * perProducer
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			budget := total / uint64(consumers)
+			if c == 0 {
+				budget += total % uint64(consumers)
+			}
+			local := make([]uint64, 0, budget)
+			for uint64(len(local)) < budget {
+				v, ok := q.Dequeue(h)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				consumed.Done()
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			for s := uint64(0); s < perProducer; s++ {
+				for !q.Enqueue(h, check.Encode(p, s)) {
+					runtime.Gosched()
+				}
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, perProducer).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCQConcurrentMPMC(t *testing.T) {
+	per := uint64(20000)
+	if testing.Short() {
+		per = 2000
+	}
+	q := MustQueue[uint64](12, 8, Options{})
+	runWCQMPMC(t, q, 4, 4, per)
+}
+
+func TestWCQConcurrentManyThreads(t *testing.T) {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		t.Skip("needs 2+ procs")
+	}
+	per := uint64(5000)
+	if testing.Short() {
+		per = 500
+	}
+	q := MustQueue[uint64](10, 2*n, Options{})
+	runWCQMPMC(t, q, n, n, per)
+}
+
+// TestWCQForcedSlowPath sets patience to 1 and help delay to 1, so
+// nearly every contended operation publishes a help request and the
+// helping machinery carries the load. This is the key stress test of
+// Figures 6-7.
+func TestWCQForcedSlowPath(t *testing.T) {
+	per := uint64(8000)
+	if testing.Short() {
+		per = 800
+	}
+	opts := Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+	q := MustQueue[uint64](6, 8, opts) // tiny ring amplifies contention
+	runWCQMPMC(t, q, 4, 4, per)
+	if s := q.Stats(); s.SlowEnqueues == 0 && s.SlowDequeues == 0 {
+		t.Log("warning: no slow paths were taken despite patience=1")
+	}
+}
+
+func TestWCQForcedSlowPathTinyRing(t *testing.T) {
+	per := uint64(3000)
+	if testing.Short() {
+		per = 300
+	}
+	opts := Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+	q := MustQueue[uint64](2, 8, opts) // n = 4: extreme wrap pressure
+	runWCQMPMC(t, q, 4, 4, per)
+}
+
+func TestWCQEmulatedFAA(t *testing.T) {
+	per := uint64(5000)
+	if testing.Short() {
+		per = 500
+	}
+	q := MustQueue[uint64](8, 8, Options{EmulatedFAA: true})
+	runWCQMPMC(t, q, 4, 4, per)
+}
+
+func TestWCQNoRemap(t *testing.T) {
+	per := uint64(5000)
+	if testing.Short() {
+		per = 500
+	}
+	q := MustQueue[uint64](8, 8, Options{NoRemap: true})
+	runWCQMPMC(t, q, 4, 4, per)
+}
+
+func TestWCQSlowPathSingleThreadDirect(t *testing.T) {
+	// With patience 1 even an uncontended thread exercises the slow
+	// path machinery when its first F&A draws an unusable slot.
+	q := newRing(t, 3, 1, Options{EnqPatience: 1, DeqPatience: 1})
+	tid, _ := q.Register()
+	for round := 0; round < 500; round++ {
+		for i := uint64(0); i < 8; i++ {
+			q.Enqueue(tid, i)
+		}
+		for i := uint64(0); i < 8; i++ {
+			got, ok := q.Dequeue(tid)
+			if !ok || got != i {
+				t.Fatalf("round %d: got (%d,%v) want (%d,true)", round, got, ok, i)
+			}
+		}
+	}
+}
+
+func TestWCQHelpAllCompletesPendingRequest(t *testing.T) {
+	// Construct a pending dequeue request by hand and verify HelpAll
+	// from another thread completes it: the helpee's record must end
+	// with FIN set and the element must be retrievable via the gather
+	// sequence.
+	q := newRing(t, 4, 2, Options{})
+	helpee, _ := q.Register()
+	helper, _ := q.Register()
+
+	// A failed fast-path dequeue always hands the slow path a counter
+	// it has fully processed; the slow path starts from a fresh one.
+	// Stage that state: counter 2n is consumed, the target element
+	// sits at 2n+1 where the helper's slow_F&A will find it.
+	q.Enqueue(helpee, 3)
+	if v, ok := q.Dequeue(helpee); !ok || v != 3 {
+		t.Fatalf("staging dequeue got (%d,%v)", v, ok)
+	}
+	q.Enqueue(helpee, 7)
+
+	// Publish the help request exactly as Dequeue's slow path does.
+	rec := &q.records[helpee]
+	h := q.headCnt() - 1 // the already-processed counter
+	seq := rec.seq1.Load()
+	rec.localHead.Store(h)
+	rec.initHead.Store(h)
+	rec.enqueue.Store(false)
+	rec.seq2.Store(seq)
+	rec.pending.Store(true)
+
+	q.HelpAll(helper)
+
+	if !atomicx.HasFIN(rec.localHead.Load()) {
+		t.Fatal("helper did not finalize the pending dequeue request")
+	}
+	rec.pending.Store(false)
+	rec.seq1.Store(seq + 1)
+
+	hc := atomicx.Counter(rec.localHead.Load())
+	j := q.remapPos(hc)
+	e := q.entries[j].Load()
+	if q.vcyc(e) != q.cycleOf(hc) || q.entIndex(e) == q.bottom {
+		t.Fatalf("gather: entry not ready (cyc=%d want %d idx=%d)", q.vcyc(e), q.cycleOf(hc), q.entIndex(e))
+	}
+	q.consume(hc, j, e)
+	if got := q.entIndex(e); got != 7 {
+		t.Fatalf("gathered %d, want 7", got)
+	}
+}
+
+func TestWCQStatsAccumulate(t *testing.T) {
+	opts := Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+	q := MustQueue[uint64](4, 4, opts)
+	runWCQMPMC(t, q, 2, 2, 2000)
+	s := q.Stats()
+	t.Logf("stats: %+v", s)
+}
+
+func TestWCQMaxOpsReported(t *testing.T) {
+	q := Must(16, 4, Options{})
+	if q.MaxOps() < 1<<38 {
+		t.Fatalf("MaxOps = %d, want >= 2^38 at order 16", q.MaxOps())
+	}
+	small := Must(2, 4, Options{})
+	if small.MaxOps() <= q.MaxOps()/2 {
+		// smaller rings have more cycle headroom per slot but fewer
+		// slots; just sanity-check it is nonzero and large.
+		if small.MaxOps() < 1<<30 {
+			t.Fatalf("MaxOps at order 2 = %d, suspiciously small", small.MaxOps())
+		}
+	}
+}
+
+func TestWCQQueueFullBehaviour(t *testing.T) {
+	q := MustQueue[uint64](3, 2, Options{})
+	h, _ := q.Register()
+	for i := uint64(0); i < 8; i++ {
+		if !q.Enqueue(h, i) {
+			t.Fatalf("enqueue %d rejected below capacity", i)
+		}
+	}
+	if q.Enqueue(h, 99) {
+		t.Fatal("enqueue accepted beyond capacity")
+	}
+	v, ok := q.Dequeue(h)
+	if !ok || v != 0 {
+		t.Fatalf("dequeue got (%d,%v), want (0,true)", v, ok)
+	}
+	if !q.Enqueue(h, 8) {
+		t.Fatal("enqueue rejected after a slot freed")
+	}
+}
+
+func TestWCQRejectsBadConfig(t *testing.T) {
+	if _, err := New(0, 1, Options{}); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+	if _, err := New(25, 1, Options{}); err == nil {
+		t.Fatal("order 25 accepted")
+	}
+	if _, err := New(4, 0, Options{}); err == nil {
+		t.Fatal("0 threads accepted")
+	}
+}
+
+func TestWCQFootprintConstantUnderLoad(t *testing.T) {
+	q := MustQueue[uint64](8, 4, Options{})
+	before := q.Footprint()
+	runWCQMPMC(t, q, 2, 2, 3000)
+	if q.Footprint() != before {
+		t.Fatalf("footprint changed %d -> %d", before, q.Footprint())
+	}
+}

@@ -1,0 +1,144 @@
+// Package hazard implements hazard pointers (Michael, 2004), the
+// safe-memory-reclamation substrate the paper's harness uses for
+// MSQueue, LCRQ and CRTurn.
+//
+// Go's garbage collector already guarantees referents stay alive, so
+// hazard pointers are not needed for safety here. They are needed for
+// *bounded memory*: a queue that recycles nodes through an explicit
+// pool must not hand a node back to the pool while another thread may
+// still dereference it. MSQueue in this repository uses a Domain to
+// run its node pool, which keeps its footprint flat the same way the
+// paper's C implementation does.
+package hazard
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"wcqueue/internal/pad"
+)
+
+// SlotsPerThread is the number of hazard pointers each thread may hold
+// simultaneously. Two suffices for Michael & Scott queues; CRTurn-style
+// algorithms need three.
+const SlotsPerThread = 3
+
+// scanThresholdFactor: a thread scans its retire list when it grows
+// beyond this multiple of the total hazard slots, bounding both scan
+// frequency and retired-node inventory (the H·R bound of the HP paper).
+const scanThresholdFactor = 2
+
+// Domain manages hazard slots and retire lists for a fixed number of
+// threads.
+type Domain struct {
+	slots    []slot      // numThreads × SlotsPerThread, padded
+	retired  []retireSet // per thread
+	nthreads int
+}
+
+type slot struct {
+	_ pad.DoublePad
+	p [SlotsPerThread]atomic.Pointer[byte]
+	_ pad.DoublePad
+}
+
+type retireSet struct {
+	_     pad.DoublePad
+	nodes []retiree
+	_     pad.DoublePad
+}
+
+type retiree struct {
+	ptr  unsafe.Pointer
+	free func(unsafe.Pointer)
+}
+
+// NewDomain creates a Domain for numThreads threads.
+func NewDomain(numThreads int) *Domain {
+	return &Domain{
+		slots:    make([]slot, numThreads),
+		retired:  make([]retireSet, numThreads),
+		nthreads: numThreads,
+	}
+}
+
+// Protect publishes p in the caller's hazard slot i and returns p.
+// Callers must re-validate the source pointer after Protect (the
+// standard HP protocol) — see ProtectFrom for the loop.
+func (d *Domain) Protect(tid, i int, p unsafe.Pointer) unsafe.Pointer {
+	d.slots[tid].p[i].Store((*byte)(p))
+	return p
+}
+
+// ProtectFrom repeatedly loads *src and publishes it until the
+// publication is stable (the classic protect loop).
+func (d *Domain) ProtectFrom(tid, i int, src *unsafe.Pointer) unsafe.Pointer {
+	for {
+		p := atomic.LoadPointer(src)
+		d.slots[tid].p[i].Store((*byte)(p))
+		if atomic.LoadPointer(src) == p {
+			return p
+		}
+	}
+}
+
+// Clear resets all of the caller's hazard slots.
+func (d *Domain) Clear(tid int) {
+	for i := range d.slots[tid].p {
+		d.slots[tid].p[i].Store(nil)
+	}
+}
+
+// ClearSlot resets one hazard slot.
+func (d *Domain) ClearSlot(tid, i int) { d.slots[tid].p[i].Store(nil) }
+
+// Retire schedules p for free once no thread holds a hazard pointer to
+// it. free runs at most once, from the retiring thread.
+func (d *Domain) Retire(tid int, p unsafe.Pointer, free func(unsafe.Pointer)) {
+	rs := &d.retired[tid]
+	rs.nodes = append(rs.nodes, retiree{p, free})
+	if len(rs.nodes) >= scanThresholdFactor*d.nthreads*SlotsPerThread {
+		d.scan(tid)
+	}
+}
+
+// scan frees every retired node not currently protected by any thread.
+func (d *Domain) scan(tid int) {
+	hazards := make(map[unsafe.Pointer]bool, d.nthreads*SlotsPerThread)
+	for t := range d.slots {
+		for i := range d.slots[t].p {
+			if p := d.slots[t].p[i].Load(); p != nil {
+				hazards[unsafe.Pointer(p)] = true
+			}
+		}
+	}
+	rs := &d.retired[tid]
+	kept := rs.nodes[:0]
+	for _, r := range rs.nodes {
+		if hazards[r.ptr] {
+			kept = append(kept, r)
+			continue
+		}
+		r.free(r.ptr)
+	}
+	rs.nodes = kept
+}
+
+// Drain frees every retired node that is unprotected, across all
+// threads. Only safe when no queue operation is in flight; used at
+// teardown and in tests.
+func (d *Domain) Drain() {
+	for t := 0; t < d.nthreads; t++ {
+		d.scan(t)
+	}
+}
+
+// RetiredCount reports the total nodes awaiting reclamation (test
+// hook for the boundedness property).
+func (d *Domain) RetiredCount() int {
+	n := 0
+	for t := range d.retired {
+		n += len(d.retired[t].nodes)
+	}
+	return n
+}

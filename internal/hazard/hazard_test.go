@@ -1,0 +1,134 @@
+package hazard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestProtectBlocksReclaim(t *testing.T) {
+	d := NewDomain(2)
+	freed := false
+	x := new(int)
+	p := unsafe.Pointer(x)
+
+	d.Protect(0, 0, p)
+	d.Retire(1, p, func(unsafe.Pointer) { freed = true })
+	d.Drain()
+	if freed {
+		t.Fatal("protected pointer was freed")
+	}
+	d.Clear(0)
+	d.Drain()
+	if !freed {
+		t.Fatal("unprotected pointer was not freed")
+	}
+}
+
+func TestRetireFreesUnprotected(t *testing.T) {
+	d := NewDomain(1)
+	n := 0
+	for i := 0; i < 10; i++ {
+		d.Retire(0, unsafe.Pointer(new(int)), func(unsafe.Pointer) { n++ })
+	}
+	d.Drain()
+	if n != 10 {
+		t.Fatalf("freed %d of 10 retired nodes", n)
+	}
+	if d.RetiredCount() != 0 {
+		t.Fatalf("retired count %d after drain", d.RetiredCount())
+	}
+}
+
+func TestScanThresholdBoundsInventory(t *testing.T) {
+	const threads = 4
+	d := NewDomain(threads)
+	bound := scanThresholdFactor * threads * SlotsPerThread
+	for i := 0; i < 10*bound; i++ {
+		d.Retire(0, unsafe.Pointer(new(int)), func(unsafe.Pointer) {})
+	}
+	if got := d.RetiredCount(); got >= bound {
+		t.Fatalf("retired inventory %d not bounded below %d", got, bound)
+	}
+}
+
+func TestClearSlotIsPerSlot(t *testing.T) {
+	d := NewDomain(1)
+	a, b := unsafe.Pointer(new(int)), unsafe.Pointer(new(int))
+	d.Protect(0, 0, a)
+	d.Protect(0, 1, b)
+	d.ClearSlot(0, 0)
+	freedA, freedB := false, false
+	d.Retire(0, a, func(unsafe.Pointer) { freedA = true })
+	d.Retire(0, b, func(unsafe.Pointer) { freedB = true })
+	d.Drain()
+	if !freedA {
+		t.Fatal("cleared slot still blocked reclamation")
+	}
+	if freedB {
+		t.Fatal("live slot did not block reclamation")
+	}
+}
+
+func TestProtectFromStability(t *testing.T) {
+	d := NewDomain(2)
+	var src unsafe.Pointer
+	x := new(int)
+	atomic.StorePointer(&src, unsafe.Pointer(x))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				atomic.StorePointer(&src, unsafe.Pointer(new(int)))
+				runtime.Gosched()
+			}
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		p := d.ProtectFrom(0, 0, &src)
+		// The protocol guarantees the published value equaled *src at
+		// some instant after publication; it must never be nil here.
+		if p == nil {
+			t.Fatal("ProtectFrom returned nil for non-nil source")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentRetireAndScan(t *testing.T) {
+	const threads = 4
+	d := NewDomain(threads)
+	var freed atomic.Int64
+	var wg sync.WaitGroup
+	per := 5000
+	if testing.Short() {
+		per = 500
+	}
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p := unsafe.Pointer(new(int))
+				d.Protect(tid, 0, p)
+				d.ClearSlot(tid, 0)
+				d.Retire(tid, p, func(unsafe.Pointer) { freed.Add(1) })
+			}
+		}(tid)
+	}
+	wg.Wait()
+	d.Drain()
+	if got := freed.Load(); got != int64(threads*per) {
+		t.Fatalf("freed %d of %d", got, threads*per)
+	}
+}

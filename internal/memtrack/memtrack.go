@@ -1,0 +1,44 @@
+// Package memtrack provides explicit footprint accounting for the
+// memory-usage experiment (Fig. 10a).
+//
+// The paper measures process memory under malloc/jemalloc. Go's
+// garbage collector makes RSS a noisy proxy, so every queue in this
+// repository instead reports the bytes of queue-owned structures that
+// are currently live (rings, list nodes, segments, closed-but-not-yet
+// collected CRQs, per-thread records). The growth trends that matter —
+// LCRQ's fast growth from closed rings, YMC's slower growth from
+// overshoot segments, wCQ/SCQ's flat static footprint — are exactly
+// the signal of Fig. 10a.
+package memtrack
+
+import "sync/atomic"
+
+// Counter accumulates live bytes. The zero value is ready to use.
+type Counter struct {
+	live  atomic.Int64
+	total atomic.Int64
+}
+
+// Alloc records size bytes becoming live.
+func (c *Counter) Alloc(size int64) {
+	c.live.Add(size)
+	c.total.Add(size)
+}
+
+// Free records size bytes ceasing to be live (retired to the allocator
+// or to the GC).
+func (c *Counter) Free(size int64) { c.live.Add(-size) }
+
+// Live returns the currently live queue-owned bytes.
+func (c *Counter) Live() int64 { return c.live.Load() }
+
+// Total returns the cumulative bytes ever allocated, live or not.
+// LCRQ-style algorithms show the gap between Total and Live as
+// reclamation pressure.
+func (c *Counter) Total() int64 { return c.total.Load() }
+
+// Footprinter is implemented by queues that account their memory.
+type Footprinter interface {
+	// Footprint returns the currently live queue-owned bytes.
+	Footprint() int64
+}

@@ -1,0 +1,45 @@
+package memtrack
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Alloc(100)
+	c.Alloc(50)
+	if c.Live() != 150 || c.Total() != 150 {
+		t.Fatalf("after allocs: live=%d total=%d", c.Live(), c.Total())
+	}
+	c.Free(100)
+	if c.Live() != 50 {
+		t.Fatalf("after free: live=%d", c.Live())
+	}
+	if c.Total() != 150 {
+		t.Fatalf("total must not decrease: %d", c.Total())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Alloc(10)
+				c.Free(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Live() != 0 {
+		t.Fatalf("live = %d after balanced alloc/free", c.Live())
+	}
+	if c.Total() != workers*per*10 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}

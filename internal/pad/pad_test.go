@@ -1,0 +1,79 @@
+package pad
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestPaddedSizes(t *testing.T) {
+	if s := unsafe.Sizeof(Uint64{}); s < 4*CacheLineSize {
+		t.Fatalf("padded Uint64 is %d bytes; want >= %d to isolate its line", s, 4*CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Int64{}); s < 4*CacheLineSize {
+		t.Fatalf("padded Int64 is %d bytes", s)
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	var v Uint64
+	v.Store(10)
+	if v.Load() != 10 {
+		t.Fatal("store/load")
+	}
+	if v.Add(5) != 15 {
+		t.Fatal("add")
+	}
+	if !v.CompareAndSwap(15, 20) || v.CompareAndSwap(15, 30) {
+		t.Fatal("cas")
+	}
+	if old := v.Or(0x3); old != 20 || v.Load() != 23 {
+		t.Fatalf("or: old=%d now=%d", old, v.Load())
+	}
+	if v.Raw().Load() != 23 {
+		t.Fatal("raw accessor")
+	}
+}
+
+func TestInt64Ops(t *testing.T) {
+	var v Int64
+	v.Store(-5)
+	if v.Add(-1) != -6 {
+		t.Fatal("add")
+	}
+	if !v.CompareAndSwap(-6, 7) {
+		t.Fatal("cas")
+	}
+	if v.Raw().Load() != 7 {
+		t.Fatal("raw accessor")
+	}
+}
+
+func TestBoolOps(t *testing.T) {
+	var b Bool
+	if b.Load() {
+		t.Fatal("zero value not false")
+	}
+	b.Store(true)
+	if !b.Load() {
+		t.Fatal("store true")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	var v Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v.Load() != 8000 {
+		t.Fatalf("lost updates: %d", v.Load())
+	}
+}

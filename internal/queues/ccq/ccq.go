@@ -1,0 +1,196 @@
+// Package ccq implements CCQueue (Fatourou & Kallimanis, PPoPP '12),
+// the combining baseline of the paper's evaluation. Threads publish
+// operation records; one thread at a time becomes the combiner,
+// acquires the combining lock, and applies every pending operation to
+// a sequential queue on the others' behalf. Combining trades progress
+// guarantees (it is blocking) for low synchronization cost: one lock
+// handoff serves many operations.
+package ccq
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"wcqueue/internal/memtrack"
+	"wcqueue/internal/pad"
+)
+
+// opKind distinguishes pending operations.
+type opKind uint32
+
+const (
+	opNone opKind = iota
+	opEnqueue
+	opDequeue
+)
+
+// request is a thread's published operation (padded: each record is
+// spin-waited on by its owner while the combiner writes it).
+type request struct {
+	_       pad.DoublePad
+	kind    atomic.Uint32
+	arg     atomic.Uint64
+	ret     atomic.Uint64
+	retOK   atomic.Bool
+	done    atomic.Bool
+	_       pad.DoublePad
+	pending atomic.Bool
+	_       pad.DoublePad
+}
+
+type node struct {
+	val  uint64
+	next *node
+}
+
+const nodeBytes = 24
+
+// Queue is the combining queue.
+type Queue struct {
+	lock pad.Uint64 // 0 free, 1 held
+
+	// Sequential queue state, touched only by the combiner.
+	head *node
+	tail *node
+	pool *node // freed nodes, reused by the combiner
+
+	reqs []request
+	mu   chan struct{}
+	free []int
+	mem  memtrack.Counter
+}
+
+// New creates a CCQueue for up to numThreads registered threads.
+func New(numThreads int) *Queue {
+	q := &Queue{
+		reqs: make([]request, numThreads),
+		mu:   make(chan struct{}, 1),
+		free: make([]int, 0, numThreads),
+	}
+	for i := numThreads - 1; i >= 0; i-- {
+		q.free = append(q.free, i)
+	}
+	dummy := &node{}
+	q.mem.Alloc(nodeBytes)
+	q.head, q.tail = dummy, dummy
+	return q
+}
+
+// Register claims a thread id.
+func (q *Queue) Register() (any, error) {
+	q.mu <- struct{}{}
+	defer func() { <-q.mu }()
+	if len(q.free) == 0 {
+		return nil, fmt.Errorf("ccq: all thread slots registered")
+	}
+	tid := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	return tid, nil
+}
+
+// Unregister releases a thread id.
+func (q *Queue) Unregister(h any) {
+	q.mu <- struct{}{}
+	defer func() { <-q.mu }()
+	q.free = append(q.free, h.(int))
+}
+
+// Name identifies the algorithm.
+func (q *Queue) Name() string { return "CCQueue" }
+
+// Footprint returns live queue-owned bytes.
+func (q *Queue) Footprint() int64 { return q.mem.Live() }
+
+// Enqueue inserts v. Always succeeds (unbounded).
+func (q *Queue) Enqueue(h any, v uint64) bool {
+	r := &q.reqs[h.(int)]
+	r.arg.Store(v)
+	r.done.Store(false)
+	r.kind.Store(uint32(opEnqueue))
+	r.pending.Store(true)
+	q.await(r)
+	return true
+}
+
+// Dequeue removes the oldest value.
+func (q *Queue) Dequeue(h any) (uint64, bool) {
+	r := &q.reqs[h.(int)]
+	r.done.Store(false)
+	r.kind.Store(uint32(opDequeue))
+	r.pending.Store(true)
+	q.await(r)
+	return r.ret.Load(), r.retOK.Load()
+}
+
+// await waits for the request to be served, becoming the combiner when
+// the lock is free.
+func (q *Queue) await(r *request) {
+	for !r.done.Load() {
+		if q.lock.CompareAndSwap(0, 1) {
+			q.combine()
+			q.lock.Store(0)
+			if r.done.Load() {
+				return
+			}
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// combine serves every pending request. Runs under the combining lock.
+func (q *Queue) combine() {
+	// A few passes pick up requests published while combining.
+	for pass := 0; pass < 3; pass++ {
+		served := 0
+		for i := range q.reqs {
+			r := &q.reqs[i]
+			if !r.pending.Load() || r.done.Load() {
+				continue
+			}
+			switch opKind(r.kind.Load()) {
+			case opEnqueue:
+				q.seqEnqueue(r.arg.Load())
+				r.retOK.Store(true)
+			case opDequeue:
+				v, ok := q.seqDequeue()
+				r.ret.Store(v)
+				r.retOK.Store(ok)
+			}
+			r.pending.Store(false)
+			r.done.Store(true)
+			served++
+		}
+		if served == 0 {
+			return
+		}
+	}
+}
+
+func (q *Queue) seqEnqueue(v uint64) {
+	nd := q.pool
+	if nd != nil {
+		q.pool = nd.next
+		nd.next = nil
+		nd.val = v
+	} else {
+		nd = &node{val: v}
+		q.mem.Alloc(nodeBytes)
+	}
+	q.tail.next = nd
+	q.tail = nd
+}
+
+func (q *Queue) seqDequeue() (uint64, bool) {
+	next := q.head.next
+	if next == nil {
+		return 0, false
+	}
+	v := next.val
+	old := q.head
+	q.head = next
+	old.next = q.pool // recycle the old dummy
+	q.pool = old
+	return v, true
+}

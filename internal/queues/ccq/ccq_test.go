@@ -1,0 +1,79 @@
+package ccq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New(2)
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	for i := uint64(0); i < 500; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < 500; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("empty queue yielded a value")
+	}
+}
+
+func TestNodeRecycling(t *testing.T) {
+	q := New(1)
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(h, uint64(i))
+		q.Dequeue(h)
+	}
+	stable := q.Footprint()
+	for i := 0; i < 10_000; i++ {
+		q.Enqueue(h, uint64(i))
+		q.Dequeue(h)
+	}
+	if q.Footprint() != stable {
+		t.Fatalf("combiner pool leaked: %d -> %d", stable, q.Footprint())
+	}
+}
+
+func TestCombinerServesPeers(t *testing.T) {
+	// Two threads hammer the queue; whichever holds the combiner lock
+	// must serve the other's requests (the test deadlocks within the
+	// timeout if combining is broken).
+	q := New(2)
+	const per = 20_000
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, _ := q.Register()
+			defer q.Unregister(h)
+			for i := 0; i < per; i++ {
+				q.Enqueue(h, uint64(w*per+i))
+				q.Dequeue(h)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestRegistryExhaustion(t *testing.T) {
+	q := New(1)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("over-registration accepted")
+	}
+	q.Unregister(h)
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package crturn implements the CRTurn wait-free queue of Ramalhete &
+// Correia (PPoPP '17 poster), a baseline in the paper's evaluation and
+// the outer layer the paper proposes for unbounded wCQ (Appendix A).
+//
+// CRTurn is a list-based queue in which both enqueues and dequeues are
+// served in "turns": a thread publishes its request in a per-thread
+// slot and every operation helps complete the request whose turn it
+// is, giving wait-freedom without fetch-and-add — and, as the paper's
+// evaluation shows, without much scalability.
+//
+// Enqueue requests live in enqueuers[tid]. Dequeue requests use the
+// deqself/deqhelp pair: a thread requests by making deqself[tid] equal
+// deqhelp[tid]; helpers assign the dequeued node by writing it to
+// deqhelp[tid]. Each list node records deqTid, the id of the dequeuer
+// it was assigned to, which makes assignment idempotent across
+// helpers.
+//
+// The original runs under hazard pointers; Go's GC substitutes for
+// them here (DESIGN.md §2), with explicit footprint accounting.
+package crturn
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wcqueue/internal/memtrack"
+	"wcqueue/internal/pad"
+)
+
+const noIdx = -1
+
+type node struct {
+	val    uint64
+	enqTid int32
+	deqTid atomic.Int32
+	next   atomic.Pointer[node]
+}
+
+const nodeBytes = 32
+
+func newNode(val uint64, enqTid int32) *node {
+	n := &node{val: val, enqTid: enqTid}
+	n.deqTid.Store(noIdx)
+	return n
+}
+
+// slotPtr is a padded atomic node pointer (one per thread, spun on).
+type slotPtr struct {
+	_ pad.DoublePad
+	p atomic.Pointer[node]
+	_ pad.DoublePad
+}
+
+// Queue is the CRTurn wait-free queue.
+type Queue struct {
+	_    pad.DoublePad
+	head atomic.Pointer[node]
+	_    pad.DoublePad
+	tail atomic.Pointer[node]
+	_    pad.DoublePad
+
+	enqueuers []slotPtr
+	deqself   []slotPtr
+	deqhelp   []slotPtr
+	nt        int
+
+	mu   chan struct{}
+	free []int
+	mem  memtrack.Counter
+}
+
+// New creates a CRTurn queue for up to numThreads registered threads.
+func New(numThreads int) *Queue {
+	q := &Queue{
+		enqueuers: make([]slotPtr, numThreads),
+		deqself:   make([]slotPtr, numThreads),
+		deqhelp:   make([]slotPtr, numThreads),
+		nt:        numThreads,
+		mu:        make(chan struct{}, 1),
+		free:      make([]int, 0, numThreads),
+	}
+	for i := numThreads - 1; i >= 0; i-- {
+		q.free = append(q.free, i)
+	}
+	sentinel := newNode(0, 0)
+	q.mem.Alloc(nodeBytes)
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	for i := 0; i < numThreads; i++ {
+		// Distinct placeholders so deqself[i] != deqhelp[i]
+		// (no request pending).
+		q.deqself[i].p.Store(newNode(0, int32(i)))
+		q.deqhelp[i].p.Store(newNode(0, int32(i)))
+		q.mem.Alloc(2 * nodeBytes)
+	}
+	return q
+}
+
+// Register claims a thread id.
+func (q *Queue) Register() (any, error) {
+	q.mu <- struct{}{}
+	defer func() { <-q.mu }()
+	if len(q.free) == 0 {
+		return nil, fmt.Errorf("crturn: all thread slots registered")
+	}
+	tid := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	return tid, nil
+}
+
+// Unregister releases a thread id.
+func (q *Queue) Unregister(h any) {
+	q.mu <- struct{}{}
+	defer func() { <-q.mu }()
+	q.free = append(q.free, h.(int))
+}
+
+// Name identifies the algorithm.
+func (q *Queue) Name() string { return "CRTurn" }
+
+// Footprint returns live queue-owned bytes.
+func (q *Queue) Footprint() int64 { return q.mem.Live() }
+
+// Enqueue appends v. Always succeeds (unbounded).
+func (q *Queue) Enqueue(h any, v uint64) bool {
+	tid := h.(int)
+	myNode := newNode(v, int32(tid))
+	q.mem.Alloc(nodeBytes)
+	q.enqueuers[tid].p.Store(myNode)
+	for i := 0; i < q.nt; i++ {
+		if q.enqueuers[tid].p.Load() == nil {
+			break // a helper completed our request
+		}
+		ltail := q.tail.Load()
+		// Dismiss the request that installed the current tail: it has
+		// been served. This must precede the search so a served node
+		// cannot be linked twice.
+		if q.enqueuers[ltail.enqTid].p.Load() == ltail {
+			q.enqueuers[ltail.enqTid].p.CompareAndSwap(ltail, nil)
+		}
+		// Serve the next pending enqueue request in turn order.
+		for j := 1; j <= q.nt; j++ {
+			toHelp := q.enqueuers[(j+int(ltail.enqTid))%q.nt].p.Load()
+			if toHelp == nil {
+				continue
+			}
+			ltail.next.CompareAndSwap(nil, toHelp)
+			break
+		}
+		if lnext := ltail.next.Load(); lnext != nil {
+			q.tail.CompareAndSwap(ltail, lnext)
+		}
+	}
+	q.enqueuers[tid].p.Store(nil)
+	return true
+}
+
+// Dequeue removes the oldest value.
+func (q *Queue) Dequeue(h any) (uint64, bool) {
+	tid := h.(int)
+	prReq := q.deqself[tid].p.Load()
+	myReq := q.deqhelp[tid].p.Load()
+	q.deqself[tid].p.Store(myReq) // publish: deqself == deqhelp means requesting
+	for i := 0; ; i++ {
+		if q.deqhelp[tid].p.Load() != myReq {
+			break // a helper assigned our node
+		}
+		lhead := q.head.Load()
+		if lhead == q.tail.Load() {
+			// Looks empty: withdraw the request, double-check.
+			q.deqself[tid].p.Store(prReq)
+			q.giveUp(myReq, tid)
+			if q.deqhelp[tid].p.Load() != myReq {
+				q.deqself[tid].p.Store(myReq)
+				break
+			}
+			return 0, false
+		}
+		lnext := lhead.next.Load()
+		if lhead != q.head.Load() || lnext == nil {
+			continue
+		}
+		if q.searchNext(lhead, lnext) != noIdx {
+			q.casDeqAndHead(lhead, lnext, tid)
+		}
+	}
+	myNode := q.deqhelp[tid].p.Load()
+	// Help advance head past our own node if no one else has.
+	lhead := q.head.Load()
+	if myNode == lhead.next.Load() {
+		q.head.CompareAndSwap(lhead, myNode)
+	}
+	q.mem.Free(nodeBytes) // prReq is retired (reclaimed by GC)
+	return myNode.val, true
+}
+
+// searchNext picks, in turn order after the thread that dequeued
+// lhead, the next requesting dequeuer and assigns lnext to it via the
+// node's one-shot deqTid field.
+func (q *Queue) searchNext(lhead, lnext *node) int32 {
+	turn := lhead.deqTid.Load()
+	for idx := int(turn) + 1; idx < int(turn)+q.nt+1; idx++ {
+		idDeq := ((idx % q.nt) + q.nt) % q.nt
+		if q.deqself[idDeq].p.Load() != q.deqhelp[idDeq].p.Load() {
+			continue // not requesting
+		}
+		if lnext.deqTid.Load() == noIdx {
+			lnext.deqTid.CompareAndSwap(noIdx, int32(idDeq))
+		}
+		break
+	}
+	return lnext.deqTid.Load()
+}
+
+// casDeqAndHead delivers lnext to its assigned dequeuer and advances
+// head. Delivery is idempotent across helpers; when the assignment is
+// the caller's own, a plain store suffices and — crucially — still
+// works after the caller withdrew its request (the giveUp path), which
+// the CAS guard would reject.
+func (q *Queue) casDeqAndHead(lhead, lnext *node, tid int) {
+	idDeq := lnext.deqTid.Load()
+	if idDeq == noIdx {
+		return
+	}
+	if int(idDeq) == tid {
+		q.deqhelp[idDeq].p.Store(lnext)
+	} else {
+		ldeqhelp := q.deqhelp[idDeq].p.Load()
+		if ldeqhelp != lnext && lhead == q.head.Load() {
+			// While head == lhead, lnext is still undelivered, so the
+			// CAS cannot suffer ABA: deqhelp[idDeq] only ever moves to
+			// lnext once lnext.deqTid is set.
+			q.deqhelp[idDeq].p.CompareAndSwap(ldeqhelp, lnext)
+		}
+	}
+	q.head.CompareAndSwap(lhead, lnext)
+}
+
+// giveUp re-checks, after a withdrawn request, whether the queue
+// assigned us a node anyway (our turn arrived while withdrawing).
+func (q *Queue) giveUp(myReq *node, tid int) {
+	lhead := q.head.Load()
+	if q.deqhelp[tid].p.Load() != myReq || lhead == q.tail.Load() {
+		return
+	}
+	lnext := lhead.next.Load()
+	if lhead != q.head.Load() || lnext == nil {
+		return
+	}
+	if q.searchNext(lhead, lnext) == int32(tid) {
+		q.casDeqAndHead(lhead, lnext, tid)
+	}
+}

@@ -1,0 +1,135 @@
+package crturn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New(2)
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	for i := uint64(0); i < 500; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < 500; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("empty queue yielded a value")
+	}
+}
+
+func TestEmptyThenRefill(t *testing.T) {
+	q := New(2)
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	for round := 0; round < 50; round++ {
+		if _, ok := q.Dequeue(h); ok {
+			t.Fatalf("round %d: empty queue yielded a value", round)
+		}
+		q.Enqueue(h, uint64(round))
+		v, ok := q.Dequeue(h)
+		if !ok || v != uint64(round) {
+			t.Fatalf("round %d: got (%d,%v)", round, v, ok)
+		}
+	}
+}
+
+func TestFootprintTracksContent(t *testing.T) {
+	q := New(2)
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	base := q.Footprint()
+	for i := uint64(0); i < 1000; i++ {
+		q.Enqueue(h, i)
+	}
+	grown := q.Footprint()
+	if grown <= base {
+		t.Fatal("enqueue did not grow footprint")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		q.Dequeue(h)
+	}
+	if q.Footprint() >= grown {
+		t.Fatalf("dequeue did not shrink footprint: %d -> %d", grown, q.Footprint())
+	}
+}
+
+func TestDequeueAssignmentIsExclusive(t *testing.T) {
+	// Many concurrent dequeuers, each value delivered exactly once.
+	const threads, per = 4, 5_000
+	q := New(threads + 1)
+	seed, _ := q.Register()
+	total := threads * per
+	for i := 0; i < total; i++ {
+		q.Enqueue(seed, uint64(i))
+	}
+	q.Unregister(seed)
+
+	var mu sync.Mutex
+	seen := make(map[uint64]int, total)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, _ := q.Register()
+			defer q.Unregister(h)
+			local := make([]uint64, 0, per)
+			for len(local) < per {
+				if v, ok := q.Dequeue(h); ok {
+					local = append(local, v)
+				}
+			}
+			mu.Lock()
+			for _, v := range local {
+				seen[v]++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(seen) != total {
+		t.Fatalf("distinct values %d, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d delivered %d times", v, n)
+		}
+	}
+}
+
+func TestEnqueueHelping(t *testing.T) {
+	// Concurrent enqueuers must all complete even though only list
+	// order serializes them (turn-based helping).
+	const threads, per = 4, 5_000
+	q := New(threads + 1)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, _ := q.Register()
+			defer q.Unregister(h)
+			for i := 0; i < per; i++ {
+				q.Enqueue(h, uint64(w*per+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	h, _ := q.Register()
+	n := 0
+	for {
+		if _, ok := q.Dequeue(h); !ok {
+			break
+		}
+		n++
+	}
+	if n != threads*per {
+		t.Fatalf("drained %d of %d", n, threads*per)
+	}
+}

@@ -1,0 +1,58 @@
+// Package faa implements the paper's "FAA" pseudo-queue: Enqueue and
+// Dequeue are single fetch-and-add instructions on Tail and Head plus
+// one slot access. It is not a correct queue (values can be lost or
+// reordered under races) and is benchmarked only as the theoretical
+// throughput upper bound for F&A-based designs, exactly as in §6.
+package faa
+
+import (
+	"sync/atomic"
+
+	"wcqueue/internal/pad"
+)
+
+const (
+	ringOrder = 16
+	ringMask  = 1<<ringOrder - 1
+)
+
+// Queue is the F&A upper-bound pseudo-queue.
+type Queue struct {
+	tail  pad.Uint64
+	head  pad.Uint64
+	slots []atomic.Uint64
+}
+
+// New creates the pseudo-queue.
+func New() *Queue {
+	return &Queue{slots: make([]atomic.Uint64, 1<<ringOrder)}
+}
+
+// Register returns a shared no-op handle.
+func (q *Queue) Register() (any, error) { return 0, nil }
+
+// Unregister is a no-op.
+func (q *Queue) Unregister(any) {}
+
+// Name identifies the algorithm.
+func (q *Queue) Name() string { return "FAA" }
+
+// Footprint returns the static ring size.
+func (q *Queue) Footprint() int64 { return int64(len(q.slots)) * 8 }
+
+// Enqueue performs one F&A and one store. Always "succeeds".
+func (q *Queue) Enqueue(_ any, v uint64) bool {
+	t := q.tail.Add(1) - 1
+	q.slots[t&ringMask].Store(v)
+	return true
+}
+
+// Dequeue performs one F&A and one load. Emptiness is approximated by
+// comparing the counters, as in the paper's harness.
+func (q *Queue) Dequeue(_ any) (uint64, bool) {
+	if q.head.Load() >= q.tail.Load() {
+		return 0, false
+	}
+	h := q.head.Add(1) - 1
+	return q.slots[h&ringMask].Load(), true
+}

@@ -1,0 +1,35 @@
+package faa
+
+import "testing"
+
+func TestPseudoQueueCounters(t *testing.T) {
+	q := New()
+	h, _ := q.Register()
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("fresh pseudo-queue non-empty")
+	}
+	q.Enqueue(h, 42)
+	v, ok := q.Dequeue(h)
+	if !ok || v != 42 {
+		t.Fatalf("got (%d,%v)", v, ok)
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("counters out of sync after balanced ops")
+	}
+}
+
+func TestFootprintStatic(t *testing.T) {
+	q := New()
+	h, _ := q.Register()
+	before := q.Footprint()
+	for i := uint64(0); i < 100_000; i++ {
+		q.Enqueue(h, i)
+		q.Dequeue(h)
+	}
+	if q.Footprint() != before {
+		t.Fatal("pseudo-queue allocated")
+	}
+	if q.Name() != "FAA" {
+		t.Fatal("name")
+	}
+}

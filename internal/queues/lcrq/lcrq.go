@@ -1,0 +1,272 @@
+// Package lcrq implements LCRQ (Morrison & Afek, PPoPP '13): CRQ ring
+// buffers that use fetch-and-add on Head/Tail, linked into a Michael &
+// Scott list. CRQs are livelock-prone: when an enqueuer starves it
+// "closes" the ring and appends a fresh one to the list — the source
+// of LCRQ's high memory consumption in the paper's Fig. 10a.
+//
+// Platform substitution (DESIGN.md §5): the original CRQ updates a
+// {safe/idx, value} cell with CMPXCHG16B. Go has no 128-bit CAS, so a
+// cell here is a packed 64-bit status word {cycle, safe, full, ready}
+// plus a parallel value slot. An enqueuer first claims the cell by
+// CASing full@cycle, then publishes the value and sets ready with an
+// atomic OR; the matching dequeuer waits for ready before reading the
+// value. The claim CAS serializes competing enqueuers of different
+// cycles, and the ready bit closes the publish window (a cell is
+// briefly "claimed but unpublished"; the wait is bounded by one
+// scheduler quantum — a documented deviation from the fully
+// non-blocking CMPXCHG16B original). The structural behaviour — F&A
+// hot path, unsafe marking, ring closing, list growth — is unchanged.
+package lcrq
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"wcqueue/internal/memtrack"
+	"wcqueue/internal/pad"
+)
+
+// RingOrder sets the CRQ size to 2^RingOrder cells; the paper's
+// default ring is 2^12.
+const RingOrder = 12
+
+const (
+	ringSize = 1 << RingOrder
+	ringMask = ringSize - 1
+
+	// closedBit marks a closed ring in its tail word.
+	closedBit = uint64(1) << 63
+
+	// Cell status word: [cycle : 61][safe : 1][full : 1][ready : 1].
+	readyBit = uint64(1) << 0
+	fullBit  = uint64(1) << 1
+	safeBit  = uint64(1) << 2
+	cycShift = 3
+
+	// starvationLimit: failed claim attempts before an enqueuer
+	// closes the ring.
+	starvationLimit = ringSize
+)
+
+type cell struct {
+	status atomic.Uint64 // packed {cycle, safe, full}
+	val    atomic.Uint64
+}
+
+const ringBytes = ringSize*16 + 256
+
+// crq is one closed-able ring buffer.
+type crq struct {
+	head  pad.Uint64
+	tail  pad.Uint64 // counter | closedBit
+	next  atomic.Pointer[crq]
+	cells []cell
+}
+
+func newCRQ() *crq {
+	r := &crq{cells: make([]cell, ringSize)}
+	for i := range r.cells {
+		r.cells[i].status.Store(safeBit) // cycle 0, safe, empty
+	}
+	// Start at cycle 1 so initial cells (cycle 0) read as old.
+	r.head.Store(ringSize)
+	r.tail.Store(ringSize)
+	return r
+}
+
+func pack(cycle uint64, safe, full bool) uint64 {
+	w := cycle << cycShift
+	if safe {
+		w |= safeBit
+	}
+	if full {
+		w |= fullBit
+	}
+	return w
+}
+
+func cycleOf(counter uint64) uint64 { return counter >> RingOrder }
+
+// enqueue claims a cell for v; false means the ring is (now) closed.
+func (r *crq) enqueue(v uint64) bool {
+	fails := 0
+	for {
+		t := r.tail.Add(1) - 1
+		if t&closedBit != 0 {
+			return false
+		}
+		c := &r.cells[t&ringMask]
+		cyc := cycleOf(t)
+		s := c.status.Load()
+		if s&fullBit == 0 && s>>cycShift < cyc &&
+			(s&safeBit != 0 || r.head.Load() <= t) {
+			// Claim first (serializes competing enqueuers), then
+			// publish the value and mark it ready.
+			if c.status.CompareAndSwap(s, pack(cyc, true, true)) {
+				c.val.Store(v)
+				c.status.Or(readyBit)
+				return true
+			}
+		}
+		// Starvation or overfull ring: close it.
+		if t-r.head.Load() >= ringSize {
+			r.close()
+			return false
+		}
+		if fails++; fails >= starvationLimit {
+			r.close()
+			return false
+		}
+	}
+}
+
+func (r *crq) close() { r.tail.Or(closedBit) }
+
+func (r *crq) closed() bool { return r.tail.Load()&closedBit != 0 }
+
+// dequeue removes the oldest value; ok=false means empty (for this
+// ring).
+func (r *crq) dequeue() (uint64, bool) {
+	for {
+		h := r.head.Add(1) - 1
+		c := &r.cells[h&ringMask]
+		cyc := cycleOf(h)
+		for {
+			s := c.status.Load()
+			scyc := s >> cycShift
+			if s&fullBit != 0 && scyc == cyc {
+				if s&readyBit == 0 {
+					// Claimed but not yet published; the claimer is
+					// one store away.
+					runtime.Gosched()
+					continue
+				}
+				// Consume: read the value, then mark the cell empty at
+				// this cycle.
+				v := c.val.Load()
+				if !c.status.CompareAndSwap(s, pack(cyc, s&safeBit != 0, false)) {
+					continue
+				}
+				return v, true
+			}
+			if scyc >= cyc {
+				break // future cycle: our turn is long gone
+			}
+			// Invalidate the cell for our cycle so a late enqueuer
+			// cannot use it.
+			var n uint64
+			if s&fullBit != 0 {
+				// Unread old value: mark unsafe, preserving ready so
+				// its in-flight dequeuer can still consume it.
+				n = pack(scyc, false, true) | s&readyBit
+			} else {
+				n = pack(cyc, s&safeBit != 0, false)
+			}
+			if c.status.CompareAndSwap(s, n) {
+				break
+			}
+		}
+		// Empty detection.
+		t := r.tail.Load() &^ closedBit
+		if t <= h+1 {
+			r.fixState(h + 1)
+			return 0, false
+		}
+	}
+}
+
+// fixState advances tail up to head after dequeuers overran it.
+func (r *crq) fixState(head uint64) {
+	for {
+		t := r.tail.Load()
+		if t&closedBit != 0 || (t&^closedBit) >= head {
+			return
+		}
+		if r.tail.CompareAndSwap(t, head) {
+			return
+		}
+	}
+}
+
+// Queue is the full LCRQ: a Michael & Scott list of CRQs.
+type Queue struct {
+	_     pad.DoublePad
+	first atomic.Pointer[crq]
+	_     pad.DoublePad
+	last  atomic.Pointer[crq]
+	_     pad.DoublePad
+	mem   memtrack.Counter
+}
+
+// New creates an LCRQ.
+func New() *Queue {
+	q := &Queue{}
+	r := newCRQ()
+	q.mem.Alloc(ringBytes)
+	q.first.Store(r)
+	q.last.Store(r)
+	return q
+}
+
+// Register returns a shared no-op handle (LCRQ needs no per-thread
+// state beyond reclamation, which Go's GC provides).
+func (q *Queue) Register() (any, error) { return 0, nil }
+
+// Unregister is a no-op.
+func (q *Queue) Unregister(any) {}
+
+// Name identifies the algorithm.
+func (q *Queue) Name() string { return "LCRQ" }
+
+// Footprint returns live queue-owned bytes: every ring still linked,
+// including closed rings awaiting drain — the paper's memory-growth
+// signal.
+func (q *Queue) Footprint() int64 { return q.mem.Live() }
+
+// Enqueue appends v. Always succeeds (unbounded).
+func (q *Queue) Enqueue(_ any, v uint64) bool {
+	for {
+		r := q.last.Load()
+		if n := r.next.Load(); n != nil {
+			q.last.CompareAndSwap(r, n) // help advance
+			continue
+		}
+		if r.enqueue(v) {
+			return true
+		}
+		// Ring closed: append a fresh ring holding v.
+		nr := newCRQ()
+		if !nr.enqueue(v) {
+			panic("lcrq: enqueue on fresh ring failed")
+		}
+		if r.next.CompareAndSwap(nil, nr) {
+			q.mem.Alloc(ringBytes)
+			q.last.CompareAndSwap(r, nr)
+			return true
+		}
+		// Someone else appended; retry into their ring.
+	}
+}
+
+// Dequeue removes the oldest value.
+func (q *Queue) Dequeue(_ any) (uint64, bool) {
+	for {
+		r := q.first.Load()
+		if v, ok := r.dequeue(); ok {
+			return v, true
+		}
+		// Ring drained. If nothing follows, the queue is empty.
+		if r.next.Load() == nil {
+			return 0, false
+		}
+		// A successor exists: the drained ring is permanently empty
+		// only if it is closed or still empty on a re-check.
+		if v, ok := r.dequeue(); ok {
+			return v, true
+		}
+		next := r.next.Load()
+		if q.first.CompareAndSwap(r, next) {
+			q.mem.Free(ringBytes) // unlinked ring is reclaimed by GC
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package lcrq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New()
+	h, _ := q.Register()
+	for i := uint64(0); i < 1000; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestCRQCellCycleAcrossWrap(t *testing.T) {
+	q := New()
+	h, _ := q.Register()
+	// More values than one ring holds, interleaved, forces cycle reuse
+	// within the first CRQ without closing it.
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < ringSize/2; i++ {
+			q.Enqueue(h, i)
+		}
+		for i := uint64(0); i < ringSize/2; i++ {
+			v, ok := q.Dequeue(h)
+			if !ok || v != i {
+				t.Fatalf("round %d pos %d: got (%d,%v)", round, i, v, ok)
+			}
+		}
+	}
+	if q.Footprint() != ringBytes {
+		t.Fatalf("uncontended wrap grew the ring list: %d", q.Footprint())
+	}
+}
+
+func TestClosedRingAppendsSuccessor(t *testing.T) {
+	q := New()
+	h, _ := q.Register()
+	q.Enqueue(h, 1)
+	// Force-close the head ring (what starvation would do), then
+	// enqueue: the value must land in a fresh ring and FIFO must hold.
+	q.first.Load().close()
+	q.Enqueue(h, 2)
+	if q.Footprint() <= ringBytes {
+		t.Fatal("no successor ring appended after close")
+	}
+	for want := uint64(1); want <= 2; want++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != want {
+			t.Fatalf("got (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	// Draining past the closed ring unlinks it.
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("queue not empty")
+	}
+	if q.Footprint() > ringBytes {
+		t.Fatalf("closed ring not unlinked: %d", q.Footprint())
+	}
+}
+
+func TestTailClosedBitSurvivesFAA(t *testing.T) {
+	r := newCRQ()
+	r.close()
+	if !r.closed() {
+		t.Fatal("close did not stick")
+	}
+	if ok := r.enqueue(1); ok {
+		t.Fatal("enqueue on closed ring succeeded")
+	}
+	if !r.closed() {
+		t.Fatal("failed enqueue cleared the closed bit")
+	}
+}
+
+func TestFixStateAdvancesTail(t *testing.T) {
+	r := newCRQ()
+	// Dequeues on an empty ring overrun tail; fixState must bring tail
+	// up so head/tail stay consistent.
+	for i := 0; i < 100; i++ {
+		if _, ok := r.dequeue(); ok {
+			t.Fatal("empty ring yielded a value")
+		}
+	}
+	if r.enqueue(7) != true {
+		t.Fatal("enqueue after overrun failed")
+	}
+	v, ok := r.dequeue()
+	if !ok || v != 7 {
+		t.Fatalf("got (%d,%v)", v, ok)
+	}
+}
+
+func TestConcurrentMPMCSmall(t *testing.T) {
+	q := New()
+	const producers, per = 4, 10_000
+	var wg, cg sync.WaitGroup
+	var mu sync.Mutex
+	counts := make(map[uint64]int)
+	done := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			h, _ := q.Register()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := q.Dequeue(h); ok {
+					mu.Lock()
+					counts[v]++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h, _ := q.Register()
+			for i := 0; i < per; i++ {
+				q.Enqueue(h, uint64(p*per+i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait() // join consumers before draining the remainder
+	h, _ := q.Register()
+	for {
+		v, ok := q.Dequeue(h)
+		if !ok {
+			break
+		}
+		mu.Lock()
+		counts[v]++
+		mu.Unlock()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(counts) != producers*per {
+		t.Fatalf("distinct values %d, want %d", len(counts), producers*per)
+	}
+	for v, n := range counts {
+		if n != 1 {
+			t.Fatalf("value %d delivered %d times", v, n)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package msq implements the Michael & Scott lock-free FIFO queue
+// (PODC '96), the classic list-based baseline of the paper's
+// evaluation: correct and portable, but slow under contention because
+// Head and Tail advance through CAS loops.
+//
+// Nodes are recycled through a hazard-pointer-guarded pool, mirroring
+// the paper's harness (which runs MSQueue under hazard pointers), so
+// the queue's footprint stays proportional to its content rather than
+// to the operation count.
+package msq
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"wcqueue/internal/hazard"
+	"wcqueue/internal/memtrack"
+	"wcqueue/internal/pad"
+)
+
+type node struct {
+	val  uint64
+	next atomic.Pointer[node]
+}
+
+const nodeBytes = 24
+
+// Queue is an unbounded Michael & Scott queue for up to a fixed number
+// of registered threads (the hazard domain is per-thread).
+type Queue struct {
+	_    pad.DoublePad
+	head atomic.Pointer[node]
+	_    pad.DoublePad
+	tail atomic.Pointer[node]
+	_    pad.DoublePad
+
+	dom   *hazard.Domain
+	pools []pool // per-thread free lists fed by hazard reclamation
+	reg   registry
+	mem   memtrack.Counter
+}
+
+type pool struct {
+	_    pad.DoublePad
+	free []*node
+	_    pad.DoublePad
+}
+
+// registry hands out thread ids; shared by the baseline queues.
+type registry struct {
+	mu   chan struct{} // 1-buffered channel as a mutex (keeps struct copyable checks simple)
+	free []int
+}
+
+func newRegistry(n int) registry {
+	r := registry{mu: make(chan struct{}, 1), free: make([]int, 0, n)}
+	for i := n - 1; i >= 0; i-- {
+		r.free = append(r.free, i)
+	}
+	return r
+}
+
+func (r *registry) get() (int, error) {
+	r.mu <- struct{}{}
+	defer func() { <-r.mu }()
+	if len(r.free) == 0 {
+		return 0, fmt.Errorf("queue: all thread slots registered")
+	}
+	tid := r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	return tid, nil
+}
+
+func (r *registry) put(tid int) {
+	r.mu <- struct{}{}
+	defer func() { <-r.mu }()
+	r.free = append(r.free, tid)
+}
+
+// New creates a queue for up to numThreads registered threads.
+func New(numThreads int) *Queue {
+	q := &Queue{
+		dom:   hazard.NewDomain(numThreads),
+		pools: make([]pool, numThreads),
+		reg:   newRegistry(numThreads),
+	}
+	dummy := &node{}
+	q.mem.Alloc(nodeBytes)
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Register claims a thread id.
+func (q *Queue) Register() (any, error) { return q.reg.get() }
+
+// Unregister releases a thread id.
+func (q *Queue) Unregister(h any) { q.reg.put(h.(int)) }
+
+// Name identifies the algorithm.
+func (q *Queue) Name() string { return "MSQueue" }
+
+// Footprint returns live queue-owned bytes (nodes in the list plus
+// pooled and retired nodes awaiting reuse).
+func (q *Queue) Footprint() int64 { return q.mem.Live() }
+
+func (q *Queue) allocNode(tid int, v uint64) *node {
+	p := &q.pools[tid]
+	if n := len(p.free); n > 0 {
+		nd := p.free[n-1]
+		p.free = p.free[:n-1]
+		nd.val = v
+		nd.next.Store(nil)
+		return nd
+	}
+	q.mem.Alloc(nodeBytes)
+	return &node{val: v}
+}
+
+func (q *Queue) retireNode(tid int, nd *node) {
+	q.dom.Retire(tid, unsafe.Pointer(nd), func(p unsafe.Pointer) {
+		// Reclaimed: return to the pool for reuse.
+		q.pools[tid].free = append(q.pools[tid].free, (*node)(p))
+	})
+}
+
+// protectTail publishes a stable snapshot of Tail in hazard slot i.
+func (q *Queue) protectTail(tid, i int) *node {
+	for {
+		p := q.tail.Load()
+		q.dom.Protect(tid, i, unsafe.Pointer(p))
+		if q.tail.Load() == p {
+			return p
+		}
+	}
+}
+
+// protectHead publishes a stable snapshot of Head in hazard slot i.
+func (q *Queue) protectHead(tid, i int) *node {
+	for {
+		p := q.head.Load()
+		q.dom.Protect(tid, i, unsafe.Pointer(p))
+		if q.head.Load() == p {
+			return p
+		}
+	}
+}
+
+// Enqueue appends v. Always succeeds (unbounded).
+func (q *Queue) Enqueue(h any, v uint64) bool {
+	tid := h.(int)
+	nd := q.allocNode(tid, v)
+	for {
+		ltail := q.protectTail(tid, 0)
+		next := ltail.next.Load()
+		if ltail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(ltail, next) // help advance
+			continue
+		}
+		if ltail.next.CompareAndSwap(nil, nd) {
+			q.tail.CompareAndSwap(ltail, nd)
+			q.dom.ClearSlot(tid, 0)
+			return true
+		}
+	}
+}
+
+// Dequeue removes the oldest value.
+func (q *Queue) Dequeue(h any) (uint64, bool) {
+	tid := h.(int)
+	for {
+		lhead := q.protectHead(tid, 0)
+		ltail := q.tail.Load()
+		next := lhead.next.Load()
+		q.dom.Protect(tid, 1, unsafe.Pointer(next))
+		if lhead != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			q.dom.Clear(tid)
+			return 0, false // empty
+		}
+		if lhead == ltail {
+			q.tail.CompareAndSwap(ltail, next) // help advance
+			continue
+		}
+		v := next.val
+		if q.head.CompareAndSwap(lhead, next) {
+			q.retireNode(tid, lhead)
+			q.dom.Clear(tid)
+			return v, true
+		}
+	}
+}

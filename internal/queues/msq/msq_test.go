@@ -1,0 +1,102 @@
+package msq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New(2)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Unregister(h)
+	for i := uint64(0); i < 100; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("empty queue yielded a value")
+	}
+}
+
+func TestNodePoolingBoundsFootprint(t *testing.T) {
+	q := New(1)
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	// Warm: cycle enough nodes that the hazard domain's scan threshold
+	// triggers and the pool starts recycling.
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(h, uint64(i))
+		q.Dequeue(h)
+	}
+	warm := q.Footprint()
+	for i := 0; i < 100_000; i++ {
+		q.Enqueue(h, uint64(i))
+		q.Dequeue(h)
+	}
+	// A pooled queue's footprint is bounded by peak occupancy plus the
+	// hazard inventory, not by operation count.
+	if q.Footprint() > warm*4 {
+		t.Fatalf("footprint grew with op count: warm=%d now=%d", warm, q.Footprint())
+	}
+}
+
+func TestRegistryExhaustion(t *testing.T) {
+	q := New(1)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("over-registration accepted")
+	}
+	q.Unregister(h)
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSPSC(t *testing.T) {
+	q := New(2)
+	const n = 50_000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		h, _ := q.Register()
+		defer q.Unregister(h)
+		for i := uint64(0); i < n; i++ {
+			q.Enqueue(h, i)
+		}
+	}()
+	var got []uint64
+	go func() {
+		defer wg.Done()
+		h, _ := q.Register()
+		defer q.Unregister(h)
+		for uint64(len(got)) < n {
+			if v, ok := q.Dequeue(h); ok {
+				got = append(got, v)
+			}
+		}
+	}()
+	wg.Wait()
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("position %d: got %d", i, v)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(1).Name() != "MSQueue" {
+		t.Fatal("name")
+	}
+}

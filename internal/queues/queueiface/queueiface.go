@@ -1,0 +1,31 @@
+// Package queueiface defines the common interface the benchmark
+// harness and cross-queue tests use to drive every queue in the
+// repository uniformly.
+package queueiface
+
+// Handle is an opaque per-thread token. Queues that need per-thread
+// state (wCQ, YMC, CRTurn, CCQueue) return meaningful handles; the
+// others return a shared no-op handle. It is an alias so that methods
+// declared with `any` satisfy Queue directly.
+type Handle = any
+
+// Queue is the uniform MPMC queue interface. Values are uint64
+// payloads, matching the paper's benchmark (which transfers pointers /
+// small integers).
+type Queue interface {
+	// Register claims a per-thread handle. Each concurrent goroutine
+	// must use its own handle.
+	Register() (Handle, error)
+	// Unregister releases a handle.
+	Unregister(h Handle)
+	// Enqueue inserts v. Bounded queues return false when full;
+	// unbounded queues always return true.
+	Enqueue(h Handle, v uint64) bool
+	// Dequeue removes the oldest value, or returns ok=false if empty.
+	Dequeue(h Handle) (v uint64, ok bool)
+	// Footprint returns the live bytes of queue-owned memory
+	// (memtrack.Footprinter).
+	Footprint() int64
+	// Name identifies the algorithm in benchmark output.
+	Name() string
+}

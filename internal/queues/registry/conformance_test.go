@@ -1,0 +1,253 @@
+package registry
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wcqueue/internal/check"
+	"wcqueue/internal/queues/queueiface"
+)
+
+// conformanceNames are the real queues; FAA is excluded from semantic
+// tests (it is, by design, not a correct queue).
+var conformanceNames = []string{"wCQ", "SCQ", "LCRQ", "MSQueue", "YMC", "CRTurn", "CCQueue"}
+
+func build(t *testing.T, name string, threads int) queueiface.Queue {
+	t.Helper()
+	q, err := New(name, Config{Threads: threads, RingOrder: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestConformanceSequentialFIFO(t *testing.T) {
+	for _, name := range conformanceNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, 2)
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q.Unregister(h)
+			const n = 1000
+			for i := uint64(0); i < n; i++ {
+				if !q.Enqueue(h, i) {
+					t.Fatalf("enqueue %d failed", i)
+				}
+			}
+			for i := uint64(0); i < n; i++ {
+				v, ok := q.Dequeue(h)
+				if !ok || v != i {
+					t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+				}
+			}
+			if v, ok := q.Dequeue(h); ok {
+				t.Fatalf("empty queue yielded %d", v)
+			}
+		})
+	}
+}
+
+func TestConformanceEmptyFresh(t *testing.T) {
+	for _, name := range conformanceNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, 1)
+			h, _ := q.Register()
+			defer q.Unregister(h)
+			for i := 0; i < 100; i++ {
+				if v, ok := q.Dequeue(h); ok {
+					t.Fatalf("fresh queue yielded %d", v)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceInterleaved(t *testing.T) {
+	for _, name := range conformanceNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, 1)
+			h, _ := q.Register()
+			defer q.Unregister(h)
+			next, out := uint64(0), uint64(0)
+			for i := 0; i < 3000; i++ {
+				for j := 0; j < (i%5)+1; j++ {
+					if q.Enqueue(h, next) {
+						next++
+					}
+				}
+				for j := 0; j < (i%3)+1 && out < next; j++ {
+					v, ok := q.Dequeue(h)
+					if !ok {
+						t.Fatalf("iter %d: empty with %d outstanding", i, next-out)
+					}
+					if v != out {
+						t.Fatalf("iter %d: got %d want %d", i, v, out)
+					}
+					out++
+				}
+			}
+		})
+	}
+}
+
+// runConformanceMPMC is the shared concurrent checker run.
+func runConformanceMPMC(t *testing.T, q queueiface.Queue, producers, consumers int, perProducer uint64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	streams := make([][]uint64, consumers)
+	total := uint64(producers) * perProducer
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h queueiface.Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			budget := total / uint64(consumers)
+			if c == 0 {
+				budget += total % uint64(consumers)
+			}
+			local := make([]uint64, 0, budget)
+			for uint64(len(local)) < budget {
+				v, ok := q.Dequeue(h)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				consumed.Done()
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h queueiface.Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			for s := uint64(0); s < perProducer; s++ {
+				for !q.Enqueue(h, check.Encode(p, s)) {
+					runtime.Gosched()
+				}
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, perProducer).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConformanceMPMC(t *testing.T) {
+	per := uint64(10000)
+	if testing.Short() {
+		per = 1000
+	}
+	for _, name := range conformanceNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, 8)
+			runConformanceMPMC(t, q, 4, 4, per)
+		})
+	}
+}
+
+func TestConformanceMPMCManyThreads(t *testing.T) {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		t.Skip("needs 2+ procs")
+	}
+	per := uint64(3000)
+	if testing.Short() {
+		per = 300
+	}
+	for _, name := range conformanceNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, 2*n)
+			runConformanceMPMC(t, q, n, n, per)
+		})
+	}
+}
+
+func TestConformanceUnbalancedProducers(t *testing.T) {
+	per := uint64(8000)
+	if testing.Short() {
+		per = 800
+	}
+	for _, name := range conformanceNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, 8)
+			runConformanceMPMC(t, q, 6, 2, per)
+		})
+	}
+}
+
+func TestConformanceUnbalancedConsumers(t *testing.T) {
+	per := uint64(8000)
+	if testing.Short() {
+		per = 800
+	}
+	for _, name := range conformanceNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, 8)
+			runConformanceMPMC(t, q, 2, 6, per)
+		})
+	}
+}
+
+func TestConformanceLLSCVariants(t *testing.T) {
+	per := uint64(5000)
+	if testing.Short() {
+		per = 500
+	}
+	for _, name := range []string{"wCQ", "SCQ"} {
+		t.Run(name+"-LLSC", func(t *testing.T) {
+			q, err := New(name, Config{Threads: 8, RingOrder: 12, EmulatedFAA: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runConformanceMPMC(t, q, 4, 4, per)
+		})
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	if _, err := New("nope", Config{Threads: 1}); err == nil {
+		t.Fatal("unknown queue accepted")
+	}
+}
+
+func TestRegistryNamesComplete(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range Names() {
+		have[n] = true
+	}
+	for _, n := range PaperOrder {
+		if !have[n] {
+			t.Fatalf("paper legend queue %q missing from registry", n)
+		}
+	}
+}
+
+func TestFootprintReported(t *testing.T) {
+	for _, name := range append([]string{"FAA"}, conformanceNames...) {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, 2)
+			if q.Footprint() <= 0 {
+				t.Fatalf("%s reports footprint %d", name, q.Footprint())
+			}
+		})
+	}
+}

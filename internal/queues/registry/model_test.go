@@ -1,0 +1,91 @@
+package registry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// opSeq is a random operation sequence for model-based testing:
+// each byte's low bit selects enqueue/dequeue.
+type opSeq []byte
+
+// TestModelBasedSequential drives every queue against a reference
+// slice model with testing/quick-generated operation sequences. Any
+// divergence in values or emptiness is a correctness bug.
+func TestModelBasedSequential(t *testing.T) {
+	for _, name := range conformanceNames {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops opSeq) bool {
+				q := build(t, name, 1)
+				h, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer q.Unregister(h)
+				capacity := 1 << 30 // unbounded queues
+				if c, ok := q.(capHinter); ok {
+					capacity = c.capHint()
+				}
+				var model []uint64
+				next := uint64(1)
+				for _, op := range ops {
+					if op&1 == 0 {
+						if q.Enqueue(h, next) {
+							model = append(model, next)
+						} else if len(model) < capacity {
+							t.Logf("enqueue rejected below capacity (model=%d)", len(model))
+							return false
+						}
+						next++
+					} else {
+						v, ok := q.Dequeue(h)
+						if !ok {
+							if len(model) != 0 {
+								t.Logf("queue empty but model holds %d", len(model))
+								return false
+							}
+							continue
+						}
+						if len(model) == 0 {
+							t.Logf("queue yielded %d but model empty", v)
+							return false
+						}
+						if v != model[0] {
+							t.Logf("queue yielded %d, model expects %d", v, model[0])
+							return false
+						}
+						model = model[1:]
+					}
+				}
+				// Drain and compare the remainder.
+				for _, want := range model {
+					v, ok := q.Dequeue(h)
+					if !ok || v != want {
+						t.Logf("drain: got (%d,%v), want (%d,true)", v, ok, want)
+						return false
+					}
+				}
+				_, ok := q.Dequeue(h)
+				return !ok
+			}
+			cfg := &quick.Config{MaxCount: 50}
+			if testing.Short() {
+				cfg.MaxCount = 10
+			}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// capHint lets the model tolerate bounded queues rejecting enqueues at
+// capacity. queueiface has no capacity query; the conformance builds
+// use ring order 12 (4096), far above what quick generates, so any
+// rejection is a failure in practice.
+type capHinter interface{ capHint() int }
+
+// All registry queues are unbounded or have capacity 4096 in these
+// builds; expose a uniform hint via an adapter-free helper.
+func (a *wcqAdapter) capHint() int { return a.q.Cap() }
+func (a *scqAdapter) capHint() int { return a.q.Cap() }

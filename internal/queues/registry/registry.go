@@ -1,0 +1,135 @@
+// Package registry constructs every queue in the repository behind the
+// uniform queueiface.Queue interface, keyed by the names used in the
+// paper's figures. The benchmark harness, the conformance tests and
+// cmd/wcqbench all build queues through this package.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"wcqueue/internal/core"
+	"wcqueue/internal/queues/ccq"
+	"wcqueue/internal/queues/crturn"
+	"wcqueue/internal/queues/faa"
+	"wcqueue/internal/queues/lcrq"
+	"wcqueue/internal/queues/msq"
+	"wcqueue/internal/queues/queueiface"
+	"wcqueue/internal/queues/ymc"
+	"wcqueue/internal/scq"
+)
+
+// Config parameterizes queue construction.
+type Config struct {
+	// Threads is the maximum number of concurrently registered
+	// goroutines (per-thread records for wCQ/CCQueue/CRTurn/MSQueue).
+	Threads int
+	// RingOrder sets wCQ/SCQ capacity to 2^RingOrder (the paper's
+	// memory test uses 2^16). Zero selects 16.
+	RingOrder uint
+	// EmulatedFAA builds the wCQ/SCQ LL/SC variants (Fig. 12).
+	EmulatedFAA bool
+}
+
+func (c Config) ringOrder() uint {
+	if c.RingOrder == 0 {
+		return 16
+	}
+	return c.RingOrder
+}
+
+// Names lists every registered queue in the order the paper's legends
+// use.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PaperOrder is the legend order of the paper's figures.
+var PaperOrder = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue", "LCRQ"}
+
+// New builds the named queue.
+func New(name string, cfg Config) (queueiface.Queue, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown queue %q (have %v)", name, Names())
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	return b(cfg)
+}
+
+var builders = map[string]func(Config) (queueiface.Queue, error){
+	"wCQ": func(c Config) (queueiface.Queue, error) {
+		q, err := core.NewQueue[uint64](c.ringOrder(), c.Threads, core.Options{EmulatedFAA: c.EmulatedFAA})
+		if err != nil {
+			return nil, err
+		}
+		return &wcqAdapter{q: q, llsc: c.EmulatedFAA}, nil
+	},
+	"SCQ": func(c Config) (queueiface.Queue, error) {
+		var opts []scq.Option
+		if c.EmulatedFAA {
+			opts = append(opts, scq.WithEmulatedFAA())
+		}
+		q, err := scq.New[uint64](c.ringOrder(), opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &scqAdapter{q: q, llsc: c.EmulatedFAA}, nil
+	},
+	"LCRQ":    func(c Config) (queueiface.Queue, error) { return lcrq.New(), nil },
+	"MSQueue": func(c Config) (queueiface.Queue, error) { return msq.New(c.Threads), nil },
+	"YMC":     func(c Config) (queueiface.Queue, error) { return ymc.New(), nil },
+	"CRTurn":  func(c Config) (queueiface.Queue, error) { return crturn.New(c.Threads), nil },
+	"CCQueue": func(c Config) (queueiface.Queue, error) { return ccq.New(c.Threads), nil },
+	"FAA":     func(c Config) (queueiface.Queue, error) { return faa.New(), nil },
+}
+
+// wcqAdapter exposes core.Queue through queueiface.
+type wcqAdapter struct {
+	q    *core.Queue[uint64]
+	llsc bool
+}
+
+func (a *wcqAdapter) Register() (queueiface.Handle, error) { return a.q.Register() }
+func (a *wcqAdapter) Unregister(h queueiface.Handle)       { a.q.Unregister(h.(*core.Handle)) }
+func (a *wcqAdapter) Enqueue(h queueiface.Handle, v uint64) bool {
+	return a.q.Enqueue(h.(*core.Handle), v)
+}
+func (a *wcqAdapter) Dequeue(h queueiface.Handle) (uint64, bool) {
+	return a.q.Dequeue(h.(*core.Handle))
+}
+func (a *wcqAdapter) Footprint() int64 { return a.q.Footprint() }
+func (a *wcqAdapter) Name() string {
+	if a.llsc {
+		return "wCQ-LLSC"
+	}
+	return "wCQ"
+}
+
+// Stats exposes the wait-free slow-path counters (experiment A3).
+func (a *wcqAdapter) Stats() core.Stats { return a.q.Stats() }
+
+// scqAdapter exposes scq.Queue through queueiface.
+type scqAdapter struct {
+	q    *scq.Queue[uint64]
+	llsc bool
+}
+
+func (a *scqAdapter) Register() (queueiface.Handle, error)       { return 0, nil }
+func (a *scqAdapter) Unregister(queueiface.Handle)               {}
+func (a *scqAdapter) Enqueue(_ queueiface.Handle, v uint64) bool { return a.q.Enqueue(v) }
+func (a *scqAdapter) Dequeue(queueiface.Handle) (uint64, bool)   { return a.q.Dequeue() }
+func (a *scqAdapter) Footprint() int64                           { return a.q.Footprint() }
+func (a *scqAdapter) Name() string {
+	if a.llsc {
+		return "SCQ-LLSC"
+	}
+	return "SCQ"
+}

@@ -1,0 +1,219 @@
+// Package ymc implements a Yang & Mellor-Crummey-style wait-free
+// queue (PPoPP '16) as an evaluation baseline: the "infinite array"
+// queue realized as a linked list of fixed-size segments, with
+// fetch-and-add on Head and Tail and cells settled by CAS.
+//
+// Faithfulness notes (DESIGN.md §2.7): the original's
+// enqueue/dequeue-request helping and its custom segment reclamation —
+// the component the wCQ paper shows to be flawed (it blocks when
+// memory is exhausted, forfeiting wait-freedom) — are simplified here.
+// Dequeuers invalidate cells they pass (so stranded values are
+// impossible) and segments are reclaimed by advancing a first-segment
+// pointer, with Go's GC standing in for the unsound manual free. What
+// the evaluation needs from YMC is preserved: an F&A hot path whose
+// throughput sits between MSQueue and LCRQ, segment allocation that
+// grows with dequeuer overshoot (the Fig. 10a memory trend), and poor
+// empty-queue dequeue behaviour (Fig. 11a/12a).
+package ymc
+
+import (
+	"sync/atomic"
+
+	"wcqueue/internal/memtrack"
+	"wcqueue/internal/pad"
+)
+
+// SegOrder sets the segment size to 2^SegOrder cells (the original
+// uses 2^10).
+const SegOrder = 10
+
+const (
+	segSize = 1 << SegOrder
+	segMask = segSize - 1
+)
+
+// Cell states.
+const (
+	cellEmpty uint64 = iota
+	cellFull         // value published, ready to consume
+	cellTaken        // invalidated by a passing dequeuer
+	cellDone         // consumed
+)
+
+type cell struct {
+	status atomic.Uint64
+	val    atomic.Uint64
+}
+
+type segment struct {
+	id    uint64
+	next  atomic.Pointer[segment]
+	cells [segSize]cell
+}
+
+const segBytes = segSize*16 + 64
+
+// Queue is the segmented F&A queue.
+type Queue struct {
+	tail pad.Uint64 // enqueue counter
+	head pad.Uint64 // dequeue counter
+
+	_     pad.DoublePad
+	first atomic.Pointer[segment] // reclamation frontier
+	_     pad.DoublePad
+
+	mem memtrack.Counter
+}
+
+// Handle carries a thread's private segment pointers (the original's
+// per-thread Ep/Dp). A thread's cell ids are monotone, so its hints
+// never overshoot its next target — unlike a shared hint, which could
+// be advanced past a slow dequeuer's segment by faster peers.
+type Handle struct {
+	tseg *segment
+	hseg *segment
+}
+
+// New creates a YMC-style queue.
+func New() *Queue {
+	q := &Queue{}
+	s := &segment{}
+	q.mem.Alloc(segBytes)
+	q.first.Store(s)
+	return q
+}
+
+// Register returns a handle with private segment hints.
+func (q *Queue) Register() (any, error) {
+	s := q.first.Load()
+	return &Handle{tseg: s, hseg: s}, nil
+}
+
+// Unregister is a no-op (handles are garbage collected).
+func (q *Queue) Unregister(any) {}
+
+// Name identifies the algorithm.
+func (q *Queue) Name() string { return "YMC" }
+
+// Footprint returns live queue-owned bytes (segments between the
+// reclamation frontier and the newest segment).
+func (q *Queue) Footprint() int64 { return q.mem.Live() }
+
+// findCell walks (and extends) the segment list from the caller's
+// private hint to the cell of global index id, and returns the updated
+// hint. The hint's id never exceeds id's segment (per-thread ids are
+// monotone).
+func (q *Queue) findCell(seg *segment, id uint64) (*cell, *segment) {
+	target := id >> SegOrder
+	if seg.id > target {
+		// Only reachable for a freshly registered enqueuer whose tail
+		// counter lags the reclamation frontier (possible after heavy
+		// empty-dequeue overshoot). Every cell that far back is
+		// settled, so report "no cell": the caller retries with a
+		// fresh counter.
+		return nil, seg
+	}
+	for seg.id < target {
+		next := seg.next.Load()
+		if next == nil {
+			ns := &segment{id: seg.id + 1}
+			if seg.next.CompareAndSwap(nil, ns) {
+				q.mem.Alloc(segBytes)
+				next = ns
+			} else {
+				next = seg.next.Load()
+			}
+		}
+		seg = next
+	}
+	return &seg.cells[id&segMask], seg
+}
+
+// advanceFirst moves the reclamation frontier up to segment id minSeg,
+// releasing everything behind it.
+func (q *Queue) advanceFirst(minSeg uint64) {
+	for {
+		f := q.first.Load()
+		if f.id >= minSeg {
+			return
+		}
+		next := f.next.Load()
+		if next == nil {
+			return
+		}
+		if q.first.CompareAndSwap(f, next) {
+			q.mem.Free(segBytes)
+		}
+	}
+}
+
+// Enqueue publishes v at the next tail cell; cells invalidated by
+// overshooting dequeuers are skipped.
+func (q *Queue) Enqueue(h any, v uint64) bool {
+	hd := h.(*Handle)
+	for {
+		t := q.tail.Add(1) - 1
+		var c *cell
+		c, hd.tseg = q.findCell(hd.tseg, t)
+		if c == nil {
+			continue // counter below the reclamation frontier
+		}
+		c.val.Store(v) // sole writer: t is drawn exactly once
+		if c.status.CompareAndSwap(cellEmpty, cellFull) {
+			return true
+		}
+		// cellTaken: a dequeuer passed this cell; try the next.
+	}
+}
+
+// Dequeue removes the oldest value.
+func (q *Queue) Dequeue(hh any) (uint64, bool) {
+	hd := hh.(*Handle)
+	for {
+		h := q.head.Add(1) - 1
+		var c *cell
+		c, hd.hseg = q.findCell(hd.hseg, h)
+		for {
+			s := c.status.Load()
+			if s == cellFull {
+				v := c.val.Load()
+				c.status.Store(cellDone)
+				q.maybeReclaim(h)
+				return v, true
+			}
+			if s == cellEmpty {
+				if !c.status.CompareAndSwap(cellEmpty, cellTaken) {
+					continue // the enqueuer won; consume it
+				}
+			}
+			break // cell settled as taken (by us or a peer dequeuer)
+		}
+		if q.tail.Load() <= h+1 {
+			// Empty. Help the tail counter catch up with the head
+			// overshoot (the original's help_enq advances Ei the same
+			// way) so future enqueuers do not crawl through a long run
+			// of invalidated cells.
+			q.catchUpTail(h + 1)
+			return 0, false
+		}
+	}
+}
+
+// catchUpTail advances the tail counter to at least target.
+func (q *Queue) catchUpTail(target uint64) {
+	for {
+		t := q.tail.Load()
+		if t >= target || q.tail.CompareAndSwap(t, target) {
+			return
+		}
+	}
+}
+
+// maybeReclaim advances the reclamation frontier at segment
+// boundaries. The head counter is the slowest consumer-side frontier:
+// every cell below it is settled.
+func (q *Queue) maybeReclaim(h uint64) {
+	if h&segMask == segMask { // last cell of a segment consumed
+		q.advanceFirst(h >> SegOrder)
+	}
+}

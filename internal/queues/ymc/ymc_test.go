@@ -1,0 +1,110 @@
+package ymc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New()
+	h, _ := q.Register()
+	for i := uint64(0); i < 1000; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestSegmentsAllocatedOnDemand(t *testing.T) {
+	q := New()
+	h, _ := q.Register()
+	base := q.Footprint()
+	for i := uint64(0); i < 3*segSize; i++ {
+		q.Enqueue(h, i)
+	}
+	if q.Footprint() <= base {
+		t.Fatal("no segments allocated across boundaries")
+	}
+}
+
+func TestSegmentsReclaimedBehindHead(t *testing.T) {
+	q := New()
+	h, _ := q.Register()
+	for i := uint64(0); i < 4*segSize; i++ {
+		q.Enqueue(h, i)
+	}
+	grown := q.Footprint()
+	for i := uint64(0); i < 4*segSize; i++ {
+		if _, ok := q.Dequeue(h); !ok {
+			t.Fatalf("empty at %d", i)
+		}
+	}
+	if q.Footprint() >= grown {
+		t.Fatalf("frontier did not reclaim: grown=%d now=%d", grown, q.Footprint())
+	}
+}
+
+func TestEmptyDequeueOvershootRecovers(t *testing.T) {
+	q := New()
+	h, _ := q.Register()
+	// Burn head counters on an empty queue (the Fig. 11a weakness),
+	// then verify enqueue/dequeue still works: the tail catch-up and
+	// cell invalidation must cooperate.
+	for i := 0; i < 2*segSize; i++ {
+		if _, ok := q.Dequeue(h); ok {
+			t.Fatal("empty queue yielded a value")
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("post-overshoot dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestFreshHandleAfterOvershoot(t *testing.T) {
+	q := New()
+	h1, _ := q.Register()
+	for i := 0; i < 3*segSize; i++ {
+		q.Dequeue(h1)
+	}
+	// A handle registered after heavy overshoot starts at the current
+	// frontier; its enqueues must still succeed (the findCell nil
+	// path).
+	h2, _ := q.Register()
+	q.Enqueue(h2, 42)
+	v, ok := q.Dequeue(h2)
+	if !ok || v != 42 {
+		t.Fatalf("got (%d,%v)", v, ok)
+	}
+}
+
+func TestConcurrentPairs(t *testing.T) {
+	q := New()
+	const workers, per = 4, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, _ := q.Register()
+			for i := 0; i < per; i++ {
+				q.Enqueue(h, uint64(w))
+				if _, ok := q.Dequeue(h); !ok {
+					// Possible transiently: another worker consumed
+					// ours before we consumed anything.
+					continue
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,74 @@
+package scq
+
+import (
+	"fmt"
+)
+
+// Queue is a bounded lock-free MPMC queue of values of type T, built
+// from two Rings by indirection (Figure 2 of the paper): fq holds free
+// indices, aq holds allocated ones, and values live in a flat array.
+//
+// A Queue of order k holds up to n = 2^k values.
+type Queue[T any] struct {
+	aq   *Ring
+	fq   *Ring
+	data []T
+}
+
+// New creates a bounded queue with capacity 2^order values.
+func New[T any](order uint, opts ...Option) (*Queue[T], error) {
+	aq, err := NewRing(order, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("scq: allocating aq: %w", err)
+	}
+	fq, err := NewRing(order, append(opts, WithFull())...)
+	if err != nil {
+		return nil, fmt.Errorf("scq: allocating fq: %w", err)
+	}
+	return &Queue[T]{aq: aq, fq: fq, data: make([]T, 1<<order)}, nil
+}
+
+// Must is New that panics on error.
+func Must[T any](order uint, opts ...Option) *Queue[T] {
+	q, err := New[T](order, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Cap returns the queue capacity n.
+func (q *Queue[T]) Cap() int { return len(q.data) }
+
+// Enqueue inserts v. It returns false if the queue is full.
+func (q *Queue[T]) Enqueue(v T) bool {
+	index, ok := q.fq.Dequeue()
+	if !ok {
+		return false // no free index: full
+	}
+	q.data[index] = v
+	q.aq.Enqueue(index)
+	return true
+}
+
+// Dequeue removes the oldest value. It returns ok=false if the queue
+// is empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	index, ok := q.aq.Dequeue()
+	if !ok {
+		return v, false
+	}
+	v = q.data[index]
+	var zero T
+	q.data[index] = zero // release references for GC hygiene
+	q.fq.Enqueue(index)
+	return v, true
+}
+
+// Footprint returns the live bytes owned by the queue. Constant: SCQ
+// allocates only at construction.
+func (q *Queue[T]) Footprint() int64 {
+	var t T
+	_ = t
+	return q.aq.Footprint() + q.fq.Footprint() + int64(len(q.data))*8
+}

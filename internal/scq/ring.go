@@ -1,0 +1,351 @@
+// Package scq implements SCQ, the Scalable Circular Queue of
+// Nikolaev (DISC '19), exactly as presented in Figure 3 of the wCQ
+// paper. SCQ is both a baseline in the paper's evaluation and the
+// substrate of wCQ: wCQ's fast path is SCQ's algorithm.
+//
+// The central type is Ring, a lock-free bounded MPMC queue of small
+// integer indices in [0, n). Value-carrying queues are built from two
+// rings by indirection (Figure 2): a "free queue" of unused indices
+// and an "allocated queue" of filled ones, with values stored in a
+// plain array referenced by index.
+//
+// A Ring of order k has n = 2^k usable slots but 2n physical entries;
+// the capacity doubling plus the 3n−1 threshold is what makes the ring
+// lock-free without livelocks (see §2 of the paper).
+package scq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wcqueue/internal/bitops"
+	"wcqueue/internal/pad"
+)
+
+// RemapFunc is a bijective permutation of ring positions, used to
+// spread adjacent logical slots across cache lines.
+type RemapFunc func(pos uint64, ringOrder uint) uint64
+
+// Ring is a lock-free bounded MPMC queue of indices in [0, n).
+//
+// Invariant (from the indirection construction): at most n indices are
+// live in the ring at any time, so Enqueue never observes a full ring
+// and always succeeds. Using a Ring directly with more than n live
+// entries is a caller bug.
+type Ring struct {
+	order     uint   // k: n = 1<<k usable entries
+	ringOrder uint   // k+1: 2n physical entries
+	posMask   uint64 // 2n-1
+	idxBits   uint   // k+1: bit-width of the index field
+	idxMask   uint64 // (1<<idxBits)-1
+	safeBit   uint64 // IsSafe flag bit, just above the index field
+	cycShift  uint   // idxBits+1: cycle field starts here
+	bottom    uint64 // ⊥  = 2n-2: slot empty, not yet visited this cycle
+	bottomC   uint64 // ⊥c = 2n-1: slot consumed (all index bits set)
+	thresh3n  int64  // 3n-1
+	remap     RemapFunc
+	emulFAA   bool
+
+	threshold pad.Int64
+	tail      pad.Uint64
+	head      pad.Uint64
+
+	entries []atomic.Uint64
+}
+
+// Option configures a Ring.
+type Option func(*config)
+
+type config struct {
+	remap   RemapFunc
+	full    bool
+	emulFAA bool
+}
+
+// WithEmulatedFAA replaces hardware F&A and atomic OR with CAS loops,
+// modeling LL/SC architectures (PowerPC/MIPS). Used by the Fig. 12
+// experiment series.
+func WithEmulatedFAA() Option { return func(c *config) { c.emulFAA = true } }
+
+// WithRemap overrides the Cache_Remap permutation. Used by the remap
+// ablation (experiment A4).
+func WithRemap(f RemapFunc) Option { return func(c *config) { c.remap = f } }
+
+// WithFull initializes the ring holding indices 0..n-1, the state the
+// "free queue" of the indirection construction starts in.
+func WithFull() Option { return func(c *config) { c.full = true } }
+
+// maxCatchup bounds the catchup loop. In SCQ catchup is purely a
+// contention optimization (§3.2 "Bounding catchup"), so bounding it is
+// safe and is required for wCQ's wait-freedom.
+const maxCatchup = 8
+
+// NewRing creates a Ring of order k (n = 2^k usable entries, 2^(k+1)
+// physical). Orders outside [1, 31] are rejected: the packed entry
+// word must fit cycle+IsSafe+index in 64 bits with a useful cycle
+// range.
+func NewRing(order uint, opts ...Option) (*Ring, error) {
+	if order < 1 || order > 31 {
+		return nil, fmt.Errorf("scq: ring order %d out of range [1, 31]", order)
+	}
+	cfg := config{remap: bitops.Remap}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := &Ring{
+		order:     order,
+		ringOrder: order + 1,
+		posMask:   1<<(order+1) - 1,
+		idxBits:   order + 1,
+		idxMask:   1<<(order+1) - 1,
+		safeBit:   1 << (order + 1),
+		cycShift:  order + 2,
+		bottom:    1<<(order+1) - 2,
+		bottomC:   1<<(order+1) - 1,
+		thresh3n:  3*int64(1<<order) - 1,
+		remap:     cfg.remap,
+		emulFAA:   cfg.emulFAA,
+	}
+	r.entries = make([]atomic.Uint64, 1<<r.ringOrder)
+	if cfg.full {
+		r.initFull()
+	} else {
+		r.initEmpty()
+	}
+	return r, nil
+}
+
+// MustRing is NewRing that panics on error, for tests and internal
+// construction with known-good parameters.
+func MustRing(order uint, opts ...Option) *Ring {
+	r, err := NewRing(order, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// N returns the usable capacity n.
+func (r *Ring) N() uint64 { return 1 << r.order }
+
+// Order returns the ring order k.
+func (r *Ring) Order() uint { return r.order }
+
+// Footprint returns the live bytes of ring-owned memory. Constant for
+// the ring's lifetime: SCQ never allocates after construction.
+func (r *Ring) Footprint() int64 { return int64(len(r.entries)) * 8 }
+
+// pack builds an entry word. IsSafe occupies the bit just above the
+// index field; the cycle takes the remaining high bits.
+func (r *Ring) pack(cycle uint64, safe bool, index uint64) uint64 {
+	w := cycle<<r.cycShift | index
+	if safe {
+		w |= r.safeBit
+	}
+	return w
+}
+
+func (r *Ring) entCycle(e uint64) uint64 { return e >> r.cycShift }
+func (r *Ring) entIndex(e uint64) uint64 { return e & r.idxMask }
+func (r *Ring) entSafe(e uint64) bool    { return e&r.safeBit != 0 }
+
+// cycleOf maps a Head/Tail counter to its cycle number.
+func (r *Ring) cycleOf(counter uint64) uint64 { return counter >> r.ringOrder }
+
+// initEmpty resets to the canonical empty state: Tail = Head = 2n
+// (cycle 1), every entry {Cycle: 0, IsSafe: 1, Index: ⊥},
+// Threshold = −1.
+func (r *Ring) initEmpty() {
+	for i := range r.entries {
+		r.entries[i].Store(r.pack(0, true, r.bottom))
+	}
+	twoN := uint64(1) << r.ringOrder
+	r.head.Store(twoN)
+	r.tail.Store(twoN)
+	r.threshold.Store(-1)
+}
+
+// initFull initializes the ring holding indices 0..n-1: positions
+// [0, n) of cycle 1 hold their own position as the index, Head points
+// at position 0 of cycle 1 and Tail at position n of cycle 1.
+func (r *Ring) initFull() {
+	n := uint64(1) << r.order
+	twoN := n * 2
+	for p := uint64(0); p < n; p++ {
+		j := r.remap(p, r.ringOrder)
+		r.entries[j].Store(r.pack(1, true, p))
+	}
+	for p := n; p < twoN; p++ {
+		j := r.remap(p, r.ringOrder)
+		r.entries[j].Store(r.pack(0, true, r.bottom))
+	}
+	r.head.Store(twoN)
+	r.tail.Store(twoN + n)
+	r.threshold.Store(r.thresh3n)
+}
+
+// faa fetch-and-increments a counter, via hardware F&A or — under
+// WithEmulatedFAA — the CAS loop an LL/SC machine effectively runs.
+func (r *Ring) faa(w *pad.Uint64) uint64 {
+	if r.emulFAA {
+		for {
+			v := w.Load()
+			if w.CompareAndSwap(v, v+1) {
+				return v
+			}
+		}
+	}
+	return w.Add(1) - 1
+}
+
+// orEntry atomically ORs mask into entry j.
+func (r *Ring) orEntry(j uint64, mask uint64) {
+	if r.emulFAA {
+		for {
+			e := r.entries[j].Load()
+			if e&mask == mask || r.entries[j].CompareAndSwap(e, e|mask) {
+				return
+			}
+		}
+	}
+	r.entries[j].Or(mask)
+}
+
+// TryEnq is one fast-path enqueue attempt (Figure 3, try_enq). It
+// executes exactly one F&A on Tail. On success it returns (0, true);
+// on failure it returns the tail counter that was tried, so wCQ's slow
+// path can start from it.
+func (r *Ring) TryEnq(index uint64) (tried uint64, ok bool) {
+	t := r.faa(&r.tail)
+	j := r.remap(t&r.posMask, r.ringOrder)
+	tcyc := r.cycleOf(t)
+	for {
+		e := r.entries[j].Load()
+		idx := r.entIndex(e)
+		if r.entCycle(e) < tcyc &&
+			(r.entSafe(e) || r.head.Load() <= t) &&
+			(idx == r.bottom || idx == r.bottomC) {
+			if !r.entries[j].CompareAndSwap(e, r.pack(tcyc, true, index)) {
+				continue // entry changed; re-evaluate (goto 21)
+			}
+			if r.threshold.Load() != r.thresh3n {
+				r.threshold.Store(r.thresh3n)
+			}
+			return 0, true
+		}
+		return t, false
+	}
+}
+
+// Enqueue inserts index, retrying F&A until a slot accepts it. Under
+// the ≤ n live indices invariant this loop is lock-free and, in the
+// absence of concurrent dequeuers racing the same slots, short.
+func (r *Ring) Enqueue(index uint64) {
+	for {
+		if _, ok := r.TryEnq(index); ok {
+			return
+		}
+	}
+}
+
+// DeqStatus is the outcome of one TryDeq attempt.
+type DeqStatus int
+
+// TryDeq outcomes.
+const (
+	DeqOK    DeqStatus = iota // index dequeued
+	DeqEmpty                  // queue observed empty
+	DeqRetry                  // lost a race; caller should retry
+)
+
+// TryDeq is one fast-path dequeue attempt (Figure 3, try_deq). It
+// executes exactly one F&A on Head. tried is meaningful only for
+// DeqRetry and is the head counter that was attempted.
+func (r *Ring) TryDeq() (index uint64, status DeqStatus, tried uint64) {
+	h := r.faa(&r.head)
+	j := r.remap(h&r.posMask, r.ringOrder)
+	hcyc := r.cycleOf(h)
+	for {
+		e := r.entries[j].Load()
+		idx := r.entIndex(e)
+		if r.entCycle(e) == hcyc {
+			// The producer for this position/cycle arrived first:
+			// consume by atomically setting all index bits (⊥c).
+			r.orEntry(j, r.bottomC)
+			return idx, DeqOK, 0
+		}
+		var next uint64
+		if idx == r.bottom || idx == r.bottomC {
+			// Mark the slot with our cycle so a late producer of an
+			// older cycle cannot use it.
+			next = r.pack(hcyc, r.entSafe(e), r.bottom)
+		} else {
+			// The slot holds an old-cycle value: clear IsSafe so its
+			// producer's late competitor cannot reuse the slot.
+			next = r.pack(r.entCycle(e), false, idx)
+		}
+		if r.entCycle(e) < hcyc {
+			if !r.entries[j].CompareAndSwap(e, next) {
+				continue // entry changed; re-evaluate (goto 33)
+			}
+		}
+		// Empty detection.
+		t := r.tail.Load()
+		if t <= h+1 {
+			r.catchup(t, h+1)
+			r.threshold.Add(-1)
+			return 0, DeqEmpty, 0
+		}
+		if r.threshold.Add(-1) <= -1 { // F&A(&Threshold,-1) ≤ 0 on the old value
+			return 0, DeqEmpty, 0
+		}
+		return 0, DeqRetry, h
+	}
+}
+
+// Dequeue removes and returns an index, or ok=false if the queue is
+// empty.
+func (r *Ring) Dequeue() (index uint64, ok bool) {
+	if r.threshold.Load() < 0 {
+		return 0, false
+	}
+	for {
+		index, status, _ := r.TryDeq()
+		switch status {
+		case DeqOK:
+			return index, true
+		case DeqEmpty:
+			return 0, false
+		}
+	}
+}
+
+// catchup advances Tail to head when dequeuers have overrun it
+// (Figure 3, catchup), bounded per wCQ §3.2.
+func (r *Ring) catchup(tail, head uint64) {
+	for i := 0; i < maxCatchup; i++ {
+		if r.tail.CompareAndSwap(tail, head) {
+			return
+		}
+		head = r.head.Load()
+		tail = r.tail.Load()
+		if tail >= head {
+			return
+		}
+	}
+}
+
+// Threshold returns the current threshold value (for tests and the
+// unbounded queue's last-element handling).
+func (r *Ring) Threshold() int64 { return r.threshold.Load() }
+
+// ResetThreshold restores the threshold to 3n−1. The unbounded-queue
+// outer layer (Appendix A, line 59) uses this when it knows a
+// finalized ring still holds entries.
+func (r *Ring) ResetThreshold() { r.threshold.Store(r.thresh3n) }
+
+// Head and Tail expose the raw counters for tests and invariants.
+func (r *Ring) Head() uint64 { return r.head.Load() }
+
+// Tail returns the raw tail counter.
+func (r *Ring) Tail() uint64 { return r.tail.Load() }

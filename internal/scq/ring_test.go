@@ -1,0 +1,294 @@
+package scq
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wcqueue/internal/bitops"
+	"wcqueue/internal/check"
+)
+
+func TestRingSequentialFIFO(t *testing.T) {
+	r := MustRing(4) // n = 16
+	for i := uint64(0); i < 16; i++ {
+		r.Enqueue(i)
+	}
+	for i := uint64(0); i < 16; i++ {
+		got, ok := r.Dequeue()
+		if !ok {
+			t.Fatalf("Dequeue %d: unexpectedly empty", i)
+		}
+		if got != i {
+			t.Fatalf("Dequeue %d: got %d", i, got)
+		}
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("Dequeue on empty ring returned a value")
+	}
+}
+
+func TestRingEmptyInitially(t *testing.T) {
+	r := MustRing(3)
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("fresh ring is not empty")
+	}
+	if r.Threshold() >= 0 {
+		t.Fatalf("fresh ring threshold = %d, want < 0", r.Threshold())
+	}
+}
+
+func TestRingFullInit(t *testing.T) {
+	r := MustRing(4, WithFull())
+	seen := make(map[uint64]bool)
+	for i := 0; i < 16; i++ {
+		v, ok := r.Dequeue()
+		if !ok {
+			t.Fatalf("full-init ring empty after %d dequeues, want 16", i)
+		}
+		if v >= 16 {
+			t.Fatalf("full-init ring yielded out-of-range index %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("full-init ring yielded duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("full-init ring held more than n indices")
+	}
+}
+
+func TestRingWrapAroundManyCycles(t *testing.T) {
+	r := MustRing(2) // n = 4: forces many cycles
+	for round := uint64(0); round < 1000; round++ {
+		for i := uint64(0); i < 4; i++ {
+			r.Enqueue((round*4 + i) % 4) // indices must stay < n
+		}
+		for i := uint64(0); i < 4; i++ {
+			got, ok := r.Dequeue()
+			if !ok {
+				t.Fatalf("round %d: empty at %d", round, i)
+			}
+			if got != (round*4+i)%4 {
+				t.Fatalf("round %d pos %d: got %d want %d", round, i, got, (round*4+i)%4)
+			}
+		}
+		if _, ok := r.Dequeue(); ok {
+			t.Fatalf("round %d: ring not empty after draining", round)
+		}
+	}
+}
+
+func TestRingInterleavedEnqDeq(t *testing.T) {
+	r := MustRing(3) // n = 8
+	next, out := uint64(0), uint64(0)
+	for i := 0; i < 500; i++ {
+		for j := 0; j < (i%4)+1 && next-out < 8; j++ {
+			r.Enqueue(next % 8)
+			next++
+		}
+		for j := 0; j < (i%3)+1 && out < next; j++ {
+			got, ok := r.Dequeue()
+			if !ok {
+				t.Fatalf("iter %d: unexpectedly empty (out=%d next=%d)", i, out, next)
+			}
+			if got != out%8 {
+				t.Fatalf("iter %d: got %d want %d", i, got, out%8)
+			}
+			out++
+		}
+	}
+}
+
+func TestRingThresholdResetOnEnqueue(t *testing.T) {
+	r := MustRing(4)
+	r.Enqueue(1)
+	want := 3*int64(16) - 1
+	if got := r.Threshold(); got != want {
+		t.Fatalf("threshold after enqueue = %d, want %d", got, want)
+	}
+	// Drain plus failed dequeues decrement it.
+	r.Dequeue()
+	r.Dequeue()
+	if got := r.Threshold(); got >= want {
+		t.Fatalf("threshold after empty dequeue = %d, want < %d", got, want)
+	}
+}
+
+// queueLike adapts Ring to the concurrent harness below.
+type queueLike interface {
+	Enqueue(uint64)
+	Dequeue() (uint64, bool)
+}
+
+type ringAdapter struct{ r *Ring }
+
+func (a ringAdapter) Enqueue(v uint64)        { a.r.Enqueue(v) }
+func (a ringAdapter) Dequeue() (uint64, bool) { return a.r.Dequeue() }
+
+type queueAdapter struct{ q *Queue[uint64] }
+
+func (a queueAdapter) Enqueue(v uint64) {
+	for !a.q.Enqueue(v) {
+		runtime.Gosched()
+	}
+}
+func (a queueAdapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
+
+// runMPMC drives producers×perProducer enqueues against the same
+// number of dequeues spread over `consumers` goroutines, and verifies
+// the streams.
+func runMPMC(t *testing.T, q queueLike, producers, consumers int, perProducer uint64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	streams := make([][]uint64, consumers)
+	total := uint64(producers) * perProducer
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]uint64, 0, total/uint64(consumers)+1)
+			budget := total / uint64(consumers)
+			if c == 0 {
+				budget += total % uint64(consumers)
+			}
+			for uint64(len(local)) < budget {
+				v, ok := q.Dequeue()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				consumed.Done()
+			}
+			streams[c] = local
+		}(c)
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for s := uint64(0); s < perProducer; s++ {
+				q.Enqueue(check.Encode(p, s))
+			}
+		}(p)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, perProducer).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueConcurrentMPMC(t *testing.T) {
+	producers := 4
+	consumers := 4
+	per := uint64(20000)
+	if testing.Short() {
+		per = 2000
+	}
+	q := Must[uint64](12) // n = 4096
+	runMPMC(t, queueAdapter{q}, producers, consumers, per)
+}
+
+func TestQueueConcurrentManyThreads(t *testing.T) {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		t.Skip("needs 2+ procs")
+	}
+	per := uint64(5000)
+	if testing.Short() {
+		per = 500
+	}
+	q := Must[uint64](10)
+	runMPMC(t, queueAdapter{q}, n, n, per)
+}
+
+func TestQueueFullBehaviour(t *testing.T) {
+	q := Must[uint64](3) // capacity 8
+	for i := uint64(0); i < 8; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("enqueue %d rejected below capacity", i)
+		}
+	}
+	if q.Enqueue(99) {
+		t.Fatal("enqueue accepted beyond capacity")
+	}
+	v, ok := q.Dequeue()
+	if !ok || v != 0 {
+		t.Fatalf("dequeue got (%d,%v), want (0,true)", v, ok)
+	}
+	if !q.Enqueue(8) {
+		t.Fatal("enqueue rejected after a slot freed")
+	}
+}
+
+func TestQueueGenericTypes(t *testing.T) {
+	type payload struct {
+		A string
+		B int
+	}
+	q := Must[payload](4)
+	if !q.Enqueue(payload{"x", 1}) {
+		t.Fatal("enqueue failed")
+	}
+	got, ok := q.Dequeue()
+	if !ok || got.A != "x" || got.B != 1 {
+		t.Fatalf("dequeue got (%+v,%v)", got, ok)
+	}
+}
+
+func TestNewRingRejectsBadOrder(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+	if _, err := NewRing(32); err == nil {
+		t.Fatal("order 32 accepted")
+	}
+}
+
+func TestRingEntryPackRoundTrip(t *testing.T) {
+	r := MustRing(6)
+	f := func(cycle uint64, safe bool, index uint64) bool {
+		cycle &= (1 << (64 - r.cycShift)) - 1
+		index &= r.idxMask
+		e := r.pack(cycle, safe, index)
+		return r.entCycle(e) == cycle && r.entSafe(e) == safe && r.entIndex(e) == index
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapIsBijective(t *testing.T) {
+	for _, order := range []uint{1, 3, 4, 7, 10} {
+		seen := make(map[uint64]bool)
+		for i := uint64(0); i < 1<<order; i++ {
+			j := bitops.Remap(i, order)
+			if j >= 1<<order {
+				t.Fatalf("order %d: Remap(%d)=%d out of range", order, i, j)
+			}
+			if seen[j] {
+				t.Fatalf("order %d: Remap collision at %d", order, i)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestRingFootprintConstant(t *testing.T) {
+	r := MustRing(8)
+	before := r.Footprint()
+	for i := 0; i < 1000; i++ {
+		r.Enqueue(uint64(i % 256))
+		r.Dequeue()
+	}
+	if r.Footprint() != before {
+		t.Fatalf("footprint changed %d -> %d", before, r.Footprint())
+	}
+}

@@ -1,0 +1,217 @@
+// Package unbounded implements the unbounded queue of the paper's
+// Appendix A: wait-free bounded rings (wCQ) linked into an outer list,
+// with finalized rings drained and unlinked.
+//
+// The outer layer here is the Michael & Scott-style list the paper
+// describes for LCRQ/LSCQ ("Unbounded queues can be created by linking
+// wCQs together, similarly to LCRQ or LSCQ"). A ring is finalized —
+// closed for enqueues via the Tail finalize bit — either when it fills
+// up or when an enqueuer starves on it; the enqueuer then appends a
+// fresh ring. Dequeuers advance past a finalized ring only after
+// observing it empty twice with a threshold reset in between
+// (Figure 13, lines 59-63).
+//
+// Progress: dequeues inherit wCQ's wait-freedom per ring; enqueues are
+// lock-free overall (ring hopping is unbounded only if other enqueues
+// keep succeeding). The paper's fully wait-free variant replaces the
+// outer list with CRTurn (Figure 13); that composition is sketched,
+// not evaluated, in the paper, and DESIGN.md §5 records the same
+// scoping here.
+package unbounded
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wcqueue/internal/core"
+	"wcqueue/internal/memtrack"
+	"wcqueue/internal/pad"
+)
+
+// ring is one finalizable wCQ with its value storage.
+type ring[T any] struct {
+	aq   *core.WCQ // finalizable index ring
+	fq   *core.WCQ // free-index ring (never finalized)
+	data []T
+	next atomic.Pointer[ring[T]]
+}
+
+// enq inserts v, or reports the ring finalized.
+func (r *ring[T]) enq(tid int, v T) bool {
+	index, ok := r.fq.Dequeue(tid)
+	if !ok {
+		// No free index: the ring is full. Close it so dequeuers can
+		// eventually unlink it.
+		r.aq.Finalize()
+		return false
+	}
+	r.data[index] = v
+	if !r.aq.EnqueueClosable(tid, index) {
+		r.fq.Enqueue(tid, index) // return the index; ring is abandoned
+		return false
+	}
+	return true
+}
+
+// deq removes the oldest value.
+func (r *ring[T]) deq(tid int) (v T, ok bool) {
+	index, ok := r.aq.Dequeue(tid)
+	if !ok {
+		return v, false
+	}
+	v = r.data[index]
+	var zero T
+	r.data[index] = zero
+	r.fq.Enqueue(tid, index)
+	return v, true
+}
+
+// Queue is the unbounded MPMC queue.
+type Queue[T any] struct {
+	_    pad.DoublePad
+	head atomic.Pointer[ring[T]]
+	_    pad.DoublePad
+	tail atomic.Pointer[ring[T]]
+	_    pad.DoublePad
+
+	order    uint
+	nthreads int
+	opts     core.Options
+
+	mu   sync.Mutex
+	free []int
+	mem  memtrack.Counter
+}
+
+// Handle is a registered thread slot, valid across all rings.
+type Handle struct{ tid int }
+
+// New creates an unbounded queue whose rings hold 2^order values each,
+// for up to numThreads registered handles.
+func New[T any](order uint, numThreads int, opts core.Options) (*Queue[T], error) {
+	q := &Queue[T]{
+		order:    order,
+		nthreads: numThreads,
+		opts:     opts,
+		free:     make([]int, 0, numThreads),
+	}
+	for i := numThreads - 1; i >= 0; i-- {
+		q.free = append(q.free, i)
+	}
+	first, err := q.newRing()
+	if err != nil {
+		return nil, err
+	}
+	q.head.Store(first)
+	q.tail.Store(first)
+	return q, nil
+}
+
+// Must is New that panics on error.
+func Must[T any](order uint, numThreads int, opts core.Options) *Queue[T] {
+	q, err := New[T](order, numThreads, opts)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (q *Queue[T]) newRing() (*ring[T], error) {
+	aq, err := core.New(q.order, q.nthreads, q.opts)
+	if err != nil {
+		return nil, fmt.Errorf("unbounded: allocating aq: %w", err)
+	}
+	fq, err := core.New(q.order, q.nthreads, q.opts)
+	if err != nil {
+		return nil, fmt.Errorf("unbounded: allocating fq: %w", err)
+	}
+	fq.InitFull()
+	r := &ring[T]{aq: aq, fq: fq, data: make([]T, 1<<q.order)}
+	q.mem.Alloc(q.ringBytes())
+	return r, nil
+}
+
+func (q *Queue[T]) ringBytes() int64 {
+	// Two index rings of 2n 8-byte entries plus the data array and
+	// per-thread records; a close estimate is enough for the memory
+	// experiment.
+	return 2*(int64(2)<<q.order)*8 + (int64(1)<<q.order)*8 + int64(q.nthreads)*1024
+}
+
+// Register claims a thread slot.
+func (q *Queue[T]) Register() (*Handle, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.free) == 0 {
+		return nil, fmt.Errorf("unbounded: all %d thread slots registered", q.nthreads)
+	}
+	tid := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	return &Handle{tid: tid}, nil
+}
+
+// Unregister releases a thread slot.
+func (q *Queue[T]) Unregister(h *Handle) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.free = append(q.free, h.tid)
+}
+
+// Footprint returns live queue-owned bytes (all linked rings).
+func (q *Queue[T]) Footprint() int64 { return q.mem.Live() }
+
+// Enqueue appends v. Always succeeds (unbounded); lock-free.
+func (q *Queue[T]) Enqueue(h *Handle, v T) {
+	for {
+		lt := q.tail.Load()
+		if n := lt.next.Load(); n != nil {
+			q.tail.CompareAndSwap(lt, n) // help advance
+			continue
+		}
+		if lt.enq(h.tid, v) {
+			return
+		}
+		// Ring finalized: append a fresh ring carrying v.
+		nr, err := q.newRing()
+		if err != nil {
+			panic(err) // allocation of a fixed-size ring cannot fail
+		}
+		if !nr.enq(h.tid, v) {
+			panic("unbounded: enqueue on a fresh ring failed")
+		}
+		if lt.next.CompareAndSwap(nil, nr) {
+			q.tail.CompareAndSwap(lt, nr)
+			return
+		}
+		// Lost the append race; drop our ring and retry into theirs.
+		q.mem.Free(q.ringBytes())
+	}
+}
+
+// Dequeue removes the oldest value, or returns ok=false when the whole
+// queue is empty. Per-ring wait-free.
+func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
+	for {
+		lh := q.head.Load()
+		if v, ok := lh.deq(h.tid); ok {
+			return v, true
+		}
+		if lh.next.Load() == nil {
+			return v, false // no successor: genuinely empty
+		}
+		// A successor exists, so lh is finalized (finalize always
+		// precedes append). Re-arm the threshold and drain once more
+		// before unlinking (Figure 13, lines 59-63): the reset gives
+		// dequeuers the full 3n−1 budget to find stragglers whose F&A
+		// predated the finalize.
+		lh.aq.ResetThreshold()
+		if v, ok := lh.deq(h.tid); ok {
+			return v, true
+		}
+		next := lh.next.Load()
+		if q.head.CompareAndSwap(lh, next) {
+			q.mem.Free(q.ringBytes()) // unlinked ring: reclaimed by GC
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package unbounded
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wcqueue/internal/check"
+	"wcqueue/internal/core"
+)
+
+func TestUnboundedSequential(t *testing.T) {
+	q := Must[uint64](4, 2, core.Options{}) // tiny rings force hopping
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10_000 // ≫ ring capacity 16: exercises finalize + append
+	for i := uint64(0); i < n; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("drained queue yielded a value")
+	}
+}
+
+func TestUnboundedGrowsBeyondOneRing(t *testing.T) {
+	q := Must[uint64](3, 2, core.Options{}) // capacity 8 per ring
+	h, _ := q.Register()
+	before := q.Footprint()
+	for i := uint64(0); i < 100; i++ {
+		q.Enqueue(h, i)
+	}
+	if q.Footprint() <= before {
+		t.Fatalf("footprint did not grow: %d -> %d", before, q.Footprint())
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestUnboundedShrinksAfterDrain(t *testing.T) {
+	q := Must[uint64](3, 2, core.Options{})
+	h, _ := q.Register()
+	for i := uint64(0); i < 200; i++ {
+		q.Enqueue(h, i)
+	}
+	grown := q.Footprint()
+	for {
+		if _, ok := q.Dequeue(h); !ok {
+			break
+		}
+	}
+	if q.Footprint() >= grown {
+		t.Fatalf("footprint did not shrink after drain: grown=%d now=%d", grown, q.Footprint())
+	}
+}
+
+func TestUnboundedInterleaved(t *testing.T) {
+	q := Must[uint64](2, 2, core.Options{}) // capacity 4: constant hopping
+	h, _ := q.Register()
+	next, out := uint64(0), uint64(0)
+	for i := 0; i < 5000; i++ {
+		for j := 0; j < (i%7)+1; j++ {
+			q.Enqueue(h, next)
+			next++
+		}
+		for j := 0; j < (i%5)+1 && out < next; j++ {
+			v, ok := q.Dequeue(h)
+			if !ok {
+				t.Fatalf("iter %d: empty with %d outstanding", i, next-out)
+			}
+			if v != out {
+				t.Fatalf("iter %d: got %d want %d", i, v, out)
+			}
+			out++
+		}
+	}
+}
+
+func TestUnboundedConcurrentMPMC(t *testing.T) {
+	producers, consumers := 4, 4
+	per := uint64(20_000)
+	if testing.Short() {
+		per = 2_000
+	}
+	q := Must[uint64](8, producers+consumers, core.Options{}) // rings ≪ total volume
+	runMPMC(t, q, producers, consumers, per)
+}
+
+func TestUnboundedConcurrentTinyRings(t *testing.T) {
+	producers, consumers := 4, 4
+	per := uint64(5_000)
+	if testing.Short() {
+		per = 500
+	}
+	q := Must[uint64](4, producers+consumers, core.Options{})
+	runMPMC(t, q, producers, consumers, per)
+}
+
+func TestUnboundedConcurrentForcedSlowPath(t *testing.T) {
+	producers, consumers := 4, 4
+	per := uint64(3_000)
+	if testing.Short() {
+		per = 300
+	}
+	opts := core.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+	q := Must[uint64](5, producers+consumers, opts)
+	runMPMC(t, q, producers, consumers, per)
+}
+
+func runMPMC(t *testing.T, q *Queue[uint64], producers, consumers int, per uint64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	streams := make([][]uint64, consumers)
+	total := uint64(producers) * per
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			budget := total / uint64(consumers)
+			if c == 0 {
+				budget += total % uint64(consumers)
+			}
+			local := make([]uint64, 0, budget)
+			for uint64(len(local)) < budget {
+				v, ok := q.Dequeue(h)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				consumed.Done()
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			for s := uint64(0); s < per; s++ {
+				q.Enqueue(h, check.Encode(p, s))
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, per).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedRegisterExhaustion(t *testing.T) {
+	q := Must[uint64](4, 1, core.Options{})
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("over-registration accepted")
+	}
+}

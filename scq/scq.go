@@ -1,0 +1,68 @@
+// Package scq is the public API of the lock-free SCQ queue (Nikolaev,
+// DISC '19), the substrate wCQ builds on and a baseline in the paper's
+// evaluation. SCQ matches wCQ's memory efficiency and slightly exceeds
+// its throughput, but individual operations may starve under an
+// adversarial schedule (lock-freedom, not wait-freedom).
+//
+// SCQ needs no per-thread state, so there are no handles:
+//
+//	q, _ := scq.New[*Request](16)
+//	q.Enqueue(req)
+//	v, ok := q.Dequeue()
+package scq
+
+import internal "wcqueue/internal/scq"
+
+// Queue is a bounded lock-free MPMC FIFO queue of values of type T
+// with statically bounded memory.
+type Queue[T any] struct {
+	q *internal.Queue[T]
+}
+
+// Option configures queue construction.
+type Option func(*options)
+
+type options struct{ emulFAA bool }
+
+// WithEmulatedFAA replaces hardware fetch-and-add and atomic OR with
+// CAS loops, modeling LL/SC architectures (paper §4).
+func WithEmulatedFAA() Option { return func(o *options) { o.emulFAA = true } }
+
+// New creates a queue holding up to 2^order values.
+func New[T any](order uint, opts ...Option) (*Queue[T], error) {
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	var iopts []internal.Option
+	if o.emulFAA {
+		iopts = append(iopts, internal.WithEmulatedFAA())
+	}
+	q, err := internal.New[T](order, iopts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue[T]{q: q}, nil
+}
+
+// Must is New that panics on error.
+func Must[T any](order uint, opts ...Option) *Queue[T] {
+	q, err := New[T](order, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Enqueue inserts v, returning false if the queue is full. Lock-free.
+func (q *Queue[T]) Enqueue(v T) bool { return q.q.Enqueue(v) }
+
+// Dequeue removes the oldest value, returning ok=false when the queue
+// is empty. Lock-free.
+func (q *Queue[T]) Dequeue() (v T, ok bool) { return q.q.Dequeue() }
+
+// Cap returns the queue capacity (2^order).
+func (q *Queue[T]) Cap() int { return q.q.Cap() }
+
+// Footprint returns the queue's memory usage in bytes; constant.
+func (q *Queue[T]) Footprint() int64 { return q.q.Footprint() }

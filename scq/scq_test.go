@@ -1,0 +1,112 @@
+package scq_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wcqueue/scq"
+)
+
+func TestQueueBasics(t *testing.T) {
+	q := scq.Must[string](4)
+	if q.Cap() != 16 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	if !q.Enqueue("x") {
+		t.Fatal("enqueue failed")
+	}
+	if v, ok := q.Dequeue(); !ok || v != "x" {
+		t.Fatalf("got (%q,%v)", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue yielded a value")
+	}
+}
+
+func TestFullSemantics(t *testing.T) {
+	q := scq.Must[int](2)
+	for i := 0; i < 4; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.Enqueue(99) {
+		t.Fatal("enqueue at capacity succeeded")
+	}
+	q.Dequeue()
+	if !q.Enqueue(4) {
+		t.Fatal("enqueue after free failed")
+	}
+}
+
+func TestEmulatedFAAOption(t *testing.T) {
+	q := scq.Must[int](6, scq.WithEmulatedFAA())
+	for i := 0; i < 200; i++ {
+		q.Enqueue(i)
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("iter %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestNewRejectsBadOrder(t *testing.T) {
+	if _, err := scq.New[int](0); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	q := scq.Must[int](10)
+	n := runtime.GOMAXPROCS(0) + 2
+	per := 5000
+	if testing.Short() {
+		per = 500
+	}
+	var wg sync.WaitGroup
+	var sum int64
+	var mu sync.Mutex
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < per; i++ {
+				for !q.Enqueue(i) {
+					runtime.Gosched()
+				}
+				for {
+					if v, ok := q.Dequeue(); ok {
+						local += int64(v)
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+			mu.Lock()
+			sum += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	var want int64
+	for i := 0; i < per; i++ {
+		want += int64(i)
+	}
+	want *= int64(n)
+	if sum != want {
+		t.Fatalf("value sum %d, want %d", sum, want)
+	}
+}
+
+func TestFootprintConstant(t *testing.T) {
+	q := scq.Must[int](8)
+	before := q.Footprint()
+	for i := 0; i < 10_000; i++ {
+		q.Enqueue(i)
+		q.Dequeue()
+	}
+	if q.Footprint() != before {
+		t.Fatalf("footprint changed: %d -> %d", before, q.Footprint())
+	}
+}

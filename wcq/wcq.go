@@ -1,0 +1,172 @@
+// Package wcq is the public API of this repository: wCQ, the fast
+// wait-free MPMC FIFO queue with bounded memory usage of Nikolaev &
+// Ravindran (SPAA '22).
+//
+// Three queue shapes are exported:
+//
+//   - Queue[T]: the paper's contribution — a bounded wait-free MPMC
+//     queue of 2^order values with statically bounded memory.
+//   - Unbounded[T]: rings linked per Appendix A — wait-free dequeues,
+//     lock-free enqueues, memory proportional to content.
+//   - The scq sibling package: the lock-free SCQ, for callers that
+//     prefer slightly higher throughput over wait-freedom.
+//
+// Every goroutine operating on a queue first claims a Handle with
+// Register; handles carry the per-thread helping state the wait-free
+// protocol requires and must not be shared between concurrently
+// running goroutines.
+//
+// Basic usage:
+//
+//	q, _ := wcq.New[*Request](16, runtime.GOMAXPROCS(0))
+//	h, _ := q.Register()
+//	q.Enqueue(h, req)       // false when full
+//	v, ok := q.Dequeue(h)   // false when empty
+package wcq
+
+import (
+	"wcqueue/internal/core"
+	"wcqueue/internal/unbounded"
+)
+
+// Option configures queue construction.
+type Option func(*core.Options)
+
+// WithPatience overrides the fast-path attempt budgets (MAX_PATIENCE,
+// paper §6: 16 for enqueue, 64 for dequeue).
+func WithPatience(enqueue, dequeue int) Option {
+	return func(o *core.Options) { o.EnqPatience, o.DeqPatience = enqueue, dequeue }
+}
+
+// WithHelpDelay overrides the number of operations between scans for
+// peers needing help (HELP_DELAY).
+func WithHelpDelay(d int) Option {
+	return func(o *core.Options) { o.HelpDelay = d }
+}
+
+// WithEmulatedFAA replaces hardware fetch-and-add and atomic OR with
+// CAS loops, modeling LL/SC architectures (paper §4).
+func WithEmulatedFAA() Option {
+	return func(o *core.Options) { o.EmulatedFAA = true }
+}
+
+// Queue is a bounded wait-free MPMC FIFO queue of values of type T.
+// Memory usage is fixed at construction (Theorem 5.8).
+type Queue[T any] struct {
+	q *core.Queue[T]
+}
+
+// Handle is a registered per-goroutine token.
+type Handle = core.Handle
+
+// New creates a queue holding up to 2^order values, operated by up to
+// numThreads concurrently registered goroutines.
+func New[T any](order uint, numThreads int, opts ...Option) (*Queue[T], error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	q, err := core.NewQueue[T](order, numThreads, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue[T]{q: q}, nil
+}
+
+// Must is New that panics on error.
+func Must[T any](order uint, numThreads int, opts ...Option) *Queue[T] {
+	q, err := New[T](order, numThreads, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Register claims a per-goroutine handle.
+func (q *Queue[T]) Register() (*Handle, error) { return q.q.Register() }
+
+// Unregister releases a handle for reuse by another goroutine.
+func (q *Queue[T]) Unregister(h *Handle) { q.q.Unregister(h) }
+
+// Enqueue inserts v, returning false if the queue is full. Wait-free.
+func (q *Queue[T]) Enqueue(h *Handle, v T) bool { return q.q.Enqueue(h, v) }
+
+// Dequeue removes the oldest value, returning ok=false when the queue
+// is empty. Wait-free.
+func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) { return q.q.Dequeue(h) }
+
+// Cap returns the queue capacity (2^order).
+func (q *Queue[T]) Cap() int { return q.q.Cap() }
+
+// Footprint returns the queue's memory usage in bytes; constant for
+// the queue's lifetime.
+func (q *Queue[T]) Footprint() int64 { return q.q.Footprint() }
+
+// MaxOps returns the number of operations the queue can safely execute
+// before its packed cycle counters could wrap (a consequence of Go's
+// missing 128-bit CAS; ≈5·10^11 at order 16 — see DESIGN.md §2).
+func (q *Queue[T]) MaxOps() uint64 { return q.q.MaxOps() }
+
+// Stats reports how often operations fell back to the wait-free slow
+// path and how often threads helped peers.
+func (q *Queue[T]) Stats() Stats {
+	s := q.q.Stats()
+	return Stats{SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps}
+}
+
+// Stats are cumulative slow-path counters.
+type Stats struct {
+	SlowEnqueues uint64
+	SlowDequeues uint64
+	Helps        uint64
+}
+
+// Unbounded is an unbounded MPMC FIFO queue built from linked wCQ
+// rings (Appendix A). Dequeues are wait-free per ring; enqueues are
+// lock-free (a starving enqueuer closes the current ring and opens a
+// fresh one).
+type Unbounded[T any] struct {
+	q *unbounded.Queue[T]
+}
+
+// UnboundedHandle is a registered per-goroutine token for Unbounded.
+type UnboundedHandle = unbounded.Handle
+
+// NewUnbounded creates an unbounded queue whose rings hold 2^order
+// values each.
+func NewUnbounded[T any](order uint, numThreads int, opts ...Option) (*Unbounded[T], error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	q, err := unbounded.New[T](order, numThreads, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Unbounded[T]{q: q}, nil
+}
+
+// MustUnbounded is NewUnbounded that panics on error.
+func MustUnbounded[T any](order uint, numThreads int, opts ...Option) *Unbounded[T] {
+	q, err := NewUnbounded[T](order, numThreads, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Register claims a per-goroutine handle.
+func (q *Unbounded[T]) Register() (*UnboundedHandle, error) { return q.q.Register() }
+
+// Unregister releases a handle.
+func (q *Unbounded[T]) Unregister(h *UnboundedHandle) { q.q.Unregister(h) }
+
+// Enqueue appends v. Never fails.
+func (q *Unbounded[T]) Enqueue(h *UnboundedHandle, v T) { q.q.Enqueue(h, v) }
+
+// Dequeue removes the oldest value, or returns ok=false when empty.
+func (q *Unbounded[T]) Dequeue(h *UnboundedHandle) (v T, ok bool) { return q.q.Dequeue(h) }
+
+// Footprint returns current queue-owned bytes (grows and shrinks with
+// content).
+func (q *Unbounded[T]) Footprint() int64 { return q.q.Footprint() }

@@ -1,0 +1,206 @@
+package wcq_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wcqueue/wcq"
+)
+
+func TestQueueBasics(t *testing.T) {
+	q := wcq.Must[string](4, 2)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Unregister(h)
+	if q.Cap() != 16 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	if !q.Enqueue(h, "a") || !q.Enqueue(h, "b") {
+		t.Fatal("enqueue failed")
+	}
+	if v, ok := q.Dequeue(h); !ok || v != "a" {
+		t.Fatalf("got (%q,%v)", v, ok)
+	}
+	if v, ok := q.Dequeue(h); !ok || v != "b" {
+		t.Fatalf("got (%q,%v)", v, ok)
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("empty queue yielded a value")
+	}
+}
+
+func TestQueueFullSemantics(t *testing.T) {
+	q := wcq.Must[int](2, 1) // capacity 4
+	h, _ := q.Register()
+	for i := 0; i < 4; i++ {
+		if !q.Enqueue(h, i) {
+			t.Fatalf("enqueue %d below capacity failed", i)
+		}
+	}
+	if q.Enqueue(h, 99) {
+		t.Fatal("enqueue at capacity succeeded")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	q, err := wcq.New[int](4, 2,
+		wcq.WithPatience(2, 2),
+		wcq.WithHelpDelay(8),
+		wcq.WithEmulatedFAA(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := q.Register()
+	for i := 0; i < 100; i++ {
+		q.Enqueue(h, i)
+		if v, ok := q.Dequeue(h); !ok || v != i {
+			t.Fatalf("iter %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestRegisterLimit(t *testing.T) {
+	q := wcq.Must[int](4, 1)
+	h, _ := q.Register()
+	if _, err := q.Register(); err == nil {
+		t.Fatal("over-registration accepted")
+	}
+	q.Unregister(h)
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadOrder(t *testing.T) {
+	if _, err := wcq.New[int](0, 1); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+	if _, err := wcq.New[int](30, 1); err == nil {
+		t.Fatal("order 30 accepted")
+	}
+}
+
+func TestMaxOpsAndFootprintExposed(t *testing.T) {
+	q := wcq.Must[int](16, 4)
+	if q.MaxOps() < 1<<38 {
+		t.Fatalf("MaxOps = %d", q.MaxOps())
+	}
+	if q.Footprint() <= 0 {
+		t.Fatal("footprint not reported")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	n := runtime.GOMAXPROCS(0) + 2
+	q := wcq.Must[int](10, 2*n)
+	var wg sync.WaitGroup
+	per := 5000
+	if testing.Short() {
+		per = 500
+	}
+	var sum, want int64
+	for i := 0; i < per; i++ {
+		want += int64(i)
+	}
+	want *= int64(n)
+	var mu sync.Mutex
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := q.Register()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer q.Unregister(h)
+			local := int64(0)
+			for i := 0; i < per; i++ {
+				for !q.Enqueue(h, i) {
+					runtime.Gosched()
+				}
+				for {
+					if v, ok := q.Dequeue(h); ok {
+						local += int64(v)
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+			mu.Lock()
+			sum += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if sum != want {
+		t.Fatalf("value sum %d, want %d", sum, want)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	q := wcq.MustUnbounded[int](4, 2) // 16-slot rings force hopping
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Unregister(h)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("drained unbounded queue yielded a value")
+	}
+}
+
+func TestUnboundedFootprintElastic(t *testing.T) {
+	q := wcq.MustUnbounded[int](4, 2)
+	h, _ := q.Register()
+	base := q.Footprint()
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(h, i)
+	}
+	grown := q.Footprint()
+	if grown <= base {
+		t.Fatal("footprint did not grow")
+	}
+	for i := 0; i < 1000; i++ {
+		q.Dequeue(h)
+	}
+	if q.Footprint() >= grown {
+		t.Fatal("footprint did not shrink")
+	}
+}
+
+func TestStatsVisible(t *testing.T) {
+	q := wcq.Must[int](3, 4, wcq.WithPatience(1, 1), wcq.WithHelpDelay(1))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, _ := q.Register()
+			defer q.Unregister(h)
+			for i := 0; i < 2000; i++ {
+				for !q.Enqueue(h, i) {
+					q.Dequeue(h)
+				}
+				q.Dequeue(h)
+			}
+		}()
+	}
+	wg.Wait()
+	s := q.Stats()
+	t.Logf("stats under patience=1: %+v", s)
+}
