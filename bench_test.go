@@ -13,6 +13,7 @@ package wcqueue
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -300,6 +301,124 @@ func BenchmarkAblationRemap(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkPairwiseBatchVsScalar compares the scalar pairwise hot path
+// with the batched fast paths (one ring reservation per k operations)
+// at exactly 8 worker goroutines — RunParallel can't pin a worker
+// count below GOMAXPROCS, so the split is explicit. Each iteration is
+// one enqueue+dequeue pair, so sub-benchmark ns/op are directly
+// comparable; the PR-1 acceptance bar is batch ≥ 1.5× scalar
+// throughput.
+func BenchmarkPairwiseBatchVsScalar(b *testing.B) {
+	const workers = 8
+	run := func(b *testing.B, q queueiface.Queue, batch int) {
+		b.Helper()
+		b.ReportAllocs()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			iters := b.N / workers
+			if w == 0 {
+				iters += b.N % workers
+			}
+			wg.Add(1)
+			go func(w, iters int) {
+				defer wg.Done()
+				h, err := q.Register()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer q.Unregister(h)
+				i := uint64(w) << 32
+				if batch <= 1 {
+					for ; iters > 0; iters-- {
+						q.Enqueue(h, i)
+						q.Dequeue(h)
+						i++
+					}
+					return
+				}
+				bq := q.(queueiface.BatchQueue)
+				buf := make([]uint64, batch)
+				for iters > 0 {
+					n := min(batch, iters)
+					for j := 0; j < n; j++ {
+						buf[j] = i
+						i++
+					}
+					bq.EnqueueBatch(h, buf[:n])
+					bq.DequeueBatch(h, buf[:n])
+					iters -= n
+				}
+			}(w, iters)
+		}
+		wg.Wait()
+	}
+	for _, name := range []string{"wCQ", "SCQ", "wCQ-Striped"} {
+		for _, batch := range []int{1, 16, 64} {
+			label := fmt.Sprintf("%s/scalar", name)
+			if batch > 1 {
+				label = fmt.Sprintf("%s/batch%d", name, batch)
+			}
+			b.Run(label, func(b *testing.B) {
+				run(b, buildQueue(b, name, false), batch)
+			})
+		}
+	}
+}
+
+// BenchmarkStripedPairwise sweeps the stripe count at fixed load,
+// exposing how far the sharded front-end lifts the single-ring FAA
+// ceiling (1 stripe ≈ plain wCQ plus the scan overhead).
+func BenchmarkStripedPairwise(b *testing.B) {
+	for _, stripes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			q, err := registry.New("wCQ-Striped", registry.Config{
+				Threads: benchThreads(), RingOrder: 14, Stripes: stripes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchParallel(b, q, func(h queueiface.Handle, i uint64) {
+				q.Enqueue(h, i)
+				q.Dequeue(h)
+			})
+		})
+	}
+}
+
+// BenchmarkUnboundedBatchPairwise drives the Appendix A construction
+// through the batched paths.
+func BenchmarkUnboundedBatchPairwise(b *testing.B) {
+	q, err := unbounded.New[uint64](14, benchThreads(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 16
+	b.RunParallel(func(pb *testing.PB) {
+		h, err := q.Register()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer q.Unregister(h)
+		buf := make([]uint64, batch)
+		var i uint64
+		for {
+			n := 0
+			for n < batch && pb.Next() {
+				buf[n] = i
+				i++
+				n++
+			}
+			if n == 0 {
+				return
+			}
+			q.EnqueueBatch(h, buf[:n])
+			q.DequeueBatch(h, buf[:n])
+		}
+	})
 }
 
 // BenchmarkUnboundedPairwise exercises the Appendix A construction.

@@ -8,10 +8,13 @@
 //	wcqbench -experiment memory -threads 1,2,4,8
 //	wcqbench -experiment all -ops 1000000          # every figure
 //	wcqbench -experiment patience                  # ablation A1/A3
+//	wcqbench -experiment pairwise,pairwise-batch,striped -json BENCH_pr1.json
 //
 // Output is one table per experiment in the row format of the paper's
 // figures (queue, thread count, Mops/s, CV, and footprint for the
-// memory test).
+// memory test). With -json, every measured point of the invocation is
+// additionally written to the given file as machine-readable JSON —
+// the BENCH_*.json trajectory artifacts committed per PR.
 package main
 
 import (
@@ -27,11 +30,12 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("experiment", "list", "experiment id, 'all', or 'list'")
-		ops     = flag.Int("ops", 1_000_000, "operations per measured point (paper: 10000000)")
-		repeats = flag.Int("repeats", 3, "repetitions per point (paper: 10)")
-		threads = flag.String("threads", "", "comma-separated thread counts (default: 1,2,4..2×GOMAXPROCS)")
-		order   = flag.Uint("ring-order", 16, "wCQ/SCQ ring order (capacity 2^order, paper: 16)")
+		expID    = flag.String("experiment", "list", "experiment id, 'all', or 'list'")
+		ops      = flag.Int("ops", 1_000_000, "operations per measured point (paper: 10000000)")
+		repeats  = flag.Int("repeats", 3, "repetitions per point (paper: 10)")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default: 1,2,4..2×GOMAXPROCS)")
+		order    = flag.Uint("ring-order", 16, "wCQ/SCQ ring order (capacity 2^order, paper: 16)")
+		jsonPath = flag.String("json", "", "write measured points as JSON to this file (BENCH_*.json)")
 	)
 	flag.Parse()
 
@@ -40,6 +44,35 @@ func main() {
 		fatal(err)
 	}
 	opts := bench.RunOptions{Ops: *ops, Repeats: *repeats, Threads: tlist, RingOrder: *order}
+
+	// Open the JSON sink up front so a bad path fails before the
+	// sweep burns minutes of measurement. The ablations and the list
+	// command produce no Result points, so -json would silently write
+	// an empty artifact there — reject the combination instead.
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		switch *expID {
+		case "list", "patience", "helpdelay", "remap":
+			fatal(fmt.Errorf("-json is not supported with -experiment %s (no sweep points)", *expID))
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		jsonFile = f
+	}
+
+	var collected []bench.Result
+	emit := func() {
+		if jsonFile == nil {
+			return
+		}
+		defer jsonFile.Close()
+		if err := bench.WriteJSON(jsonFile, bench.NewReport(opts, collected)); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wcqbench: wrote %d points to %s\n", len(collected), *jsonPath)
+	}
 
 	switch *expID {
 	case "list":
@@ -54,11 +87,14 @@ func main() {
 		return
 	case "all":
 		for _, e := range bench.Experiments {
-			if err := bench.RunExperiment(os.Stdout, e, opts); err != nil {
+			results, err := bench.RunExperiment(os.Stdout, e, opts)
+			if err != nil {
 				fatal(err)
 			}
+			collected = append(collected, results...)
 			fmt.Println()
 		}
+		emit()
 		return
 	case "patience":
 		if err := bench.RunPatienceAblation(os.Stdout, ablationThreads(tlist), *ops); err != nil {
@@ -77,13 +113,24 @@ func main() {
 		return
 	}
 
-	e, ok := bench.FindExperiment(*expID)
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q; try -experiment list", *expID))
+	// Comma-separated experiment ids run in sequence into one report.
+	for _, id := range strings.Split(*expID, ",") {
+		id = strings.TrimSpace(id)
+		switch id {
+		case "patience", "helpdelay", "remap":
+			fatal(fmt.Errorf("ablation %q cannot be combined in a comma list; run -experiment %s alone", id, id))
+		}
+		e, ok := bench.FindExperiment(id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q; try -experiment list", id))
+		}
+		results, err := bench.RunExperiment(os.Stdout, e, opts)
+		if err != nil {
+			fatal(err)
+		}
+		collected = append(collected, results...)
 	}
-	if err := bench.RunExperiment(os.Stdout, e, opts); err != nil {
-		fatal(err)
-	}
+	emit()
 }
 
 func parseThreads(s string) ([]int, error) {

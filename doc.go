@@ -1,11 +1,21 @@
 // Package wcqueue is a from-scratch Go reproduction of "wCQ: A Fast
 // Wait-Free Queue with Bounded Memory Usage" (Nikolaev & Ravindran,
-// SPAA '22).
+// SPAA '22), grown toward a production-scale queueing substrate.
 //
-// The public API lives in the wcq and scq subpackages; the benchmark
-// and correctness tools are cmd/wcqbench and cmd/wcqstress. See
-// README.md for the map, DESIGN.md for the system inventory and
-// platform substitutions, and EXPERIMENTS.md for paper-vs-measured
-// results. The root package exists to host the per-figure benchmarks
-// in bench_test.go.
+// The public API lives in the wcq and scq subpackages. Four queue
+// shapes are exported: the paper's bounded wait-free wcq.Queue, the
+// unbounded wcq.Unbounded (Appendix A), the lock-free scq.Queue
+// baseline, and wcq.Striped — a sharded front-end striping W
+// independent rings with per-handle lane affinity and work-stealing
+// dequeues, for workloads that out-scale a single ring's
+// fetch-and-add. All four support batched operations
+// (EnqueueBatch/DequeueBatch) that reserve ring positions for k
+// operations with a single fetch-and-add.
+//
+// The benchmark and correctness tools are cmd/wcqbench (with a -json
+// emitter for machine-readable trajectory points, committed as
+// BENCH_*.json) and cmd/wcqstress. See DESIGN.md for the system
+// inventory, the platform substitutions (§2), and the batch/stripe
+// design (§6-§7). The root package exists to host the per-figure
+// benchmarks in bench_test.go.
 package wcqueue

@@ -1,6 +1,9 @@
 // Quickstart: the smallest complete wCQ program — create a bounded
 // wait-free queue, register handles, move values through it from
 // multiple goroutines, and inspect the wait-free machinery's stats.
+// The second half shows the batched fast paths (one ring reservation
+// per k operations) and the striped front-end (W independent lanes
+// with work-stealing dequeues).
 package main
 
 import (
@@ -59,4 +62,28 @@ func main() {
 	s := q.Stats()
 	fmt.Printf("slow-path enqueues=%d dequeues=%d helps=%d (0 under no contention)\n",
 		s.SlowEnqueues, s.SlowDequeues, s.Helps)
+
+	// Batched operations: one ring reservation (fetch-and-add) covers
+	// the whole slice instead of one per element — the hot-path cost
+	// at high core counts.
+	batch := []string{"b-0", "b-1", "b-2", "b-3"}
+	if got := q.EnqueueBatch(h, batch); got != len(batch) {
+		panic("queue unexpectedly full")
+	}
+	out := make([]string, 8)
+	got := q.DequeueBatch(h, out) // up to 8, returns 4 here, in FIFO order
+	fmt.Printf("batch: enqueued %d, dequeued %v\n", len(batch), out[:got])
+
+	// Striped: 4 independent lanes, FIFO per handle. Each handle's
+	// enqueues go to its own lane; dequeues steal across lanes.
+	sq := wcq.MustStriped[string](10, 8, 4)
+	sh, err := sq.Register()
+	if err != nil {
+		panic(err)
+	}
+	defer sq.Unregister(sh)
+	sq.Enqueue(sh, "striped-hello")
+	if v, ok := sq.Dequeue(sh); ok {
+		fmt.Printf("striped (%d lanes, cap %d): got %q\n", sq.Stripes(), sq.Cap(), v)
+	}
 }

@@ -1,0 +1,3 @@
+module wcqueue
+
+go 1.24

@@ -58,17 +58,22 @@ type Config struct {
 	Repeats  int // timed repetitions (paper: 10)
 	Workload Workload
 	Prefill  int // elements enqueued before timing starts
+	// Batch > 1 drives the workload through the queue's batched fast
+	// paths (queueiface.BatchQueue) in chunks of Batch operations.
+	// 0 or 1 selects the scalar paths.
+	Batch int
 }
 
 // Result is one measured point.
 type Result struct {
-	QueueName      string
-	Workload       string
-	Threads        int
-	Mops           float64 // mean throughput, million ops/second
-	CV             float64 // coefficient of variation across repeats
-	FootprintBytes int64   // live queue footprint after the run
-	SlowFraction   float64 // wCQ only: slow-path entries / ops (A3)
+	QueueName      string  `json:"queue"`
+	Workload       string  `json:"workload"`
+	Threads        int     `json:"threads"`
+	Batch          int     `json:"batch"` // 1 = scalar paths
+	Mops           float64 `json:"mops"`  // mean throughput, million ops/second
+	CV             float64 `json:"cv"`    // coefficient of variation across repeats
+	FootprintBytes int64   `json:"footprint_bytes"`
+	SlowFraction   float64 `json:"slow_fraction,omitempty"` // wCQ only: slow-path entries / ops (A3)
 }
 
 // QueueStats is implemented by queues exposing slow-path counters.
@@ -86,6 +91,14 @@ func Run(q queueiface.Queue, cfg Config) (Result, error) {
 	}
 	if cfg.Ops <= 0 {
 		cfg.Ops = 1_000_000
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	if cfg.Batch > 1 {
+		if _, ok := q.(queueiface.BatchQueue); !ok {
+			return Result{}, fmt.Errorf("bench: %s does not implement batched operations", q.Name())
+		}
 	}
 
 	// Prefill outside the timed region.
@@ -110,10 +123,15 @@ func Run(q queueiface.Queue, cfg Config) (Result, error) {
 	}
 
 	mean, cv := meanCV(throughputs)
+	workload := cfg.Workload.String()
+	if cfg.Batch > 1 {
+		workload = fmt.Sprintf("%s+batch%d", workload, cfg.Batch)
+	}
 	return Result{
 		QueueName:      q.Name(),
-		Workload:       cfg.Workload.String(),
+		Workload:       workload,
 		Threads:        cfg.Threads,
+		Batch:          cfg.Batch,
 		Mops:           mean,
 		CV:             cv,
 		FootprintBytes: q.Footprint(),
@@ -152,7 +170,11 @@ func timedRun(q queueiface.Queue, cfg Config) (time.Duration, error) {
 			rng := newXorshift(uint64(w)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D)
 			readyWg.Done()
 			<-start
-			worker(q, h, cfg.Workload, perThread, w, rng)
+			if cfg.Batch > 1 {
+				batchWorker(q.(queueiface.BatchQueue), h, cfg.Workload, perThread, cfg.Batch, w, rng)
+			} else {
+				worker(q, h, cfg.Workload, perThread, w, rng)
+			}
 		}(w)
 	}
 
@@ -199,6 +221,58 @@ func worker(q queueiface.Queue, h queueiface.Handle, wl Workload, ops, tid int, 
 			for s := uint64(0); s < spin; s++ {
 				cpuRelax()
 			}
+		}
+	}
+}
+
+// batchWorker executes one thread's share of the workload through the
+// batched fast paths, up to Batch operations per reservation. The
+// operation accounting matches worker's: one enqueued or dequeued
+// value is one operation, and a call that moves nothing counts as one
+// operation (a failed scalar Enqueue/Dequeue also counts as one), so
+// scalar and batched runs of equal Ops are comparable — a short or
+// empty batch is never credited with work it did not do.
+func batchWorker(q queueiface.BatchQueue, h queueiface.Handle, wl Workload, ops, batch, tid int, rng *xorshift) {
+	vals := make([]uint64, batch)
+	val := uint64(tid)<<32 + 1
+	fill := func() {
+		for i := range vals {
+			vals[i] = val
+			val++
+		}
+	}
+	credit := func(n int) int { // ops performed by one batch call
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	switch wl {
+	case Pairwise:
+		for done := 0; done < ops/2; {
+			fill()
+			n := q.EnqueueBatch(h, vals)
+			m := q.DequeueBatch(h, vals)
+			done += credit((n + m) / 2)
+		}
+	case Random5050, MemoryTest:
+		for done := 0; done < ops; {
+			if rng.next()&1 == 0 {
+				fill()
+				done += credit(q.EnqueueBatch(h, vals))
+			} else {
+				done += credit(q.DequeueBatch(h, vals))
+			}
+			if wl == MemoryTest {
+				spin := rng.next() & 0x3F
+				for s := uint64(0); s < spin; s++ {
+					cpuRelax()
+				}
+			}
+		}
+	case EmptyDequeue:
+		for done := 0; done < ops; done++ {
+			q.DequeueBatch(h, vals) // one empty-exit check per call, as in scalar
 		}
 	}
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -116,9 +117,12 @@ func TestRunExperimentSmoke(t *testing.T) {
 	e, _ := FindExperiment("pairwise")
 	e.Queues = []string{"SCQ", "wCQ"} // narrow for speed
 	var buf bytes.Buffer
-	err := RunExperiment(&buf, e, RunOptions{Ops: 20_000, Repeats: 1, Threads: []int{1, 2}, RingOrder: 10})
+	results, err := RunExperiment(&buf, e, RunOptions{Ops: 20_000, Repeats: 1, Threads: []int{1, 2}, RingOrder: 10})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("expected 4 measured points, got %d", len(results))
 	}
 	out := buf.String()
 	for _, want := range []string{"SCQ", "wCQ", "Mops/s", "Fig. 11b"} {
@@ -146,6 +150,71 @@ func TestAblationsSmoke(t *testing.T) {
 	for _, want := range []string{"MAX_PATIENCE", "HELP_DELAY", "Cache_Remap", "slow-fraction"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestRunBatchedWorkloads(t *testing.T) {
+	for _, name := range []string{"wCQ", "SCQ", "wCQ-Striped"} {
+		for _, wl := range []Workload{Pairwise, Random5050, EmptyDequeue} {
+			q, err := registry.New(name, registry.Config{Threads: 3, RingOrder: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(q, Config{Threads: 2, Ops: 20_000, Repeats: 1, Workload: wl, Batch: 8})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, wl, err)
+			}
+			if res.Mops <= 0 {
+				t.Fatalf("%s/%v: nonpositive throughput", name, wl)
+			}
+			if res.Batch != 8 || !strings.Contains(res.Workload, "+batch8") {
+				t.Fatalf("%s/%v: batch metadata missing: %+v", name, wl, res)
+			}
+		}
+	}
+}
+
+func TestRunBatchRejectsNonBatchQueue(t *testing.T) {
+	q, err := registry.New("MSQueue", registry.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(q, Config{Threads: 1, Ops: 1000, Workload: Pairwise, Batch: 8}); err == nil {
+		t.Fatal("batched run accepted a queue without batch support")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	opts := RunOptions{Ops: 1000, Repeats: 2, RingOrder: 10}
+	results := []Result{
+		{QueueName: "wCQ", Workload: "pairwise", Threads: 2, Batch: 1, Mops: 12.5},
+		{QueueName: "wCQ", Workload: "pairwise+batch16", Threads: 2, Batch: 16, Mops: 31.0},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, NewReport(opts, results)); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Meta.Ops != 1000 || back.Meta.RingOrder != 10 || back.Meta.GOMAXPROCS == 0 {
+		t.Fatalf("meta mangled: %+v", back.Meta)
+	}
+	if len(back.Results) != 2 || back.Results[1].Batch != 16 || back.Results[1].Mops != 31.0 {
+		t.Fatalf("results mangled: %+v", back.Results)
+	}
+}
+
+func TestBatchedExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{"pairwise-batch", "random-batch", "striped"} {
+		e, ok := FindExperiment(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		if id != "striped" && e.Batch <= 1 {
+			t.Fatalf("experiment %q has no batch size", id)
 		}
 	}
 }

@@ -24,6 +24,8 @@ type Experiment struct {
 	LLSC bool
 	// MeasureMemory reports footprints instead of only throughput.
 	MeasureMemory bool
+	// Batch > 1 drives the batched fast paths in chunks of Batch.
+	Batch int
 }
 
 // Experiments is the full per-figure index (DESIGN.md §3).
@@ -42,7 +44,18 @@ var Experiments = []Experiment{
 		Queues: ppcQueues, LLSC: true},
 	{ID: "random-llsc", Figure: "Fig. 12c (PowerPC analog: 50%/50%)", Workload: Random5050,
 		Queues: ppcQueues, LLSC: true},
+	// Beyond-paper series (DESIGN.md §6-§7): batched fast paths and the
+	// striped front-end.
+	{ID: "pairwise-batch", Figure: "B1 (batched pairwise, k=16 per reservation)", Workload: Pairwise,
+		Queues: batchQueues, Batch: 16},
+	{ID: "random-batch", Figure: "B2 (batched 50%/50%, k=16 per reservation)", Workload: Random5050,
+		Queues: batchQueues, Batch: 16},
+	{ID: "striped", Figure: "B3 (striped front-end vs single ring, pairwise)", Workload: Pairwise,
+		Queues: []string{"wCQ", "wCQ-Striped"}},
 }
+
+// batchQueues are the queues implementing queueiface.BatchQueue.
+var batchQueues = []string{"wCQ", "SCQ", "wCQ-Striped"}
 
 // ppcQueues mirrors Fig. 12's legend: LCRQ is absent (it requires true
 // CAS2 and "its results are only presented for x86_64").
@@ -83,8 +96,9 @@ func (o RunOptions) defaults() RunOptions {
 }
 
 // RunExperiment sweeps every queue of the experiment over the thread
-// counts and writes one table in the paper's row format.
-func RunExperiment(w io.Writer, e Experiment, opts RunOptions) error {
+// counts, writes one table in the paper's row format, and returns the
+// measured points (the -json trajectory data).
+func RunExperiment(w io.Writer, e Experiment, opts RunOptions) ([]Result, error) {
 	opts = opts.defaults()
 	fmt.Fprintf(w, "# %s — workload %s, %d ops/point, %d repeats\n",
 		e.Figure, e.Workload, opts.Ops, opts.Repeats)
@@ -97,6 +111,7 @@ func RunExperiment(w io.Writer, e Experiment, opts RunOptions) error {
 	}
 	fmt.Fprintln(tw)
 
+	var results []Result
 	for _, name := range e.Queues {
 		for _, threads := range opts.Threads {
 			q, err := registry.New(name, registry.Config{
@@ -105,18 +120,20 @@ func RunExperiment(w io.Writer, e Experiment, opts RunOptions) error {
 				EmulatedFAA: e.LLSC,
 			})
 			if err != nil {
-				return fmt.Errorf("bench: building %s: %w", name, err)
+				return nil, fmt.Errorf("bench: building %s: %w", name, err)
 			}
 			cfg := Config{
 				Threads:  threads,
 				Ops:      opts.Ops,
 				Repeats:  opts.Repeats,
 				Workload: e.Workload,
+				Batch:    e.Batch,
 			}
 			res, err := Run(q, cfg)
 			if err != nil {
-				return fmt.Errorf("bench: running %s: %w", name, err)
+				return nil, fmt.Errorf("bench: running %s: %w", name, err)
 			}
+			results = append(results, res)
 			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.4f\t", res.QueueName, res.Threads, res.Mops, res.CV)
 			if e.MeasureMemory {
 				fmt.Fprintf(tw, "%.2f\t", float64(res.FootprintBytes)/(1<<20))
@@ -124,7 +141,7 @@ func RunExperiment(w io.Writer, e Experiment, opts RunOptions) error {
 			fmt.Fprintln(tw)
 		}
 	}
-	return nil
+	return results, nil
 }
 
 // AblationRow is one point of a parameter ablation.

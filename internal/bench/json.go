@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// ReportMeta describes the machine and sweep parameters a JSON report
+// was measured under, so trajectory points from different PRs remain
+// comparable.
+type ReportMeta struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Ops        int    `json:"ops"`
+	Repeats    int    `json:"repeats"`
+	RingOrder  uint   `json:"ring_order"`
+}
+
+// Report is the machine-readable benchmark artifact (BENCH_*.json).
+type Report struct {
+	Meta    ReportMeta `json:"meta"`
+	Results []Result   `json:"results"`
+}
+
+// NewReport assembles a Report for the given sweep options.
+func NewReport(opts RunOptions, results []Result) Report {
+	opts = opts.defaults()
+	return Report{
+		Meta: ReportMeta{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Ops:        opts.Ops,
+			Repeats:    opts.Repeats,
+			RingOrder:  opts.RingOrder,
+		},
+		Results: results,
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func WriteJSON(w io.Writer, r Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

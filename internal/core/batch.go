@@ -1,0 +1,93 @@
+package core
+
+import "wcqueue/internal/atomicx"
+
+// This file implements the batched fast paths (DESIGN.md §6). A batch
+// of k operations reserves k consecutive Head/Tail counters with ONE
+// fetch-and-add and then runs the unchanged per-slot protocol at each
+// reserved counter. Since a k-unit F&A is linearizable as k
+// back-to-back single-unit F&As, every safety argument of the scalar
+// paths carries over verbatim; only the straggler handling is new, and
+// it falls back to the scalar wait-free operations, so the paper's
+// progress bounds are preserved.
+
+// EnqueueBatch inserts all indices in order. A batch of k costs one
+// Tail F&A instead of k on the contended-free fast path. Reserved
+// positions lost to concurrent dequeuers are not retried out of order:
+// the first straggler abandons the remainder of the reservation
+// (untouched reserved tail positions are indistinguishable from failed
+// scalar attempts) and enqueues the rest through the scalar wait-free
+// path, preserving intra-batch FIFO order. Like Enqueue, this must
+// only be used on rings that are never finalized.
+func (q *WCQ) EnqueueBatch(tid int, indices []uint64) {
+	k := uint64(len(indices))
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		q.Enqueue(tid, indices[0])
+		return
+	}
+	rec := &q.records[tid]
+	q.helpThreads(rec)
+
+	t0 := atomicx.PairCnt(q.faaAddRaw(&q.tail, k))
+	for i, index := range indices {
+		if !q.enqAtFast(t0+uint64(i), index) {
+			// Straggler: scalar re-enqueue reserves fresh, later
+			// positions, so everything still pending must follow it.
+			for _, rest := range indices[i:] {
+				q.Enqueue(tid, rest)
+			}
+			return
+		}
+	}
+}
+
+// DequeueBatch removes up to len(out) indices in FIFO order, reserving
+// the head counters with a single F&A, and returns how many were
+// dequeued. Every reserved position is processed (deqAtFast stamps the
+// slot); positions lost to races are recovered with scalar wait-free
+// dequeues after the reservation, which keeps out[] ordered — the
+// recovered values come from head positions past the whole reservation.
+func (q *WCQ) DequeueBatch(tid int, out []uint64) int {
+	k := uint64(len(out))
+	if k == 0 {
+		return 0
+	}
+	if q.threshold.Load() < 0 {
+		return 0 // empty fast-exit
+	}
+	if k == 1 {
+		index, ok := q.Dequeue(tid)
+		if !ok {
+			return 0
+		}
+		out[0] = index
+		return 1
+	}
+	rec := &q.records[tid]
+	q.helpThreads(rec)
+
+	h0 := atomicx.PairCnt(q.faaAddRaw(&q.head, k))
+	n, retries := 0, 0
+	for i := uint64(0); i < k; i++ {
+		index, st := q.deqAtFast(h0 + i)
+		switch st {
+		case DeqOK:
+			out[n] = index
+			n++
+		case DeqRetry:
+			retries++
+		}
+	}
+	for ; retries > 0 && n < len(out); retries-- {
+		index, ok := q.Dequeue(tid)
+		if !ok {
+			break
+		}
+		out[n] = index
+		n++
+	}
+	return n
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wcqueue/internal/check"
+)
+
+func TestWCQBatchSequentialFIFO(t *testing.T) {
+	q := Must(6, 2, Options{})
+	tid, _ := q.Register()
+	in := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	q.EnqueueBatch(tid, in[:5])
+	q.EnqueueBatch(tid, in[5:])
+	out := make([]uint64, 8)
+	if n := q.DequeueBatch(tid, out); n != 8 {
+		t.Fatalf("DequeueBatch = %d, want 8", n)
+	}
+	for i, v := range out {
+		if v != in[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, v, in[i])
+		}
+	}
+	if n := q.DequeueBatch(tid, out); n != 0 {
+		t.Fatalf("empty ring batch-dequeued %d", n)
+	}
+}
+
+func TestWCQBatchAcrossCycles(t *testing.T) {
+	q := Must(3, 2, Options{})
+	tid, _ := q.Register()
+	buf := make([]uint64, 6)
+	next := uint64(0)
+	for iter := 0; iter < 800; iter++ {
+		k := iter%6 + 1
+		in := make([]uint64, k)
+		for i := range in {
+			in[i] = (next + uint64(i)) % 8
+		}
+		q.EnqueueBatch(tid, in)
+		if got := q.DequeueBatch(tid, buf[:k]); got != k {
+			t.Fatalf("iter %d: dequeued %d of %d", iter, got, k)
+		}
+		for i := 0; i < k; i++ {
+			if buf[i] != (next+uint64(i))%8 {
+				t.Fatalf("iter %d: buf[%d] = %d", iter, i, buf[i])
+			}
+		}
+		next += uint64(k)
+	}
+}
+
+// TestWCQBatchMixedWithScalar interleaves scalar and batched calls on
+// the same ring; order must be the program order of the operations.
+func TestWCQBatchMixedWithScalar(t *testing.T) {
+	q := Must(5, 2, Options{})
+	tid, _ := q.Register()
+	q.Enqueue(tid, 1)
+	q.EnqueueBatch(tid, []uint64{2, 3, 4})
+	q.Enqueue(tid, 5)
+	out := make([]uint64, 2)
+	if v, ok := q.Dequeue(tid); !ok || v != 1 {
+		t.Fatalf("scalar dequeue: (%d,%v)", v, ok)
+	}
+	if n := q.DequeueBatch(tid, out); n != 2 || out[0] != 2 || out[1] != 3 {
+		t.Fatalf("batch dequeue: n=%d out=%v", n, out)
+	}
+	if n := q.DequeueBatch(tid, out); n != 2 || out[0] != 4 || out[1] != 5 {
+		t.Fatalf("batch dequeue tail: n=%d out=%v", n, out)
+	}
+}
+
+// TestWCQBatchEmulatedFAA exercises the CAS-loop reservation path.
+func TestWCQBatchEmulatedFAA(t *testing.T) {
+	q := Must(4, 2, Options{EmulatedFAA: true})
+	tid, _ := q.Register()
+	in := []uint64{7, 6, 5}
+	q.EnqueueBatch(tid, in)
+	out := make([]uint64, 3)
+	if n := q.DequeueBatch(tid, out); n != 3 || out[0] != 7 || out[2] != 5 {
+		t.Fatalf("LLSC batch: n=%d out=%v", n, out)
+	}
+}
+
+// TestWCQQueueBatchConcurrent runs the value-level batched paths from
+// many goroutines with the standard MPMC checks.
+func TestWCQQueueBatchConcurrent(t *testing.T) {
+	const producers, consumers, batch = 3, 3, 8
+	per := uint64(6000)
+	if testing.Short() {
+		per = 600
+	}
+	q := MustQueue[uint64](9, producers+consumers, Options{})
+	total := per * producers
+	streams := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			budget := total / consumers
+			if c == 0 {
+				budget += total % consumers
+			}
+			local := make([]uint64, 0, budget)
+			buf := make([]uint64, batch)
+			for uint64(len(local)) < budget {
+				k := budget - uint64(len(local)) // never overfetch past the budget
+				if k > batch {
+					k = batch
+				}
+				n := q.DequeueBatch(h, buf[:k])
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, buf[:n]...)
+				for i := 0; i < n; i++ {
+					consumed.Done()
+				}
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			buf := make([]uint64, batch)
+			for s := uint64(0); s < per; {
+				k := min(uint64(batch), per-s)
+				for i := uint64(0); i < k; i++ {
+					buf[i] = check.Encode(p, s+i)
+				}
+				sent := uint64(0)
+				for sent < k {
+					n := q.EnqueueBatch(h, buf[sent:k])
+					sent += uint64(n)
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+				s += k
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, per).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWCQBatchTinyRingContended drives batches larger than the ring
+// through heavy contention so straggler fallbacks (including slow-path
+// entries) actually fire, then verifies nothing was lost or reordered.
+func TestWCQBatchTinyRingContended(t *testing.T) {
+	const producers, consumers, batch = 2, 2, 8
+	per := uint64(3000)
+	if testing.Short() {
+		per = 300
+	}
+	// Order 3 ring (8 slots) with batch 8 forces constant full/empty
+	// boundaries; patience 1 forces the wait-free slow path on scalar
+	// fallbacks.
+	q := MustQueue[uint64](3, producers+consumers, Options{EnqPatience: 1, DeqPatience: 1})
+	total := per * producers
+	streams := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+
+	for c := 0; c < consumers; c++ {
+		h, _ := q.Register()
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			budget := total / consumers
+			local := make([]uint64, 0, budget)
+			buf := make([]uint64, batch)
+			for uint64(len(local)) < budget {
+				k := budget - uint64(len(local)) // never overfetch past the budget
+				if k > batch {
+					k = batch
+				}
+				n := q.DequeueBatch(h, buf[:k])
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, buf[:n]...)
+				for i := 0; i < n; i++ {
+					consumed.Done()
+				}
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, _ := q.Register()
+		wg.Add(1)
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			buf := make([]uint64, batch)
+			for s := uint64(0); s < per; {
+				k := min(uint64(batch), per-s)
+				for i := uint64(0); i < k; i++ {
+					buf[i] = check.Encode(p, s+i)
+				}
+				sent := uint64(0)
+				for sent < k {
+					n := q.EnqueueBatch(h, buf[sent:k])
+					sent += uint64(n)
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+				s += k
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, per).Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,17 @@ func (q *WCQ) tryEnqFast(index uint64) (tried uint64, ok, finalized bool) {
 		return 0, false, true
 	}
 	t := atomicx.PairCnt(w)
+	if q.enqAtFast(t, index) {
+		return 0, true, false
+	}
+	return t, false, false
+}
+
+// enqAtFast is the body of the fast-path enqueue at an already-reserved
+// tail counter t. Failure leaves the entry untouched, so a reserved
+// position that is abandoned afterwards is indistinguishable from a
+// failed scalar attempt — the property the batched fast path relies on.
+func (q *WCQ) enqAtFast(t, index uint64) bool {
 	j := q.remapPos(t)
 	tcyc := q.cycleOf(t)
 	for {
@@ -38,9 +49,9 @@ func (q *WCQ) tryEnqFast(index uint64) (tried uint64, ok, finalized bool) {
 			if q.threshold.Load() != q.thresh3n {
 				q.threshold.Store(q.thresh3n)
 			}
-			return 0, true, false
+			return true
 		}
-		return t, false, false
+		return false
 	}
 }
 
@@ -74,6 +85,18 @@ func (q *WCQ) finalizeRequest(h uint64) {
 // (Note preserved, Enq honored). tried is meaningful only for DeqRetry.
 func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
 	h := q.faa(&q.head)
+	index, st = q.deqAtFast(h)
+	if st == DeqRetry {
+		tried = h
+	}
+	return index, st, tried
+}
+
+// deqAtFast is the body of the fast-path dequeue at an already-reserved
+// head counter h. A reserved head position must always be processed so
+// the slot gets stamped with our cycle (an abandoned one could let an
+// older producer deposit a value no dequeuer will revisit).
+func (q *WCQ) deqAtFast(h uint64) (index uint64, st DeqStatus) {
 	j := q.remapPos(h)
 	hcyc := q.cycleOf(h)
 	for {
@@ -81,7 +104,7 @@ func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
 		idx := q.entIndex(e)
 		if q.vcyc(e) == hcyc {
 			q.consume(h, j, e)
-			return idx, DeqOK, 0
+			return idx, DeqOK
 		}
 		var n uint64
 		if idx == q.bottom || idx == q.bottomC {
@@ -101,12 +124,12 @@ func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
 		if t <= h+1 {
 			q.catchup(t, h+1)
 			q.threshold.Add(-1)
-			return 0, DeqEmpty, 0
+			return 0, DeqEmpty
 		}
 		if q.threshold.Add(-1) <= -1 { // F&A(&Threshold,−1) ≤ 0 on old value
-			return 0, DeqEmpty, 0
+			return 0, DeqEmpty
 		}
-		return 0, DeqRetry, h
+		return 0, DeqRetry
 	}
 }
 

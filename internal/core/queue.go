@@ -40,6 +40,18 @@ func MustQueue[T any](order uint, numThreads int, opts Options) *Queue[T] {
 // shared between concurrently running goroutines.
 type Handle struct {
 	tid int
+	// scratch carries batch index buffers between the two rings.
+	// Owned by the handle's goroutine, so reuse is race-free and the
+	// batched hot path stays allocation-free.
+	scratch []uint64
+}
+
+// buf returns the handle's scratch buffer with capacity ≥ k.
+func (h *Handle) buf(k int) []uint64 {
+	if cap(h.scratch) < k {
+		h.scratch = make([]uint64, k)
+	}
+	return h.scratch[:k]
 }
 
 // Register claims a thread slot on both underlying rings.
@@ -94,6 +106,46 @@ func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
 	q.data[index] = zero
 	q.fq.Enqueue(h.tid, index)
 	return v, true
+}
+
+// EnqueueBatch inserts up to len(vs) values in order and returns how
+// many were inserted (fewer only when the queue fills). A batch of k
+// costs two ring F&As — one on fq.Head, one on aq.Tail — instead of
+// the scalar path's 2k. Wait-free.
+func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	idx := h.buf(len(vs))
+	n := q.fq.DequeueBatch(h.tid, idx)
+	if n == 0 {
+		return 0 // no free indices: full
+	}
+	for i := 0; i < n; i++ {
+		q.data[idx[i]] = vs[i]
+	}
+	q.aq.EnqueueBatch(h.tid, idx[:n])
+	return n
+}
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order and returns how many were dequeued. Wait-free.
+func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	idx := h.buf(len(out))
+	n := q.aq.DequeueBatch(h.tid, idx)
+	if n == 0 {
+		return 0
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		out[i] = q.data[idx[i]]
+		q.data[idx[i]] = zero
+	}
+	q.fq.EnqueueBatch(h.tid, idx[:n])
+	return n
 }
 
 // Stats returns combined slow-path statistics of both rings.

@@ -359,6 +359,24 @@ func (q *WCQ) faa(global *pad.Uint64) uint64 {
 	return atomicx.PairCnt(q.faaRaw(global))
 }
 
+// faaAddRaw reserves k consecutive counters of a global pair word with
+// a single atomic add (k·CntUnit carries only within the counter
+// field), returning the previous raw word. One F&A for k operations is
+// the batched fast path's amortization point; it is linearizable as k
+// back-to-back single F&As with nothing interleaved.
+func (q *WCQ) faaAddRaw(global *pad.Uint64, k uint64) uint64 {
+	delta := k * atomicx.CntUnit
+	if q.emulFAA {
+		for {
+			w := global.Load()
+			if global.CompareAndSwap(w, w+delta) {
+				return w
+			}
+		}
+	}
+	return global.Add(delta) - delta
+}
+
 // orEntry atomically ORs mask into entry j (hardware OR, or a CAS loop
 // under EmulatedFAA).
 func (q *WCQ) orEntry(j uint64, mask uint64) {

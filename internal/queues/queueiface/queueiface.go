@@ -29,3 +29,17 @@ type Queue interface {
 	// Name identifies the algorithm in benchmark output.
 	Name() string
 }
+
+// BatchQueue is the optional batched extension: queues that can
+// reserve ring positions for k operations with a single fetch-and-add
+// implement it (wCQ, SCQ and the striped front-end). The benchmark
+// harness type-asserts for it when a batched workload is requested.
+type BatchQueue interface {
+	Queue
+	// EnqueueBatch inserts up to len(vs) values in order, returning
+	// how many were inserted (fewer only when the queue fills).
+	EnqueueBatch(h Handle, vs []uint64) int
+	// DequeueBatch removes up to len(out) of the oldest values in
+	// FIFO order, returning how many were dequeued.
+	DequeueBatch(h Handle, out []uint64) int
+}

@@ -10,8 +10,14 @@ import (
 )
 
 // conformanceNames are the real queues; FAA is excluded from semantic
-// tests (it is, by design, not a correct queue).
-var conformanceNames = []string{"wCQ", "SCQ", "LCRQ", "MSQueue", "YMC", "CRTurn", "CCQueue"}
+// tests (it is, by design, not a correct queue). wCQ-Striped is
+// included: it is FIFO per handle, which is exactly what every check
+// here observes (sequential tests use one handle; the MPMC checker
+// verifies per-producer order, and each producer is one handle).
+var conformanceNames = []string{"wCQ", "SCQ", "wCQ-Striped", "LCRQ", "MSQueue", "YMC", "CRTurn", "CCQueue"}
+
+// batchNames are the queues implementing queueiface.BatchQueue.
+var batchNames = []string{"wCQ", "SCQ", "wCQ-Striped"}
 
 func build(t *testing.T, name string, threads int) queueiface.Queue {
 	t.Helper()
@@ -219,6 +225,166 @@ func TestConformanceLLSCVariants(t *testing.T) {
 				t.Fatal(err)
 			}
 			runConformanceMPMC(t, q, 4, 4, per)
+		})
+	}
+}
+
+// TestBatchScalarFIFOEquivalence drives the batched and scalar paths
+// against each other single-threaded: whatever mix of batch sizes is
+// used, the dequeue sequence must be exactly the enqueue sequence.
+func TestBatchScalarFIFOEquivalence(t *testing.T) {
+	for _, name := range batchNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, 2)
+			bq, ok := q.(queueiface.BatchQueue)
+			if !ok {
+				t.Fatalf("%s does not implement BatchQueue", name)
+			}
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q.Unregister(h)
+
+			// Batched enqueue in ragged chunks, scalar dequeue.
+			const n = 2000
+			sizes := []int{1, 7, 64, 3, 128, 31}
+			vals := make([]uint64, 0, n)
+			for i := uint64(0); i < n; i++ {
+				vals = append(vals, i)
+			}
+			for i, s := 0, 0; i < n; s++ {
+				k := sizes[s%len(sizes)]
+				if i+k > n {
+					k = n - i
+				}
+				if got := bq.EnqueueBatch(h, vals[i:i+k]); got != k {
+					t.Fatalf("EnqueueBatch(%d) = %d", k, got)
+				}
+				i += k
+			}
+			for i := uint64(0); i < n; i++ {
+				v, ok := q.Dequeue(h)
+				if !ok || v != i {
+					t.Fatalf("scalar dequeue %d after batch enqueue: got (%d,%v)", i, v, ok)
+				}
+			}
+
+			// Scalar enqueue, batched dequeue in ragged chunks.
+			for i := uint64(0); i < n; i++ {
+				if !q.Enqueue(h, i) {
+					t.Fatalf("enqueue %d failed", i)
+				}
+			}
+			out := make([]uint64, 256)
+			next := uint64(0)
+			for s := 0; next < n; s++ {
+				k := sizes[s%len(sizes)]
+				m := bq.DequeueBatch(h, out[:k])
+				if m == 0 {
+					t.Fatalf("DequeueBatch(%d) empty with %d remaining", k, n-next)
+				}
+				for _, v := range out[:m] {
+					if v != next {
+						t.Fatalf("batch dequeue: got %d want %d", v, next)
+					}
+					next++
+				}
+			}
+			if m := bq.DequeueBatch(h, out); m != 0 {
+				t.Fatalf("drained queue yielded %d more", m)
+			}
+		})
+	}
+}
+
+// TestBatchConformanceMPMC runs the concurrent checker with batched
+// producers and consumers: per-producer FIFO order must survive the
+// batched paths' straggler fallbacks.
+func TestBatchConformanceMPMC(t *testing.T) {
+	per := uint64(10000)
+	if testing.Short() {
+		per = 1000
+	}
+	const producers, consumers, batch = 4, 4, 16
+	for _, name := range batchNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, producers+consumers)
+			bq := q.(queueiface.BatchQueue)
+			var wg sync.WaitGroup
+			streams := make([][]uint64, consumers)
+			total := uint64(producers) * per
+			var consumed sync.WaitGroup
+			consumed.Add(int(total))
+
+			for c := 0; c < consumers; c++ {
+				h, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(c int, h queueiface.Handle) {
+					defer wg.Done()
+					defer q.Unregister(h)
+					budget := total / uint64(consumers)
+					if c == 0 {
+						budget += total % uint64(consumers)
+					}
+					local := make([]uint64, 0, budget)
+					buf := make([]uint64, batch)
+					for uint64(len(local)) < budget {
+						k := budget - uint64(len(local))
+						if k > batch {
+							k = batch
+						}
+						m := bq.DequeueBatch(h, buf[:k])
+						if m == 0 {
+							runtime.Gosched()
+							continue
+						}
+						local = append(local, buf[:m]...)
+						for i := 0; i < m; i++ {
+							consumed.Done()
+						}
+					}
+					streams[c] = local
+				}(c, h)
+			}
+			for p := 0; p < producers; p++ {
+				h, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(p int, h queueiface.Handle) {
+					defer wg.Done()
+					defer q.Unregister(h)
+					buf := make([]uint64, batch)
+					for s := uint64(0); s < per; {
+						k := per - s
+						if k > batch {
+							k = batch
+						}
+						for i := uint64(0); i < k; i++ {
+							buf[i] = check.Encode(p, s+i)
+						}
+						sent := uint64(0)
+						for sent < k {
+							n := bq.EnqueueBatch(h, buf[sent:k])
+							sent += uint64(n)
+							if n == 0 {
+								runtime.Gosched()
+							}
+						}
+						s += k
+					}
+				}(p, h)
+			}
+			wg.Wait()
+			consumed.Wait()
+			if err := check.Verify(streams, producers, per).Err(); err != nil {
+				t.Fatal(err)
+			}
 		})
 	}
 }

@@ -89,3 +89,7 @@ type capHinter interface{ capHint() int }
 // builds; expose a uniform hint via an adapter-free helper.
 func (a *wcqAdapter) capHint() int { return a.q.Cap() }
 func (a *scqAdapter) capHint() int { return a.q.Cap() }
+
+// Striped: with a single handle every enqueue targets one lane, so the
+// sequential model tests see the per-lane capacity.
+func (a *stripedAdapter) capHint() int { return a.q.Cap() / a.q.Stripes() }

@@ -17,6 +17,7 @@ import (
 	"wcqueue/internal/queues/queueiface"
 	"wcqueue/internal/queues/ymc"
 	"wcqueue/internal/scq"
+	"wcqueue/wcq"
 )
 
 // Config parameterizes queue construction.
@@ -29,6 +30,16 @@ type Config struct {
 	RingOrder uint
 	// EmulatedFAA builds the wCQ/SCQ LL/SC variants (Fig. 12).
 	EmulatedFAA bool
+	// Stripes sets the lane count of the wCQ-Striped build. Zero
+	// selects 4.
+	Stripes int
+}
+
+func (c Config) stripes() int {
+	if c.Stripes == 0 {
+		return 4
+	}
+	return c.Stripes
 }
 
 func (c Config) ringOrder() uint {
@@ -83,6 +94,13 @@ var builders = map[string]func(Config) (queueiface.Queue, error){
 		}
 		return &scqAdapter{q: q, llsc: c.EmulatedFAA}, nil
 	},
+	"wCQ-Striped": func(c Config) (queueiface.Queue, error) {
+		q, err := wcq.NewStriped[uint64](c.ringOrder(), c.Threads, c.stripes(), stripedOpts(c)...)
+		if err != nil {
+			return nil, err
+		}
+		return &stripedAdapter{q: q}, nil
+	},
 	"LCRQ":    func(c Config) (queueiface.Queue, error) { return lcrq.New(), nil },
 	"MSQueue": func(c Config) (queueiface.Queue, error) { return msq.New(c.Threads), nil },
 	"YMC":     func(c Config) (queueiface.Queue, error) { return ymc.New(), nil },
@@ -113,8 +131,47 @@ func (a *wcqAdapter) Name() string {
 	return "wCQ"
 }
 
+// EnqueueBatch and DequeueBatch implement queueiface.BatchQueue.
+func (a *wcqAdapter) EnqueueBatch(h queueiface.Handle, vs []uint64) int {
+	return a.q.EnqueueBatch(h.(*core.Handle), vs)
+}
+
+// DequeueBatch implements queueiface.BatchQueue.
+func (a *wcqAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
+	return a.q.DequeueBatch(h.(*core.Handle), out)
+}
+
 // Stats exposes the wait-free slow-path counters (experiment A3).
 func (a *wcqAdapter) Stats() core.Stats { return a.q.Stats() }
+
+func stripedOpts(c Config) []wcq.Option {
+	if c.EmulatedFAA {
+		return []wcq.Option{wcq.WithEmulatedFAA()}
+	}
+	return nil
+}
+
+// stripedAdapter exposes wcq.Striped through queueiface.
+type stripedAdapter struct {
+	q *wcq.Striped[uint64]
+}
+
+func (a *stripedAdapter) Register() (queueiface.Handle, error) { return a.q.Register() }
+func (a *stripedAdapter) Unregister(h queueiface.Handle)       { a.q.Unregister(h.(*wcq.StripedHandle)) }
+func (a *stripedAdapter) Enqueue(h queueiface.Handle, v uint64) bool {
+	return a.q.Enqueue(h.(*wcq.StripedHandle), v)
+}
+func (a *stripedAdapter) Dequeue(h queueiface.Handle) (uint64, bool) {
+	return a.q.Dequeue(h.(*wcq.StripedHandle))
+}
+func (a *stripedAdapter) EnqueueBatch(h queueiface.Handle, vs []uint64) int {
+	return a.q.EnqueueBatch(h.(*wcq.StripedHandle), vs)
+}
+func (a *stripedAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
+	return a.q.DequeueBatch(h.(*wcq.StripedHandle), out)
+}
+func (a *stripedAdapter) Footprint() int64 { return a.q.Footprint() }
+func (a *stripedAdapter) Name() string     { return "wCQ-Striped" }
 
 // scqAdapter exposes scq.Queue through queueiface.
 type scqAdapter struct {
@@ -126,7 +183,13 @@ func (a *scqAdapter) Register() (queueiface.Handle, error)       { return 0, nil
 func (a *scqAdapter) Unregister(queueiface.Handle)               {}
 func (a *scqAdapter) Enqueue(_ queueiface.Handle, v uint64) bool { return a.q.Enqueue(v) }
 func (a *scqAdapter) Dequeue(queueiface.Handle) (uint64, bool)   { return a.q.Dequeue() }
-func (a *scqAdapter) Footprint() int64                           { return a.q.Footprint() }
+func (a *scqAdapter) EnqueueBatch(_ queueiface.Handle, vs []uint64) int {
+	return a.q.EnqueueBatch(vs)
+}
+func (a *scqAdapter) DequeueBatch(_ queueiface.Handle, out []uint64) int {
+	return a.q.DequeueBatch(out)
+}
+func (a *scqAdapter) Footprint() int64 { return a.q.Footprint() }
 func (a *scqAdapter) Name() string {
 	if a.llsc {
 		return "SCQ-LLSC"

@@ -1,0 +1,181 @@
+package scq
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wcqueue/internal/check"
+)
+
+func TestRingBatchSequentialFIFO(t *testing.T) {
+	r := MustRing(6) // n = 64
+	in := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	r.EnqueueBatch(in[:4])
+	r.EnqueueBatch(in[4:])
+	out := make([]uint64, 8)
+	if n := r.DequeueBatch(out); n != 8 {
+		t.Fatalf("DequeueBatch = %d, want 8", n)
+	}
+	for i, v := range out {
+		if v != in[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, v, in[i])
+		}
+	}
+	if n := r.DequeueBatch(out); n != 0 {
+		t.Fatalf("empty ring batch-dequeued %d", n)
+	}
+}
+
+func TestRingBatchAcrossCycles(t *testing.T) {
+	r := MustRing(3) // n = 8, so batches wrap the physical ring quickly
+	buf := make([]uint64, 5)
+	next, want := uint64(0), uint64(0)
+	for iter := 0; iter < 500; iter++ {
+		k := iter%5 + 1
+		in := make([]uint64, k)
+		for i := range in {
+			in[i] = (next + uint64(i)) % 8 // ring of order 3 carries indices < 8
+		}
+		r.EnqueueBatch(in)
+		got := r.DequeueBatch(buf[:k])
+		if got != k {
+			t.Fatalf("iter %d: dequeued %d of %d", iter, got, k)
+		}
+		for i := 0; i < got; i++ {
+			if buf[i] != (want+uint64(i))%8 {
+				t.Fatalf("iter %d: buf[%d] = %d, want %d", iter, i, buf[i], (want+uint64(i))%8)
+			}
+		}
+		next += uint64(k)
+		want += uint64(k)
+	}
+}
+
+func TestRingBatchZeroAndOne(t *testing.T) {
+	r := MustRing(4)
+	r.EnqueueBatch(nil)
+	if n := r.DequeueBatch(nil); n != 0 {
+		t.Fatalf("zero-length batch dequeued %d", n)
+	}
+	r.EnqueueBatch([]uint64{7})
+	out := make([]uint64, 1)
+	if n := r.DequeueBatch(out); n != 1 || out[0] != 7 {
+		t.Fatalf("single-element batch: n=%d out=%v", n, out)
+	}
+}
+
+func TestRingDequeueBatchPartial(t *testing.T) {
+	r := MustRing(5)
+	r.EnqueueBatch([]uint64{1, 2, 3})
+	out := make([]uint64, 10) // ask for more than present
+	n := r.DequeueBatch(out)
+	if n != 3 {
+		t.Fatalf("partial batch: got %d, want 3", n)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	// The over-reservation must not wedge the ring: it keeps working.
+	r.EnqueueBatch([]uint64{9, 8})
+	if n := r.DequeueBatch(out[:2]); n != 2 || out[0] != 9 || out[1] != 8 {
+		t.Fatalf("ring wedged after over-reservation: n=%d out=%v", n, out[:2])
+	}
+}
+
+func TestQueueBatchFullSemantics(t *testing.T) {
+	q := Must[uint64](3) // capacity 8
+	vs := make([]uint64, 12)
+	for i := range vs {
+		vs[i] = uint64(i)
+	}
+	if n := q.EnqueueBatch(vs); n != 8 {
+		t.Fatalf("over-capacity batch inserted %d, want 8", n)
+	}
+	if n := q.EnqueueBatch(vs); n != 0 {
+		t.Fatalf("full queue accepted %d", n)
+	}
+	out := make([]uint64, 12)
+	if n := q.DequeueBatch(out); n != 8 {
+		t.Fatalf("drained %d, want 8", n)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != uint64(i) {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+// TestQueueBatchConcurrentMPMC mixes batched producers and consumers
+// over the value queue and runs the standard MPMC checks.
+func TestQueueBatchConcurrentMPMC(t *testing.T) {
+	const producers, consumers, batch = 3, 3, 8
+	per := uint64(6000)
+	if testing.Short() {
+		per = 600
+	}
+	q := Must[uint64](9)
+	total := per * producers
+	streams := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			budget := total / consumers
+			if c == 0 {
+				budget += total % consumers
+			}
+			local := make([]uint64, 0, budget)
+			buf := make([]uint64, batch)
+			for uint64(len(local)) < budget {
+				k := budget - uint64(len(local)) // never overfetch past the budget
+				if k > batch {
+					k = batch
+				}
+				n := q.DequeueBatch(buf[:k])
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, buf[:n]...)
+				for i := 0; i < n; i++ {
+					consumed.Done()
+				}
+			}
+			streams[c] = local
+		}(c)
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			buf := make([]uint64, batch)
+			for s := uint64(0); s < per; {
+				k := min(uint64(batch), per-s)
+				for i := uint64(0); i < k; i++ {
+					buf[i] = check.Encode(p, s+i)
+				}
+				sent := uint64(0)
+				for sent < k {
+					n := q.EnqueueBatch(buf[sent:k])
+					sent += uint64(n)
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+				s += k
+			}
+		}(p)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, per).Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package scq
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Queue is a bounded lock-free MPMC queue of values of type T, built
@@ -13,6 +14,25 @@ type Queue[T any] struct {
 	aq   *Ring
 	fq   *Ring
 	data []T
+	// scratch pools batch index buffers; SCQ has no handles to hang
+	// per-thread scratch on, so the batched paths borrow from here to
+	// stay allocation-free in steady state.
+	scratch sync.Pool
+}
+
+// buf borrows an index buffer with capacity ≥ k; return it with
+// q.scratch.Put. The *[]uint64 box travels with the buffer so the
+// steady-state cycle allocates nothing.
+func (q *Queue[T]) buf(k int) *[]uint64 {
+	p, _ := q.scratch.Get().(*[]uint64)
+	if p == nil {
+		b := make([]uint64, k)
+		return &b
+	}
+	if cap(*p) < k {
+		*p = make([]uint64, k)
+	}
+	return p
 }
 
 // New creates a bounded queue with capacity 2^order values.
@@ -63,6 +83,50 @@ func (q *Queue[T]) Dequeue() (v T, ok bool) {
 	q.data[index] = zero // release references for GC hygiene
 	q.fq.Enqueue(index)
 	return v, true
+}
+
+// EnqueueBatch inserts up to len(vs) values and returns how many were
+// inserted (fewer than len(vs) only when the queue fills). Both
+// underlying rings amortize their F&A over the whole batch: a batch of
+// k values costs two ring F&As instead of 2k.
+func (q *Queue[T]) EnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	bp := q.buf(len(vs))
+	defer q.scratch.Put(bp)
+	idx := (*bp)[:len(vs)]
+	n := q.fq.DequeueBatch(idx)
+	if n == 0 {
+		return 0 // no free indices: full
+	}
+	for i := 0; i < n; i++ {
+		q.data[idx[i]] = vs[i]
+	}
+	q.aq.EnqueueBatch(idx[:n])
+	return n
+}
+
+// DequeueBatch removes up to len(out) of the oldest values, in FIFO
+// order, and returns how many were dequeued.
+func (q *Queue[T]) DequeueBatch(out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	bp := q.buf(len(out))
+	defer q.scratch.Put(bp)
+	idx := (*bp)[:len(out)]
+	n := q.aq.DequeueBatch(idx)
+	if n == 0 {
+		return 0
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		out[i] = q.data[idx[i]]
+		q.data[idx[i]] = zero // release references for GC hygiene
+	}
+	q.fq.EnqueueBatch(idx[:n])
+	return n
 }
 
 // Footprint returns the live bytes owned by the queue. Constant: SCQ

@@ -187,15 +187,22 @@ func (r *Ring) initFull() {
 // faa fetch-and-increments a counter, via hardware F&A or — under
 // WithEmulatedFAA — the CAS loop an LL/SC machine effectively runs.
 func (r *Ring) faa(w *pad.Uint64) uint64 {
+	return r.faaAdd(w, 1)
+}
+
+// faaAdd fetch-and-adds k to a counter, reserving k consecutive
+// positions with a single atomic instruction. This is the batched fast
+// path's amortization point: one F&A for k operations.
+func (r *Ring) faaAdd(w *pad.Uint64, k uint64) uint64 {
 	if r.emulFAA {
 		for {
 			v := w.Load()
-			if w.CompareAndSwap(v, v+1) {
+			if w.CompareAndSwap(v, v+k) {
 				return v
 			}
 		}
 	}
-	return w.Add(1) - 1
+	return w.Add(k) - k
 }
 
 // orEntry atomically ORs mask into entry j.
@@ -217,6 +224,17 @@ func (r *Ring) orEntry(j uint64, mask uint64) {
 // path can start from it.
 func (r *Ring) TryEnq(index uint64) (tried uint64, ok bool) {
 	t := r.faa(&r.tail)
+	if r.enqAt(t, index) {
+		return 0, true
+	}
+	return t, false
+}
+
+// enqAt is the body of try_enq at an already-reserved tail counter t:
+// everything after the F&A. Leaving the entry untouched on failure is
+// what makes reserved-but-abandoned tail positions safe — they are
+// indistinguishable from a failed scalar attempt.
+func (r *Ring) enqAt(t, index uint64) bool {
 	j := r.remap(t&r.posMask, r.ringOrder)
 	tcyc := r.cycleOf(t)
 	for {
@@ -231,9 +249,9 @@ func (r *Ring) TryEnq(index uint64) (tried uint64, ok bool) {
 			if r.threshold.Load() != r.thresh3n {
 				r.threshold.Store(r.thresh3n)
 			}
-			return 0, true
+			return true
 		}
-		return t, false
+		return false
 	}
 }
 
@@ -263,6 +281,19 @@ const (
 // DeqRetry and is the head counter that was attempted.
 func (r *Ring) TryDeq() (index uint64, status DeqStatus, tried uint64) {
 	h := r.faa(&r.head)
+	index, status = r.deqAt(h)
+	if status == DeqRetry {
+		tried = h
+	}
+	return index, status, tried
+}
+
+// deqAt is the body of try_deq at an already-reserved head counter h.
+// Unlike the enqueue side, a reserved head position must always be
+// processed: the slot has to be stamped with our cycle so a late
+// producer of an older cycle cannot deposit a value no dequeuer will
+// ever visit again.
+func (r *Ring) deqAt(h uint64) (index uint64, status DeqStatus) {
 	j := r.remap(h&r.posMask, r.ringOrder)
 	hcyc := r.cycleOf(h)
 	for {
@@ -272,7 +303,7 @@ func (r *Ring) TryDeq() (index uint64, status DeqStatus, tried uint64) {
 			// The producer for this position/cycle arrived first:
 			// consume by atomically setting all index bits (⊥c).
 			r.orEntry(j, r.bottomC)
-			return idx, DeqOK, 0
+			return idx, DeqOK
 		}
 		var next uint64
 		if idx == r.bottom || idx == r.bottomC {
@@ -294,12 +325,12 @@ func (r *Ring) TryDeq() (index uint64, status DeqStatus, tried uint64) {
 		if t <= h+1 {
 			r.catchup(t, h+1)
 			r.threshold.Add(-1)
-			return 0, DeqEmpty, 0
+			return 0, DeqEmpty
 		}
 		if r.threshold.Add(-1) <= -1 { // F&A(&Threshold,-1) ≤ 0 on the old value
-			return 0, DeqEmpty, 0
+			return 0, DeqEmpty
 		}
-		return 0, DeqRetry, h
+		return 0, DeqRetry
 	}
 }
 
@@ -318,6 +349,79 @@ func (r *Ring) Dequeue() (index uint64, ok bool) {
 			return 0, false
 		}
 	}
+}
+
+// EnqueueBatch inserts all indices, reserving len(indices) consecutive
+// tail positions with a single F&A. Slots lost to concurrent dequeuers
+// are not retried out of order: the first straggler abandons the rest
+// of the reservation (safe — untouched reserved positions are exactly
+// failed scalar attempts) and the remaining indices are enqueued
+// through the scalar path, preserving intra-batch FIFO order.
+func (r *Ring) EnqueueBatch(indices []uint64) {
+	k := uint64(len(indices))
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		r.Enqueue(indices[0])
+		return
+	}
+	t0 := r.faaAdd(&r.tail, k)
+	for i, index := range indices {
+		if !r.enqAt(t0+uint64(i), index) {
+			// Straggler: the scalar path reserves fresh, later
+			// positions, so everything still pending must follow it.
+			for _, rest := range indices[i:] {
+				r.Enqueue(rest)
+			}
+			return
+		}
+	}
+}
+
+// DequeueBatch removes up to len(out) indices, reserving the head
+// positions with a single F&A, and returns how many were dequeued.
+// Every reserved position is processed (see deqAt); positions lost to
+// races are recovered through the scalar path after the reservation,
+// which keeps out[] in FIFO order (recovered values always come from
+// later head positions than the whole reservation).
+func (r *Ring) DequeueBatch(out []uint64) int {
+	k := uint64(len(out))
+	if k == 0 {
+		return 0
+	}
+	if r.threshold.Load() < 0 {
+		return 0
+	}
+	if k == 1 {
+		index, ok := r.Dequeue()
+		if !ok {
+			return 0
+		}
+		out[0] = index
+		return 1
+	}
+	h0 := r.faaAdd(&r.head, k)
+	n, retries := 0, 0
+	for i := uint64(0); i < k; i++ {
+		index, status := r.deqAt(h0 + i)
+		switch status {
+		case DeqOK:
+			out[n] = index
+			n++
+		case DeqRetry:
+			retries++
+		}
+	}
+	for ; retries > 0 && n < len(out); retries-- {
+		index, ok := r.Dequeue()
+		if !ok {
+			break
+		}
+		out[n] = index
+		n++
+	}
+	return n
 }
 
 // catchup advances Tail to head when dequeuers have overrun it

@@ -54,6 +54,54 @@ func (r *ring[T]) enq(tid int, v T) bool {
 	return true
 }
 
+// enqBatch inserts up to len(vs) values, amortizing the free-ring F&A
+// over the batch (fq is never finalized, so its batched fast path is
+// always safe). The allocated ring is closable, so its inserts go
+// through scalar EnqueueClosable; a finalization mid-batch returns the
+// unused indices and reports a short count.
+func (r *ring[T]) enqBatch(h *Handle, vs []T) int {
+	idx := h.buf(len(vs))
+	n := r.fq.DequeueBatch(h.tid, idx)
+	if n == 0 {
+		// No free index: the ring is full. Close it so dequeuers can
+		// eventually unlink it.
+		r.aq.Finalize()
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		r.data[idx[i]] = vs[i]
+	}
+	for i := 0; i < n; i++ {
+		if !r.aq.EnqueueClosable(h.tid, idx[i]) {
+			// Ring finalized: return the unused indices; the ring is
+			// abandoned for enqueues.
+			var zero T
+			for j := i; j < n; j++ {
+				r.data[idx[j]] = zero
+			}
+			r.fq.EnqueueBatch(h.tid, idx[i:n])
+			return i
+		}
+	}
+	return n
+}
+
+// deqBatch removes up to len(out) values in FIFO order.
+func (r *ring[T]) deqBatch(h *Handle, out []T) int {
+	idx := h.buf(len(out))
+	n := r.aq.DequeueBatch(h.tid, idx)
+	if n == 0 {
+		return 0
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		out[i] = r.data[idx[i]]
+		r.data[idx[i]] = zero
+	}
+	r.fq.EnqueueBatch(h.tid, idx[:n])
+	return n
+}
+
 // deq removes the oldest value.
 func (r *ring[T]) deq(tid int) (v T, ok bool) {
 	index, ok := r.aq.Dequeue(tid)
@@ -85,7 +133,20 @@ type Queue[T any] struct {
 }
 
 // Handle is a registered thread slot, valid across all rings.
-type Handle struct{ tid int }
+type Handle struct {
+	tid int
+	// scratch carries batch index buffers; owned by the handle's
+	// goroutine, so reuse is race-free.
+	scratch []uint64
+}
+
+// buf returns the handle's scratch buffer with capacity ≥ k.
+func (h *Handle) buf(k int) []uint64 {
+	if cap(h.scratch) < k {
+		h.scratch = make([]uint64, k)
+	}
+	return h.scratch[:k]
+}
 
 // New creates an unbounded queue whose rings hold 2^order values each,
 // for up to numThreads registered handles.
@@ -161,6 +222,31 @@ func (q *Queue[T]) Unregister(h *Handle) {
 // Footprint returns live queue-owned bytes (all linked rings).
 func (q *Queue[T]) Footprint() int64 { return q.mem.Live() }
 
+// MaxOps returns the per-ring safe-operation bound. Unlike the bounded
+// queue the limit is not cumulative: every fresh ring starts a new
+// budget, so only a single ring's traffic counts against it.
+func (q *Queue[T]) MaxOps() uint64 {
+	r := q.head.Load()
+	return min(r.aq.MaxOps(), r.fq.MaxOps())
+}
+
+// Stats aggregates the slow-path statistics of the currently linked
+// rings. Counters of unlinked (drained) rings are gone, so values are
+// a lower bound over the queue's lifetime — still the right signal for
+// "is the wait-free machinery being exercised right now".
+func (q *Queue[T]) Stats() core.Stats {
+	var s core.Stats
+	for r := q.head.Load(); r != nil; r = r.next.Load() {
+		for _, w := range [2]*core.WCQ{r.aq, r.fq} {
+			st := w.Stats()
+			s.SlowEnqueues += st.SlowEnqueues
+			s.SlowDequeues += st.SlowDequeues
+			s.Helps += st.Helps
+		}
+	}
+	return s
+}
+
 // Enqueue appends v. Always succeeds (unbounded); lock-free.
 func (q *Queue[T]) Enqueue(h *Handle, v T) {
 	for {
@@ -186,6 +272,69 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) {
 		}
 		// Lost the append race; drop our ring and retry into theirs.
 		q.mem.Free(q.ringBytes())
+	}
+}
+
+// EnqueueBatch appends all values in order. Like Enqueue it always
+// succeeds and is lock-free; the free-ring reservation is amortized
+// over the batch.
+func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) {
+	for len(vs) > 0 {
+		lt := q.tail.Load()
+		if n := lt.next.Load(); n != nil {
+			q.tail.CompareAndSwap(lt, n) // help advance
+			continue
+		}
+		if n := lt.enqBatch(h, vs); n > 0 {
+			vs = vs[n:]
+			continue
+		}
+		// Ring finalized: append a fresh ring carrying as much of the
+		// remaining batch as fits.
+		nr, err := q.newRing()
+		if err != nil {
+			panic(err) // allocation of a fixed-size ring cannot fail
+		}
+		n := nr.enqBatch(h, vs)
+		if n == 0 {
+			panic("unbounded: batch enqueue on a fresh ring failed")
+		}
+		if lt.next.CompareAndSwap(nil, nr) {
+			q.tail.CompareAndSwap(lt, nr)
+			vs = vs[n:]
+			continue
+		}
+		// Lost the append race; our ring was never published, so its
+		// values are safe to retry into the winner's ring.
+		q.mem.Free(q.ringBytes())
+	}
+}
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order, returning how many were dequeued (0 only when the whole queue
+// is observed empty).
+func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	for {
+		lh := q.head.Load()
+		if n := lh.deqBatch(h, out); n > 0 {
+			return n
+		}
+		if lh.next.Load() == nil {
+			return 0 // no successor: genuinely empty
+		}
+		// Finalized predecessor: re-arm the threshold and drain once
+		// more before unlinking (Figure 13, lines 59-63).
+		lh.aq.ResetThreshold()
+		if n := lh.deqBatch(h, out); n > 0 {
+			return n
+		}
+		next := lh.next.Load()
+		if q.head.CompareAndSwap(lh, next) {
+			q.mem.Free(q.ringBytes()) // unlinked ring: reclaimed by GC
+		}
 	}
 }
 

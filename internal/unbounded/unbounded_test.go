@@ -180,3 +180,98 @@ func TestUnboundedRegisterExhaustion(t *testing.T) {
 		t.Fatal("over-registration accepted")
 	}
 }
+
+// TestUnboundedBatchConcurrentTinyRings hammers the batched paths over
+// 8-slot rings so batches constantly straddle finalization boundaries,
+// then runs the standard MPMC checks.
+func TestUnboundedBatchConcurrentTinyRings(t *testing.T) {
+	const producers, consumers, batch = 3, 3, 8
+	per := uint64(4000)
+	if testing.Short() {
+		per = 400
+	}
+	q := Must[uint64](3, producers+consumers, core.Options{})
+	total := per * producers
+	streams := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			budget := total / consumers
+			local := make([]uint64, 0, budget)
+			buf := make([]uint64, batch)
+			for uint64(len(local)) < budget {
+				k := budget - uint64(len(local)) // never overfetch past the budget
+				if k > batch {
+					k = batch
+				}
+				n := q.DequeueBatch(h, buf[:k])
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, buf[:n]...)
+				for i := 0; i < n; i++ {
+					consumed.Done()
+				}
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			buf := make([]uint64, batch)
+			for s := uint64(0); s < per; {
+				k := per - s
+				if k > batch {
+					k = batch
+				}
+				for i := uint64(0); i < k; i++ {
+					buf[i] = check.Encode(p, s+i)
+				}
+				q.EnqueueBatch(h, buf[:k]) // never fails
+				s += k
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, per).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnboundedStatsAndMaxOps covers the aggregate accessors while the
+// queue spans several rings.
+func TestUnboundedStatsAndMaxOps(t *testing.T) {
+	q := Must[uint64](3, 2, core.Options{})
+	if q.MaxOps() == 0 {
+		t.Fatal("MaxOps() = 0")
+	}
+	h, _ := q.Register()
+	for i := uint64(0); i < 200; i++ { // spans many 8-slot rings
+		q.Enqueue(h, i)
+	}
+	_ = q.Stats() // walks the live ring list; must not panic
+	for i := uint64(0); i < 200; i++ {
+		if v, ok := q.Dequeue(h); !ok || v != i {
+			t.Fatalf("dequeue %d: (%d,%v)", i, v, ok)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package wcq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wcqueue/internal/core"
+)
+
+// Striped is a sharded front-end over W independent wCQ rings
+// (DESIGN.md §7). Every handle is pinned to one stripe ("lane"):
+// enqueues always target the handle's own lane, dequeues scan all
+// lanes starting from it (work stealing), so the shared Tail/Head
+// fetch-and-add — the scalability bottleneck of a single ring — is
+// split W ways.
+//
+// Ordering contract: Striped is NOT a single FIFO. It is FIFO per
+// handle — two values enqueued through the same handle are always
+// dequeued in order, because a handle's values live in one lane and
+// each lane is a wait-free FIFO. Values from different handles may
+// interleave arbitrarily, which is exactly the reordering a concurrent
+// single queue already exhibits between producers. Workloads that need
+// a single total order should use Queue instead.
+//
+// Progress: every operation is wait-free (enqueue touches one lane;
+// dequeue does at most one wait-free Dequeue per lane per scan).
+// Enqueue returns false only when the handle's lane is full; Dequeue
+// returns false only after observing every lane empty.
+type Striped[T any] struct {
+	lanes []*core.Queue[T]
+	next  atomic.Uint64 // round-robin lane assignment for Register
+}
+
+// StripedHandle is a registered per-goroutine token of a Striped
+// queue. It carries one underlying handle per lane plus the lane
+// affinity. Must not be shared between concurrently running
+// goroutines.
+type StripedHandle struct {
+	lane int
+	hs   []*core.Handle
+}
+
+// NewStriped creates a striped queue of `stripes` independent lanes,
+// each holding up to 2^order values and serving up to numThreads
+// registered handles (total capacity: stripes·2^order).
+func NewStriped[T any](order uint, numThreads, stripes int, opts ...Option) (*Striped[T], error) {
+	if stripes < 1 {
+		return nil, fmt.Errorf("wcq: stripes %d out of range [1, ∞)", stripes)
+	}
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	s := &Striped[T]{lanes: make([]*core.Queue[T], stripes)}
+	for i := range s.lanes {
+		q, err := core.NewQueue[T](order, numThreads, o)
+		if err != nil {
+			return nil, fmt.Errorf("wcq: allocating stripe %d: %w", i, err)
+		}
+		s.lanes[i] = q
+	}
+	return s, nil
+}
+
+// MustStriped is NewStriped that panics on error.
+func MustStriped[T any](order uint, numThreads, stripes int, opts ...Option) *Striped[T] {
+	s, err := NewStriped[T](order, numThreads, stripes, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Stripes returns the lane count W.
+func (s *Striped[T]) Stripes() int { return len(s.lanes) }
+
+// Cap returns the total capacity across all lanes.
+func (s *Striped[T]) Cap() int { return len(s.lanes) * s.lanes[0].Cap() }
+
+// Register claims a handle, registering it on every lane and pinning
+// it to the next lane round-robin.
+func (s *Striped[T]) Register() (*StripedHandle, error) {
+	h := &StripedHandle{
+		lane: int(s.next.Add(1)-1) % len(s.lanes),
+		hs:   make([]*core.Handle, len(s.lanes)),
+	}
+	for i, q := range s.lanes {
+		lh, err := q.Register()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				s.lanes[j].Unregister(h.hs[j])
+			}
+			return nil, err
+		}
+		h.hs[i] = lh
+	}
+	return h, nil
+}
+
+// Unregister releases the handle's slot on every lane.
+func (s *Striped[T]) Unregister(h *StripedHandle) {
+	for i, q := range s.lanes {
+		q.Unregister(h.hs[i])
+	}
+}
+
+// Enqueue inserts v into the handle's lane, returning false when that
+// lane is full. Staying on one lane is what preserves per-handle FIFO;
+// callers that prefer load spilling over ordering can Register several
+// handles. Wait-free.
+func (s *Striped[T]) Enqueue(h *StripedHandle, v T) bool {
+	return s.lanes[h.lane].Enqueue(h.hs[h.lane], v)
+}
+
+// Dequeue removes a value, preferring the handle's own lane and
+// stealing from the others in ring order. Returns ok=false only after
+// every lane reported empty. Wait-free.
+func (s *Striped[T]) Dequeue(h *StripedHandle) (v T, ok bool) {
+	w := len(s.lanes)
+	for i := 0; i < w; i++ {
+		l := h.lane + i
+		if l >= w {
+			l -= w
+		}
+		if v, ok := s.lanes[l].Dequeue(h.hs[l]); ok {
+			return v, true
+		}
+	}
+	return v, false
+}
+
+// EnqueueBatch inserts up to len(vs) values into the handle's lane
+// with batched ring reservations, returning how many were inserted.
+// Wait-free.
+func (s *Striped[T]) EnqueueBatch(h *StripedHandle, vs []T) int {
+	return s.lanes[h.lane].EnqueueBatch(h.hs[h.lane], vs)
+}
+
+// DequeueBatch removes up to len(out) values, draining the handle's
+// own lane first and stealing the remainder from the other lanes.
+// Returns how many were dequeued. Wait-free.
+func (s *Striped[T]) DequeueBatch(h *StripedHandle, out []T) int {
+	w, n := len(s.lanes), 0
+	for i := 0; i < w && n < len(out); i++ {
+		l := h.lane + i
+		if l >= w {
+			l -= w
+		}
+		n += s.lanes[l].DequeueBatch(h.hs[l], out[n:])
+	}
+	return n
+}
+
+// Footprint returns the live bytes across all lanes; constant.
+func (s *Striped[T]) Footprint() int64 {
+	var sum int64
+	for _, q := range s.lanes {
+		sum += q.Footprint()
+	}
+	return sum
+}
+
+// MaxOps returns the per-lane safe-operation bound (the binding limit,
+// since each lane counts its own operations).
+func (s *Striped[T]) MaxOps() uint64 { return s.lanes[0].MaxOps() }
+
+// Stats aggregates slow-path statistics across all lanes.
+func (s *Striped[T]) Stats() Stats {
+	var out Stats
+	for _, q := range s.lanes {
+		st := q.Stats()
+		out.SlowEnqueues += st.SlowEnqueues
+		out.SlowDequeues += st.SlowDequeues
+		out.Helps += st.Helps
+	}
+	return out
+}

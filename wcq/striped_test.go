@@ -1,0 +1,243 @@
+package wcq
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wcqueue/internal/check"
+)
+
+func TestStripedBasics(t *testing.T) {
+	s := MustStriped[int](6, 4, 4)
+	if s.Stripes() != 4 {
+		t.Fatalf("Stripes() = %d", s.Stripes())
+	}
+	if s.Cap() != 4*64 {
+		t.Fatalf("Cap() = %d, want %d", s.Cap(), 4*64)
+	}
+	h, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Unregister(h)
+	for i := 0; i < 10; i++ {
+		if !s.Enqueue(h, i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := s.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := s.Dequeue(h); ok {
+		t.Fatal("empty striped queue yielded a value")
+	}
+}
+
+func TestStripedRejectsBadConfig(t *testing.T) {
+	if _, err := NewStriped[int](6, 4, 0); err == nil {
+		t.Fatal("stripes=0 accepted")
+	}
+	if _, err := NewStriped[int](0, 4, 2); err == nil {
+		t.Fatal("order=0 accepted")
+	}
+}
+
+// TestStripedLaneAffinityAndStealing verifies that handles land on
+// distinct lanes round-robin and that a dequeuer drains values parked
+// on other handles' lanes.
+func TestStripedLaneAffinityAndStealing(t *testing.T) {
+	s := MustStriped[int](6, 8, 4)
+	hs := make([]*StripedHandle, 8)
+	for i := range hs {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs[i] = h
+	}
+	lanes := map[int]int{}
+	for _, h := range hs {
+		lanes[h.lane]++
+	}
+	if len(lanes) != 4 {
+		t.Fatalf("8 handles spread over %d lanes, want 4", len(lanes))
+	}
+	for l, n := range lanes {
+		if n != 2 {
+			t.Fatalf("lane %d has %d handles, want 2 (round-robin)", l, n)
+		}
+	}
+	// Park one value on every lane, then drain it all from one handle.
+	for i, h := range hs[:4] {
+		if !s.Enqueue(h, 100+i) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	got := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		v, ok := s.Dequeue(hs[7])
+		if !ok {
+			t.Fatalf("steal %d failed", i)
+		}
+		got[v] = true
+	}
+	if len(got) != 4 {
+		t.Fatalf("stole %d distinct values, want 4", len(got))
+	}
+	if _, ok := s.Dequeue(hs[0]); ok {
+		t.Fatal("drained queue yielded a value")
+	}
+}
+
+// TestStripedEnqueueFullLane: an enqueue only fails when the handle's
+// own lane is full, independent of other lanes' occupancy.
+func TestStripedEnqueueFullLane(t *testing.T) {
+	s := MustStriped[int](2, 2, 2) // lanes of 4
+	h, _ := s.Register()
+	for i := 0; i < 4; i++ {
+		if !s.Enqueue(h, i) {
+			t.Fatalf("enqueue %d failed below lane capacity", i)
+		}
+	}
+	if s.Enqueue(h, 99) {
+		t.Fatal("full lane accepted a value")
+	}
+	// A second handle (next lane round-robin) still has room.
+	h2, _ := s.Register()
+	if h2.lane == h.lane {
+		t.Fatal("round-robin assigned the same lane twice")
+	}
+	if !s.Enqueue(h2, 5) {
+		t.Fatal("other lane rejected a value")
+	}
+}
+
+func TestStripedBatch(t *testing.T) {
+	s := MustStriped[uint64](6, 2, 3)
+	h, _ := s.Register()
+	in := []uint64{10, 11, 12, 13, 14}
+	if n := s.EnqueueBatch(h, in); n != 5 {
+		t.Fatalf("EnqueueBatch = %d", n)
+	}
+	out := make([]uint64, 5)
+	if n := s.DequeueBatch(h, out); n != 5 {
+		t.Fatalf("DequeueBatch = %d", n)
+	}
+	for i, v := range out {
+		if v != in[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, v, in[i])
+		}
+	}
+}
+
+// TestStripedBatchSteals: a batched dequeue gathers values across
+// lanes when its own lane runs dry.
+func TestStripedBatchSteals(t *testing.T) {
+	s := MustStriped[uint64](6, 4, 4)
+	hs := make([]*StripedHandle, 4)
+	for i := range hs {
+		hs[i], _ = s.Register()
+	}
+	for i, h := range hs {
+		if n := s.EnqueueBatch(h, []uint64{uint64(i * 10), uint64(i*10 + 1)}); n != 2 {
+			t.Fatalf("lane %d batch enqueue = %d", i, n)
+		}
+	}
+	out := make([]uint64, 8)
+	if n := s.DequeueBatch(hs[0], out); n != 8 {
+		t.Fatalf("cross-lane batch dequeue = %d, want 8", n)
+	}
+	seen := map[uint64]bool{}
+	for _, v := range out {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("batch steal returned %d distinct values, want 8", len(seen))
+	}
+}
+
+func TestStripedAccessors(t *testing.T) {
+	s := MustStriped[uint64](6, 2, 4)
+	if s.Footprint() <= 0 {
+		t.Fatalf("Footprint() = %d", s.Footprint())
+	}
+	single := Must[uint64](6, 2)
+	if got, want := s.Footprint(), 4*single.Footprint(); got != want {
+		t.Fatalf("striped footprint %d, want 4×single = %d", got, want)
+	}
+	if s.MaxOps() == 0 || s.MaxOps() != single.MaxOps() {
+		t.Fatalf("MaxOps() = %d, want per-lane bound %d", s.MaxOps(), single.MaxOps())
+	}
+	st := s.Stats()
+	if st.SlowEnqueues != 0 || st.SlowDequeues != 0 || st.Helps != 0 {
+		t.Fatalf("fresh queue has nonzero stats: %+v", st)
+	}
+}
+
+// TestStripedConcurrentMPMC: per-handle FIFO under concurrency — the
+// standard checker's per-producer order condition.
+func TestStripedConcurrentMPMC(t *testing.T) {
+	const producers, consumers = 4, 4
+	per := uint64(8000)
+	if testing.Short() {
+		per = 800
+	}
+	s := MustStriped[uint64](10, producers+consumers, 3)
+	total := per * producers
+	streams := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+
+	for c := 0; c < consumers; c++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *StripedHandle) {
+			defer wg.Done()
+			defer s.Unregister(h)
+			budget := total / consumers
+			if c == 0 {
+				budget += total % consumers
+			}
+			local := make([]uint64, 0, budget)
+			for uint64(len(local)) < budget {
+				v, ok := s.Dequeue(h)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				consumed.Done()
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *StripedHandle) {
+			defer wg.Done()
+			defer s.Unregister(h)
+			for seq := uint64(0); seq < per; seq++ {
+				for !s.Enqueue(h, check.Encode(p, seq)) {
+					runtime.Gosched()
+				}
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, per).Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,12 +2,16 @@
 // wait-free MPMC FIFO queue with bounded memory usage of Nikolaev &
 // Ravindran (SPAA '22).
 //
-// Three queue shapes are exported:
+// Four queue shapes are exported:
 //
 //   - Queue[T]: the paper's contribution — a bounded wait-free MPMC
 //     queue of 2^order values with statically bounded memory.
 //   - Unbounded[T]: rings linked per Appendix A — wait-free dequeues,
 //     lock-free enqueues, memory proportional to content.
+//   - Striped[T]: a sharded front-end over W independent rings with
+//     per-handle lane affinity and work-stealing dequeues. FIFO per
+//     handle rather than globally, in exchange for throughput that
+//     scales past a single ring's fetch-and-add (DESIGN.md §7).
 //   - The scq sibling package: the lock-free SCQ, for callers that
 //     prefer slightly higher throughput over wait-freedom.
 //
@@ -22,6 +26,17 @@
 //	h, _ := q.Register()
 //	q.Enqueue(h, req)       // false when full
 //	v, ok := q.Dequeue(h)   // false when empty
+//
+// All shapes also expose EnqueueBatch/DequeueBatch, which amortize
+// the ring reservation — one fetch-and-add per ring for a batch of k
+// operations instead of k — while preserving per-handle FIFO order
+// and the scalar paths' progress guarantees (DESIGN.md §6):
+//
+//	buf := make([]*Request, 64)
+//	n := q.DequeueBatch(h, buf)  // up to 64 values, one reservation
+//	for _, req := range buf[:n] {
+//		process(req)
+//	}
 package wcq
 
 import (
@@ -95,6 +110,17 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) bool { return q.q.Enqueue(h, v) }
 // is empty. Wait-free.
 func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) { return q.q.Dequeue(h) }
 
+// EnqueueBatch inserts up to len(vs) values in order and returns how
+// many were inserted (fewer only when the queue fills). A batch of k
+// reserves its ring positions with one fetch-and-add per ring instead
+// of k, which is the dominant cost at high core counts (DESIGN.md §6).
+// Wait-free.
+func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int { return q.q.EnqueueBatch(h, vs) }
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order and returns how many were dequeued. Wait-free.
+func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int { return q.q.DequeueBatch(h, out) }
+
 // Cap returns the queue capacity (2^order).
 func (q *Queue[T]) Cap() int { return q.q.Cap() }
 
@@ -167,6 +193,28 @@ func (q *Unbounded[T]) Enqueue(h *UnboundedHandle, v T) { q.q.Enqueue(h, v) }
 // Dequeue removes the oldest value, or returns ok=false when empty.
 func (q *Unbounded[T]) Dequeue(h *UnboundedHandle) (v T, ok bool) { return q.q.Dequeue(h) }
 
+// EnqueueBatch appends all values in order, amortizing ring
+// reservations over the batch. Never fails.
+func (q *Unbounded[T]) EnqueueBatch(h *UnboundedHandle, vs []T) { q.q.EnqueueBatch(h, vs) }
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order, returning how many were dequeued.
+func (q *Unbounded[T]) DequeueBatch(h *UnboundedHandle, out []T) int {
+	return q.q.DequeueBatch(h, out)
+}
+
 // Footprint returns current queue-owned bytes (grows and shrinks with
 // content).
 func (q *Unbounded[T]) Footprint() int64 { return q.q.Footprint() }
+
+// MaxOps returns the per-ring safe-operation bound. Fresh rings start
+// fresh budgets, so unlike Queue.MaxOps it is not a lifetime limit.
+func (q *Unbounded[T]) MaxOps() uint64 { return q.q.MaxOps() }
+
+// Stats reports slow-path counters aggregated over the currently
+// linked rings (a lower bound: drained rings take their counters with
+// them).
+func (q *Unbounded[T]) Stats() Stats {
+	s := q.q.Stats()
+	return Stats{SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps}
+}

@@ -204,3 +204,105 @@ func TestStatsVisible(t *testing.T) {
 	s := q.Stats()
 	t.Logf("stats under patience=1: %+v", s)
 }
+
+func TestQueueAccessors(t *testing.T) {
+	q := wcq.Must[int](10, 4)
+	// Footprint is constant for the queue's lifetime (Theorem 5.8).
+	base := q.Footprint()
+	if base <= 0 {
+		t.Fatalf("Footprint() = %d", base)
+	}
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	for i := 0; i < 500; i++ {
+		q.Enqueue(h, i)
+	}
+	if q.Footprint() != base {
+		t.Fatalf("footprint moved under load: %d -> %d", base, q.Footprint())
+	}
+	if q.MaxOps() == 0 {
+		t.Fatal("MaxOps() = 0")
+	}
+	// Higher order must not shrink the wrap bound.
+	if big := wcq.Must[int](16, 4); big.MaxOps() < q.MaxOps() {
+		t.Fatalf("MaxOps shrank with order: %d < %d", big.MaxOps(), q.MaxOps())
+	}
+	s := q.Stats()
+	if s.SlowEnqueues != 0 || s.SlowDequeues != 0 || s.Helps != 0 {
+		t.Fatalf("uncontended queue reports slow-path stats: %+v", s)
+	}
+}
+
+func TestUnboundedAccessors(t *testing.T) {
+	q := wcq.MustUnbounded[int](4, 2)
+	if q.MaxOps() == 0 {
+		t.Fatal("MaxOps() = 0")
+	}
+	if got, want := q.MaxOps(), wcq.Must[int](4, 2).MaxOps(); got != want {
+		t.Fatalf("unbounded MaxOps %d, want per-ring bound %d", got, want)
+	}
+	s := q.Stats()
+	if s.SlowEnqueues != 0 || s.SlowDequeues != 0 || s.Helps != 0 {
+		t.Fatalf("fresh queue reports slow-path stats: %+v", s)
+	}
+	// Stats stay readable while the queue spans several rings.
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(h, i)
+	}
+	_ = q.Stats() // must not race or panic mid-structure
+	for i := 0; i < 100; i++ {
+		if v, ok := q.Dequeue(h); !ok || v != i {
+			t.Fatalf("dequeue %d: (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestQueueBatchRoundTrip(t *testing.T) {
+	q := wcq.Must[string](6, 2)
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	in := []string{"a", "b", "c", "d", "e"}
+	if n := q.EnqueueBatch(h, in); n != 5 {
+		t.Fatalf("EnqueueBatch = %d", n)
+	}
+	out := make([]string, 5)
+	if n := q.DequeueBatch(h, out); n != 5 {
+		t.Fatalf("DequeueBatch = %d", n)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %q, want %q", i, out[i], in[i])
+		}
+	}
+}
+
+func TestUnboundedBatchAcrossRings(t *testing.T) {
+	q := wcq.MustUnbounded[int](3, 2) // 8-slot rings: batches span rings
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	const n = 1000
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	q.EnqueueBatch(h, in) // must hop rings many times
+	out := make([]int, 64)
+	next := 0
+	for next < n {
+		m := q.DequeueBatch(h, out)
+		if m == 0 {
+			t.Fatalf("empty with %d remaining", n-next)
+		}
+		for _, v := range out[:m] {
+			if v != next {
+				t.Fatalf("got %d, want %d", v, next)
+			}
+			next++
+		}
+	}
+	if m := q.DequeueBatch(h, out); m != 0 {
+		t.Fatalf("drained queue batch-yielded %d", m)
+	}
+}
