@@ -391,7 +391,7 @@ func BenchmarkStripedPairwise(b *testing.B) {
 // BenchmarkUnboundedBatchPairwise drives the Appendix A construction
 // through the batched paths.
 func BenchmarkUnboundedBatchPairwise(b *testing.B) {
-	q, err := unbounded.New[uint64](14, benchThreads(), core.Options{})
+	q, err := unbounded.New[uint64](14, benchThreads(), 0, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -423,7 +423,7 @@ func BenchmarkUnboundedBatchPairwise(b *testing.B) {
 
 // BenchmarkUnboundedPairwise exercises the Appendix A construction.
 func BenchmarkUnboundedPairwise(b *testing.B) {
-	q, err := unbounded.New[uint64](14, benchThreads(), core.Options{})
+	q, err := unbounded.New[uint64](14, benchThreads(), 0, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -35,7 +35,10 @@ func main() {
 
 	names := []string{*name}
 	if *name == "all" {
-		names = []string{"wCQ", "SCQ", "LCRQ", "MSQueue", "YMC", "CRTurn", "CCQueue"}
+		// Every FIFO-conforming queue in the registry: a queue
+		// registered later is stressed automatically, rather than
+		// silently skipped by a stale hardcoded list.
+		names = registry.ConformingNames()
 	}
 	exit := 0
 	for _, n := range names {

@@ -4,18 +4,22 @@
 //
 // The public API lives in the wcq and scq subpackages. Four queue
 // shapes are exported: the paper's bounded wait-free wcq.Queue, the
-// unbounded wcq.Unbounded (Appendix A), the lock-free scq.Queue
-// baseline, and wcq.Striped — a sharded front-end striping W
-// independent rings with per-handle lane affinity and work-stealing
-// dequeues, for workloads that out-scale a single ring's
-// fetch-and-add. All four support batched operations
+// unbounded wcq.Unbounded (Appendix A) — which recycles drained rings
+// through a bounded hazard-pointer-protected pool, so steady-state
+// ring hops allocate nothing and its footprint stays flat — the
+// lock-free scq.Queue baseline, and wcq.Striped — a sharded front-end
+// striping W independent rings with per-handle lane affinity and
+// work-stealing dequeues, for workloads that out-scale a single
+// ring's fetch-and-add. All four support batched operations
 // (EnqueueBatch/DequeueBatch) that reserve ring positions for k
 // operations with a single fetch-and-add.
 //
 // The benchmark and correctness tools are cmd/wcqbench (with a -json
 // emitter for machine-readable trajectory points, committed as
-// BENCH_*.json) and cmd/wcqstress. See DESIGN.md for the system
-// inventory, the platform substitutions (§2), and the batch/stripe
-// design (§6-§7). The root package exists to host the per-figure
-// benchmarks in bench_test.go.
+// BENCH_*.json) and cmd/wcqstress (whose -queue all iterates every
+// FIFO-conforming queue in the registry). See DESIGN.md for the
+// system inventory, the platform substitutions (§2), the batch/stripe
+// design (§6-§7), and the ring-recycling reset/reuse safety argument
+// (§8). The root package exists to host the per-figure benchmarks in
+// bench_test.go.
 package wcqueue

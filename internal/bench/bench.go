@@ -33,7 +33,17 @@ const (
 	// MemoryTest: Random5050 with small random delays between
 	// operations (Fig. 10), amplifying memory artifacts.
 	MemoryTest
+	// RingChurn: alternating bursts of churnBurst enqueues then
+	// churnBurst dequeues per thread. On an unbounded queue with small
+	// rings every burst finalizes, appends and drains several rings —
+	// the workload that measures ring-recycling (experiment C1:
+	// allocations per hop and peak footprint).
+	RingChurn
 )
+
+// churnBurst is the per-thread burst length of the RingChurn workload.
+// With order-3 rings (8 slots) one burst spans ~8 ring hops.
+const churnBurst = 64
 
 // String names the workload as in the paper.
 func (w Workload) String() string {
@@ -46,6 +56,8 @@ func (w Workload) String() string {
 		return "empty-deq"
 	case MemoryTest:
 		return "memory"
+	case RingChurn:
+		return "ring-churn"
 	default:
 		return fmt.Sprintf("workload(%d)", int(w))
 	}
@@ -74,6 +86,25 @@ type Result struct {
 	CV             float64 `json:"cv"`    // coefficient of variation across repeats
 	FootprintBytes int64   `json:"footprint_bytes"`
 	SlowFraction   float64 `json:"slow_fraction,omitempty"` // wCQ only: slow-path entries / ops (A3)
+	// Ring-recycling metrics, present for queues exposing RingStats
+	// (wCQ-Unbounded): ring allocations after the warm-up repeat — the
+	// steady-state allocation-free claim is RingAllocs == 0 — and the
+	// footprint high-water mark over the whole run.
+	RingAllocs         uint64 `json:"ring_allocs,omitempty"`
+	RingRecycles       uint64 `json:"ring_recycles,omitempty"`
+	PeakFootprintBytes int64  `json:"peak_footprint_bytes,omitempty"`
+}
+
+// ringStatser is implemented by queues that recycle rings through a
+// pool (the wCQ-Unbounded adapter).
+type ringStatser interface {
+	RingStats() (hits, misses, drops uint64)
+}
+
+// peakFootprinter is implemented by queues tracking their footprint
+// high-water mark.
+type peakFootprinter interface {
+	PeakFootprint() int64
 }
 
 // QueueStats is implemented by queues exposing slow-path counters.
@@ -113,6 +144,16 @@ func Run(q queueiface.Queue, cfg Config) (Result, error) {
 		q.Unregister(h)
 	}
 
+	// The first repeat doubles as the recycling warm-up: pool fills,
+	// steady state begins. Ring allocations are counted from there —
+	// unless there is only one repeat, in which case the whole run is
+	// counted (never report a steady-state 0 that was not measured).
+	rs, hasRingStats := q.(ringStatser)
+	var warmHits, warmMisses uint64
+	if hasRingStats {
+		warmHits, warmMisses, _ = rs.RingStats()
+	}
+
 	throughputs := make([]float64, 0, cfg.Repeats)
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		elapsed, err := timedRun(q, cfg)
@@ -120,6 +161,9 @@ func Run(q queueiface.Queue, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		throughputs = append(throughputs, float64(cfg.Ops)/elapsed.Seconds()/1e6)
+		if rep == 0 && hasRingStats && cfg.Repeats > 1 {
+			warmHits, warmMisses, _ = rs.RingStats()
+		}
 	}
 
 	mean, cv := meanCV(throughputs)
@@ -127,7 +171,7 @@ func Run(q queueiface.Queue, cfg Config) (Result, error) {
 	if cfg.Batch > 1 {
 		workload = fmt.Sprintf("%s+batch%d", workload, cfg.Batch)
 	}
-	return Result{
+	res := Result{
 		QueueName:      q.Name(),
 		Workload:       workload,
 		Threads:        cfg.Threads,
@@ -135,7 +179,16 @@ func Run(q queueiface.Queue, cfg Config) (Result, error) {
 		Mops:           mean,
 		CV:             cv,
 		FootprintBytes: q.Footprint(),
-	}, nil
+	}
+	if hasRingStats {
+		hits, misses, _ := rs.RingStats()
+		res.RingAllocs = misses - warmMisses
+		res.RingRecycles = hits - warmHits
+	}
+	if pf, ok := q.(peakFootprinter); ok {
+		res.PeakFootprintBytes = pf.PeakFootprint()
+	}
+	return res, nil
 }
 
 // timedRun executes one timed repetition.
@@ -208,6 +261,17 @@ func worker(q queueiface.Queue, h queueiface.Handle, wl Workload, ops, tid int, 
 		for i := 0; i < ops; i++ {
 			q.Dequeue(h)
 		}
+	case RingChurn:
+		for done := 0; done < ops; {
+			for b := 0; b < churnBurst; b++ {
+				q.Enqueue(h, val)
+				val++
+			}
+			for b := 0; b < churnBurst; b++ {
+				q.Dequeue(h)
+			}
+			done += 2 * churnBurst
+		}
 	case MemoryTest:
 		for i := 0; i < ops; i++ {
 			if rng.next()&1 == 0 {
@@ -273,6 +337,30 @@ func batchWorker(q queueiface.BatchQueue, h queueiface.Handle, wl Workload, ops,
 	case EmptyDequeue:
 		for done := 0; done < ops; done++ {
 			q.DequeueBatch(h, vals) // one empty-exit check per call, as in scalar
+		}
+	case RingChurn:
+		for done := 0; done < ops; {
+			enq := 0
+			for b := 0; b < churnBurst; b += batch {
+				fill()
+				enq += q.EnqueueBatch(h, vals)
+			}
+			// Drain what was enqueued. Per-call counts matter: on small
+			// rings a batched dequeue returns at most one ring's worth,
+			// so a fixed iteration count would leak depth every burst.
+			drained := 0
+			for drained < enq {
+				k := enq - drained
+				if k > batch {
+					k = batch
+				}
+				m := q.DequeueBatch(h, vals[:k])
+				if m == 0 {
+					break // drained by a concurrent thread
+				}
+				drained += m
+			}
+			done += credit(enq + drained)
 		}
 	}
 }

@@ -26,6 +26,14 @@ type Experiment struct {
 	MeasureMemory bool
 	// Batch > 1 drives the batched fast paths in chunks of Batch.
 	Batch int
+	// RingOrder, when nonzero, overrides the sweep's ring order (the
+	// ring-churn experiment needs tiny rings to force hops).
+	RingOrder uint
+	// PoolSize, when nonzero, sets the wCQ-Unbounded ring-pool
+	// capacity PER WORKER THREAD: rings in flight scale with the
+	// number of concurrent burst cycles, so a fixed pool would starve
+	// at high thread counts.
+	PoolSize int
 }
 
 // Experiments is the full per-figure index (DESIGN.md §3).
@@ -52,10 +60,22 @@ var Experiments = []Experiment{
 		Queues: batchQueues, Batch: 16},
 	{ID: "striped", Figure: "B3 (striped front-end vs single ring, pairwise)", Workload: Pairwise,
 		Queues: []string{"wCQ", "wCQ-Striped"}},
+	// PR 2 series (DESIGN.md §8): the unbounded queue with ring
+	// recycling.
+	{ID: "unbounded", Figure: "C0 (unbounded vs bounded wCQ, pairwise)", Workload: Pairwise,
+		Queues: []string{"wCQ", "wCQ-Unbounded"}},
+	{ID: "ring-churn", Figure: "C1 (ring churn: order-3 rings, 64-op bursts; allocs after warm-up + peak footprint)",
+		Workload: RingChurn, Queues: []string{"wCQ-Unbounded"}, MeasureMemory: true,
+		RingOrder: 3, PoolSize: 16},
+	{ID: "ring-churn-batch", Figure: "C2 (ring churn through the batched paths, k=16)",
+		Workload: RingChurn, Queues: []string{"wCQ-Unbounded"}, MeasureMemory: true,
+		RingOrder: 3, PoolSize: 16, Batch: 16},
 }
 
-// batchQueues are the queues implementing queueiface.BatchQueue.
-var batchQueues = []string{"wCQ", "SCQ", "wCQ-Striped"}
+// batchQueues are the queues implementing queueiface.BatchQueue,
+// probed from the registry so a new batched queue joins the B-series
+// sweeps automatically.
+var batchQueues = registry.BatchNames()
 
 // ppcQueues mirrors Fig. 12's legend: LCRQ is absent (it requires true
 // CAS2 and "its results are only presented for x86_64").
@@ -109,15 +129,23 @@ func RunExperiment(w io.Writer, e Experiment, opts RunOptions) ([]Result, error)
 	if e.MeasureMemory {
 		fmt.Fprintf(tw, "footprint-MB\t")
 	}
+	if e.Workload == RingChurn {
+		fmt.Fprintf(tw, "ring-allocs\tring-recycles\tpeak-MB\t")
+	}
 	fmt.Fprintln(tw)
 
+	ringOrder := opts.RingOrder
+	if e.RingOrder != 0 {
+		ringOrder = e.RingOrder
+	}
 	var results []Result
 	for _, name := range e.Queues {
 		for _, threads := range opts.Threads {
 			q, err := registry.New(name, registry.Config{
 				Threads:     threads + 1, // +1 for the prefill handle
-				RingOrder:   opts.RingOrder,
+				RingOrder:   ringOrder,
 				EmulatedFAA: e.LLSC,
+				PoolSize:    e.PoolSize * threads,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: building %s: %w", name, err)
@@ -137,6 +165,10 @@ func RunExperiment(w io.Writer, e Experiment, opts RunOptions) ([]Result, error)
 			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.4f\t", res.QueueName, res.Threads, res.Mops, res.CV)
 			if e.MeasureMemory {
 				fmt.Fprintf(tw, "%.2f\t", float64(res.FootprintBytes)/(1<<20))
+			}
+			if e.Workload == RingChurn {
+				fmt.Fprintf(tw, "%d\t%d\t%.2f\t",
+					res.RingAllocs, res.RingRecycles, float64(res.PeakFootprintBytes)/(1<<20))
 			}
 			fmt.Fprintln(tw)
 		}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestResetRestoresEmptyState dirties a ring — traffic, slow paths,
+// finalization — and checks Reset returns it to the canonical fresh
+// state, including the finalize bit and the per-thread records.
+func TestResetRestoresEmptyState(t *testing.T) {
+	// Patience 1 + HelpDelay 1 forces slow-path traffic so the records
+	// are genuinely dirty before the reset.
+	q := Must(4, 4, Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1})
+	tid, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := q.N()
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < n; i++ {
+			q.Enqueue(tid, i)
+		}
+		for i := uint64(0); i < n; i++ {
+			if v, ok := q.Dequeue(tid); !ok || v != i {
+				t.Fatalf("round %d: dequeue %d got (%d,%v)", round, i, v, ok)
+			}
+		}
+	}
+	q.Finalize()
+	if !q.Finalized() {
+		t.Fatal("Finalize did not close the ring")
+	}
+
+	q.Reset()
+
+	if q.Finalized() {
+		t.Fatal("Reset did not clear the finalize bit")
+	}
+	twoN := uint64(2) << q.Order()
+	if q.Head() != twoN || q.Tail() != twoN {
+		t.Fatalf("Reset Head/Tail = %d/%d, want %d", q.Head(), q.Tail(), twoN)
+	}
+	if q.Threshold() != -1 {
+		t.Fatalf("Reset threshold = %d, want -1", q.Threshold())
+	}
+	if s := q.Stats(); s.SlowEnqueues != 0 || s.SlowDequeues != 0 || s.Helps != 0 {
+		t.Fatalf("Reset did not zero stats: %+v", s)
+	}
+	// The recycled ring must behave exactly like a fresh one. (WCQ
+	// carries ring indices, so values stay below the index-field bound.)
+	if _, ok := q.Dequeue(tid); ok {
+		t.Fatal("reset ring yielded a value")
+	}
+	for i := uint64(0); i < n; i++ {
+		q.Enqueue(tid, n-1-i)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := q.Dequeue(tid); !ok || v != n-1-i {
+			t.Fatalf("post-reset dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+// TestResetFullRestoresFreeRing checks the free-ring reset path: after
+// arbitrary traffic, ResetFull must hand back exactly indices 0..n-1.
+func TestResetFullRestoresFreeRing(t *testing.T) {
+	q := Must(3, 2, Options{})
+	q.InitFull()
+	tid, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := q.N()
+	// Dirty it: drain half, re-enqueue some out of order.
+	for i := uint64(0); i < n/2; i++ {
+		if _, ok := q.Dequeue(tid); !ok {
+			t.Fatalf("drain %d failed", i)
+		}
+	}
+	q.Enqueue(tid, 2)
+	q.Enqueue(tid, 0)
+
+	q.ResetFull()
+
+	seen := make(map[uint64]bool, n)
+	for i := uint64(0); i < n; i++ {
+		v, ok := q.Dequeue(tid)
+		if !ok {
+			t.Fatalf("free ring empty after %d of %d", i, n)
+		}
+		if v >= n || seen[v] {
+			t.Fatalf("free ring yielded invalid/duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	if _, ok := q.Dequeue(tid); ok {
+		t.Fatal("free ring over-full after ResetFull")
+	}
+}
+
+// TestResetReuseUnderConcurrency runs MPMC rounds against one
+// value-level queue, resetting its two rings between rounds exactly
+// the way the unbounded queue's pool does (aq to empty, fq to full) —
+// every round must behave like a fresh queue.
+func TestResetReuseUnderConcurrency(t *testing.T) {
+	const workers = 4
+	per := uint64(5000)
+	if testing.Short() {
+		per = 500
+	}
+	q := MustQueue[uint64](10, workers, Options{EnqPatience: 2, DeqPatience: 2, HelpDelay: 2})
+	for round := 0; round < 3; round++ {
+		var produced, consumed sync.Map
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(w int, h *Handle) {
+				defer wg.Done()
+				defer q.Unregister(h)
+				base := uint64(w) << 32
+				for i := uint64(0); i < per; i++ {
+					if !q.Enqueue(h, base|i) {
+						t.Errorf("round %d: enqueue rejected below capacity", round)
+						return
+					}
+					produced.Store(base|i, true)
+					if v, ok := q.Dequeue(h); ok {
+						if _, dup := consumed.LoadOrStore(v, true); dup {
+							t.Errorf("round %d: duplicate %#x", round, v)
+							return
+						}
+					}
+				}
+			}(w, h)
+		}
+		wg.Wait()
+		// Drain the remainder and account for every produced value.
+		h, _ := q.Register()
+		for {
+			v, ok := q.Dequeue(h)
+			if !ok {
+				break
+			}
+			if _, dup := consumed.LoadOrStore(v, true); dup {
+				t.Fatalf("round %d: duplicate %#x in drain", round, v)
+			}
+		}
+		q.Unregister(h)
+		produced.Range(func(k, _ any) bool {
+			if _, ok := consumed.Load(k); !ok {
+				t.Fatalf("round %d: lost value %#x", round, k)
+			}
+			return true
+		})
+		// Quiescent (all workers joined): recycle the queue the way the
+		// ring pool does.
+		q.aq.Reset()
+		q.fq.ResetFull()
+		clear(q.data)
+	}
+}

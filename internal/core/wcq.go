@@ -320,6 +320,59 @@ func (q *WCQ) initEmpty() {
 	q.threshold.Store(-1)
 }
 
+// Reset returns the ring to its post-New empty state — entries,
+// Head/Tail, threshold and every per-thread record — without
+// reallocating, so a drained ring can be recycled through a pool
+// (DESIGN.md §8). The caller must guarantee quiescence: no operation
+// may be in flight on the ring, and none may start until Reset
+// returns. The unbounded queue's hazard-pointer protocol provides
+// exactly that window (a ring is reset only after reclamation proves
+// no thread can still dereference it). Registration state is
+// preserved: thread ids stay valid across a reset.
+func (q *WCQ) Reset() {
+	q.resetRecords()
+	q.initEmpty()
+}
+
+// ResetFull is Reset for free-index rings: it restores the InitFull
+// state (indices 0..n-1 enqueued) instead of the empty state. Same
+// quiescence contract as Reset.
+func (q *WCQ) ResetFull() {
+	q.resetRecords()
+	q.InitFull()
+}
+
+// resetRecords restores every per-thread record to its post-New state.
+// Counters (localHead/localTail, seq1/seq2, phase2) must be rewound
+// together with the global Head/Tail: the slow path's staleness guards
+// compare them, and a stale high counter from a previous life of the
+// ring could otherwise alias a future request. pending is already
+// false for every record (quiescence), so helpers cannot observe the
+// intermediate states.
+func (q *WCQ) resetRecords() {
+	for i := range q.records {
+		r := &q.records[i]
+		r.nextCheck = q.helpDelay
+		r.nextTid = (i + 1) % len(q.records)
+		r.statSlowEnq.Store(0)
+		r.statSlowDeq.Store(0)
+		r.statHelps.Store(0)
+		r.phase2.seq1.Store(0)
+		r.phase2.local.Store(nil)
+		r.phase2.cnt.Store(0)
+		r.phase2.seq2.Store(0)
+		r.seq1.Store(1)
+		r.enqueue.Store(false)
+		r.pending.Store(false)
+		r.localTail.Store(0)
+		r.initTail.Store(0)
+		r.localHead.Store(0)
+		r.initHead.Store(0)
+		r.index.Store(0)
+		r.seq2.Store(0)
+	}
+}
+
 // InitFull fills the ring with indices 0..n-1 (the free queue's start
 // state). Must be called before concurrent use.
 func (q *WCQ) InitFull() {

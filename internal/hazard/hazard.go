@@ -45,7 +45,12 @@ type slot struct {
 type retireSet struct {
 	_     pad.DoublePad
 	nodes []retiree
-	_     pad.DoublePad
+	// scratch is the hazard snapshot reused across scans. Owned by the
+	// retiring thread, so reuse is race-free; keeping it here makes the
+	// reclamation path allocation-free in steady state, which matters
+	// for retire-heavy users (ring recycling, node pools).
+	scratch map[unsafe.Pointer]struct{}
+	_       pad.DoublePad
 }
 
 type retiree struct {
@@ -102,20 +107,31 @@ func (d *Domain) Retire(tid int, p unsafe.Pointer, free func(unsafe.Pointer)) {
 	}
 }
 
+// Scan frees every node on the caller's retire list that is not
+// currently protected by any thread. Retire runs it automatically past
+// the inventory threshold; callers recycling through a bounded pool
+// may also invoke it on a pool miss to pull reclaimable nodes forward
+// instead of allocating.
+func (d *Domain) Scan(tid int) { d.scan(tid) }
+
 // scan frees every retired node not currently protected by any thread.
 func (d *Domain) scan(tid int) {
-	hazards := make(map[unsafe.Pointer]bool, d.nthreads*SlotsPerThread)
+	rs := &d.retired[tid]
+	if rs.scratch == nil {
+		rs.scratch = make(map[unsafe.Pointer]struct{}, d.nthreads*SlotsPerThread)
+	}
+	hazards := rs.scratch
+	clear(hazards)
 	for t := range d.slots {
 		for i := range d.slots[t].p {
 			if p := d.slots[t].p[i].Load(); p != nil {
-				hazards[unsafe.Pointer(p)] = true
+				hazards[unsafe.Pointer(p)] = struct{}{}
 			}
 		}
 	}
-	rs := &d.retired[tid]
 	kept := rs.nodes[:0]
 	for _, r := range rs.nodes {
-		if hazards[r.ptr] {
+		if _, held := hazards[r.ptr]; held {
 			kept = append(kept, r)
 			continue
 		}

@@ -105,6 +105,35 @@ func TestProtectFromStability(t *testing.T) {
 	wg.Wait()
 }
 
+// TestScanAllocationFree pins the reclamation path's steady-state
+// allocation behaviour: after warm-up (scratch set and retire list at
+// capacity), Retire+Scan must not allocate — ring recycling leans on
+// this to keep the whole hop path allocation-free.
+func TestScanAllocationFree(t *testing.T) {
+	d := NewDomain(4)
+	noop := func(unsafe.Pointer) {}
+	objs := make([]*int, 64)
+	for i := range objs {
+		objs[i] = new(int)
+	}
+	// Warm up: size the scratch map and the retire-list capacity.
+	d.Protect(1, 0, unsafe.Pointer(objs[0])) // keep the snapshot non-empty
+	for i := range objs {
+		d.Retire(0, unsafe.Pointer(objs[i]), noop)
+	}
+	d.Scan(0)
+
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		d.Retire(0, unsafe.Pointer(objs[i%len(objs)]), noop)
+		d.Scan(0)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Retire+Scan allocated %.1f objects per run; want 0", allocs)
+	}
+}
+
 func TestConcurrentRetireAndScan(t *testing.T) {
 	const threads = 4
 	d := NewDomain(threads)

@@ -17,12 +17,19 @@ import "sync/atomic"
 type Counter struct {
 	live  atomic.Int64
 	total atomic.Int64
+	peak  atomic.Int64
 }
 
 // Alloc records size bytes becoming live.
 func (c *Counter) Alloc(size int64) {
-	c.live.Add(size)
+	live := c.live.Add(size)
 	c.total.Add(size)
+	for {
+		p := c.peak.Load()
+		if live <= p || c.peak.CompareAndSwap(p, live) {
+			return
+		}
+	}
 }
 
 // Free records size bytes ceasing to be live (retired to the allocator
@@ -31,6 +38,11 @@ func (c *Counter) Free(size int64) { c.live.Add(-size) }
 
 // Live returns the currently live queue-owned bytes.
 func (c *Counter) Live() int64 { return c.live.Load() }
+
+// Peak returns the high-water mark of Live over the counter's
+// lifetime. The boundedness claim of a recycling queue is exactly
+// "Peak stops growing once the pool is warm".
+func (c *Counter) Peak() int64 { return c.peak.Load() }
 
 // Total returns the cumulative bytes ever allocated, live or not.
 // LCRQ-style algorithms show the gap between Total and Live as

@@ -21,6 +21,24 @@ func TestCounterBasics(t *testing.T) {
 	}
 }
 
+func TestCounterPeak(t *testing.T) {
+	var c Counter
+	c.Alloc(100)
+	c.Alloc(50)
+	c.Free(120)
+	if c.Peak() != 150 {
+		t.Fatalf("peak = %d, want 150", c.Peak())
+	}
+	c.Alloc(30) // live 60: below the old peak
+	if c.Peak() != 150 {
+		t.Fatalf("peak moved below the high-water mark: %d", c.Peak())
+	}
+	c.Alloc(200) // live 260: new peak
+	if c.Peak() != 260 {
+		t.Fatalf("peak = %d, want 260", c.Peak())
+	}
+}
+
 func TestCounterConcurrent(t *testing.T) {
 	var c Counter
 	var wg sync.WaitGroup

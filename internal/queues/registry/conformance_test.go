@@ -9,15 +9,19 @@ import (
 	"wcqueue/internal/queues/queueiface"
 )
 
-// conformanceNames are the real queues; FAA is excluded from semantic
-// tests (it is, by design, not a correct queue). wCQ-Striped is
-// included: it is FIFO per handle, which is exactly what every check
-// here observes (sequential tests use one handle; the MPMC checker
-// verifies per-producer order, and each producer is one handle).
-var conformanceNames = []string{"wCQ", "SCQ", "wCQ-Striped", "LCRQ", "MSQueue", "YMC", "CRTurn", "CCQueue"}
+// conformanceNames are the real queues, taken from the registry so a
+// newly registered queue is covered automatically; FAA is excluded (it
+// is, by design, not a correct queue). wCQ-Striped is included: it is
+// FIFO per handle, which is exactly what every check here observes
+// (sequential tests use one handle; the MPMC checker verifies
+// per-producer order, and each producer is one handle). wCQ-Unbounded
+// is included since PR 2 and additionally exercises ring recycling
+// whenever traffic spans multiple rings.
+var conformanceNames = ConformingNames()
 
-// batchNames are the queues implementing queueiface.BatchQueue.
-var batchNames = []string{"wCQ", "SCQ", "wCQ-Striped"}
+// batchNames are the queues implementing queueiface.BatchQueue,
+// probed from the registry.
+var batchNames = BatchNames()
 
 func build(t *testing.T, name string, threads int) queueiface.Queue {
 	t.Helper()

@@ -33,6 +33,9 @@ type Config struct {
 	// Stripes sets the lane count of the wCQ-Striped build. Zero
 	// selects 4.
 	Stripes int
+	// PoolSize sets the wCQ-Unbounded ring-pool capacity. Zero selects
+	// the package default.
+	PoolSize int
 }
 
 func (c Config) stripes() int {
@@ -57,6 +60,43 @@ func Names() []string {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	return names
+}
+
+// nonSemantic marks registered queues that intentionally violate FIFO
+// semantics and therefore must not run under correctness checkers
+// (FAA is the paper's throughput ceiling, not a correct queue).
+var nonSemantic = map[string]bool{"FAA": true}
+
+// ConformingNames lists every registered queue with full FIFO
+// semantics — the set the conformance, model and stress suites drive.
+// Derived from the builder table so a newly registered queue is
+// covered automatically.
+func ConformingNames() []string {
+	var names []string
+	for _, n := range Names() {
+		if !nonSemantic[n] {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// BatchNames lists every conforming queue whose build implements
+// queueiface.BatchQueue, probed from the builder table (a tiny build
+// per name) so a newly registered batched queue picks up batch
+// conformance and benchmarks automatically.
+func BatchNames() []string {
+	var names []string
+	for _, n := range ConformingNames() {
+		q, err := New(n, Config{Threads: 1, RingOrder: 4})
+		if err != nil {
+			continue
+		}
+		if _, ok := q.(queueiface.BatchQueue); ok {
+			names = append(names, n)
+		}
+	}
 	return names
 }
 
@@ -100,6 +140,17 @@ var builders = map[string]func(Config) (queueiface.Queue, error){
 			return nil, err
 		}
 		return &stripedAdapter{q: q}, nil
+	},
+	"wCQ-Unbounded": func(c Config) (queueiface.Queue, error) {
+		opts := stripedOpts(c)
+		if c.PoolSize > 0 {
+			opts = append(opts, wcq.WithRingPool(c.PoolSize))
+		}
+		q, err := wcq.NewUnbounded[uint64](c.ringOrder(), c.Threads, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &unboundedAdapter{q: q}, nil
 	},
 	"LCRQ":    func(c Config) (queueiface.Queue, error) { return lcrq.New(), nil },
 	"MSQueue": func(c Config) (queueiface.Queue, error) { return msq.New(c.Threads), nil },
@@ -149,6 +200,40 @@ func stripedOpts(c Config) []wcq.Option {
 		return []wcq.Option{wcq.WithEmulatedFAA()}
 	}
 	return nil
+}
+
+// unboundedAdapter exposes wcq.Unbounded through queueiface. Enqueue
+// never fails (the queue grows), so the bool is always true.
+type unboundedAdapter struct {
+	q *wcq.Unbounded[uint64]
+}
+
+func (a *unboundedAdapter) Register() (queueiface.Handle, error) { return a.q.Register() }
+func (a *unboundedAdapter) Unregister(h queueiface.Handle) {
+	a.q.Unregister(h.(*wcq.UnboundedHandle))
+}
+func (a *unboundedAdapter) Enqueue(h queueiface.Handle, v uint64) bool {
+	a.q.Enqueue(h.(*wcq.UnboundedHandle), v)
+	return true
+}
+func (a *unboundedAdapter) Dequeue(h queueiface.Handle) (uint64, bool) {
+	return a.q.Dequeue(h.(*wcq.UnboundedHandle))
+}
+func (a *unboundedAdapter) EnqueueBatch(h queueiface.Handle, vs []uint64) int {
+	a.q.EnqueueBatch(h.(*wcq.UnboundedHandle), vs)
+	return len(vs)
+}
+func (a *unboundedAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
+	return a.q.DequeueBatch(h.(*wcq.UnboundedHandle), out)
+}
+func (a *unboundedAdapter) Footprint() int64     { return a.q.Footprint() }
+func (a *unboundedAdapter) PeakFootprint() int64 { return a.q.PeakFootprint() }
+func (a *unboundedAdapter) Name() string         { return "wCQ-Unbounded" }
+
+// RingStats exposes the recycling counters for the ring-churn
+// benchmark (bench.ringStatser).
+func (a *unboundedAdapter) RingStats() (hits, misses, drops uint64) {
+	return a.q.RingStats()
 }
 
 // stripedAdapter exposes wcq.Striped through queueiface.

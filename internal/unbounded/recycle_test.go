@@ -1,0 +1,224 @@
+package unbounded
+
+import (
+	"testing"
+	"unsafe"
+
+	"wcqueue/internal/core"
+)
+
+// TestRingBytesTracksElementSize is the regression test for the
+// footprint formula: the data array must be accounted at the true
+// element size, not a hardcoded 8 bytes per slot.
+func TestRingBytesTracksElementSize(t *testing.T) {
+	type elem24 struct{ a, b, c uint64 }
+	if s := unsafe.Sizeof(elem24{}); s != 24 {
+		t.Fatalf("test element is %d bytes, want 24", s)
+	}
+	const order, threads = 4, 2
+	// Expected bytes per ring derive from core's own accounting (two
+	// index rings) plus the data array at the true element size.
+	indexRings := 2 * core.Must(order, threads, core.Options{}).Footprint()
+	want := func(elemSize int64) int64 {
+		return indexRings + (int64(1)<<order)*elemSize
+	}
+	q24 := Must[elem24](order, threads, 0, core.Options{})
+	if got := q24.Footprint(); got != want(24) {
+		t.Fatalf("24-byte element footprint = %d, want %d", got, want(24))
+	}
+	q8 := Must[uint64](order, threads, 0, core.Options{})
+	if got := q8.Footprint(); got != want(8) {
+		t.Fatalf("8-byte element footprint = %d, want %d", got, want(8))
+	}
+	if q24.Footprint()-q8.Footprint() != (24-8)*(1<<order) {
+		t.Fatalf("element-size delta wrong: %d vs %d", q24.Footprint(), q8.Footprint())
+	}
+}
+
+// TestRecycleSequential pushes enough traffic through a tiny-ring
+// queue to cycle the pool many times and checks FIFO plus the pool
+// counters: after the first hops, rings must come from the pool, not
+// the allocator.
+func TestRecycleSequential(t *testing.T) {
+	q := Must[uint64](3, 1, 8, core.Options{}) // 8-slot rings, pool of 8
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20_000 // ≫ ring capacity: thousands of hops
+	const lag = 12   // constant depth ≈ 1.5 rings: hops happen steadily
+	var out uint64
+	for i := uint64(0); i < n; i++ {
+		q.Enqueue(h, i)
+		if i >= lag {
+			v, ok := q.Dequeue(h)
+			if !ok || v != out {
+				t.Fatalf("dequeue: got (%d,%v) want %d", v, ok, out)
+			}
+			out++
+		}
+	}
+	for ; out < n; out++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != out {
+			t.Fatalf("drain: got (%d,%v) want %d", v, ok, out)
+		}
+	}
+	hits, misses, _ := q.RingStats()
+	if hits == 0 {
+		t.Fatal("no ring was ever recycled through the pool")
+	}
+	if hits < 10*misses {
+		t.Fatalf("pool barely used: %d hits vs %d misses", hits, misses)
+	}
+}
+
+// TestRecycleStressMPMC churns rings through the recycled pool under
+// full MPMC contention — order-3 rings, many hops — and runs the
+// standard no-loss/no-duplication/per-producer-FIFO checks. Runs under
+// -race in CI.
+func TestRecycleStressMPMC(t *testing.T) {
+	producers, consumers := 4, 4
+	per := uint64(8_000)
+	if testing.Short() {
+		per = 800
+	}
+	q := Must[uint64](3, producers+consumers, 32, core.Options{})
+	runMPMC(t, q, producers, consumers, per)
+	hits, _, _ := q.RingStats()
+	if hits == 0 {
+		t.Fatal("MPMC churn never recycled a ring")
+	}
+}
+
+// TestRecycleStressMPMCForcedSlowPath is the same churn with patience
+// 1, so recycled rings also carry slow-path helping state through
+// Reset.
+func TestRecycleStressMPMCForcedSlowPath(t *testing.T) {
+	producers, consumers := 4, 4
+	per := uint64(3_000)
+	if testing.Short() {
+		per = 300
+	}
+	opts := core.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+	q := Must[uint64](3, producers+consumers, 32, opts)
+	runMPMC(t, q, producers, consumers, per)
+}
+
+// TestBoundedFootprintOverHops is the boundedness property: with a
+// warm pool, Footprint and the hazard-retired inventory must stay flat
+// over ≥10k ring hops, and no ring may be allocated after warm-up.
+func TestBoundedFootprintOverHops(t *testing.T) {
+	q := Must[uint64](3, 1, 16, core.Options{}) // 8-slot rings
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burst = 64 // ~8 ring hops per cycle
+	cycle := func() {
+		for i := uint64(0); i < burst; i++ {
+			q.Enqueue(h, i)
+		}
+		for i := uint64(0); i < burst; i++ {
+			if _, ok := q.Dequeue(h); !ok {
+				t.Fatal("drain failed mid-cycle")
+			}
+		}
+	}
+	for i := 0; i < 50; i++ { // warm-up: fill the pool
+		cycle()
+	}
+	flat := q.Footprint()
+	_, warmMisses, _ := q.RingStats()
+	retireBound := 2 * (q.nthreads + 1) * 3 // hazard H·R inventory bound
+	const cycles = 1500                     // ≈12k hops at ~8 hops/cycle
+	for i := 0; i < cycles; i++ {
+		cycle()
+		if f := q.Footprint(); f > flat {
+			t.Fatalf("cycle %d: footprint grew %d -> %d", i, flat, f)
+		}
+		if r := q.RetiredRings(); r > retireBound {
+			t.Fatalf("cycle %d: retired inventory %d exceeds bound %d", i, r, retireBound)
+		}
+	}
+	if _, misses, _ := q.RingStats(); misses != warmMisses {
+		t.Fatalf("steady state allocated %d rings; want 0", misses-warmMisses)
+	}
+	if q.PeakFootprint() < flat {
+		t.Fatalf("peak %d below live %d", q.PeakFootprint(), flat)
+	}
+}
+
+// TestRecycleBatchChurn drives the batched paths across pool-recycled
+// rings (order 3, batches straddling every finalization) and checks
+// strict FIFO.
+func TestRecycleBatchChurn(t *testing.T) {
+	q := Must[uint64](3, 1, 8, core.Options{})
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10_000
+	buf := make([]uint64, 16)
+	next, out := uint64(0), uint64(0)
+	for next < n {
+		k := uint64(len(buf))
+		if n-next < k {
+			k = n - next
+		}
+		for i := uint64(0); i < k; i++ {
+			buf[i] = next + i
+		}
+		q.EnqueueBatch(h, buf[:k])
+		next += k
+		for out+8 < next { // keep ~1 ring of lag
+			m := q.DequeueBatch(h, buf[:8])
+			if m == 0 {
+				t.Fatalf("empty with %d outstanding", next-out)
+			}
+			for i := 0; i < m; i++ {
+				if buf[i] != out {
+					t.Fatalf("batch dequeue: got %d want %d", buf[i], out)
+				}
+				out++
+			}
+		}
+	}
+	for out < n {
+		v, ok := q.Dequeue(h)
+		if !ok || v != out {
+			t.Fatalf("drain: got (%d,%v) want %d", v, ok, out)
+		}
+		out++
+	}
+	if hits, _, _ := q.RingStats(); hits == 0 {
+		t.Fatal("batched churn never recycled a ring")
+	}
+}
+
+// TestStatsExposesPoolCounters covers the Stats aggregation across
+// linked rings plus the pool counters while rings are mid-churn.
+func TestStatsExposesPoolCounters(t *testing.T) {
+	q := Must[uint64](3, 2, 4, core.Options{})
+	h, _ := q.Register()
+	for i := uint64(0); i < 500; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < 400; i++ {
+		if _, ok := q.Dequeue(h); !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+	}
+	s := q.Stats() // hazard-protected traversal; must not race or loop
+	if s.PoolHits == 0 && s.PoolMisses == 0 {
+		t.Fatal("stats report no ring traffic despite churn")
+	}
+	if s.PoolHits != 0 && s.PoolMisses == 0 {
+		t.Fatal("hits without a single allocating miss is impossible")
+	}
+	for i := uint64(400); i < 500; i++ {
+		if v, ok := q.Dequeue(h); !ok || v != i {
+			t.Fatalf("drain %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Package unbounded implements the unbounded queue of the paper's
 // Appendix A: wait-free bounded rings (wCQ) linked into an outer list,
-// with finalized rings drained and unlinked.
+// with finalized rings drained, unlinked and recycled.
 //
 // The outer layer here is the Michael & Scott-style list the paper
 // describes for LCRQ/LSCQ ("Unbounded queues can be created by linking
@@ -10,6 +10,18 @@
 // fresh ring. Dequeuers advance past a finalized ring only after
 // observing it empty twice with a threshold reset in between
 // (Figure 13, lines 59-63).
+//
+// Memory: drained rings are not left to the garbage collector. The
+// dequeuer that wins the head-unlink CAS retires the ring through a
+// hazard-pointer domain; once no thread can still hold a reference,
+// the ring lands in a bounded per-queue pool and the next ring hop
+// reuses it via core.WCQ.Reset/ResetFull instead of allocating. In
+// steady state (pool warm, hop rate within pool capacity) the hot
+// path is allocation-free and Footprint stays flat — the paper's
+// bounded-memory headline extended to the Appendix A composition
+// (DESIGN.md §8). Ring reuse reintroduces the ABA hazard on the
+// head/tail/next pointers that GC reclamation used to mask, so every
+// traversal publishes a hazard pointer before dereferencing a ring.
 //
 // Progress: dequeues inherit wCQ's wait-freedom per ring; enqueues are
 // lock-free overall (ring hopping is unbounded only if other enqueues
@@ -23,11 +35,19 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"wcqueue/internal/core"
+	"wcqueue/internal/hazard"
 	"wcqueue/internal/memtrack"
 	"wcqueue/internal/pad"
 )
+
+// DefaultPoolSize is the ring-pool capacity selected when the caller
+// passes poolSize <= 0. Sized for moderate hop concurrency; workloads
+// that hop many rings between reclamation points (small orders, deep
+// bursts) should size the pool to the rings they churn per cycle.
+const DefaultPoolSize = 4
 
 // ring is one finalizable wCQ with its value storage.
 type ring[T any] struct {
@@ -115,6 +135,26 @@ func (r *ring[T]) deq(tid int) (v T, ok bool) {
 	return v, true
 }
 
+// scrub drops the ring's outbound references — user values left in
+// slots whose enqueue was abandoned at finalization (or by an
+// append-race loser), and the stale next pointer. Runs when the ring
+// is parked in the pool, so pooled rings never keep user objects or
+// successor rings live across an idle period. Only called on
+// quiescent rings (unreachable from the list and past hazard
+// reclamation, or never published).
+func (r *ring[T]) scrub() {
+	clear(r.data)
+	r.next.Store(nil)
+}
+
+// reset returns a scrubbed ring's index rings to their fresh state for
+// reuse. Same quiescence contract as scrub (pool-owned rings only);
+// deferred to reuse time so rings dropped to the GC skip the work.
+func (r *ring[T]) reset() {
+	r.aq.Reset()
+	r.fq.ResetFull()
+}
+
 // Queue is the unbounded MPMC queue.
 type Queue[T any] struct {
 	_    pad.DoublePad
@@ -126,6 +166,21 @@ type Queue[T any] struct {
 	order    uint
 	nthreads int
 	opts     core.Options
+	ringFoot int64 // bytes per ring, element-size aware
+
+	// Ring recycling: retired rings pass through dom (so no thread can
+	// still dereference them) into the bounded pool; ring hops reuse
+	// pooled rings after reset. statsTid is the extra hazard-domain
+	// slot reserved for the handle-less Stats traversal.
+	dom      *hazard.Domain
+	pool     []atomic.Pointer[ring[T]]
+	freeRing func(unsafe.Pointer) // built once: hop path must not allocate
+	statsTid int
+	statsMu  sync.Mutex
+
+	poolHits   atomic.Uint64 // ring hops served from the pool
+	poolMisses atomic.Uint64 // ring hops that had to allocate
+	poolDrops  atomic.Uint64 // retired rings dropped (pool full)
 
 	mu   sync.Mutex
 	free []int
@@ -135,6 +190,13 @@ type Queue[T any] struct {
 // Handle is a registered thread slot, valid across all rings.
 type Handle struct {
 	tid int
+	// hp mirrors the ring currently published in the tid's hazard
+	// slot 0. Operations leave the slot published between calls and
+	// skip the (sequentially consistent, hence costly) re-publish when
+	// the ring has not changed; the one stale ring a parked handle can
+	// pin is bounded standby memory, same as a pool slot. Owned by the
+	// handle's goroutine.
+	hp unsafe.Pointer
 	// scratch carries batch index buffers; owned by the handle's
 	// goroutine, so reuse is race-free.
 	scratch []uint64
@@ -149,17 +211,26 @@ func (h *Handle) buf(k int) []uint64 {
 }
 
 // New creates an unbounded queue whose rings hold 2^order values each,
-// for up to numThreads registered handles.
-func New[T any](order uint, numThreads int, opts core.Options) (*Queue[T], error) {
+// for up to numThreads registered handles. Up to poolSize drained
+// rings are retained for reuse (<= 0 selects DefaultPoolSize); rings
+// retired beyond that are dropped to the garbage collector.
+func New[T any](order uint, numThreads, poolSize int, opts core.Options) (*Queue[T], error) {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
 	q := &Queue[T]{
 		order:    order,
 		nthreads: numThreads,
 		opts:     opts,
+		dom:      hazard.NewDomain(numThreads + 1), // +1: reserved Stats slot
+		pool:     make([]atomic.Pointer[ring[T]], poolSize),
+		statsTid: numThreads,
 		free:     make([]int, 0, numThreads),
 	}
 	for i := numThreads - 1; i >= 0; i-- {
 		q.free = append(q.free, i)
 	}
+	q.freeRing = func(p unsafe.Pointer) { q.poolPut((*ring[T])(p)) }
 	first, err := q.newRing()
 	if err != nil {
 		return nil, err
@@ -170,8 +241,8 @@ func New[T any](order uint, numThreads int, opts core.Options) (*Queue[T], error
 }
 
 // Must is New that panics on error.
-func Must[T any](order uint, numThreads int, opts core.Options) *Queue[T] {
-	q, err := New[T](order, numThreads, opts)
+func Must[T any](order uint, numThreads, poolSize int, opts core.Options) *Queue[T] {
+	q, err := New[T](order, numThreads, poolSize, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -189,15 +260,106 @@ func (q *Queue[T]) newRing() (*ring[T], error) {
 	}
 	fq.InitFull()
 	r := &ring[T]{aq: aq, fq: fq, data: make([]T, 1<<q.order)}
+	if q.ringFoot == 0 {
+		// Every ring is identical; take the index rings' exact
+		// footprint from core (entries + per-thread records) and add
+		// the data array at the element's true size. First call runs
+		// inside New, before any concurrency.
+		var zero T
+		q.ringFoot = aq.Footprint() + fq.Footprint() + (int64(1)<<q.order)*int64(unsafe.Sizeof(zero))
+	}
 	q.mem.Alloc(q.ringBytes())
 	return r, nil
 }
 
-func (q *Queue[T]) ringBytes() int64 {
-	// Two index rings of 2n 8-byte entries plus the data array and
-	// per-thread records; a close estimate is enough for the memory
-	// experiment.
-	return 2*(int64(2)<<q.order)*8 + (int64(1)<<q.order)*8 + int64(q.nthreads)*1024
+func (q *Queue[T]) ringBytes() int64 { return q.ringFoot }
+
+// getRing produces the fresh ring for a hop: pooled and reset when
+// possible, newly allocated otherwise. A pool miss first runs a hazard
+// scan over the caller's own retire list so rings awaiting reclamation
+// are pulled forward instead of allocating.
+func (q *Queue[T]) getRing(tid int) (*ring[T], error) {
+	if r := q.poolGet(); r != nil {
+		q.poolHits.Add(1)
+		r.reset()
+		return r, nil
+	}
+	q.dom.Scan(tid)
+	if r := q.poolGet(); r != nil {
+		q.poolHits.Add(1)
+		r.reset()
+		return r, nil
+	}
+	q.poolMisses.Add(1)
+	return q.newRing()
+}
+
+// poolGet pops any pooled ring. The per-slot CAS is ABA-free: slots
+// only ever swing between nil and a quiescent ring, and whichever ring
+// is won is valid regardless of interleaving.
+func (q *Queue[T]) poolGet() *ring[T] {
+	for i := range q.pool {
+		if r := q.pool[i].Load(); r != nil && q.pool[i].CompareAndSwap(r, nil) {
+			return r
+		}
+	}
+	return nil
+}
+
+// poolPut scrubs a quiescent ring and stashes it for reuse, or drops
+// it to the GC when the pool is full (the drop is what keeps the pool
+// — and hence Footprint — bounded).
+func (q *Queue[T]) poolPut(r *ring[T]) {
+	r.scrub()
+	for i := range q.pool {
+		if q.pool[i].Load() == nil && q.pool[i].CompareAndSwap(nil, r) {
+			return
+		}
+	}
+	q.poolDrops.Add(1)
+	q.mem.Free(q.ringBytes())
+}
+
+// retireRing hands an unlinked ring to the hazard domain; once no
+// thread holds a hazard pointer to it, it is pooled for reuse. The
+// ring stays accounted in Footprint while retired or pooled — that
+// inventory is precisely the bounded standby memory of the design.
+func (q *Queue[T]) retireRing(tid int, r *ring[T]) {
+	q.dom.Retire(tid, unsafe.Pointer(r), q.freeRing)
+}
+
+// protect publishes a validated hazard pointer to *src (head or tail)
+// in the handle's slot 0. On return the ring cannot be reset or reused
+// until the slot is overwritten, even if it is concurrently unlinked.
+// When the slot already publishes the ring (h.hp cache), the store is
+// skipped: protection has then been continuous since the previous
+// publish, which is strictly stronger than re-publishing.
+func (q *Queue[T]) protect(h *Handle, src *atomic.Pointer[ring[T]]) *ring[T] {
+	for {
+		r := src.Load()
+		if p := unsafe.Pointer(r); h.hp != p {
+			q.dom.Protect(h.tid, 0, p)
+			h.hp = p
+		}
+		if src.Load() == r {
+			return r
+		}
+	}
+}
+
+func (q *Queue[T]) protectHead(h *Handle) *ring[T] { return q.protect(h, &q.head) }
+func (q *Queue[T]) protectTail(h *Handle) *ring[T] { return q.protect(h, &q.tail) }
+
+// protectHeadAt is the uncached protect loop for the reserved Stats
+// tid (no handle).
+func (q *Queue[T]) protectHeadAt(tid int) *ring[T] {
+	for {
+		r := q.head.Load()
+		q.dom.Protect(tid, 0, unsafe.Pointer(r))
+		if q.head.Load() == r {
+			return r
+		}
+	}
 }
 
 // Register claims a thread slot.
@@ -212,66 +374,143 @@ func (q *Queue[T]) Register() (*Handle, error) {
 	return &Handle{tid: tid}, nil
 }
 
-// Unregister releases a thread slot.
+// Unregister releases a thread slot, clearing its hazard slot so the
+// departing handle stops pinning a ring, and scanning its retire list
+// so rings it retired reach the pool instead of being stranded until
+// the tid is reused (a ring still protected by another thread at this
+// instant stays listed and is reclaimed when the tid re-registers and
+// churns again).
 func (q *Queue[T]) Unregister(h *Handle) {
+	q.dom.Clear(h.tid)
+	h.hp = nil
+	q.dom.Scan(h.tid)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.free = append(q.free, h.tid)
 }
 
-// Footprint returns live queue-owned bytes (all linked rings).
+// Footprint returns live queue-owned bytes: linked rings plus the
+// standby inventory (pooled rings and retired rings awaiting hazard
+// reclamation). Both components are bounded, so under steady traffic
+// the value is flat — the paper's bounded-memory property carried over
+// to the unbounded composition.
 func (q *Queue[T]) Footprint() int64 { return q.mem.Live() }
+
+// PeakFootprint returns the high-water mark of Footprint over the
+// queue's lifetime.
+func (q *Queue[T]) PeakFootprint() int64 { return q.mem.Peak() }
+
+// PoolCap returns the ring-pool capacity.
+func (q *Queue[T]) PoolCap() int { return len(q.pool) }
+
+// RingStats reports the recycling counters: hops served from the pool,
+// hops that allocated a fresh ring, and retired rings dropped because
+// the pool was full. In steady state at sufficient pool capacity,
+// misses stop growing — the allocation-free property the ring-churn
+// benchmark asserts.
+func (q *Queue[T]) RingStats() (hits, misses, drops uint64) {
+	return q.poolHits.Load(), q.poolMisses.Load(), q.poolDrops.Load()
+}
+
+// RetiredRings reports rings handed to the hazard domain and not yet
+// reclaimed into the pool (test hook for the boundedness property).
+func (q *Queue[T]) RetiredRings() int { return q.dom.RetiredCount() }
 
 // MaxOps returns the per-ring safe-operation bound. Unlike the bounded
 // queue the limit is not cumulative: every fresh ring starts a new
-// budget, so only a single ring's traffic counts against it.
+// budget, so only a single ring's traffic counts against it. The
+// unprotected dereference is safe: MaxOps is immutable per ring and
+// identical across all rings of the queue.
 func (q *Queue[T]) MaxOps() uint64 {
 	r := q.head.Load()
 	return min(r.aq.MaxOps(), r.fq.MaxOps())
 }
 
 // Stats aggregates the slow-path statistics of the currently linked
-// rings. Counters of unlinked (drained) rings are gone, so values are
-// a lower bound over the queue's lifetime — still the right signal for
-// "is the wait-free machinery being exercised right now".
-func (q *Queue[T]) Stats() core.Stats {
-	var s core.Stats
-	for r := q.head.Load(); r != nil; r = r.next.Load() {
+// rings plus the pool counters. Ring counters of unlinked (drained)
+// rings are gone, so values are a lower bound over the queue's
+// lifetime — still the right signal for "is the wait-free machinery
+// being exercised right now".
+//
+// The traversal leapfrogs two hazard slots of a reserved stats tid so
+// a ring being read cannot be reset under the reader. The protection
+// of a successor can race its reclamation: in that window the reader
+// may observe a recycled ring's (atomic, hence race-free) counters or
+// cut the walk short — acceptable for monotone monitoring counters,
+// and the reason Stats is documented as a lower bound rather than a
+// linearizable snapshot.
+func (q *Queue[T]) Stats() Stats {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	tid := q.statsTid
+	var s Stats
+	s.PoolHits, s.PoolMisses, s.PoolDrops = q.RingStats()
+	slot := 0
+	r := q.protectHeadAt(tid)
+	for r != nil {
+		next := r.next.Load()
+		if next != nil {
+			q.dom.Protect(tid, 1-slot, unsafe.Pointer(next))
+		}
 		for _, w := range [2]*core.WCQ{r.aq, r.fq} {
 			st := w.Stats()
 			s.SlowEnqueues += st.SlowEnqueues
 			s.SlowDequeues += st.SlowDequeues
 			s.Helps += st.Helps
 		}
+		q.dom.ClearSlot(tid, slot)
+		slot = 1 - slot
+		r = next
 	}
+	q.dom.Clear(tid)
 	return s
 }
 
+// Stats extends the core slow-path counters with the ring-recycling
+// counters.
+type Stats struct {
+	core.Stats
+	PoolHits   uint64 // ring hops served from the recycled pool
+	PoolMisses uint64 // ring hops that allocated a fresh ring
+	PoolDrops  uint64 // retired rings dropped because the pool was full
+}
+
 // Enqueue appends v. Always succeeds (unbounded); lock-free.
+//
+// The tail ring is hazard-protected for the whole per-ring attempt:
+// with ring reuse, an unprotected ring could be drained, unlinked,
+// reset and relinked elsewhere between the tail load and the insert,
+// and the insert would land in the wrong logical queue position. The
+// protection also makes the next-append CAS ABA-free — a protected
+// ring cannot be recycled, so tail.next can only transition nil →
+// successor once.
 func (q *Queue[T]) Enqueue(h *Handle, v T) {
+	tid := h.tid
 	for {
-		lt := q.tail.Load()
+		lt := q.protectTail(h)
 		if n := lt.next.Load(); n != nil {
 			q.tail.CompareAndSwap(lt, n) // help advance
 			continue
 		}
-		if lt.enq(h.tid, v) {
+		if lt.enq(tid, v) {
 			return
 		}
-		// Ring finalized: append a fresh ring carrying v.
-		nr, err := q.newRing()
+		// Ring finalized: append a recycled or fresh ring carrying v.
+		nr, err := q.getRing(tid)
 		if err != nil {
 			panic(err) // allocation of a fixed-size ring cannot fail
 		}
-		if !nr.enq(h.tid, v) {
+		if !nr.enq(tid, v) {
 			panic("unbounded: enqueue on a fresh ring failed")
 		}
 		if lt.next.CompareAndSwap(nil, nr) {
 			q.tail.CompareAndSwap(lt, nr)
 			return
 		}
-		// Lost the append race; drop our ring and retry into theirs.
-		q.mem.Free(q.ringBytes())
+		// Lost the append race; the ring was never published, so it
+		// goes straight back to the pool and v retries into the
+		// winner's ring.
+		q.poolPut(nr)
 	}
 }
 
@@ -279,8 +518,9 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) {
 // succeeds and is lock-free; the free-ring reservation is amortized
 // over the batch.
 func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) {
+	tid := h.tid
 	for len(vs) > 0 {
-		lt := q.tail.Load()
+		lt := q.protectTail(h)
 		if n := lt.next.Load(); n != nil {
 			q.tail.CompareAndSwap(lt, n) // help advance
 			continue
@@ -289,9 +529,9 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) {
 			vs = vs[n:]
 			continue
 		}
-		// Ring finalized: append a fresh ring carrying as much of the
-		// remaining batch as fits.
-		nr, err := q.newRing()
+		// Ring finalized: append a recycled or fresh ring carrying as
+		// much of the remaining batch as fits.
+		nr, err := q.getRing(tid)
 		if err != nil {
 			panic(err) // allocation of a fixed-size ring cannot fail
 		}
@@ -306,7 +546,7 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) {
 		}
 		// Lost the append race; our ring was never published, so its
 		// values are safe to retry into the winner's ring.
-		q.mem.Free(q.ringBytes())
+		q.poolPut(nr)
 	}
 }
 
@@ -317,8 +557,9 @@ func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 	if len(out) == 0 {
 		return 0
 	}
+	tid := h.tid
 	for {
-		lh := q.head.Load()
+		lh := q.protectHead(h)
 		if n := lh.deqBatch(h, out); n > 0 {
 			return n
 		}
@@ -333,17 +574,24 @@ func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 		}
 		next := lh.next.Load()
 		if q.head.CompareAndSwap(lh, next) {
-			q.mem.Free(q.ringBytes()) // unlinked ring: reclaimed by GC
+			q.retireRing(tid, lh) // unlinked: recycle through the pool
 		}
 	}
 }
 
 // Dequeue removes the oldest value, or returns ok=false when the whole
 // queue is empty. Per-ring wait-free.
+//
+// ABA safety of the unlink CAS under ring reuse: the dequeuer holds a
+// hazard pointer to lh across the CAS, so lh cannot be recycled and
+// re-linked while the CAS is pending — head equals lh only if lh is
+// still the original head ring, and lh.next (written once, before lh
+// was ever unlinkable) is its genuine successor.
 func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
+	tid := h.tid
 	for {
-		lh := q.head.Load()
-		if v, ok := lh.deq(h.tid); ok {
+		lh := q.protectHead(h)
+		if v, ok := lh.deq(tid); ok {
 			return v, true
 		}
 		if lh.next.Load() == nil {
@@ -355,12 +603,12 @@ func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
 		// dequeuers the full 3n−1 budget to find stragglers whose F&A
 		// predated the finalize.
 		lh.aq.ResetThreshold()
-		if v, ok := lh.deq(h.tid); ok {
+		if v, ok := lh.deq(tid); ok {
 			return v, true
 		}
 		next := lh.next.Load()
 		if q.head.CompareAndSwap(lh, next) {
-			q.mem.Free(q.ringBytes()) // unlinked ring: reclaimed by GC
+			q.retireRing(tid, lh) // unlinked: recycle through the pool
 		}
 	}
 }

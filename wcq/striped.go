@@ -25,7 +25,9 @@ import (
 // Progress: every operation is wait-free (enqueue touches one lane;
 // dequeue does at most one wait-free Dequeue per lane per scan).
 // Enqueue returns false only when the handle's lane is full; Dequeue
-// returns false only after observing every lane empty.
+// returns false only after observing every lane empty — observations
+// taken lane by lane, not atomically, so false is advisory under
+// concurrent enqueues (see Dequeue).
 type Striped[T any] struct {
 	lanes []*core.Queue[T]
 	next  atomic.Uint64 // round-robin lane assignment for Register
@@ -47,13 +49,10 @@ func NewStriped[T any](order uint, numThreads, stripes int, opts ...Option) (*St
 	if stripes < 1 {
 		return nil, fmt.Errorf("wcq: stripes %d out of range [1, ∞)", stripes)
 	}
-	var o core.Options
-	for _, f := range opts {
-		f(&o)
-	}
+	c := buildConfig(opts)
 	s := &Striped[T]{lanes: make([]*core.Queue[T], stripes)}
 	for i := range s.lanes {
-		q, err := core.NewQueue[T](order, numThreads, o)
+		q, err := core.NewQueue[T](order, numThreads, c.core)
 		if err != nil {
 			return nil, fmt.Errorf("wcq: allocating stripe %d: %w", i, err)
 		}
@@ -114,7 +113,14 @@ func (s *Striped[T]) Enqueue(h *StripedHandle, v T) bool {
 
 // Dequeue removes a value, preferring the handle's own lane and
 // stealing from the others in ring order. Returns ok=false only after
-// every lane reported empty. Wait-free.
+// every lane reported empty during the scan. That scan is NOT a
+// linearizable emptiness check: the per-lane observations happen at
+// different instants, so a concurrent enqueue landing in a lane the
+// scan has already passed can make Dequeue return false while the
+// queue was never globally empty at any single point in time. Callers
+// polling a striped queue must treat false as "probably empty" and
+// retry, exactly as they would with any work-stealing deque.
+// Wait-free.
 func (s *Striped[T]) Dequeue(h *StripedHandle) (v T, ok bool) {
 	w := len(s.lanes)
 	for i := 0; i < w; i++ {

@@ -7,7 +7,10 @@
 //   - Queue[T]: the paper's contribution — a bounded wait-free MPMC
 //     queue of 2^order values with statically bounded memory.
 //   - Unbounded[T]: rings linked per Appendix A — wait-free dequeues,
-//     lock-free enqueues, memory proportional to content.
+//     lock-free enqueues, memory proportional to content. Drained
+//     rings are recycled through a bounded hazard-pointer-protected
+//     pool (WithRingPool), so steady-state ring hops allocate nothing
+//     and Footprint stays flat (DESIGN.md §8).
 //   - Striped[T]: a sharded front-end over W independent rings with
 //     per-handle lane affinity and work-stealing dequeues. FIFO per
 //     handle rather than globally, in exchange for throughput that
@@ -44,25 +47,50 @@ import (
 	"wcqueue/internal/unbounded"
 )
 
+// config collects every construction knob; core ring options plus the
+// shapes' own parameters.
+type config struct {
+	core     core.Options
+	ringPool int
+}
+
 // Option configures queue construction.
-type Option func(*core.Options)
+type Option func(*config)
 
 // WithPatience overrides the fast-path attempt budgets (MAX_PATIENCE,
 // paper §6: 16 for enqueue, 64 for dequeue).
 func WithPatience(enqueue, dequeue int) Option {
-	return func(o *core.Options) { o.EnqPatience, o.DeqPatience = enqueue, dequeue }
+	return func(c *config) { c.core.EnqPatience, c.core.DeqPatience = enqueue, dequeue }
 }
 
 // WithHelpDelay overrides the number of operations between scans for
 // peers needing help (HELP_DELAY).
 func WithHelpDelay(d int) Option {
-	return func(o *core.Options) { o.HelpDelay = d }
+	return func(c *config) { c.core.HelpDelay = d }
 }
 
 // WithEmulatedFAA replaces hardware fetch-and-add and atomic OR with
 // CAS loops, modeling LL/SC architectures (paper §4).
 func WithEmulatedFAA() Option {
-	return func(o *core.Options) { o.EmulatedFAA = true }
+	return func(c *config) { c.core.EmulatedFAA = true }
+}
+
+// WithRingPool sets how many drained rings Unbounded retains for
+// reuse (default: a small pool; see internal/unbounded's
+// DefaultPoolSize). Size it to the rings churned between reclamation
+// points — roughly content-swing/2^order per concurrent hopper — to
+// keep steady-state ring hops allocation-free. Ignored by the bounded
+// shapes, which never allocate after construction.
+func WithRingPool(n int) Option {
+	return func(c *config) { c.ringPool = n }
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, f := range opts {
+		f(&c)
+	}
+	return c
 }
 
 // Queue is a bounded wait-free MPMC FIFO queue of values of type T.
@@ -77,11 +105,8 @@ type Handle = core.Handle
 // New creates a queue holding up to 2^order values, operated by up to
 // numThreads concurrently registered goroutines.
 func New[T any](order uint, numThreads int, opts ...Option) (*Queue[T], error) {
-	var o core.Options
-	for _, f := range opts {
-		f(&o)
-	}
-	q, err := core.NewQueue[T](order, numThreads, o)
+	c := buildConfig(opts)
+	q, err := core.NewQueue[T](order, numThreads, c.core)
 	if err != nil {
 		return nil, err
 	}
@@ -140,11 +165,16 @@ func (q *Queue[T]) Stats() Stats {
 	return Stats{SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps}
 }
 
-// Stats are cumulative slow-path counters.
+// Stats are cumulative slow-path counters, plus — for Unbounded — the
+// ring-recycling pool counters (always zero for the bounded shapes,
+// which never allocate or recycle rings).
 type Stats struct {
 	SlowEnqueues uint64
 	SlowDequeues uint64
 	Helps        uint64
+	PoolHits     uint64 // ring hops served from the recycled pool
+	PoolMisses   uint64 // ring hops that allocated a fresh ring
+	PoolDrops    uint64 // retired rings dropped because the pool was full
 }
 
 // Unbounded is an unbounded MPMC FIFO queue built from linked wCQ
@@ -159,13 +189,12 @@ type Unbounded[T any] struct {
 type UnboundedHandle = unbounded.Handle
 
 // NewUnbounded creates an unbounded queue whose rings hold 2^order
-// values each.
+// values each. Drained rings are recycled through a bounded
+// hazard-pointer-protected pool (size via WithRingPool), so steady
+// traffic within the pool's capacity allocates no rings.
 func NewUnbounded[T any](order uint, numThreads int, opts ...Option) (*Unbounded[T], error) {
-	var o core.Options
-	for _, f := range opts {
-		f(&o)
-	}
-	q, err := unbounded.New[T](order, numThreads, o)
+	c := buildConfig(opts)
+	q, err := unbounded.New[T](order, numThreads, c.ringPool, c.core)
 	if err != nil {
 		return nil, err
 	}
@@ -203,9 +232,25 @@ func (q *Unbounded[T]) DequeueBatch(h *UnboundedHandle, out []T) int {
 	return q.q.DequeueBatch(h, out)
 }
 
-// Footprint returns current queue-owned bytes (grows and shrinks with
-// content).
+// Footprint returns current queue-owned bytes: linked rings plus the
+// bounded standby inventory of recycled rings (the pool and rings
+// awaiting hazard reclamation). It grows with content and stays flat
+// under steady traffic.
 func (q *Unbounded[T]) Footprint() int64 { return q.q.Footprint() }
+
+// PeakFootprint returns the high-water mark of Footprint over the
+// queue's lifetime — the number a capacity planner actually wants from
+// an "unbounded" queue.
+func (q *Unbounded[T]) PeakFootprint() int64 { return q.q.PeakFootprint() }
+
+// PoolCap returns the ring-pool capacity (WithRingPool).
+func (q *Unbounded[T]) PoolCap() int { return q.q.PoolCap() }
+
+// RingStats reports just the ring-recycling counters — three atomic
+// loads, no ring-list traversal — for callers polling the
+// allocation-free property at high frequency (Stats carries the same
+// numbers plus the slow-path aggregation).
+func (q *Unbounded[T]) RingStats() (hits, misses, drops uint64) { return q.q.RingStats() }
 
 // MaxOps returns the per-ring safe-operation bound. Fresh rings start
 // fresh budgets, so unlike Queue.MaxOps it is not a lifetime limit.
@@ -213,8 +258,11 @@ func (q *Unbounded[T]) MaxOps() uint64 { return q.q.MaxOps() }
 
 // Stats reports slow-path counters aggregated over the currently
 // linked rings (a lower bound: drained rings take their counters with
-// them).
+// them) plus the ring-recycling pool counters.
 func (q *Unbounded[T]) Stats() Stats {
 	s := q.q.Stats()
-	return Stats{SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps}
+	return Stats{
+		SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps,
+		PoolHits: s.PoolHits, PoolMisses: s.PoolMisses, PoolDrops: s.PoolDrops,
+	}
 }

@@ -233,6 +233,55 @@ func TestQueueAccessors(t *testing.T) {
 	}
 }
 
+// TestUnboundedRingPool covers the public recycling surface: the
+// WithRingPool option, the pool counters in Stats, and the peak
+// footprint staying flat once the pool is warm.
+func TestUnboundedRingPool(t *testing.T) {
+	q := wcq.MustUnbounded[int](3, 2, wcq.WithRingPool(12)) // 8-slot rings
+	if got := q.PoolCap(); got != 12 {
+		t.Fatalf("PoolCap() = %d, want 12", got)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Unregister(h)
+	churn := func(n int) {
+		for i := 0; i < n; i++ {
+			q.Enqueue(h, i)
+		}
+		for i := 0; i < n; i++ {
+			if v, ok := q.Dequeue(h); !ok || v != i {
+				t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+			}
+		}
+	}
+	for i := 0; i < 30; i++ { // warm-up: fill the pool
+		churn(64)
+	}
+	warm := q.Stats()
+	if warm.PoolHits == 0 {
+		t.Fatal("churn across 8-slot rings never hit the pool")
+	}
+	peak := q.PeakFootprint()
+	if peak < q.Footprint() {
+		t.Fatalf("peak %d below live footprint %d", peak, q.Footprint())
+	}
+	for i := 0; i < 200; i++ {
+		churn(64)
+	}
+	s := q.Stats()
+	if s.PoolMisses != warm.PoolMisses {
+		t.Fatalf("steady state allocated %d rings; want 0", s.PoolMisses-warm.PoolMisses)
+	}
+	if q.PeakFootprint() != peak {
+		t.Fatalf("peak footprint moved in steady state: %d -> %d", peak, q.PeakFootprint())
+	}
+	if s.PoolHits <= warm.PoolHits {
+		t.Fatal("steady state stopped recycling")
+	}
+}
+
 func TestUnboundedAccessors(t *testing.T) {
 	q := wcq.MustUnbounded[int](4, 2)
 	if q.MaxOps() == 0 {
