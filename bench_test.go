@@ -21,6 +21,7 @@ import (
 	"wcqueue/internal/queues/queueiface"
 	"wcqueue/internal/queues/registry"
 	"wcqueue/internal/unbounded"
+	"wcqueue/wcq"
 )
 
 // benchThreads is sized so RunParallel can register every goroutine.
@@ -219,7 +220,7 @@ func BenchmarkFig12cRandom5050LLSC(b *testing.B) {
 func BenchmarkAblationPatience(b *testing.B) {
 	for _, patience := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("patience=%d", patience), func(b *testing.B) {
-			q, err := core.NewQueue[uint64](14, benchThreads(), core.Options{
+			q, err := core.NewQueue[uint64](14, core.Options{
 				EnqPatience: patience, DeqPatience: patience,
 			})
 			if err != nil {
@@ -250,7 +251,7 @@ func BenchmarkAblationPatience(b *testing.B) {
 func BenchmarkAblationHelpDelay(b *testing.B) {
 	for _, delay := range []int{1, 16, 64, 1024} {
 		b.Run(fmt.Sprintf("delay=%d", delay), func(b *testing.B) {
-			q, err := core.NewQueue[uint64](14, benchThreads(), core.Options{HelpDelay: delay})
+			q, err := core.NewQueue[uint64](14, core.Options{HelpDelay: delay})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -281,7 +282,7 @@ func BenchmarkAblationRemap(b *testing.B) {
 			name = "remap=off"
 		}
 		b.Run(name, func(b *testing.B) {
-			q, err := core.NewQueue[uint64](14, benchThreads(), core.Options{NoRemap: noRemap})
+			q, err := core.NewQueue[uint64](14, core.Options{NoRemap: noRemap})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -391,7 +392,7 @@ func BenchmarkStripedPairwise(b *testing.B) {
 // BenchmarkUnboundedBatchPairwise drives the Appendix A construction
 // through the batched paths.
 func BenchmarkUnboundedBatchPairwise(b *testing.B) {
-	q, err := unbounded.New[uint64](14, benchThreads(), 0, core.Options{})
+	q, err := unbounded.New[uint64](14, 0, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -421,9 +422,63 @@ func BenchmarkUnboundedBatchPairwise(b *testing.B) {
 	})
 }
 
+// BenchmarkHandleLifecycle isolates the costs the dynamic-registration
+// redesign introduces (D-series companion): an explicit Register/
+// Unregister pair (mutex + slot recycling; the arena is warm after the
+// first iteration), a pairwise op through an explicit handle (the
+// zero-overhead baseline), and the same op through the handle-free
+// API (pooled implicit acquire per call).
+func BenchmarkHandleLifecycle(b *testing.B) {
+	b.Run("register-unregister", func(b *testing.B) {
+		q := wcq.Must[uint64](10)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h, err := q.Register()
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Unregister()
+		}
+	})
+	b.Run("explicit-pairwise", func(b *testing.B) {
+		q := wcq.Must[uint64](10)
+		h, err := q.Register()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Unregister()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Enqueue(uint64(i))
+			h.Dequeue()
+		}
+	})
+	b.Run("implicit-pairwise", func(b *testing.B) {
+		q := wcq.Must[uint64](10)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(uint64(i))
+			q.Dequeue()
+		}
+	})
+	b.Run("register-op-unregister", func(b *testing.B) {
+		q := wcq.Must[uint64](10)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h, err := q.Register()
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Enqueue(uint64(i))
+			h.Dequeue()
+			h.Unregister()
+		}
+	})
+}
+
 // BenchmarkUnboundedPairwise exercises the Appendix A construction.
 func BenchmarkUnboundedPairwise(b *testing.B) {
-	q, err := unbounded.New[uint64](14, benchThreads(), 0, core.Options{})
+	q, err := unbounded.New[uint64](14, 0, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 //
 //	wcqstress -queue wCQ -producers 8 -consumers 8 -per 1000000
 //	wcqstress -queue all -seconds 10
+//	wcqstress -queue all -storm -per 2000     # registration-storm mode
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 		per       = flag.Uint64("per", 200_000, "values per producer")
 		order     = flag.Uint("ring-order", 14, "wCQ/SCQ ring order")
 		llsc      = flag.Bool("llsc", false, "use emulated-F&A builds of wCQ/SCQ")
+		storm     = flag.Bool("storm", false,
+			"registration-storm mode: every worker registers, moves one value and unregisters per cycle (-per cycles each); asserts the handle high-water mark stays at peak concurrency")
 	)
 	flag.Parse()
 
@@ -52,6 +55,27 @@ func main() {
 			os.Exit(1)
 		}
 		t0 := time.Now()
+		if *storm {
+			workers := *producers + *consumers
+			if err := registrationStorm(q, workers, *per); err != nil {
+				fmt.Printf("%-12s storm: %v\n", q.Name(), err)
+				exit = 1
+				continue
+			}
+			hw := "n/a"
+			if ha, ok := q.(interface{ HandleHighWater() int }); ok {
+				w := ha.HandleHighWater()
+				hw = fmt.Sprint(w)
+				if w > workers {
+					fmt.Printf("%-12s storm: high-water %d exceeds %d concurrent workers\n", q.Name(), w, workers)
+					exit = 1
+					continue
+				}
+			}
+			fmt.Printf("%-12s %d workers × %d register→op→unregister cycles: OK (%.2fs, high-water %s)\n",
+				q.Name(), workers, *per, time.Since(t0).Seconds(), hw)
+			continue
+		}
 		rep := stress(q, *producers, *consumers, *per)
 		status := "OK"
 		if rep.Err() != nil {
@@ -62,6 +86,42 @@ func main() {
 			q.Name(), *producers, *per, *consumers, status, time.Since(t0).Seconds(), rep.Total)
 	}
 	os.Exit(exit)
+}
+
+// registrationStorm churns handle registrations from `workers`
+// goroutines: each cycle registers, round-trips one value and
+// unregisters. Dynamic registration must never fail, and the value
+// must come back (single-handle FIFO per cycle).
+func registrationStorm(q queueiface.Queue, workers int, cycles uint64) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); i < cycles; i++ {
+				h, err := q.Register()
+				if err != nil {
+					errs <- fmt.Errorf("cycle %d: %w", i, err)
+					return
+				}
+				v := check.Encode(w, i)
+				for !q.Enqueue(h, v) {
+					runtime.Gosched()
+				}
+				for {
+					if _, ok := q.Dequeue(h); ok {
+						break
+					}
+					runtime.Gosched()
+				}
+				q.Unregister(h)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
 }
 
 func stress(q queueiface.Queue, producers, consumers int, per uint64) check.Report {

@@ -14,6 +14,14 @@
 // (EnqueueBatch/DequeueBatch) that reserve ring positions for k
 // operations with a single fetch-and-add.
 //
+// Registration is dynamic: constructors take no thread count.
+// Per-participant records live in chunked grow-only arenas published
+// lock-free and bounded only by the 16-bit owner-id space (65535
+// concurrent handles), with released slots recycled so goroutine
+// churn keeps memory flat. Callers either hold an explicit Handle
+// (zero-overhead) or use the handle-free methods, which borrow
+// pooled implicit handles per call (DESIGN.md §9).
+//
 // The benchmark and correctness tools are cmd/wcqbench (with a -json
 // emitter for machine-readable trajectory points, committed as
 // BENCH_*.json) and cmd/wcqstress (whose -queue all iterates every

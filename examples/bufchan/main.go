@@ -23,40 +23,34 @@ import (
 
 // Chan is a buffered channel whose buffer is a wait-free queue.
 // Send and Recv spin-then-yield instead of parking on the scheduler.
+// Like Go's chan, nothing is registered per goroutine: the handle-free
+// wCQ methods borrow pooled handles inside the library, so Chan's API
+// is exactly Send(v)/Recv() — the dynamic-registration redesign is
+// what makes a chan-shaped wrapper this small.
 type Chan[T any] struct {
 	q      *wcq.Queue[T]
 	closed sync.Once
 	done   chan struct{}
 }
 
-// NewChan creates a channel with 2^order buffer slots for up to
-// numThreads concurrent goroutines.
-func NewChan[T any](order uint, numThreads int) *Chan[T] {
+// NewChan creates a channel with 2^order buffer slots.
+func NewChan[T any](order uint) *Chan[T] {
 	return &Chan[T]{
-		q:    wcq.Must[T](order, numThreads),
+		q:    wcq.Must[T](order),
 		done: make(chan struct{}),
 	}
 }
 
-// Handle registers the calling goroutine.
-func (c *Chan[T]) Handle() *wcq.Handle {
-	h, err := c.q.Register()
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
-
 // Send delivers v, blocking (yield-spinning) while the buffer is full.
 // Send on a closed channel returns false.
-func (c *Chan[T]) Send(h *wcq.Handle, v T) bool {
+func (c *Chan[T]) Send(v T) bool {
 	for spins := 0; ; spins++ {
 		select {
 		case <-c.done:
 			return false
 		default:
 		}
-		if c.q.Enqueue(h, v) {
+		if c.q.Enqueue(v) {
 			return true
 		}
 		if spins > 64 {
@@ -67,15 +61,15 @@ func (c *Chan[T]) Send(h *wcq.Handle, v T) bool {
 
 // Recv takes the next value; ok=false once the channel is closed and
 // drained.
-func (c *Chan[T]) Recv(h *wcq.Handle) (v T, ok bool) {
+func (c *Chan[T]) Recv() (v T, ok bool) {
 	for spins := 0; ; spins++ {
-		if v, ok := c.q.Dequeue(h); ok {
+		if v, ok := c.q.Dequeue(); ok {
 			return v, true
 		}
 		select {
 		case <-c.done:
 			// Closed: one final drain for stragglers.
-			return c.q.Dequeue(h)
+			return c.q.Dequeue()
 		default:
 		}
 		if spins > 64 {
@@ -107,16 +101,15 @@ func main() {
 }
 
 func runWCQChan() time.Duration {
-	c := NewChan[int](12, senders+readers)
+	c := NewChan[int](12)
 	var wg, rg sync.WaitGroup
 	t0 := time.Now()
 	for s := 0; s < senders; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			h := c.Handle()
 			for i := 0; i < messages/senders; i++ {
-				c.Send(h, s*messages+i)
+				c.Send(s*messages + i)
 			}
 		}(s)
 	}
@@ -126,9 +119,8 @@ func runWCQChan() time.Duration {
 		rg.Add(1)
 		go func() {
 			defer rg.Done()
-			h := c.Handle()
 			for {
-				if _, ok := c.Recv(h); !ok {
+				if _, ok := c.Recv(); !ok {
 					return
 				}
 				got.Done()

@@ -34,20 +34,19 @@ type frameRef uint32
 
 func main() {
 	arena := make([]byte, frameSize<<poolOrder)
-	threads := rxThreads + txThreads + 1
 
 	// freeQ holds unused frame refs; txQ carries filled frames to TX.
-	freeQ := wcq.Must[frameRef](poolOrder, threads)
-	txQ := wcq.Must[frameRef](poolOrder, threads)
+	// No thread census: RX/TX goroutines register explicit handles on
+	// their own schedule (and could spawn per connection burst).
+	freeQ := wcq.Must[frameRef](poolOrder)
+	txQ := wcq.Must[frameRef](poolOrder)
 
-	// Seed the pool with every frame.
-	seed, _ := freeQ.Register()
+	// Seed the pool with every frame (handle-free: one-off traffic).
 	for i := 0; i < 1<<poolOrder; i++ {
-		if !freeQ.Enqueue(seed, frameRef(i)) {
+		if !freeQ.Enqueue(frameRef(i)) {
 			panic("pool seeding overflow")
 		}
 	}
-	freeQ.Unregister(seed)
 
 	var (
 		wg       sync.WaitGroup
@@ -63,12 +62,13 @@ func main() {
 		go func(r int) {
 			defer wg.Done()
 			defer rxActive.Add(-1)
+			// Explicit handles: the zero-overhead path for hot loops.
 			hFree, _ := freeQ.Register()
-			defer freeQ.Unregister(hFree)
+			defer hFree.Unregister()
 			hTx, _ := txQ.Register()
-			defer txQ.Unregister(hTx)
+			defer hTx.Unregister()
 			for sent.Load() < framesToTx {
-				ref, ok := freeQ.Dequeue(hFree)
+				ref, ok := hFree.Dequeue()
 				if !ok {
 					rxDrops.Add(1) // out of frames: drop, as a NIC would
 					runtime.Gosched()
@@ -78,7 +78,7 @@ func main() {
 				frame := arena[int(ref)*frameSize : (int(ref)+1)*frameSize]
 				frame[0] = byte(r)
 				frame[1] = byte(ref)
-				for !txQ.Enqueue(hTx, ref) {
+				for !hTx.Enqueue(ref) {
 					runtime.Gosched()
 				}
 				sent.Add(1)
@@ -91,14 +91,14 @@ func main() {
 		go func() {
 			defer wg.Done()
 			hFree, _ := freeQ.Register()
-			defer freeQ.Unregister(hFree)
+			defer hFree.Unregister()
 			hTx, _ := txQ.Register()
-			defer txQ.Unregister(hTx)
+			defer hTx.Unregister()
 			for {
-				ref, ok := txQ.Dequeue(hTx)
+				ref, ok := hTx.Dequeue()
 				if !ok {
 					if rxActive.Load() == 0 {
-						if ref, ok = txQ.Dequeue(hTx); !ok {
+						if ref, ok = hTx.Dequeue(); !ok {
 							return
 						}
 					} else {
@@ -109,7 +109,7 @@ func main() {
 				// "Transmit": checksum the header, then recycle.
 				frame := arena[int(ref)*frameSize : (int(ref)+1)*frameSize]
 				txSum.Add(uint64(frame[0]) + uint64(frame[1]))
-				for !freeQ.Enqueue(hFree, ref) {
+				for !hFree.Enqueue(ref) {
 					runtime.Gosched()
 				}
 			}

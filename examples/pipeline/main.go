@@ -27,9 +27,11 @@ const (
 )
 
 func main() {
-	threads := 2*stageWorkers + 2
-	parsed := wcq.Must[record](queueOrder, threads)
-	transformed := wcq.Must[record](queueOrder, threads)
+	// Stage buffers need no thread census: workers register explicit
+	// handles as they spawn (a production pipeline can scale stages up
+	// and down; handle slots recycle).
+	parsed := wcq.Must[record](queueOrder)
+	transformed := wcq.Must[record](queueOrder)
 
 	var (
 		wg          sync.WaitGroup
@@ -44,10 +46,10 @@ func main() {
 	go func() {
 		defer wg.Done()
 		h := mustRegister(parsed)
-		defer parsed.Unregister(h)
+		defer h.Unregister()
 		for i := 0; i < totalRecords; i++ {
 			r := record{id: i, value: float64(i % 1000)}
-			for !parsed.Enqueue(h, r) {
+			for !h.Enqueue(r) {
 				runtime.Gosched() // stage buffer full: apply backpressure
 			}
 		}
@@ -60,17 +62,17 @@ func main() {
 		go func() {
 			defer wg.Done()
 			in := mustRegister(parsed)
-			defer parsed.Unregister(in)
+			defer in.Unregister()
 			out := mustRegister(transformed)
-			defer transformed.Unregister(out)
+			defer out.Unregister()
 			for {
-				r, ok := parsed.Dequeue(in)
+				r, ok := in.Dequeue()
 				if !ok {
 					if parseDone.Load() {
 						// Re-check after the done flag: a straggler
 						// may have published between our dequeue and
 						// the flag read.
-						if r, ok = parsed.Dequeue(in); !ok {
+						if r, ok = in.Dequeue(); !ok {
 							break
 						}
 					} else {
@@ -79,7 +81,7 @@ func main() {
 					}
 				}
 				r.value = r.value*1.5 + 1
-				for !transformed.Enqueue(out, r) {
+				for !out.Enqueue(r) {
 					runtime.Gosched()
 				}
 				transferred.Add(1)
@@ -94,12 +96,12 @@ func main() {
 		go func() {
 			defer wg.Done()
 			h := mustRegister(transformed)
-			defer transformed.Unregister(h)
+			defer h.Unregister()
 			for {
-				r, ok := transformed.Dequeue(h)
+				r, ok := h.Dequeue()
 				if !ok {
 					if xformDone.Load() == stageWorkers {
-						if r, ok = transformed.Dequeue(h); !ok {
+						if r, ok = h.Dequeue(); !ok {
 							break
 						}
 					} else {
@@ -122,7 +124,7 @@ func main() {
 		s1.SlowEnqueues+s1.SlowDequeues, s2.SlowEnqueues+s2.SlowDequeues)
 }
 
-func mustRegister(q *wcq.Queue[record]) *wcq.Handle {
+func mustRegister(q *wcq.Queue[record]) *wcq.Handle[record] {
 	h, err := q.Register()
 	if err != nil {
 		panic(err)

@@ -1,9 +1,12 @@
 // Quickstart: the smallest complete wCQ program — create a bounded
-// wait-free queue, register handles, move values through it from
-// multiple goroutines, and inspect the wait-free machinery's stats.
-// The second half shows the batched fast paths (one ring reservation
-// per k operations) and the striped front-end (W independent lanes
-// with work-stealing dequeues).
+// wait-free queue and move values through it from multiple
+// goroutines. Since the dynamic-registration redesign no thread count
+// is declared up front: goroutines either call the handle-free
+// methods directly (the library borrows a pooled handle per call) or
+// register an explicit Handle for the zero-overhead fast path. The
+// second half shows the batched fast paths (one ring reservation per
+// k operations) and the striped front-end (W independent lanes with
+// work-stealing dequeues).
 package main
 
 import (
@@ -14,8 +17,9 @@ import (
 )
 
 func main() {
-	// A queue of 2^10 = 1024 strings, used by up to 8 goroutines.
-	q := wcq.Must[string](10, 8)
+	// A queue of 2^10 = 1024 strings. Any number of goroutines (up to
+	// 65535 concurrently) may use it; nothing is declared up front.
+	q := wcq.Must[string](10)
 
 	fmt.Printf("capacity=%d footprint=%dKiB maxOps=%.1e\n",
 		q.Cap(), q.Footprint()/1024, float64(q.MaxOps()))
@@ -24,33 +28,30 @@ func main() {
 	const producers, perProducer = 3, 5
 
 	for p := 0; p < producers; p++ {
-		h, err := q.Register()
-		if err != nil {
-			panic(err)
-		}
 		wg.Add(1)
-		go func(p int, h *wcq.Handle) {
+		go func(p int) {
 			defer wg.Done()
-			defer q.Unregister(h)
 			for i := 0; i < perProducer; i++ {
 				msg := fmt.Sprintf("producer-%d message-%d", p, i)
-				for !q.Enqueue(h, msg) {
+				// Handle-free: the library borrows a pooled handle.
+				for !q.Enqueue(msg) {
 					// Full queues reject enqueues rather than block.
 				}
 			}
-		}(p, h)
+		}(p)
 	}
 	wg.Wait()
 
-	// Drain from the main goroutine with its own handle.
+	// Drain from the main goroutine through an explicit handle — the
+	// zero-overhead path for goroutines with many operations.
 	h, err := q.Register()
 	if err != nil {
 		panic(err)
 	}
-	defer q.Unregister(h)
+	defer h.Unregister()
 	n := 0
 	for {
-		msg, ok := q.Dequeue(h)
+		msg, ok := h.Dequeue()
 		if !ok {
 			break
 		}
@@ -62,28 +63,30 @@ func main() {
 	s := q.Stats()
 	fmt.Printf("slow-path enqueues=%d dequeues=%d helps=%d (0 under no contention)\n",
 		s.SlowEnqueues, s.SlowDequeues, s.Helps)
+	fmt.Printf("handles: live=%d high-water=%d (slots recycle; memory tracks the peak)\n",
+		q.LiveHandles(), q.HandleHighWater())
 
 	// Batched operations: one ring reservation (fetch-and-add) covers
 	// the whole slice instead of one per element — the hot-path cost
 	// at high core counts.
 	batch := []string{"b-0", "b-1", "b-2", "b-3"}
-	if got := q.EnqueueBatch(h, batch); got != len(batch) {
+	if got := h.EnqueueBatch(batch); got != len(batch) {
 		panic("queue unexpectedly full")
 	}
 	out := make([]string, 8)
-	got := q.DequeueBatch(h, out) // up to 8, returns 4 here, in FIFO order
+	got := h.DequeueBatch(out) // up to 8, returns 4 here, in FIFO order
 	fmt.Printf("batch: enqueued %d, dequeued %v\n", len(batch), out[:got])
 
 	// Striped: 4 independent lanes, FIFO per handle. Each handle's
 	// enqueues go to its own lane; dequeues steal across lanes.
-	sq := wcq.MustStriped[string](10, 8, 4)
+	sq := wcq.MustStriped[string](10, 4)
 	sh, err := sq.Register()
 	if err != nil {
 		panic(err)
 	}
-	defer sq.Unregister(sh)
-	sq.Enqueue(sh, "striped-hello")
-	if v, ok := sq.Dequeue(sh); ok {
+	defer sh.Unregister()
+	sh.Enqueue("striped-hello")
+	if v, ok := sh.Dequeue(); ok {
 		fmt.Printf("striped (%d lanes, cap %d): got %q\n", sq.Stripes(), sq.Cap(), v)
 	}
 }

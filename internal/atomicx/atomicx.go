@@ -63,8 +63,9 @@ const (
 	NoOwner uint64 = 0
 
 	// MaxOwners bounds the number of registerable threads: ids are
-	// stored biased by one, so 0 stays "null".
-	MaxOwners = pairIDMask - 1
+	// stored biased by one, so 0 stays "null" and the 65535 usable ids
+	// cover tids 0..65534.
+	MaxOwners = pairIDMask
 )
 
 // PackPair builds a PairWord from a counter and an owner id

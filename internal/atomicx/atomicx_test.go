@@ -81,6 +81,27 @@ func TestOwnerIDRoundTrip(t *testing.T) {
 	}
 }
 
+// TestOwnerIDSpaceFullyUsable pins the registration capacity: the
+// 16-bit id field minus the null encoding gives exactly 65535 usable
+// ids, and the highest tid round-trips through a pair word intact.
+func TestOwnerIDSpaceFullyUsable(t *testing.T) {
+	if MaxOwners != 65535 {
+		t.Fatalf("MaxOwners = %d, want 65535", MaxOwners)
+	}
+	top := int(MaxOwners) - 1 // highest tid
+	id := OwnerID(top)
+	if id == NoOwner {
+		t.Fatal("top owner id collides with NoOwner")
+	}
+	w := PackPair(123, id)
+	if PairID(w) != id || OwnerTID(PairID(w)) != top || PairCnt(w) != 123 {
+		t.Fatalf("top id mangled through a pair word: id=%d cnt=%d", PairID(w), PairCnt(w))
+	}
+	if PairFinalized(w) {
+		t.Fatal("top id set the finalize bit")
+	}
+}
+
 func TestFlagBitsDisjointFromPairBits(t *testing.T) {
 	// FIN/INC (per-thread local words) and FinalizeBit (global pair
 	// word) are different encodings; this documents that FIN and

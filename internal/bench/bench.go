@@ -39,6 +39,12 @@ const (
 	// the workload that measures ring-recycling (experiment C1:
 	// allocations per hop and peak footprint).
 	RingChurn
+	// RegisterChurn: every iteration registers a fresh handle, moves
+	// one value through it, and unregisters — goroutine-churn traffic
+	// (experiment D0). Measures dynamic registration: slot recycling,
+	// record-arena materialization and, for the unbounded queue,
+	// hazard-slot setup per handle lifetime.
+	RegisterChurn
 )
 
 // churnBurst is the per-thread burst length of the RingChurn workload.
@@ -58,6 +64,8 @@ func (w Workload) String() string {
 		return "memory"
 	case RingChurn:
 		return "ring-churn"
+	case RegisterChurn:
+		return "register-churn"
 	default:
 		return fmt.Sprintf("workload(%d)", int(w))
 	}
@@ -286,6 +294,21 @@ func worker(q queueiface.Queue, h queueiface.Handle, wl Workload, ops, tid int, 
 				cpuRelax()
 			}
 		}
+	case RegisterChurn:
+		// The pre-registered handle h is ignored: the cycle cost under
+		// measurement is register → enqueue → dequeue → unregister.
+		// Each cycle counts as 4 operations, so throughput is directly
+		// comparable to one pairwise iteration plus handle churn.
+		for done := 0; done < ops; done += 4 {
+			hh, err := q.Register()
+			if err != nil {
+				panic(fmt.Sprintf("bench: register-churn registration failed: %v", err))
+			}
+			q.Enqueue(hh, val)
+			val++
+			q.Dequeue(hh)
+			q.Unregister(hh)
+		}
 	}
 }
 
@@ -361,6 +384,18 @@ func batchWorker(q queueiface.BatchQueue, h queueiface.Handle, wl Workload, ops,
 				drained += m
 			}
 			done += credit(enq + drained)
+		}
+	case RegisterChurn:
+		for done := 0; done < ops; {
+			hh, err := q.Register()
+			if err != nil {
+				panic(fmt.Sprintf("bench: register-churn registration failed: %v", err))
+			}
+			fill()
+			n := q.EnqueueBatch(hh, vals)
+			m := q.DequeueBatch(hh, vals)
+			q.Unregister(hh)
+			done += credit(n+m) + 2
 		}
 	}
 }

@@ -218,3 +218,49 @@ func TestBatchedExperimentsRegistered(t *testing.T) {
 		}
 	}
 }
+
+// TestDSeriesExperimentsRegistered pins the dynamic-registration bench
+// series: D0 drives the register-churn workload, D1/D2 compare the
+// pooled implicit handles against explicit ones.
+func TestDSeriesExperimentsRegistered(t *testing.T) {
+	e, ok := FindExperiment("registration-churn")
+	if !ok {
+		t.Fatal("experiment registration-churn missing")
+	}
+	if e.Workload != RegisterChurn {
+		t.Fatalf("registration-churn runs workload %v", e.Workload)
+	}
+	for _, id := range []string{"implicit-overhead", "implicit-batch"} {
+		e, ok := FindExperiment(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		found := false
+		for _, q := range e.Queues {
+			found = found || q == "wCQ-Implicit"
+		}
+		if !found {
+			t.Fatalf("experiment %q does not sweep wCQ-Implicit (queues %v)", id, e.Queues)
+		}
+	}
+}
+
+// TestRunRegisterChurn exercises the register-churn workload end to
+// end, scalar and batched, on the shapes D0 sweeps.
+func TestRunRegisterChurn(t *testing.T) {
+	for _, name := range []string{"wCQ", "wCQ-Striped", "wCQ-Unbounded"} {
+		for _, batch := range []int{1, 8} {
+			q, err := registry.New(name, registry.Config{Threads: 3, RingOrder: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(q, Config{Threads: 2, Ops: 8_000, Repeats: 1, Workload: RegisterChurn, Batch: batch})
+			if err != nil {
+				t.Fatalf("%s/batch%d: %v", name, batch, err)
+			}
+			if res.Mops <= 0 {
+				t.Fatalf("%s/batch%d: nonpositive throughput", name, batch)
+			}
+		}
+	}
+}

@@ -70,6 +70,14 @@ var Experiments = []Experiment{
 	{ID: "ring-churn-batch", Figure: "C2 (ring churn through the batched paths, k=16)",
 		Workload: RingChurn, Queues: []string{"wCQ-Unbounded"}, MeasureMemory: true,
 		RingOrder: 3, PoolSize: 16, Batch: 16},
+	// PR 3 series (DESIGN.md §9): dynamic registration and pooled
+	// implicit handles.
+	{ID: "registration-churn", Figure: "D0 (register→op→unregister per cycle: dynamic-arena registration cost)",
+		Workload: RegisterChurn, Queues: []string{"wCQ", "wCQ-Striped", "wCQ-Unbounded"}},
+	{ID: "implicit-overhead", Figure: "D1 (pooled implicit handles vs explicit, pairwise: per-op handle-acquire cost)",
+		Workload: Pairwise, Queues: []string{"wCQ", "wCQ-Implicit"}},
+	{ID: "implicit-batch", Figure: "D2 (implicit vs explicit through the batched paths, k=16: acquire cost amortized)",
+		Workload: Pairwise, Queues: []string{"wCQ", "wCQ-Implicit"}, Batch: 16},
 }
 
 // batchQueues are the queues implementing queueiface.BatchQueue,
@@ -194,7 +202,7 @@ func RunPatienceAblation(w io.Writer, threads, ops int) error {
 	defer tw.Flush()
 	fmt.Fprintln(tw, "patience\tMops/s\tslow-enq\tslow-deq\thelps\tslow-fraction")
 	for _, patience := range []int{1, 2, 4, 16, 64, 256} {
-		q, err := core.NewQueue[uint64](12, threads, core.Options{
+		q, err := core.NewQueue[uint64](12, core.Options{
 			EnqPatience: patience, DeqPatience: patience,
 		})
 		if err != nil {
@@ -220,7 +228,7 @@ func RunHelpDelayAblation(w io.Writer, threads, ops int) error {
 	defer tw.Flush()
 	fmt.Fprintln(tw, "help-delay\tMops/s\thelps")
 	for _, delay := range []int{1, 4, 16, 64, 256, 1024} {
-		q, err := core.NewQueue[uint64](12, threads, core.Options{HelpDelay: delay})
+		q, err := core.NewQueue[uint64](12, core.Options{HelpDelay: delay})
 		if err != nil {
 			return err
 		}
@@ -241,7 +249,7 @@ func RunRemapAblation(w io.Writer, threads, ops int) error {
 	defer tw.Flush()
 	fmt.Fprintln(tw, "remap\tMops/s")
 	for _, noRemap := range []bool{false, true} {
-		q, err := core.NewQueue[uint64](12, threads, core.Options{NoRemap: noRemap})
+		q, err := core.NewQueue[uint64](12, core.Options{NoRemap: noRemap})
 		if err != nil {
 			return err
 		}

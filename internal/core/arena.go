@@ -1,0 +1,230 @@
+package core
+
+// This file implements the chunked, grow-only record arena that
+// replaced the fixed per-thread record slab. Registration no longer
+// needs a thread census at construction: the arena starts empty and
+// grows one fixed-size chunk at a time, up to the 16-bit owner-id
+// space of the pair-word encoding (atomicx.MaxOwners), and a free-list
+// recycles released slots so register/unregister churn keeps the
+// high-water mark flat.
+//
+// Publish protocol (DESIGN.md §9): chunks hang off a fixed directory
+// of atomic pointers sized for maxHandles at construction. A grower
+// fully initializes a fresh chunk (tids, help cursors, seqlock seeds)
+// and then publishes it with a single CompareAndSwap on its directory
+// slot; losers adopt the winner's chunk and drop their own. Readers —
+// helpers scanning for pending requests, finalize_request, Stats,
+// Reset — only ever dereference chunks through the directory's atomic
+// loads, so a published record is always fully initialized, and the
+// published-length bound nrec only advances after the chunk it covers
+// is visible. Chunks are never unpublished or moved, which is what
+// keeps the hot paths pointer-stable: a *record handed out once stays
+// valid for the ring's lifetime.
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// SlotAlloc is the handle-slot allocator every queue shape shares: a
+// LIFO free list recycled ahead of a bounded fresh-slot cursor, under
+// a mutex — registration is not a hot path; the operations stay
+// lock-free. Because the free list is consulted first, the cursor
+// doubles as the high-water mark: it tracks peak concurrency, never
+// cumulative registrations.
+type SlotAlloc struct {
+	mu   sync.Mutex
+	max  int
+	free []int
+	next int
+	live int
+}
+
+// NewSlotAlloc returns an allocator handing out slots [0, max).
+func NewSlotAlloc(max int) SlotAlloc { return SlotAlloc{max: max} }
+
+// Acquire returns a recycled slot when available, else the next fresh
+// one; it fails only when max slots are live.
+func (a *SlotAlloc) Acquire() (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var slot int
+	if n := len(a.free); n > 0 {
+		slot = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		if a.next >= a.max {
+			return 0, fmt.Errorf("all %d handle slots live", a.max)
+		}
+		slot = a.next
+		a.next++
+	}
+	a.live++
+	return slot, nil
+}
+
+// Release returns a slot for reuse. The mutex makes the release
+// happen-before any re-acquisition of the same slot, so per-slot state
+// written by the old owner before Release is visible to the new owner
+// after Acquire.
+func (a *SlotAlloc) Release(slot int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free = append(a.free, slot)
+	a.live--
+}
+
+// Live returns the number of slots currently acquired.
+func (a *SlotAlloc) Live() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.live
+}
+
+// HighWater returns the largest number of slots ever live at once.
+func (a *SlotAlloc) HighWater() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
+const (
+	chunkShift = 6
+	chunkSize  = 1 << chunkShift // records per arena chunk
+)
+
+// recordChunk is one fixed-size block of per-thread records.
+type recordChunk struct {
+	recs [chunkSize]record
+}
+
+// chunkBytes is the exact allocation charged per published chunk.
+var chunkBytes = int64(unsafe.Sizeof(recordChunk{}))
+
+// recAt returns tid's record if its chunk is published, else nil.
+// Readers iterating the arena use it so unpublished (sparse) chunks
+// are skipped instead of materialized.
+func (q *WCQ) recAt(tid int) *record {
+	c := q.chunks[tid>>chunkShift].Load()
+	if c == nil {
+		return nil
+	}
+	return &c.recs[tid&(chunkSize-1)]
+}
+
+// rec returns tid's record, publishing its chunk first if needed. The
+// grow path runs at most once per chunk per ring; afterwards the cost
+// is one atomic load and an index.
+func (q *WCQ) rec(tid int) *record {
+	ci := tid >> chunkShift
+	c := q.chunks[ci].Load()
+	if c == nil {
+		c = q.growChunk(ci)
+	}
+	return &c.recs[tid&(chunkSize-1)]
+}
+
+// growChunk allocates, initializes and publishes chunk ci, returning
+// whichever chunk won the publish race. Initialization happens-before
+// the CompareAndSwap publish, so readers never observe a half-built
+// record.
+//
+// The published-length bound nrec is advanced by the winner AND by
+// every loser (a loser adopted a chunk whose winner may still be
+// preempted between its CAS and its nrec update), so any thread that
+// obtained a record through growChunk has nrec covering it before it
+// can act on the record. One window remains: rec()'s fast path can
+// hand out a record from a chunk some other thread published whose
+// nrec advance is still pending. nrec-bounded scans are therefore
+// used only where a transient miss is benign — help rotation
+// (delayed help; the requester self-executes its slow path) and
+// Stats (documented lower bound). finalizeRequest, the one
+// correctness-bearing scan, iterates the whole directory instead.
+func (q *WCQ) growChunk(ci int) *recordChunk {
+	c := new(recordChunk)
+	base := ci << chunkShift
+	for i := range c.recs {
+		r := &c.recs[i]
+		r.tid = base + i
+		r.nextCheck = q.helpDelay
+		r.nextTid = base + i + 1 // wraps at scan time, where the live bound is known
+		r.seq1.Store(1)
+	}
+	if q.chunks[ci].CompareAndSwap(nil, c) {
+		q.arenaBytes.Add(chunkBytes)
+		if q.onGrow != nil {
+			q.onGrow(chunkBytes)
+		}
+	} else {
+		c = q.chunks[ci].Load()
+	}
+	for {
+		n := q.nrec.Load()
+		want := int64(base + chunkSize)
+		if n >= want || q.nrec.CompareAndSwap(n, want) {
+			break
+		}
+	}
+	return c
+}
+
+// forEachRecord calls f on every published record in tid order while f
+// returns true. Unpublished chunks are skipped: their records cannot
+// carry pending requests or statistics.
+func (q *WCQ) forEachRecord(f func(*record) bool) {
+	n := int(q.nrec.Load())
+	for base := 0; base < n; base += chunkSize {
+		c := q.chunks[base>>chunkShift].Load()
+		if c == nil {
+			continue
+		}
+		for i := range c.recs {
+			if !f(&c.recs[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Register claims a handle slot through the allocator, publishing its
+// chunk. It fails only when maxHandles slots are live — 65535 by
+// default, the full owner-id space of the pair-word encoding. The
+// registered-flag write is ordered against any future owner of the
+// slot by the allocator's mutex (see SlotAlloc.Release).
+func (q *WCQ) Register() (int, error) {
+	tid, err := q.alloc.Acquire()
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	q.rec(tid).registered = true
+	return tid, nil
+}
+
+// Unregister returns a thread slot for reuse. The caller must have no
+// operation in flight. Released slots are recycled LIFO, which is what
+// keeps the arena high-water mark flat under register/unregister
+// storms.
+func (q *WCQ) Unregister(tid int) {
+	r := q.recAt(tid)
+	if r == nil || !r.registered {
+		panic("core: Unregister of unregistered tid")
+	}
+	r.registered = false
+	q.alloc.Release(tid)
+}
+
+// MaxHandles returns the registration capacity.
+func (q *WCQ) MaxHandles() int { return q.maxHandles }
+
+// LiveHandles returns the number of currently registered handles.
+func (q *WCQ) LiveHandles() int { return q.alloc.Live() }
+
+// HandleHighWater returns the highest slot count the arena has ever
+// had to cover — the register/unregister-storm flatness metric: with
+// slot recycling it tracks peak concurrency, not cumulative
+// registrations.
+func (q *WCQ) HandleHighWater() int { return q.alloc.HighWater() }
+
+// ArenaBytes returns the bytes of published record chunks.
+func (q *WCQ) ArenaBytes() int64 { return q.arenaBytes.Load() }

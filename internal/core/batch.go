@@ -28,7 +28,7 @@ func (q *WCQ) EnqueueBatch(tid int, indices []uint64) {
 		q.Enqueue(tid, indices[0])
 		return
 	}
-	rec := &q.records[tid]
+	rec := q.rec(tid)
 	q.helpThreads(rec)
 
 	t0 := atomicx.PairCnt(q.faaAddRaw(&q.tail, k))
@@ -66,7 +66,7 @@ func (q *WCQ) DequeueBatch(tid int, out []uint64) int {
 		out[0] = index
 		return 1
 	}
-	rec := &q.records[tid]
+	rec := q.rec(tid)
 	q.helpThreads(rec)
 
 	h0 := atomicx.PairCnt(q.faaAddRaw(&q.head, k))

@@ -9,7 +9,7 @@ import (
 )
 
 func TestWCQBatchSequentialFIFO(t *testing.T) {
-	q := Must(6, 2, Options{})
+	q := Must(6, Options{})
 	tid, _ := q.Register()
 	in := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
 	q.EnqueueBatch(tid, in[:5])
@@ -29,7 +29,7 @@ func TestWCQBatchSequentialFIFO(t *testing.T) {
 }
 
 func TestWCQBatchAcrossCycles(t *testing.T) {
-	q := Must(3, 2, Options{})
+	q := Must(3, Options{})
 	tid, _ := q.Register()
 	buf := make([]uint64, 6)
 	next := uint64(0)
@@ -55,7 +55,7 @@ func TestWCQBatchAcrossCycles(t *testing.T) {
 // TestWCQBatchMixedWithScalar interleaves scalar and batched calls on
 // the same ring; order must be the program order of the operations.
 func TestWCQBatchMixedWithScalar(t *testing.T) {
-	q := Must(5, 2, Options{})
+	q := Must(5, Options{})
 	tid, _ := q.Register()
 	q.Enqueue(tid, 1)
 	q.EnqueueBatch(tid, []uint64{2, 3, 4})
@@ -74,7 +74,7 @@ func TestWCQBatchMixedWithScalar(t *testing.T) {
 
 // TestWCQBatchEmulatedFAA exercises the CAS-loop reservation path.
 func TestWCQBatchEmulatedFAA(t *testing.T) {
-	q := Must(4, 2, Options{EmulatedFAA: true})
+	q := Must(4, Options{EmulatedFAA: true})
 	tid, _ := q.Register()
 	in := []uint64{7, 6, 5}
 	q.EnqueueBatch(tid, in)
@@ -92,7 +92,7 @@ func TestWCQQueueBatchConcurrent(t *testing.T) {
 	if testing.Short() {
 		per = 600
 	}
-	q := MustQueue[uint64](9, producers+consumers, Options{})
+	q := MustQueue[uint64](9, Options{})
 	total := per * producers
 	streams := make([][]uint64, consumers)
 	var wg sync.WaitGroup
@@ -178,7 +178,7 @@ func TestWCQBatchTinyRingContended(t *testing.T) {
 	// Order 3 ring (8 slots) with batch 8 forces constant full/empty
 	// boundaries; patience 1 forces the wait-free slow path on scalar
 	// fallbacks.
-	q := MustQueue[uint64](3, producers+consumers, Options{EnqPatience: 1, DeqPatience: 1})
+	q := MustQueue[uint64](3, Options{EnqPatience: 1, DeqPatience: 1})
 	total := per * producers
 	streams := make([][]uint64, consumers)
 	var wg sync.WaitGroup

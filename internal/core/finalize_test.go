@@ -7,7 +7,7 @@ import (
 )
 
 func TestFinalizeStopsEnqueues(t *testing.T) {
-	q := Must(4, 1, Options{})
+	q := Must(4, Options{})
 	tid, _ := q.Register()
 	if !q.EnqueueClosable(tid, 1) {
 		t.Fatal("enqueue on open ring failed")
@@ -30,7 +30,7 @@ func TestFinalizeStopsEnqueues(t *testing.T) {
 }
 
 func TestFinalizeBitSurvivesFAAAndCatchup(t *testing.T) {
-	q := Must(4, 1, Options{})
+	q := Must(4, Options{})
 	tid, _ := q.Register()
 	q.Finalize()
 	// Dequeues on an empty finalized ring run catchup (tail CAS) and
@@ -52,7 +52,7 @@ func TestEnqueueClosableSelfCloses(t *testing.T) {
 	// indirection construction's invariant, not a ring limit). The
 	// next enqueue starves on occupied slots and must finalize rather
 	// than spin forever.
-	q := Must(3, 1, Options{}) // n = 8, physical capacity 16
+	q := Must(3, Options{}) // n = 8, physical capacity 16
 	tid, _ := q.Register()
 	for i := uint64(0); i < 16; i++ {
 		if !q.EnqueueClosable(tid, i%8) {
@@ -75,7 +75,7 @@ func TestEnqueueClosableSelfCloses(t *testing.T) {
 }
 
 func TestPairWordInvariants(t *testing.T) {
-	q := Must(4, 2, Options{})
+	q := Must(4, Options{})
 	tid, _ := q.Register()
 	// Tail id bits stay NoOwner through fast-path traffic.
 	for i := uint64(0); i < 32; i++ {
@@ -91,7 +91,7 @@ func TestPairWordInvariants(t *testing.T) {
 }
 
 func TestThresholdNeverExceedsBound(t *testing.T) {
-	q := Must(4, 1, Options{})
+	q := Must(4, Options{})
 	tid, _ := q.Register()
 	bound := 3*int64(16) - 1
 	for i := 0; i < 500; i++ {

@@ -5,14 +5,24 @@ package core
 
 // helpThreads scans one peer for a pending help request, amortized by
 // HELP_DELAY (Figure 6, help_threads). Called at the start of every
-// operation.
+// operation. The scan cursor walks the published arena: the bound is
+// re-read each time so records registered after this ring was built
+// join the rotation, and unpublished chunks are skipped wholesale
+// (their records cannot be pending).
 func (q *WCQ) helpThreads(rec *record) {
 	rec.nextCheck--
 	if rec.nextCheck > 0 {
 		return
 	}
-	thr := &q.records[rec.nextTid]
-	if thr != rec && thr.pending.Load() {
+	n := int(q.nrec.Load())
+	t := rec.nextTid
+	if t >= n {
+		t = 0
+	}
+	next := t + 1
+	if thr := q.recAt(t); thr == nil {
+		next = (t>>chunkShift + 1) << chunkShift // skip the unpublished chunk
+	} else if thr != rec && thr.pending.Load() {
 		if thr.enqueue.Load() {
 			q.helpEnqueue(rec, thr)
 		} else {
@@ -20,8 +30,11 @@ func (q *WCQ) helpThreads(rec *record) {
 		}
 		rec.statHelps.Add(1)
 	}
+	if next >= n {
+		next = 0
+	}
 	rec.nextCheck = q.helpDelay
-	rec.nextTid = (rec.nextTid + 1) % len(q.records)
+	rec.nextTid = next
 }
 
 // helpEnqueue snapshots thr's enqueue request and, if still valid,
@@ -53,18 +66,18 @@ func (q *WCQ) helpDequeue(rec, thr *record) {
 // regardless of HELP_DELAY. Tests use it to drive helping
 // deterministically.
 func (q *WCQ) HelpAll(tid int) {
-	rec := &q.records[tid]
-	for i := range q.records {
-		thr := &q.records[i]
+	rec := q.rec(tid)
+	q.forEachRecord(func(thr *record) bool {
 		if thr == rec || !thr.pending.Load() {
-			continue
+			return true
 		}
 		if thr.enqueue.Load() {
 			q.helpEnqueue(rec, thr)
 		} else {
 			q.helpDequeue(rec, thr)
 		}
-	}
+		return true
+	})
 }
 
 // Stats aggregates operation counters across all records. Counters
@@ -80,11 +93,11 @@ type Stats struct {
 // (experiment A3: slow-path frequency).
 func (q *WCQ) Stats() Stats {
 	var s Stats
-	for i := range q.records {
-		r := &q.records[i]
+	q.forEachRecord(func(r *record) bool {
 		s.SlowEnqueues += r.statSlowEnq.Load()
 		s.SlowDequeues += r.statSlowDeq.Load()
 		s.Helps += r.statHelps.Load()
-	}
+		return true
+	})
 	return s
 }

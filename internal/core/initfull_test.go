@@ -6,7 +6,7 @@ import "testing"
 // must start n ahead of head so the first n enqueues land on the
 // second half of the physical ring via the fast path.
 func TestInitFullTailPosition(t *testing.T) {
-	q := Must(6, 1, Options{}) // n = 64
+	q := Must(6, Options{}) // n = 64
 	q.InitFull()
 	if got, want := q.Tail()-q.Head(), uint64(64); got != want {
 		t.Fatalf("InitFull tail-head gap = %d, want %d", got, want)

@@ -68,15 +68,31 @@ func (q *WCQ) consume(h, j, e uint64) {
 
 // finalizeRequest sets FIN on the localTail of whichever thread has a
 // pending slow-path enqueue at head counter h (Figure 5,
-// finalize_request). The scan covers all records; a slot whose counter
-// does not match h is skipped, and at most one record can match.
+// finalize_request). The scan covers every published record; a slot
+// whose counter does not match h is skipped, and at most one record
+// can match.
+//
+// Missing the matching record here would be a correctness bug (the
+// requester would re-install its element at a later position), so the
+// scan iterates the FULL chunk directory rather than the nrec bound:
+// nrec can lag a chunk whose records are already carrying requests
+// (rec()'s fast path does not wait for the publisher's nrec advance).
+// The chunk pointer itself is always visible — its publish
+// happens-before the localTail store that produced the Enq=0 entry
+// this caller just read, and chunk loads are seq-cst.
 func (q *WCQ) finalizeRequest(h uint64) {
-	for i := range q.records {
-		tail := &q.records[i].localTail
-		v := tail.Load()
-		if atomicx.Counter(v) == h {
-			tail.CompareAndSwap(h, h|atomicx.FIN)
-			return
+	for ci := range q.chunks {
+		c := q.chunks[ci].Load()
+		if c == nil {
+			continue
+		}
+		for i := range c.recs {
+			tail := &c.recs[i].localTail
+			v := tail.Load()
+			if atomicx.Counter(v) == h {
+				tail.CompareAndSwap(h, h|atomicx.FIN)
+				return
+			}
 		}
 	}
 }
@@ -139,7 +155,7 @@ func (q *WCQ) deqAtFast(h uint64) (index uint64, st DeqStatus) {
 // are never finalized (the bounded queue); the unbounded construction
 // uses EnqueueClosable.
 func (q *WCQ) Enqueue(tid int, index uint64) {
-	rec := &q.records[tid]
+	rec := q.rec(tid)
 	q.helpThreads(rec)
 
 	var lastTail uint64
@@ -174,7 +190,7 @@ func (q *WCQ) Enqueue(tid int, index uint64) {
 // observably fails — at the cost of ring-local wait-freedom; the
 // unbounded queue is lock-free overall (see DESIGN.md §5).
 func (q *WCQ) EnqueueClosable(tid int, index uint64) bool {
-	rec := &q.records[tid]
+	rec := q.rec(tid)
 	q.helpThreads(rec)
 	for attempts := 0; ; attempts++ {
 		_, ok, finalized := q.tryEnqFast(index)
@@ -202,7 +218,7 @@ func (q *WCQ) Dequeue(tid int) (index uint64, ok bool) {
 	if q.threshold.Load() < 0 {
 		return 0, false // empty fast-exit
 	}
-	rec := &q.records[tid]
+	rec := q.rec(tid)
 	q.helpThreads(rec)
 
 	var lastHead uint64

@@ -13,13 +13,14 @@ type Queue[T any] struct {
 }
 
 // NewQueue creates a bounded wait-free queue with capacity 2^order
-// values, usable by up to numThreads registered handles.
-func NewQueue[T any](order uint, numThreads int, opts Options) (*Queue[T], error) {
-	aq, err := New(order, numThreads, opts)
+// values. Handles register dynamically up to opts.MaxHandles (default:
+// the full 16-bit owner-id space).
+func NewQueue[T any](order uint, opts Options) (*Queue[T], error) {
+	aq, err := New(order, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating aq: %w", err)
 	}
-	fq, err := New(order, numThreads, opts)
+	fq, err := New(order, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating fq: %w", err)
 	}
@@ -28,8 +29,8 @@ func NewQueue[T any](order uint, numThreads int, opts Options) (*Queue[T], error
 }
 
 // MustQueue is NewQueue that panics on error.
-func MustQueue[T any](order uint, numThreads int, opts Options) *Queue[T] {
-	q, err := NewQueue[T](order, numThreads, opts)
+func MustQueue[T any](order uint, opts Options) *Queue[T] {
+	q, err := NewQueue[T](order, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -54,31 +55,30 @@ func (h *Handle) buf(k int) []uint64 {
 	return h.scratch[:k]
 }
 
-// Register claims a thread slot on both underlying rings.
+// Register claims a thread slot. The allocation lives on aq; fq only
+// materializes the matching record (its own allocator is unused, so
+// the tid cannot be handed out twice there).
 func (q *Queue[T]) Register() (*Handle, error) {
 	tid, err := q.aq.Register()
 	if err != nil {
 		return nil, err
 	}
-	// Mirror the registration on fq so the same tid is valid there.
-	ftid, err := q.fq.Register()
-	if err != nil {
-		q.aq.Unregister(tid)
-		return nil, err
-	}
-	if ftid != tid {
-		// Ring registries move in lock step under Queue's API; a
-		// divergence means a caller bypassed it.
-		panic("core: aq/fq registration diverged")
-	}
+	q.fq.rec(tid)
 	return &Handle{tid: tid}, nil
 }
 
 // Unregister releases the handle's slot.
 func (q *Queue[T]) Unregister(h *Handle) {
 	q.aq.Unregister(h.tid)
-	q.fq.Unregister(h.tid)
 }
+
+// LiveHandles returns the number of currently registered handles.
+func (q *Queue[T]) LiveHandles() int { return q.aq.LiveHandles() }
+
+// HandleHighWater returns the arena high-water mark: the largest
+// number of handle slots ever live at once (slot recycling keeps it
+// flat under register/unregister churn).
+func (q *Queue[T]) HandleHighWater() int { return q.aq.HandleHighWater() }
 
 // Cap returns the queue capacity n.
 func (q *Queue[T]) Cap() int { return len(q.data) }

@@ -11,7 +11,7 @@ import (
 func TestResetRestoresEmptyState(t *testing.T) {
 	// Patience 1 + HelpDelay 1 forces slow-path traffic so the records
 	// are genuinely dirty before the reset.
-	q := Must(4, 4, Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1})
+	q := Must(4, Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1})
 	tid, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestResetRestoresEmptyState(t *testing.T) {
 // TestResetFullRestoresFreeRing checks the free-ring reset path: after
 // arbitrary traffic, ResetFull must hand back exactly indices 0..n-1.
 func TestResetFullRestoresFreeRing(t *testing.T) {
-	q := Must(3, 2, Options{})
+	q := Must(3, Options{})
 	q.InitFull()
 	tid, err := q.Register()
 	if err != nil {
@@ -109,7 +109,7 @@ func TestResetReuseUnderConcurrency(t *testing.T) {
 	if testing.Short() {
 		per = 500
 	}
-	q := MustQueue[uint64](10, workers, Options{EnqPatience: 2, DeqPatience: 2, HelpDelay: 2})
+	q := MustQueue[uint64](10, Options{EnqPatience: 2, DeqPatience: 2, HelpDelay: 2})
 	for round := 0; round < 3; round++ {
 		var produced, consumed sync.Map
 		var wg sync.WaitGroup

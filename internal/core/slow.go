@@ -117,7 +117,10 @@ func (q *WCQ) loadGlobalHelpPhase2(global *pad.Uint64, mylocal *atomic.Uint64, t
 		if id == atomicx.NoOwner {
 			return atomicx.PairCnt(gp), true // no help request
 		}
-		ph := &q.records[atomicx.OwnerTID(id)].phase2
+		// The owner's record is necessarily published: it registered
+		// (publishing its chunk) before it could install its id in the
+		// global pair word.
+		ph := &q.rec(atomicx.OwnerTID(id)).phase2
 		pseq := ph.seq2.Load()
 		loc := ph.local.Load()
 		pcnt := ph.cnt.Load()

@@ -10,8 +10,8 @@ import (
 // These tests drive the Figure 7 protocol pieces directly.
 
 func TestSlowFAAAdvancesGlobalOnce(t *testing.T) {
-	q := Must(4, 2, Options{})
-	rec := &q.records[0]
+	q := Must(4, Options{})
+	rec := q.rec(0)
 	seq := rec.seq1.Load()
 
 	start := q.tailCnt()
@@ -36,8 +36,8 @@ func TestSlowFAAAdvancesGlobalOnce(t *testing.T) {
 }
 
 func TestSlowFAAStopsOnFIN(t *testing.T) {
-	q := Must(4, 2, Options{})
-	rec := &q.records[0]
+	q := Must(4, Options{})
+	rec := q.rec(0)
 	seq := rec.seq1.Load()
 	v := uint64(100)
 	rec.localTail.Store(v | atomicx.FIN)
@@ -52,9 +52,9 @@ func TestSlowFAAStopsOnFIN(t *testing.T) {
 }
 
 func TestSlowFAAStaleHelperAborts(t *testing.T) {
-	q := Must(4, 2, Options{})
-	helpee := &q.records[0]
-	helper := &q.records[1]
+	q := Must(4, Options{})
+	helpee := q.rec(0)
+	helper := q.rec(1)
 	staleSeq := helpee.seq1.Load()
 	helpee.seq1.Store(staleSeq + 1) // request completed; helper snapshot is stale
 
@@ -70,9 +70,9 @@ func TestSlowFAAStaleHelperAborts(t *testing.T) {
 }
 
 func TestSlowFAADecrementsThresholdOncePerIncrement(t *testing.T) {
-	q := Must(4, 2, Options{})
+	q := Must(4, Options{})
 	q.threshold.Store(100)
-	rec := &q.records[0]
+	rec := q.rec(0)
 	seq := rec.seq1.Load()
 	start := q.headCnt()
 	v := start - 1
@@ -87,9 +87,9 @@ func TestSlowFAADecrementsThresholdOncePerIncrement(t *testing.T) {
 }
 
 func TestLoadGlobalHelpsPhase2(t *testing.T) {
-	q := Must(4, 2, Options{})
-	owner := &q.records[1]
-	caller := &q.records[0]
+	q := Must(4, Options{})
+	owner := q.rec(1)
+	caller := q.rec(0)
 	seq := caller.seq1.Load()
 	caller.localTail.Store(5)
 
@@ -117,15 +117,15 @@ func TestLoadGlobalHelpsPhase2(t *testing.T) {
 }
 
 func TestFinalizeRequestSetsFIN(t *testing.T) {
-	q := Must(4, 3, Options{})
-	target := &q.records[2]
+	q := Must(4, Options{})
+	target := q.rec(2)
 	target.localTail.Store(777)
 	q.finalizeRequest(777)
 	if !atomicx.HasFIN(target.localTail.Load()) {
 		t.Fatal("finalizeRequest did not set FIN on the matching record")
 	}
 	// Non-matching counters stay untouched.
-	other := &q.records[1]
+	other := q.rec(1)
 	other.localTail.Store(888)
 	q.finalizeRequest(999)
 	if atomicx.HasFIN(other.localTail.Load()) {
@@ -134,8 +134,8 @@ func TestFinalizeRequestSetsFIN(t *testing.T) {
 }
 
 func TestConsumeFinalizesPendingEnqueuer(t *testing.T) {
-	q := Must(4, 2, Options{})
-	enq := &q.records[1]
+	q := Must(4, Options{})
+	enq := q.rec(1)
 	h := uint64(4242)
 	enq.localTail.Store(h)
 	j := q.remapPos(h)
@@ -155,10 +155,10 @@ func TestConsumeFinalizesPendingEnqueuer(t *testing.T) {
 }
 
 func TestHelpThreadsAmortization(t *testing.T) {
-	q := Must(4, 2, Options{HelpDelay: 10})
+	q := Must(4, Options{HelpDelay: 10})
 	tid, _ := q.Register()
-	rec := &q.records[tid]
-	peer := &q.records[(tid+1)%2]
+	rec := q.rec(tid)
+	peer := q.rec(tid + 1)
 	// A bogus pending flag alone must not trigger help before the
 	// delay elapses (seq validation rejects it when it does).
 	peer.pending.Store(true)
@@ -181,7 +181,7 @@ func TestHelpThreadsAmortization(t *testing.T) {
 func TestStatsRace(t *testing.T) {
 	// Stats is read concurrently with operations; exercised under the
 	// race detector in CI runs.
-	q := MustQueue[uint64](6, 4, Options{EnqPatience: 1, DeqPatience: 1})
+	q := MustQueue[uint64](6, Options{EnqPatience: 1, DeqPatience: 1})
 	done := make(chan struct{})
 	var total atomic.Uint64
 	go func() {

@@ -18,7 +18,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"wcqueue/internal/atomicx"
@@ -48,6 +47,15 @@ type Options struct {
 	EmulatedFAA bool
 	// NoRemap disables the Cache_Remap permutation (ablation A4).
 	NoRemap bool
+	// MaxHandles caps concurrently registered handles. Zero selects
+	// the owner-id space maximum (atomicx.MaxOwners, 65535). Smaller
+	// caps shrink the chunk directory and bound arena growth.
+	MaxHandles int
+	// OnArenaGrow, when non-nil, is called with the byte size of every
+	// record chunk the arena publishes. The unbounded queue uses it to
+	// keep its footprint counter exact while rings grow their arenas
+	// lazily across hops.
+	OnArenaGrow func(bytes int64)
 }
 
 // WCQ is a wait-free bounded MPMC ring of indices in [0, n), n = 2^order.
@@ -84,12 +92,21 @@ type WCQ struct {
 	head      pad.Uint64 // PairWord
 
 	entries []atomic.Uint64
-	records []record
 
-	regMu    sync.Mutex
-	regFree  []int
+	// Record arena (arena.go): a fixed directory of atomically
+	// published chunks replaces the fixed per-thread slab. nrec is the
+	// published arena length (a multiple of chunkSize) bounding every
+	// reader-side iteration; arenaBytes feeds Footprint.
+	chunks     []atomic.Pointer[recordChunk]
+	nrec       atomic.Int64
+	arenaBytes atomic.Int64
+	maxHandles int
+	onGrow     func(int64)
+
+	alloc SlotAlloc
+
 	maxOps   uint64
-	footSize int64
+	footBase int64
 }
 
 // phase2rec is the second-phase help request (Figure 4). The seq1/seq2
@@ -136,16 +153,22 @@ type record struct {
 	_ pad.DoublePad
 }
 
-// New creates a WCQ ring of order k (n = 2^k usable slots) supporting
-// up to numThreads registered threads.
-func New(order uint, numThreads int, opts Options) (*WCQ, error) {
+// New creates a WCQ ring of order k (n = 2^k usable slots). Handles
+// register dynamically: the record arena starts empty and grows on
+// demand up to opts.MaxHandles (default: the full owner-id space).
+func New(order uint, opts Options) (*WCQ, error) {
 	if order < 1 || order > 24 {
 		return nil, fmt.Errorf("core: ring order %d out of range [1, 24]", order)
 	}
-	if numThreads < 1 || uint64(numThreads) > atomicx.MaxOwners {
-		return nil, fmt.Errorf("core: numThreads %d out of range [1, %d]", numThreads, atomicx.MaxOwners)
+	maxHandles := opts.MaxHandles
+	if maxHandles == 0 {
+		maxHandles = int(atomicx.MaxOwners)
+	}
+	if maxHandles < 1 || uint64(maxHandles) > atomicx.MaxOwners {
+		return nil, fmt.Errorf("core: MaxHandles %d out of range [1, %d]", maxHandles, atomicx.MaxOwners)
 	}
 	q := &WCQ{
+		maxHandles:  maxHandles,
 		order:       order,
 		ringOrder:   order + 1,
 		posMask:     1<<(order+1) - 1,
@@ -186,28 +209,17 @@ func New(order uint, numThreads int, opts Options) (*WCQ, error) {
 	q.maxOps = min(maxCyc<<q.ringOrder, atomicx.MaxPairCnt)
 
 	q.entries = make([]atomic.Uint64, 1<<q.ringOrder)
-	q.records = make([]record, numThreads)
-	q.regFree = make([]int, 0, numThreads)
-	for i := numThreads - 1; i >= 0; i-- {
-		q.regFree = append(q.regFree, i)
-	}
-	for i := range q.records {
-		r := &q.records[i]
-		r.tid = i
-		r.nextCheck = q.helpDelay
-		r.nextTid = (i + 1) % numThreads
-		r.seq1.Store(1)
-	}
+	q.chunks = make([]atomic.Pointer[recordChunk], (maxHandles+chunkSize-1)/chunkSize)
+	q.alloc = NewSlotAlloc(maxHandles)
+	q.onGrow = opts.OnArenaGrow
 	q.initEmpty()
-	q.footSize = int64(len(q.entries))*8 + int64(numThreads)*int64(recordBytes)
+	q.footBase = int64(len(q.entries))*8 + int64(len(q.chunks))*8
 	return q, nil
 }
 
-const recordBytes = 512 // approximate padded record size, for footprint accounting
-
 // Must is New that panics on error.
-func Must(order uint, numThreads int, opts Options) *WCQ {
-	q, err := New(order, numThreads, opts)
+func Must(order uint, opts Options) *WCQ {
+	q, err := New(order, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -220,44 +232,17 @@ func (q *WCQ) N() uint64 { return 1 << q.order }
 // Order returns the ring order k.
 func (q *WCQ) Order() uint { return q.order }
 
-// NumThreads returns the registration capacity.
-func (q *WCQ) NumThreads() int { return len(q.records) }
-
 // MaxOps returns the number of operations the queue can safely execute
 // before its packed cycle counters could wrap (DESIGN.md §2.1). For
 // the default order 16 this is ≈5·10^11.
 func (q *WCQ) MaxOps() uint64 { return q.maxOps }
 
-// Footprint returns the live bytes of queue-owned memory; constant,
-// since wCQ never allocates after construction (Theorem 5.8).
-func (q *WCQ) Footprint() int64 { return q.footSize }
-
-// Register claims a thread slot and returns its id. Every goroutine
-// operating on the queue must use a distinct id. Release the slot with
-// Unregister.
-func (q *WCQ) Register() (int, error) {
-	q.regMu.Lock()
-	defer q.regMu.Unlock()
-	if len(q.regFree) == 0 {
-		return 0, fmt.Errorf("core: all %d thread slots registered", len(q.records))
-	}
-	tid := q.regFree[len(q.regFree)-1]
-	q.regFree = q.regFree[:len(q.regFree)-1]
-	q.records[tid].registered = true
-	return tid, nil
-}
-
-// Unregister returns a thread slot for reuse. The caller must have no
-// operation in flight.
-func (q *WCQ) Unregister(tid int) {
-	q.regMu.Lock()
-	defer q.regMu.Unlock()
-	if !q.records[tid].registered {
-		panic("core: Unregister of unregistered tid")
-	}
-	q.records[tid].registered = false
-	q.regFree = append(q.regFree, tid)
-}
+// Footprint returns the live bytes of queue-owned memory: the fixed
+// entry array and chunk directory plus the published record chunks.
+// It grows only with the registration high-water mark (never per
+// operation — Theorem 5.8's bound, now parameterized by peak handle
+// concurrency instead of a declared thread census).
+func (q *WCQ) Footprint() int64 { return q.footBase + q.arenaBytes.Load() }
 
 // ---- Entry word encoding -------------------------------------------------
 //
@@ -350,10 +335,9 @@ func (q *WCQ) ResetFull() {
 // false for every record (quiescence), so helpers cannot observe the
 // intermediate states.
 func (q *WCQ) resetRecords() {
-	for i := range q.records {
-		r := &q.records[i]
+	q.forEachRecord(func(r *record) bool {
 		r.nextCheck = q.helpDelay
-		r.nextTid = (i + 1) % len(q.records)
+		r.nextTid = r.tid + 1
 		r.statSlowEnq.Store(0)
 		r.statSlowDeq.Store(0)
 		r.statHelps.Store(0)
@@ -370,7 +354,8 @@ func (q *WCQ) resetRecords() {
 		r.initHead.Store(0)
 		r.index.Store(0)
 		r.seq2.Store(0)
-	}
+		return true
+	})
 }
 
 // InitFull fills the ring with indices 0..n-1 (the free queue's start

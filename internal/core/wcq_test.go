@@ -10,9 +10,9 @@ import (
 	"wcqueue/internal/check"
 )
 
-func newRing(t *testing.T, order uint, threads int, opts Options) *WCQ {
+func newRing(t *testing.T, order uint, opts Options) *WCQ {
 	t.Helper()
-	q, err := New(order, threads, opts)
+	q, err := New(order, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +20,7 @@ func newRing(t *testing.T, order uint, threads int, opts Options) *WCQ {
 }
 
 func TestWCQSequentialFIFO(t *testing.T) {
-	q := newRing(t, 4, 1, Options{})
+	q := newRing(t, 4, Options{})
 	tid, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
@@ -40,7 +40,7 @@ func TestWCQSequentialFIFO(t *testing.T) {
 }
 
 func TestWCQWrapAroundManyCycles(t *testing.T) {
-	q := newRing(t, 2, 1, Options{}) // n = 4
+	q := newRing(t, 2, Options{}) // n = 4
 	tid, _ := q.Register()
 	for round := uint64(0); round < 2000; round++ {
 		for i := uint64(0); i < 4; i++ {
@@ -59,7 +59,7 @@ func TestWCQWrapAroundManyCycles(t *testing.T) {
 }
 
 func TestWCQRegisterExhaustion(t *testing.T) {
-	q := newRing(t, 4, 2, Options{})
+	q := newRing(t, 4, Options{MaxHandles: 2})
 	a, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +68,7 @@ func TestWCQRegisterExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err = q.Register(); err == nil {
-		t.Fatal("third Register on 2-slot queue succeeded")
+		t.Fatal("third Register on a MaxHandles=2 queue succeeded")
 	}
 	q.Unregister(a)
 	if _, err = q.Register(); err != nil {
@@ -76,8 +76,62 @@ func TestWCQRegisterExhaustion(t *testing.T) {
 	}
 }
 
+// TestWCQDynamicRegistrationGrowsArena registers past several chunk
+// boundaries without any declared thread census: Register must never
+// fail below the handle cap, the arena must grow chunk-wise, and slot
+// recycling must keep the high-water mark flat afterwards.
+func TestWCQDynamicRegistrationGrowsArena(t *testing.T) {
+	q := newRing(t, 4, Options{})
+	base := q.Footprint()
+	const n = 3*chunkSize + 5
+	tids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		tid, err := q.Register()
+		if err != nil {
+			t.Fatalf("Register %d failed: %v", i, err)
+		}
+		if tid != i {
+			t.Fatalf("fresh registration %d got tid %d", i, tid)
+		}
+		tids = append(tids, tid)
+	}
+	wantChunks := int64((n + chunkSize - 1) / chunkSize)
+	if got := q.ArenaBytes(); got != wantChunks*chunkBytes {
+		t.Fatalf("arena = %d bytes, want %d chunks", got, wantChunks)
+	}
+	if q.Footprint() != base+wantChunks*chunkBytes {
+		t.Fatalf("footprint does not account arena growth")
+	}
+	if hw := q.HandleHighWater(); hw != n {
+		t.Fatalf("high-water = %d, want %d", hw, n)
+	}
+	// Churn: release everything and re-register; recycled slots must
+	// keep both the high-water mark and the arena flat.
+	for _, tid := range tids {
+		q.Unregister(tid)
+	}
+	if live := q.LiveHandles(); live != 0 {
+		t.Fatalf("live = %d after full unregister", live)
+	}
+	for i := 0; i < 5*n; i++ {
+		tid, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Enqueue(tid, uint64(i)&15)
+		q.Dequeue(tid)
+		q.Unregister(tid)
+	}
+	if hw := q.HandleHighWater(); hw != n {
+		t.Fatalf("churn grew high-water to %d, want %d", hw, n)
+	}
+	if got := q.ArenaBytes(); got != wantChunks*chunkBytes {
+		t.Fatalf("churn grew arena to %d bytes", got)
+	}
+}
+
 func TestWCQEntryEncodingRoundTrip(t *testing.T) {
-	q := Must(6, 1, Options{})
+	q := Must(6, Options{})
 	f := func(cycle, note, index uint64, safe, enq bool) bool {
 		cycle &= q.vMask
 		note &= q.nMask - 1 // leave room for the +1 bias
@@ -96,7 +150,7 @@ func TestWCQEntryEncodingRoundTrip(t *testing.T) {
 }
 
 func TestWCQConsumePreservesCycleAndNote(t *testing.T) {
-	q := Must(5, 1, Options{})
+	q := Must(5, Options{})
 	e := q.setNote(q.packVal(7, true, false, 3), 9)
 	q.entries[0].Store(e)
 	q.orEntry(0, q.enqBit|q.bottomC)
@@ -111,7 +165,7 @@ func TestWCQConsumePreservesCycleAndNote(t *testing.T) {
 }
 
 func TestWCQPairWordFAAPreservesOwner(t *testing.T) {
-	q := Must(4, 1, Options{})
+	q := Must(4, Options{})
 	q.tail.Store(atomicx.PackPair(100, atomicx.OwnerID(3)))
 	got := q.faa(&q.tail)
 	if got != 100 {
@@ -189,7 +243,7 @@ func TestWCQConcurrentMPMC(t *testing.T) {
 	if testing.Short() {
 		per = 2000
 	}
-	q := MustQueue[uint64](12, 8, Options{})
+	q := MustQueue[uint64](12, Options{})
 	runWCQMPMC(t, q, 4, 4, per)
 }
 
@@ -202,7 +256,7 @@ func TestWCQConcurrentManyThreads(t *testing.T) {
 	if testing.Short() {
 		per = 500
 	}
-	q := MustQueue[uint64](10, 2*n, Options{})
+	q := MustQueue[uint64](10, Options{})
 	runWCQMPMC(t, q, n, n, per)
 }
 
@@ -216,7 +270,7 @@ func TestWCQForcedSlowPath(t *testing.T) {
 		per = 800
 	}
 	opts := Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
-	q := MustQueue[uint64](6, 8, opts) // tiny ring amplifies contention
+	q := MustQueue[uint64](6, opts) // tiny ring amplifies contention
 	runWCQMPMC(t, q, 4, 4, per)
 	if s := q.Stats(); s.SlowEnqueues == 0 && s.SlowDequeues == 0 {
 		t.Log("warning: no slow paths were taken despite patience=1")
@@ -229,7 +283,7 @@ func TestWCQForcedSlowPathTinyRing(t *testing.T) {
 		per = 300
 	}
 	opts := Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
-	q := MustQueue[uint64](2, 8, opts) // n = 4: extreme wrap pressure
+	q := MustQueue[uint64](2, opts) // n = 4: extreme wrap pressure
 	runWCQMPMC(t, q, 4, 4, per)
 }
 
@@ -238,7 +292,7 @@ func TestWCQEmulatedFAA(t *testing.T) {
 	if testing.Short() {
 		per = 500
 	}
-	q := MustQueue[uint64](8, 8, Options{EmulatedFAA: true})
+	q := MustQueue[uint64](8, Options{EmulatedFAA: true})
 	runWCQMPMC(t, q, 4, 4, per)
 }
 
@@ -247,14 +301,14 @@ func TestWCQNoRemap(t *testing.T) {
 	if testing.Short() {
 		per = 500
 	}
-	q := MustQueue[uint64](8, 8, Options{NoRemap: true})
+	q := MustQueue[uint64](8, Options{NoRemap: true})
 	runWCQMPMC(t, q, 4, 4, per)
 }
 
 func TestWCQSlowPathSingleThreadDirect(t *testing.T) {
 	// With patience 1 even an uncontended thread exercises the slow
 	// path machinery when its first F&A draws an unusable slot.
-	q := newRing(t, 3, 1, Options{EnqPatience: 1, DeqPatience: 1})
+	q := newRing(t, 3, Options{EnqPatience: 1, DeqPatience: 1})
 	tid, _ := q.Register()
 	for round := 0; round < 500; round++ {
 		for i := uint64(0); i < 8; i++ {
@@ -274,7 +328,7 @@ func TestWCQHelpAllCompletesPendingRequest(t *testing.T) {
 	// from another thread completes it: the helpee's record must end
 	// with FIN set and the element must be retrievable via the gather
 	// sequence.
-	q := newRing(t, 4, 2, Options{})
+	q := newRing(t, 4, Options{})
 	helpee, _ := q.Register()
 	helper, _ := q.Register()
 
@@ -289,7 +343,7 @@ func TestWCQHelpAllCompletesPendingRequest(t *testing.T) {
 	q.Enqueue(helpee, 7)
 
 	// Publish the help request exactly as Dequeue's slow path does.
-	rec := &q.records[helpee]
+	rec := q.rec(helpee)
 	h := q.headCnt() - 1 // the already-processed counter
 	seq := rec.seq1.Load()
 	rec.localHead.Store(h)
@@ -320,18 +374,18 @@ func TestWCQHelpAllCompletesPendingRequest(t *testing.T) {
 
 func TestWCQStatsAccumulate(t *testing.T) {
 	opts := Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
-	q := MustQueue[uint64](4, 4, opts)
+	q := MustQueue[uint64](4, opts)
 	runWCQMPMC(t, q, 2, 2, 2000)
 	s := q.Stats()
 	t.Logf("stats: %+v", s)
 }
 
 func TestWCQMaxOpsReported(t *testing.T) {
-	q := Must(16, 4, Options{})
+	q := Must(16, Options{})
 	if q.MaxOps() < 1<<38 {
 		t.Fatalf("MaxOps = %d, want >= 2^38 at order 16", q.MaxOps())
 	}
-	small := Must(2, 4, Options{})
+	small := Must(2, Options{})
 	if small.MaxOps() <= q.MaxOps()/2 {
 		// smaller rings have more cycle headroom per slot but fewer
 		// slots; just sanity-check it is nonzero and large.
@@ -342,7 +396,7 @@ func TestWCQMaxOpsReported(t *testing.T) {
 }
 
 func TestWCQQueueFullBehaviour(t *testing.T) {
-	q := MustQueue[uint64](3, 2, Options{})
+	q := MustQueue[uint64](3, Options{})
 	h, _ := q.Register()
 	for i := uint64(0); i < 8; i++ {
 		if !q.Enqueue(h, i) {
@@ -362,19 +416,27 @@ func TestWCQQueueFullBehaviour(t *testing.T) {
 }
 
 func TestWCQRejectsBadConfig(t *testing.T) {
-	if _, err := New(0, 1, Options{}); err == nil {
+	if _, err := New(0, Options{}); err == nil {
 		t.Fatal("order 0 accepted")
 	}
-	if _, err := New(25, 1, Options{}); err == nil {
+	if _, err := New(25, Options{}); err == nil {
 		t.Fatal("order 25 accepted")
 	}
-	if _, err := New(4, 0, Options{}); err == nil {
-		t.Fatal("0 threads accepted")
+	if _, err := New(4, Options{MaxHandles: -1}); err == nil {
+		t.Fatal("negative MaxHandles accepted")
+	}
+	if _, err := New(4, Options{MaxHandles: int(atomicx.MaxOwners) + 1}); err == nil {
+		t.Fatal("MaxHandles beyond the owner-id space accepted")
 	}
 }
 
+// TestWCQFootprintConstantUnderLoad: after the first run published the
+// worker records, further traffic (including register/unregister of
+// the same concurrency) must not move the footprint — growth tracks
+// the registration high-water mark, never the operation count.
 func TestWCQFootprintConstantUnderLoad(t *testing.T) {
-	q := MustQueue[uint64](8, 4, Options{})
+	q := MustQueue[uint64](8, Options{})
+	runWCQMPMC(t, q, 2, 2, 1000) // publishes the worker records
 	before := q.Footprint()
 	runWCQMPMC(t, q, 2, 2, 3000)
 	if q.Footprint() != before {

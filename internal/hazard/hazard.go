@@ -9,6 +9,14 @@
 // still dereference it. MSQueue in this repository uses a Domain to
 // run its node pool, which keeps its footprint flat the same way the
 // paper's C implementation does.
+//
+// Since the dynamic-registration refactor (DESIGN.md §9) a Domain no
+// longer allocates per-thread state up front: thread slots live in
+// fixed-size chunks hanging off an atomic directory, published on
+// first use with the same CAS-publish protocol as core's record
+// arena. NewDomain's argument is therefore a *capacity*, not an
+// allocation — domains sized for the full 16-bit handle space cost
+// one pointer per 64 potential threads until those threads exist.
 package hazard
 
 import (
@@ -24,16 +32,38 @@ import (
 const SlotsPerThread = 3
 
 // scanThresholdFactor: a thread scans its retire list when it grows
-// beyond this multiple of the total hazard slots, bounding both scan
-// frequency and retired-node inventory (the H·R bound of the HP paper).
+// beyond this multiple of the *published* hazard slots, bounding both
+// scan frequency and retired-node inventory (the H·R bound of the HP
+// paper, with H tracking the thread high-water mark instead of a
+// declared census).
 const scanThresholdFactor = 2
 
-// Domain manages hazard slots and retire lists for a fixed number of
-// threads.
+const (
+	domChunkShift = 6
+	domChunkSize  = 1 << domChunkShift // threads per domain chunk
+)
+
+// domChunk bundles one chunk of hazard slots with the matching retire
+// sets: both are per-thread, so they grow together.
+type domChunk struct {
+	slots [domChunkSize]slot
+	sets  [domChunkSize]retireSet
+}
+
+// Domain manages hazard slots and retire lists for dynamically
+// registered threads, up to the capacity given to NewDomain.
 type Domain struct {
-	slots    []slot      // numThreads × SlotsPerThread, padded
-	retired  []retireSet // per thread
-	nthreads int
+	chunks []atomic.Pointer[domChunk]
+	// npub counts published thread slots (domChunkSize per chunk,
+	// wherever in the directory the chunk sits). Scans iterate the
+	// whole directory — the published set may be sparse when reserved
+	// tids live at high indices — and skip nil entries.
+	npub atomic.Int64
+	// active is the owner's hint of how many threads currently hold
+	// hazard slots (SetActive). It gives the H of the H·R
+	// retire-inventory bound its tight value: chunk-granular npub is
+	// the fallback when no hint is maintained.
+	active atomic.Int64
 }
 
 type slot struct {
@@ -58,29 +88,59 @@ type retiree struct {
 	free func(unsafe.Pointer)
 }
 
-// NewDomain creates a Domain for numThreads threads.
-func NewDomain(numThreads int) *Domain {
+// NewDomain creates a Domain for up to maxThreads threads. Per-thread
+// state is chunk-allocated on first use, so a generous capacity is
+// cheap.
+func NewDomain(maxThreads int) *Domain {
 	return &Domain{
-		slots:    make([]slot, numThreads),
-		retired:  make([]retireSet, numThreads),
-		nthreads: numThreads,
+		chunks: make([]atomic.Pointer[domChunk], (maxThreads+domChunkSize-1)/domChunkSize),
 	}
+}
+
+// chunkOf returns tid's chunk, publishing it first if needed.
+func (d *Domain) chunkOf(tid int) *domChunk {
+	ci := tid >> domChunkShift
+	if c := d.chunks[ci].Load(); c != nil {
+		return c
+	}
+	return d.growChunk(ci)
+}
+
+// growChunk publishes chunk ci with a single CAS; losers adopt the
+// winner's chunk. The zero value of every field is ready for use, so
+// no pre-publish initialization is needed.
+func (d *Domain) growChunk(ci int) *domChunk {
+	c := new(domChunk)
+	if !d.chunks[ci].CompareAndSwap(nil, c) {
+		return d.chunks[ci].Load()
+	}
+	d.npub.Add(domChunkSize)
+	return c
+}
+
+func (d *Domain) slotOf(tid int) *slot {
+	return &d.chunkOf(tid).slots[tid&(domChunkSize-1)]
+}
+
+func (d *Domain) setOf(tid int) *retireSet {
+	return &d.chunkOf(tid).sets[tid&(domChunkSize-1)]
 }
 
 // Protect publishes p in the caller's hazard slot i and returns p.
 // Callers must re-validate the source pointer after Protect (the
 // standard HP protocol) — see ProtectFrom for the loop.
 func (d *Domain) Protect(tid, i int, p unsafe.Pointer) unsafe.Pointer {
-	d.slots[tid].p[i].Store((*byte)(p))
+	d.slotOf(tid).p[i].Store((*byte)(p))
 	return p
 }
 
 // ProtectFrom repeatedly loads *src and publishes it until the
 // publication is stable (the classic protect loop).
 func (d *Domain) ProtectFrom(tid, i int, src *unsafe.Pointer) unsafe.Pointer {
+	s := d.slotOf(tid)
 	for {
 		p := atomic.LoadPointer(src)
-		d.slots[tid].p[i].Store((*byte)(p))
+		s.p[i].Store((*byte)(p))
 		if atomic.LoadPointer(src) == p {
 			return p
 		}
@@ -89,23 +149,35 @@ func (d *Domain) ProtectFrom(tid, i int, src *unsafe.Pointer) unsafe.Pointer {
 
 // Clear resets all of the caller's hazard slots.
 func (d *Domain) Clear(tid int) {
-	for i := range d.slots[tid].p {
-		d.slots[tid].p[i].Store(nil)
+	s := d.slotOf(tid)
+	for i := range s.p {
+		s.p[i].Store(nil)
 	}
 }
 
 // ClearSlot resets one hazard slot.
-func (d *Domain) ClearSlot(tid, i int) { d.slots[tid].p[i].Store(nil) }
+func (d *Domain) ClearSlot(tid, i int) { d.slotOf(tid).p[i].Store(nil) }
 
 // Retire schedules p for free once no thread holds a hazard pointer to
 // it. free runs at most once, from the retiring thread.
 func (d *Domain) Retire(tid int, p unsafe.Pointer, free func(unsafe.Pointer)) {
-	rs := &d.retired[tid]
+	rs := d.setOf(tid)
 	rs.nodes = append(rs.nodes, retiree{p, free})
-	if len(rs.nodes) >= scanThresholdFactor*d.nthreads*SlotsPerThread {
+	h := d.active.Load()
+	if h == 0 {
+		h = d.npub.Load()
+	}
+	if int64(len(rs.nodes)) >= scanThresholdFactor*h*SlotsPerThread {
 		d.scan(tid)
 	}
 }
+
+// SetActive tells the domain how many threads currently hold hazard
+// slots, tightening the retire-scan threshold to the real H·R bound.
+// Callers with dynamic registration (the unbounded queue) maintain it;
+// without a hint the threshold falls back to the published-chunk
+// capacity, which is correct but chunk-coarse.
+func (d *Domain) SetActive(n int) { d.active.Store(int64(n)) }
 
 // Scan frees every node on the caller's retire list that is not
 // currently protected by any thread. Retire runs it automatically past
@@ -115,17 +187,26 @@ func (d *Domain) Retire(tid int, p unsafe.Pointer, free func(unsafe.Pointer)) {
 func (d *Domain) Scan(tid int) { d.scan(tid) }
 
 // scan frees every retired node not currently protected by any thread.
+// The hazard snapshot covers every published chunk: a thread that
+// could hold a pointer necessarily published its chunk before its
+// first Protect.
 func (d *Domain) scan(tid int) {
-	rs := &d.retired[tid]
+	rs := d.setOf(tid)
 	if rs.scratch == nil {
-		rs.scratch = make(map[unsafe.Pointer]struct{}, d.nthreads*SlotsPerThread)
+		rs.scratch = make(map[unsafe.Pointer]struct{}, int(d.npub.Load())*SlotsPerThread)
 	}
 	hazards := rs.scratch
 	clear(hazards)
-	for t := range d.slots {
-		for i := range d.slots[t].p {
-			if p := d.slots[t].p[i].Load(); p != nil {
-				hazards[unsafe.Pointer(p)] = struct{}{}
+	for ci := range d.chunks {
+		c := d.chunks[ci].Load()
+		if c == nil {
+			continue
+		}
+		for t := range c.slots {
+			for i := range c.slots[t].p {
+				if p := c.slots[t].p[i].Load(); p != nil {
+					hazards[unsafe.Pointer(p)] = struct{}{}
+				}
 			}
 		}
 	}
@@ -144,17 +225,34 @@ func (d *Domain) scan(tid int) {
 // threads. Only safe when no queue operation is in flight; used at
 // teardown and in tests.
 func (d *Domain) Drain() {
-	for t := 0; t < d.nthreads; t++ {
-		d.scan(t)
+	for ci := range d.chunks {
+		if d.chunks[ci].Load() == nil {
+			continue
+		}
+		base := ci << domChunkShift
+		for t := base; t < base+domChunkSize; t++ {
+			d.scan(t)
+		}
 	}
 }
+
+// PublishedThreads reports the thread slots the domain has
+// materialized so far (domChunkSize per published chunk) — the H in
+// the H·R retired-inventory bound.
+func (d *Domain) PublishedThreads() int { return int(d.npub.Load()) }
 
 // RetiredCount reports the total nodes awaiting reclamation (test
 // hook for the boundedness property).
 func (d *Domain) RetiredCount() int {
-	n := 0
-	for t := range d.retired {
-		n += len(d.retired[t].nodes)
+	total := 0
+	for ci := range d.chunks {
+		c := d.chunks[ci].Load()
+		if c == nil {
+			continue
+		}
+		for t := range c.sets {
+			total += len(c.sets[t].nodes)
+		}
 	}
-	return n
+	return total
 }

@@ -43,14 +43,40 @@ func TestRetireFreesUnprotected(t *testing.T) {
 }
 
 func TestScanThresholdBoundsInventory(t *testing.T) {
-	const threads = 4
-	d := NewDomain(threads)
-	bound := scanThresholdFactor * threads * SlotsPerThread
+	d := NewDomain(4)
+	// H is the published thread capacity (one chunk here): the retire
+	// threshold tracks materialized state, not the declared maximum.
+	bound := scanThresholdFactor * domChunkSize * SlotsPerThread
 	for i := 0; i < 10*bound; i++ {
 		d.Retire(0, unsafe.Pointer(new(int)), func(unsafe.Pointer) {})
 	}
+	if d.PublishedThreads() != domChunkSize {
+		t.Fatalf("published %d threads, want one chunk (%d)", d.PublishedThreads(), domChunkSize)
+	}
 	if got := d.RetiredCount(); got >= bound {
 		t.Fatalf("retired inventory %d not bounded below %d", got, bound)
+	}
+}
+
+// TestDomainGrowsAcrossChunks exercises tids in distant chunks: the
+// domain must materialize them independently and scans must observe
+// hazards across every published chunk.
+func TestDomainGrowsAcrossChunks(t *testing.T) {
+	d := NewDomain(10 * domChunkSize)
+	far := 7*domChunkSize + 3
+	x := new(int)
+	p := unsafe.Pointer(x)
+	d.Protect(far, 0, p)
+	freed := false
+	d.Retire(0, p, func(unsafe.Pointer) { freed = true })
+	d.Drain()
+	if freed {
+		t.Fatal("hazard in a far chunk was ignored by scan")
+	}
+	d.Clear(far)
+	d.Drain()
+	if !freed {
+		t.Fatal("cleared far-chunk hazard still blocked reclamation")
 	}
 }
 

@@ -393,6 +393,71 @@ func TestBatchConformanceMPMC(t *testing.T) {
 	}
 }
 
+// handleAccountant is the optional surface wCQ-family adapters expose
+// for the registration-storm flatness assertion.
+type handleAccountant interface {
+	HandleHighWater() int
+}
+
+// TestRegistrationStorm spawns and retires thousands of goroutine
+// registrations (register → op → unregister) against every conforming
+// queue. Dynamic registration must never fail below the handle cap,
+// and for the wCQ family slot recycling must keep the record-arena
+// high-water mark at peak concurrency — not the cumulative
+// registration count. Runs under -race in CI.
+func TestRegistrationStorm(t *testing.T) {
+	const workers = 8
+	iters := 250
+	if testing.Short() {
+		iters = 40
+	}
+	for _, name := range conformanceNames {
+		t.Run(name, func(t *testing.T) {
+			q := build(t, name, workers)
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						h, err := q.Register()
+						if err != nil {
+							errs <- err
+							return
+						}
+						v := check.Encode(w, uint64(i))
+						for !q.Enqueue(h, v) {
+							runtime.Gosched()
+						}
+						for {
+							if _, ok := q.Dequeue(h); ok {
+								break
+							}
+							runtime.Gosched()
+						}
+						q.Unregister(h)
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatalf("registration during storm failed: %v", err)
+			}
+			if ha, ok := q.(handleAccountant); ok {
+				// Explicit registration: at most `workers` handles are
+				// live at any instant, so LIFO slot recycling bounds
+				// the high-water mark by exactly that.
+				if hw := ha.HandleHighWater(); hw > workers {
+					t.Fatalf("storm grew the arena high-water to %d, want <= %d (%d registrations total)",
+						hw, workers, workers*iters)
+				}
+			}
+		})
+	}
+}
+
 func TestRegistryUnknownName(t *testing.T) {
 	if _, err := New("nope", Config{Threads: 1}); err == nil {
 		t.Fatal("unknown queue accepted")

@@ -87,8 +87,9 @@ type capHinter interface{ capHint() int }
 
 // All registry queues are unbounded or have capacity 4096 in these
 // builds; expose a uniform hint via an adapter-free helper.
-func (a *wcqAdapter) capHint() int { return a.q.Cap() }
-func (a *scqAdapter) capHint() int { return a.q.Cap() }
+func (a *wcqAdapter) capHint() int      { return a.q.Cap() }
+func (a *scqAdapter) capHint() int      { return a.q.Cap() }
+func (a *implicitAdapter) capHint() int { return a.q.Cap() }
 
 // Striped: with a single handle every enqueue targets one lane, so the
 // sequential model tests see the per-lane capacity.

@@ -23,7 +23,9 @@ import (
 // Config parameterizes queue construction.
 type Config struct {
 	// Threads is the maximum number of concurrently registered
-	// goroutines (per-thread records for wCQ/CCQueue/CRTurn/MSQueue).
+	// goroutines for the baseline queues that still need a census
+	// (CCQueue/CRTurn/MSQueue). The wCQ family registers dynamically
+	// and ignores it (DESIGN.md §9).
 	Threads int
 	// RingOrder sets wCQ/SCQ capacity to 2^RingOrder (the paper's
 	// memory test uses 2^16). Zero selects 16.
@@ -117,11 +119,26 @@ func New(name string, cfg Config) (queueiface.Queue, error) {
 
 var builders = map[string]func(Config) (queueiface.Queue, error){
 	"wCQ": func(c Config) (queueiface.Queue, error) {
-		q, err := core.NewQueue[uint64](c.ringOrder(), c.Threads, core.Options{EmulatedFAA: c.EmulatedFAA})
+		q, err := core.NewQueue[uint64](c.ringOrder(), core.Options{EmulatedFAA: c.EmulatedFAA})
 		if err != nil {
 			return nil, err
 		}
 		return &wcqAdapter{q: q, llsc: c.EmulatedFAA}, nil
+	},
+	// wCQ-Implicit drives the same wCQ through the public handle-free
+	// API: every operation borrows a pooled implicit handle. Having it
+	// in the builder table puts the pooled-handle machinery under the
+	// full conformance, model and stress suites automatically.
+	"wCQ-Implicit": func(c Config) (queueiface.Queue, error) {
+		var opts []wcq.Option
+		if c.EmulatedFAA {
+			opts = append(opts, wcq.WithEmulatedFAA())
+		}
+		q, err := wcq.New[uint64](c.ringOrder(), opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &implicitAdapter{q: q}, nil
 	},
 	"SCQ": func(c Config) (queueiface.Queue, error) {
 		var opts []scq.Option
@@ -135,7 +152,7 @@ var builders = map[string]func(Config) (queueiface.Queue, error){
 		return &scqAdapter{q: q, llsc: c.EmulatedFAA}, nil
 	},
 	"wCQ-Striped": func(c Config) (queueiface.Queue, error) {
-		q, err := wcq.NewStriped[uint64](c.ringOrder(), c.Threads, c.stripes(), stripedOpts(c)...)
+		q, err := wcq.NewStriped[uint64](c.ringOrder(), c.stripes(), stripedOpts(c)...)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +163,7 @@ var builders = map[string]func(Config) (queueiface.Queue, error){
 		if c.PoolSize > 0 {
 			opts = append(opts, wcq.WithRingPool(c.PoolSize))
 		}
-		q, err := wcq.NewUnbounded[uint64](c.ringOrder(), c.Threads, opts...)
+		q, err := wcq.NewUnbounded[uint64](c.ringOrder(), opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -195,6 +212,34 @@ func (a *wcqAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
 // Stats exposes the wait-free slow-path counters (experiment A3).
 func (a *wcqAdapter) Stats() core.Stats { return a.q.Stats() }
 
+// HandleHighWater exposes the arena high-water mark (registration-
+// storm conformance).
+func (a *wcqAdapter) HandleHighWater() int { return a.q.HandleHighWater() }
+
+// implicitAdapter drives the public wcq.Queue exclusively through its
+// handle-free methods: Register hands back an inert token and every
+// operation borrows a pooled handle inside the library. FIFO still
+// holds per producing goroutine — the single ring linearizes enqueues
+// in program order no matter which handle carries them.
+type implicitAdapter struct {
+	q *wcq.Queue[uint64]
+}
+
+func (a *implicitAdapter) Register() (queueiface.Handle, error) { return 0, nil }
+func (a *implicitAdapter) Unregister(queueiface.Handle)         {}
+func (a *implicitAdapter) Enqueue(_ queueiface.Handle, v uint64) bool {
+	return a.q.Enqueue(v)
+}
+func (a *implicitAdapter) Dequeue(queueiface.Handle) (uint64, bool) { return a.q.Dequeue() }
+func (a *implicitAdapter) EnqueueBatch(_ queueiface.Handle, vs []uint64) int {
+	return a.q.EnqueueBatch(vs)
+}
+func (a *implicitAdapter) DequeueBatch(_ queueiface.Handle, out []uint64) int {
+	return a.q.DequeueBatch(out)
+}
+func (a *implicitAdapter) Footprint() int64 { return a.q.Footprint() }
+func (a *implicitAdapter) Name() string     { return "wCQ-Implicit" }
+
 func stripedOpts(c Config) []wcq.Option {
 	if c.EmulatedFAA {
 		return []wcq.Option{wcq.WithEmulatedFAA()}
@@ -210,25 +255,26 @@ type unboundedAdapter struct {
 
 func (a *unboundedAdapter) Register() (queueiface.Handle, error) { return a.q.Register() }
 func (a *unboundedAdapter) Unregister(h queueiface.Handle) {
-	a.q.Unregister(h.(*wcq.UnboundedHandle))
+	h.(*wcq.UnboundedHandle[uint64]).Unregister()
 }
 func (a *unboundedAdapter) Enqueue(h queueiface.Handle, v uint64) bool {
-	a.q.Enqueue(h.(*wcq.UnboundedHandle), v)
+	h.(*wcq.UnboundedHandle[uint64]).Enqueue(v)
 	return true
 }
 func (a *unboundedAdapter) Dequeue(h queueiface.Handle) (uint64, bool) {
-	return a.q.Dequeue(h.(*wcq.UnboundedHandle))
+	return h.(*wcq.UnboundedHandle[uint64]).Dequeue()
 }
 func (a *unboundedAdapter) EnqueueBatch(h queueiface.Handle, vs []uint64) int {
-	a.q.EnqueueBatch(h.(*wcq.UnboundedHandle), vs)
+	h.(*wcq.UnboundedHandle[uint64]).EnqueueBatch(vs)
 	return len(vs)
 }
 func (a *unboundedAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
-	return a.q.DequeueBatch(h.(*wcq.UnboundedHandle), out)
+	return h.(*wcq.UnboundedHandle[uint64]).DequeueBatch(out)
 }
 func (a *unboundedAdapter) Footprint() int64     { return a.q.Footprint() }
 func (a *unboundedAdapter) PeakFootprint() int64 { return a.q.PeakFootprint() }
 func (a *unboundedAdapter) Name() string         { return "wCQ-Unbounded" }
+func (a *unboundedAdapter) HandleHighWater() int { return a.q.HandleHighWater() }
 
 // RingStats exposes the recycling counters for the ring-churn
 // benchmark (bench.ringStatser).
@@ -242,21 +288,24 @@ type stripedAdapter struct {
 }
 
 func (a *stripedAdapter) Register() (queueiface.Handle, error) { return a.q.Register() }
-func (a *stripedAdapter) Unregister(h queueiface.Handle)       { a.q.Unregister(h.(*wcq.StripedHandle)) }
+func (a *stripedAdapter) Unregister(h queueiface.Handle) {
+	h.(*wcq.StripedHandle[uint64]).Unregister()
+}
 func (a *stripedAdapter) Enqueue(h queueiface.Handle, v uint64) bool {
-	return a.q.Enqueue(h.(*wcq.StripedHandle), v)
+	return h.(*wcq.StripedHandle[uint64]).Enqueue(v)
 }
 func (a *stripedAdapter) Dequeue(h queueiface.Handle) (uint64, bool) {
-	return a.q.Dequeue(h.(*wcq.StripedHandle))
+	return h.(*wcq.StripedHandle[uint64]).Dequeue()
 }
 func (a *stripedAdapter) EnqueueBatch(h queueiface.Handle, vs []uint64) int {
-	return a.q.EnqueueBatch(h.(*wcq.StripedHandle), vs)
+	return h.(*wcq.StripedHandle[uint64]).EnqueueBatch(vs)
 }
 func (a *stripedAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
-	return a.q.DequeueBatch(h.(*wcq.StripedHandle), out)
+	return h.(*wcq.StripedHandle[uint64]).DequeueBatch(out)
 }
-func (a *stripedAdapter) Footprint() int64 { return a.q.Footprint() }
-func (a *stripedAdapter) Name() string     { return "wCQ-Striped" }
+func (a *stripedAdapter) Footprint() int64     { return a.q.Footprint() }
+func (a *stripedAdapter) Name() string         { return "wCQ-Striped" }
+func (a *stripedAdapter) HandleHighWater() int { return a.q.HandleHighWater() }
 
 // scqAdapter exposes scq.Queue through queueiface.
 type scqAdapter struct {

@@ -15,18 +15,19 @@ func TestRingBytesTracksElementSize(t *testing.T) {
 	if s := unsafe.Sizeof(elem24{}); s != 24 {
 		t.Fatalf("test element is %d bytes, want 24", s)
 	}
-	const order, threads = 4, 2
+	const order = 4
 	// Expected bytes per ring derive from core's own accounting (two
-	// index rings) plus the data array at the true element size.
-	indexRings := 2 * core.Must(order, threads, core.Options{}).Footprint()
+	// index rings, arena still empty) plus the data array at the true
+	// element size.
+	indexRings := 2 * core.Must(order, core.Options{}).Footprint()
 	want := func(elemSize int64) int64 {
 		return indexRings + (int64(1)<<order)*elemSize
 	}
-	q24 := Must[elem24](order, threads, 0, core.Options{})
+	q24 := Must[elem24](order, 0, core.Options{})
 	if got := q24.Footprint(); got != want(24) {
 		t.Fatalf("24-byte element footprint = %d, want %d", got, want(24))
 	}
-	q8 := Must[uint64](order, threads, 0, core.Options{})
+	q8 := Must[uint64](order, 0, core.Options{})
 	if got := q8.Footprint(); got != want(8) {
 		t.Fatalf("8-byte element footprint = %d, want %d", got, want(8))
 	}
@@ -40,7 +41,7 @@ func TestRingBytesTracksElementSize(t *testing.T) {
 // counters: after the first hops, rings must come from the pool, not
 // the allocator.
 func TestRecycleSequential(t *testing.T) {
-	q := Must[uint64](3, 1, 8, core.Options{}) // 8-slot rings, pool of 8
+	q := Must[uint64](3, 8, core.Options{}) // 8-slot rings, pool of 8
 	h, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +84,7 @@ func TestRecycleStressMPMC(t *testing.T) {
 	if testing.Short() {
 		per = 800
 	}
-	q := Must[uint64](3, producers+consumers, 32, core.Options{})
+	q := Must[uint64](3, 32, core.Options{})
 	runMPMC(t, q, producers, consumers, per)
 	hits, _, _ := q.RingStats()
 	if hits == 0 {
@@ -101,7 +102,7 @@ func TestRecycleStressMPMCForcedSlowPath(t *testing.T) {
 		per = 300
 	}
 	opts := core.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
-	q := Must[uint64](3, producers+consumers, 32, opts)
+	q := Must[uint64](3, 32, opts)
 	runMPMC(t, q, producers, consumers, per)
 }
 
@@ -109,7 +110,7 @@ func TestRecycleStressMPMCForcedSlowPath(t *testing.T) {
 // warm pool, Footprint and the hazard-retired inventory must stay flat
 // over ≥10k ring hops, and no ring may be allocated after warm-up.
 func TestBoundedFootprintOverHops(t *testing.T) {
-	q := Must[uint64](3, 1, 16, core.Options{}) // 8-slot rings
+	q := Must[uint64](3, 16, core.Options{}) // 8-slot rings
 	h, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
@@ -130,8 +131,11 @@ func TestBoundedFootprintOverHops(t *testing.T) {
 	}
 	flat := q.Footprint()
 	_, warmMisses, _ := q.RingStats()
-	retireBound := 2 * (q.nthreads + 1) * 3 // hazard H·R inventory bound
-	const cycles = 1500                     // ≈12k hops at ~8 hops/cycle
+	// Hazard H·R inventory bound: H now tracks the domain's published
+	// slots (one chunk for this single-handle test) instead of a
+	// declared thread census.
+	retireBound := 2 * q.dom.PublishedThreads() * 3
+	const cycles = 1500 // ≈12k hops at ~8 hops/cycle
 	for i := 0; i < cycles; i++ {
 		cycle()
 		if f := q.Footprint(); f > flat {
@@ -153,7 +157,7 @@ func TestBoundedFootprintOverHops(t *testing.T) {
 // rings (order 3, batches straddling every finalization) and checks
 // strict FIFO.
 func TestRecycleBatchChurn(t *testing.T) {
-	q := Must[uint64](3, 1, 8, core.Options{})
+	q := Must[uint64](3, 8, core.Options{})
 	h, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +203,7 @@ func TestRecycleBatchChurn(t *testing.T) {
 // TestStatsExposesPoolCounters covers the Stats aggregation across
 // linked rings plus the pool counters while rings are mid-churn.
 func TestStatsExposesPoolCounters(t *testing.T) {
-	q := Must[uint64](3, 2, 4, core.Options{})
+	q := Must[uint64](3, 4, core.Options{})
 	h, _ := q.Register()
 	for i := uint64(0); i < 500; i++ {
 		q.Enqueue(h, i)

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"wcqueue/internal/atomicx"
 	"wcqueue/internal/core"
 	"wcqueue/internal/hazard"
 	"wcqueue/internal/memtrack"
@@ -163,10 +164,10 @@ type Queue[T any] struct {
 	tail atomic.Pointer[ring[T]]
 	_    pad.DoublePad
 
-	order    uint
-	nthreads int
-	opts     core.Options
-	ringFoot int64 // bytes per ring, element-size aware
+	order      uint
+	maxHandles int
+	opts       core.Options // includes the OnArenaGrow accounting hook
+	ringFoot   int64        // base bytes per ring (arena-free), element-size aware
 
 	// Ring recycling: retired rings pass through dom (so no thread can
 	// still dereference them) into the bounded pool; ring hops reuse
@@ -182,9 +183,12 @@ type Queue[T any] struct {
 	poolMisses atomic.Uint64 // ring hops that had to allocate
 	poolDrops  atomic.Uint64 // retired rings dropped (pool full)
 
-	mu   sync.Mutex
-	free []int
-	mem  memtrack.Counter
+	// Handle slots: the shared allocator recycles released tids ahead
+	// of its fresh cursor, so register/unregister churn keeps the tid
+	// high-water mark — and with it every ring's record arena and the
+	// hazard domain — flat.
+	alloc core.SlotAlloc
+	mem   memtrack.Counter
 }
 
 // Handle is a registered thread slot, valid across all rings.
@@ -210,26 +214,38 @@ func (h *Handle) buf(k int) []uint64 {
 	return h.scratch[:k]
 }
 
-// New creates an unbounded queue whose rings hold 2^order values each,
-// for up to numThreads registered handles. Up to poolSize drained
-// rings are retained for reuse (<= 0 selects DefaultPoolSize); rings
-// retired beyond that are dropped to the garbage collector.
-func New[T any](order uint, numThreads, poolSize int, opts core.Options) (*Queue[T], error) {
+// New creates an unbounded queue whose rings hold 2^order values each.
+// Handles register dynamically up to opts.MaxHandles (default: the
+// full 16-bit owner-id space); each ring materializes a handle's
+// record lazily on first touch, so a handle follows ring hops without
+// re-registering. Up to poolSize drained rings are retained for reuse
+// (<= 0 selects DefaultPoolSize); rings retired beyond that are
+// dropped to the garbage collector.
+func New[T any](order uint, poolSize int, opts core.Options) (*Queue[T], error) {
 	if poolSize <= 0 {
 		poolSize = DefaultPoolSize
 	}
+	maxHandles := opts.MaxHandles
+	if maxHandles == 0 {
+		maxHandles = int(atomicx.MaxOwners)
+	}
+	if maxHandles < 1 || uint64(maxHandles) > atomicx.MaxOwners {
+		return nil, fmt.Errorf("unbounded: MaxHandles %d out of range [1, %d]", maxHandles, atomicx.MaxOwners)
+	}
+	opts.MaxHandles = maxHandles
 	q := &Queue[T]{
-		order:    order,
-		nthreads: numThreads,
-		opts:     opts,
-		dom:      hazard.NewDomain(numThreads + 1), // +1: reserved Stats slot
-		pool:     make([]atomic.Pointer[ring[T]], poolSize),
-		statsTid: numThreads,
-		free:     make([]int, 0, numThreads),
+		order:      order,
+		maxHandles: maxHandles,
+		dom:        hazard.NewDomain(maxHandles + 1), // +1: reserved Stats slot
+		pool:       make([]atomic.Pointer[ring[T]], poolSize),
+		statsTid:   maxHandles,
+		alloc:      core.NewSlotAlloc(maxHandles),
 	}
-	for i := numThreads - 1; i >= 0; i-- {
-		q.free = append(q.free, i)
-	}
+	// Every record chunk a ring publishes — on any ring, at any time —
+	// funnels into the shared footprint counter, keeping Footprint
+	// exact while arenas grow lazily across ring hops.
+	opts.OnArenaGrow = func(bytes int64) { q.mem.Alloc(bytes) }
+	q.opts = opts
 	q.freeRing = func(p unsafe.Pointer) { q.poolPut((*ring[T])(p)) }
 	first, err := q.newRing()
 	if err != nil {
@@ -241,8 +257,8 @@ func New[T any](order uint, numThreads, poolSize int, opts core.Options) (*Queue
 }
 
 // Must is New that panics on error.
-func Must[T any](order uint, numThreads, poolSize int, opts core.Options) *Queue[T] {
-	q, err := New[T](order, numThreads, poolSize, opts)
+func Must[T any](order uint, poolSize int, opts core.Options) *Queue[T] {
+	q, err := New[T](order, poolSize, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -250,21 +266,22 @@ func Must[T any](order uint, numThreads, poolSize int, opts core.Options) *Queue
 }
 
 func (q *Queue[T]) newRing() (*ring[T], error) {
-	aq, err := core.New(q.order, q.nthreads, q.opts)
+	aq, err := core.New(q.order, q.opts)
 	if err != nil {
 		return nil, fmt.Errorf("unbounded: allocating aq: %w", err)
 	}
-	fq, err := core.New(q.order, q.nthreads, q.opts)
+	fq, err := core.New(q.order, q.opts)
 	if err != nil {
 		return nil, fmt.Errorf("unbounded: allocating fq: %w", err)
 	}
 	fq.InitFull()
 	r := &ring[T]{aq: aq, fq: fq, data: make([]T, 1<<q.order)}
 	if q.ringFoot == 0 {
-		// Every ring is identical; take the index rings' exact
-		// footprint from core (entries + per-thread records) and add
-		// the data array at the element's true size. First call runs
-		// inside New, before any concurrency.
+		// Every ring starts identical: the index rings' base footprint
+		// from core (entries + chunk directory; the record arena is
+		// empty at birth and accounted through OnArenaGrow as it
+		// grows) plus the data array at the element's true size. First
+		// call runs inside New, before any concurrency.
 		var zero T
 		q.ringFoot = aq.Footprint() + fq.Footprint() + (int64(1)<<q.order)*int64(unsafe.Sizeof(zero))
 	}
@@ -273,6 +290,11 @@ func (q *Queue[T]) newRing() (*ring[T], error) {
 }
 
 func (q *Queue[T]) ringBytes() int64 { return q.ringFoot }
+
+// liveBytes is a ring's current total accounting: the fixed base plus
+// whatever record arena it has grown. Used when a ring leaves the
+// accounting universe (dropped to the GC).
+func (r *ring[T]) arenaBytes() int64 { return r.aq.ArenaBytes() + r.fq.ArenaBytes() }
 
 // getRing produces the fresh ring for a hop: pooled and reset when
 // possible, newly allocated otherwise. A pool miss first runs a hazard
@@ -317,7 +339,7 @@ func (q *Queue[T]) poolPut(r *ring[T]) {
 		}
 	}
 	q.poolDrops.Add(1)
-	q.mem.Free(q.ringBytes())
+	q.mem.Free(q.ringBytes() + r.arenaBytes())
 }
 
 // retireRing hands an unlinked ring to the hazard domain; once no
@@ -362,17 +384,24 @@ func (q *Queue[T]) protectHeadAt(tid int) *ring[T] {
 	}
 }
 
-// Register claims a thread slot.
+// Register claims a thread slot: a recycled one when available, else
+// the next fresh tid. The tid is valid on every ring, current and
+// future — rings materialize its record lazily on first touch.
 func (q *Queue[T]) Register() (*Handle, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.free) == 0 {
-		return nil, fmt.Errorf("unbounded: all %d thread slots registered", q.nthreads)
+	tid, err := q.alloc.Acquire()
+	if err != nil {
+		return nil, fmt.Errorf("unbounded: %w", err)
 	}
-	tid := q.free[len(q.free)-1]
-	q.free = q.free[:len(q.free)-1]
+	q.dom.SetActive(q.alloc.Live() + 1) // +1: the reserved Stats tid
 	return &Handle{tid: tid}, nil
 }
+
+// LiveHandles returns the number of currently registered handles.
+func (q *Queue[T]) LiveHandles() int { return q.alloc.Live() }
+
+// HandleHighWater returns the largest number of handle slots ever live
+// at once — the bound on every ring's arena growth.
+func (q *Queue[T]) HandleHighWater() int { return q.alloc.HighWater() }
 
 // Unregister releases a thread slot, clearing its hazard slot so the
 // departing handle stops pinning a ring, and scanning its retire list
@@ -384,9 +413,8 @@ func (q *Queue[T]) Unregister(h *Handle) {
 	q.dom.Clear(h.tid)
 	h.hp = nil
 	q.dom.Scan(h.tid)
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.free = append(q.free, h.tid)
+	q.alloc.Release(h.tid)
+	q.dom.SetActive(q.alloc.Live() + 1)
 }
 
 // Footprint returns live queue-owned bytes: linked rings plus the

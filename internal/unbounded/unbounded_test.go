@@ -10,7 +10,7 @@ import (
 )
 
 func TestUnboundedSequential(t *testing.T) {
-	q := Must[uint64](4, 2, 0, core.Options{}) // tiny rings force hopping
+	q := Must[uint64](4, 0, core.Options{}) // tiny rings force hopping
 	h, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +31,7 @@ func TestUnboundedSequential(t *testing.T) {
 }
 
 func TestUnboundedGrowsBeyondOneRing(t *testing.T) {
-	q := Must[uint64](3, 2, 0, core.Options{}) // capacity 8 per ring
+	q := Must[uint64](3, 0, core.Options{}) // capacity 8 per ring
 	h, _ := q.Register()
 	before := q.Footprint()
 	for i := uint64(0); i < 100; i++ {
@@ -49,7 +49,7 @@ func TestUnboundedGrowsBeyondOneRing(t *testing.T) {
 }
 
 func TestUnboundedShrinksAfterDrain(t *testing.T) {
-	q := Must[uint64](3, 2, 0, core.Options{})
+	q := Must[uint64](3, 0, core.Options{})
 	h, _ := q.Register()
 	for i := uint64(0); i < 200; i++ {
 		q.Enqueue(h, i)
@@ -66,7 +66,7 @@ func TestUnboundedShrinksAfterDrain(t *testing.T) {
 }
 
 func TestUnboundedInterleaved(t *testing.T) {
-	q := Must[uint64](2, 2, 0, core.Options{}) // capacity 4: constant hopping
+	q := Must[uint64](2, 0, core.Options{}) // capacity 4: constant hopping
 	h, _ := q.Register()
 	next, out := uint64(0), uint64(0)
 	for i := 0; i < 5000; i++ {
@@ -93,7 +93,7 @@ func TestUnboundedConcurrentMPMC(t *testing.T) {
 	if testing.Short() {
 		per = 2_000
 	}
-	q := Must[uint64](8, producers+consumers, 0, core.Options{}) // rings ≪ total volume
+	q := Must[uint64](8, 0, core.Options{}) // rings ≪ total volume
 	runMPMC(t, q, producers, consumers, per)
 }
 
@@ -103,7 +103,7 @@ func TestUnboundedConcurrentTinyRings(t *testing.T) {
 	if testing.Short() {
 		per = 500
 	}
-	q := Must[uint64](4, producers+consumers, 0, core.Options{})
+	q := Must[uint64](4, 0, core.Options{})
 	runMPMC(t, q, producers, consumers, per)
 }
 
@@ -114,7 +114,7 @@ func TestUnboundedConcurrentForcedSlowPath(t *testing.T) {
 		per = 300
 	}
 	opts := core.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
-	q := Must[uint64](5, producers+consumers, 0, opts)
+	q := Must[uint64](5, 0, opts)
 	runMPMC(t, q, producers, consumers, per)
 }
 
@@ -172,12 +172,44 @@ func runMPMC(t *testing.T, q *Queue[uint64], producers, consumers int, per uint6
 }
 
 func TestUnboundedRegisterExhaustion(t *testing.T) {
-	q := Must[uint64](4, 1, 0, core.Options{})
-	if _, err := q.Register(); err != nil {
+	q := Must[uint64](4, 0, core.Options{MaxHandles: 1})
+	h, err := q.Register()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := q.Register(); err == nil {
 		t.Fatal("over-registration accepted")
+	}
+	q.Unregister(h)
+	if _, err := q.Register(); err != nil {
+		t.Fatalf("Register after Unregister failed: %v", err)
+	}
+}
+
+// TestUnboundedHandleFollowsRingHops churns a late-registered handle
+// across many ring hops: every fresh or recycled ring must materialize
+// its record on first touch, with the high-water mark flat throughout.
+func TestUnboundedHandleFollowsRingHops(t *testing.T) {
+	q := Must[uint64](3, 4, core.Options{})
+	for round := 0; round < 50; round++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := uint64(round) << 16
+		for i := uint64(0); i < 40; i++ { // ~5 ring hops per round
+			q.Enqueue(h, base+i)
+		}
+		for i := uint64(0); i < 40; i++ {
+			v, ok := q.Dequeue(h)
+			if !ok || v != base+i {
+				t.Fatalf("round %d: got (%d,%v) want %d", round, v, ok, base+i)
+			}
+		}
+		q.Unregister(h)
+	}
+	if hw := q.HandleHighWater(); hw != 1 {
+		t.Fatalf("register/unregister churn grew high-water to %d", hw)
 	}
 }
 
@@ -190,7 +222,7 @@ func TestUnboundedBatchConcurrentTinyRings(t *testing.T) {
 	if testing.Short() {
 		per = 400
 	}
-	q := Must[uint64](3, producers+consumers, 0, core.Options{})
+	q := Must[uint64](3, 0, core.Options{})
 	total := per * producers
 	streams := make([][]uint64, consumers)
 	var wg sync.WaitGroup
@@ -260,7 +292,7 @@ func TestUnboundedBatchConcurrentTinyRings(t *testing.T) {
 // TestUnboundedStatsAndMaxOps covers the aggregate accessors while the
 // queue spans several rings.
 func TestUnboundedStatsAndMaxOps(t *testing.T) {
-	q := Must[uint64](3, 2, 0, core.Options{})
+	q := Must[uint64](3, 0, core.Options{})
 	if q.MaxOps() == 0 {
 		t.Fatal("MaxOps() = 0")
 	}

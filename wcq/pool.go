@@ -1,0 +1,43 @@
+package wcq
+
+import (
+	"runtime"
+	"sync"
+)
+
+// handlePool backs the handle-free ("implicit") methods of every queue
+// shape: a sync.Pool of registered handles, borrowed for the duration
+// of one call. sync.Pool's per-P caches make the steady-state acquire
+// a few nanoseconds with no shared contention, and its exclusivity
+// guarantee (an item is handed to at most one goroutine at a time)
+// provides exactly the reuse safety handles demand — a borrowed handle
+// is never shared between concurrently running goroutines.
+//
+// Registration leaks are closed by a finalizer: when the GC evicts a
+// pooled handle (sync.Pool sheds items across collection cycles), the
+// finalizer unregisters it, returning the slot to the free list. The
+// registration high-water mark therefore tracks peak concurrent use of
+// the implicit API, not its call count, and register/unregister storms
+// through the pool stay flat.
+type handlePool[H any] struct {
+	p sync.Pool
+}
+
+// init wires the pool to a queue's register/unregister pair. register
+// failures surface as panics: they occur only when the handle cap
+// (WithMaxHandles, default 65535) is exhausted, which the implicit API
+// treats as caller error — explicit Register reports it as an error
+// instead.
+func (hp *handlePool[H]) init(register func() (*H, error), unregister func(*H)) {
+	hp.p.New = func() any {
+		h, err := register()
+		if err != nil {
+			panic("wcq: implicit-handle registration failed: " + err.Error())
+		}
+		runtime.SetFinalizer(h, unregister)
+		return h
+	}
+}
+
+func (hp *handlePool[H]) get() *H  { return hp.p.Get().(*H) }
+func (hp *handlePool[H]) put(h *H) { hp.p.Put(h) }

@@ -1,0 +1,10 @@
+//go:build race
+
+package wcq_test
+
+// raceEnabled reports that the race detector is active. Under -race,
+// sync.Pool deliberately drops a fraction of Put calls to expose
+// races; dropped implicit handles are only unregistered when their
+// finalizers run, so the handle high-water mark is not meaningful to
+// assert tightly in race builds.
+const raceEnabled = true

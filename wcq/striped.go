@@ -2,7 +2,7 @@ package wcq
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync"
 
 	"wcqueue/internal/core"
 )
@@ -19,51 +19,65 @@ import (
 // dequeued in order, because a handle's values live in one lane and
 // each lane is a wait-free FIFO. Values from different handles may
 // interleave arbitrarily, which is exactly the reordering a concurrent
-// single queue already exhibits between producers. Workloads that need
-// a single total order should use Queue instead.
+// single queue already exhibits between producers. The handle-free
+// methods borrow a pooled handle per call and therefore order only
+// within a call (a batch stays in order); workloads that need
+// per-goroutine order across calls should hold an explicit
+// StripedHandle, and those that need a single total order should use
+// Queue instead.
 //
 // Progress: every operation is wait-free (enqueue touches one lane;
 // dequeue does at most one wait-free Dequeue per lane per scan).
 // Enqueue returns false only when the handle's lane is full; Dequeue
 // returns false only after observing every lane empty — observations
 // taken lane by lane, not atomically, so false is advisory under
-// concurrent enqueues (see Dequeue).
+// concurrent enqueues (see StripedHandle.Dequeue).
 type Striped[T any] struct {
 	lanes []*core.Queue[T]
-	next  atomic.Uint64 // round-robin lane assignment for Register
+	pool  handlePool[StripedHandle[T]]
+
+	// Lane assignment. Fresh handles take recycled lanes LIFO before
+	// advancing the round-robin cursor: a monotone cursor alone skews
+	// occupancy under register/unregister churn (lanes whose handles
+	// left stay empty while the cursor piles new handles elsewhere).
+	laneMu    sync.Mutex
+	freeLanes []int
+	nextLane  int
 }
 
 // StripedHandle is a registered per-goroutine token of a Striped
 // queue. It carries one underlying handle per lane plus the lane
 // affinity. Must not be shared between concurrently running
 // goroutines.
-type StripedHandle struct {
+type StripedHandle[T any] struct {
+	s    *Striped[T]
 	lane int
 	hs   []*core.Handle
 }
 
 // NewStriped creates a striped queue of `stripes` independent lanes,
-// each holding up to 2^order values and serving up to numThreads
-// registered handles (total capacity: stripes·2^order).
-func NewStriped[T any](order uint, numThreads, stripes int, opts ...Option) (*Striped[T], error) {
+// each holding up to 2^order values (total capacity: stripes·2^order).
+// Handles register dynamically, as with New.
+func NewStriped[T any](order uint, stripes int, opts ...Option) (*Striped[T], error) {
 	if stripes < 1 {
 		return nil, fmt.Errorf("wcq: stripes %d out of range [1, ∞)", stripes)
 	}
 	c := buildConfig(opts)
 	s := &Striped[T]{lanes: make([]*core.Queue[T], stripes)}
 	for i := range s.lanes {
-		q, err := core.NewQueue[T](order, numThreads, c.core)
+		q, err := core.NewQueue[T](order, c.core)
 		if err != nil {
 			return nil, fmt.Errorf("wcq: allocating stripe %d: %w", i, err)
 		}
 		s.lanes[i] = q
 	}
+	s.pool.init(s.Register, func(h *StripedHandle[T]) { h.Unregister() })
 	return s, nil
 }
 
 // MustStriped is NewStriped that panics on error.
-func MustStriped[T any](order uint, numThreads, stripes int, opts ...Option) *Striped[T] {
-	s, err := NewStriped[T](order, numThreads, stripes, opts...)
+func MustStriped[T any](order uint, stripes int, opts ...Option) *Striped[T] {
+	s, err := NewStriped[T](order, stripes, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -76,11 +90,33 @@ func (s *Striped[T]) Stripes() int { return len(s.lanes) }
 // Cap returns the total capacity across all lanes.
 func (s *Striped[T]) Cap() int { return len(s.lanes) * s.lanes[0].Cap() }
 
+// assignLane picks the affinity for a fresh handle: the most recently
+// recycled lane when one is free, else the next lane round-robin.
+func (s *Striped[T]) assignLane() int {
+	s.laneMu.Lock()
+	defer s.laneMu.Unlock()
+	if n := len(s.freeLanes); n > 0 {
+		l := s.freeLanes[n-1]
+		s.freeLanes = s.freeLanes[:n-1]
+		return l
+	}
+	l := s.nextLane % len(s.lanes)
+	s.nextLane++
+	return l
+}
+
+func (s *Striped[T]) releaseLane(l int) {
+	s.laneMu.Lock()
+	s.freeLanes = append(s.freeLanes, l)
+	s.laneMu.Unlock()
+}
+
 // Register claims a handle, registering it on every lane and pinning
-// it to the next lane round-robin.
-func (s *Striped[T]) Register() (*StripedHandle, error) {
-	h := &StripedHandle{
-		lane: int(s.next.Add(1)-1) % len(s.lanes),
+// it to a recycled or round-robin lane.
+func (s *Striped[T]) Register() (*StripedHandle[T], error) {
+	h := &StripedHandle[T]{
+		s:    s,
+		lane: s.assignLane(),
 		hs:   make([]*core.Handle, len(s.lanes)),
 	}
 	for i, q := range s.lanes {
@@ -89,6 +125,7 @@ func (s *Striped[T]) Register() (*StripedHandle, error) {
 			for j := 0; j < i; j++ {
 				s.lanes[j].Unregister(h.hs[j])
 			}
+			s.releaseLane(h.lane)
 			return nil, err
 		}
 		h.hs[i] = lh
@@ -96,19 +133,25 @@ func (s *Striped[T]) Register() (*StripedHandle, error) {
 	return h, nil
 }
 
-// Unregister releases the handle's slot on every lane.
-func (s *Striped[T]) Unregister(h *StripedHandle) {
-	for i, q := range s.lanes {
+// Unregister releases the handle's slot on every lane and recycles its
+// lane assignment, so churn cannot concentrate surviving handles on a
+// few lanes.
+func (h *StripedHandle[T]) Unregister() {
+	for i, q := range h.s.lanes {
 		q.Unregister(h.hs[i])
 	}
+	h.s.releaseLane(h.lane)
 }
+
+// Lane returns the handle's lane affinity (test and telemetry hook).
+func (h *StripedHandle[T]) Lane() int { return h.lane }
 
 // Enqueue inserts v into the handle's lane, returning false when that
 // lane is full. Staying on one lane is what preserves per-handle FIFO;
 // callers that prefer load spilling over ordering can Register several
 // handles. Wait-free.
-func (s *Striped[T]) Enqueue(h *StripedHandle, v T) bool {
-	return s.lanes[h.lane].Enqueue(h.hs[h.lane], v)
+func (h *StripedHandle[T]) Enqueue(v T) bool {
+	return h.s.lanes[h.lane].Enqueue(h.hs[h.lane], v)
 }
 
 // Dequeue removes a value, preferring the handle's own lane and
@@ -121,7 +164,8 @@ func (s *Striped[T]) Enqueue(h *StripedHandle, v T) bool {
 // polling a striped queue must treat false as "probably empty" and
 // retry, exactly as they would with any work-stealing deque.
 // Wait-free.
-func (s *Striped[T]) Dequeue(h *StripedHandle) (v T, ok bool) {
+func (h *StripedHandle[T]) Dequeue() (v T, ok bool) {
+	s := h.s
 	w := len(s.lanes)
 	for i := 0; i < w; i++ {
 		l := h.lane + i
@@ -138,14 +182,15 @@ func (s *Striped[T]) Dequeue(h *StripedHandle) (v T, ok bool) {
 // EnqueueBatch inserts up to len(vs) values into the handle's lane
 // with batched ring reservations, returning how many were inserted.
 // Wait-free.
-func (s *Striped[T]) EnqueueBatch(h *StripedHandle, vs []T) int {
-	return s.lanes[h.lane].EnqueueBatch(h.hs[h.lane], vs)
+func (h *StripedHandle[T]) EnqueueBatch(vs []T) int {
+	return h.s.lanes[h.lane].EnqueueBatch(h.hs[h.lane], vs)
 }
 
 // DequeueBatch removes up to len(out) values, draining the handle's
 // own lane first and stealing the remainder from the other lanes.
 // Returns how many were dequeued. Wait-free.
-func (s *Striped[T]) DequeueBatch(h *StripedHandle, out []T) int {
+func (h *StripedHandle[T]) DequeueBatch(out []T) int {
+	s := h.s
 	w, n := len(s.lanes), 0
 	for i := 0; i < w && n < len(out); i++ {
 		l := h.lane + i
@@ -157,7 +202,45 @@ func (s *Striped[T]) DequeueBatch(h *StripedHandle, out []T) int {
 	return n
 }
 
-// Footprint returns the live bytes across all lanes; constant.
+// Enqueue inserts v through a pooled handle, returning false when the
+// borrowed handle's lane is full.
+func (s *Striped[T]) Enqueue(v T) bool {
+	h := s.pool.get()
+	ok := h.Enqueue(v)
+	s.pool.put(h)
+	return ok
+}
+
+// Dequeue removes a value through a pooled handle, or returns
+// ok=false after observing every lane empty.
+func (s *Striped[T]) Dequeue() (v T, ok bool) {
+	h := s.pool.get()
+	v, ok = h.Dequeue()
+	s.pool.put(h)
+	return v, ok
+}
+
+// EnqueueBatch inserts up to len(vs) values through a pooled handle,
+// returning how many were inserted. The batch lands in one lane, in
+// order.
+func (s *Striped[T]) EnqueueBatch(vs []T) int {
+	h := s.pool.get()
+	n := h.EnqueueBatch(vs)
+	s.pool.put(h)
+	return n
+}
+
+// DequeueBatch removes up to len(out) values through a pooled handle,
+// returning how many were dequeued.
+func (s *Striped[T]) DequeueBatch(out []T) int {
+	h := s.pool.get()
+	n := h.DequeueBatch(out)
+	s.pool.put(h)
+	return n
+}
+
+// Footprint returns the live bytes across all lanes; it moves only
+// with the handle high-water mark.
 func (s *Striped[T]) Footprint() int64 {
 	var sum int64
 	for _, q := range s.lanes {
@@ -169,6 +252,13 @@ func (s *Striped[T]) Footprint() int64 {
 // MaxOps returns the per-lane safe-operation bound (the binding limit,
 // since each lane counts its own operations).
 func (s *Striped[T]) MaxOps() uint64 { return s.lanes[0].MaxOps() }
+
+// LiveHandles returns the number of currently registered handles.
+func (s *Striped[T]) LiveHandles() int { return s.lanes[0].LiveHandles() }
+
+// HandleHighWater returns the largest number of handles ever live at
+// once.
+func (s *Striped[T]) HandleHighWater() int { return s.lanes[0].HandleHighWater() }
 
 // Stats aggregates slow-path statistics across all lanes.
 func (s *Striped[T]) Stats() Stats {

@@ -9,7 +9,7 @@ import (
 )
 
 func TestStripedBasics(t *testing.T) {
-	s := MustStriped[int](6, 4, 4)
+	s := MustStriped[int](6, 4)
 	if s.Stripes() != 4 {
 		t.Fatalf("Stripes() = %d", s.Stripes())
 	}
@@ -20,28 +20,53 @@ func TestStripedBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Unregister(h)
+	defer h.Unregister()
 	for i := 0; i < 10; i++ {
-		if !s.Enqueue(h, i) {
+		if !h.Enqueue(i) {
 			t.Fatalf("enqueue %d failed", i)
 		}
 	}
 	for i := 0; i < 10; i++ {
-		v, ok := s.Dequeue(h)
+		v, ok := h.Dequeue()
 		if !ok || v != i {
 			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
 		}
 	}
-	if _, ok := s.Dequeue(h); ok {
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("empty striped queue yielded a value")
+	}
+}
+
+// TestStripedHandleFree drives a striped queue through the implicit
+// API: values round-trip and the pooled handles register lazily.
+func TestStripedHandleFree(t *testing.T) {
+	s := MustStriped[int](6, 4)
+	for i := 0; i < 10; i++ {
+		if !s.Enqueue(i) {
+			t.Fatalf("handle-free enqueue %d failed", i)
+		}
+	}
+	got := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		v, ok := s.Dequeue()
+		if !ok {
+			t.Fatalf("handle-free dequeue %d failed", i)
+		}
+		got[v] = true
+	}
+	if len(got) != 10 {
+		t.Fatalf("round-tripped %d distinct values, want 10", len(got))
+	}
+	if _, ok := s.Dequeue(); ok {
 		t.Fatal("empty striped queue yielded a value")
 	}
 }
 
 func TestStripedRejectsBadConfig(t *testing.T) {
-	if _, err := NewStriped[int](6, 4, 0); err == nil {
+	if _, err := NewStriped[int](6, 0); err == nil {
 		t.Fatal("stripes=0 accepted")
 	}
-	if _, err := NewStriped[int](0, 4, 2); err == nil {
+	if _, err := NewStriped[int](0, 2); err == nil {
 		t.Fatal("order=0 accepted")
 	}
 }
@@ -50,8 +75,8 @@ func TestStripedRejectsBadConfig(t *testing.T) {
 // distinct lanes round-robin and that a dequeuer drains values parked
 // on other handles' lanes.
 func TestStripedLaneAffinityAndStealing(t *testing.T) {
-	s := MustStriped[int](6, 8, 4)
-	hs := make([]*StripedHandle, 8)
+	s := MustStriped[int](6, 4)
+	hs := make([]*StripedHandle[int], 8)
 	for i := range hs {
 		h, err := s.Register()
 		if err != nil {
@@ -73,13 +98,13 @@ func TestStripedLaneAffinityAndStealing(t *testing.T) {
 	}
 	// Park one value on every lane, then drain it all from one handle.
 	for i, h := range hs[:4] {
-		if !s.Enqueue(h, 100+i) {
+		if !h.Enqueue(100 + i) {
 			t.Fatal("enqueue failed")
 		}
 	}
 	got := map[int]bool{}
 	for i := 0; i < 4; i++ {
-		v, ok := s.Dequeue(hs[7])
+		v, ok := hs[7].Dequeue()
 		if !ok {
 			t.Fatalf("steal %d failed", i)
 		}
@@ -88,22 +113,65 @@ func TestStripedLaneAffinityAndStealing(t *testing.T) {
 	if len(got) != 4 {
 		t.Fatalf("stole %d distinct values, want 4", len(got))
 	}
-	if _, ok := s.Dequeue(hs[0]); ok {
+	if _, ok := hs[0].Dequeue(); ok {
 		t.Fatal("drained queue yielded a value")
+	}
+}
+
+// TestStripedLaneRecycling is the churn-skew regression test: lanes
+// released by Unregister must be handed to the next registrations, so
+// register/unregister storms keep occupancy balanced instead of
+// concentrating surviving handles on a few lanes.
+func TestStripedLaneRecycling(t *testing.T) {
+	const stripes = 4
+	s := MustStriped[int](6, stripes)
+	// Churn: register/unregister pairs must not advance lane
+	// assignment for the stable population that follows.
+	for i := 0; i < 1000; i++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Unregister()
+	}
+	hs := make([]*StripedHandle[int], 2*stripes)
+	lanes := map[int]int{}
+	for i := range hs {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs[i] = h
+		lanes[h.lane]++
+	}
+	for l := 0; l < stripes; l++ {
+		if lanes[l] != 2 {
+			t.Fatalf("after churn, lane occupancy %v is skewed (lane %d has %d)", lanes, l, lanes[l])
+		}
+	}
+	// Interior release: the freed lane goes to the next registration.
+	freed := hs[3].lane
+	hs[3].Unregister()
+	h, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.lane != freed {
+		t.Fatalf("recycled registration got lane %d, want freed lane %d", h.lane, freed)
 	}
 }
 
 // TestStripedEnqueueFullLane: an enqueue only fails when the handle's
 // own lane is full, independent of other lanes' occupancy.
 func TestStripedEnqueueFullLane(t *testing.T) {
-	s := MustStriped[int](2, 2, 2) // lanes of 4
+	s := MustStriped[int](2, 2) // lanes of 4
 	h, _ := s.Register()
 	for i := 0; i < 4; i++ {
-		if !s.Enqueue(h, i) {
+		if !h.Enqueue(i) {
 			t.Fatalf("enqueue %d failed below lane capacity", i)
 		}
 	}
-	if s.Enqueue(h, 99) {
+	if h.Enqueue(99) {
 		t.Fatal("full lane accepted a value")
 	}
 	// A second handle (next lane round-robin) still has room.
@@ -111,20 +179,20 @@ func TestStripedEnqueueFullLane(t *testing.T) {
 	if h2.lane == h.lane {
 		t.Fatal("round-robin assigned the same lane twice")
 	}
-	if !s.Enqueue(h2, 5) {
+	if !h2.Enqueue(5) {
 		t.Fatal("other lane rejected a value")
 	}
 }
 
 func TestStripedBatch(t *testing.T) {
-	s := MustStriped[uint64](6, 2, 3)
+	s := MustStriped[uint64](6, 3)
 	h, _ := s.Register()
 	in := []uint64{10, 11, 12, 13, 14}
-	if n := s.EnqueueBatch(h, in); n != 5 {
+	if n := h.EnqueueBatch(in); n != 5 {
 		t.Fatalf("EnqueueBatch = %d", n)
 	}
 	out := make([]uint64, 5)
-	if n := s.DequeueBatch(h, out); n != 5 {
+	if n := h.DequeueBatch(out); n != 5 {
 		t.Fatalf("DequeueBatch = %d", n)
 	}
 	for i, v := range out {
@@ -137,18 +205,18 @@ func TestStripedBatch(t *testing.T) {
 // TestStripedBatchSteals: a batched dequeue gathers values across
 // lanes when its own lane runs dry.
 func TestStripedBatchSteals(t *testing.T) {
-	s := MustStriped[uint64](6, 4, 4)
-	hs := make([]*StripedHandle, 4)
+	s := MustStriped[uint64](6, 4)
+	hs := make([]*StripedHandle[uint64], 4)
 	for i := range hs {
 		hs[i], _ = s.Register()
 	}
 	for i, h := range hs {
-		if n := s.EnqueueBatch(h, []uint64{uint64(i * 10), uint64(i*10 + 1)}); n != 2 {
+		if n := h.EnqueueBatch([]uint64{uint64(i * 10), uint64(i*10 + 1)}); n != 2 {
 			t.Fatalf("lane %d batch enqueue = %d", i, n)
 		}
 	}
 	out := make([]uint64, 8)
-	if n := s.DequeueBatch(hs[0], out); n != 8 {
+	if n := hs[0].DequeueBatch(out); n != 8 {
 		t.Fatalf("cross-lane batch dequeue = %d, want 8", n)
 	}
 	seen := map[uint64]bool{}
@@ -161,11 +229,11 @@ func TestStripedBatchSteals(t *testing.T) {
 }
 
 func TestStripedAccessors(t *testing.T) {
-	s := MustStriped[uint64](6, 2, 4)
+	s := MustStriped[uint64](6, 4)
 	if s.Footprint() <= 0 {
 		t.Fatalf("Footprint() = %d", s.Footprint())
 	}
-	single := Must[uint64](6, 2)
+	single := Must[uint64](6)
 	if got, want := s.Footprint(), 4*single.Footprint(); got != want {
 		t.Fatalf("striped footprint %d, want 4×single = %d", got, want)
 	}
@@ -186,7 +254,7 @@ func TestStripedConcurrentMPMC(t *testing.T) {
 	if testing.Short() {
 		per = 800
 	}
-	s := MustStriped[uint64](10, producers+consumers, 3)
+	s := MustStriped[uint64](10, 3)
 	total := per * producers
 	streams := make([][]uint64, consumers)
 	var wg sync.WaitGroup
@@ -199,16 +267,16 @@ func TestStripedConcurrentMPMC(t *testing.T) {
 			t.Fatal(err)
 		}
 		wg.Add(1)
-		go func(c int, h *StripedHandle) {
+		go func(c int, h *StripedHandle[uint64]) {
 			defer wg.Done()
-			defer s.Unregister(h)
+			defer h.Unregister()
 			budget := total / consumers
 			if c == 0 {
 				budget += total % consumers
 			}
 			local := make([]uint64, 0, budget)
 			for uint64(len(local)) < budget {
-				v, ok := s.Dequeue(h)
+				v, ok := h.Dequeue()
 				if !ok {
 					runtime.Gosched()
 					continue
@@ -225,11 +293,11 @@ func TestStripedConcurrentMPMC(t *testing.T) {
 			t.Fatal(err)
 		}
 		wg.Add(1)
-		go func(p int, h *StripedHandle) {
+		go func(p int, h *StripedHandle[uint64]) {
 			defer wg.Done()
-			defer s.Unregister(h)
+			defer h.Unregister()
 			for seq := uint64(0); seq < per; seq++ {
-				for !s.Enqueue(h, check.Encode(p, seq)) {
+				for !h.Enqueue(check.Encode(p, seq)) {
 					runtime.Gosched()
 				}
 			}

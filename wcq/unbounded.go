@@ -1,0 +1,150 @@
+package wcq
+
+import (
+	"wcqueue/internal/unbounded"
+)
+
+// Unbounded is an unbounded MPMC FIFO queue built from linked wCQ
+// rings (Appendix A). Dequeues are wait-free per ring; enqueues are
+// lock-free (a starving enqueuer closes the current ring and opens a
+// fresh one). A handle registers once with the queue and follows ring
+// hops automatically — every ring materializes the handle's record on
+// first touch.
+type Unbounded[T any] struct {
+	q    *unbounded.Queue[T]
+	pool handlePool[unbounded.Handle]
+}
+
+// UnboundedHandle is a registered per-goroutine token of an Unbounded
+// queue — the zero-overhead explicit path. Must not be shared between
+// concurrently running goroutines.
+type UnboundedHandle[T any] struct {
+	q *Unbounded[T]
+	h *unbounded.Handle
+}
+
+// NewUnbounded creates an unbounded queue whose rings hold 2^order
+// values each. Drained rings are recycled through a bounded
+// hazard-pointer-protected pool (size via WithRingPool), so steady
+// traffic within the pool's capacity allocates no rings.
+func NewUnbounded[T any](order uint, opts ...Option) (*Unbounded[T], error) {
+	c := buildConfig(opts)
+	q, err := unbounded.New[T](order, c.ringPool, c.core)
+	if err != nil {
+		return nil, err
+	}
+	qq := &Unbounded[T]{q: q}
+	qq.pool.init(q.Register, q.Unregister)
+	return qq, nil
+}
+
+// MustUnbounded is NewUnbounded that panics on error.
+func MustUnbounded[T any](order uint, opts ...Option) *Unbounded[T] {
+	q, err := NewUnbounded[T](order, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Register claims an explicit per-goroutine handle.
+func (q *Unbounded[T]) Register() (*UnboundedHandle[T], error) {
+	h, err := q.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &UnboundedHandle[T]{q: q, h: h}, nil
+}
+
+// Unregister releases the handle, clearing its hazard slot so a
+// parked handle stops pinning a ring.
+func (h *UnboundedHandle[T]) Unregister() { h.q.q.Unregister(h.h) }
+
+// Enqueue appends v. Never fails.
+func (h *UnboundedHandle[T]) Enqueue(v T) { h.q.q.Enqueue(h.h, v) }
+
+// Dequeue removes the oldest value, or returns ok=false when empty.
+func (h *UnboundedHandle[T]) Dequeue() (v T, ok bool) { return h.q.q.Dequeue(h.h) }
+
+// EnqueueBatch appends all values in order, amortizing ring
+// reservations over the batch. Never fails.
+func (h *UnboundedHandle[T]) EnqueueBatch(vs []T) { h.q.q.EnqueueBatch(h.h, vs) }
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order, returning how many were dequeued.
+func (h *UnboundedHandle[T]) DequeueBatch(out []T) int { return h.q.q.DequeueBatch(h.h, out) }
+
+// Enqueue appends v through a pooled handle. Never fails.
+func (q *Unbounded[T]) Enqueue(v T) {
+	h := q.pool.get()
+	q.q.Enqueue(h, v)
+	q.pool.put(h)
+}
+
+// Dequeue removes the oldest value through a pooled handle, or
+// returns ok=false when the whole queue is empty.
+func (q *Unbounded[T]) Dequeue() (v T, ok bool) {
+	h := q.pool.get()
+	v, ok = q.q.Dequeue(h)
+	q.pool.put(h)
+	return v, ok
+}
+
+// EnqueueBatch appends all values in order through a pooled handle.
+func (q *Unbounded[T]) EnqueueBatch(vs []T) {
+	h := q.pool.get()
+	q.q.EnqueueBatch(h, vs)
+	q.pool.put(h)
+}
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order through a pooled handle, returning how many were dequeued.
+func (q *Unbounded[T]) DequeueBatch(out []T) int {
+	h := q.pool.get()
+	n := q.q.DequeueBatch(h, out)
+	q.pool.put(h)
+	return n
+}
+
+// Footprint returns current queue-owned bytes: linked rings, their
+// record arenas, plus the bounded standby inventory of recycled rings
+// (the pool and rings awaiting hazard reclamation). It grows with
+// content and the handle high-water mark, and stays flat under steady
+// traffic.
+func (q *Unbounded[T]) Footprint() int64 { return q.q.Footprint() }
+
+// PeakFootprint returns the high-water mark of Footprint over the
+// queue's lifetime — the number a capacity planner actually wants from
+// an "unbounded" queue.
+func (q *Unbounded[T]) PeakFootprint() int64 { return q.q.PeakFootprint() }
+
+// PoolCap returns the ring-pool capacity (WithRingPool).
+func (q *Unbounded[T]) PoolCap() int { return q.q.PoolCap() }
+
+// LiveHandles returns the number of currently registered handles.
+func (q *Unbounded[T]) LiveHandles() int { return q.q.LiveHandles() }
+
+// HandleHighWater returns the largest number of handles ever live at
+// once — the bound on every ring's record-arena growth.
+func (q *Unbounded[T]) HandleHighWater() int { return q.q.HandleHighWater() }
+
+// RingStats reports just the ring-recycling counters — three atomic
+// loads, no ring-list traversal — for callers polling the
+// allocation-free property at high frequency (Stats carries the same
+// numbers plus the slow-path aggregation).
+func (q *Unbounded[T]) RingStats() (hits, misses, drops uint64) { return q.q.RingStats() }
+
+// MaxOps returns the per-ring safe-operation bound. Fresh rings start
+// fresh budgets, so unlike Queue.MaxOps it is not a lifetime limit.
+func (q *Unbounded[T]) MaxOps() uint64 { return q.q.MaxOps() }
+
+// Stats reports slow-path counters aggregated over the currently
+// linked rings (a lower bound: drained rings take their counters with
+// them) plus the ring-recycling pool counters.
+func (q *Unbounded[T]) Stats() Stats {
+	s := q.q.Stats()
+	return Stats{
+		SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps,
+		PoolHits: s.PoolHits, PoolMisses: s.PoolMisses, PoolDrops: s.PoolDrops,
+	}
+}

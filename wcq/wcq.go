@@ -18,17 +18,30 @@
 //   - The scq sibling package: the lock-free SCQ, for callers that
 //     prefer slightly higher throughput over wait-freedom.
 //
-// Every goroutine operating on a queue first claims a Handle with
-// Register; handles carry the per-thread helping state the wait-free
+// Registration is dynamic (DESIGN.md §9): constructors take no thread
+// count, and goroutines may register and unregister freely — per-
+// participant records live in a grow-only chunked arena bounded only
+// by the 16-bit owner-id space (65535 concurrent handles, or the
+// WithMaxHandles cap), with released slots recycled so churn keeps
+// memory flat.
+//
+// Every shape offers two call styles:
+//
+//	q, _ := wcq.New[*Request](16)
+//	q.Enqueue(req)             // handle-free: borrows a pooled handle
+//	v, ok := q.Dequeue()
+//
+//	h, _ := q.Register()       // explicit: the zero-overhead fast path
+//	defer h.Unregister()
+//	h.Enqueue(req)
+//	v, ok := h.Dequeue()
+//
+// The handle-free methods borrow a registered handle from an internal
+// sync.Pool-backed cache per call, costing a few nanoseconds over the
+// explicit path; goroutines on a hot path should hold an explicit
+// Handle. Handles carry the per-thread helping state the wait-free
 // protocol requires and must not be shared between concurrently
 // running goroutines.
-//
-// Basic usage:
-//
-//	q, _ := wcq.New[*Request](16, runtime.GOMAXPROCS(0))
-//	h, _ := q.Register()
-//	q.Enqueue(h, req)       // false when full
-//	v, ok := q.Dequeue(h)   // false when empty
 //
 // All shapes also expose EnqueueBatch/DequeueBatch, which amortize
 // the ring reservation — one fetch-and-add per ring for a batch of k
@@ -36,7 +49,7 @@
 // and the scalar paths' progress guarantees (DESIGN.md §6):
 //
 //	buf := make([]*Request, 64)
-//	n := q.DequeueBatch(h, buf)  // up to 64 values, one reservation
+//	n := h.DequeueBatch(buf)     // up to 64 values, one reservation
 //	for _, req := range buf[:n] {
 //		process(req)
 //	}
@@ -44,7 +57,6 @@ package wcq
 
 import (
 	"wcqueue/internal/core"
-	"wcqueue/internal/unbounded"
 )
 
 // config collects every construction knob; core ring options plus the
@@ -75,12 +87,22 @@ func WithEmulatedFAA() Option {
 	return func(c *config) { c.core.EmulatedFAA = true }
 }
 
+// WithMaxHandles caps concurrently registered handles. The default is
+// the full 16-bit owner-id space (65535); a lower cap shrinks the
+// per-ring chunk directory and bounds worst-case arena growth.
+// Registration never fails below the cap — the record arena grows on
+// demand — and released handles are recycled, so only peak concurrency
+// counts against it.
+func WithMaxHandles(n int) Option {
+	return func(c *config) { c.core.MaxHandles = n }
+}
+
 // WithRingPool sets how many drained rings Unbounded retains for
 // reuse (default: a small pool; see internal/unbounded's
 // DefaultPoolSize). Size it to the rings churned between reclamation
 // points — roughly content-swing/2^order per concurrent hopper — to
 // keep steady-state ring hops allocation-free. Ignored by the bounded
-// shapes, which never allocate after construction.
+// shapes, which never allocate rings after construction.
 func WithRingPool(n int) Option {
 	return func(c *config) { c.ringPool = n }
 }
@@ -94,69 +116,133 @@ func buildConfig(opts []Option) config {
 }
 
 // Queue is a bounded wait-free MPMC FIFO queue of values of type T.
-// Memory usage is fixed at construction (Theorem 5.8).
+// Memory usage is fixed at construction except for the per-handle
+// record arena, which grows only with peak handle concurrency
+// (Theorem 5.8, re-parameterized — see DESIGN.md §9).
 type Queue[T any] struct {
-	q *core.Queue[T]
+	q    *core.Queue[T]
+	pool handlePool[core.Handle]
 }
 
-// Handle is a registered per-goroutine token.
-type Handle = core.Handle
+// Handle is a registered per-goroutine token of a Queue — the
+// zero-overhead explicit path. A Handle must not be shared between
+// concurrently running goroutines; release it with Unregister.
+type Handle[T any] struct {
+	q *Queue[T]
+	h *core.Handle
+}
 
-// New creates a queue holding up to 2^order values, operated by up to
-// numThreads concurrently registered goroutines.
-func New[T any](order uint, numThreads int, opts ...Option) (*Queue[T], error) {
+// New creates a queue holding up to 2^order values. Goroutines
+// register dynamically — up to 65535 concurrently, or the
+// WithMaxHandles cap.
+func New[T any](order uint, opts ...Option) (*Queue[T], error) {
 	c := buildConfig(opts)
-	q, err := core.NewQueue[T](order, numThreads, c.core)
+	q, err := core.NewQueue[T](order, c.core)
 	if err != nil {
 		return nil, err
 	}
-	return &Queue[T]{q: q}, nil
+	qq := &Queue[T]{q: q}
+	qq.pool.init(q.Register, q.Unregister)
+	return qq, nil
 }
 
 // Must is New that panics on error.
-func Must[T any](order uint, numThreads int, opts ...Option) *Queue[T] {
-	q, err := New[T](order, numThreads, opts...)
+func Must[T any](order uint, opts ...Option) *Queue[T] {
+	q, err := New[T](order, opts...)
 	if err != nil {
 		panic(err)
 	}
 	return q
 }
 
-// Register claims a per-goroutine handle.
-func (q *Queue[T]) Register() (*Handle, error) { return q.q.Register() }
+// Register claims an explicit per-goroutine handle.
+func (q *Queue[T]) Register() (*Handle[T], error) {
+	h, err := q.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &Handle[T]{q: q, h: h}, nil
+}
 
-// Unregister releases a handle for reuse by another goroutine.
-func (q *Queue[T]) Unregister(h *Handle) { q.q.Unregister(h) }
+// Unregister releases the handle's slot for reuse by another
+// goroutine. No operation may be in flight on the handle.
+func (h *Handle[T]) Unregister() { h.q.q.Unregister(h.h) }
 
 // Enqueue inserts v, returning false if the queue is full. Wait-free.
-func (q *Queue[T]) Enqueue(h *Handle, v T) bool { return q.q.Enqueue(h, v) }
+func (h *Handle[T]) Enqueue(v T) bool { return h.q.q.Enqueue(h.h, v) }
 
 // Dequeue removes the oldest value, returning ok=false when the queue
 // is empty. Wait-free.
-func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) { return q.q.Dequeue(h) }
+func (h *Handle[T]) Dequeue() (v T, ok bool) { return h.q.q.Dequeue(h.h) }
 
 // EnqueueBatch inserts up to len(vs) values in order and returns how
 // many were inserted (fewer only when the queue fills). A batch of k
 // reserves its ring positions with one fetch-and-add per ring instead
 // of k, which is the dominant cost at high core counts (DESIGN.md §6).
 // Wait-free.
-func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int { return q.q.EnqueueBatch(h, vs) }
+func (h *Handle[T]) EnqueueBatch(vs []T) int { return h.q.q.EnqueueBatch(h.h, vs) }
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order and returns how many were dequeued. Wait-free.
-func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int { return q.q.DequeueBatch(h, out) }
+func (h *Handle[T]) DequeueBatch(out []T) int { return h.q.q.DequeueBatch(h.h, out) }
+
+// Enqueue inserts v through a pooled handle, returning false if the
+// queue is full. Prefer an explicit Handle on hot paths.
+func (q *Queue[T]) Enqueue(v T) bool {
+	h := q.pool.get()
+	ok := q.q.Enqueue(h, v)
+	q.pool.put(h)
+	return ok
+}
+
+// Dequeue removes the oldest value through a pooled handle, returning
+// ok=false when the queue is empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	h := q.pool.get()
+	v, ok = q.q.Dequeue(h)
+	q.pool.put(h)
+	return v, ok
+}
+
+// EnqueueBatch inserts up to len(vs) values in order through a pooled
+// handle, returning how many were inserted.
+func (q *Queue[T]) EnqueueBatch(vs []T) int {
+	h := q.pool.get()
+	n := q.q.EnqueueBatch(h, vs)
+	q.pool.put(h)
+	return n
+}
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order through a pooled handle, returning how many were dequeued.
+func (q *Queue[T]) DequeueBatch(out []T) int {
+	h := q.pool.get()
+	n := q.q.DequeueBatch(h, out)
+	q.pool.put(h)
+	return n
+}
 
 // Cap returns the queue capacity (2^order).
 func (q *Queue[T]) Cap() int { return q.q.Cap() }
 
-// Footprint returns the queue's memory usage in bytes; constant for
-// the queue's lifetime.
+// Footprint returns the queue's memory usage in bytes. It moves only
+// when the registration high-water mark grows a record chunk — never
+// per operation.
 func (q *Queue[T]) Footprint() int64 { return q.q.Footprint() }
 
 // MaxOps returns the number of operations the queue can safely execute
 // before its packed cycle counters could wrap (a consequence of Go's
 // missing 128-bit CAS; ≈5·10^11 at order 16 — see DESIGN.md §2).
 func (q *Queue[T]) MaxOps() uint64 { return q.q.MaxOps() }
+
+// LiveHandles returns the number of currently registered handles
+// (explicit and pooled).
+func (q *Queue[T]) LiveHandles() int { return q.q.LiveHandles() }
+
+// HandleHighWater returns the largest number of handles ever live at
+// once — the figure that bounds record-arena growth. Slot recycling
+// keeps it flat under register/unregister churn.
+func (q *Queue[T]) HandleHighWater() int { return q.q.HandleHighWater() }
 
 // Stats reports how often operations fell back to the wait-free slow
 // path and how often threads helped peers.
@@ -175,94 +261,4 @@ type Stats struct {
 	PoolHits     uint64 // ring hops served from the recycled pool
 	PoolMisses   uint64 // ring hops that allocated a fresh ring
 	PoolDrops    uint64 // retired rings dropped because the pool was full
-}
-
-// Unbounded is an unbounded MPMC FIFO queue built from linked wCQ
-// rings (Appendix A). Dequeues are wait-free per ring; enqueues are
-// lock-free (a starving enqueuer closes the current ring and opens a
-// fresh one).
-type Unbounded[T any] struct {
-	q *unbounded.Queue[T]
-}
-
-// UnboundedHandle is a registered per-goroutine token for Unbounded.
-type UnboundedHandle = unbounded.Handle
-
-// NewUnbounded creates an unbounded queue whose rings hold 2^order
-// values each. Drained rings are recycled through a bounded
-// hazard-pointer-protected pool (size via WithRingPool), so steady
-// traffic within the pool's capacity allocates no rings.
-func NewUnbounded[T any](order uint, numThreads int, opts ...Option) (*Unbounded[T], error) {
-	c := buildConfig(opts)
-	q, err := unbounded.New[T](order, numThreads, c.ringPool, c.core)
-	if err != nil {
-		return nil, err
-	}
-	return &Unbounded[T]{q: q}, nil
-}
-
-// MustUnbounded is NewUnbounded that panics on error.
-func MustUnbounded[T any](order uint, numThreads int, opts ...Option) *Unbounded[T] {
-	q, err := NewUnbounded[T](order, numThreads, opts...)
-	if err != nil {
-		panic(err)
-	}
-	return q
-}
-
-// Register claims a per-goroutine handle.
-func (q *Unbounded[T]) Register() (*UnboundedHandle, error) { return q.q.Register() }
-
-// Unregister releases a handle.
-func (q *Unbounded[T]) Unregister(h *UnboundedHandle) { q.q.Unregister(h) }
-
-// Enqueue appends v. Never fails.
-func (q *Unbounded[T]) Enqueue(h *UnboundedHandle, v T) { q.q.Enqueue(h, v) }
-
-// Dequeue removes the oldest value, or returns ok=false when empty.
-func (q *Unbounded[T]) Dequeue(h *UnboundedHandle) (v T, ok bool) { return q.q.Dequeue(h) }
-
-// EnqueueBatch appends all values in order, amortizing ring
-// reservations over the batch. Never fails.
-func (q *Unbounded[T]) EnqueueBatch(h *UnboundedHandle, vs []T) { q.q.EnqueueBatch(h, vs) }
-
-// DequeueBatch removes up to len(out) of the oldest values in FIFO
-// order, returning how many were dequeued.
-func (q *Unbounded[T]) DequeueBatch(h *UnboundedHandle, out []T) int {
-	return q.q.DequeueBatch(h, out)
-}
-
-// Footprint returns current queue-owned bytes: linked rings plus the
-// bounded standby inventory of recycled rings (the pool and rings
-// awaiting hazard reclamation). It grows with content and stays flat
-// under steady traffic.
-func (q *Unbounded[T]) Footprint() int64 { return q.q.Footprint() }
-
-// PeakFootprint returns the high-water mark of Footprint over the
-// queue's lifetime — the number a capacity planner actually wants from
-// an "unbounded" queue.
-func (q *Unbounded[T]) PeakFootprint() int64 { return q.q.PeakFootprint() }
-
-// PoolCap returns the ring-pool capacity (WithRingPool).
-func (q *Unbounded[T]) PoolCap() int { return q.q.PoolCap() }
-
-// RingStats reports just the ring-recycling counters — three atomic
-// loads, no ring-list traversal — for callers polling the
-// allocation-free property at high frequency (Stats carries the same
-// numbers plus the slow-path aggregation).
-func (q *Unbounded[T]) RingStats() (hits, misses, drops uint64) { return q.q.RingStats() }
-
-// MaxOps returns the per-ring safe-operation bound. Fresh rings start
-// fresh budgets, so unlike Queue.MaxOps it is not a lifetime limit.
-func (q *Unbounded[T]) MaxOps() uint64 { return q.q.MaxOps() }
-
-// Stats reports slow-path counters aggregated over the currently
-// linked rings (a lower bound: drained rings take their counters with
-// them) plus the ring-recycling pool counters.
-func (q *Unbounded[T]) Stats() Stats {
-	s := q.q.Stats()
-	return Stats{
-		SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps,
-		PoolHits: s.PoolHits, PoolMisses: s.PoolMisses, PoolDrops: s.PoolDrops,
-	}
 }

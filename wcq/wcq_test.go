@@ -2,6 +2,7 @@ package wcq_test
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"testing"
 
@@ -9,44 +10,97 @@ import (
 )
 
 func TestQueueBasics(t *testing.T) {
-	q := wcq.Must[string](4, 2)
+	q := wcq.Must[string](4)
 	h, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer q.Unregister(h)
+	defer h.Unregister()
 	if q.Cap() != 16 {
 		t.Fatalf("Cap = %d", q.Cap())
 	}
-	if !q.Enqueue(h, "a") || !q.Enqueue(h, "b") {
+	if !h.Enqueue("a") || !h.Enqueue("b") {
 		t.Fatal("enqueue failed")
 	}
-	if v, ok := q.Dequeue(h); !ok || v != "a" {
+	if v, ok := h.Dequeue(); !ok || v != "a" {
 		t.Fatalf("got (%q,%v)", v, ok)
 	}
-	if v, ok := q.Dequeue(h); !ok || v != "b" {
+	if v, ok := h.Dequeue(); !ok || v != "b" {
 		t.Fatalf("got (%q,%v)", v, ok)
 	}
-	if _, ok := q.Dequeue(h); ok {
+	if _, ok := h.Dequeue(); ok {
 		t.Fatal("empty queue yielded a value")
 	}
 }
 
+// TestQueueHandleFree drives the queue entirely through the implicit
+// (pooled-handle) methods.
+func TestQueueHandleFree(t *testing.T) {
+	q := wcq.Must[string](4)
+	if !q.Enqueue("a") || !q.Enqueue("b") {
+		t.Fatal("handle-free enqueue failed")
+	}
+	if v, ok := q.Dequeue(); !ok || v != "a" {
+		t.Fatalf("got (%q,%v)", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != "b" {
+		t.Fatalf("got (%q,%v)", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue yielded a value")
+	}
+	if live := q.LiveHandles(); live < 1 {
+		t.Fatalf("pooled handle not registered: live=%d", live)
+	}
+}
+
+// TestQueueImplicitExplicitInterleave mixes both call styles on one
+// queue: a single FIFO must hold regardless of which style produced
+// each value.
+func TestQueueImplicitExplicitInterleave(t *testing.T) {
+	q := wcq.Must[int](6)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			h.Enqueue(i)
+		} else {
+			q.Enqueue(i)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		var v int
+		var ok bool
+		if i%3 == 0 {
+			v, ok = q.Dequeue()
+		} else {
+			v, ok = h.Dequeue()
+		}
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
 func TestQueueFullSemantics(t *testing.T) {
-	q := wcq.Must[int](2, 1) // capacity 4
+	q := wcq.Must[int](2) // capacity 4
 	h, _ := q.Register()
+	defer h.Unregister()
 	for i := 0; i < 4; i++ {
-		if !q.Enqueue(h, i) {
+		if !h.Enqueue(i) {
 			t.Fatalf("enqueue %d below capacity failed", i)
 		}
 	}
-	if q.Enqueue(h, 99) {
+	if h.Enqueue(99) {
 		t.Fatal("enqueue at capacity succeeded")
 	}
 }
 
 func TestOptionsApply(t *testing.T) {
-	q, err := wcq.New[int](4, 2,
+	q, err := wcq.New[int](4,
 		wcq.WithPatience(2, 2),
 		wcq.WithHelpDelay(8),
 		wcq.WithEmulatedFAA(),
@@ -55,37 +109,68 @@ func TestOptionsApply(t *testing.T) {
 		t.Fatal(err)
 	}
 	h, _ := q.Register()
+	defer h.Unregister()
 	for i := 0; i < 100; i++ {
-		q.Enqueue(h, i)
-		if v, ok := q.Dequeue(h); !ok || v != i {
+		h.Enqueue(i)
+		if v, ok := h.Dequeue(); !ok || v != i {
 			t.Fatalf("iter %d: got (%d,%v)", i, v, ok)
 		}
 	}
 }
 
-func TestRegisterLimit(t *testing.T) {
-	q := wcq.Must[int](4, 1)
-	h, _ := q.Register()
+func TestWithMaxHandlesCaps(t *testing.T) {
+	q := wcq.Must[int](4, wcq.WithMaxHandles(1))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := q.Register(); err == nil {
 		t.Fatal("over-registration accepted")
 	}
-	q.Unregister(h)
+	h.Unregister()
 	if _, err := q.Register(); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRegistrationChurnFlat registers and releases thousands of
+// handles (explicit path): the high-water mark and footprint must
+// track peak concurrency, not the cumulative count.
+func TestRegistrationChurnFlat(t *testing.T) {
+	q := wcq.Must[int](6)
+	h0, _ := q.Register() // hold one slot across the churn
+	defer h0.Unregister()
+	for i := 0; i < 5000; i++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatalf("churn registration %d failed: %v", i, err)
+		}
+		h.Enqueue(i)
+		h.Dequeue()
+		h.Unregister()
+	}
+	if hw := q.HandleHighWater(); hw > 2 {
+		t.Fatalf("churn grew high-water to %d, want <= 2", hw)
+	}
+	if live := q.LiveHandles(); live != 1 {
+		t.Fatalf("live = %d after churn, want 1", live)
+	}
+}
+
 func TestNewRejectsBadOrder(t *testing.T) {
-	if _, err := wcq.New[int](0, 1); err == nil {
+	if _, err := wcq.New[int](0); err == nil {
 		t.Fatal("order 0 accepted")
 	}
-	if _, err := wcq.New[int](30, 1); err == nil {
+	if _, err := wcq.New[int](30); err == nil {
 		t.Fatal("order 30 accepted")
+	}
+	if _, err := wcq.New[int](4, wcq.WithMaxHandles(1<<20)); err == nil {
+		t.Fatal("MaxHandles beyond the owner-id space accepted")
 	}
 }
 
 func TestMaxOpsAndFootprintExposed(t *testing.T) {
-	q := wcq.Must[int](16, 4)
+	q := wcq.Must[int](16)
 	if q.MaxOps() < 1<<38 {
 		t.Fatalf("MaxOps = %d", q.MaxOps())
 	}
@@ -96,7 +181,7 @@ func TestMaxOpsAndFootprintExposed(t *testing.T) {
 
 func TestConcurrentUse(t *testing.T) {
 	n := runtime.GOMAXPROCS(0) + 2
-	q := wcq.Must[int](10, 2*n)
+	q := wcq.Must[int](10)
 	var wg sync.WaitGroup
 	per := 5000
 	if testing.Short() {
@@ -117,14 +202,14 @@ func TestConcurrentUse(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			defer q.Unregister(h)
+			defer h.Unregister()
 			local := int64(0)
 			for i := 0; i < per; i++ {
-				for !q.Enqueue(h, i) {
+				for !h.Enqueue(i) {
 					runtime.Gosched()
 				}
 				for {
-					if v, ok := q.Dequeue(h); ok {
+					if v, ok := h.Dequeue(); ok {
 						local += int64(v)
 						break
 					}
@@ -142,41 +227,117 @@ func TestConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestConcurrentHandleFree is TestConcurrentUse through the implicit
+// API: goroutines never touch Register, the pooled handles carry the
+// per-thread state. GC is disabled for the duration: a collection
+// evicts sync.Pool contents and the evicted handles only return their
+// slots when finalizers run, which would make the high-water
+// assertion timing-dependent.
+func TestConcurrentHandleFree(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	n := runtime.GOMAXPROCS(0) + 2
+	q := wcq.Must[int](10)
+	var wg sync.WaitGroup
+	per := 3000
+	if testing.Short() {
+		per = 300
+	}
+	var sum, want int64
+	for i := 0; i < per; i++ {
+		want += int64(i)
+	}
+	want *= int64(n)
+	var mu sync.Mutex
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < per; i++ {
+				for !q.Enqueue(i) {
+					runtime.Gosched()
+				}
+				for {
+					if v, ok := q.Dequeue(); ok {
+						local += int64(v)
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+			mu.Lock()
+			sum += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if sum != want {
+		t.Fatalf("value sum %d, want %d", sum, want)
+	}
+	// Pool reuse keeps the high-water mark near peak concurrency —
+	// except in race builds, where sync.Pool drops Puts on purpose and
+	// dropped handles wait on finalizers.
+	if hw := q.HandleHighWater(); !raceEnabled && hw > 2*n {
+		t.Fatalf("implicit pool grew high-water to %d for %d goroutines", hw, n)
+	}
+}
+
 func TestUnbounded(t *testing.T) {
-	q := wcq.MustUnbounded[int](4, 2) // 16-slot rings force hopping
+	q := wcq.MustUnbounded[int](4) // 16-slot rings force hopping
 	h, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer q.Unregister(h)
+	defer h.Unregister()
 	const n = 5000
 	for i := 0; i < n; i++ {
-		q.Enqueue(h, i)
+		h.Enqueue(i)
 	}
 	for i := 0; i < n; i++ {
-		v, ok := q.Dequeue(h)
+		v, ok := h.Dequeue()
 		if !ok || v != i {
 			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
 		}
 	}
-	if _, ok := q.Dequeue(h); ok {
+	if _, ok := h.Dequeue(); ok {
 		t.Fatal("drained unbounded queue yielded a value")
 	}
 }
 
+// TestUnboundedHandleFree drives ring hops through the implicit API.
+func TestUnboundedHandleFree(t *testing.T) {
+	q := wcq.MustUnbounded[int](3)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue yielded a value")
+	}
+}
+
 func TestUnboundedFootprintElastic(t *testing.T) {
-	q := wcq.MustUnbounded[int](4, 2)
+	q := wcq.MustUnbounded[int](4)
 	h, _ := q.Register()
+	defer h.Unregister()
+	h.Enqueue(0) // publish the handle's records before the baseline
+	h.Dequeue()
 	base := q.Footprint()
 	for i := 0; i < 1000; i++ {
-		q.Enqueue(h, i)
+		h.Enqueue(i)
 	}
 	grown := q.Footprint()
 	if grown <= base {
 		t.Fatal("footprint did not grow")
 	}
 	for i := 0; i < 1000; i++ {
-		q.Dequeue(h)
+		h.Dequeue()
 	}
 	if q.Footprint() >= grown {
 		t.Fatal("footprint did not shrink")
@@ -184,19 +345,19 @@ func TestUnboundedFootprintElastic(t *testing.T) {
 }
 
 func TestStatsVisible(t *testing.T) {
-	q := wcq.Must[int](3, 4, wcq.WithPatience(1, 1), wcq.WithHelpDelay(1))
+	q := wcq.Must[int](3, wcq.WithPatience(1, 1), wcq.WithHelpDelay(1))
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			h, _ := q.Register()
-			defer q.Unregister(h)
+			defer h.Unregister()
 			for i := 0; i < 2000; i++ {
-				for !q.Enqueue(h, i) {
-					q.Dequeue(h)
+				for !h.Enqueue(i) {
+					h.Dequeue()
 				}
-				q.Dequeue(h)
+				h.Dequeue()
 			}
 		}()
 	}
@@ -206,16 +367,17 @@ func TestStatsVisible(t *testing.T) {
 }
 
 func TestQueueAccessors(t *testing.T) {
-	q := wcq.Must[int](10, 4)
-	// Footprint is constant for the queue's lifetime (Theorem 5.8).
+	q := wcq.Must[int](10)
+	h, _ := q.Register()
+	defer h.Unregister()
+	// Footprint moves only with the handle high-water mark; after the
+	// handle's records are published it is constant under load.
 	base := q.Footprint()
 	if base <= 0 {
 		t.Fatalf("Footprint() = %d", base)
 	}
-	h, _ := q.Register()
-	defer q.Unregister(h)
 	for i := 0; i < 500; i++ {
-		q.Enqueue(h, i)
+		h.Enqueue(i)
 	}
 	if q.Footprint() != base {
 		t.Fatalf("footprint moved under load: %d -> %d", base, q.Footprint())
@@ -224,7 +386,7 @@ func TestQueueAccessors(t *testing.T) {
 		t.Fatal("MaxOps() = 0")
 	}
 	// Higher order must not shrink the wrap bound.
-	if big := wcq.Must[int](16, 4); big.MaxOps() < q.MaxOps() {
+	if big := wcq.Must[int](16); big.MaxOps() < q.MaxOps() {
 		t.Fatalf("MaxOps shrank with order: %d < %d", big.MaxOps(), q.MaxOps())
 	}
 	s := q.Stats()
@@ -237,7 +399,7 @@ func TestQueueAccessors(t *testing.T) {
 // WithRingPool option, the pool counters in Stats, and the peak
 // footprint staying flat once the pool is warm.
 func TestUnboundedRingPool(t *testing.T) {
-	q := wcq.MustUnbounded[int](3, 2, wcq.WithRingPool(12)) // 8-slot rings
+	q := wcq.MustUnbounded[int](3, wcq.WithRingPool(12)) // 8-slot rings
 	if got := q.PoolCap(); got != 12 {
 		t.Fatalf("PoolCap() = %d, want 12", got)
 	}
@@ -245,13 +407,13 @@ func TestUnboundedRingPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer q.Unregister(h)
+	defer h.Unregister()
 	churn := func(n int) {
 		for i := 0; i < n; i++ {
-			q.Enqueue(h, i)
+			h.Enqueue(i)
 		}
 		for i := 0; i < n; i++ {
-			if v, ok := q.Dequeue(h); !ok || v != i {
+			if v, ok := h.Dequeue(); !ok || v != i {
 				t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
 			}
 		}
@@ -283,11 +445,11 @@ func TestUnboundedRingPool(t *testing.T) {
 }
 
 func TestUnboundedAccessors(t *testing.T) {
-	q := wcq.MustUnbounded[int](4, 2)
+	q := wcq.MustUnbounded[int](4)
 	if q.MaxOps() == 0 {
 		t.Fatal("MaxOps() = 0")
 	}
-	if got, want := q.MaxOps(), wcq.Must[int](4, 2).MaxOps(); got != want {
+	if got, want := q.MaxOps(), wcq.Must[int](4).MaxOps(); got != want {
 		t.Fatalf("unbounded MaxOps %d, want per-ring bound %d", got, want)
 	}
 	s := q.Stats()
@@ -296,28 +458,53 @@ func TestUnboundedAccessors(t *testing.T) {
 	}
 	// Stats stay readable while the queue spans several rings.
 	h, _ := q.Register()
-	defer q.Unregister(h)
+	defer h.Unregister()
 	for i := 0; i < 100; i++ {
-		q.Enqueue(h, i)
+		h.Enqueue(i)
 	}
 	_ = q.Stats() // must not race or panic mid-structure
 	for i := 0; i < 100; i++ {
-		if v, ok := q.Dequeue(h); !ok || v != i {
+		if v, ok := h.Dequeue(); !ok || v != i {
 			t.Fatalf("dequeue %d: (%d,%v)", i, v, ok)
 		}
 	}
 }
 
+// TestUnboundedRegistrationChurn stresses handle churn across ring
+// hops: the queue-level high-water mark must stay flat, which also
+// bounds every ring's record arena.
+func TestUnboundedRegistrationChurn(t *testing.T) {
+	q := wcq.MustUnbounded[int](3)
+	for i := 0; i < 500; i++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatalf("churn registration %d failed: %v", i, err)
+		}
+		for j := 0; j < 20; j++ { // a few ring hops per handle
+			h.Enqueue(j)
+		}
+		for j := 0; j < 20; j++ {
+			if v, ok := h.Dequeue(); !ok || v != j {
+				t.Fatalf("round %d: got (%d,%v) want %d", i, v, ok, j)
+			}
+		}
+		h.Unregister()
+	}
+	if hw := q.HandleHighWater(); hw != 1 {
+		t.Fatalf("churn grew high-water to %d", hw)
+	}
+}
+
 func TestQueueBatchRoundTrip(t *testing.T) {
-	q := wcq.Must[string](6, 2)
+	q := wcq.Must[string](6)
 	h, _ := q.Register()
-	defer q.Unregister(h)
+	defer h.Unregister()
 	in := []string{"a", "b", "c", "d", "e"}
-	if n := q.EnqueueBatch(h, in); n != 5 {
+	if n := h.EnqueueBatch(in); n != 5 {
 		t.Fatalf("EnqueueBatch = %d", n)
 	}
 	out := make([]string, 5)
-	if n := q.DequeueBatch(h, out); n != 5 {
+	if n := h.DequeueBatch(out); n != 5 {
 		t.Fatalf("DequeueBatch = %d", n)
 	}
 	for i := range in {
@@ -325,22 +512,34 @@ func TestQueueBatchRoundTrip(t *testing.T) {
 			t.Fatalf("out[%d] = %q, want %q", i, out[i], in[i])
 		}
 	}
+	// The handle-free batch variants preserve intra-batch order too.
+	if n := q.EnqueueBatch(in); n != 5 {
+		t.Fatalf("handle-free EnqueueBatch = %d", n)
+	}
+	if n := q.DequeueBatch(out); n != 5 {
+		t.Fatalf("handle-free DequeueBatch = %d", n)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("handle-free out[%d] = %q, want %q", i, out[i], in[i])
+		}
+	}
 }
 
 func TestUnboundedBatchAcrossRings(t *testing.T) {
-	q := wcq.MustUnbounded[int](3, 2) // 8-slot rings: batches span rings
+	q := wcq.MustUnbounded[int](3) // 8-slot rings: batches span rings
 	h, _ := q.Register()
-	defer q.Unregister(h)
+	defer h.Unregister()
 	const n = 1000
 	in := make([]int, n)
 	for i := range in {
 		in[i] = i
 	}
-	q.EnqueueBatch(h, in) // must hop rings many times
+	h.EnqueueBatch(in) // must hop rings many times
 	out := make([]int, 64)
 	next := 0
 	for next < n {
-		m := q.DequeueBatch(h, out)
+		m := h.DequeueBatch(out)
 		if m == 0 {
 			t.Fatalf("empty with %d remaining", n-next)
 		}
@@ -351,7 +550,7 @@ func TestUnboundedBatchAcrossRings(t *testing.T) {
 			next++
 		}
 	}
-	if m := q.DequeueBatch(h, out); m != 0 {
+	if m := h.DequeueBatch(out); m != 0 {
 		t.Fatalf("drained queue batch-yielded %d", m)
 	}
 }
