@@ -133,15 +133,34 @@ func main() {
 	emit()
 }
 
+// maxThreadCount rejects sweep points no machine this harness targets
+// can run: a mistyped "800" for "8,0,0" would otherwise launch
+// hundreds of goroutines per point and produce a plausible-looking but
+// degenerate table.
+const maxThreadCount = 4096
+
+// parseThreads parses the -threads flag: a comma-separated list of
+// positive thread counts ("" selects the default sweep). Malformed
+// entries — empty fields, junk, zero/negative or absurd counts — are
+// rejected with an error naming the offending entry, rather than
+// silently producing degenerate measurement points.
 func parseThreads(s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad thread count %q", part)
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		p := strings.TrimSpace(part)
+		if p == "" {
+			return nil, fmt.Errorf("-threads %q: empty entry (want comma-separated positive integers, e.g. 1,2,4,8)", s)
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("-threads %q: bad thread count %q (want comma-separated positive integers, e.g. 1,2,4,8)", s, p)
+		}
+		if n < 1 || n > maxThreadCount {
+			return nil, fmt.Errorf("-threads %q: thread count %d out of range [1, %d]", s, n, maxThreadCount)
 		}
 		out = append(out, n)
 	}

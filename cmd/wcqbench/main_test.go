@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseThreads(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		errPart string // substring the error must carry; "" = no error
+	}{
+		{in: "", want: nil},
+		{in: "1", want: []int{1}},
+		{in: "1,2,4,8", want: []int{1, 2, 4, 8}},
+		{in: " 1 , 2 ", want: []int{1, 2}},
+		{in: "1,,2", errPart: "empty entry"},
+		{in: ",", errPart: "empty entry"},
+		{in: "1,2,", errPart: "empty entry"},
+		{in: " ", errPart: "empty entry"},
+		{in: "abc", errPart: `bad thread count "abc"`},
+		{in: "1,x,2", errPart: `bad thread count "x"`},
+		{in: "1.5", errPart: "bad thread count"},
+		{in: "0", errPart: "out of range"},
+		{in: "-4", errPart: "out of range"},
+		{in: "1,0,2", errPart: "out of range"},
+		{in: "99999999", errPart: "out of range"},
+		{in: "999999999999999999999999", errPart: "bad thread count"},
+	}
+	for _, c := range cases {
+		got, err := parseThreads(c.in)
+		if c.errPart != "" {
+			if err == nil {
+				t.Errorf("parseThreads(%q) = %v, want error containing %q", c.in, got, c.errPart)
+			} else if !strings.Contains(err.Error(), c.errPart) {
+				t.Errorf("parseThreads(%q) error %q does not contain %q", c.in, err, c.errPart)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseThreads(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseThreads(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseThreads(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

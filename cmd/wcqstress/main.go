@@ -8,40 +8,82 @@
 //	wcqstress -queue wCQ -producers 8 -consumers 8 -per 1000000
 //	wcqstress -queue all -seconds 10
 //	wcqstress -queue all -storm -per 2000     # registration-storm mode
+//	wcqstress -queue all -block -per 50000    # blocking mode: parked
+//	                                          # consumers, bursty
+//	                                          # producers, Close mid-run
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wcqueue/internal/check"
+	"wcqueue/internal/core"
 	"wcqueue/internal/queues/queueiface"
 	"wcqueue/internal/queues/registry"
 )
 
+// defaultWorkers picks the per-side (producer and consumer) default so
+// the run saturates the machine without oversubscribing it: half of
+// GOMAXPROCS each, floored at 1 so single-proc environments
+// (GOMAXPROCS=1 containers, CI smoke at -cpu 1) still get one producer
+// and one consumer — every loop in this command yields, so the two
+// make progress cooperatively on one P.
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 func main() {
 	var (
 		name      = flag.String("queue", "wCQ", "queue name or 'all'")
-		producers = flag.Int("producers", runtime.GOMAXPROCS(0)/2+1, "producer goroutines")
-		consumers = flag.Int("consumers", runtime.GOMAXPROCS(0)/2+1, "consumer goroutines")
+		producers = flag.Int("producers", defaultWorkers(), "producer goroutines")
+		consumers = flag.Int("consumers", defaultWorkers(), "consumer goroutines")
 		per       = flag.Uint64("per", 200_000, "values per producer")
 		order     = flag.Uint("ring-order", 14, "wCQ/SCQ ring order")
 		llsc      = flag.Bool("llsc", false, "use emulated-F&A builds of wCQ/SCQ")
 		storm     = flag.Bool("storm", false,
 			"registration-storm mode: every worker registers, moves one value and unregisters per cycle (-per cycles each); asserts the handle high-water mark stays at peak concurrency")
+		block = flag.Bool("block", false,
+			"blocking mode: consumers park in DequeueWait, producers send bursts through EnqueueWait, and the queue is closed mid-run; asserts every accepted value is delivered exactly once before ErrClosed")
 	)
 	flag.Parse()
+
+	if *producers < 1 || *consumers < 1 {
+		fmt.Fprintf(os.Stderr, "wcqstress: -producers %d / -consumers %d out of range (want >= 1 each)\n", *producers, *consumers)
+		os.Exit(1)
+	}
+	if *per < 1 {
+		fmt.Fprintf(os.Stderr, "wcqstress: -per %d out of range (want >= 1)\n", *per)
+		os.Exit(1)
+	}
+	if *storm && *block {
+		fmt.Fprintln(os.Stderr, "wcqstress: -storm and -block are mutually exclusive")
+		os.Exit(1)
+	}
 
 	names := []string{*name}
 	if *name == "all" {
 		// Every FIFO-conforming queue in the registry: a queue
 		// registered later is stressed automatically, rather than
-		// silently skipped by a stale hardcoded list.
-		names = registry.ConformingNames()
+		// silently skipped by a stale hardcoded list. Blocking mode
+		// restricts to the queues that implement the blocking API.
+		if *block {
+			names = registry.BlockingNames()
+		} else {
+			names = registry.ConformingNames()
+		}
 	}
 	exit := 0
 	for _, n := range names {
@@ -74,6 +116,22 @@ func main() {
 			}
 			fmt.Printf("%-12s %d workers × %d register→op→unregister cycles: OK (%.2fs, high-water %s)\n",
 				q.Name(), workers, *per, time.Since(t0).Seconds(), hw)
+			continue
+		}
+		if *block {
+			bq, ok := q.(queueiface.BlockingQueue)
+			if !ok {
+				fmt.Printf("%-12s block: skipped (no blocking API)\n", q.Name())
+				continue
+			}
+			delivered, err := blockingStress(bq, *producers, *consumers, *per)
+			if err != nil {
+				fmt.Printf("%-12s block: %v\n", q.Name(), err)
+				exit = 1
+				continue
+			}
+			fmt.Printf("%-12s block: %d producers (bursty), %d consumers (parked), Close mid-run: OK (%.2fs, %d accepted+delivered)\n",
+				q.Name(), *producers, *consumers, time.Since(t0).Seconds(), delivered)
 			continue
 		}
 		rep := stress(q, *producers, *consumers, *per)
@@ -122,6 +180,133 @@ func registrationStorm(q queueiface.Queue, workers int, cycles uint64) error {
 	wg.Wait()
 	close(errs)
 	return <-errs
+}
+
+// blockingStress drives the blocking API under the adversarial shape
+// the eventcount protocol must survive: consumers that park between
+// bursts, producers that sleep between bursts (so consumers really do
+// park, not just spin), and a Close that lands mid-traffic. It then
+// verifies the close/drain contract: every value whose EnqueueWait
+// returned nil is delivered exactly once, per-producer FIFO order
+// holds within each consumer stream, every delivered set is the exact
+// accepted prefix, and every worker observes ErrClosed and exits. A
+// lost wakeup shows up as a hung run (the CI step's timeout).
+func blockingStress(q queueiface.BlockingQueue, producers, consumers int, per uint64) (uint64, error) {
+	accepted := make([]uint64, producers)
+	streams := make([][]uint64, consumers)
+	errs := make(chan error, producers+consumers)
+	var wg, pwg sync.WaitGroup
+
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			return 0, err
+		}
+		wg.Add(1)
+		go func(c int, h queueiface.Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			var local []uint64
+			for {
+				v, err := q.DequeueWait(context.Background(), h)
+				if err != nil {
+					if !errors.Is(err, core.ErrClosed) {
+						errs <- fmt.Errorf("consumer %d: %w", c, err)
+					}
+					streams[c] = local
+					return
+				}
+				local = append(local, v)
+			}
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			return 0, err
+		}
+		pwg.Add(1)
+		go func(p int, h queueiface.Handle) {
+			defer pwg.Done()
+			defer q.Unregister(h)
+			rng := rand.New(rand.NewSource(int64(p) + 1))
+			for s := uint64(0); s < per; s++ {
+				err := q.EnqueueWait(context.Background(), h, check.Encode(p, s))
+				if err != nil {
+					if !errors.Is(err, core.ErrClosed) {
+						errs <- fmt.Errorf("producer %d: %w", p, err)
+					}
+					return
+				}
+				atomic.AddUint64(&accepted[p], 1)
+				if s%97 == 0 {
+					// Burst boundary: stall long enough for consumers
+					// to drain and park.
+					time.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+				}
+			}
+		}(p, h)
+	}
+
+	// Close mid-run: once roughly half the traffic is through (or the
+	// producers finish early on tiny -per values).
+	half := uint64(producers) * per / 2
+	for {
+		var total uint64
+		for p := range accepted {
+			total += atomic.LoadUint64(&accepted[p])
+		}
+		if total >= half {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	q.Close()
+	pwg.Wait()
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, err
+	}
+
+	seen := make([]map[uint64]bool, producers)
+	for p := range seen {
+		seen[p] = make(map[uint64]bool)
+	}
+	var delivered uint64
+	for _, s := range streams {
+		last := make([]int64, producers)
+		for p := range last {
+			last[p] = -1
+		}
+		for _, v := range s {
+			p, seq := check.Decode(v)
+			if p < 0 || p >= producers || seq >= per {
+				return 0, fmt.Errorf("corrupt value %#x", v)
+			}
+			if seen[p][seq] {
+				return 0, fmt.Errorf("value p%d/%d delivered twice", p, seq)
+			}
+			seen[p][seq] = true
+			if int64(seq) <= last[p] {
+				return 0, fmt.Errorf("producer %d order violation: %d after %d", p, seq, last[p])
+			}
+			last[p] = int64(seq)
+			delivered++
+		}
+	}
+	for p := 0; p < producers; p++ {
+		acc := atomic.LoadUint64(&accepted[p])
+		if uint64(len(seen[p])) != acc {
+			return 0, fmt.Errorf("producer %d: accepted %d, delivered %d", p, acc, len(seen[p]))
+		}
+		for s := uint64(0); s < acc; s++ {
+			if !seen[p][s] {
+				return 0, fmt.Errorf("producer %d: accepted value %d never delivered", p, s)
+			}
+		}
+	}
+	return delivered, nil
 }
 
 func stress(q queueiface.Queue, producers, consumers int, per uint64) check.Report {

@@ -22,6 +22,17 @@
 // (zero-overhead) or use the handle-free methods, which borrow
 // pooled implicit handles per call (DESIGN.md §9).
 //
+// Alongside the non-blocking operations, every shape offers blocking
+// waits and close/drain semantics (DESIGN.md §10): DequeueWait(ctx) /
+// EnqueueWait(ctx, v) / DequeueBlock() park idle callers on an
+// eventcount (internal/waitq) at zero CPU instead of spin-polling,
+// and Close() fails subsequent enqueues while guaranteeing that every
+// accepted value is drained — delivered exactly once — before blocked
+// dequeuers observe wcq.ErrClosed, making the queues drop-in channel
+// replacements for worker pools and pipelines (examples/workerpool).
+// The non-blocking fast paths are unaffected while no waiter is
+// parked.
+//
 // The benchmark and correctness tools are cmd/wcqbench (with a -json
 // emitter for machine-readable trajectory points, committed as
 // BENCH_*.json) and cmd/wcqstress (whose -queue all iterates every

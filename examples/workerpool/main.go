@@ -1,0 +1,100 @@
+// Workerpool: the wCQ queue as a drop-in channel replacement. Before
+// the blocking layer (DESIGN.md §10), consumers of a quiet queue had
+// to spin-poll Dequeue; here the workers park in DequeueWait — zero
+// CPU while idle — and are woken by enqueues, released by Close with
+// full drain semantics (every accepted job is processed, then every
+// worker sees wcq.ErrClosed), or cut loose early through context
+// cancellation.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wcqueue/wcq"
+)
+
+type job struct {
+	id int
+}
+
+func main() {
+	// Part 1: run to completion. Close() guarantees the backlog drains
+	// before the workers are told the queue is done.
+	q := wcq.Must[job](10)
+	var processed atomic.Int64
+	var wg sync.WaitGroup
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := q.Register() // explicit handle: the fast path
+			if err != nil {
+				panic(err)
+			}
+			defer h.Unregister()
+			for {
+				j, err := h.DequeueWait(context.Background())
+				if errors.Is(err, wcq.ErrClosed) {
+					return // queue closed and fully drained
+				}
+				if err != nil {
+					panic(err)
+				}
+				processed.Add(1) // "handle" the job
+				_ = j
+			}
+		}(w)
+	}
+
+	const jobs = 1000
+	for i := 0; i < jobs; i++ {
+		// EnqueueWait blocks while the pool is saturated (queue full)
+		// instead of dropping or spinning.
+		if err := q.EnqueueWait(context.Background(), job{id: i}); err != nil {
+			panic(err)
+		}
+	}
+	q.Close() // no more jobs: fail new enqueues, drain, release workers
+	wg.Wait()
+	fmt.Printf("drained pool: %d/%d jobs processed, queue closed=%v\n",
+		processed.Load(), jobs, q.Closed())
+
+	// Part 2: cancellation. Workers waiting on an idle queue unpark
+	// with ctx.Err() when their context is canceled — the shutdown
+	// path for "stop now, abandon the backlog" semantics.
+	q2 := wcq.Must[job](4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var canceled atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Handle-free blocking calls work too; they borrow a
+				// pooled handle for the duration of the wait.
+				_, err := q2.DequeueWait(ctx)
+				if errors.Is(err, context.Canceled) {
+					canceled.Add(1)
+					return
+				}
+				if errors.Is(err, wcq.ErrClosed) {
+					return
+				}
+				if err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // all four workers are parked, 0% CPU
+	cancel()
+	wg.Wait()
+	fmt.Printf("canceled pool: %d/%d idle workers unparked by ctx\n",
+		canceled.Load(), workers)
+}

@@ -1,0 +1,22 @@
+//go:build !((amd64 || 386) && !race)
+
+package core
+
+import "sync/atomic"
+
+// ActiveFlag marks a handle as being inside an enqueue so Close can
+// wait out in-flight operations before sealing (DESIGN.md §10). This
+// is the portable variant: seq-cst stores give the Dekker handshake
+// against Close directly (and keep the race detector's memory model
+// exact). TSO architectures use the fence-free variant in
+// activeflag_fast.go.
+type ActiveFlag struct{ v atomic.Uint32 }
+
+// Enter marks the owner as inside an operation.
+func (f *ActiveFlag) Enter() { f.v.Store(1) }
+
+// Exit clears the flag after the operation's effects are published.
+func (f *ActiveFlag) Exit() { f.v.Store(0) }
+
+// Active reports whether the owner is inside an operation.
+func (f *ActiveFlag) Active() bool { return f.v.Load() != 0 }

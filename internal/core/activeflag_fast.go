@@ -1,0 +1,39 @@
+//go:build (amd64 || 386) && !race
+
+package core
+
+import "sync/atomic"
+
+// ActiveFlag marks a handle as being inside an enqueue so Close can
+// wait out in-flight operations before sealing (DESIGN.md §10).
+//
+// On TSO architectures (x86) the non-race build uses plain stores,
+// making the bracket free on the fast path:
+//
+//   - Enter must be globally visible before the caller acts on a
+//     subsequent load of the queue's close state (the Dekker
+//     handshake against Close's state-store/Active-load). The caller
+//     guarantees a seq-cst atomic RMW between Enter and that load —
+//     every ring reservation (fetch-and-add, or its CAS emulation)
+//     qualifies — and on x86 a locked RMW drains the store buffer, so
+//     the plain store is visible before the load executes.
+//   - Exit must not become visible before the operation's preceding
+//     ring stores; TSO preserves store order, and the Go compiler
+//     never reorders stores across the atomic operations between
+//     them.
+//
+// The closer's Active load stays atomic. Race builds and non-TSO
+// architectures use the seq-cst variant in activeflag_atomic.go —
+// identical protocol, paid-for fences.
+type ActiveFlag struct{ v uint32 }
+
+// Enter marks the owner as inside an operation. The caller must
+// execute at least one seq-cst atomic RMW before acting on a
+// subsequent close-state load.
+func (f *ActiveFlag) Enter() { f.v = 1 }
+
+// Exit clears the flag after the operation's effects are published.
+func (f *ActiveFlag) Exit() { f.v = 0 }
+
+// Active reports whether the owner is inside an operation.
+func (f *ActiveFlag) Active() bool { return atomic.LoadUint32(&f.v) != 0 }

@@ -1,0 +1,155 @@
+// Blocking operations and close/drain semantics for the bounded queue
+// (DESIGN.md §10).
+//
+// The non-blocking operations stay the fast path: the blocking
+// variants call them in a prepare/re-check/park loop on the queue's
+// two eventcounts (notEmpty for dequeuers, notFull for enqueuers).
+// The eventcount's arm-before-recheck protocol (internal/waitq) is
+// what makes the combination correct: a value that lands after the
+// re-check finds the armed waiter and wakes it; a value that lands
+// before is found by the re-check.
+//
+// Close follows Go channel semantics, adapted to a lock-free queue:
+//
+//  1. state moves open → closing: every subsequent enqueue fails its
+//     close re-check (which sits right after the index reservation,
+//     whose fetch-and-add doubles as the fence that publishes the
+//     handle's ActiveFlag — the Dekker handshake; see ActiveFlag).
+//  2. the closer waits for in-flight enqueues to retire, via the
+//     per-handle ActiveFlag brackets — a bounded wait, because each
+//     enqueue is itself wait-free. After this point the queue's
+//     content can only shrink.
+//  3. state moves closing → sealed and both eventcounts broadcast.
+//     A dequeuer that observes sealed and then finds the queue empty
+//     may conclusively report ErrClosed: no value can land after the
+//     seal, so "empty after sealed" is a stable property.
+//
+// The two-step close is what delivers exactly-once drain: values from
+// enqueues that returned true are all present before sealed is
+// published, so blocked dequeuers drain them before any ErrClosed.
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+
+	"wcqueue/internal/waitq"
+)
+
+// ErrClosed is returned by blocking operations on a closed queue: by
+// EnqueueWait as soon as Close is called, and by DequeueWait once the
+// queue is closed and fully drained.
+var ErrClosed = errors.New("wcq: queue closed")
+
+// Queue close states. Enqueues fail from closing on; dequeuers treat
+// only sealed as conclusive (between closing and sealed an in-flight
+// enqueue may still land its value).
+const (
+	stateOpen uint32 = iota
+	stateClosing
+	stateSealed
+)
+
+// Close closes the queue: subsequent enqueues fail, and dequeuers
+// drain the remaining values before observing ErrClosed. Close blocks
+// until in-flight enqueues retire (a bounded wait — each is
+// wait-free), so every value whose enqueue reported success is
+// present, and will be delivered, before any dequeuer is told the
+// queue is done. Safe to call multiple times and from any goroutine;
+// later calls wait for the first to finish sealing.
+func (q *Queue[T]) Close() {
+	if !q.state.CompareAndSwap(stateOpen, stateClosing) {
+		for q.state.Load() != stateSealed {
+			runtime.Gosched()
+		}
+		return
+	}
+	// Quiesce: wait out every enqueue that won the race against the
+	// state flip, by scanning the tid-indexed flag arena (handles that
+	// register after the flip observe closing before touching the
+	// ring, so the scan is complete).
+	q.flags.Quiesce()
+	q.state.Store(stateSealed)
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.state.Load() != stateOpen }
+
+// EnqueueWait inserts v, blocking while the queue is full. It returns
+// nil on success, ErrClosed if the queue is (or becomes) closed before
+// the value is inserted, or ctx.Err() if the context is done first.
+func (q *Queue[T]) EnqueueWait(ctx context.Context, h *Handle, v T) error {
+	if q.Enqueue(h, v) {
+		return nil
+	}
+	if q.state.Load() != stateOpen {
+		return ErrClosed
+	}
+	for i := 0; waitq.Spin(i); i++ {
+		if q.Enqueue(h, v) {
+			return nil
+		}
+		if q.state.Load() != stateOpen {
+			return ErrClosed
+		}
+	}
+	w := h.waiter()
+	for {
+		q.notFull.Prepare(w)
+		if q.Enqueue(h, v) {
+			q.notFull.Cancel(w)
+			return nil
+		}
+		if q.state.Load() != stateOpen {
+			q.notFull.Cancel(w)
+			return ErrClosed
+		}
+		if err := q.notFull.Wait(ctx, w); err != nil {
+			return err
+		}
+	}
+}
+
+// DequeueWait removes the oldest value, blocking while the queue is
+// empty. It returns the value, ErrClosed once the queue is closed and
+// drained, or ctx.Err() if the context is done first. Values already
+// in the queue are always delivered before ErrClosed.
+func (q *Queue[T]) DequeueWait(ctx context.Context, h *Handle) (T, error) {
+	if v, ok := q.Dequeue(h); ok {
+		return v, nil
+	}
+	for i := 0; waitq.Spin(i); i++ {
+		if v, ok := q.Dequeue(h); ok {
+			return v, nil
+		}
+		if q.state.Load() == stateSealed {
+			break
+		}
+	}
+	w := h.waiter()
+	for {
+		q.notEmpty.Prepare(w)
+		if v, ok := q.Dequeue(h); ok {
+			q.notEmpty.Cancel(w)
+			return v, nil
+		}
+		if q.state.Load() == stateSealed {
+			q.notEmpty.Cancel(w)
+			// The empty observation above may predate the seal; one
+			// attempt after observing sealed is conclusive (nothing
+			// can land past the seal).
+			if v, ok := q.Dequeue(h); ok {
+				return v, nil
+			}
+			var zero T
+			return zero, ErrClosed
+		}
+		if err := q.notEmpty.Wait(ctx, w); err != nil {
+			var zero T
+			return zero, err
+		}
+	}
+}

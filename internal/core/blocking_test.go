@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newBlockingQueue(t *testing.T, order uint) *Queue[uint64] {
+	t.Helper()
+	q, err := NewQueue[uint64](order, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func register(t *testing.T, q *Queue[uint64]) *Handle {
+	t.Helper()
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestCloseFailsEnqueues: after Close, every enqueue path reports
+// failure and EnqueueWait returns ErrClosed without blocking.
+func TestCloseFailsEnqueues(t *testing.T) {
+	q := newBlockingQueue(t, 4)
+	h := register(t, q)
+	defer q.Unregister(h)
+	if !q.Enqueue(h, 1) {
+		t.Fatal("enqueue on open queue failed")
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if q.Enqueue(h, 2) {
+		t.Fatal("enqueue succeeded after Close")
+	}
+	if n := q.EnqueueBatch(h, []uint64{3, 4}); n != 0 {
+		t.Fatalf("EnqueueBatch after Close inserted %d", n)
+	}
+	if err := q.EnqueueWait(context.Background(), h, 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("EnqueueWait after Close = %v, want ErrClosed", err)
+	}
+	// The pre-close value still drains.
+	if v, err := q.DequeueWait(context.Background(), h); err != nil || v != 1 {
+		t.Fatalf("drain = (%d, %v), want (1, nil)", v, err)
+	}
+	if _, err := q.DequeueWait(context.Background(), h); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained dequeue = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseIdempotent: double Close and concurrent Close are safe.
+func TestCloseIdempotent(t *testing.T) {
+	q := newBlockingQueue(t, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); q.Close() }()
+	}
+	wg.Wait()
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("not closed")
+	}
+}
+
+// TestDequeueWaitWakesOnEnqueue parks a consumer on an empty queue and
+// wakes it with a plain non-blocking Enqueue — the API-mixing case: a
+// producer that never uses the blocking API must still wake parked
+// consumers.
+func TestDequeueWaitWakesOnEnqueue(t *testing.T) {
+	q := newBlockingQueue(t, 4)
+	hc := register(t, q)
+	hp := register(t, q)
+	got := make(chan uint64, 1)
+	go func() {
+		v, err := q.DequeueWait(context.Background(), hc)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer park
+	if !q.Enqueue(hp, 42) {
+		t.Fatal("enqueue failed")
+	}
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked consumer missed the enqueue")
+	}
+}
+
+// TestEnqueueWaitWakesOnDequeue parks a producer on a full queue and
+// frees a slot with a plain Dequeue.
+func TestEnqueueWaitWakesOnDequeue(t *testing.T) {
+	q := newBlockingQueue(t, 2)
+	hp := register(t, q)
+	hc := register(t, q)
+	for i := uint64(0); i < uint64(q.Cap()); i++ {
+		if !q.Enqueue(hp, i) {
+			t.Fatalf("fill enqueue %d failed", i)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.EnqueueWait(context.Background(), hp, 99) }()
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := q.Dequeue(hc); !ok {
+		t.Fatal("dequeue from full queue failed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked producer missed the freed slot")
+	}
+}
+
+// TestCloseWakesParkedWaiters parks a consumer (empty queue) and a
+// producer (full queue is not needed — use a second full queue) and
+// closes; both must return ErrClosed.
+func TestCloseWakesParkedWaiters(t *testing.T) {
+	empty := newBlockingQueue(t, 4)
+	he := register(t, empty)
+	full := newBlockingQueue(t, 2)
+	hf := register(t, full)
+	for i := uint64(0); i < uint64(full.Cap()); i++ {
+		full.Enqueue(hf, i)
+	}
+	cerr := make(chan error, 1)
+	perr := make(chan error, 1)
+	go func() {
+		_, err := empty.DequeueWait(context.Background(), he)
+		cerr <- err
+	}()
+	go func() { perr <- full.EnqueueWait(context.Background(), hf, 99) }()
+	time.Sleep(10 * time.Millisecond)
+	empty.Close()
+	full.Close()
+	for name, ch := range map[string]chan error{"dequeuer": cerr, "enqueuer": perr} {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("%s woke with %v, want ErrClosed", name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("Close stranded the parked %s", name)
+		}
+	}
+}
+
+// TestDequeueWaitContextCancel unblocks a parked consumer via context.
+func TestDequeueWaitContextCancel(t *testing.T) {
+	q := newBlockingQueue(t, 4)
+	h := register(t, q)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.DequeueWait(ctx, h)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not unblock DequeueWait")
+	}
+	// The queue still works afterwards.
+	if !q.Enqueue(h, 7) {
+		t.Fatal("enqueue after canceled wait failed")
+	}
+	if v, err := q.DequeueWait(context.Background(), h); err != nil || v != 7 {
+		t.Fatalf("got (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+// TestCloseDrainExactlyOnce is the close/drain ordering contract under
+// concurrency: producers enqueue until Close cuts them off; every
+// value whose enqueue reported success is delivered exactly once, and
+// every consumer ends with ErrClosed. Runs under -race in CI.
+func TestCloseDrainExactlyOnce(t *testing.T) {
+	const producers, consumers = 3, 3
+	q := newBlockingQueue(t, 10)
+	var accepted atomic.Uint64
+	var wg sync.WaitGroup
+	streams := make([][]uint64, consumers)
+
+	for c := 0; c < consumers; c++ {
+		h := register(t, q)
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			var local []uint64
+			for {
+				v, err := q.DequeueWait(context.Background(), h)
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("consumer %d: %v", c, err)
+					}
+					streams[c] = local
+					return
+				}
+				local = append(local, v)
+			}
+		}(c, h)
+	}
+
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		h := register(t, q)
+		pwg.Add(1)
+		go func(p int, h *Handle) {
+			defer pwg.Done()
+			defer q.Unregister(h)
+			for s := uint64(0); ; s++ {
+				err := q.EnqueueWait(context.Background(), h, uint64(p)<<32|s)
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+				accepted.Add(1)
+			}
+		}(p, h)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let traffic flow
+	q.Close()
+	pwg.Wait()
+	wg.Wait()
+
+	seen := make(map[uint64]bool)
+	for _, s := range streams {
+		for _, v := range s {
+			if seen[v] {
+				t.Fatalf("value %#x delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if uint64(len(seen)) != accepted.Load() {
+		t.Fatalf("accepted %d values, delivered %d", accepted.Load(), len(seen))
+	}
+}
+
+// TestDequeueWaitDeliversBacklogBeforeErrClosed: a closed queue with
+// content must hand out every value, in FIFO order for a single
+// consumer, before reporting ErrClosed.
+func TestDequeueWaitDeliversBacklogBeforeErrClosed(t *testing.T) {
+	q := newBlockingQueue(t, 6)
+	h := register(t, q)
+	defer q.Unregister(h)
+	const n = 40
+	for i := uint64(0); i < n; i++ {
+		if err := q.EnqueueWait(context.Background(), h, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	for i := uint64(0); i < n; i++ {
+		v, err := q.DequeueWait(context.Background(), h)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("got %d, want %d", v, i)
+		}
+	}
+	if _, err := q.DequeueWait(context.Background(), h); !errors.Is(err, ErrClosed) {
+		t.Fatalf("after backlog: %v, want ErrClosed", err)
+	}
+}
+
+// TestEnqueueWaitFullThenClose: producers blocked on a full queue get
+// ErrClosed (not a hang, not a spurious success) when Close arrives
+// while consumers never drain.
+func TestEnqueueWaitFullThenClose(t *testing.T) {
+	q := newBlockingQueue(t, 1)
+	h := register(t, q)
+	defer q.Unregister(h)
+	for i := uint64(0); i < uint64(q.Cap()); i++ {
+		q.Enqueue(h, i)
+	}
+	const blocked = 3
+	errc := make(chan error, blocked)
+	for i := 0; i < blocked; i++ {
+		hp := register(t, q)
+		go func(hp *Handle) {
+			defer q.Unregister(hp)
+			errc <- q.EnqueueWait(context.Background(), hp, 100)
+		}(hp)
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < blocked; i++ {
+		select {
+		case err := <-errc:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("blocked producer: %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close stranded a blocked producer")
+		}
+	}
+}

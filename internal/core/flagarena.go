@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// flagChunkSize is the number of ActiveFlags per arena chunk. With
+// cacheline-padded flags a chunk is 4KiB, so the arena costs one page
+// per 64 handles of peak concurrency.
+const flagChunkSize = 64
+
+// paddedActiveFlag keeps each handle's flag on its own cacheline: the
+// flag is written on every enqueue by its owner, and unpadded
+// neighbors would put independent handles' hot stores on one line.
+type paddedActiveFlag struct {
+	ActiveFlag
+	_ [60]byte
+}
+
+type flagChunk struct {
+	flags [flagChunkSize]paddedActiveFlag
+}
+
+// FlagArena is a tid-indexed, chunked, grow-only store of ActiveFlags
+// — the close/drain protocol's registry of "who might be inside an
+// enqueue" (DESIGN.md §10). It exists so registration costs nothing
+// beyond one atomic chunk-directory load (no lock, no map, and —
+// critically — no strong reference to the Handle, which would break
+// the implicit-handle pool's finalizer-based slot reclamation by
+// keeping GC-evicted handles reachable forever). Flag addresses are
+// stable: chunks are published once and never unpublished, exactly
+// like the record arena (DESIGN.md §9).
+type FlagArena struct {
+	chunks []atomic.Pointer[flagChunk]
+}
+
+// NewFlagArena sizes the chunk directory for maxHandles slots.
+func NewFlagArena(maxHandles int) FlagArena {
+	n := (maxHandles + flagChunkSize - 1) / flagChunkSize
+	return FlagArena{chunks: make([]atomic.Pointer[flagChunk], n)}
+}
+
+// Get returns tid's flag, materializing its chunk on first use. The
+// returned pointer is valid for the arena's lifetime; a recycled tid
+// reuses the same flag (always clear between owners — Exit runs
+// before any Unregister can).
+func (a *FlagArena) Get(tid int) *ActiveFlag {
+	ci := tid / flagChunkSize
+	c := a.chunks[ci].Load()
+	if c == nil {
+		fresh := new(flagChunk)
+		if a.chunks[ci].CompareAndSwap(nil, fresh) {
+			c = fresh
+		} else {
+			c = a.chunks[ci].Load()
+		}
+	}
+	return &c.flags[tid%flagChunkSize].ActiveFlag
+}
+
+// Quiesce blocks until every flag in the arena is clear — the
+// closer's wait for in-flight enqueues. The wait is bounded: each
+// flagged operation is itself wait-free. Visibility: an enqueue that
+// will land a value saw state==open after setting its flag, which
+// (seq-cst) orders the flag store — and the chunk publish before it —
+// ahead of this scan, so the scan cannot miss it.
+func (a *FlagArena) Quiesce() {
+	for i := range a.chunks {
+		c := a.chunks[i].Load()
+		if c == nil {
+			continue
+		}
+		for j := range c.flags {
+			for c.flags[j].Active() {
+				runtime.Gosched()
+			}
+		}
+	}
+}

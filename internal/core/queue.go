@@ -1,6 +1,12 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wcqueue/internal/atomicx"
+	"wcqueue/internal/waitq"
+)
 
 // Queue is a bounded wait-free MPMC queue of values of type T, built
 // from two WCQ rings by indirection (Figure 2): fq holds free indices,
@@ -10,6 +16,21 @@ type Queue[T any] struct {
 	aq   *WCQ
 	fq   *WCQ
 	data []T
+
+	// Blocking layer (blocking.go, DESIGN.md §10). The eventcounts add
+	// one read-shared atomic load to each successful fast-path
+	// operation while no waiter is parked; the close state adds one
+	// load plus the handle-local enqActive bracket to enqueues.
+	notEmpty waitq.EventCount // signaled after values land
+	notFull  waitq.EventCount // signaled after slots free up
+	state    atomic.Uint32    // stateOpen → stateClosing → stateSealed
+
+	// flags is the tid-indexed ActiveFlag arena Close scans to wait
+	// out in-flight enqueues. Deliberately not a handle registry: it
+	// holds no reference to any Handle, so the implicit-handle pool's
+	// finalizer-based slot reclamation keeps working, and registration
+	// pays one atomic load, not a lock.
+	flags FlagArena
 }
 
 // NewQueue creates a bounded wait-free queue with capacity 2^order
@@ -25,7 +46,11 @@ func NewQueue[T any](order uint, opts Options) (*Queue[T], error) {
 		return nil, fmt.Errorf("core: allocating fq: %w", err)
 	}
 	fq.InitFull()
-	return &Queue[T]{aq: aq, fq: fq, data: make([]T, 1<<order)}, nil
+	maxHandles := opts.MaxHandles
+	if maxHandles <= 0 {
+		maxHandles = int(atomicx.MaxOwners)
+	}
+	return &Queue[T]{aq: aq, fq: fq, data: make([]T, 1<<order), flags: NewFlagArena(maxHandles)}, nil
 }
 
 // MustQueue is NewQueue that panics on error.
@@ -45,6 +70,23 @@ type Handle struct {
 	// Owned by the handle's goroutine, so reuse is race-free and the
 	// batched hot path stays allocation-free.
 	scratch []uint64
+	// active points to the handle's slot in the queue's FlagArena; it
+	// brackets in-flight enqueues so Close can linearize after them
+	// (blocking.go). Written only by the owner; free on TSO fast paths
+	// (see ActiveFlag).
+	active *ActiveFlag
+	// w is the handle's parking token for the blocking operations,
+	// allocated on first blocking call. Handle-local.
+	w *waitq.Waiter
+}
+
+// waiter returns the handle's parking token, allocating it on first
+// use so the non-blocking-only workloads never pay for it.
+func (h *Handle) waiter() *waitq.Waiter {
+	if h.w == nil {
+		h.w = waitq.NewWaiter()
+	}
+	return h.w
 }
 
 // buf returns the handle's scratch buffer with capacity ≥ k.
@@ -64,7 +106,7 @@ func (q *Queue[T]) Register() (*Handle, error) {
 		return nil, err
 	}
 	q.fq.rec(tid)
-	return &Handle{tid: tid}, nil
+	return &Handle{tid: tid, active: q.flags.Get(tid)}, nil
 }
 
 // Unregister releases the handle's slot.
@@ -83,19 +125,35 @@ func (q *Queue[T]) HandleHighWater() int { return q.aq.HandleHighWater() }
 // Cap returns the queue capacity n.
 func (q *Queue[T]) Cap() int { return len(q.data) }
 
-// Enqueue inserts v. It returns false if the queue is full. Wait-free.
+// Enqueue inserts v. It returns false if the queue is full or closed.
+// Wait-free. The active bracket (two uncontended handle-local stores,
+// plain on TSO) is what lets Close linearize after in-flight
+// enqueues; the state check and the waiter wakeup are one read-shared
+// load each while the queue is open with nobody parked.
 func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
+	h.active.Enter()
 	index, ok := q.fq.Dequeue(h.tid)
 	if !ok {
+		h.active.Exit()
 		return false // no free index: full
+	}
+	// Dekker re-check: the fetch-and-add that won the index is a
+	// seq-cst RMW, so h.active is globally visible before this load —
+	// Close cannot have missed this enqueue and sealed early.
+	if q.state.Load() != stateOpen {
+		q.fq.Enqueue(h.tid, index) // closed: return the index, no value lands
+		h.active.Exit()
+		return false
 	}
 	q.data[index] = v
 	q.aq.Enqueue(h.tid, index)
+	h.active.Exit()
+	q.notEmpty.Signal()
 	return true
 }
 
 // Dequeue removes the oldest value, or returns ok=false when empty.
-// Wait-free.
+// Dequeues keep working after Close until the queue drains. Wait-free.
 func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
 	index, ok := q.aq.Dequeue(h.tid)
 	if !ok {
@@ -105,6 +163,7 @@ func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
 	var zero T
 	q.data[index] = zero
 	q.fq.Enqueue(h.tid, index)
+	q.notFull.Signal()
 	return v, true
 }
 
@@ -116,15 +175,26 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
 	if len(vs) == 0 {
 		return 0
 	}
+	h.active.Enter()
 	idx := h.buf(len(vs))
 	n := q.fq.DequeueBatch(h.tid, idx)
 	if n == 0 {
+		h.active.Exit()
 		return 0 // no free indices: full
+	}
+	// Dekker re-check after the batch reservation's fetch-and-add; see
+	// Enqueue.
+	if q.state.Load() != stateOpen {
+		q.fq.EnqueueBatch(h.tid, idx[:n]) // closed: return the indices
+		h.active.Exit()
+		return 0
 	}
 	for i := 0; i < n; i++ {
 		q.data[idx[i]] = vs[i]
 	}
 	q.aq.EnqueueBatch(h.tid, idx[:n])
+	h.active.Exit()
+	q.notEmpty.SignalN(n)
 	return n
 }
 
@@ -145,6 +215,7 @@ func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 		q.data[idx[i]] = zero
 	}
 	q.fq.EnqueueBatch(h.tid, idx[:n])
+	q.notFull.SignalN(n)
 	return n
 }
 

@@ -3,6 +3,8 @@
 // repository uniformly.
 package queueiface
 
+import "context"
+
 // Handle is an opaque per-thread token. Queues that need per-thread
 // state (wCQ, YMC, CRTurn, CCQueue) return meaningful handles; the
 // others return a shared no-op handle. It is an alias so that methods
@@ -42,4 +44,23 @@ type BatchQueue interface {
 	// DequeueBatch removes up to len(out) of the oldest values in
 	// FIFO order, returning how many were dequeued.
 	DequeueBatch(h Handle, out []uint64) int
+}
+
+// BlockingQueue is the optional blocking extension (DESIGN.md §10):
+// queues with parking waits and close/drain semantics implement it
+// (the wCQ family). The blocking conformance suite and the wcqstress
+// -block mode type-assert for it.
+type BlockingQueue interface {
+	Queue
+	// Close closes the queue: subsequent enqueues fail and dequeuers
+	// drain the remaining values before observing the closed error.
+	Close()
+	// EnqueueWait inserts v, blocking while the queue is full. It
+	// returns nil on success, a closed error (errors.Is against
+	// wcq.ErrClosed / core.ErrClosed) after Close, or ctx.Err().
+	EnqueueWait(ctx context.Context, h Handle, v uint64) error
+	// DequeueWait removes the oldest value, blocking while the queue
+	// is empty. It returns the closed error once the queue is closed
+	// and drained, or ctx.Err().
+	DequeueWait(ctx context.Context, h Handle) (uint64, error)
 }

@@ -1,0 +1,224 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wcqueue/internal/check"
+	"wcqueue/internal/core"
+	"wcqueue/internal/queues/queueiface"
+)
+
+// blockingNames are the queues implementing queueiface.BlockingQueue,
+// probed from the registry so a newly registered blocking queue is
+// covered automatically.
+var blockingNames = BlockingNames()
+
+func buildBlocking(t *testing.T, name string, threads int) queueiface.BlockingQueue {
+	t.Helper()
+	q := build(t, name, threads)
+	bq, ok := q.(queueiface.BlockingQueue)
+	if !ok {
+		t.Fatalf("%s does not implement BlockingQueue", name)
+	}
+	return bq
+}
+
+// TestBlockingNamesCoverWCQFamily pins the probe: every wCQ-family
+// shape must expose the blocking API.
+func TestBlockingNamesCoverWCQFamily(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range blockingNames {
+		have[n] = true
+	}
+	for _, want := range []string{"wCQ", "wCQ-Implicit", "wCQ-Striped", "wCQ-Unbounded"} {
+		if !have[want] {
+			t.Fatalf("%s missing from BlockingNames() (have %v)", want, blockingNames)
+		}
+	}
+}
+
+// TestBlockingConformanceWakeup parks a consumer on every blocking
+// queue and wakes it with a plain non-blocking enqueue from another
+// handle — the wakeup obligation holds regardless of which API the
+// producer uses. A lost wakeup surfaces as a context timeout.
+func TestBlockingConformanceWakeup(t *testing.T) {
+	for _, name := range blockingNames {
+		t.Run(name, func(t *testing.T) {
+			q := buildBlocking(t, name, 2)
+			hc, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q.Unregister(hc)
+			hp, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q.Unregister(hp)
+			const rounds = 50
+			got := make(chan uint64, 1)
+			for i := uint64(0); i < rounds; i++ {
+				go func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					v, err := q.DequeueWait(ctx, hc)
+					if err != nil {
+						t.Errorf("DequeueWait: %v", err)
+					}
+					got <- v
+				}()
+				if i%2 == 0 {
+					time.Sleep(500 * time.Microsecond) // consumer likely parked
+				}
+				if !q.Enqueue(hp, i) {
+					t.Fatalf("enqueue %d failed", i)
+				}
+				select {
+				case v := <-got:
+					if v != i {
+						t.Fatalf("round %d: got %d", i, v)
+					}
+				case <-time.After(30 * time.Second):
+					t.Fatalf("round %d: parked consumer stranded", i)
+				}
+			}
+		})
+	}
+}
+
+// TestBlockingConformanceCloseDrain is the close/drain ordering
+// contract across every blocking shape: producers push through
+// EnqueueWait until Close cuts them off; consumers drain through
+// DequeueWait until the closed error. Every accepted value must be
+// delivered exactly once, per-producer FIFO order must hold within
+// each consumer stream, and each producer's delivered set must be the
+// exact prefix it had accepted. Runs under -race in CI.
+func TestBlockingConformanceCloseDrain(t *testing.T) {
+	const producers, consumers = 3, 3
+	for _, name := range blockingNames {
+		t.Run(name, func(t *testing.T) {
+			q := buildBlocking(t, name, producers+consumers)
+			accepted := make([]uint64, producers)
+			streams := make([][]uint64, consumers)
+			var wg, pwg sync.WaitGroup
+
+			for c := 0; c < consumers; c++ {
+				h, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(c int, h queueiface.Handle) {
+					defer wg.Done()
+					defer q.Unregister(h)
+					var local []uint64
+					for {
+						v, err := q.DequeueWait(context.Background(), h)
+						if err != nil {
+							if !errors.Is(err, core.ErrClosed) {
+								t.Errorf("consumer %d: %v", c, err)
+							}
+							streams[c] = local
+							return
+						}
+						local = append(local, v)
+					}
+				}(c, h)
+			}
+			for p := 0; p < producers; p++ {
+				h, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pwg.Add(1)
+				go func(p int, h queueiface.Handle) {
+					defer pwg.Done()
+					defer q.Unregister(h)
+					for s := uint64(0); ; s++ {
+						err := q.EnqueueWait(context.Background(), h, check.Encode(p, s))
+						if err != nil {
+							if !errors.Is(err, core.ErrClosed) {
+								t.Errorf("producer %d: %v", p, err)
+							}
+							return
+						}
+						atomic.AddUint64(&accepted[p], 1)
+					}
+				}(p, h)
+			}
+
+			time.Sleep(15 * time.Millisecond)
+			q.Close()
+			pwg.Wait()
+			wg.Wait()
+
+			// Exactly-once over exactly the accepted prefixes, with
+			// per-producer order intact inside each stream.
+			seen := make([]map[uint64]bool, producers)
+			for p := range seen {
+				seen[p] = make(map[uint64]bool)
+			}
+			for _, s := range streams {
+				last := make([]int64, producers)
+				for p := range last {
+					last[p] = -1
+				}
+				for _, v := range s {
+					p, seq := check.Decode(v)
+					if p < 0 || p >= producers {
+						t.Fatalf("corrupt value %#x", v)
+					}
+					if seen[p][seq] {
+						t.Fatalf("value p%d/%d delivered twice", p, seq)
+					}
+					seen[p][seq] = true
+					if int64(seq) <= last[p] {
+						t.Fatalf("producer %d order violation: %d after %d", p, seq, last[p])
+					}
+					last[p] = int64(seq)
+				}
+			}
+			for p := 0; p < producers; p++ {
+				acc := atomic.LoadUint64(&accepted[p])
+				if uint64(len(seen[p])) != acc {
+					t.Fatalf("producer %d: accepted %d, delivered %d", p, acc, len(seen[p]))
+				}
+				for s := uint64(0); s < acc; s++ {
+					if !seen[p][s] {
+						t.Fatalf("producer %d: accepted value %d never delivered", p, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBlockingConformanceEnqueueWaitAfterClose: EnqueueWait on a
+// closed queue returns the closed error without blocking, on every
+// shape.
+func TestBlockingConformanceEnqueueWaitAfterClose(t *testing.T) {
+	for _, name := range blockingNames {
+		t.Run(name, func(t *testing.T) {
+			q := buildBlocking(t, name, 1)
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q.Unregister(h)
+			q.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := q.EnqueueWait(ctx, h, 1); !errors.Is(err, core.ErrClosed) {
+				t.Fatalf("EnqueueWait after Close = %v, want ErrClosed", err)
+			}
+			if _, err := q.DequeueWait(ctx, h); !errors.Is(err, core.ErrClosed) {
+				t.Fatalf("DequeueWait on closed empty queue = %v, want ErrClosed", err)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -84,22 +85,41 @@ func ConformingNames() []string {
 	return names
 }
 
-// BatchNames lists every conforming queue whose build implements
-// queueiface.BatchQueue, probed from the builder table (a tiny build
-// per name) so a newly registered batched queue picks up batch
-// conformance and benchmarks automatically.
-func BatchNames() []string {
+// namesImplementing probes the builder table with a tiny build per
+// conforming name and keeps the names whose queues satisfy the given
+// optional-interface check — so a newly registered queue picks up the
+// corresponding conformance suites and benchmarks automatically.
+func namesImplementing(implements func(queueiface.Queue) bool) []string {
 	var names []string
 	for _, n := range ConformingNames() {
 		q, err := New(n, Config{Threads: 1, RingOrder: 4})
 		if err != nil {
 			continue
 		}
-		if _, ok := q.(queueiface.BatchQueue); ok {
+		if implements(q) {
 			names = append(names, n)
 		}
 	}
 	return names
+}
+
+// BatchNames lists every conforming queue whose build implements
+// queueiface.BatchQueue.
+func BatchNames() []string {
+	return namesImplementing(func(q queueiface.Queue) bool {
+		_, ok := q.(queueiface.BatchQueue)
+		return ok
+	})
+}
+
+// BlockingNames lists every conforming queue whose build implements
+// queueiface.BlockingQueue — the set the blocking conformance suite
+// and wcqstress -block drive.
+func BlockingNames() []string {
+	return namesImplementing(func(q queueiface.Queue) bool {
+		_, ok := q.(queueiface.BlockingQueue)
+		return ok
+	})
 }
 
 // PaperOrder is the legend order of the paper's figures.
@@ -209,6 +229,16 @@ func (a *wcqAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
 	return a.q.DequeueBatch(h.(*core.Handle), out)
 }
 
+// Close, EnqueueWait and DequeueWait implement
+// queueiface.BlockingQueue.
+func (a *wcqAdapter) Close() { a.q.Close() }
+func (a *wcqAdapter) EnqueueWait(ctx context.Context, h queueiface.Handle, v uint64) error {
+	return a.q.EnqueueWait(ctx, h.(*core.Handle), v)
+}
+func (a *wcqAdapter) DequeueWait(ctx context.Context, h queueiface.Handle) (uint64, error) {
+	return a.q.DequeueWait(ctx, h.(*core.Handle))
+}
+
 // Stats exposes the wait-free slow-path counters (experiment A3).
 func (a *wcqAdapter) Stats() core.Stats { return a.q.Stats() }
 
@@ -239,6 +269,13 @@ func (a *implicitAdapter) DequeueBatch(_ queueiface.Handle, out []uint64) int {
 }
 func (a *implicitAdapter) Footprint() int64 { return a.q.Footprint() }
 func (a *implicitAdapter) Name() string     { return "wCQ-Implicit" }
+func (a *implicitAdapter) Close()           { a.q.Close() }
+func (a *implicitAdapter) EnqueueWait(ctx context.Context, _ queueiface.Handle, v uint64) error {
+	return a.q.EnqueueWait(ctx, v)
+}
+func (a *implicitAdapter) DequeueWait(ctx context.Context, _ queueiface.Handle) (uint64, error) {
+	return a.q.DequeueWait(ctx)
+}
 
 func stripedOpts(c Config) []wcq.Option {
 	if c.EmulatedFAA {
@@ -258,15 +295,13 @@ func (a *unboundedAdapter) Unregister(h queueiface.Handle) {
 	h.(*wcq.UnboundedHandle[uint64]).Unregister()
 }
 func (a *unboundedAdapter) Enqueue(h queueiface.Handle, v uint64) bool {
-	h.(*wcq.UnboundedHandle[uint64]).Enqueue(v)
-	return true
+	return h.(*wcq.UnboundedHandle[uint64]).Enqueue(v)
 }
 func (a *unboundedAdapter) Dequeue(h queueiface.Handle) (uint64, bool) {
 	return h.(*wcq.UnboundedHandle[uint64]).Dequeue()
 }
 func (a *unboundedAdapter) EnqueueBatch(h queueiface.Handle, vs []uint64) int {
-	h.(*wcq.UnboundedHandle[uint64]).EnqueueBatch(vs)
-	return len(vs)
+	return h.(*wcq.UnboundedHandle[uint64]).EnqueueBatch(vs)
 }
 func (a *unboundedAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
 	return h.(*wcq.UnboundedHandle[uint64]).DequeueBatch(out)
@@ -275,6 +310,13 @@ func (a *unboundedAdapter) Footprint() int64     { return a.q.Footprint() }
 func (a *unboundedAdapter) PeakFootprint() int64 { return a.q.PeakFootprint() }
 func (a *unboundedAdapter) Name() string         { return "wCQ-Unbounded" }
 func (a *unboundedAdapter) HandleHighWater() int { return a.q.HandleHighWater() }
+func (a *unboundedAdapter) Close()               { a.q.Close() }
+func (a *unboundedAdapter) EnqueueWait(ctx context.Context, h queueiface.Handle, v uint64) error {
+	return h.(*wcq.UnboundedHandle[uint64]).EnqueueWait(ctx, v)
+}
+func (a *unboundedAdapter) DequeueWait(ctx context.Context, h queueiface.Handle) (uint64, error) {
+	return h.(*wcq.UnboundedHandle[uint64]).DequeueWait(ctx)
+}
 
 // RingStats exposes the recycling counters for the ring-churn
 // benchmark (bench.ringStatser).
@@ -306,6 +348,13 @@ func (a *stripedAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
 func (a *stripedAdapter) Footprint() int64     { return a.q.Footprint() }
 func (a *stripedAdapter) Name() string         { return "wCQ-Striped" }
 func (a *stripedAdapter) HandleHighWater() int { return a.q.HandleHighWater() }
+func (a *stripedAdapter) Close()               { a.q.Close() }
+func (a *stripedAdapter) EnqueueWait(ctx context.Context, h queueiface.Handle, v uint64) error {
+	return h.(*wcq.StripedHandle[uint64]).EnqueueWait(ctx, v)
+}
+func (a *stripedAdapter) DequeueWait(ctx context.Context, h queueiface.Handle) (uint64, error) {
+	return h.(*wcq.StripedHandle[uint64]).DequeueWait(ctx)
+}
 
 // scqAdapter exposes scq.Queue through queueiface.
 type scqAdapter struct {

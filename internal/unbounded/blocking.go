@@ -1,0 +1,101 @@
+// Blocking operations and close/drain semantics for the unbounded
+// queue, mirroring core's (DESIGN.md §10). The queue can never fill,
+// so only dequeuers park; EnqueueWait exists for API symmetry and
+// reduces to a closed check plus the lock-free enqueue.
+package unbounded
+
+import (
+	"context"
+	"runtime"
+
+	"wcqueue/internal/core"
+	"wcqueue/internal/waitq"
+)
+
+// Close states, as in core: enqueues fail from closing on; only
+// sealed (published after in-flight enqueues quiesce) lets a dequeuer
+// turn an empty observation into ErrClosed.
+const (
+	stateOpen uint32 = iota
+	stateClosing
+	stateSealed
+)
+
+// waiter returns the handle's parking token, allocated on first use.
+func (h *Handle) waiter() *waitq.Waiter {
+	if h.w == nil {
+		h.w = waitq.NewWaiter()
+	}
+	return h.w
+}
+
+// Close closes the queue: subsequent enqueues fail and dequeuers drain
+// the remaining values before observing core.ErrClosed. Blocks until
+// in-flight enqueues retire, so every value whose enqueue reported
+// success is delivered. Idempotent; concurrent callers wait for the
+// first to finish sealing.
+func (q *Queue[T]) Close() {
+	if !q.state.CompareAndSwap(stateOpen, stateClosing) {
+		for q.state.Load() != stateSealed {
+			runtime.Gosched()
+		}
+		return
+	}
+	q.flags.Quiesce()
+	q.state.Store(stateSealed)
+	q.notEmpty.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.state.Load() != stateOpen }
+
+// EnqueueWait appends v. The queue is never full, so the only blocking
+// this does is none at all: it returns nil on success or
+// core.ErrClosed if the queue is closed. ctx is accepted for signature
+// symmetry with the bounded shapes.
+func (q *Queue[T]) EnqueueWait(ctx context.Context, h *Handle, v T) error {
+	if q.Enqueue(h, v) {
+		return nil
+	}
+	return core.ErrClosed
+}
+
+// DequeueWait removes the oldest value, blocking while the queue is
+// empty. Returns the value, core.ErrClosed once the queue is closed
+// and drained, or ctx.Err() if the context is done first. Values
+// already in the queue are always delivered before ErrClosed.
+func (q *Queue[T]) DequeueWait(ctx context.Context, h *Handle) (T, error) {
+	if v, ok := q.Dequeue(h); ok {
+		return v, nil
+	}
+	for i := 0; waitq.Spin(i); i++ {
+		if v, ok := q.Dequeue(h); ok {
+			return v, nil
+		}
+		if q.state.Load() == stateSealed {
+			break
+		}
+	}
+	w := h.waiter()
+	for {
+		q.notEmpty.Prepare(w)
+		if v, ok := q.Dequeue(h); ok {
+			q.notEmpty.Cancel(w)
+			return v, nil
+		}
+		if q.state.Load() == stateSealed {
+			q.notEmpty.Cancel(w)
+			// One attempt after observing sealed is conclusive: no
+			// enqueue can land past the seal.
+			if v, ok := q.Dequeue(h); ok {
+				return v, nil
+			}
+			var zero T
+			return zero, core.ErrClosed
+		}
+		if err := q.notEmpty.Wait(ctx, w); err != nil {
+			var zero T
+			return zero, err
+		}
+	}
+}

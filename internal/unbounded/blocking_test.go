@@ -1,0 +1,221 @@
+package unbounded
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wcqueue/internal/core"
+)
+
+// TestCloseFailsEnqueuesAndDrains covers the close contract end to
+// end on one goroutine: enqueues fail after Close, the backlog drains
+// in FIFO order, then ErrClosed.
+func TestCloseFailsEnqueuesAndDrains(t *testing.T) {
+	q := Must[uint64](3, 0, core.Options{}) // small rings: backlog spans several
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Unregister(h)
+	const n = 50
+	for i := uint64(0); i < n; i++ {
+		if !q.Enqueue(h, i) {
+			t.Fatalf("enqueue %d failed on open queue", i)
+		}
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if q.Enqueue(h, 999) {
+		t.Fatal("enqueue succeeded after Close")
+	}
+	if got := q.EnqueueBatch(h, []uint64{1, 2}); got != 0 {
+		t.Fatalf("EnqueueBatch after Close = %d", got)
+	}
+	if err := q.EnqueueWait(context.Background(), h, 999); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("EnqueueWait after Close = %v", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, err := q.DequeueWait(context.Background(), h)
+		if err != nil || v != i {
+			t.Fatalf("drain %d: (%d, %v)", i, v, err)
+		}
+	}
+	if _, err := q.DequeueWait(context.Background(), h); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("drained dequeue = %v, want ErrClosed", err)
+	}
+}
+
+// TestDequeueWaitWakesAcrossRingHop parks a consumer and wakes it with
+// an enqueue that lands in a freshly appended ring (order-1 rings make
+// every enqueue hop), exercising the signal on the slow enqueue path.
+func TestDequeueWaitWakesAcrossRingHop(t *testing.T) {
+	q := Must[uint64](1, 0, core.Options{})
+	hc, _ := q.Register()
+	hp, _ := q.Register()
+	defer q.Unregister(hc)
+	defer q.Unregister(hp)
+	// Pre-fill and drain so head/tail sit mid-ring.
+	for i := uint64(0); i < 3; i++ {
+		q.Enqueue(hp, i)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if _, ok := q.Dequeue(hp); !ok {
+			t.Fatal("prefill drain failed")
+		}
+	}
+	got := make(chan uint64, 1)
+	go func() {
+		v, err := q.DequeueWait(context.Background(), hc)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if !q.Enqueue(hp, 7) {
+		t.Fatal("enqueue failed")
+	}
+	select {
+	case v := <-got:
+		if v != 7 {
+			t.Fatalf("got %d, want 7", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked consumer missed the enqueue")
+	}
+}
+
+// TestCloseWakesParkedConsumers parks several consumers on an empty
+// queue; Close must wake all of them with ErrClosed.
+func TestCloseWakesParkedConsumers(t *testing.T) {
+	q := Must[uint64](4, 0, core.Options{})
+	const parked = 4
+	errc := make(chan error, parked)
+	for i := 0; i < parked; i++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(h *Handle) {
+			defer q.Unregister(h)
+			_, err := q.DequeueWait(context.Background(), h)
+			errc <- err
+		}(h)
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < parked; i++ {
+		select {
+		case err := <-errc:
+			if !errors.Is(err, core.ErrClosed) {
+				t.Fatalf("parked consumer woke with %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close stranded a parked consumer")
+		}
+	}
+}
+
+// TestDequeueWaitContextCancel unblocks a parked consumer via context
+// and leaves the queue usable.
+func TestDequeueWaitContextCancel(t *testing.T) {
+	q := Must[uint64](4, 0, core.Options{})
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.DequeueWait(ctx, h)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not unblock DequeueWait")
+	}
+	q.Enqueue(h, 5)
+	if v, err := q.DequeueWait(context.Background(), h); err != nil || v != 5 {
+		t.Fatalf("after cancel: (%d, %v)", v, err)
+	}
+}
+
+// TestCloseDrainExactlyOnceAcrossRings runs the mid-run-close
+// accounting with tiny rings so the backlog spans ring hops and
+// recycling while draining. Runs under -race in CI.
+func TestCloseDrainExactlyOnceAcrossRings(t *testing.T) {
+	const producers, consumers = 3, 3
+	q := Must[uint64](2, 0, core.Options{})
+	var accepted atomic.Uint64
+	var wg, pwg sync.WaitGroup
+	streams := make([][]uint64, consumers)
+
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			var local []uint64
+			for {
+				v, err := q.DequeueWait(context.Background(), h)
+				if err != nil {
+					if !errors.Is(err, core.ErrClosed) {
+						t.Errorf("consumer %d: %v", c, err)
+					}
+					streams[c] = local
+					return
+				}
+				local = append(local, v)
+			}
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pwg.Add(1)
+		go func(p int, h *Handle) {
+			defer pwg.Done()
+			defer q.Unregister(h)
+			for s := uint64(0); ; s++ {
+				if !q.Enqueue(h, uint64(p)<<32|s) {
+					return // closed
+				}
+				accepted.Add(1)
+			}
+		}(p, h)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	pwg.Wait()
+	wg.Wait()
+
+	seen := make(map[uint64]bool)
+	for _, s := range streams {
+		for _, v := range s {
+			if seen[v] {
+				t.Fatalf("value %#x delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if uint64(len(seen)) != accepted.Load() {
+		t.Fatalf("accepted %d, delivered %d", accepted.Load(), len(seen))
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"wcqueue/internal/hazard"
 	"wcqueue/internal/memtrack"
 	"wcqueue/internal/pad"
+	"wcqueue/internal/waitq"
 )
 
 // DefaultPoolSize is the ring-pool capacity selected when the caller
@@ -58,36 +59,58 @@ type ring[T any] struct {
 	next atomic.Pointer[ring[T]]
 }
 
-// enq inserts v, or reports the ring finalized.
-func (r *ring[T]) enq(tid int, v T) bool {
+// enqResult is the outcome of one per-ring enqueue attempt.
+type enqResult int
+
+const (
+	enqOK       enqResult = iota
+	enqRingFull           // ring finalized or full: hop to a fresh ring
+	enqClosed             // queue closed: abort, nothing landed
+)
+
+// enq inserts v, reports the ring finalized, or reports the queue
+// closed. The close re-check sits after the free-index reservation:
+// that fetch-and-add is the seq-cst RMW that makes the caller's
+// ActiveFlag visible before the state load (the Dekker handshake
+// against Close — see core.ActiveFlag and DESIGN.md §10).
+func (r *ring[T]) enq(q *Queue[T], tid int, v T) enqResult {
 	index, ok := r.fq.Dequeue(tid)
 	if !ok {
 		// No free index: the ring is full. Close it so dequeuers can
 		// eventually unlink it.
 		r.aq.Finalize()
-		return false
+		return enqRingFull
+	}
+	if q.state.Load() != stateOpen {
+		r.fq.Enqueue(tid, index) // closed: return the index, no value lands
+		return enqClosed
 	}
 	r.data[index] = v
 	if !r.aq.EnqueueClosable(tid, index) {
 		r.fq.Enqueue(tid, index) // return the index; ring is abandoned
-		return false
+		return enqRingFull
 	}
-	return true
+	return enqOK
 }
 
 // enqBatch inserts up to len(vs) values, amortizing the free-ring F&A
 // over the batch (fq is never finalized, so its batched fast path is
 // always safe). The allocated ring is closable, so its inserts go
 // through scalar EnqueueClosable; a finalization mid-batch returns the
-// unused indices and reports a short count.
-func (r *ring[T]) enqBatch(h *Handle, vs []T) int {
+// unused indices and reports a short count. The close re-check
+// follows the batch reservation, as in enq.
+func (r *ring[T]) enqBatch(q *Queue[T], h *Handle, vs []T) (n int, res enqResult) {
 	idx := h.buf(len(vs))
-	n := r.fq.DequeueBatch(h.tid, idx)
+	n = r.fq.DequeueBatch(h.tid, idx)
 	if n == 0 {
 		// No free index: the ring is full. Close it so dequeuers can
 		// eventually unlink it.
 		r.aq.Finalize()
-		return 0
+		return 0, enqRingFull
+	}
+	if q.state.Load() != stateOpen {
+		r.fq.EnqueueBatch(h.tid, idx[:n]) // closed: return the indices
+		return 0, enqClosed
 	}
 	for i := 0; i < n; i++ {
 		r.data[idx[i]] = vs[i]
@@ -101,10 +124,10 @@ func (r *ring[T]) enqBatch(h *Handle, vs []T) int {
 				r.data[idx[j]] = zero
 			}
 			r.fq.EnqueueBatch(h.tid, idx[i:n])
-			return i
+			return i, enqRingFull
 		}
 	}
-	return n
+	return n, enqOK
 }
 
 // deqBatch removes up to len(out) values in FIFO order.
@@ -189,11 +212,26 @@ type Queue[T any] struct {
 	// hazard domain — flat.
 	alloc core.SlotAlloc
 	mem   memtrack.Counter
+
+	// Blocking layer (blocking.go, DESIGN.md §10): the queue is never
+	// full, so only dequeuers park. state and the tid-indexed flag
+	// arena carry the close/drain protocol, mirroring core.Queue (the
+	// arena holds no Handle references, keeping the implicit-handle
+	// pool's finalizer-based slot reclamation intact).
+	notEmpty waitq.EventCount
+	state    atomic.Uint32
+	flags    core.FlagArena
 }
 
 // Handle is a registered thread slot, valid across all rings.
 type Handle struct {
 	tid int
+	// active points to the handle's slot in the queue's flag arena,
+	// bracketing in-flight enqueues for Close quiescence; w is the
+	// parking token for blocking dequeues (blocking.go). Both are
+	// written only by the owner.
+	active *core.ActiveFlag
+	w      *waitq.Waiter
 	// hp mirrors the ring currently published in the tid's hazard
 	// slot 0. Operations leave the slot published between calls and
 	// skip the (sequentially consistent, hence costly) re-publish when
@@ -240,6 +278,7 @@ func New[T any](order uint, poolSize int, opts core.Options) (*Queue[T], error) 
 		pool:       make([]atomic.Pointer[ring[T]], poolSize),
 		statsTid:   maxHandles,
 		alloc:      core.NewSlotAlloc(maxHandles),
+		flags:      core.NewFlagArena(maxHandles),
 	}
 	// Every record chunk a ring publishes — on any ring, at any time —
 	// funnels into the shared footprint counter, keeping Footprint
@@ -393,7 +432,7 @@ func (q *Queue[T]) Register() (*Handle, error) {
 		return nil, fmt.Errorf("unbounded: %w", err)
 	}
 	q.dom.SetActive(q.alloc.Live() + 1) // +1: the reserved Stats tid
-	return &Handle{tid: tid}, nil
+	return &Handle{tid: tid, active: q.flags.Get(tid)}, nil
 }
 
 // LiveHandles returns the number of currently registered handles.
@@ -503,7 +542,8 @@ type Stats struct {
 	PoolDrops  uint64 // retired rings dropped because the pool was full
 }
 
-// Enqueue appends v. Always succeeds (unbounded); lock-free.
+// Enqueue appends v. Succeeds unless the queue is closed (the only
+// time it returns false — capacity never runs out); lock-free.
 //
 // The tail ring is hazard-protected for the whole per-ring attempt:
 // with ring reuse, an unprotected ring could be drained, unlinked,
@@ -512,7 +552,8 @@ type Stats struct {
 // protection also makes the next-append CAS ABA-free — a protected
 // ring cannot be recycled, so tail.next can only transition nil →
 // successor once.
-func (q *Queue[T]) Enqueue(h *Handle, v T) {
+func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
+	h.active.Enter()
 	tid := h.tid
 	for {
 		lt := q.protectTail(h)
@@ -520,20 +561,33 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) {
 			q.tail.CompareAndSwap(lt, n) // help advance
 			continue
 		}
-		if lt.enq(tid, v) {
-			return
+		switch lt.enq(q, tid, v) {
+		case enqOK:
+			h.active.Exit()
+			q.notEmpty.Signal()
+			return true
+		case enqClosed:
+			h.active.Exit()
+			return false
 		}
 		// Ring finalized: append a recycled or fresh ring carrying v.
 		nr, err := q.getRing(tid)
 		if err != nil {
 			panic(err) // allocation of a fixed-size ring cannot fail
 		}
-		if !nr.enq(tid, v) {
+		switch nr.enq(q, tid, v) {
+		case enqClosed:
+			q.poolPut(nr) // never published: straight back to the pool
+			h.active.Exit()
+			return false
+		case enqRingFull:
 			panic("unbounded: enqueue on a fresh ring failed")
 		}
 		if lt.next.CompareAndSwap(nil, nr) {
 			q.tail.CompareAndSwap(lt, nr)
-			return
+			h.active.Exit()
+			q.notEmpty.Signal()
+			return true
 		}
 		// Lost the append race; the ring was never published, so it
 		// goes straight back to the pool and v retries into the
@@ -542,19 +596,27 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) {
 	}
 }
 
-// EnqueueBatch appends all values in order. Like Enqueue it always
-// succeeds and is lock-free; the free-ring reservation is amortized
-// over the batch.
-func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) {
+// EnqueueBatch appends values in order and returns how many were
+// inserted: len(vs) normally, fewer when the queue closes mid-batch
+// (like a short write — the counted prefix is in the queue and will
+// be drained; the rest was not inserted). Lock-free; the free-ring
+// reservation is amortized over the batch.
+func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
+	h.active.Enter()
+	total := len(vs)
 	tid := h.tid
 	for len(vs) > 0 {
 		lt := q.protectTail(h)
-		if n := lt.next.Load(); n != nil {
-			q.tail.CompareAndSwap(lt, n) // help advance
+		if nx := lt.next.Load(); nx != nil {
+			q.tail.CompareAndSwap(lt, nx) // help advance
 			continue
 		}
-		if n := lt.enqBatch(h, vs); n > 0 {
-			vs = vs[n:]
+		n, res := lt.enqBatch(q, h, vs)
+		vs = vs[n:]
+		if res == enqClosed {
+			break
+		}
+		if n > 0 {
 			continue
 		}
 		// Ring finalized: append a recycled or fresh ring carrying as
@@ -563,7 +625,11 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) {
 		if err != nil {
 			panic(err) // allocation of a fixed-size ring cannot fail
 		}
-		n := nr.enqBatch(h, vs)
+		n, res = nr.enqBatch(q, h, vs)
+		if res == enqClosed {
+			q.poolPut(nr) // never published: straight back to the pool
+			break
+		}
 		if n == 0 {
 			panic("unbounded: batch enqueue on a fresh ring failed")
 		}
@@ -576,6 +642,10 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) {
 		// values are safe to retry into the winner's ring.
 		q.poolPut(nr)
 	}
+	inserted := total - len(vs)
+	h.active.Exit()
+	q.notEmpty.SignalN(inserted)
+	return inserted
 }
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO

@@ -1,0 +1,274 @@
+// Package waitq implements the eventcount that turns the repository's
+// non-blocking queues into blocking ones (DESIGN.md §10).
+//
+// An eventcount is the condition-variable analogue for lock-free data
+// structures: waiters announce intent to sleep (Prepare), re-check the
+// data structure, and only then park (Wait); producers make their
+// update visible and then wake waiters (Signal/Broadcast). The
+// announce-recheck-park order is what closes the lost-wakeup race
+// without adding any synchronization to the producers' fast path —
+// when no waiter is armed, Signal is a single atomic load that finds
+// zero and returns.
+//
+// Protocol, from the waiter's side:
+//
+//	w := waitq.NewWaiter()          // or reuse a per-handle Waiter
+//	for {
+//		ec.Prepare(w)               // arm: visible to all signalers
+//		if condition() {            // re-check AFTER arming
+//			ec.Cancel(w)            // condition won the race
+//			return
+//		}
+//		if err := ec.Wait(ctx, w); err != nil {
+//			return                  // ctx canceled; w already disarmed
+//		}
+//	}                               // woken: loop and re-check
+//
+// and from the signaler's side:
+//
+//	makeConditionTrue()             // e.g. the successful enqueue
+//	ec.Signal()                     // after the update is visible
+//
+// Both sides use sequentially consistent atomics, so either the
+// signaler observes the armed waiter (and wakes it) or the waiter's
+// re-check observes the update (and cancels) — there is no
+// interleaving in which the update lands between the re-check and the
+// park yet the waiter sleeps: the wakeup token is buffered in the
+// waiter's channel and consumed by the park.
+//
+// Waiters park on a per-Waiter buffered channel rather than a raw
+// futex/semaphore (which the Go runtime does not export) — the
+// buffered send is exactly the "stored wakeup" a semaphore provides,
+// and the channel composes with context cancellation via select.
+package waitq
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// EventCount is the parking site. The zero value is ready to use.
+type EventCount struct {
+	// nwait counts armed waiters. It is the signalers' fast-path gate:
+	// Signal and Broadcast load it first and return immediately on
+	// zero, so a queue with no blocked callers pays one uncontended,
+	// read-shared atomic load per operation and nothing else.
+	nwait atomic.Int32
+
+	// epoch counts wake rounds (signals and broadcasts that found at
+	// least one waiter) — a telemetry and test hook for observing that
+	// wakeups are flowing, bumped only on the (already mutex-guarded)
+	// wake path.
+	epoch atomic.Uint64
+
+	// mu guards the FIFO list of armed waiters. It is only ever taken
+	// by threads that are about to sleep or about to wake a sleeper —
+	// never on a fast path.
+	mu   sync.Mutex
+	head *Waiter
+	tail *Waiter
+}
+
+// Waiter is one parkable caller. A Waiter may be reused for any number
+// of Prepare/Wait cycles on any EventCounts, but belongs to a single
+// goroutine at a time (queue handles embed one, inheriting the
+// handle's no-concurrent-sharing contract).
+type Waiter struct {
+	ch    chan struct{} // wakeup token, buffered 1
+	next  *Waiter
+	armed bool // guarded by the EventCount's mu
+}
+
+// NewWaiter allocates a Waiter.
+func NewWaiter() *Waiter {
+	return &Waiter{ch: make(chan struct{}, 1)}
+}
+
+// HasWaiters reports whether any caller is armed or parked — the load
+// the queues' fast paths use to skip Signal entirely.
+func (ec *EventCount) HasWaiters() bool { return ec.nwait.Load() != 0 }
+
+// Epoch returns the wake-round count: how many Signal/Broadcast calls
+// found at least one waiter to wake. A telemetry and test hook (no
+// queue algorithm depends on it).
+func (ec *EventCount) Epoch() uint64 { return ec.epoch.Load() }
+
+// Prepare arms w: from the moment Prepare returns, any Signal or
+// Broadcast will wake w (or a waiter armed before it). The caller must
+// re-check its wait condition after Prepare and either Cancel (if the
+// condition now holds) or Wait. Prepare on an armed waiter is a
+// programming error.
+func (ec *EventCount) Prepare(w *Waiter) {
+	ec.mu.Lock()
+	w.next = nil
+	w.armed = true
+	if ec.tail == nil {
+		ec.head, ec.tail = w, w
+	} else {
+		ec.tail.next = w
+		ec.tail = w
+	}
+	// Published before the caller's condition re-check (sequentially
+	// consistent): a signaler that updates the condition after this
+	// point is guaranteed to observe nwait > 0.
+	ec.nwait.Add(1)
+	ec.mu.Unlock()
+}
+
+// Cancel disarms w without sleeping — the caller's re-check found the
+// condition satisfied (or the caller is giving up). If a concurrent
+// Signal already chose w, Cancel absorbs the wakeup token and passes
+// it on to the next armed waiter, so a token is never lost to a caller
+// that did not need it.
+func (ec *EventCount) Cancel(w *Waiter) {
+	ec.mu.Lock()
+	if w.armed {
+		ec.unlink(w)
+		ec.mu.Unlock()
+		return
+	}
+	ec.mu.Unlock()
+	// A signaler popped w between the caller's re-check and this
+	// Cancel. The token is in flight (the pop-to-send window is a few
+	// instructions on the signaler); consume it so w's channel is
+	// clean for reuse, then forward the wakeup.
+	<-w.ch
+	ec.Signal()
+}
+
+// unlink removes an armed w from the FIFO list. Caller holds mu.
+func (ec *EventCount) unlink(w *Waiter) {
+	var prev *Waiter
+	for n := ec.head; n != nil; prev, n = n, n.next {
+		if n == w {
+			if prev == nil {
+				ec.head = n.next
+			} else {
+				prev.next = n.next
+			}
+			if ec.tail == w {
+				ec.tail = prev
+			}
+			break
+		}
+	}
+	w.next = nil
+	w.armed = false
+	ec.nwait.Add(-1)
+}
+
+// Wait parks the calling goroutine until a Signal/Broadcast wakes it
+// (returns nil) or ctx is done (returns ctx.Err()). On return w is
+// disarmed and its channel drained, ready for the next Prepare. w must
+// have been armed by Prepare on this EventCount.
+func (ec *EventCount) Wait(ctx context.Context, w *Waiter) error {
+	done := ctx.Done()
+	if done == nil {
+		// context.Background()/TODO: no cancellation possible, park on
+		// the bare channel (no select machinery).
+		<-w.ch
+		return nil
+	}
+	select {
+	case <-w.ch:
+		return nil
+	case <-done:
+		ec.Cancel(w)
+		return ctx.Err()
+	}
+}
+
+// Signal wakes the longest-parked waiter, if any. Callers invoke it
+// after their update to the wait condition is visible. When no waiter
+// is armed it is a single atomic load.
+func (ec *EventCount) Signal() {
+	if ec.nwait.Load() == 0 {
+		return
+	}
+	ec.wake(1)
+}
+
+// SignalN wakes up to n longest-parked waiters — the batch-operation
+// wakeup (a batch of n values can satisfy n blocked dequeuers). Like
+// Signal, it is one atomic load when no waiter is armed.
+func (ec *EventCount) SignalN(n int) {
+	if n <= 0 || ec.nwait.Load() == 0 {
+		return
+	}
+	ec.wake(n)
+}
+
+// Broadcast wakes every armed waiter. Used on state changes that every
+// waiter must observe (Close).
+func (ec *EventCount) Broadcast() {
+	if ec.nwait.Load() == 0 {
+		return
+	}
+	ec.wake(int(^uint(0) >> 1))
+}
+
+// wake pops up to n waiters FIFO and delivers their tokens. The send
+// happens after the pop (outside any waiter-visible state) and cannot
+// block: the channel has capacity 1 and a popped waiter has no
+// outstanding token (Prepare requires a drained channel).
+func (ec *EventCount) wake(n int) {
+	var first, last *Waiter
+	ec.mu.Lock()
+	for ; n > 0 && ec.head != nil; n-- {
+		w := ec.head
+		ec.head = w.next
+		if ec.head == nil {
+			ec.tail = nil
+		}
+		w.next = nil
+		w.armed = false
+		ec.nwait.Add(-1)
+		if first == nil {
+			first = w
+		} else {
+			last.next = w
+		}
+		last = w
+	}
+	if first != nil {
+		ec.epoch.Add(1)
+	}
+	ec.mu.Unlock()
+	for w := first; w != nil; {
+		next := w.next
+		w.next = nil
+		w.ch <- struct{}{}
+		w = next
+	}
+}
+
+// Spin runs one step of the adaptive pre-park backoff and reports
+// whether the caller should keep spinning (true) or proceed to
+// Prepare/Wait (false). i is the caller's attempt counter, starting at
+// 0. The first activeSpins iterations busy-spin (cheap when the
+// producer is mid-enqueue on another core), the next passiveSpins
+// yield the processor, and after that the caller should park.
+func Spin(i int) bool {
+	const activeSpins, passiveSpins = 4, 4
+	switch {
+	case i < activeSpins:
+		spinLoop(16 << uint(i))
+		return true
+	case i < activeSpins+passiveSpins:
+		runtime.Gosched()
+		return true
+	default:
+		return false
+	}
+}
+
+// spinLoop burns ~n cheap iterations without entering the scheduler.
+//
+//go:noinline
+func spinLoop(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,254 @@
+package waitq
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSignalWakesOne parks a goroutine through the full
+// prepare/re-check/wait protocol and wakes it with Signal.
+func TestSignalWakesOne(t *testing.T) {
+	var ec EventCount
+	var cond atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := NewWaiter()
+		for {
+			ec.Prepare(w)
+			if cond.Load() {
+				ec.Cancel(w)
+				return
+			}
+			if err := ec.Wait(context.Background(), w); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Wait until the goroutine is armed, then publish and signal.
+	for !ec.HasWaiters() {
+		time.Sleep(time.Microsecond)
+	}
+	cond.Store(true)
+	ec.Signal()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+	if ec.HasWaiters() {
+		t.Fatal("waiter still armed after completion")
+	}
+}
+
+// TestSignalBeforeParkIsNotLost covers the critical interleaving: the
+// signal fires after Prepare but before Wait parks. The buffered token
+// must make Wait return immediately instead of sleeping forever.
+func TestSignalBeforeParkIsNotLost(t *testing.T) {
+	var ec EventCount
+	w := NewWaiter()
+	ec.Prepare(w)
+	ec.Signal() // lands between the arm and the park
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := ec.Wait(context.Background(), w); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-park signal was lost")
+	}
+}
+
+// TestCancelForwardsToken: when a Signal picks a waiter that Cancels
+// instead of parking, the token must pass to the next armed waiter.
+func TestCancelForwardsToken(t *testing.T) {
+	var ec EventCount
+	w1, w2 := NewWaiter(), NewWaiter()
+	ec.Prepare(w1)
+	ec.Prepare(w2)
+	ec.Signal() // chooses w1 (FIFO)
+	// w1 gives up without parking: the token must reach w2.
+	ec.Cancel(w1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := ec.Wait(context.Background(), w2); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("token was not forwarded to the second waiter")
+	}
+}
+
+// TestWaitContextCancel parks on an empty eventcount and cancels the
+// context; Wait must return ctx.Err() and fully disarm the waiter.
+func TestWaitContextCancel(t *testing.T) {
+	var ec EventCount
+	w := NewWaiter()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		ec.Prepare(w)
+		errc <- ec.Wait(ctx, w)
+	}()
+	for !ec.HasWaiters() {
+		time.Sleep(time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("Wait = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled Wait never returned")
+	}
+	if ec.HasWaiters() {
+		t.Fatal("canceled waiter still armed")
+	}
+	// The waiter must be clean for reuse: re-arm and take a signal.
+	ec.Prepare(w)
+	ec.Signal()
+	if err := ec.Wait(context.Background(), w); err != nil {
+		t.Fatalf("reused waiter: %v", err)
+	}
+}
+
+// TestBroadcastWakesAll parks N goroutines and releases every one with
+// a single Broadcast.
+func TestBroadcastWakesAll(t *testing.T) {
+	var ec EventCount
+	const n = 8
+	var parked atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := NewWaiter()
+			ec.Prepare(w)
+			parked.Add(1)
+			if err := ec.Wait(context.Background(), w); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	for parked.Load() < n {
+		time.Sleep(time.Microsecond)
+	}
+	// All armed (parked.Add happens after Prepare); one broadcast.
+	ec.Broadcast()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("broadcast stranded waiters (%d armed)", ec.nwait.Load())
+	}
+}
+
+// TestNoLostWakeupStress hammers the full protocol from both sides: a
+// producer increments a counter and signals; consumers run the
+// prepare/re-check/park loop until they have claimed their share. Any
+// lost wakeup deadlocks the test (and the -race build checks the
+// protocol's memory ordering).
+func TestNoLostWakeupStress(t *testing.T) {
+	var ec EventCount
+	const consumers = 4
+	const total = 20000
+	var avail atomic.Int64
+	var claimed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := NewWaiter()
+			for {
+				// Try to claim a unit.
+				for {
+					n := avail.Load()
+					if n == 0 {
+						break
+					}
+					if avail.CompareAndSwap(n, n-1) {
+						if claimed.Add(1) >= total {
+							ec.Broadcast() // release peers at the end
+						}
+						break
+					}
+				}
+				if claimed.Load() >= total {
+					return
+				}
+				ec.Prepare(w)
+				if avail.Load() > 0 || claimed.Load() >= total {
+					ec.Cancel(w)
+					continue
+				}
+				if err := ec.Wait(context.Background(), w); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		avail.Add(1)
+		ec.Signal()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("lost wakeup: %d/%d claimed, %d armed", claimed.Load(), total, ec.nwait.Load())
+	}
+	if got := claimed.Load(); got < total {
+		t.Fatalf("claimed %d, want >= %d", got, total)
+	}
+}
+
+// TestEpochMovesOnWake asserts the epoch advances exactly on wake
+// rounds that found a waiter.
+func TestEpochMovesOnWake(t *testing.T) {
+	var ec EventCount
+	e0 := ec.Epoch()
+	ec.Signal() // no waiters: epoch must not move
+	if ec.Epoch() != e0 {
+		t.Fatal("signal with no waiters moved the epoch")
+	}
+	w := NewWaiter()
+	ec.Prepare(w)
+	ec.Signal()
+	if ec.Epoch() != e0+1 {
+		t.Fatalf("epoch = %d, want %d", ec.Epoch(), e0+1)
+	}
+	<-w.ch // drain the token
+}
+
+// TestSpinSchedule sanity-checks the backoff shape: some spinning
+// iterations, then a hand-off to parking.
+func TestSpinSchedule(t *testing.T) {
+	n := 0
+	for Spin(n) {
+		n++
+		if n > 1000 {
+			t.Fatal("Spin never said stop")
+		}
+	}
+	if n == 0 {
+		t.Fatal("Spin never said spin")
+	}
+}

@@ -1,0 +1,470 @@
+package wcq_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wcqueue/wcq"
+)
+
+// TestQueueBlockingRoundTrip smoke-tests the bounded shape's blocking
+// API through both call styles: handle-free producer, explicit-handle
+// consumer, then close and drain.
+func TestQueueBlockingRoundTrip(t *testing.T) {
+	q := wcq.Must[int](4)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+	if err := q.EnqueueWait(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := h.DequeueWait(context.Background()); err != nil || v != 1 {
+		t.Fatalf("got (%d, %v), want (1, nil)", v, err)
+	}
+	if err := h.EnqueueWait(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if q.Enqueue(3) {
+		t.Fatal("handle-free enqueue succeeded after Close")
+	}
+	if v, err := q.DequeueBlock(); err != nil || v != 2 {
+		t.Fatalf("drain got (%d, %v), want (2, nil)", v, err)
+	}
+	if _, err := h.DequeueBlock(); !errors.Is(err, wcq.ErrClosed) {
+		t.Fatalf("drained DequeueBlock = %v, want ErrClosed", err)
+	}
+	if _, err := q.DequeueWait(context.Background()); !errors.Is(err, wcq.ErrClosed) {
+		t.Fatalf("drained handle-free DequeueWait = %v, want ErrClosed", err)
+	}
+}
+
+// TestUnboundedBlockingRoundTrip is the same smoke test on the
+// unbounded shape, whose Enqueue now reports closure.
+func TestUnboundedBlockingRoundTrip(t *testing.T) {
+	q := wcq.MustUnbounded[int](3)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+	if !h.Enqueue(1) {
+		t.Fatal("enqueue on open unbounded queue failed")
+	}
+	if v, err := q.DequeueWait(context.Background()); err != nil || v != 1 {
+		t.Fatalf("got (%d, %v), want (1, nil)", v, err)
+	}
+	q.Enqueue(2)
+	q.Close()
+	if q.Enqueue(3) {
+		t.Fatal("enqueue succeeded after Close")
+	}
+	if err := h.EnqueueWait(context.Background(), 3); !errors.Is(err, wcq.ErrClosed) {
+		t.Fatalf("EnqueueWait after Close = %v, want ErrClosed", err)
+	}
+	if v, err := h.DequeueBlock(); err != nil || v != 2 {
+		t.Fatalf("drain got (%d, %v), want (2, nil)", v, err)
+	}
+	if _, err := q.DequeueBlock(); !errors.Is(err, wcq.ErrClosed) {
+		t.Fatalf("drained DequeueBlock = %v, want ErrClosed", err)
+	}
+}
+
+// TestStripedBlockingLostWakeupRegression is the regression test for
+// the striped lost-wakeup hazard: the emptiness scan in Dequeue is
+// non-linearizable, so a consumer that scanned, found nothing, and
+// parked could miss a value that landed in an already-scanned lane.
+// DequeueWait must re-scan between arming the waiter and parking.
+//
+// The test hands exactly one value at a time to a parked (or parking)
+// consumer, with the producer cycling through lanes — including the
+// consumer's own lane, the first one its scan passes — under
+// randomized timing that covers the scan/arm/park window. A lost
+// wakeup surfaces as a context timeout rather than a hang.
+func TestStripedBlockingLostWakeupRegression(t *testing.T) {
+	const stripes = 4
+	s := wcq.MustStriped[int](4, stripes)
+	consumer, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Unregister()
+	// Producer handles pinned one per lane, so each iteration can
+	// target any lane relative to the consumer's scan order.
+	producers := make([]*wcq.StripedHandle[int], stripes)
+	byLane := make(map[int]*wcq.StripedHandle[int], stripes)
+	for i := range producers {
+		p, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Unregister()
+		producers[i] = p
+		byLane[p.Lane()] = p
+	}
+	iters := 2000
+	if testing.Short() || raceEnabled {
+		iters = 300
+	}
+	rng := rand.New(rand.NewSource(1))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	received := make([]int, 0, iters)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			v, err := consumer.DequeueWait(ctx)
+			cancel()
+			if err != nil {
+				t.Errorf("iteration %d: lost wakeup? DequeueWait: %v", i, err)
+				return
+			}
+			received = append(received, v)
+		}
+	}()
+	for i := 0; i < iters; i++ {
+		// Target the consumer's own lane most often: it is the first
+		// lane the scan passes, i.e. the most "already-scanned" one.
+		lane := consumer.Lane()
+		if i%3 == 1 {
+			lane = (consumer.Lane() + 1 + rng.Intn(stripes-1)) % stripes
+		}
+		p := byLane[lane]
+		if p == nil {
+			p = producers[lane%len(producers)]
+		}
+		// Randomize where in the consumer's scan/arm/park sequence
+		// the enqueue lands.
+		switch rng.Intn(3) {
+		case 0: // likely parked
+			time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+		case 1: // likely mid-spin or mid-arm
+			time.Sleep(time.Duration(rng.Intn(5)) * time.Microsecond)
+		default: // immediate
+		}
+		if !p.Enqueue(i) {
+			t.Fatalf("iteration %d: enqueue failed", i)
+		}
+	}
+	wg.Wait()
+	if len(received) != iters {
+		t.Fatalf("received %d of %d values", len(received), iters)
+	}
+}
+
+// TestStripedCloseDrainAllLanes closes a striped queue with values
+// spread across every lane and checks the drain delivers all of them,
+// exactly once, before ErrClosed — through blocked and unblocked
+// dequeuers alike.
+func TestStripedCloseDrainAllLanes(t *testing.T) {
+	const stripes = 4
+	s := wcq.MustStriped[int](4, stripes)
+	var handles []*wcq.StripedHandle[int]
+	for i := 0; i < stripes; i++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Unregister()
+		handles = append(handles, h)
+	}
+	total := 0
+	for i, h := range handles {
+		for j := 0; j < 5+i; j++ { // uneven per-lane backlogs
+			if !h.Enqueue(i*100 + j) {
+				t.Fatal("enqueue failed")
+			}
+			total++
+		}
+	}
+	s.Close()
+	if s.Enqueue(999) {
+		t.Fatal("enqueue succeeded after Close")
+	}
+	if err := handles[0].EnqueueWait(context.Background(), 999); !errors.Is(err, wcq.ErrClosed) {
+		t.Fatalf("EnqueueWait after Close = %v", err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < total; i++ {
+		v, err := s.DequeueWait(context.Background())
+		if err != nil {
+			t.Fatalf("drain %d/%d: %v", i, total, err)
+		}
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if _, err := handles[0].DequeueBlock(); !errors.Is(err, wcq.ErrClosed) {
+		t.Fatalf("drained queue: %v, want ErrClosed", err)
+	}
+}
+
+// TestStripedCloseWakesParkedConsumers parks consumers on an empty
+// striped queue; Close must wake all of them with ErrClosed even
+// though every lane scan keeps reporting empty.
+func TestStripedCloseWakesParkedConsumers(t *testing.T) {
+	s := wcq.MustStriped[int](4, 3)
+	const parked = 3
+	errc := make(chan error, parked)
+	for i := 0; i < parked; i++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(h *wcq.StripedHandle[int]) {
+			defer h.Unregister()
+			_, err := h.DequeueBlock()
+			errc <- err
+		}(h)
+	}
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	for i := 0; i < parked; i++ {
+		select {
+		case err := <-errc:
+			if !errors.Is(err, wcq.ErrClosed) {
+				t.Fatalf("parked consumer woke with %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close stranded a parked striped consumer")
+		}
+	}
+}
+
+// TestStripedEnqueueWaitFullLane blocks a producer on its full lane
+// and frees it with a steal-dequeue from another handle.
+func TestStripedEnqueueWaitFullLane(t *testing.T) {
+	s := wcq.MustStriped[int](2, 2) // 4 slots per lane
+	p, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unregister()
+	c, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Unregister()
+	for i := 0; ; i++ {
+		if !p.Enqueue(i) {
+			break // lane full
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.EnqueueWait(context.Background(), 99) }()
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := c.Dequeue(); !ok {
+		t.Fatal("steal-dequeue from full lane failed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked striped producer missed the freed slot")
+	}
+}
+
+// TestStripedEnqueueWaitTokenRelay is the regression test for the
+// stranded-producer hazard: notFull is queue-wide while enqueue
+// waiters have per-lane predicates, so the single wakeup token from a
+// dequeue can land on a producer whose lane is still full. That
+// producer must relay the token to the producer whose lane actually
+// freed. The test parks the wrong-lane producer FIRST (FIFO head, so
+// it receives the token) and then checks the right-lane producer
+// still completes.
+func TestStripedEnqueueWaitTokenRelay(t *testing.T) {
+	s := wcq.MustStriped[int](1, 2) // 2 lanes × 2 slots
+	p0, err := s.Register()         // lane 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Unregister()
+	p1, err := s.Register() // lane 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Unregister()
+	if p0.Lane() == p1.Lane() {
+		t.Fatalf("handles share lane %d", p0.Lane())
+	}
+	// Dedicated consumer handles, one per lane (handles must not be
+	// shared with the concurrently parked producers): round-robin
+	// assignment gives c0 lane 0 and c1 lane 1.
+	c0, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Unregister()
+	c1, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Unregister()
+	if c0.Lane() != p0.Lane() || c1.Lane() != p1.Lane() {
+		t.Fatalf("consumer lanes (%d,%d) do not mirror producer lanes (%d,%d)",
+			c0.Lane(), c1.Lane(), p0.Lane(), p1.Lane())
+	}
+	// Fill both lanes.
+	for _, p := range []*wcq.StripedHandle[int]{p0, p1} {
+		for p.Enqueue(0) {
+		}
+	}
+	// Park the lane-1 producer first: it becomes the eventcount's FIFO
+	// head and will receive the token for the lane-0 slot freed below.
+	done1 := make(chan error, 1)
+	go func() { done1 <- p1.EnqueueWait(context.Background(), 11) }()
+	time.Sleep(10 * time.Millisecond)
+	done0 := make(chan error, 1)
+	go func() { done0 <- p0.EnqueueWait(context.Background(), 10) }()
+	time.Sleep(10 * time.Millisecond)
+	// Free one slot in lane 0 (p0's lane): c0's own-lane-first scan
+	// dequeues from lane 0.
+	if _, ok := c0.Dequeue(); !ok {
+		t.Fatal("dequeue from full queue failed")
+	}
+	select {
+	case err := <-done0:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("token relay failed: lane-0 producer stranded after its lane freed")
+	}
+	// p1 is still legitimately parked (lane 1 remains full); release it
+	// with a lane-1 dequeue.
+	if _, ok := c1.Dequeue(); !ok { // c1 drains its own lane 1 first
+		t.Fatal("dequeue from lane 1 failed")
+	}
+	select {
+	case err := <-done1:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("lane-1 producer stranded after its lane freed")
+	}
+}
+
+// TestStripedMidRunCloseExactlyOnce: bursty producers, parked
+// consumers, Close mid-run; every accepted value is delivered exactly
+// once and every participant exits. This is the acceptance-criteria
+// stress in miniature (wcqstress -block runs the full version).
+func TestStripedMidRunCloseExactlyOnce(t *testing.T) {
+	const producers, consumers = 3, 3
+	s := wcq.MustStriped[uint64](6, 4)
+	var accepted atomic.Uint64
+	var wg, pwg sync.WaitGroup
+	streams := make([][]uint64, consumers)
+
+	for c := 0; c < consumers; c++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *wcq.StripedHandle[uint64]) {
+			defer wg.Done()
+			defer h.Unregister()
+			var local []uint64
+			for {
+				v, err := h.DequeueWait(context.Background())
+				if err != nil {
+					if !errors.Is(err, wcq.ErrClosed) {
+						t.Errorf("consumer %d: %v", c, err)
+					}
+					streams[c] = local
+					return
+				}
+				local = append(local, v)
+			}
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pwg.Add(1)
+		go func(p int, h *wcq.StripedHandle[uint64]) {
+			defer pwg.Done()
+			defer h.Unregister()
+			rng := rand.New(rand.NewSource(int64(p)))
+			for s := uint64(0); ; s++ {
+				err := h.EnqueueWait(context.Background(), uint64(p)<<32|s)
+				if errors.Is(err, wcq.ErrClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+				accepted.Add(1)
+				if s%64 == 0 { // bursty: stall between bursts
+					time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+				}
+			}
+		}(p, h)
+	}
+	time.Sleep(25 * time.Millisecond)
+	s.Close()
+	pwg.Wait()
+	wg.Wait()
+
+	seen := make(map[uint64]bool)
+	for _, st := range streams {
+		for _, v := range st {
+			if seen[v] {
+				t.Fatalf("value %#x delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if uint64(len(seen)) != accepted.Load() {
+		t.Fatalf("accepted %d, delivered %d", accepted.Load(), len(seen))
+	}
+}
+
+// TestDequeueWaitContextCancelPublic covers ctx cancellation through
+// the public wrappers of all three shapes.
+func TestDequeueWaitContextCancelPublic(t *testing.T) {
+	type waiter func(ctx context.Context) error
+	q := wcq.Must[int](4)
+	u := wcq.MustUnbounded[int](4)
+	s := wcq.MustStriped[int](4, 2)
+	cases := map[string]waiter{
+		"Queue":     func(ctx context.Context) error { _, err := q.DequeueWait(ctx); return err },
+		"Unbounded": func(ctx context.Context) error { _, err := u.DequeueWait(ctx); return err },
+		"Striped":   func(ctx context.Context) error { _, err := s.DequeueWait(ctx); return err },
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- f(ctx) }()
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("got %v, want context.Canceled", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("cancel did not unblock DequeueWait")
+			}
+		})
+	}
+}

@@ -1,9 +1,26 @@
 package wcq
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
+
+// ErrHandlesExhausted is returned (or carried by the panic of the
+// methods that cannot return an error — see mustGet) when a
+// handle-free operation cannot borrow an implicit handle because the
+// handle cap (WithMaxHandles) is fully claimed and stayed claimed
+// through the bounded retry. Explicit Register reports the same
+// condition as an ordinary error.
+var ErrHandlesExhausted = errors.New("wcq: implicit handle unavailable: handle cap exhausted")
+
+// implicitRetries bounds how long a handle-free call waits for a
+// pooled handle to free up before giving up with ErrHandlesExhausted.
+// Each retry yields the processor, so in-flight implicit calls — the
+// usual holders of pooled handles at the cap — get to finish and
+// return theirs.
+const implicitRetries = 64
 
 // handlePool backs the handle-free ("implicit") methods of every queue
 // shape: a sync.Pool of registered handles, borrowed for the duration
@@ -19,25 +36,77 @@ import (
 // registration high-water mark therefore tracks peak concurrent use of
 // the implicit API, not its call count, and register/unregister storms
 // through the pool stay flat.
+//
+// Registration happens in get, not in sync.Pool.New: a New hook that
+// panics would throw from innocent-looking calls deep inside the
+// runtime's pool machinery. get instead reports cap exhaustion as an
+// error after a bounded retry, and each public method decides whether
+// to surface it as an error (the blocking/ctx variants) or as a
+// documented panic (the methods whose signatures predate Close).
 type handlePool[H any] struct {
-	p sync.Pool
+	p          sync.Pool
+	register   func() (*H, error)
+	unregister func(*H)
 }
 
-// init wires the pool to a queue's register/unregister pair. register
-// failures surface as panics: they occur only when the handle cap
-// (WithMaxHandles, default 65535) is exhausted, which the implicit API
-// treats as caller error — explicit Register reports it as an error
-// instead.
+// init wires the pool to a queue's register/unregister pair.
 func (hp *handlePool[H]) init(register func() (*H, error), unregister func(*H)) {
-	hp.p.New = func() any {
-		h, err := register()
-		if err != nil {
-			panic("wcq: implicit-handle registration failed: " + err.Error())
-		}
-		runtime.SetFinalizer(h, unregister)
-		return h
-	}
+	hp.register = register
+	hp.unregister = unregister
 }
 
-func (hp *handlePool[H]) get() *H  { return hp.p.Get().(*H) }
+// get borrows a pooled handle, registering a fresh one when the pool
+// is empty. At the handle cap it retries a bounded number of times
+// (yielding, so current borrowers can return theirs) and then reports
+// ErrHandlesExhausted.
+func (hp *handlePool[H]) get() (*H, error) {
+	if h, ok := hp.p.Get().(*H); ok && h != nil {
+		return h, nil
+	}
+	var lastErr error
+	for i := 0; ; i++ {
+		h, err := hp.register()
+		if err == nil {
+			runtime.SetFinalizer(h, hp.unregister)
+			return h, nil
+		}
+		lastErr = err
+		if i >= implicitRetries {
+			break
+		}
+		if i == 7 || i == 23 {
+			// A slot can be pinned by a handle the pool already
+			// evicted but the GC has not yet finalized (sync.Pool
+			// sheds items across collection cycles — and deliberately
+			// drops Puts in race builds). Forcing a cycle lets the
+			// finalizer return such slots, making the retry loop
+			// self-healing rather than dependent on GC timing. Two
+			// cycles, because an evicted item spends one GC in the
+			// pool's victim cache before becoming unreachable; capped
+			// at two so a caller looping on a genuinely pinned cap
+			// does not turn every failed call into a GC storm.
+			runtime.GC()
+		}
+		runtime.Gosched()
+		if h, ok := hp.p.Get().(*H); ok && h != nil {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (%v)", ErrHandlesExhausted, lastErr)
+}
+
+// mustGet is get for the methods that have no error return: on cap
+// exhaustion it panics with the error from get, which wraps
+// ErrHandlesExhausted — a documented sentinel the caller can identify
+// with errors.Is after recover. Reaching it requires pinning every
+// slot of a deliberately small WithMaxHandles cap with explicit
+// handles, so ordinary implicit use never sees the panic.
+func (hp *handlePool[H]) mustGet() *H {
+	h, err := hp.get()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
 func (hp *handlePool[H]) put(h *H) { hp.p.Put(h) }

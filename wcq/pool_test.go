@@ -1,0 +1,157 @@
+package wcq_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"wcqueue/wcq"
+)
+
+// TestImplicitCapExhaustedPanicIsTyped pins the entire handle cap with
+// an explicit handle and checks the handle-free bool methods fail with
+// the documented panic: an error wrapping ErrHandlesExhausted, raised
+// by the library's own retry path — not a raw panic escaping from
+// inside sync.Pool.New.
+func TestImplicitCapExhaustedPanicIsTyped(t *testing.T) {
+	q := wcq.Must[int](4, wcq.WithMaxHandles(1))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Enqueue at exhausted cap did not panic")
+			}
+			err, ok := r.(error)
+			if !ok {
+				t.Fatalf("panic value %T is not an error: %v", r, r)
+			}
+			if !errors.Is(err, wcq.ErrHandlesExhausted) {
+				t.Fatalf("panic error %v does not wrap ErrHandlesExhausted", err)
+			}
+		}()
+		q.Enqueue(1)
+	}()
+	// The error-returning variants must report, not panic.
+	if err := q.EnqueueWait(context.Background(), 1); !errors.Is(err, wcq.ErrHandlesExhausted) {
+		t.Fatalf("EnqueueWait = %v, want ErrHandlesExhausted", err)
+	}
+	if _, err := q.DequeueWait(context.Background()); !errors.Is(err, wcq.ErrHandlesExhausted) {
+		t.Fatalf("DequeueWait = %v, want ErrHandlesExhausted", err)
+	}
+	// Releasing the explicit handle makes the implicit API work again.
+	h.Unregister()
+	if !q.Enqueue(2) {
+		t.Fatal("enqueue after cap freed failed")
+	}
+	if v, ok := q.Dequeue(); !ok || v != 2 {
+		t.Fatalf("dequeue got (%d, %v)", v, ok)
+	}
+}
+
+// TestImplicitCapContentionRecovers: the bounded retry inside the
+// implicit path bridges short cap contention — a concurrent holder
+// releasing its explicit handle lets a spinning implicit call through.
+func TestImplicitCapContentionRecovers(t *testing.T) {
+	q := wcq.MustStriped[int](4, 2, wcq.WithMaxHandles(3))
+	// A Striped handle claims one slot on every lane; cap 3 leaves
+	// room for one striped registration at a time (pool handle = 1).
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-release
+		h.Unregister()
+	}()
+	close(release)
+	// Retry until the release lands; the implicit call itself retries
+	// a bounded number of times, so a few outer attempts suffice.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := q.EnqueueWait(context.Background(), 7)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, wcq.ErrHandlesExhausted) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("implicit call never recovered after cap freed")
+		}
+	}
+	wg.Wait()
+	if v, ok := q.Dequeue(); !ok || v != 7 {
+		t.Fatalf("dequeue got (%d, %v)", v, ok)
+	}
+}
+
+// TestImplicitFinalizerRacesLiveOps churns the implicit API on every
+// shape while forcing GC cycles, so finalizer-driven Unregister runs
+// concurrently with live queue operations and fresh registrations.
+// The -race build checks the interleavings; the assertions check the
+// queues stay functional throughout.
+func TestImplicitFinalizerRacesLiveOps(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 80
+	}
+	q := wcq.Must[int](8)
+	u := wcq.MustUnbounded[int](4)
+	s := wcq.MustStriped[int](6, 3)
+	var wg sync.WaitGroup
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if q.Enqueue(i) {
+					q.Dequeue()
+				}
+				u.Enqueue(i)
+				u.Dequeue()
+				if s.Enqueue(i) {
+					s.Dequeue()
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-time.After(time.Millisecond):
+				runtime.GC() // evict pooled handles → run finalizers
+			case <-done:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	done <- struct{}{}
+	<-done
+	// Queues still work after arbitrary finalizer interleavings.
+	if !q.Enqueue(1) {
+		t.Fatal("bounded enqueue failed after finalizer churn")
+	}
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("bounded dequeue failed after finalizer churn")
+	}
+	runtime.GC()
+	runtime.GC()
+	if lh := q.LiveHandles(); lh < 0 {
+		t.Fatalf("negative live handles %d", lh)
+	}
+}

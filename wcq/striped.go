@@ -1,10 +1,14 @@
 package wcq
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"wcqueue/internal/core"
+	"wcqueue/internal/waitq"
 )
 
 // Striped is a sharded front-end over W independent wCQ rings
@@ -43,7 +47,28 @@ type Striped[T any] struct {
 	laneMu    sync.Mutex
 	freeLanes []int
 	nextLane  int
+
+	// Blocking layer (DESIGN.md §10). Waiters park at the striped
+	// level, not per lane: a blocked dequeuer must be woken by an
+	// enqueue into ANY lane, and the per-lane emptiness scan is not
+	// linearizable — only the eventcount's arm-then-rescan protocol
+	// (DequeueWait) makes the parking decision sound. Close delegates
+	// the enqueue/close linearization to the lanes (each lane's own
+	// Close quiesces its in-flight enqueues), so the striped state is
+	// purely a fail-fast gate plus the sealed marker for drains.
+	notEmpty waitq.EventCount
+	notFull  waitq.EventCount
+	state    atomic.Uint32
 }
+
+// Striped close states, as in core: enqueues fail from stripedClosing
+// on; only stripedSealed (published after in-flight enqueues quiesce)
+// makes an all-lanes-empty scan conclusive.
+const (
+	stripedOpen uint32 = iota
+	stripedClosing
+	stripedSealed
+)
 
 // StripedHandle is a registered per-goroutine token of a Striped
 // queue. It carries one underlying handle per lane plus the lane
@@ -53,6 +78,16 @@ type StripedHandle[T any] struct {
 	s    *Striped[T]
 	lane int
 	hs   []*core.Handle
+	// w is the parking token for the blocking operations. Handle-local.
+	w *waitq.Waiter
+}
+
+// waiter returns the handle's parking token, allocated on first use.
+func (h *StripedHandle[T]) waiter() *waitq.Waiter {
+	if h.w == nil {
+		h.w = waitq.NewWaiter()
+	}
+	return h.w
 }
 
 // NewStriped creates a striped queue of `stripes` independent lanes,
@@ -147,11 +182,19 @@ func (h *StripedHandle[T]) Unregister() {
 func (h *StripedHandle[T]) Lane() int { return h.lane }
 
 // Enqueue inserts v into the handle's lane, returning false when that
-// lane is full. Staying on one lane is what preserves per-handle FIFO;
-// callers that prefer load spilling over ordering can Register several
-// handles. Wait-free.
+// lane is full or the queue is closed. Staying on one lane is what
+// preserves per-handle FIFO; callers that prefer load spilling over
+// ordering can Register several handles. Wait-free.
 func (h *StripedHandle[T]) Enqueue(v T) bool {
-	return h.s.lanes[h.lane].Enqueue(h.hs[h.lane], v)
+	s := h.s
+	if s.state.Load() != stripedOpen {
+		return false // fail fast; the lane's own close check is the authority
+	}
+	ok := s.lanes[h.lane].Enqueue(h.hs[h.lane], v)
+	if ok {
+		s.notEmpty.Signal()
+	}
+	return ok
 }
 
 // Dequeue removes a value, preferring the handle's own lane and
@@ -173,6 +216,7 @@ func (h *StripedHandle[T]) Dequeue() (v T, ok bool) {
 			l -= w
 		}
 		if v, ok := s.lanes[l].Dequeue(h.hs[l]); ok {
+			s.notFull.Signal()
 			return v, true
 		}
 	}
@@ -180,10 +224,16 @@ func (h *StripedHandle[T]) Dequeue() (v T, ok bool) {
 }
 
 // EnqueueBatch inserts up to len(vs) values into the handle's lane
-// with batched ring reservations, returning how many were inserted.
-// Wait-free.
+// with batched ring reservations, returning how many were inserted
+// (0 when the queue is closed). Wait-free.
 func (h *StripedHandle[T]) EnqueueBatch(vs []T) int {
-	return h.s.lanes[h.lane].EnqueueBatch(h.hs[h.lane], vs)
+	s := h.s
+	if s.state.Load() != stripedOpen {
+		return 0 // fail fast; the lane's own close check is the authority
+	}
+	n := s.lanes[h.lane].EnqueueBatch(h.hs[h.lane], vs)
+	s.notEmpty.SignalN(n)
+	return n
 }
 
 // DequeueBatch removes up to len(out) values, draining the handle's
@@ -199,13 +249,155 @@ func (h *StripedHandle[T]) DequeueBatch(out []T) int {
 		}
 		n += s.lanes[l].DequeueBatch(h.hs[l], out[n:])
 	}
+	s.notFull.SignalN(n)
 	return n
 }
 
+// EnqueueWait inserts v into the handle's lane, blocking while that
+// lane is full. Returns nil on success, ErrClosed if the queue is (or
+// becomes) closed first, or ctx.Err() if the context is done. The
+// waiter parks on the queue-wide notFull eventcount and is woken by a
+// dequeue from any lane. Enqueue-waiters have per-lane predicates, so
+// a wakeup token can land on a producer whose own lane is still full;
+// that producer must pass the token on (see the post-wake retry
+// below), or the producer whose lane actually freed would sleep
+// forever on a queue with a free slot.
+func (h *StripedHandle[T]) EnqueueWait(ctx context.Context, v T) error {
+	s := h.s
+	if h.Enqueue(v) {
+		return nil
+	}
+	if s.state.Load() != stripedOpen {
+		return ErrClosed
+	}
+	for i := 0; waitq.Spin(i); i++ {
+		if h.Enqueue(v) {
+			return nil
+		}
+		if s.state.Load() != stripedOpen {
+			return ErrClosed
+		}
+	}
+	w := h.waiter()
+	for {
+		s.notFull.Prepare(w)
+		if h.Enqueue(v) {
+			s.notFull.Cancel(w)
+			return nil
+		}
+		if s.state.Load() != stripedOpen {
+			s.notFull.Cancel(w)
+			return ErrClosed
+		}
+		if err := s.notFull.Wait(ctx, w); err != nil {
+			return err
+		}
+		// Woken: the freed slot may be in another parked producer's
+		// lane, not ours. Retry once; on failure forward the token
+		// BEFORE re-arming — we are not armed at this instant, so the
+		// Signal cannot hand the token straight back to us, and with
+		// no other waiter armed it drops harmlessly. Tokens never
+		// multiply (one consumed, at most one forwarded), so there is
+		// no livelock — just a bounded relay until the token reaches
+		// a producer that can use it or no one is parked.
+		if h.Enqueue(v) {
+			return nil
+		}
+		if s.state.Load() != stripedOpen {
+			return ErrClosed
+		}
+		s.notFull.Signal()
+	}
+}
+
+// DequeueWait removes a value, blocking while every lane is empty.
+// Returns the value, ErrClosed once the queue is closed and drained,
+// or ctx.Err() if the context is done first.
+//
+// The lane-by-lane emptiness scan of Dequeue is NOT linearizable: a
+// concurrent enqueue can land in a lane the scan already passed. A
+// naive "scan, then park" would therefore strand the consumer — the
+// producer's wakeup can fire between the scan and the park, and its
+// value sits in a lane the scan reported empty. The eventcount closes
+// that race: the waiter is armed FIRST (Prepare), the scan runs
+// AGAIN afterwards, and only then does it park. Any enqueue that
+// lands after the re-scan started finds the armed waiter and wakes
+// it; any enqueue before it is found by the re-scan itself.
+func (h *StripedHandle[T]) DequeueWait(ctx context.Context) (T, error) {
+	s := h.s
+	if v, ok := h.Dequeue(); ok {
+		return v, nil
+	}
+	for i := 0; waitq.Spin(i); i++ {
+		if v, ok := h.Dequeue(); ok {
+			return v, nil
+		}
+		if s.state.Load() == stripedSealed {
+			break
+		}
+	}
+	w := h.waiter()
+	for {
+		s.notEmpty.Prepare(w)
+		// Re-scan after arming: the pre-park double-check that fixes
+		// the striped lost-wakeup hazard.
+		if v, ok := h.Dequeue(); ok {
+			s.notEmpty.Cancel(w)
+			return v, nil
+		}
+		if s.state.Load() == stripedSealed {
+			s.notEmpty.Cancel(w)
+			// One full scan after observing sealed is conclusive: no
+			// enqueue can land past the seal, so all-lanes-empty is
+			// now a stable property.
+			if v, ok := h.Dequeue(); ok {
+				return v, nil
+			}
+			var zero T
+			return zero, ErrClosed
+		}
+		if err := s.notEmpty.Wait(ctx, w); err != nil {
+			var zero T
+			return zero, err
+		}
+	}
+}
+
+// DequeueBlock is DequeueWait without a deadline.
+func (h *StripedHandle[T]) DequeueBlock() (T, error) {
+	return h.DequeueWait(context.Background())
+}
+
+// Close closes the queue: subsequent enqueues fail on every lane,
+// blocked enqueuers return ErrClosed, and dequeuers drain the values
+// remaining across all lanes before observing ErrClosed. The striped
+// state is only the fail-fast gate; the linearization against
+// in-flight enqueues is delegated to the lanes — closing each lane
+// quiesces its enqueuers (core's ActiveFlag protocol), so once every
+// lane is sealed, a full all-lanes-empty scan is conclusive and
+// stripedSealed is published. Idempotent.
+func (s *Striped[T]) Close() {
+	if !s.state.CompareAndSwap(stripedOpen, stripedClosing) {
+		for s.state.Load() != stripedSealed {
+			runtime.Gosched()
+		}
+		return
+	}
+	for _, q := range s.lanes {
+		q.Close()
+	}
+	s.state.Store(stripedSealed)
+	s.notEmpty.Broadcast()
+	s.notFull.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (s *Striped[T]) Closed() bool { return s.state.Load() != stripedOpen }
+
 // Enqueue inserts v through a pooled handle, returning false when the
-// borrowed handle's lane is full.
+// borrowed handle's lane is full or the queue is closed.
 func (s *Striped[T]) Enqueue(v T) bool {
-	h := s.pool.get()
+	h := s.pool.mustGet()
 	ok := h.Enqueue(v)
 	s.pool.put(h)
 	return ok
@@ -214,7 +406,7 @@ func (s *Striped[T]) Enqueue(v T) bool {
 // Dequeue removes a value through a pooled handle, or returns
 // ok=false after observing every lane empty.
 func (s *Striped[T]) Dequeue() (v T, ok bool) {
-	h := s.pool.get()
+	h := s.pool.mustGet()
 	v, ok = h.Dequeue()
 	s.pool.put(h)
 	return v, ok
@@ -224,7 +416,7 @@ func (s *Striped[T]) Dequeue() (v T, ok bool) {
 // returning how many were inserted. The batch lands in one lane, in
 // order.
 func (s *Striped[T]) EnqueueBatch(vs []T) int {
-	h := s.pool.get()
+	h := s.pool.mustGet()
 	n := h.EnqueueBatch(vs)
 	s.pool.put(h)
 	return n
@@ -233,11 +425,40 @@ func (s *Striped[T]) EnqueueBatch(vs []T) int {
 // DequeueBatch removes up to len(out) values through a pooled handle,
 // returning how many were dequeued.
 func (s *Striped[T]) DequeueBatch(out []T) int {
-	h := s.pool.get()
+	h := s.pool.mustGet()
 	n := h.DequeueBatch(out)
 	s.pool.put(h)
 	return n
 }
+
+// EnqueueWait inserts v through a pooled handle, blocking while the
+// borrowed handle's lane is full. Reports handle-cap exhaustion as an
+// error rather than panicking.
+func (s *Striped[T]) EnqueueWait(ctx context.Context, v T) error {
+	h, err := s.pool.get()
+	if err != nil {
+		return err
+	}
+	err = h.EnqueueWait(ctx, v)
+	s.pool.put(h)
+	return err
+}
+
+// DequeueWait removes a value through a pooled handle, blocking while
+// every lane is empty; see StripedHandle.DequeueWait.
+func (s *Striped[T]) DequeueWait(ctx context.Context) (T, error) {
+	h, err := s.pool.get()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	v, err := h.DequeueWait(ctx)
+	s.pool.put(h)
+	return v, err
+}
+
+// DequeueBlock is DequeueWait without a deadline.
+func (s *Striped[T]) DequeueBlock() (T, error) { return s.DequeueWait(context.Background()) }
 
 // Footprint returns the live bytes across all lanes; it moves only
 // with the handle high-water mark.

@@ -1,6 +1,8 @@
 package wcq
 
 import (
+	"context"
+
 	"wcqueue/internal/unbounded"
 )
 
@@ -60,51 +62,115 @@ func (q *Unbounded[T]) Register() (*UnboundedHandle[T], error) {
 // parked handle stops pinning a ring.
 func (h *UnboundedHandle[T]) Unregister() { h.q.q.Unregister(h.h) }
 
-// Enqueue appends v. Never fails.
-func (h *UnboundedHandle[T]) Enqueue(v T) { h.q.q.Enqueue(h.h, v) }
+// Enqueue appends v. Fails (returns false) only when the queue is
+// closed — capacity never runs out.
+func (h *UnboundedHandle[T]) Enqueue(v T) bool { return h.q.q.Enqueue(h.h, v) }
 
 // Dequeue removes the oldest value, or returns ok=false when empty.
 func (h *UnboundedHandle[T]) Dequeue() (v T, ok bool) { return h.q.q.Dequeue(h.h) }
 
-// EnqueueBatch appends all values in order, amortizing ring
-// reservations over the batch. Never fails.
-func (h *UnboundedHandle[T]) EnqueueBatch(vs []T) { h.q.q.EnqueueBatch(h.h, vs) }
+// EnqueueBatch appends values in order, amortizing ring reservations
+// over the batch. Returns how many were inserted: len(vs) normally,
+// fewer when the queue closes mid-batch (a short write — the counted
+// prefix is in the queue and will be drained; the rest was not
+// inserted).
+func (h *UnboundedHandle[T]) EnqueueBatch(vs []T) int { return h.q.q.EnqueueBatch(h.h, vs) }
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order, returning how many were dequeued.
 func (h *UnboundedHandle[T]) DequeueBatch(out []T) int { return h.q.q.DequeueBatch(h.h, out) }
 
-// Enqueue appends v through a pooled handle. Never fails.
-func (q *Unbounded[T]) Enqueue(v T) {
-	h := q.pool.get()
-	q.q.Enqueue(h, v)
+// EnqueueWait appends v. The queue is never full, so this does not
+// block: it returns nil on success or ErrClosed. ctx is accepted for
+// signature symmetry with the bounded shapes.
+func (h *UnboundedHandle[T]) EnqueueWait(ctx context.Context, v T) error {
+	return h.q.q.EnqueueWait(ctx, h.h, v)
+}
+
+// DequeueWait removes the oldest value, blocking while the queue is
+// empty. Returns the value, ErrClosed once the queue is closed and
+// drained, or ctx.Err() if the context is done first.
+func (h *UnboundedHandle[T]) DequeueWait(ctx context.Context) (T, error) {
+	return h.q.q.DequeueWait(ctx, h.h)
+}
+
+// DequeueBlock is DequeueWait without a deadline.
+func (h *UnboundedHandle[T]) DequeueBlock() (T, error) {
+	return h.q.q.DequeueWait(context.Background(), h.h)
+}
+
+// Enqueue appends v through a pooled handle. Fails only when the
+// queue is closed.
+func (q *Unbounded[T]) Enqueue(v T) bool {
+	h := q.pool.mustGet()
+	ok := q.q.Enqueue(h, v)
 	q.pool.put(h)
+	return ok
 }
 
 // Dequeue removes the oldest value through a pooled handle, or
 // returns ok=false when the whole queue is empty.
 func (q *Unbounded[T]) Dequeue() (v T, ok bool) {
-	h := q.pool.get()
+	h := q.pool.mustGet()
 	v, ok = q.q.Dequeue(h)
 	q.pool.put(h)
 	return v, ok
 }
 
-// EnqueueBatch appends all values in order through a pooled handle.
-func (q *Unbounded[T]) EnqueueBatch(vs []T) {
-	h := q.pool.get()
-	q.q.EnqueueBatch(h, vs)
+// EnqueueBatch appends values in order through a pooled handle,
+// returning how many were inserted (a short count when the queue
+// closes mid-batch; see UnboundedHandle.EnqueueBatch).
+func (q *Unbounded[T]) EnqueueBatch(vs []T) int {
+	h := q.pool.mustGet()
+	n := q.q.EnqueueBatch(h, vs)
 	q.pool.put(h)
+	return n
 }
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order through a pooled handle, returning how many were dequeued.
 func (q *Unbounded[T]) DequeueBatch(out []T) int {
-	h := q.pool.get()
+	h := q.pool.mustGet()
 	n := q.q.DequeueBatch(h, out)
 	q.pool.put(h)
 	return n
 }
+
+// EnqueueWait appends v through a pooled handle; nil or ErrClosed.
+// Reports handle-cap exhaustion as an error rather than panicking.
+func (q *Unbounded[T]) EnqueueWait(ctx context.Context, v T) error {
+	h, err := q.pool.get()
+	if err != nil {
+		return err
+	}
+	err = q.q.EnqueueWait(ctx, h, v)
+	q.pool.put(h)
+	return err
+}
+
+// DequeueWait removes the oldest value through a pooled handle,
+// blocking while the queue is empty; see UnboundedHandle.DequeueWait.
+func (q *Unbounded[T]) DequeueWait(ctx context.Context) (T, error) {
+	h, err := q.pool.get()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	v, err := q.q.DequeueWait(ctx, h)
+	q.pool.put(h)
+	return v, err
+}
+
+// DequeueBlock is DequeueWait without a deadline.
+func (q *Unbounded[T]) DequeueBlock() (T, error) { return q.DequeueWait(context.Background()) }
+
+// Close closes the queue: subsequent enqueues fail and dequeuers drain
+// the remaining values before observing ErrClosed. Blocks until
+// in-flight enqueues retire. Idempotent.
+func (q *Unbounded[T]) Close() { q.q.Close() }
+
+// Closed reports whether Close has been called.
+func (q *Unbounded[T]) Closed() bool { return q.q.Closed() }
 
 // Footprint returns current queue-owned bytes: linked rings, their
 // record arenas, plus the bounded standby inventory of recycled rings

@@ -53,11 +53,34 @@
 //	for _, req := range buf[:n] {
 //		process(req)
 //	}
+//
+// For consumers that would otherwise spin-poll, every shape has
+// blocking variants with close/drain semantics (DESIGN.md §10):
+//
+//	v, err := h.DequeueWait(ctx) // parks at zero CPU until a value,
+//	                             // ctx.Done(), or close-and-drained
+//	err = h.EnqueueWait(ctx, v)  // parks while full
+//	v, err = h.DequeueBlock()    // DequeueWait without a deadline
+//	q.Close()                    // enqueues fail; accepted values are
+//	                             // drained exactly once, then blocked
+//	                             // dequeuers observe ErrClosed
+//
+// The blocking layer parks on an eventcount and leaves the
+// non-blocking fast paths untouched while no waiter is parked; see
+// examples/workerpool for the channel-replacement pattern.
 package wcq
 
 import (
+	"context"
+
 	"wcqueue/internal/core"
 )
+
+// ErrClosed is returned by the blocking operations of a closed queue:
+// by EnqueueWait as soon as Close is called, and by DequeueWait /
+// DequeueBlock once the queue is closed and fully drained. Compare
+// with errors.Is.
+var ErrClosed = core.ErrClosed
 
 // config collects every construction knob; core ring options plus the
 // shapes' own parameters.
@@ -186,19 +209,43 @@ func (h *Handle[T]) EnqueueBatch(vs []T) int { return h.q.q.EnqueueBatch(h.h, vs
 // order and returns how many were dequeued. Wait-free.
 func (h *Handle[T]) DequeueBatch(out []T) int { return h.q.q.DequeueBatch(h.h, out) }
 
+// EnqueueWait inserts v, blocking while the queue is full. Returns nil
+// on success, ErrClosed if the queue is (or becomes) closed before the
+// value is inserted, or ctx.Err() if the context is done first.
+func (h *Handle[T]) EnqueueWait(ctx context.Context, v T) error {
+	return h.q.q.EnqueueWait(ctx, h.h, v)
+}
+
+// DequeueWait removes the oldest value, blocking while the queue is
+// empty. Returns the value, ErrClosed once the queue is closed and
+// drained, or ctx.Err() if the context is done first. Values accepted
+// before Close are always delivered before ErrClosed.
+func (h *Handle[T]) DequeueWait(ctx context.Context) (T, error) {
+	return h.q.q.DequeueWait(ctx, h.h)
+}
+
+// DequeueBlock is DequeueWait without a deadline: it blocks until a
+// value arrives or the queue is closed and drained (ErrClosed).
+func (h *Handle[T]) DequeueBlock() (T, error) {
+	return h.q.q.DequeueWait(context.Background(), h.h)
+}
+
 // Enqueue inserts v through a pooled handle, returning false if the
-// queue is full. Prefer an explicit Handle on hot paths.
+// queue is full or closed. Prefer an explicit Handle on hot paths.
+// Panics with an error wrapping ErrHandlesExhausted if the handle cap
+// is pinned by explicit handles (see mustGet).
 func (q *Queue[T]) Enqueue(v T) bool {
-	h := q.pool.get()
+	h := q.pool.mustGet()
 	ok := q.q.Enqueue(h, v)
 	q.pool.put(h)
 	return ok
 }
 
 // Dequeue removes the oldest value through a pooled handle, returning
-// ok=false when the queue is empty.
+// ok=false when the queue is empty. Panics with an error wrapping
+// ErrHandlesExhausted if the handle cap is pinned by explicit handles.
 func (q *Queue[T]) Dequeue() (v T, ok bool) {
-	h := q.pool.get()
+	h := q.pool.mustGet()
 	v, ok = q.q.Dequeue(h)
 	q.pool.put(h)
 	return v, ok
@@ -207,7 +254,7 @@ func (q *Queue[T]) Dequeue() (v T, ok bool) {
 // EnqueueBatch inserts up to len(vs) values in order through a pooled
 // handle, returning how many were inserted.
 func (q *Queue[T]) EnqueueBatch(vs []T) int {
-	h := q.pool.get()
+	h := q.pool.mustGet()
 	n := q.q.EnqueueBatch(h, vs)
 	q.pool.put(h)
 	return n
@@ -216,11 +263,51 @@ func (q *Queue[T]) EnqueueBatch(vs []T) int {
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order through a pooled handle, returning how many were dequeued.
 func (q *Queue[T]) DequeueBatch(out []T) int {
-	h := q.pool.get()
+	h := q.pool.mustGet()
 	n := q.q.DequeueBatch(h, out)
 	q.pool.put(h)
 	return n
 }
+
+// EnqueueWait inserts v through a pooled handle, blocking while the
+// queue is full. Unlike the bool methods it reports cap exhaustion as
+// an error (wrapping ErrHandlesExhausted) rather than panicking.
+func (q *Queue[T]) EnqueueWait(ctx context.Context, v T) error {
+	h, err := q.pool.get()
+	if err != nil {
+		return err
+	}
+	err = q.q.EnqueueWait(ctx, h, v)
+	q.pool.put(h)
+	return err
+}
+
+// DequeueWait removes the oldest value through a pooled handle,
+// blocking while the queue is empty; see Handle.DequeueWait. The
+// borrowed handle is held for the duration of the wait.
+func (q *Queue[T]) DequeueWait(ctx context.Context) (T, error) {
+	h, err := q.pool.get()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	v, err := q.q.DequeueWait(ctx, h)
+	q.pool.put(h)
+	return v, err
+}
+
+// DequeueBlock is DequeueWait without a deadline.
+func (q *Queue[T]) DequeueBlock() (T, error) { return q.DequeueWait(context.Background()) }
+
+// Close closes the queue: subsequent enqueues fail, blocked enqueuers
+// return ErrClosed, and dequeuers — blocked or not — drain every value
+// accepted before Close and then observe ErrClosed. Close blocks until
+// in-flight enqueues retire, so an enqueue that reported success
+// always has its value delivered. Idempotent.
+func (q *Queue[T]) Close() { q.q.Close() }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.q.Closed() }
 
 // Cap returns the queue capacity (2^order).
 func (q *Queue[T]) Cap() int { return q.q.Cap() }
