@@ -8,13 +8,19 @@
 //	wcqbench -experiment memory -threads 1,2,4,8
 //	wcqbench -experiment all -ops 1000000          # every figure
 //	wcqbench -experiment patience                  # ablation A1/A3
+//	wcqbench -experiment diet                      # ablation E5 (atomic diet A/B)
 //	wcqbench -experiment pairwise,pairwise-batch,striped -json BENCH_pr1.json
+//	wcqbench -experiment direct-pairwise -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Output is one table per experiment in the row format of the paper's
 // figures (queue, thread count, Mops/s, CV, and footprint for the
 // memory test). With -json, every measured point of the invocation is
 // additionally written to the given file as machine-readable JSON —
-// the BENCH_*.json trajectory artifacts committed per PR.
+// the BENCH_*.json trajectory artifacts committed per PR; meta records
+// the source commit and the host vCPU count so trajectory comparisons
+// can tell runs (and noisy hosts) apart. With -cpuprofile/-memprofile,
+// pprof profiles of the whole sweep are written at exit, so hot-path
+// regressions can be diagnosed without editing the harness.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -36,6 +43,8 @@ func main() {
 		threads  = flag.String("threads", "", "comma-separated thread counts (default: 1,2,4..2×GOMAXPROCS)")
 		order    = flag.Uint("ring-order", 16, "wCQ/SCQ ring order (capacity 2^order, paper: 16)")
 		jsonPath = flag.String("json", "", "write measured points as JSON to this file (BENCH_*.json)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile at sweep end to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +54,14 @@ func main() {
 	}
 	opts := bench.RunOptions{Ops: *ops, Repeats: *repeats, Threads: tlist, RingOrder: *order}
 
+	// Profiles open (and fail) before any measurement runs, like the
+	// JSON sink below: a mistyped path must not cost a finished sweep.
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+
 	// Open the JSON sink up front so a bad path fails before the
 	// sweep burns minutes of measurement. The ablations and the list
 	// command produce no Result points, so -json would silently write
@@ -52,7 +69,7 @@ func main() {
 	var jsonFile *os.File
 	if *jsonPath != "" {
 		switch *expID {
-		case "list", "patience", "helpdelay", "remap":
+		case "list", "patience", "helpdelay", "remap", "diet":
 			fatal(fmt.Errorf("-json is not supported with -experiment %s (no sweep points)", *expID))
 		}
 		f, err := os.Create(*jsonPath)
@@ -83,6 +100,7 @@ func main() {
 		fmt.Printf("  %-14s %s\n", "patience", "A1/A3: MAX_PATIENCE ablation + slow-path frequency")
 		fmt.Printf("  %-14s %s\n", "helpdelay", "A2: HELP_DELAY ablation")
 		fmt.Printf("  %-14s %s\n", "remap", "A4: Cache_Remap ablation")
+		fmt.Printf("  %-14s %s\n", "diet", "E5: hot-path atomic-diet A/B ablation")
 		fmt.Printf("  %-14s %s\n", "all", "every figure experiment")
 		return
 	case "all":
@@ -111,13 +129,18 @@ func main() {
 			fatal(err)
 		}
 		return
+	case "diet":
+		if err := bench.RunDietAblation(os.Stdout, ablationThreads(tlist), *ops); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// Comma-separated experiment ids run in sequence into one report.
 	for _, id := range strings.Split(*expID, ",") {
 		id = strings.TrimSpace(id)
 		switch id {
-		case "patience", "helpdelay", "remap":
+		case "patience", "helpdelay", "remap", "diet":
 			fatal(fmt.Errorf("ablation %q cannot be combined in a comma list; run -experiment %s alone", id, id))
 		}
 		e, ok := bench.FindExperiment(id)
@@ -165,6 +188,52 @@ func parseThreads(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// startProfiles validates and opens the -cpuprofile/-memprofile sinks
+// and starts CPU profiling, returning the stop/flush function. Both
+// paths are validated up front — a sweep can run for minutes, and a
+// profile that fails to open at the END would discard it all. The
+// profiles cover the whole invocation (every experiment in the comma
+// list), which is what hot-path regression hunts want: the dominant
+// samples land in the queue operations themselves.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile, memFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if memPath != "" {
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "wcqbench: wrote CPU profile to %s\n", cpuPath)
+		}
+		if memFile != nil {
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(memFile, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "wcqbench: -memprofile:", err)
+			}
+			memFile.Close()
+			fmt.Fprintf(os.Stderr, "wcqbench: wrote allocation profile to %s\n", memPath)
+		}
+	}, nil
 }
 
 func ablationThreads(tlist []int) int {

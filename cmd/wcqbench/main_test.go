@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -53,4 +54,55 @@ func TestParseThreads(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestStartProfilesValidation(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("no-profiles", func(t *testing.T) {
+		stop, err := startProfiles("", "")
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		stop() // must be a safe no-op
+	})
+
+	t.Run("bad-cpu-path", func(t *testing.T) {
+		_, err := startProfiles(dir+"/no/such/dir/cpu.pprof", "")
+		if err == nil || !strings.Contains(err.Error(), "-cpuprofile") {
+			t.Fatalf("unwritable cpu path accepted (err=%v)", err)
+		}
+	})
+
+	t.Run("bad-mem-path-stops-cpu", func(t *testing.T) {
+		// The CPU profile must be cleanly stopped when the mem path
+		// fails, or the next StartCPUProfile in this process errors.
+		_, err := startProfiles(dir+"/cpu1.pprof", dir+"/no/such/dir/mem.pprof")
+		if err == nil || !strings.Contains(err.Error(), "-memprofile") {
+			t.Fatalf("unwritable mem path accepted (err=%v)", err)
+		}
+		stop, err := startProfiles(dir+"/cpu2.pprof", "")
+		if err != nil {
+			t.Fatalf("CPU profiling left running after failed start: %v", err)
+		}
+		stop()
+	})
+
+	t.Run("writes-both", func(t *testing.T) {
+		cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+		stop, err := startProfiles(cpu, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop()
+		for _, p := range []string{cpu, mem} {
+			st, err := os.Stat(p)
+			if err != nil {
+				t.Fatalf("profile %s not written: %v", p, err)
+			}
+			if st.Size() == 0 {
+				t.Fatalf("profile %s is empty", p)
+			}
+		}
+	})
 }

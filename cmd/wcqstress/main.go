@@ -42,6 +42,9 @@ func defaultWorkers() int {
 	if n < 1 {
 		n = 1
 	}
+	if n > check.MaxProducers {
+		n = check.MaxProducers // the value encoding's producer-id budget
+	}
 	return n
 }
 
@@ -62,6 +65,10 @@ func main() {
 
 	if *producers < 1 || *consumers < 1 {
 		fmt.Fprintf(os.Stderr, "wcqstress: -producers %d / -consumers %d out of range (want >= 1 each)\n", *producers, *consumers)
+		os.Exit(1)
+	}
+	if *producers > check.MaxProducers {
+		fmt.Fprintf(os.Stderr, "wcqstress: -producers %d exceeds the value encoding's producer budget (max %d: ids must fit the 52-bit direct-queue payload; see check.Encode)\n", *producers, check.MaxProducers)
 		os.Exit(1)
 	}
 	if *per < 1 {

@@ -2,17 +2,29 @@
 // Wait-Free Queue with Bounded Memory Usage" (Nikolaev & Ravindran,
 // SPAA '22), grown toward a production-scale queueing substrate.
 //
-// The public API lives in the wcq and scq subpackages. Four queue
-// shapes are exported: the paper's bounded wait-free wcq.Queue, the
+// The public API lives in the wcq and scq subpackages. The indirect
+// (two-ring) shapes are: the paper's bounded wait-free wcq.Queue, the
 // unbounded wcq.Unbounded (Appendix A) — which recycles drained rings
 // through a bounded hazard-pointer-protected pool, so steady-state
 // ring hops allocate nothing and its footprint stays flat — the
 // lock-free scq.Queue baseline, and wcq.Striped — a sharded front-end
 // striping W independent rings with per-handle lane affinity and
 // work-stealing dequeues, for workloads that out-scale a single
-// ring's fetch-and-add. All four support batched operations
+// ring's fetch-and-add. All support batched operations
 // (EnqueueBatch/DequeueBatch) that reserve ring positions for k
 // operations with a single fetch-and-add.
+//
+// For payloads that fit in 52 bits — pointers, small integers,
+// anything mapped through a wcq.Codec — the direct-value shapes
+// (wcq.Direct, wcq.DirectStriped, wcq.DirectUnbounded; DESIGN.md §11)
+// store the value in the ring entry itself, halving the atomic-RMW
+// count per transfer (~2× pairwise throughput single-threaded).
+// Choosing between them: take Direct when the payload fits and raw
+// throughput matters; take the indirect shapes when values are wider
+// than 52 bits, when wait-freedom (rather than lock-freedom) is
+// required, when you need the blocking/Close layer, or when per-ring
+// operation counts can exceed the direct layout's tighter MaxOps wrap
+// bound.
 //
 // Registration is dynamic: constructors take no thread count.
 // Per-participant records live in chunked grow-only arenas published

@@ -89,4 +89,19 @@ func main() {
 	if v, ok := sh.Dequeue(); ok {
 		fmt.Printf("striped (%d lanes, cap %d): got %q\n", sq.Stripes(), sq.Cap(), v)
 	}
+
+	// Direct: when the payload fits in 52 bits (small integers,
+	// pointers via wcq.PointerCodec, or a custom wcq.Codec), the value
+	// lives in the ring entry itself — half the atomics per transfer,
+	// roughly 2x pairwise throughput. The trade: lock-free instead of
+	// wait-free, no blocking/Close layer, and a tighter per-ring
+	// operation budget (MaxOps). Prefer Direct on hot paths moving ids
+	// or pointers; keep Queue for wide values, wait-freedom, or
+	// blocking consumers.
+	dq := wcq.MustDirect[uint32](10)
+	dq.Enqueue(42) // handle-free by construction: no registration at all
+	if v, ok := dq.Dequeue(); ok {
+		fmt.Printf("direct (cap %d, %d value bits, maxOps %.1e): got %d\n",
+			dq.Cap(), dq.ValueBits(), float64(dq.MaxOps()), v)
+	}
 }

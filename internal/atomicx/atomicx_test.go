@@ -1,6 +1,7 @@
 package atomicx
 
 import (
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -112,5 +113,42 @@ func TestFlagBitsDisjointFromPairBits(t *testing.T) {
 	}
 	if FIN&CounterMask != 0 || INC&CounterMask != 0 {
 		t.Fatal("flags overlap the counter mask")
+	}
+}
+
+func TestRelaxedAccessorsRoundTrip(t *testing.T) {
+	// The relaxed accessors must agree with the seq-cst view on both
+	// build variants (plain on TSO non-race builds, atomic elsewhere):
+	// whatever was last stored through either path is what both paths
+	// read back.
+	var u atomic.Uint64
+	u.Store(0xDEADBEEFCAFE)
+	if got := RelaxedLoad(&u); got != 0xDEADBEEFCAFE {
+		t.Fatalf("RelaxedLoad = %#x, want %#x", got, uint64(0xDEADBEEFCAFE))
+	}
+	var i atomic.Int64
+	i.Store(-7)
+	if got := RelaxedLoadInt64(&i); got != -7 {
+		t.Fatalf("RelaxedLoadInt64 = %d, want -7", got)
+	}
+	i.Store(41)
+	if got := RelaxedLoadInt64(&i); got != 41 {
+		t.Fatalf("RelaxedLoadInt64 = %d, want 41", got)
+	}
+}
+
+func TestRelaxedLoadSeesCrossGoroutineStores(t *testing.T) {
+	// A seq-cst store on one goroutine is observed by a relaxed load on
+	// another once a happens-before edge exists (the channel handoff,
+	// which also keeps the race detector happy).
+	var v atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		v.Store(99)
+		close(done)
+	}()
+	<-done
+	if got := RelaxedLoadInt64(&v); got != 99 {
+		t.Fatalf("RelaxedLoadInt64 after handoff = %d, want 99", got)
 	}
 }

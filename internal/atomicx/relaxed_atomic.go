@@ -1,0 +1,17 @@
+//go:build !amd64 || race
+
+package atomicx
+
+import "sync/atomic"
+
+// Portable/race-detector fallbacks for the relaxed accessors: the same
+// call sites run with full seq-cst operations, so weakly ordered
+// machines keep their fences and the race detector sees synchronized
+// accesses. See relaxed_fast.go for the TSO variants and the safety
+// contract.
+
+// RelaxedLoad loads p. On this build it is a seq-cst load.
+func RelaxedLoad(p *atomic.Uint64) uint64 { return p.Load() }
+
+// RelaxedLoadInt64 loads p. On this build it is a seq-cst load.
+func RelaxedLoadInt64(p *atomic.Int64) int64 { return p.Load() }

@@ -1,0 +1,44 @@
+//go:build amd64 && !race
+
+package atomicx
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// This file provides the relaxed ("atomic diet") variants of the hot
+// loads and stores for TSO hardware. On x86-64 every aligned 64-bit
+// plain access is single-copy atomic, loads carry acquire semantics
+// and stores release semantics for free; the only thing Go's seq-cst
+// atomics add is the trailing store fence (atomic.Store compiles to
+// XCHG) and a compiler reordering barrier. The callers below are
+// exactly the sites where neither is needed:
+//
+//   - RelaxedLoad feeds a CAS loop (the CAS re-validates the value, so
+//     a stale read costs one retry) or a conservative early-exit (a
+//     stale read makes the caller do strictly more work, never less).
+//
+// Stores are deliberately NOT offered: a store relaxed to a plain MOV
+// can sit in the writer's store buffer past its operation's return,
+// letting a reader that starts strictly later observe the old value —
+// a real-time linearizability hole for state like the threshold (the
+// re-arm store therefore stays seq-cst; see core.WCQ.rearmThreshold).
+//
+// Race builds and non-TSO architectures use relaxed_atomic.go:
+// identical semantics through seq-cst operations, so the race
+// detector observes properly synchronized accesses and weakly ordered
+// machines keep the fences. DESIGN.md §11 carries the full argument
+// per call site.
+
+// RelaxedLoad loads p without ordering guarantees beyond same-location
+// coherence. Use only where the value is re-validated (CAS) or where
+// staleness is conservative.
+func RelaxedLoad(p *atomic.Uint64) uint64 {
+	return *(*uint64)(unsafe.Pointer(p))
+}
+
+// RelaxedLoadInt64 is RelaxedLoad for int64 words.
+func RelaxedLoadInt64(p *atomic.Int64) int64 {
+	return *(*int64)(unsafe.Pointer(p))
+}

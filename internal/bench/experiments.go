@@ -78,6 +78,19 @@ var Experiments = []Experiment{
 		Workload: Pairwise, Queues: []string{"wCQ", "wCQ-Implicit"}},
 	{ID: "implicit-batch", Figure: "D2 (implicit vs explicit through the batched paths, k=16: acquire cost amortized)",
 		Workload: Pairwise, Queues: []string{"wCQ", "wCQ-Implicit"}, Batch: 16},
+	// PR 5 series (DESIGN.md §11): the direct-value single ring versus
+	// the two-ring indirection, and the unbounded composition of both.
+	{ID: "direct-pairwise", Figure: "E0 (direct vs indirect wCQ, pairwise: 2 ring ops per transfer vs 4)",
+		Workload: Pairwise, Queues: []string{"wCQ", "SCQ", "wCQ-Direct"}},
+	{ID: "direct-random", Figure: "E1 (direct vs indirect wCQ, 50%/50%)",
+		Workload: Random5050, Queues: []string{"wCQ", "SCQ", "wCQ-Direct"}},
+	{ID: "direct-batch", Figure: "E2 (direct vs indirect through the batched paths, k=16)",
+		Workload: Pairwise, Queues: []string{"wCQ", "wCQ-Direct"}, Batch: 16},
+	{ID: "direct-unbounded", Figure: "E3 (unbounded composition: direct rings vs indirect rings, pairwise)",
+		Workload: Pairwise, Queues: []string{"wCQ-Unbounded", "wCQ-Direct-Unbounded"}},
+	{ID: "direct-churn", Figure: "E4 (ring churn on direct rings: order-3, 64-op bursts; allocs after warm-up + peak footprint)",
+		Workload: RingChurn, Queues: []string{"wCQ-Unbounded", "wCQ-Direct-Unbounded"}, MeasureMemory: true,
+		RingOrder: 3, PoolSize: 16},
 }
 
 // batchQueues are the queues implementing queueiface.BatchQueue,
@@ -266,6 +279,45 @@ func RunRemapAblation(w io.Writer, threads, ops int) error {
 	return nil
 }
 
+// RunDietAblation measures the hot-path atomic diet A/B (experiment
+// E5, DESIGN.md §11): the same wCQ pairwise sweep built with the diet
+// on (default) and off (Options.ConservativeAtomics — seq-cst entry
+// loads and threshold accesses, per-position batch bookkeeping). The
+// delta is the diet's whole contribution; correctness is covered by
+// the conformance suites running the diet build under -race (which
+// compiles the relaxed accessors down to seq-cst ones) AND the
+// conservative build in TestDirectRingMPMC.
+func RunDietAblation(w io.Writer, threads, ops int) error {
+	fmt.Fprintf(w, "# E5: atomic-diet ablation — pairwise, %d threads, %d ops\n", threads, ops)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "atomics\tscalar-Mops/s\tbatch16-Mops/s")
+	for _, conservative := range []bool{false, true} {
+		q, err := core.NewQueue[uint64](12, core.Options{ConservativeAtomics: conservative})
+		if err != nil {
+			return err
+		}
+		scalar, err := runWCQPairwise(q, threads, ops)
+		if err != nil {
+			return err
+		}
+		qb, err := core.NewQueue[uint64](12, core.Options{ConservativeAtomics: conservative})
+		if err != nil {
+			return err
+		}
+		res, err := Run(&wcqDirect{q: qb}, Config{Threads: threads, Ops: ops, Repeats: 3, Workload: Pairwise, Batch: 16})
+		if err != nil {
+			return err
+		}
+		label := "relaxed (diet)"
+		if conservative {
+			label = "seq-cst"
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\n", label, scalar, res.Mops)
+	}
+	return nil
+}
+
 // runWCQPairwise drives a typed wCQ queue directly (the ablations need
 // access to core.Options and Stats).
 func runWCQPairwise(q *core.Queue[uint64], threads, ops int) (float64, error) {
@@ -284,5 +336,11 @@ func (a *wcqDirect) Register() (any, error)       { return a.q.Register() }
 func (a *wcqDirect) Unregister(h any)             { a.q.Unregister(h.(*core.Handle)) }
 func (a *wcqDirect) Enqueue(h any, v uint64) bool { return a.q.Enqueue(h.(*core.Handle), v) }
 func (a *wcqDirect) Dequeue(h any) (uint64, bool) { return a.q.Dequeue(h.(*core.Handle)) }
-func (a *wcqDirect) Footprint() int64             { return a.q.Footprint() }
-func (a *wcqDirect) Name() string                 { return "wCQ" }
+func (a *wcqDirect) EnqueueBatch(h any, vs []uint64) int {
+	return a.q.EnqueueBatch(h.(*core.Handle), vs)
+}
+func (a *wcqDirect) DequeueBatch(h any, out []uint64) int {
+	return a.q.DequeueBatch(h.(*core.Handle), out)
+}
+func (a *wcqDirect) Footprint() int64 { return a.q.Footprint() }
+func (a *wcqDirect) Name() string     { return "wCQ" }

@@ -3,25 +3,78 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 )
 
 // ReportMeta describes the machine and sweep parameters a JSON report
 // was measured under, so trajectory points from different PRs remain
-// comparable.
+// comparable. Commit and VCPUs exist because trajectory comparisons
+// across PRs need to tell runs apart: PR 4's numbers carried visible
+// steal-time noise from a single-vCPU host, and without the host
+// shape and source revision in the artifact that is invisible later.
 type ReportMeta struct {
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	Ops        int    `json:"ops"`
-	Repeats    int    `json:"repeats"`
-	RingOrder  uint   `json:"ring_order"`
+	// VCPUs is the host's logical CPU count (runtime.NumCPU), which
+	// GOMAXPROCS may understate when capped.
+	VCPUs int `json:"vcpus"`
+	// Commit is the source revision the binary was built from:
+	// the module build info's vcs.revision when stamped, else the
+	// working tree's HEAD via git, else "unknown". A "-dirty" suffix
+	// marks uncommitted changes when that is known.
+	Commit    string `json:"commit"`
+	Ops       int    `json:"ops"`
+	Repeats   int    `json:"repeats"`
+	RingOrder uint   `json:"ring_order"`
 }
 
 // Report is the machine-readable benchmark artifact (BENCH_*.json).
 type Report struct {
 	Meta    ReportMeta `json:"meta"`
 	Results []Result   `json:"results"`
+}
+
+// DetectCommit resolves the source commit for ReportMeta.Commit: the
+// binary's stamped VCS revision when present (go build), else git on
+// the PROCESS WORKING DIRECTORY (go run never stamps), else
+// "unknown". The fallback is right for the intended use — `go run
+// ./cmd/wcqbench` from this repository — but a stamp-less binary
+// invoked from inside some other checkout records that repo's HEAD;
+// prefer a VCS-stamped build when running from elsewhere.
+func DetectCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		if rev != "" {
+			if modified == "true" {
+				return rev + "-dirty"
+			}
+			return rev
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	rev := strings.TrimSpace(string(out))
+	// Untracked files are excluded: the sweep itself creates artifacts
+	// (the -json report, profiles) that must not mark a clean source
+	// tree dirty.
+	if st, err := exec.Command("git", "status", "--porcelain", "--untracked-files=no").Output(); err == nil && len(st) > 0 {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 // NewReport assembles a Report for the given sweep options.
@@ -32,6 +85,8 @@ func NewReport(opts RunOptions, results []Result) Report {
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			VCPUs:      runtime.NumCPU(),
+			Commit:     DetectCommit(),
 			Ops:        opts.Ops,
 			Repeats:    opts.Repeats,
 			RingOrder:  opts.RingOrder,

@@ -10,16 +10,32 @@ import (
 	"sort"
 )
 
-// Encode packs a (producer, sequence) pair into a queue value.
-// Producers get 16 bits, sequences 47 — within the 63-bit payload
-// every queue in this repository carries.
+// MaxProducers is the largest producer count Encode can represent:
+// the 8-bit producer field sits above bit 44, keeping every value
+// within the 52-bit payload the direct-value queues carry (DESIGN.md
+// §11) — the tightest in the repository (indirect queues carry 63).
+// Drivers that accept a producer-count flag must validate against this
+// up front (wcqstress does) so an oversized run fails with a clear
+// error instead of a panic mid-stress.
+const MaxProducers = 256
+
+// Encode packs a (producer, sequence) pair into a queue value:
+// 8 producer bits above bit 44, 44 sequence bits below. Inputs beyond
+// either field panic with the cause named, rather than silently
+// corrupting a direct ring's entry encoding downstream.
 func Encode(producer int, seq uint64) uint64 {
-	return uint64(producer)<<47 | seq
+	if producer < 0 || producer >= MaxProducers {
+		panic(fmt.Sprintf("check: producer id %d exceeds the 52-bit direct-payload budget (max %d producers)", producer, MaxProducers))
+	}
+	if seq >= 1<<44 {
+		panic(fmt.Sprintf("check: sequence %d exceeds the 44-bit field", seq))
+	}
+	return uint64(producer)<<44 | seq
 }
 
 // Decode splits a value produced by Encode.
 func Decode(v uint64) (producer int, seq uint64) {
-	return int(v >> 47), v & (1<<47 - 1)
+	return int(v >> 44), v & (1<<44 - 1)
 }
 
 // Report is the outcome of Verify.

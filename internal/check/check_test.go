@@ -6,13 +6,32 @@ import (
 )
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	f := func(p uint16, seq uint64) bool {
-		seq &= 1<<47 - 1
+	f := func(p uint8, seq uint64) bool {
+		seq &= 1<<44 - 1
 		gp, gs := Decode(Encode(int(p), seq))
 		return gp == int(p) && gs == seq
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsOutOfBudgetInputs(t *testing.T) {
+	// The 52-bit direct-payload budget admits 256 producers and 44-bit
+	// sequences; inputs beyond either must fail with a message naming
+	// the cause rather than crash deep inside a direct ring.
+	for _, tc := range []struct {
+		p   int
+		seq uint64
+	}{{256, 0}, {-1, 0}, {0, 1 << 44}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode(%d, %d) did not panic", tc.p, tc.seq)
+				}
+			}()
+			Encode(tc.p, tc.seq)
+		}()
 	}
 }
 

@@ -20,16 +20,20 @@ import "wcqueue/internal/atomicx"
 // path, preserving intra-batch FIFO order. Like Enqueue, this must
 // only be used on rings that are never finalized.
 func (q *WCQ) EnqueueBatch(tid int, indices []uint64) {
+	q.enqueueBatchRec(q.rec(tid), indices)
+}
+
+// enqueueBatchRec is EnqueueBatch for callers that cache the record.
+func (q *WCQ) enqueueBatchRec(rec *record, indices []uint64) {
 	k := uint64(len(indices))
 	if k == 0 {
 		return
 	}
 	if k == 1 {
-		q.Enqueue(tid, indices[0])
+		q.enqueueRec(rec, indices[0])
 		return
 	}
-	rec := q.rec(tid)
-	q.helpThreads(rec)
+	q.helpTick(rec, len(indices))
 
 	t0 := atomicx.PairCnt(q.faaAddRaw(&q.tail, k))
 	for i, index := range indices {
@@ -37,7 +41,7 @@ func (q *WCQ) EnqueueBatch(tid int, indices []uint64) {
 			// Straggler: scalar re-enqueue reserves fresh, later
 			// positions, so everything still pending must follow it.
 			for _, rest := range indices[i:] {
-				q.Enqueue(tid, rest)
+				q.enqueueRec(rec, rest)
 			}
 			return
 		}
@@ -51,28 +55,49 @@ func (q *WCQ) EnqueueBatch(tid int, indices []uint64) {
 // dequeues after the reservation, which keeps out[] ordered — the
 // recovered values come from head positions past the whole reservation.
 func (q *WCQ) DequeueBatch(tid int, out []uint64) int {
-	k := uint64(len(out))
-	if k == 0 {
+	if len(out) == 0 {
 		return 0
 	}
-	if q.threshold.Load() < 0 {
+	if !q.thresholdNonNegative() {
 		return 0 // empty fast-exit
 	}
-	if k == 1 {
-		index, ok := q.Dequeue(tid)
+	return q.dequeueBatchAny(q.rec(tid), out)
+}
+
+// dequeueBatchAny dispatches a cached-record batched dequeue of any
+// size >= 1 (size 1 falls back to the scalar path, as DequeueBatch
+// does). The caller must have checked thresholdNonNegative.
+func (q *WCQ) dequeueBatchAny(rec *record, out []uint64) int {
+	if len(out) == 1 {
+		index, ok := q.dequeueRec(rec)
 		if !ok {
 			return 0
 		}
 		out[0] = index
 		return 1
 	}
-	rec := q.rec(tid)
-	q.helpThreads(rec)
+	return q.dequeueBatchRec(rec, out)
+}
+
+// dequeueBatchRec is the batched dequeue body for callers that cache
+// the record. The caller must have checked thresholdNonNegative and
+// len(out) >= 2.
+//
+// Diet (DESIGN.md §11): reserved positions lost to races run in
+// deferred-threshold mode — no per-position threshold fetch-and-add.
+// The skip is strictly conservative (the budget stays higher than the
+// per-operation protocol's, so no premature empty conclusion), the
+// precise tail-caught-head detection still fires on a genuinely empty
+// queue, and the batch's own length bounds the extra work a too-high
+// budget can admit.
+func (q *WCQ) dequeueBatchRec(rec *record, out []uint64) int {
+	k := uint64(len(out))
+	q.helpTick(rec, len(out))
 
 	h0 := atomicx.PairCnt(q.faaAddRaw(&q.head, k))
 	n, retries := 0, 0
 	for i := uint64(0); i < k; i++ {
-		index, st := q.deqAtFast(h0 + i)
+		index, st := q.deqAtFast(h0+i, q.relaxed)
 		switch st {
 		case DeqOK:
 			out[n] = index
@@ -82,7 +107,10 @@ func (q *WCQ) DequeueBatch(tid int, out []uint64) int {
 		}
 	}
 	for ; retries > 0 && n < len(out); retries-- {
-		index, ok := q.Dequeue(tid)
+		if !q.thresholdNonNegative() {
+			break
+		}
+		index, ok := q.dequeueRec(rec)
 		if !ok {
 			break
 		}

@@ -1,0 +1,531 @@
+package core
+
+// This file implements the direct-value ring (DESIGN.md §11): one SCQ
+// ring whose entries carry the payload itself instead of an index into
+// a data array. The indirect construction (Figure 2) moves one value
+// with FOUR ring operations — fq dequeue + aq enqueue to insert, aq
+// dequeue + fq enqueue to remove — because index slots must be rented
+// and returned. Storing the value in the entry word eliminates the fq
+// ring entirely: one ring operation per insert, one per remove, which
+// halves the atomic-RMW count per transfer. This is the SCQP/SCQD
+// design of the SCQ lineage the paper builds on; where the original
+// uses double-width entries (CAS2: cycle word + data word), we apply
+// the repository's standing substitution (DESIGN.md §2) and pack both
+// into one 64-bit word:
+//
+//	[ cycle : 62-valueBits ][ IsSafe : 1 ][ value : valueBits+1 ]
+//
+// The value field is one bit wider than the declared payload width so
+// the two reserved encodings — ⊥ (empty, 2^f−2) and ⊥c (consumed,
+// 2^f−1, all field bits set so consume stays a single atomic OR) —
+// never collide with a payload. The price of packing is a narrower
+// cycle field and hence a tighter MaxOps wrap bound (see
+// NewDirectRing); the price of dropping the fq ring is that fullness
+// is no longer structural (the indirection construction could never
+// observe a full ring) and must be detected, which Enqueue does from
+// the Tail/Head distance.
+//
+// Progress: lock-free, not wait-free. The wCQ slow path needs a Note
+// field beside the cycle, and at useful payload widths (48-bit
+// pointers, 52-bit integers) the leftover bits cannot hold two cycle
+// fields wide enough to matter. The precedent is EnqueueClosable:
+// the unbounded construction already trades ring-local wait-freedom
+// for a simpler finalization protocol. Callers who need wait-freedom
+// keep the indirect Queue; callers who need throughput take this.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wcqueue/internal/atomicx"
+	"wcqueue/internal/bitops"
+	"wcqueue/internal/pad"
+)
+
+// MaxDirectValueBits is the widest payload a direct ring accepts. The
+// cap keeps at least 9 cycle bits, bounding MaxOps away from
+// toy-small; 52 bits covers x86-64/AArch64 user pointers (48-bit
+// virtual addresses) with room to spare.
+const MaxDirectValueBits = 52
+
+// DirectRing is a lock-free bounded MPMC ring of direct values in
+// [0, 2^valueBits). Capacity n = 2^order; 2n physical entries (the
+// half-empty headroom that keeps SCQ livelock-free). Handle-free: no
+// per-thread records, so any goroutine may call any method directly.
+type DirectRing struct {
+	order     uint   // k: n = 1<<k usable entries
+	ringOrder uint   // k+1: 2n physical entries
+	n         uint64 // capacity
+	posMask   uint64 // 2n-1
+	valBits   uint   // payload width (field is valBits+1 wide)
+	fieldMask uint64 // (1<<(valBits+1))-1
+	safeBit   uint64 // IsSafe, bit valBits+1
+	cycShift  uint   // valBits+2
+	cycMask   uint64
+	bottom    uint64 // ⊥  = all field bits but the lowest
+	bottomC   uint64 // ⊥c = all field bits set
+	thresh3n  int64
+	noRemap   bool
+	emulFAA   bool
+	relaxed   bool
+	maxOps    uint64
+
+	threshold pad.Int64
+	tail      pad.Uint64 // counter; bit 63 is the finalize flag
+	head      pad.Uint64 // counter
+
+	entries []atomic.Uint64
+}
+
+// NewDirectRing creates a direct ring of order k (capacity n = 2^k)
+// carrying payloads of valueBits bits. Honors opts.NoRemap,
+// opts.EmulatedFAA and opts.ConservativeAtomics; the patience and
+// handle options do not apply (there is no slow path and there are no
+// handles).
+//
+// The MaxOps wrap bound is (2^(62-valueBits)−2)·2^(k+1): packing the
+// payload beside the cycle narrows the cycle field, so wide payloads
+// trade operation budget for directness — 52-bit payloads at order 16
+// still clear 10^8 operations per ring, and the unbounded composition
+// renews the budget every ring hop.
+func NewDirectRing(order, valueBits uint, opts Options) (*DirectRing, error) {
+	if order < 1 || order > 24 {
+		return nil, fmt.Errorf("core: direct ring order %d out of range [1, 24]", order)
+	}
+	if valueBits < 1 || valueBits > MaxDirectValueBits {
+		return nil, fmt.Errorf("core: direct value width %d out of range [1, %d]", valueBits, MaxDirectValueBits)
+	}
+	field := valueBits + 1
+	r := &DirectRing{
+		order:     order,
+		ringOrder: order + 1,
+		n:         1 << order,
+		posMask:   1<<(order+1) - 1,
+		valBits:   valueBits,
+		fieldMask: 1<<field - 1,
+		safeBit:   1 << field,
+		cycShift:  field + 1,
+		cycMask:   1<<(63-field) - 1,
+		bottom:    1<<field - 2,
+		bottomC:   1<<field - 1,
+		thresh3n:  3*int64(1)<<order - 1,
+		noRemap:   opts.NoRemap,
+		emulFAA:   opts.EmulatedFAA,
+		relaxed:   !opts.ConservativeAtomics,
+	}
+	r.maxOps = (r.cycMask - 1) << r.ringOrder
+	r.entries = make([]atomic.Uint64, 1<<r.ringOrder)
+	r.initEmpty()
+	return r, nil
+}
+
+// MustDirectRing is NewDirectRing that panics on error.
+func MustDirectRing(order, valueBits uint, opts Options) *DirectRing {
+	r, err := NewDirectRing(order, valueBits, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// N returns the usable capacity n.
+func (r *DirectRing) N() uint64 { return r.n }
+
+// Order returns the ring order k.
+func (r *DirectRing) Order() uint { return r.order }
+
+// ValueBits returns the payload width.
+func (r *DirectRing) ValueBits() uint { return r.valBits }
+
+// MaxValue returns the largest storable payload, 2^valueBits − 1.
+func (r *DirectRing) MaxValue() uint64 { return 1<<r.valBits - 1 }
+
+// MaxOps returns the cycle-wrap operation bound (DESIGN.md §2.1 §11).
+func (r *DirectRing) MaxOps() uint64 { return r.maxOps }
+
+// Footprint returns the live bytes of ring-owned memory; constant.
+func (r *DirectRing) Footprint() int64 { return int64(len(r.entries)) * 8 }
+
+// Threshold returns the current dequeue budget (tests; unbounded hop).
+func (r *DirectRing) Threshold() int64 { return r.threshold.Load() }
+
+// ResetThreshold restores the budget to 3n−1 (the unbounded layer's
+// pre-unlink re-arm, Appendix A line 59).
+func (r *DirectRing) ResetThreshold() { r.threshold.Store(r.thresh3n) }
+
+// Head and Tail expose the raw counters for tests and invariants.
+func (r *DirectRing) Head() uint64 { return r.head.Load() }
+
+// Tail returns the tail counter (finalize bit stripped).
+func (r *DirectRing) Tail() uint64 { return r.tail.Load() &^ atomicx.FinalizeBit }
+
+// Finalize permanently closes the ring for enqueues; dequeues drain
+// what remains. An enqueue whose F&A precedes the OR may still land.
+func (r *DirectRing) Finalize() { r.tail.Or(atomicx.FinalizeBit) }
+
+// Finalized reports whether the ring is closed for enqueues.
+func (r *DirectRing) Finalized() bool { return r.tail.Load()&atomicx.FinalizeBit != 0 }
+
+// pack builds an entry word.
+func (r *DirectRing) pack(cycle uint64, safe bool, field uint64) uint64 {
+	w := (cycle&r.cycMask)<<r.cycShift | field
+	if safe {
+		w |= r.safeBit
+	}
+	return w
+}
+
+func (r *DirectRing) entCycle(e uint64) uint64 { return e >> r.cycShift }
+func (r *DirectRing) entField(e uint64) uint64 { return e & r.fieldMask }
+func (r *DirectRing) entSafe(e uint64) bool    { return e&r.safeBit != 0 }
+
+// cycleOf maps a Head/Tail counter to its cycle number.
+func (r *DirectRing) cycleOf(counter uint64) uint64 { return (counter >> r.ringOrder) & r.cycMask }
+
+func (r *DirectRing) remapPos(counter uint64) uint64 {
+	if r.noRemap {
+		return counter & r.posMask
+	}
+	return bitops.Remap(counter&r.posMask, r.ringOrder)
+}
+
+// initEmpty sets the canonical empty state: Tail = Head = 2n (cycle 1),
+// every entry {Cycle: 0, IsSafe: 1, ⊥}, Threshold = −1.
+func (r *DirectRing) initEmpty() {
+	for i := range r.entries {
+		r.entries[i].Store(r.pack(0, true, r.bottom))
+	}
+	twoN := uint64(1) << r.ringOrder
+	r.head.Store(twoN)
+	r.tail.Store(twoN)
+	r.threshold.Store(-1)
+}
+
+// Reset returns the ring to its post-New empty state (finalize bit
+// cleared) without reallocating, for pool recycling. Same quiescence
+// contract as WCQ.Reset: no operation in flight, none until return —
+// the unbounded layer's hazard reclamation provides the window.
+func (r *DirectRing) Reset() { r.initEmpty() }
+
+// loadEntry is the diet-gated entry load; see WCQ.loadEntry for the
+// per-branch safety argument, which carries over unchanged (the direct
+// entry automaton is the SCQ automaton with a wider "index" field).
+func (r *DirectRing) loadEntry(j uint64) uint64 {
+	if r.relaxed {
+		return atomicx.RelaxedLoad(&r.entries[j])
+	}
+	return r.entries[j].Load()
+}
+
+func (r *DirectRing) thresholdNonNegative() bool {
+	if r.relaxed {
+		return atomicx.RelaxedLoadInt64(r.threshold.Raw()) >= 0
+	}
+	return r.threshold.Load() >= 0
+}
+
+// rearmThreshold is the enqueue-side budget re-arm: relaxed guard
+// load, seq-cst store when the budget actually decayed. See
+// WCQ.rearmThreshold for why the store must stay seq-cst (a buffered
+// plain store could let a later-starting Dequeue miss a completed
+// enqueue — a real-time linearizability violation).
+func (r *DirectRing) rearmThreshold() {
+	if r.relaxed {
+		if atomicx.RelaxedLoadInt64(r.threshold.Raw()) == r.thresh3n {
+			return
+		}
+	} else if r.threshold.Load() == r.thresh3n {
+		return
+	}
+	r.threshold.Store(r.thresh3n)
+}
+
+// faaTail reserves one tail position, returning the raw word (counter
+// plus finalize bit). CAS loop under EmulatedFAA.
+func (r *DirectRing) faaTail(k uint64) uint64 {
+	if r.emulFAA {
+		for {
+			w := r.tail.Load()
+			if r.tail.CompareAndSwap(w, w+k) {
+				return w
+			}
+		}
+	}
+	return r.tail.Add(k) - k
+}
+
+func (r *DirectRing) faaHead(k uint64) uint64 {
+	if r.emulFAA {
+		for {
+			w := r.head.Load()
+			if r.head.CompareAndSwap(w, w+k) {
+				return w
+			}
+		}
+	}
+	return r.head.Add(k) - k
+}
+
+// orEntry atomically ORs mask into entry j.
+func (r *DirectRing) orEntry(j uint64, mask uint64) {
+	if r.emulFAA {
+		for {
+			e := r.entries[j].Load()
+			if e&mask == mask || r.entries[j].CompareAndSwap(e, e|mask) {
+				return
+			}
+		}
+	}
+	r.entries[j].Or(mask)
+}
+
+// full reports whether the ring held >= n values at a single instant.
+// Tail is read FIRST: Head only grows, so by the time Head is read the
+// distance can only have shrunk — a >= n verdict therefore certifies a
+// moment (the Head read) at which occupancy was genuinely >= n, making
+// the full return linearizable. The converse direction is approximate:
+// concurrent enqueuers that all pass the check may overshoot n by up
+// to their own count, bounded headroom the 2n physical entries absorb
+// (the same slack scqd's F&A-based admission has).
+func (r *DirectRing) full(tailCnt uint64) bool {
+	h := r.head.Load()
+	return tailCnt >= h && tailCnt-h >= r.n
+}
+
+// Enqueue inserts v, returning false when the ring is full or
+// finalized. Lock-free. v must be <= MaxValue (the codec contract);
+// out-of-range values panic rather than corrupt the entry encoding.
+func (r *DirectRing) Enqueue(v uint64) bool {
+	if v>>r.valBits != 0 {
+		panic(fmt.Sprintf("core: direct value %#x exceeds %d-bit payload", v, r.valBits))
+	}
+	for {
+		w := r.tail.Load()
+		if w&atomicx.FinalizeBit != 0 {
+			return false
+		}
+		if r.full(w) {
+			return false
+		}
+		w = r.faaTail(1)
+		if w&atomicx.FinalizeBit != 0 {
+			return false
+		}
+		if r.enqAt(w, v) {
+			return true
+		}
+		// Lost the slot to a dequeuer's cycle stamp; re-check
+		// fullness/finalization and retry with a fresh position.
+	}
+}
+
+// enqAt is the try_enq body at reserved tail counter t. Failure leaves
+// the entry untouched (abandoned reservations look like failed scalar
+// attempts — the batched path's safety hook).
+func (r *DirectRing) enqAt(t, v uint64) bool {
+	j := r.remapPos(t)
+	tcyc := r.cycleOf(t)
+	for {
+		e := r.loadEntry(j)
+		f := r.entField(e)
+		if r.entCycle(e) < tcyc &&
+			(r.entSafe(e) || r.head.Load() <= t) &&
+			(f == r.bottom || f == r.bottomC) {
+			if !r.entries[j].CompareAndSwap(e, r.pack(tcyc, true, v)) {
+				continue // entry changed; re-evaluate
+			}
+			r.rearmThreshold()
+			return true
+		}
+		return false
+	}
+}
+
+// Dequeue removes the oldest value, or returns ok=false when empty.
+// Lock-free.
+func (r *DirectRing) Dequeue() (v uint64, ok bool) {
+	if !r.thresholdNonNegative() {
+		return 0, false // empty fast-exit
+	}
+	for {
+		h := r.faaHead(1)
+		v, st := r.deqAt(h, false)
+		switch st {
+		case DeqOK:
+			return v, true
+		case DeqEmpty:
+			return 0, false
+		}
+	}
+}
+
+// deqAt is the try_deq body at reserved head counter h. A reserved
+// position must always be processed (the slot is stamped with our
+// cycle so an older producer cannot strand a value there).
+// deferThreshold is the batched diet mode; see WCQ.deqAtFast.
+func (r *DirectRing) deqAt(h uint64, deferThreshold bool) (v uint64, st DeqStatus) {
+	j := r.remapPos(h)
+	hcyc := r.cycleOf(h)
+	for {
+		e := r.loadEntry(j)
+		f := r.entField(e)
+		if r.entCycle(e) == hcyc {
+			// Producer arrived first: consume by setting every field
+			// bit (⊥c) with one atomic OR.
+			r.orEntry(j, r.bottomC)
+			return f, DeqOK
+		}
+		var n uint64
+		if f == r.bottom || f == r.bottomC {
+			n = r.pack(hcyc, r.entSafe(e), r.bottom)
+		} else {
+			// Old-cycle value: clear IsSafe so the producer's late
+			// competitor cannot reuse the slot.
+			n = r.pack(r.entCycle(e), false, f)
+		}
+		if r.entCycle(e) < hcyc {
+			if !r.entries[j].CompareAndSwap(e, n) {
+				continue
+			}
+		}
+		// Empty detection.
+		t := r.tail.Load() &^ atomicx.FinalizeBit
+		if t <= h+1 {
+			r.catchup(t, h+1)
+			r.threshold.Add(-1)
+			return 0, DeqEmpty
+		}
+		if deferThreshold {
+			return 0, DeqRetry
+		}
+		if r.threshold.Add(-1) <= -1 {
+			return 0, DeqEmpty
+		}
+		return 0, DeqRetry
+	}
+}
+
+// catchup advances Tail's counter to head when dequeuers have overrun
+// it, preserving the finalize bit. Bounded (lock-freedom only needs
+// someone to succeed).
+func (r *DirectRing) catchup(tail, head uint64) {
+	for i := 0; i < maxCatchup; i++ {
+		w := r.tail.Load()
+		cnt := w &^ atomicx.FinalizeBit
+		if cnt != tail {
+			tail = cnt
+			head = r.head.Load()
+			if tail >= head {
+				return
+			}
+			continue
+		}
+		if r.tail.CompareAndSwap(w, w&atomicx.FinalizeBit|head) {
+			return
+		}
+	}
+}
+
+// EnqueueBatch inserts up to len(vs) values in order, reserving the
+// tail positions with one F&A, and returns how many landed (fewer only
+// when the ring fills or is finalized mid-batch). The reservation is
+// clamped to the observed free space so a batch cannot blow past the
+// capacity headroom; stragglers fall back to scalar enqueues, which
+// reserve later positions and so preserve intra-batch FIFO order.
+func (r *DirectRing) EnqueueBatch(vs []uint64) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	if len(vs) == 1 {
+		if r.Enqueue(vs[0]) {
+			return 1
+		}
+		return 0
+	}
+	for _, v := range vs {
+		if v>>r.valBits != 0 {
+			panic(fmt.Sprintf("core: direct value %#x exceeds %d-bit payload", v, r.valBits))
+		}
+	}
+	w := r.tail.Load()
+	if w&atomicx.FinalizeBit != 0 {
+		return 0
+	}
+	h := r.head.Load()
+	free := r.n
+	if w >= h {
+		used := w - h
+		if used >= r.n {
+			return 0 // full
+		}
+		free = r.n - used
+	}
+	k := uint64(len(vs))
+	if k > free {
+		k = free
+	}
+	w = r.faaTail(k)
+	if w&atomicx.FinalizeBit != 0 {
+		return 0
+	}
+	t0 := w
+	for i := uint64(0); i < k; i++ {
+		if !r.enqAt(t0+i, vs[i]) {
+			// Straggler: the scalar path reserves fresh, later
+			// positions, so the rest must follow it to keep order.
+			n := int(i)
+			for _, rest := range vs[i:k] {
+				if !r.Enqueue(rest) {
+					return n
+				}
+				n++
+			}
+			return n
+		}
+	}
+	return int(k)
+}
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order, reserving the head positions with one F&A, and returns how
+// many were dequeued. Reserved positions lost to races run in
+// deferred-threshold mode (DESIGN.md §11) and are recovered through
+// scalar dequeues past the reservation, keeping out[] ordered.
+func (r *DirectRing) DequeueBatch(out []uint64) int {
+	if len(out) == 0 {
+		return 0
+	}
+	if !r.thresholdNonNegative() {
+		return 0
+	}
+	if len(out) == 1 {
+		v, ok := r.Dequeue()
+		if !ok {
+			return 0
+		}
+		out[0] = v
+		return 1
+	}
+	k := uint64(len(out))
+	h0 := r.faaHead(k)
+	n, retries := 0, 0
+	for i := uint64(0); i < k; i++ {
+		v, st := r.deqAt(h0+i, r.relaxed)
+		switch st {
+		case DeqOK:
+			out[n] = v
+			n++
+		case DeqRetry:
+			retries++
+		}
+	}
+	for ; retries > 0 && n < len(out); retries-- {
+		v, ok := r.Dequeue()
+		if !ok {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func newDirect(t *testing.T, order, bits uint) *DirectRing {
+	t.Helper()
+	r, err := NewDirectRing(order, bits, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDirectRingParamValidation(t *testing.T) {
+	if _, err := NewDirectRing(0, 32, Options{}); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+	if _, err := NewDirectRing(25, 32, Options{}); err == nil {
+		t.Fatal("order 25 accepted")
+	}
+	if _, err := NewDirectRing(4, 0, Options{}); err == nil {
+		t.Fatal("0-bit payload accepted")
+	}
+	if _, err := NewDirectRing(4, MaxDirectValueBits+1, Options{}); err == nil {
+		t.Fatal("over-wide payload accepted")
+	}
+	r := newDirect(t, 4, MaxDirectValueBits)
+	if r.MaxValue() != 1<<MaxDirectValueBits-1 {
+		t.Fatalf("MaxValue = %#x", r.MaxValue())
+	}
+	if r.MaxOps() == 0 {
+		t.Fatal("MaxOps = 0")
+	}
+}
+
+func TestDirectRingSequentialFIFO(t *testing.T) {
+	r := newDirect(t, 6, 52)
+	const n = 1000 // spans many cycles of the 64-capacity ring
+	next, out := uint64(0), uint64(0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < (i%5)+1; j++ {
+			if r.Enqueue(next) {
+				next++
+			}
+		}
+		for j := 0; j < (i%3)+1 && out < next; j++ {
+			v, ok := r.Dequeue()
+			if !ok {
+				t.Fatalf("iter %d: empty with %d outstanding", i, next-out)
+			}
+			if v != out {
+				t.Fatalf("iter %d: got %d want %d", i, v, out)
+			}
+			out++
+		}
+	}
+	for out < next {
+		v, ok := r.Dequeue()
+		if !ok || v != out {
+			t.Fatalf("drain: got (%d,%v) want %d", v, ok, out)
+		}
+		out++
+	}
+	if v, ok := r.Dequeue(); ok {
+		t.Fatalf("drained ring yielded %d", v)
+	}
+}
+
+func TestDirectRingFullDetection(t *testing.T) {
+	r := newDirect(t, 3, 16) // capacity 8
+	for i := uint64(0); i < r.N(); i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("enqueue %d of %d rejected", i, r.N())
+		}
+	}
+	if r.Enqueue(99) {
+		t.Fatal("enqueue beyond capacity accepted")
+	}
+	// Drain one, enqueue one: capacity is reusable.
+	if v, ok := r.Dequeue(); !ok || v != 0 {
+		t.Fatalf("dequeue got (%d,%v)", v, ok)
+	}
+	if !r.Enqueue(8) {
+		t.Fatal("enqueue after drain rejected")
+	}
+	if r.Enqueue(9) {
+		t.Fatal("refill overshot capacity")
+	}
+	for i := uint64(1); i <= 8; i++ {
+		if v, ok := r.Dequeue(); !ok || v != i {
+			t.Fatalf("drain got (%d,%v) want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDirectRingEmptyAfterThresholdDecay(t *testing.T) {
+	// Regression guard for the re-arm contract: decay the threshold
+	// with empty dequeues, then enqueue — the value must be observable
+	// immediately (a skipped re-arm would strand it behind the
+	// threshold<0 fast-exit).
+	r := newDirect(t, 3, 16)
+	for i := 0; i < 100; i++ {
+		if _, ok := r.Dequeue(); ok {
+			t.Fatal("fresh ring non-empty")
+		}
+	}
+	if !r.Enqueue(7) {
+		t.Fatal("enqueue rejected")
+	}
+	if v, ok := r.Dequeue(); !ok || v != 7 {
+		t.Fatalf("dequeue after decay got (%d,%v), want (7,true)", v, ok)
+	}
+}
+
+func TestDirectRingValueRangePanics(t *testing.T) {
+	r := newDirect(t, 3, 8)
+	if r.MaxValue() != 255 {
+		t.Fatalf("MaxValue = %d", r.MaxValue())
+	}
+	if !r.Enqueue(255) {
+		t.Fatal("max value rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range value did not panic")
+		}
+	}()
+	r.Enqueue(256)
+}
+
+func TestDirectRingBatchScalarEquivalence(t *testing.T) {
+	r := newDirect(t, 5, 52)
+	sizes := []int{1, 7, 3, 16, 2}
+	const total = 800
+	vals := make([]uint64, 0, total)
+	for i := uint64(0); i < total; i++ {
+		vals = append(vals, i)
+	}
+	sent := 0
+	out := make([]uint64, 32)
+	next := uint64(0)
+	for s := 0; sent < total; s++ {
+		k := sizes[s%len(sizes)]
+		if sent+k > total {
+			k = total - sent
+		}
+		n := r.EnqueueBatch(vals[sent : sent+k])
+		sent += n
+		// Interleave batched dequeues to keep the ring from filling.
+		m := r.DequeueBatch(out[:min(len(out), sent-int(next))])
+		for _, v := range out[:m] {
+			if v != next {
+				t.Fatalf("batch dequeue got %d want %d", v, next)
+			}
+			next++
+		}
+	}
+	for int(next) < total {
+		v, ok := r.Dequeue()
+		if !ok || v != next {
+			t.Fatalf("drain got (%d,%v) want %d", v, ok, next)
+		}
+		next++
+	}
+	if m := r.DequeueBatch(out); m != 0 {
+		t.Fatalf("drained ring yielded %d more", m)
+	}
+}
+
+func TestDirectRingBatchRespectsCapacity(t *testing.T) {
+	r := newDirect(t, 3, 16) // capacity 8
+	vs := make([]uint64, 20)
+	for i := range vs {
+		vs[i] = uint64(i)
+	}
+	n := r.EnqueueBatch(vs)
+	if n != 8 {
+		t.Fatalf("EnqueueBatch inserted %d, want 8 (capacity)", n)
+	}
+	if r.EnqueueBatch(vs[n:]) != 0 {
+		t.Fatal("full ring accepted a batch")
+	}
+	out := make([]uint64, 20)
+	m := r.DequeueBatch(out)
+	if m != 8 {
+		t.Fatalf("DequeueBatch returned %d, want 8", m)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != uint64(i) {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestDirectRingFinalize(t *testing.T) {
+	r := newDirect(t, 3, 16)
+	for i := uint64(0); i < 5; i++ {
+		r.Enqueue(i)
+	}
+	r.Finalize()
+	if !r.Finalized() {
+		t.Fatal("not finalized")
+	}
+	if r.Enqueue(99) {
+		t.Fatal("finalized ring accepted an enqueue")
+	}
+	if r.EnqueueBatch([]uint64{1, 2}) != 0 {
+		t.Fatal("finalized ring accepted a batch")
+	}
+	for i := uint64(0); i < 5; i++ {
+		if v, ok := r.Dequeue(); !ok || v != i {
+			t.Fatalf("drain after finalize got (%d,%v) want %d", v, ok, i)
+		}
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("drained finalized ring non-empty")
+	}
+	// Reset clears the finalize bit and restores capacity.
+	r.Reset()
+	if r.Finalized() {
+		t.Fatal("Reset left the ring finalized")
+	}
+	for i := uint64(0); i < r.N(); i++ {
+		if !r.Enqueue(i + 100) {
+			t.Fatalf("post-reset enqueue %d rejected", i)
+		}
+	}
+	for i := uint64(0); i < r.N(); i++ {
+		if v, ok := r.Dequeue(); !ok || v != i+100 {
+			t.Fatalf("post-reset dequeue got (%d,%v)", v, ok)
+		}
+	}
+}
+
+func TestDirectRingMPMC(t *testing.T) {
+	for _, conservative := range []bool{false, true} {
+		name := "diet"
+		if conservative {
+			name = "conservative"
+		}
+		t.Run(name, func(t *testing.T) {
+			r := MustDirectRing(8, 52, Options{ConservativeAtomics: conservative})
+			const producers, consumers = 4, 4
+			per := uint64(20000)
+			if testing.Short() {
+				per = 2000
+			}
+			total := producers * per
+			var mu sync.Mutex
+			seen := make(map[uint64]bool, total)
+			lastSeq := make([][]int64, consumers)
+			var wg sync.WaitGroup
+			var got sync.WaitGroup
+			got.Add(int(total))
+			for c := 0; c < consumers; c++ {
+				lastSeq[c] = make([]int64, producers)
+				for p := range lastSeq[c] {
+					lastSeq[c][p] = -1
+				}
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					count := total / consumers
+					local := make([]uint64, 0, count)
+					for uint64(len(local)) < count {
+						v, ok := r.Dequeue()
+						if !ok {
+							runtime.Gosched()
+							continue
+						}
+						local = append(local, v)
+						got.Done()
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					for _, v := range local {
+						p, seq := int(v>>32), int64(v&0xFFFFFFFF)
+						if seen[v] {
+							t.Errorf("duplicate value %#x", v)
+						}
+						seen[v] = true
+						if seq <= lastSeq[c][p] {
+							t.Errorf("consumer %d: producer %d went backwards (%d after %d)", c, p, seq, lastSeq[c][p])
+						}
+						lastSeq[c][p] = seq
+					}
+				}(c)
+			}
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for s := uint64(0); s < per; s++ {
+						for !r.Enqueue(uint64(p)<<32 | s) {
+							runtime.Gosched()
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			got.Wait()
+			if uint64(len(seen)) != total {
+				t.Fatalf("saw %d distinct values, want %d", len(seen), total)
+			}
+		})
+	}
+}
+
+func TestDirectRingEmulatedFAA(t *testing.T) {
+	r := MustDirectRing(4, 32, Options{EmulatedFAA: true})
+	for i := uint64(0); i < 200; i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+		if v, ok := r.Dequeue(); !ok || v != i {
+			t.Fatalf("dequeue got (%d,%v) want %d", v, ok, i)
+		}
+	}
+}

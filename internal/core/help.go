@@ -3,17 +3,31 @@ package core
 // This file implements wCQ's helping procedures (Figure 6):
 // help_threads, help_enqueue and help_dequeue.
 
-// helpThreads scans one peer for a pending help request, amortized by
-// HELP_DELAY (Figure 6, help_threads). Called at the start of every
-// operation. The scan cursor walks the published arena: the bound is
-// re-read each time so records registered after this ring was built
-// join the rotation, and unpublished chunks are skipped wholesale
-// (their records cannot be pending).
-func (q *WCQ) helpThreads(rec *record) {
-	rec.nextCheck--
-	if rec.nextCheck > 0 {
-		return
+// helpTick charges k operations against the record's HELP_DELAY budget
+// and runs a help scan when it expires. Scalar operations tick 1;
+// batched operations tick the batch size, so a batch of k counts as k
+// operations toward the helping cadence — without this, batch-heavy
+// workloads would scan k× less often and stretch the slow path's
+// helping-latency bound by the same factor (DESIGN.md §11). The
+// fast path is this two-line check on record-private state; the Go
+// compiler inlines it, so the common case costs no call.
+func (q *WCQ) helpTick(rec *record, k int) {
+	rec.nextCheck -= k
+	if rec.nextCheck <= 0 {
+		q.helpScan(rec)
 	}
+}
+
+// helpThreads is one HELP_DELAY-gated helping tick (Figure 6,
+// help_threads), kept for tests that drive the cadence directly.
+func (q *WCQ) helpThreads(rec *record) { q.helpTick(rec, 1) }
+
+// helpScan scans one peer for a pending help request and re-arms the
+// HELP_DELAY budget. The scan cursor walks the published arena: the
+// bound is re-read each time so records registered after this ring was
+// built join the rotation, and unpublished chunks are skipped
+// wholesale (their records cannot be pending).
+func (q *WCQ) helpScan(rec *record) {
 	n := int(q.nrec.Load())
 	t := rec.nextTid
 	if t >= n {

@@ -33,11 +33,17 @@ func (q *WCQ) tryEnqFast(index uint64) (tried uint64, ok, finalized bool) {
 // tail counter t. Failure leaves the entry untouched, so a reserved
 // position that is abandoned afterwards is indistinguishable from a
 // failed scalar attempt — the property the batched fast path relies on.
+//
+// Diet notes (DESIGN.md §11): the entry load is relaxed (the CAS
+// re-validates; the failure branch is conservative), the head load in
+// the IsSafe escape stays seq-cst (its value is consumed as a
+// snapshot, not re-validated), and the threshold re-arm goes through
+// rearmThreshold's relaxed-guard/seq-cst-store check.
 func (q *WCQ) enqAtFast(t, index uint64) bool {
 	j := q.remapPos(t)
 	tcyc := q.cycleOf(t)
 	for {
-		e := q.entries[j].Load()
+		e := q.loadEntry(j)
 		idx := q.entIndex(e)
 		if q.vcyc(e) < tcyc &&
 			(q.entSafe(e) || q.headCnt() <= t) &&
@@ -46,9 +52,7 @@ func (q *WCQ) enqAtFast(t, index uint64) bool {
 			if !q.entries[j].CompareAndSwap(e, n) {
 				continue // entry changed; re-evaluate
 			}
-			if q.threshold.Load() != q.thresh3n {
-				q.threshold.Store(q.thresh3n)
-			}
+			q.rearmThreshold()
 			return true
 		}
 		return false
@@ -101,7 +105,7 @@ func (q *WCQ) finalizeRequest(h uint64) {
 // (Note preserved, Enq honored). tried is meaningful only for DeqRetry.
 func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
 	h := q.faa(&q.head)
-	index, st = q.deqAtFast(h)
+	index, st = q.deqAtFast(h, false)
 	if st == DeqRetry {
 		tried = h
 	}
@@ -112,11 +116,31 @@ func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
 // head counter h. A reserved head position must always be processed so
 // the slot gets stamped with our cycle (an abandoned one could let an
 // older producer deposit a value no dequeuer will revisit).
-func (q *WCQ) deqAtFast(h uint64) (index uint64, st DeqStatus) {
+//
+// deferThreshold is the batched caller's diet mode (DESIGN.md §11): a
+// lost race skips the threshold fetch-and-decrement and its ≤ −1 empty
+// conclusion entirely. Skipping decrements only keeps the budget
+// HIGHER than the per-operation protocol would — strictly conservative
+// (no premature empty conclusion, so no value can be stranded); the
+// precise tail-caught-head empty detection is kept, so a genuinely
+// empty queue is still recognized. Deferring the decrements for a
+// later combined Add(-k) would NOT be sound: a re-arm interleaving
+// between a failure and its deferred flush could leave the threshold
+// negative with a freshly enqueued value in the ring, and the
+// threshold<0 fast-exit would make that state sticky.
+//
+// Diet notes: the entry load is relaxed. Every branch re-validates it
+// with a CAS on the same word except the cycle-match consume — and a
+// stale cycle-match read is still conclusive, because the only writer
+// past the (hcyc, value) state is this position's own consumer, which
+// is us (each head counter is handed to exactly one dequeuer by the
+// F&A), so the value bits cannot have changed; a stale Enq=0 reading
+// at most repeats consume's idempotent finalizeRequest scan.
+func (q *WCQ) deqAtFast(h uint64, deferThreshold bool) (index uint64, st DeqStatus) {
 	j := q.remapPos(h)
 	hcyc := q.cycleOf(h)
 	for {
-		e := q.entries[j].Load()
+		e := q.loadEntry(j)
 		idx := q.entIndex(e)
 		if q.vcyc(e) == hcyc {
 			q.consume(h, j, e)
@@ -142,6 +166,9 @@ func (q *WCQ) deqAtFast(h uint64) (index uint64, st DeqStatus) {
 			q.threshold.Add(-1)
 			return 0, DeqEmpty
 		}
+		if deferThreshold {
+			return 0, DeqRetry
+		}
 		if q.threshold.Add(-1) <= -1 { // F&A(&Threshold,−1) ≤ 0 on old value
 			return 0, DeqEmpty
 		}
@@ -155,8 +182,13 @@ func (q *WCQ) deqAtFast(h uint64) (index uint64, st DeqStatus) {
 // are never finalized (the bounded queue); the unbounded construction
 // uses EnqueueClosable.
 func (q *WCQ) Enqueue(tid int, index uint64) {
-	rec := q.rec(tid)
-	q.helpThreads(rec)
+	q.enqueueRec(q.rec(tid), index)
+}
+
+// enqueueRec is Enqueue for callers that cache the record (the bounded
+// queue's handles), saving the per-operation chunk-directory load.
+func (q *WCQ) enqueueRec(rec *record, index uint64) {
+	q.helpTick(rec, 1)
 
 	var lastTail uint64
 	for count := q.enqPatience; count > 0; count-- {
@@ -191,7 +223,7 @@ func (q *WCQ) Enqueue(tid int, index uint64) {
 // unbounded queue is lock-free overall (see DESIGN.md §5).
 func (q *WCQ) EnqueueClosable(tid int, index uint64) bool {
 	rec := q.rec(tid)
-	q.helpThreads(rec)
+	q.helpTick(rec, 1)
 	for attempts := 0; ; attempts++ {
 		_, ok, finalized := q.tryEnqFast(index)
 		if ok {
@@ -215,11 +247,16 @@ const closePatience = 256
 // Dequeue removes the oldest index (Figure 5, Dequeue_wCQ), or returns
 // ok=false when the queue is empty. Wait-free.
 func (q *WCQ) Dequeue(tid int) (index uint64, ok bool) {
-	if q.threshold.Load() < 0 {
+	if !q.thresholdNonNegative() {
 		return 0, false // empty fast-exit
 	}
-	rec := q.rec(tid)
-	q.helpThreads(rec)
+	return q.dequeueRec(q.rec(tid))
+}
+
+// dequeueRec is Dequeue past the empty fast-exit, for callers that
+// cache the record. The caller must have checked thresholdNonNegative.
+func (q *WCQ) dequeueRec(rec *record) (index uint64, ok bool) {
+	q.helpTick(rec, 1)
 
 	var lastHead uint64
 	for count := q.deqPatience; count > 0; count-- {

@@ -66,6 +66,15 @@ func MustQueue[T any](order uint, opts Options) *Queue[T] {
 // shared between concurrently running goroutines.
 type Handle struct {
 	tid int
+	// aqRec/fqRec cache the handle's per-ring records (DESIGN.md §11):
+	// the rings are fixed for the queue's lifetime and records are
+	// pointer-stable once published, so resolving them at Register
+	// saves two chunk-directory atomic loads per transfer on the hot
+	// path. (The unbounded queue cannot cache these — its handles
+	// follow ring hops — which is why it stays on the tid entry
+	// points.)
+	aqRec *record
+	fqRec *record
 	// scratch carries batch index buffers between the two rings.
 	// Owned by the handle's goroutine, so reuse is race-free and the
 	// batched hot path stays allocation-free.
@@ -105,8 +114,12 @@ func (q *Queue[T]) Register() (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	q.fq.rec(tid)
-	return &Handle{tid: tid, active: q.flags.Get(tid)}, nil
+	return &Handle{
+		tid:    tid,
+		aqRec:  q.aq.rec(tid),
+		fqRec:  q.fq.rec(tid),
+		active: q.flags.Get(tid),
+	}, nil
 }
 
 // Unregister releases the handle's slot.
@@ -132,7 +145,11 @@ func (q *Queue[T]) Cap() int { return len(q.data) }
 // load each while the queue is open with nobody parked.
 func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 	h.active.Enter()
-	index, ok := q.fq.Dequeue(h.tid)
+	ok := q.fq.thresholdNonNegative()
+	var index uint64
+	if ok {
+		index, ok = q.fq.dequeueRec(h.fqRec)
+	}
 	if !ok {
 		h.active.Exit()
 		return false // no free index: full
@@ -141,12 +158,12 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 	// seq-cst RMW, so h.active is globally visible before this load —
 	// Close cannot have missed this enqueue and sealed early.
 	if q.state.Load() != stateOpen {
-		q.fq.Enqueue(h.tid, index) // closed: return the index, no value lands
+		q.fq.enqueueRec(h.fqRec, index) // closed: return the index, no value lands
 		h.active.Exit()
 		return false
 	}
 	q.data[index] = v
-	q.aq.Enqueue(h.tid, index)
+	q.aq.enqueueRec(h.aqRec, index)
 	h.active.Exit()
 	q.notEmpty.Signal()
 	return true
@@ -155,14 +172,17 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 // Dequeue removes the oldest value, or returns ok=false when empty.
 // Dequeues keep working after Close until the queue drains. Wait-free.
 func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
-	index, ok := q.aq.Dequeue(h.tid)
+	if !q.aq.thresholdNonNegative() {
+		return v, false // empty fast-exit
+	}
+	index, ok := q.aq.dequeueRec(h.aqRec)
 	if !ok {
 		return v, false
 	}
 	v = q.data[index]
 	var zero T
 	q.data[index] = zero
-	q.fq.Enqueue(h.tid, index)
+	q.fq.enqueueRec(h.fqRec, index)
 	q.notFull.Signal()
 	return v, true
 }
@@ -177,7 +197,10 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
 	}
 	h.active.Enter()
 	idx := h.buf(len(vs))
-	n := q.fq.DequeueBatch(h.tid, idx)
+	n := 0
+	if q.fq.thresholdNonNegative() {
+		n = q.fq.dequeueBatchAny(h.fqRec, idx)
+	}
 	if n == 0 {
 		h.active.Exit()
 		return 0 // no free indices: full
@@ -185,14 +208,14 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
 	// Dekker re-check after the batch reservation's fetch-and-add; see
 	// Enqueue.
 	if q.state.Load() != stateOpen {
-		q.fq.EnqueueBatch(h.tid, idx[:n]) // closed: return the indices
+		q.fq.enqueueBatchRec(h.fqRec, idx[:n]) // closed: return the indices
 		h.active.Exit()
 		return 0
 	}
 	for i := 0; i < n; i++ {
 		q.data[idx[i]] = vs[i]
 	}
-	q.aq.EnqueueBatch(h.tid, idx[:n])
+	q.aq.enqueueBatchRec(h.aqRec, idx[:n])
 	h.active.Exit()
 	q.notEmpty.SignalN(n)
 	return n
@@ -204,8 +227,11 @@ func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 	if len(out) == 0 {
 		return 0
 	}
+	if !q.aq.thresholdNonNegative() {
+		return 0 // empty fast-exit
+	}
 	idx := h.buf(len(out))
-	n := q.aq.DequeueBatch(h.tid, idx)
+	n := q.aq.dequeueBatchAny(h.aqRec, idx)
 	if n == 0 {
 		return 0
 	}
@@ -214,7 +240,7 @@ func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 		out[i] = q.data[idx[i]]
 		q.data[idx[i]] = zero
 	}
-	q.fq.EnqueueBatch(h.tid, idx[:n])
+	q.fq.enqueueBatchRec(h.fqRec, idx[:n])
 	q.notFull.SignalN(n)
 	return n
 }

@@ -165,9 +165,9 @@ func (q *WCQ) tryEnqSlow(t, index uint64, thr *record) bool {
 			if thr.localTail.CompareAndSwap(t, t|atomicx.FIN) {
 				q.entries[j].CompareAndSwap(n, n|q.enqBit)
 			}
-			if q.threshold.Load() != q.thresh3n {
-				q.threshold.Store(q.thresh3n)
-			}
+			// Slow-path re-arm; the store (when needed) is seq-cst, see
+			// rearmThreshold.
+			q.rearmThreshold()
 			return true
 		}
 		if q.vcyc(e) != tcyc {

@@ -51,6 +51,14 @@ type Options struct {
 	// the owner-id space maximum (atomicx.MaxOwners, 65535). Smaller
 	// caps shrink the chunk directory and bound arena growth.
 	MaxHandles int
+	// ConservativeAtomics disables the hot-path atomic diet
+	// (DESIGN.md §11): entry loads, the threshold fast-exit and the
+	// threshold re-arm all run seq-cst, and batched dequeues keep the
+	// per-position threshold bookkeeping. The E-series diet ablation
+	// is the only intended user; the default (diet on) is safe on
+	// every supported platform — race builds and non-TSO targets
+	// already compile the relaxed accessors down to seq-cst ones.
+	ConservativeAtomics bool
 	// OnArenaGrow, when non-nil, is called with the byte size of every
 	// record chunk the arena publishes. The unbounded queue uses it to
 	// keep its footprint counter exact while rings grow their arenas
@@ -82,6 +90,7 @@ type WCQ struct {
 	thresh3n  int64
 	noRemap   bool
 	emulFAA   bool
+	relaxed   bool // hot-path atomic diet enabled (DESIGN.md §11)
 
 	enqPatience int
 	deqPatience int
@@ -182,6 +191,7 @@ func New(order uint, opts Options) (*WCQ, error) {
 		thresh3n:    3*int64(1<<order) - 1,
 		noRemap:     opts.NoRemap,
 		emulFAA:     opts.EmulatedFAA,
+		relaxed:     !opts.ConservativeAtomics,
 		enqPatience: opts.EnqPatience,
 		deqPatience: opts.DeqPatience,
 		helpDelay:   opts.HelpDelay,
@@ -431,6 +441,67 @@ func (q *WCQ) orEntry(j uint64, mask uint64) {
 
 func (q *WCQ) headCnt() uint64 { return atomicx.PairCnt(q.head.Load()) }
 func (q *WCQ) tailCnt() uint64 { return atomicx.PairCnt(q.tail.Load()) }
+
+// ---- Hot-path atomic diet (DESIGN.md §11) --------------------------------
+
+// loadEntry loads entry j for the fast-path CAS loops. Relaxed under
+// the diet: every consumer of the value either re-validates it with a
+// CAS on the same word (a stale read costs one extra iteration) or
+// acts conservatively on it (a stale read makes the operation fail a
+// position it could have used — indistinguishable from losing a race).
+// The slow path keeps seq-cst entry loads; its proofs lean on
+// unconditional Note monotonicity rather than CAS re-validation.
+func (q *WCQ) loadEntry(j uint64) uint64 {
+	if q.relaxed {
+		return atomicx.RelaxedLoad(&q.entries[j])
+	}
+	return q.entries[j].Load()
+}
+
+// thresholdNonNegative is the dequeue-side empty fast-exit check.
+// Relaxed under the diet: the threshold is a heuristic budget, and any
+// load — seq-cst included — is only a momentary snapshot. A stale
+// negative keeps reporting empty exactly as the seq-cst load would
+// have a moment earlier (the re-arm that raised it has no
+// happens-before edge to this dequeuer either way); a stale
+// non-negative merely admits one more fetch-and-add attempt.
+func (q *WCQ) thresholdNonNegative() bool {
+	if q.relaxed {
+		return atomicx.RelaxedLoadInt64(q.threshold.Raw()) >= 0
+	}
+	return q.threshold.Load() >= 0
+}
+
+// rearmThreshold restores the dequeue budget to 3n−1 after a
+// successful fast-path enqueue. The re-arm itself is mandatory —
+// skipping it can strand the value just enqueued (dequeuers exhaust
+// the budget, conclude empty, and the threshold<0 fast-exit makes
+// that conclusion sticky until the NEXT enqueue, which may never
+// come). Under the diet only the GUARD LOAD is relaxed: a stale
+// "armed" reading means the true value is even fresher (the armed
+// state it saw was real; only a consumer decrement can have followed,
+// and that consumer re-arms visibility through its own protocol), so
+// the skip stays sound, and the common armed case costs exactly the
+// seq-cst check's MOV+compare.
+//
+// The store, when needed, deliberately stays seq-cst (XCHG). A plain
+// store would sit in the enqueuer's store buffer past Enqueue's
+// return, and a Dequeue starting strictly AFTER that return could
+// read the stale negative threshold and report empty — a real-time
+// linearizability violation the indirect Dequeue must not have. The
+// XCHG drains the buffer before Enqueue returns, exactly the property
+// the original unconditional Store provided; it only runs when the
+// budget actually decayed, so the armed steady state never pays it.
+func (q *WCQ) rearmThreshold() {
+	if q.relaxed {
+		if atomicx.RelaxedLoadInt64(q.threshold.Raw()) == q.thresh3n {
+			return
+		}
+	} else if q.threshold.Load() == q.thresh3n {
+		return
+	}
+	q.threshold.Store(q.thresh3n)
+}
 
 // Head and Tail expose raw counters for tests.
 func (q *WCQ) Head() uint64 { return q.headCnt() }

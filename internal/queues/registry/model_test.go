@@ -94,3 +94,7 @@ func (a *implicitAdapter) capHint() int { return a.q.Cap() }
 // Striped: with a single handle every enqueue targets one lane, so the
 // sequential model tests see the per-lane capacity.
 func (a *stripedAdapter) capHint() int { return a.q.Cap() / a.q.Stripes() }
+
+// The direct ring's capacity is exact sequentially (the model runs
+// single-threaded), so the plain Cap is the right hint.
+func (a *directAdapter) capHint() int { return a.q.Cap() }

@@ -189,6 +189,31 @@ var builders = map[string]func(Config) (queueiface.Queue, error){
 		}
 		return &unboundedAdapter{q: q}, nil
 	},
+	// wCQ-Direct is the direct-value single ring (DESIGN.md §11): the
+	// payload lives in the entry word, so a transfer costs two ring
+	// operations instead of the indirect shapes' four. Built through
+	// the public codec layer so conformance covers what users run.
+	"wCQ-Direct": func(c Config) (queueiface.Queue, error) {
+		q, err := wcq.NewDirectOf[uint64](c.ringOrder(), wcq.UintCodec(directValueBits), directOpts(c)...)
+		if err != nil {
+			return nil, err
+		}
+		return &directAdapter{q: q}, nil
+	},
+	// wCQ-Direct-Unbounded links direct rings through the recycled
+	// hazard-pointer ring pool (same design as wCQ-Unbounded, one
+	// word-array per pooled ring instead of three arrays).
+	"wCQ-Direct-Unbounded": func(c Config) (queueiface.Queue, error) {
+		opts := directOpts(c)
+		if c.PoolSize > 0 {
+			opts = append(opts, wcq.WithRingPool(c.PoolSize))
+		}
+		q, err := wcq.NewDirectUnboundedOf[uint64](c.ringOrder(), wcq.UintCodec(directValueBits), opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &directUnboundedAdapter{q: q}, nil
+	},
 	"LCRQ":    func(c Config) (queueiface.Queue, error) { return lcrq.New(), nil },
 	"MSQueue": func(c Config) (queueiface.Queue, error) { return msq.New(c.Threads), nil },
 	"YMC":     func(c Config) (queueiface.Queue, error) { return ymc.New(), nil },
@@ -282,6 +307,67 @@ func stripedOpts(c Config) []wcq.Option {
 		return []wcq.Option{wcq.WithEmulatedFAA()}
 	}
 	return nil
+}
+
+// directValueBits is the payload width of the registry's direct
+// builds: the check package's encoding (8 producer bits above 44
+// sequence bits — check.MaxProducers caps the harnesses) fits exactly,
+// and it exercises the widest supported field.
+const directValueBits = 52
+
+func directOpts(c Config) []wcq.Option { return stripedOpts(c) }
+
+// directAdapter exposes wcq.Direct through queueiface. The queue is
+// handle-free, so Register hands back an inert token.
+type directAdapter struct {
+	q *wcq.Direct[uint64]
+}
+
+func (a *directAdapter) Register() (queueiface.Handle, error)       { return 0, nil }
+func (a *directAdapter) Unregister(queueiface.Handle)               {}
+func (a *directAdapter) Enqueue(_ queueiface.Handle, v uint64) bool { return a.q.Enqueue(v) }
+func (a *directAdapter) Dequeue(queueiface.Handle) (uint64, bool)   { return a.q.Dequeue() }
+func (a *directAdapter) EnqueueBatch(_ queueiface.Handle, vs []uint64) int {
+	return a.q.EnqueueBatch(vs)
+}
+func (a *directAdapter) DequeueBatch(_ queueiface.Handle, out []uint64) int {
+	return a.q.DequeueBatch(out)
+}
+func (a *directAdapter) Footprint() int64 { return a.q.Footprint() }
+func (a *directAdapter) Name() string     { return "wCQ-Direct" }
+
+// directUnboundedAdapter exposes wcq.DirectUnbounded through
+// queueiface. Enqueue never fails (the queue grows).
+type directUnboundedAdapter struct {
+	q *wcq.DirectUnbounded[uint64]
+}
+
+func (a *directUnboundedAdapter) Register() (queueiface.Handle, error) { return a.q.Register() }
+func (a *directUnboundedAdapter) Unregister(h queueiface.Handle) {
+	h.(*wcq.DirectUnboundedHandle[uint64]).Unregister()
+}
+func (a *directUnboundedAdapter) Enqueue(h queueiface.Handle, v uint64) bool {
+	h.(*wcq.DirectUnboundedHandle[uint64]).Enqueue(v)
+	return true
+}
+func (a *directUnboundedAdapter) Dequeue(h queueiface.Handle) (uint64, bool) {
+	return h.(*wcq.DirectUnboundedHandle[uint64]).Dequeue()
+}
+func (a *directUnboundedAdapter) EnqueueBatch(h queueiface.Handle, vs []uint64) int {
+	return h.(*wcq.DirectUnboundedHandle[uint64]).EnqueueBatch(vs)
+}
+func (a *directUnboundedAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
+	return h.(*wcq.DirectUnboundedHandle[uint64]).DequeueBatch(out)
+}
+func (a *directUnboundedAdapter) Footprint() int64     { return a.q.Footprint() }
+func (a *directUnboundedAdapter) PeakFootprint() int64 { return a.q.PeakFootprint() }
+func (a *directUnboundedAdapter) Name() string         { return "wCQ-Direct-Unbounded" }
+func (a *directUnboundedAdapter) HandleHighWater() int { return a.q.HandleHighWater() }
+
+// RingStats exposes the recycling counters for the ring-churn
+// benchmark (bench.ringStatser).
+func (a *directUnboundedAdapter) RingStats() (hits, misses, drops uint64) {
+	return a.q.RingStats()
 }
 
 // unboundedAdapter exposes wcq.Unbounded through queueiface. Enqueue

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"wcqueue/internal/atomicx"
 	"wcqueue/internal/bitops"
 	"wcqueue/internal/pad"
 )
@@ -205,6 +206,24 @@ func (r *Ring) faaAdd(w *pad.Uint64, k uint64) uint64 {
 	return w.Add(k) - k
 }
 
+// loadEntry is the diet-gated entry load of the fast-path CAS loops
+// (DESIGN.md §11): relaxed, because every consumer of the value either
+// re-validates it with a CAS on the same word or fails conservatively.
+func (r *Ring) loadEntry(j uint64) uint64 {
+	return atomicx.RelaxedLoad(&r.entries[j])
+}
+
+// rearmThreshold restores the dequeue budget after a successful
+// enqueue. The re-arm is mandatory (skipping it can strand the value
+// behind the threshold<0 fast-exit); the diet only relaxes the guard
+// load — the store stays seq-cst, see core.WCQ.rearmThreshold for the
+// real-time-linearizability argument, which is identical here.
+func (r *Ring) rearmThreshold() {
+	if atomicx.RelaxedLoadInt64(r.threshold.Raw()) != r.thresh3n {
+		r.threshold.Store(r.thresh3n)
+	}
+}
+
 // orEntry atomically ORs mask into entry j.
 func (r *Ring) orEntry(j uint64, mask uint64) {
 	if r.emulFAA {
@@ -238,7 +257,7 @@ func (r *Ring) enqAt(t, index uint64) bool {
 	j := r.remap(t&r.posMask, r.ringOrder)
 	tcyc := r.cycleOf(t)
 	for {
-		e := r.entries[j].Load()
+		e := r.loadEntry(j)
 		idx := r.entIndex(e)
 		if r.entCycle(e) < tcyc &&
 			(r.entSafe(e) || r.head.Load() <= t) &&
@@ -246,9 +265,7 @@ func (r *Ring) enqAt(t, index uint64) bool {
 			if !r.entries[j].CompareAndSwap(e, r.pack(tcyc, true, index)) {
 				continue // entry changed; re-evaluate (goto 21)
 			}
-			if r.threshold.Load() != r.thresh3n {
-				r.threshold.Store(r.thresh3n)
-			}
+			r.rearmThreshold()
 			return true
 		}
 		return false
@@ -281,7 +298,7 @@ const (
 // DeqRetry and is the head counter that was attempted.
 func (r *Ring) TryDeq() (index uint64, status DeqStatus, tried uint64) {
 	h := r.faa(&r.head)
-	index, status = r.deqAt(h)
+	index, status = r.deqAt(h, false)
 	if status == DeqRetry {
 		tried = h
 	}
@@ -293,11 +310,17 @@ func (r *Ring) TryDeq() (index uint64, status DeqStatus, tried uint64) {
 // processed: the slot has to be stamped with our cycle so a late
 // producer of an older cycle cannot deposit a value no dequeuer will
 // ever visit again.
-func (r *Ring) deqAt(h uint64) (index uint64, status DeqStatus) {
+//
+// deferThreshold is DequeueBatch's diet mode (DESIGN.md §11): a lost
+// race skips the threshold fetch-and-decrement and its <= -1 empty
+// conclusion. Skipping only keeps the budget HIGHER than per-operation
+// bookkeeping would — strictly conservative — while the precise
+// tail-caught-head detection still recognizes a genuinely empty ring.
+func (r *Ring) deqAt(h uint64, deferThreshold bool) (index uint64, status DeqStatus) {
 	j := r.remap(h&r.posMask, r.ringOrder)
 	hcyc := r.cycleOf(h)
 	for {
-		e := r.entries[j].Load()
+		e := r.loadEntry(j)
 		idx := r.entIndex(e)
 		if r.entCycle(e) == hcyc {
 			// The producer for this position/cycle arrived first:
@@ -327,6 +350,9 @@ func (r *Ring) deqAt(h uint64) (index uint64, status DeqStatus) {
 			r.threshold.Add(-1)
 			return 0, DeqEmpty
 		}
+		if deferThreshold {
+			return 0, DeqRetry
+		}
 		if r.threshold.Add(-1) <= -1 { // F&A(&Threshold,-1) ≤ 0 on the old value
 			return 0, DeqEmpty
 		}
@@ -337,7 +363,7 @@ func (r *Ring) deqAt(h uint64) (index uint64, status DeqStatus) {
 // Dequeue removes and returns an index, or ok=false if the queue is
 // empty.
 func (r *Ring) Dequeue() (index uint64, ok bool) {
-	if r.threshold.Load() < 0 {
+	if atomicx.RelaxedLoadInt64(r.threshold.Raw()) < 0 {
 		return 0, false
 	}
 	for {
@@ -390,7 +416,7 @@ func (r *Ring) DequeueBatch(out []uint64) int {
 	if k == 0 {
 		return 0
 	}
-	if r.threshold.Load() < 0 {
+	if atomicx.RelaxedLoadInt64(r.threshold.Raw()) < 0 {
 		return 0
 	}
 	if k == 1 {
@@ -404,7 +430,7 @@ func (r *Ring) DequeueBatch(out []uint64) int {
 	h0 := r.faaAdd(&r.head, k)
 	n, retries := 0, 0
 	for i := uint64(0); i < k; i++ {
-		index, status := r.deqAt(h0 + i)
+		index, status := r.deqAt(h0+i, true)
 		switch status {
 		case DeqOK:
 			out[n] = index

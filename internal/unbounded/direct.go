@@ -1,0 +1,370 @@
+// Unbounded composition of direct-value rings (DESIGN.md §11).
+//
+// DirectQueue is the Appendix A list construction with
+// core.DirectRing segments instead of {aq, fq, data} triples: the tail
+// ring absorbs enqueues until it fills or an enqueuer starves, gets
+// finalized (the LCRQ tantrum the indirect unbounded queue already
+// uses), and a recycled or fresh ring is appended; dequeuers drain
+// finalized rings, re-arm the threshold once for stragglers, and
+// unlink. Retired rings ride the SAME recycling design as the
+// indirect queue — a hazard-pointer domain feeding a bounded pool, so
+// steady-state hops are allocation-free and Footprint stays flat —
+// but each pooled item is a single ring (one 2n-entry word array)
+// instead of two rings plus a data array, so the standby inventory is
+// roughly a third the bytes at equal order.
+//
+// Per-transfer cost: one ring operation instead of the indirect
+// queue's four (fq dequeue + aq enqueue + aq dequeue + fq enqueue),
+// on top of the same hazard-protection overhead. Progress: lock-free
+// (per-ring lock-free fast path; ring hops are the same lock-free
+// outer list). Payload width is fixed at construction
+// (core.MaxDirectValueBits at most); the typed codec layer lives in
+// the public wcq package.
+package unbounded
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"wcqueue/internal/atomicx"
+	"wcqueue/internal/core"
+	"wcqueue/internal/hazard"
+	"wcqueue/internal/memtrack"
+	"wcqueue/internal/pad"
+)
+
+// dnode is one finalizable direct ring in the outer list.
+type dnode struct {
+	r    *core.DirectRing
+	next atomic.Pointer[dnode]
+}
+
+// DirectQueue is the unbounded MPMC queue of direct values.
+type DirectQueue struct {
+	_    pad.DoublePad
+	head atomic.Pointer[dnode]
+	_    pad.DoublePad
+	tail atomic.Pointer[dnode]
+	_    pad.DoublePad
+
+	order      uint
+	valBits    uint
+	maxHandles int
+	opts       core.Options
+	ringFoot   int64
+
+	dom      *hazard.Domain
+	pool     []atomic.Pointer[dnode]
+	freeRing func(unsafe.Pointer)
+
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
+	poolDrops  atomic.Uint64
+
+	alloc core.SlotAlloc
+	mem   memtrack.Counter
+}
+
+// DirectHandle is a registered thread slot of a DirectQueue. Unlike
+// the bounded direct ring — which is handle-free — the unbounded
+// composition needs per-thread hazard slots, so traversals go through
+// a handle.
+type DirectHandle struct {
+	tid int
+	// hp mirrors the ring published in the tid's hazard slot 0 so an
+	// unchanged ring skips the seq-cst re-publish (same caching as the
+	// indirect queue's Handle). Owned by the handle's goroutine.
+	hp unsafe.Pointer
+}
+
+// NewDirect creates an unbounded direct-value queue whose rings hold
+// 2^order payloads of valueBits bits each. Up to poolSize drained
+// rings are retained for reuse (<= 0 selects DefaultPoolSize).
+func NewDirect(order, valueBits uint, poolSize int, opts core.Options) (*DirectQueue, error) {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
+	maxHandles := opts.MaxHandles
+	if maxHandles == 0 {
+		maxHandles = int(atomicx.MaxOwners)
+	}
+	if maxHandles < 1 || uint64(maxHandles) > atomicx.MaxOwners {
+		return nil, fmt.Errorf("unbounded: MaxHandles %d out of range [1, %d]", maxHandles, atomicx.MaxOwners)
+	}
+	q := &DirectQueue{
+		order:      order,
+		valBits:    valueBits,
+		maxHandles: maxHandles,
+		opts:       opts,
+		dom:        hazard.NewDomain(maxHandles),
+		pool:       make([]atomic.Pointer[dnode], poolSize),
+		alloc:      core.NewSlotAlloc(maxHandles),
+	}
+	q.freeRing = func(p unsafe.Pointer) { q.poolPut((*dnode)(p)) }
+	first, err := q.newRing()
+	if err != nil {
+		return nil, err
+	}
+	q.head.Store(first)
+	q.tail.Store(first)
+	return q, nil
+}
+
+// MustDirect is NewDirect that panics on error.
+func MustDirect(order, valueBits uint, poolSize int, opts core.Options) *DirectQueue {
+	q, err := NewDirect(order, valueBits, poolSize, opts)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (q *DirectQueue) newRing() (*dnode, error) {
+	r, err := core.NewDirectRing(q.order, q.valBits, q.opts)
+	if err != nil {
+		return nil, fmt.Errorf("unbounded: allocating direct ring: %w", err)
+	}
+	if q.ringFoot == 0 {
+		q.ringFoot = r.Footprint() // constant per ring: no arena, no data array
+	}
+	q.mem.Alloc(q.ringFoot)
+	return &dnode{r: r}, nil
+}
+
+// getRing produces the ring for a hop: pooled and reset when possible,
+// newly allocated otherwise (after pulling the caller's retire list
+// forward, exactly as the indirect queue does).
+func (q *DirectQueue) getRing(tid int) (*dnode, error) {
+	if n := q.poolGet(); n != nil {
+		q.poolHits.Add(1)
+		n.r.Reset()
+		return n, nil
+	}
+	q.dom.Scan(tid)
+	if n := q.poolGet(); n != nil {
+		q.poolHits.Add(1)
+		n.r.Reset()
+		return n, nil
+	}
+	q.poolMisses.Add(1)
+	return q.newRing()
+}
+
+func (q *DirectQueue) poolGet() *dnode {
+	for i := range q.pool {
+		if n := q.pool[i].Load(); n != nil && q.pool[i].CompareAndSwap(n, nil) {
+			return n
+		}
+	}
+	return nil
+}
+
+// poolPut stashes a quiescent ring for reuse (dropping its stale next
+// pointer), or drops it to the GC when the pool is full. Entry words
+// are left as-is — they are plain bits, not references, so a pooled
+// direct ring cannot keep user objects live; Reset rewrites them on
+// reuse.
+func (q *DirectQueue) poolPut(n *dnode) {
+	n.next.Store(nil)
+	for i := range q.pool {
+		if q.pool[i].Load() == nil && q.pool[i].CompareAndSwap(nil, n) {
+			return
+		}
+	}
+	q.poolDrops.Add(1)
+	q.mem.Free(q.ringFoot)
+}
+
+func (q *DirectQueue) retireRing(tid int, n *dnode) {
+	q.dom.Retire(tid, unsafe.Pointer(n), q.freeRing)
+}
+
+// protect publishes a validated hazard pointer to *src in the handle's
+// slot 0, skipping the seq-cst store when the slot already covers the
+// ring (see Queue.protect — the protocol is identical).
+func (q *DirectQueue) protect(h *DirectHandle, src *atomic.Pointer[dnode]) *dnode {
+	for {
+		n := src.Load()
+		if p := unsafe.Pointer(n); h.hp != p {
+			q.dom.Protect(h.tid, 0, p)
+			h.hp = p
+		}
+		if src.Load() == n {
+			return n
+		}
+	}
+}
+
+// Register claims a thread slot, valid on every ring.
+func (q *DirectQueue) Register() (*DirectHandle, error) {
+	tid, err := q.alloc.Acquire()
+	if err != nil {
+		return nil, fmt.Errorf("unbounded: %w", err)
+	}
+	q.dom.SetActive(q.alloc.Live())
+	return &DirectHandle{tid: tid}, nil
+}
+
+// Unregister releases a thread slot, clearing its hazard slot and
+// scanning its retire list so retired rings reach the pool.
+func (q *DirectQueue) Unregister(h *DirectHandle) {
+	q.dom.Clear(h.tid)
+	h.hp = nil
+	q.dom.Scan(h.tid)
+	q.alloc.Release(h.tid)
+	q.dom.SetActive(q.alloc.Live())
+}
+
+// Enqueue appends v. Always succeeds (capacity never runs out);
+// lock-free. v must fit the queue's payload width.
+func (q *DirectQueue) Enqueue(h *DirectHandle, v uint64) {
+	for {
+		lt := q.protect(h, &q.tail)
+		if n := lt.next.Load(); n != nil {
+			q.tail.CompareAndSwap(lt, n) // help advance
+			continue
+		}
+		if lt.r.Enqueue(v) {
+			return
+		}
+		// Full or finalized: close the ring (idempotent) so dequeuers
+		// can unlink it, and append a recycled or fresh ring carrying v.
+		lt.r.Finalize()
+		nr, err := q.getRing(h.tid)
+		if err != nil {
+			panic(err) // allocation of a fixed-size ring cannot fail
+		}
+		if !nr.r.Enqueue(v) {
+			panic("unbounded: enqueue on a fresh direct ring failed")
+		}
+		if lt.next.CompareAndSwap(nil, nr) {
+			q.tail.CompareAndSwap(lt, nr)
+			return
+		}
+		// Lost the append race; the ring was never published, so it
+		// goes straight back to the pool and v retries into the
+		// winner's ring.
+		q.poolPut(nr)
+	}
+}
+
+// EnqueueBatch appends all values in order (the queue cannot fill, so
+// the count is always len(vs)); the tail reservation is amortized over
+// each ring's share of the batch. Lock-free.
+func (q *DirectQueue) EnqueueBatch(h *DirectHandle, vs []uint64) int {
+	total := len(vs)
+	for len(vs) > 0 {
+		lt := q.protect(h, &q.tail)
+		if n := lt.next.Load(); n != nil {
+			q.tail.CompareAndSwap(lt, n) // help advance
+			continue
+		}
+		if n := lt.r.EnqueueBatch(vs); n > 0 {
+			vs = vs[n:]
+			continue
+		}
+		lt.r.Finalize()
+		nr, err := q.getRing(h.tid)
+		if err != nil {
+			panic(err)
+		}
+		n := nr.r.EnqueueBatch(vs)
+		if n == 0 {
+			panic("unbounded: batch enqueue on a fresh direct ring failed")
+		}
+		if lt.next.CompareAndSwap(nil, nr) {
+			q.tail.CompareAndSwap(lt, nr)
+			vs = vs[n:]
+			continue
+		}
+		// Lost the append race; our ring was never published, so its
+		// values are safe to retry into the winner's ring.
+		q.poolPut(nr)
+	}
+	return total
+}
+
+// Dequeue removes the oldest value, or returns ok=false when the whole
+// queue is observed empty. Lock-free; the unlink protocol (threshold
+// re-arm, second drain, hazard-protected head CAS) is the indirect
+// queue's, verbatim.
+func (q *DirectQueue) Dequeue(h *DirectHandle) (v uint64, ok bool) {
+	for {
+		lh := q.protect(h, &q.head)
+		if v, ok := lh.r.Dequeue(); ok {
+			return v, true
+		}
+		if lh.next.Load() == nil {
+			return 0, false // no successor: genuinely empty
+		}
+		// Finalized predecessor: re-arm the threshold and drain once
+		// more before unlinking (Figure 13, lines 59-63).
+		lh.r.ResetThreshold()
+		if v, ok := lh.r.Dequeue(); ok {
+			return v, true
+		}
+		next := lh.next.Load()
+		if q.head.CompareAndSwap(lh, next) {
+			q.retireRing(h.tid, lh) // unlinked: recycle through the pool
+		}
+	}
+}
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order, returning how many were dequeued.
+func (q *DirectQueue) DequeueBatch(h *DirectHandle, out []uint64) int {
+	if len(out) == 0 {
+		return 0
+	}
+	for {
+		lh := q.protect(h, &q.head)
+		if n := lh.r.DequeueBatch(out); n > 0 {
+			return n
+		}
+		if lh.next.Load() == nil {
+			return 0
+		}
+		lh.r.ResetThreshold()
+		if n := lh.r.DequeueBatch(out); n > 0 {
+			return n
+		}
+		next := lh.next.Load()
+		if q.head.CompareAndSwap(lh, next) {
+			q.retireRing(h.tid, lh)
+		}
+	}
+}
+
+// ValueBits returns the payload width.
+func (q *DirectQueue) ValueBits() uint { return q.valBits }
+
+// MaxOps returns the per-ring safe-operation bound; every hop renews
+// the budget.
+func (q *DirectQueue) MaxOps() uint64 { return q.head.Load().r.MaxOps() }
+
+// Footprint returns live queue-owned bytes: linked rings plus standby
+// inventory (pooled and retired rings).
+func (q *DirectQueue) Footprint() int64 { return q.mem.Live() }
+
+// PeakFootprint returns the lifetime high-water mark of Footprint.
+func (q *DirectQueue) PeakFootprint() int64 { return q.mem.Peak() }
+
+// PoolCap returns the ring-pool capacity.
+func (q *DirectQueue) PoolCap() int { return len(q.pool) }
+
+// RingStats reports the recycling counters (hits, allocating misses,
+// drops); flat misses in steady state are the allocation-free claim.
+func (q *DirectQueue) RingStats() (hits, misses, drops uint64) {
+	return q.poolHits.Load(), q.poolMisses.Load(), q.poolDrops.Load()
+}
+
+// RetiredRings reports rings awaiting hazard reclamation.
+func (q *DirectQueue) RetiredRings() int { return q.dom.RetiredCount() }
+
+// LiveHandles returns the number of currently registered handles.
+func (q *DirectQueue) LiveHandles() int { return q.alloc.Live() }
+
+// HandleHighWater returns the largest number of handle slots ever live
+// at once.
+func (q *DirectQueue) HandleHighWater() int { return q.alloc.HighWater() }

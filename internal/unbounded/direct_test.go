@@ -1,0 +1,191 @@
+package unbounded
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wcqueue/internal/check"
+	"wcqueue/internal/core"
+)
+
+func newDirectQ(t *testing.T, order uint, poolSize int) *DirectQueue {
+	t.Helper()
+	q, err := NewDirect(order, 52, poolSize, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestDirectUnboundedSequentialAcrossHops(t *testing.T) {
+	q := newDirectQ(t, 2, 4) // 4-slot rings: every burst hops
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Unregister(h)
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("drained queue non-empty")
+	}
+}
+
+func TestDirectUnboundedBatchAcrossHops(t *testing.T) {
+	q := newDirectQ(t, 3, 4)
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	const n = 3000
+	vs := make([]uint64, 64)
+	next := uint64(0)
+	for next < n {
+		k := min(uint64(len(vs)), n-next)
+		for i := uint64(0); i < k; i++ {
+			vs[i] = next + i
+		}
+		if got := q.EnqueueBatch(h, vs[:k]); got != int(k) {
+			t.Fatalf("EnqueueBatch(%d) = %d", k, got)
+		}
+		next += k
+	}
+	out := make([]uint64, 48)
+	want := uint64(0)
+	for want < n {
+		m := q.DequeueBatch(h, out)
+		if m == 0 {
+			t.Fatalf("empty with %d remaining", n-want)
+		}
+		for _, v := range out[:m] {
+			if v != want {
+				t.Fatalf("got %d want %d", v, want)
+			}
+			want++
+		}
+	}
+	if m := q.DequeueBatch(h, out); m != 0 {
+		t.Fatalf("drained queue yielded %d more", m)
+	}
+}
+
+func TestDirectUnboundedMPMCAccounting(t *testing.T) {
+	q := newDirectQ(t, 4, 32)
+	const producers, consumers = 3, 3
+	per := uint64(20000)
+	if testing.Short() {
+		per = 2000
+	}
+	total := producers * per
+	streams := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *DirectHandle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			budget := total / consumers
+			if c == 0 {
+				budget += total % consumers
+			}
+			local := make([]uint64, 0, budget)
+			for uint64(len(local)) < budget {
+				v, ok := q.Dequeue(h)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				consumed.Done()
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *DirectHandle) {
+			defer wg.Done()
+			defer q.Unregister(h)
+			for s := uint64(0); s < per; s++ {
+				q.Enqueue(h, check.Encode(p, s))
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	consumed.Wait()
+	if err := check.Verify(streams, producers, per).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectUnboundedRecyclingBounded(t *testing.T) {
+	// Steady churn on tiny rings: after warm-up, hops must be served
+	// from the pool (flat misses) and the footprint must stay flat.
+	q := newDirectQ(t, 2, 8)
+	h, _ := q.Register()
+	defer q.Unregister(h)
+	churn := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			for i := uint64(0); i < 32; i++ {
+				q.Enqueue(h, i)
+			}
+			for i := uint64(0); i < 32; i++ {
+				if _, ok := q.Dequeue(h); !ok {
+					t.Fatal("lost a value during churn")
+				}
+			}
+		}
+	}
+	churn(20) // warm the pool
+	_, warmMisses, _ := q.RingStats()
+	peakBefore := q.PeakFootprint()
+	churn(200)
+	hits, misses, _ := q.RingStats()
+	if misses != warmMisses {
+		t.Fatalf("steady-state churn allocated rings: misses %d -> %d (hits %d)", warmMisses, misses, hits)
+	}
+	if hits == 0 {
+		t.Fatal("no pool hits despite churn across hops")
+	}
+	if peak := q.PeakFootprint(); peak != peakBefore {
+		t.Fatalf("footprint grew under steady churn: peak %d -> %d", peakBefore, peak)
+	}
+	if q.Footprint() <= 0 {
+		t.Fatalf("Footprint = %d", q.Footprint())
+	}
+}
+
+func TestDirectUnboundedHandleChurn(t *testing.T) {
+	q := newDirectQ(t, 3, 4)
+	for i := 0; i < 200; i++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Enqueue(h, uint64(i))
+		if v, ok := q.Dequeue(h); !ok || v != uint64(i) {
+			t.Fatalf("cycle %d: got (%d,%v)", i, v, ok)
+		}
+		q.Unregister(h)
+	}
+	if hw := q.HandleHighWater(); hw != 1 {
+		t.Fatalf("handle churn grew high-water to %d, want 1", hw)
+	}
+}

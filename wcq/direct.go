@@ -1,0 +1,583 @@
+// Direct-value queue shapes (DESIGN.md §11).
+//
+// The indirect shapes (Queue, Striped, Unbounded) move every value
+// through two rings — a free-index ring and an allocated-index ring —
+// because the value lives in a side array. The Direct shapes store the
+// value IN the ring entry, halving the atomic-RMW count per transfer,
+// for payloads that fit the entry's value field: up to
+// core.MaxDirectValueBits (52) bits. Three ways to get a codec:
+//
+//	q, _ := wcq.NewDirect[uint32](16)          // integer kinds <= 32 bits:
+//	                                           // codec derived at compile time
+//	q, _ := wcq.NewDirectOf[uint64](16, wcq.UintCodec(52))
+//	q, _ := wcq.NewDirectOf[*Request](16, wcq.PointerCodec[Request]())
+//
+// The codec contract: Encode must be injective into [0, 2^Bits) and
+// Decode its inverse. Values outside the range panic at Enqueue (they
+// would corrupt the entry encoding, so the failure is loud).
+//
+// Trade-offs versus the indirect shapes, in exchange for roughly half
+// the atomics per transfer:
+//
+//   - lock-free, not wait-free (no bits left for the wCQ slow path's
+//     Note field at useful payload widths);
+//   - a tighter per-ring MaxOps wrap bound (the payload squeezes the
+//     cycle field; see core.NewDirectRing — the unbounded shape renews
+//     the budget every ring hop);
+//   - PointerCodec stores the pointer BITS: the queue does not keep
+//     the referent alive for the garbage collector. Callers must hold
+//     another reference (an arena, a registry, the working set) for as
+//     long as the value is in flight — the same contract as any
+//     uintptr stash;
+//   - no blocking/close layer: the Direct shapes are non-blocking
+//     only. Consumers that need parking waits use the indirect shapes.
+package wcq
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+
+	"wcqueue/internal/core"
+	"wcqueue/internal/unbounded"
+)
+
+// Codec maps values of type T to packed payloads of Bits bits and
+// back. Encode must be injective into [0, 2^Bits); Decode must invert
+// it. Bits is capped at core.MaxDirectValueBits (52).
+type Codec[T any] struct {
+	Bits   uint
+	Encode func(T) uint64
+	Decode func(uint64) T
+}
+
+// DirectValue is the constraint of NewDirect: integer kinds whose
+// width is known at compile time to fit the direct entry's value
+// field. 64-bit kinds (int, uint, int64, uint64, uintptr) do not fit
+// beside a useful cycle field and take the explicit-codec constructor
+// instead (UintCodec for integers known to be narrow, PointerCodec
+// for pointers).
+type DirectValue interface {
+	~int8 | ~int16 | ~int32 | ~uint8 | ~uint16 | ~uint32
+}
+
+// directCodec derives the codec for an integer kind: mask on encode
+// (bijective on the type's range, negative values map to their
+// two's-complement bit pattern), truncating conversion on decode.
+func directCodec[T DirectValue]() Codec[T] {
+	var z T
+	bits := uint(unsafe.Sizeof(z)) * 8
+	mask := uint64(1)<<bits - 1
+	return Codec[T]{
+		Bits:   bits,
+		Encode: func(v T) uint64 { return uint64(v) & mask },
+		Decode: func(u uint64) T { return T(u) },
+	}
+}
+
+// UintCodec is the identity codec for uint64 payloads the caller
+// guarantees fit in bits (Enqueue panics on one that does not).
+func UintCodec(bits uint) Codec[uint64] {
+	return Codec[uint64]{
+		Bits:   bits,
+		Encode: func(v uint64) uint64 { return v },
+		Decode: func(u uint64) uint64 { return u },
+	}
+}
+
+// PointerCodec stores *T pointers directly in ring entries: 48 bits,
+// the user-space virtual address width of x86-64 and AArch64. The
+// queue holds only the BITS — keep the referent alive elsewhere while
+// it is in flight, exactly as with any uintptr stash.
+func PointerCodec[T any]() Codec[*T] {
+	return Codec[*T]{
+		Bits: 48,
+		Encode: func(p *T) uint64 {
+			return uint64(uintptr(unsafe.Pointer(p)))
+		},
+		Decode: func(u uint64) *T {
+			// The round-trip through uintptr is safe only because the
+			// caller keeps the referent reachable (the codec contract
+			// above), so the bits cannot dangle; and because Go's GC
+			// does not move heap objects once a pointer to them has
+			// been stored as bits. The reconstruction goes through a
+			// local so the conversion is explicit to the checker.
+			up := uintptr(u)
+			return (*T)(*(*unsafe.Pointer)(unsafe.Pointer(&up)))
+		},
+	}
+}
+
+func (c Codec[T]) validate() error {
+	if c.Bits < 1 || c.Bits > core.MaxDirectValueBits {
+		return fmt.Errorf("wcq: codec width %d out of range [1, %d]", c.Bits, core.MaxDirectValueBits)
+	}
+	if c.Encode == nil || c.Decode == nil {
+		return fmt.Errorf("wcq: codec must define both Encode and Decode")
+	}
+	return nil
+}
+
+// scratchPool loans []uint64 buffers to the handle-free batched paths
+// so the steady-state cycle allocates nothing.
+type scratchPool struct{ p sync.Pool }
+
+func (sp *scratchPool) get(k int) *[]uint64 {
+	b, _ := sp.p.Get().(*[]uint64)
+	if b == nil {
+		s := make([]uint64, k)
+		return &s
+	}
+	if cap(*b) < k {
+		*b = make([]uint64, k)
+	}
+	return b
+}
+
+func (sp *scratchPool) put(b *[]uint64) { sp.p.Put(b) }
+
+// Direct is a bounded lock-free MPMC FIFO queue of direct values:
+// one ring, no index indirection, no handles — every method may be
+// called from any goroutine directly.
+type Direct[T any] struct {
+	r       *core.DirectRing
+	codec   Codec[T]
+	scratch scratchPool
+}
+
+// NewDirect creates a direct queue holding up to 2^order values of an
+// integer kind; the codec is derived from the type. See NewDirectOf
+// for wide or non-integer payloads.
+func NewDirect[T DirectValue](order uint, opts ...Option) (*Direct[T], error) {
+	return NewDirectOf[T](order, directCodec[T](), opts...)
+}
+
+// NewDirectOf creates a direct queue with an explicit codec.
+func NewDirectOf[T any](order uint, codec Codec[T], opts ...Option) (*Direct[T], error) {
+	if err := codec.validate(); err != nil {
+		return nil, err
+	}
+	c := buildConfig(opts)
+	r, err := core.NewDirectRing(order, codec.Bits, c.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Direct[T]{r: r, codec: codec}, nil
+}
+
+// MustDirect is NewDirect that panics on error.
+func MustDirect[T DirectValue](order uint, opts ...Option) *Direct[T] {
+	q, err := NewDirect[T](order, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Enqueue inserts v, returning false when the queue is full.
+// Lock-free; one ring operation (the indirect Queue pays two).
+func (q *Direct[T]) Enqueue(v T) bool { return q.r.Enqueue(q.codec.Encode(v)) }
+
+// Dequeue removes the oldest value, or returns ok=false when empty.
+func (q *Direct[T]) Dequeue() (v T, ok bool) {
+	u, ok := q.r.Dequeue()
+	if !ok {
+		return v, false
+	}
+	return q.codec.Decode(u), true
+}
+
+// EnqueueBatch inserts up to len(vs) values in order with one ring
+// reservation and returns how many landed (fewer only when the queue
+// fills).
+func (q *Direct[T]) EnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	bp := q.scratch.get(len(vs))
+	defer q.scratch.put(bp)
+	buf := (*bp)[:len(vs)]
+	for i, v := range vs {
+		buf[i] = q.codec.Encode(v)
+	}
+	return q.r.EnqueueBatch(buf)
+}
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order and returns how many were dequeued.
+func (q *Direct[T]) DequeueBatch(out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	bp := q.scratch.get(len(out))
+	defer q.scratch.put(bp)
+	buf := (*bp)[:len(out)]
+	n := q.r.DequeueBatch(buf)
+	for i := 0; i < n; i++ {
+		out[i] = q.codec.Decode(buf[i])
+	}
+	return n
+}
+
+// Cap returns the queue capacity (2^order). Under concurrent
+// enqueuers occupancy can transiently exceed it by up to their count
+// (the F&A admission headroom the 2n physical entries absorb).
+func (q *Direct[T]) Cap() int { return int(q.r.N()) }
+
+// ValueBits returns the codec's payload width.
+func (q *Direct[T]) ValueBits() uint { return q.r.ValueBits() }
+
+// MaxOps returns the cycle-wrap safe-operation bound.
+func (q *Direct[T]) MaxOps() uint64 { return q.r.MaxOps() }
+
+// Footprint returns the queue's memory usage in bytes; constant.
+func (q *Direct[T]) Footprint() int64 { return q.r.Footprint() }
+
+// DirectStriped is the sharded front-end over W direct lanes: the
+// Striped design (DESIGN.md §7) with DirectRing lanes. FIFO per
+// handle, lock-free, roughly half the atomics of Striped per transfer.
+// Handles exist only to carry lane affinity (the lanes themselves are
+// handle-free), so registration is a mutex-guarded lane pick.
+type DirectStriped[T any] struct {
+	lanes []*core.DirectRing
+	codec Codec[T]
+	pool  handlePool[DirectStripedHandle[T]]
+
+	laneMu    sync.Mutex
+	freeLanes []int
+	nextLane  int
+}
+
+// DirectStripedHandle pins a goroutine to a lane. Must not be shared
+// between concurrently running goroutines.
+type DirectStripedHandle[T any] struct {
+	s       *DirectStriped[T]
+	lane    int
+	scratch []uint64
+}
+
+// NewDirectStriped creates a striped direct queue of `stripes` lanes
+// of 2^order values each, with the codec derived from the integer
+// kind T.
+func NewDirectStriped[T DirectValue](order uint, stripes int, opts ...Option) (*DirectStriped[T], error) {
+	return NewDirectStripedOf[T](order, stripes, directCodec[T](), opts...)
+}
+
+// NewDirectStripedOf is NewDirectStriped with an explicit codec.
+func NewDirectStripedOf[T any](order uint, stripes int, codec Codec[T], opts ...Option) (*DirectStriped[T], error) {
+	if stripes < 1 {
+		return nil, fmt.Errorf("wcq: stripes %d out of range [1, ∞)", stripes)
+	}
+	if err := codec.validate(); err != nil {
+		return nil, err
+	}
+	c := buildConfig(opts)
+	s := &DirectStriped[T]{lanes: make([]*core.DirectRing, stripes), codec: codec}
+	for i := range s.lanes {
+		r, err := core.NewDirectRing(order, codec.Bits, c.core)
+		if err != nil {
+			return nil, fmt.Errorf("wcq: allocating direct stripe %d: %w", i, err)
+		}
+		s.lanes[i] = r
+	}
+	s.pool.init(s.Register, func(h *DirectStripedHandle[T]) { h.Unregister() })
+	return s, nil
+}
+
+// Register claims a handle pinned to a recycled or round-robin lane.
+func (s *DirectStriped[T]) Register() (*DirectStripedHandle[T], error) {
+	s.laneMu.Lock()
+	defer s.laneMu.Unlock()
+	var lane int
+	if n := len(s.freeLanes); n > 0 {
+		lane = s.freeLanes[n-1]
+		s.freeLanes = s.freeLanes[:n-1]
+	} else {
+		lane = s.nextLane % len(s.lanes)
+		s.nextLane++
+	}
+	return &DirectStripedHandle[T]{s: s, lane: lane}, nil
+}
+
+// Unregister recycles the handle's lane assignment so churn cannot
+// skew lane occupancy.
+func (h *DirectStripedHandle[T]) Unregister() {
+	s := h.s
+	s.laneMu.Lock()
+	s.freeLanes = append(s.freeLanes, h.lane)
+	s.laneMu.Unlock()
+}
+
+// Lane returns the handle's lane affinity (test and telemetry hook).
+func (h *DirectStripedHandle[T]) Lane() int { return h.lane }
+
+func (h *DirectStripedHandle[T]) buf(k int) []uint64 {
+	if cap(h.scratch) < k {
+		h.scratch = make([]uint64, k)
+	}
+	return h.scratch[:k]
+}
+
+// Enqueue inserts v into the handle's lane, returning false when that
+// lane is full (per-handle FIFO comes from staying on one lane).
+func (h *DirectStripedHandle[T]) Enqueue(v T) bool {
+	return h.s.lanes[h.lane].Enqueue(h.s.codec.Encode(v))
+}
+
+// Dequeue removes a value, preferring the handle's own lane and
+// stealing from the others in ring order. As with Striped, the
+// lane-by-lane emptiness scan is advisory, not linearizable.
+func (h *DirectStripedHandle[T]) Dequeue() (v T, ok bool) {
+	s := h.s
+	w := len(s.lanes)
+	for i := 0; i < w; i++ {
+		l := h.lane + i
+		if l >= w {
+			l -= w
+		}
+		if u, ok := s.lanes[l].Dequeue(); ok {
+			return s.codec.Decode(u), true
+		}
+	}
+	return v, false
+}
+
+// EnqueueBatch inserts up to len(vs) values into the handle's lane
+// with one ring reservation, returning how many landed.
+func (h *DirectStripedHandle[T]) EnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	buf := h.buf(len(vs))
+	for i, v := range vs {
+		buf[i] = h.s.codec.Encode(v)
+	}
+	return h.s.lanes[h.lane].EnqueueBatch(buf)
+}
+
+// DequeueBatch removes up to len(out) values, draining the handle's
+// own lane first and stealing the remainder.
+func (h *DirectStripedHandle[T]) DequeueBatch(out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	s := h.s
+	buf := h.buf(len(out))
+	w, n := len(s.lanes), 0
+	for i := 0; i < w && n < len(out); i++ {
+		l := h.lane + i
+		if l >= w {
+			l -= w
+		}
+		m := s.lanes[l].DequeueBatch(buf[:len(out)-n])
+		for j := 0; j < m; j++ {
+			out[n] = s.codec.Decode(buf[j])
+			n++
+		}
+	}
+	return n
+}
+
+// Enqueue inserts v through a pooled handle (lane affinity per call).
+func (s *DirectStriped[T]) Enqueue(v T) bool {
+	h := s.pool.mustGet()
+	ok := h.Enqueue(v)
+	s.pool.put(h)
+	return ok
+}
+
+// Dequeue removes a value through a pooled handle.
+func (s *DirectStriped[T]) Dequeue() (v T, ok bool) {
+	h := s.pool.mustGet()
+	v, ok = h.Dequeue()
+	s.pool.put(h)
+	return v, ok
+}
+
+// EnqueueBatch inserts up to len(vs) values through a pooled handle;
+// the batch lands in one lane, in order.
+func (s *DirectStriped[T]) EnqueueBatch(vs []T) int {
+	h := s.pool.mustGet()
+	n := h.EnqueueBatch(vs)
+	s.pool.put(h)
+	return n
+}
+
+// DequeueBatch removes up to len(out) values through a pooled handle.
+func (s *DirectStriped[T]) DequeueBatch(out []T) int {
+	h := s.pool.mustGet()
+	n := h.DequeueBatch(out)
+	s.pool.put(h)
+	return n
+}
+
+// Stripes returns the lane count W.
+func (s *DirectStriped[T]) Stripes() int { return len(s.lanes) }
+
+// Cap returns the total capacity across all lanes.
+func (s *DirectStriped[T]) Cap() int { return len(s.lanes) * int(s.lanes[0].N()) }
+
+// Footprint returns the live bytes across all lanes; constant.
+func (s *DirectStriped[T]) Footprint() int64 {
+	var sum int64
+	for _, r := range s.lanes {
+		sum += r.Footprint()
+	}
+	return sum
+}
+
+// MaxOps returns the per-lane safe-operation bound.
+func (s *DirectStriped[T]) MaxOps() uint64 { return s.lanes[0].MaxOps() }
+
+// DirectUnbounded is the unbounded direct-value queue: DirectRing
+// segments linked per Appendix A, with drained rings recycled through
+// the same hazard-pointer-protected pool design as Unbounded
+// (DESIGN.md §8) — but each pooled ring is one word array instead of
+// two index rings plus a data array. Lock-free; memory proportional to
+// content plus the bounded standby inventory.
+type DirectUnbounded[T any] struct {
+	q     *unbounded.DirectQueue
+	codec Codec[T]
+	pool  handlePool[DirectUnboundedHandle[T]]
+}
+
+// DirectUnboundedHandle is a registered per-goroutine token carrying
+// the hazard slot every ring traversal publishes through.
+type DirectUnboundedHandle[T any] struct {
+	q       *DirectUnbounded[T]
+	h       *unbounded.DirectHandle
+	scratch []uint64
+}
+
+// NewDirectUnbounded creates an unbounded direct queue whose rings
+// hold 2^order values each, with the codec derived from the integer
+// kind T. WithRingPool sizes the recycled-ring pool.
+func NewDirectUnbounded[T DirectValue](order uint, opts ...Option) (*DirectUnbounded[T], error) {
+	return NewDirectUnboundedOf[T](order, directCodec[T](), opts...)
+}
+
+// NewDirectUnboundedOf is NewDirectUnbounded with an explicit codec.
+func NewDirectUnboundedOf[T any](order uint, codec Codec[T], opts ...Option) (*DirectUnbounded[T], error) {
+	if err := codec.validate(); err != nil {
+		return nil, err
+	}
+	c := buildConfig(opts)
+	q, err := unbounded.NewDirect(order, codec.Bits, c.ringPool, c.core)
+	if err != nil {
+		return nil, err
+	}
+	qq := &DirectUnbounded[T]{q: q, codec: codec}
+	qq.pool.init(qq.Register, func(h *DirectUnboundedHandle[T]) { h.Unregister() })
+	return qq, nil
+}
+
+// Register claims an explicit per-goroutine handle.
+func (q *DirectUnbounded[T]) Register() (*DirectUnboundedHandle[T], error) {
+	h, err := q.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &DirectUnboundedHandle[T]{q: q, h: h}, nil
+}
+
+// Unregister releases the handle's slot.
+func (h *DirectUnboundedHandle[T]) Unregister() { h.q.q.Unregister(h.h) }
+
+func (h *DirectUnboundedHandle[T]) buf(k int) []uint64 {
+	if cap(h.scratch) < k {
+		h.scratch = make([]uint64, k)
+	}
+	return h.scratch[:k]
+}
+
+// Enqueue appends v; the queue grows as needed, so it always succeeds.
+func (h *DirectUnboundedHandle[T]) Enqueue(v T) { h.q.q.Enqueue(h.h, h.q.codec.Encode(v)) }
+
+// Dequeue removes the oldest value, or returns ok=false when the whole
+// queue is observed empty.
+func (h *DirectUnboundedHandle[T]) Dequeue() (v T, ok bool) {
+	u, ok := h.q.q.Dequeue(h.h)
+	if !ok {
+		return v, false
+	}
+	return h.q.codec.Decode(u), true
+}
+
+// EnqueueBatch appends all values in order (always len(vs)).
+func (h *DirectUnboundedHandle[T]) EnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	buf := h.buf(len(vs))
+	for i, v := range vs {
+		buf[i] = h.q.codec.Encode(v)
+	}
+	return h.q.q.EnqueueBatch(h.h, buf)
+}
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order and returns how many were dequeued.
+func (h *DirectUnboundedHandle[T]) DequeueBatch(out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	buf := h.buf(len(out))
+	n := h.q.q.DequeueBatch(h.h, buf)
+	for i := 0; i < n; i++ {
+		out[i] = h.q.codec.Decode(buf[i])
+	}
+	return n
+}
+
+// Enqueue appends v through a pooled handle.
+func (q *DirectUnbounded[T]) Enqueue(v T) {
+	h := q.pool.mustGet()
+	h.Enqueue(v)
+	q.pool.put(h)
+}
+
+// Dequeue removes the oldest value through a pooled handle.
+func (q *DirectUnbounded[T]) Dequeue() (v T, ok bool) {
+	h := q.pool.mustGet()
+	v, ok = h.Dequeue()
+	q.pool.put(h)
+	return v, ok
+}
+
+// EnqueueBatch appends values through a pooled handle.
+func (q *DirectUnbounded[T]) EnqueueBatch(vs []T) int {
+	h := q.pool.mustGet()
+	n := h.EnqueueBatch(vs)
+	q.pool.put(h)
+	return n
+}
+
+// DequeueBatch removes values through a pooled handle.
+func (q *DirectUnbounded[T]) DequeueBatch(out []T) int {
+	h := q.pool.mustGet()
+	n := h.DequeueBatch(out)
+	q.pool.put(h)
+	return n
+}
+
+// Footprint returns live queue-owned bytes (linked rings plus the
+// bounded standby inventory).
+func (q *DirectUnbounded[T]) Footprint() int64 { return q.q.Footprint() }
+
+// PeakFootprint returns the lifetime high-water mark of Footprint.
+func (q *DirectUnbounded[T]) PeakFootprint() int64 { return q.q.PeakFootprint() }
+
+// RingStats reports the ring-recycling counters (pool hits, allocating
+// misses, drops).
+func (q *DirectUnbounded[T]) RingStats() (hits, misses, drops uint64) { return q.q.RingStats() }
+
+// MaxOps returns the per-ring safe-operation bound; each ring hop
+// renews the budget.
+func (q *DirectUnbounded[T]) MaxOps() uint64 { return q.q.MaxOps() }
+
+// LiveHandles returns the number of currently registered handles.
+func (q *DirectUnbounded[T]) LiveHandles() int { return q.q.LiveHandles() }
+
+// HandleHighWater returns the largest number of handles ever live at
+// once.
+func (q *DirectUnbounded[T]) HandleHighWater() int { return q.q.HandleHighWater() }

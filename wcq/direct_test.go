@@ -1,0 +1,325 @@
+package wcq_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wcqueue/wcq"
+)
+
+func TestDirectIntegerKindsRoundTrip(t *testing.T) {
+	t.Run("int32-negatives", func(t *testing.T) {
+		q, err := wcq.NewDirect[int32](6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := []int32{0, -1, 1, -2147483648, 2147483647, 42, -42}
+		for _, v := range vals {
+			if !q.Enqueue(v) {
+				t.Fatalf("enqueue %d rejected", v)
+			}
+		}
+		for _, want := range vals {
+			v, ok := q.Dequeue()
+			if !ok || v != want {
+				t.Fatalf("got (%d,%v), want %d", v, ok, want)
+			}
+		}
+	})
+	t.Run("uint16", func(t *testing.T) {
+		q := wcq.MustDirect[uint16](4)
+		for i := 0; i < 3000; i++ { // wraps the 16-capacity ring many times
+			v := uint16(i * 7)
+			if !q.Enqueue(v) {
+				t.Fatalf("enqueue %d rejected", i)
+			}
+			got, ok := q.Dequeue()
+			if !ok || got != v {
+				t.Fatalf("got (%d,%v), want %d", got, ok, v)
+			}
+		}
+	})
+}
+
+func TestDirectUintCodec(t *testing.T) {
+	q, err := wcq.NewDirectOf[uint64](5, wcq.UintCodec(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := uint64(1)<<52 - 1
+	if !q.Enqueue(big) {
+		t.Fatal("52-bit value rejected")
+	}
+	if v, ok := q.Dequeue(); !ok || v != big {
+		t.Fatalf("got (%#x,%v)", v, ok)
+	}
+	// Out-of-range values must fail loudly, not corrupt the entry.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("53-bit value did not panic")
+		}
+	}()
+	q.Enqueue(1 << 52)
+}
+
+func TestDirectPointerCodecRoundTrip(t *testing.T) {
+	type payload struct{ x, y int }
+	q, err := wcq.NewDirectOf[*payload](7, wcq.PointerCodec[payload]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep every referent alive in refs for the whole test: the codec
+	// stores bits, not GC-visible references.
+	refs := make([]*payload, 100)
+	for i := range refs {
+		refs[i] = &payload{x: i, y: -i}
+	}
+	for _, p := range refs {
+		if !q.Enqueue(p) {
+			t.Fatalf("enqueue %v rejected", p)
+		}
+	}
+	runtime.GC() // bits survive a collection while refs pin the objects
+	for i, want := range refs {
+		p, ok := q.Dequeue()
+		if !ok || p != want || p.x != i || p.y != -i {
+			t.Fatalf("slot %d: got (%p,%v), want %p", i, p, ok, want)
+		}
+	}
+}
+
+func TestDirectCodecValidation(t *testing.T) {
+	if _, err := wcq.NewDirectOf[uint64](4, wcq.UintCodec(0)); err == nil {
+		t.Fatal("0-bit codec accepted")
+	}
+	if _, err := wcq.NewDirectOf[uint64](4, wcq.UintCodec(53)); err == nil {
+		t.Fatal("53-bit codec accepted")
+	}
+	if _, err := wcq.NewDirectOf[uint64](4, wcq.Codec[uint64]{Bits: 8}); err == nil {
+		t.Fatal("codec without Encode/Decode accepted")
+	}
+}
+
+func TestDirectFullAndBatch(t *testing.T) {
+	q := wcq.MustDirect[uint32](3) // capacity 8
+	if q.Cap() != 8 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	vs := make([]uint32, 12)
+	for i := range vs {
+		vs[i] = uint32(i)
+	}
+	if n := q.EnqueueBatch(vs); n != 8 {
+		t.Fatalf("EnqueueBatch = %d, want 8", n)
+	}
+	if q.Enqueue(99) {
+		t.Fatal("full queue accepted a value")
+	}
+	out := make([]uint32, 12)
+	if n := q.DequeueBatch(out); n != 8 {
+		t.Fatalf("DequeueBatch = %d, want 8", n)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != uint32(i) {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue non-empty")
+	}
+}
+
+func TestDirectStripedPerHandleFIFO(t *testing.T) {
+	s, err := wcq.NewDirectStriped[uint32](6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stripes() != 4 || s.Cap() != 4*64 {
+		t.Fatalf("Stripes=%d Cap=%d", s.Stripes(), s.Cap())
+	}
+	const producers = 4
+	per := uint32(5000)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p uint32, h *wcq.DirectStripedHandle[uint32]) {
+			defer wg.Done()
+			defer h.Unregister()
+			for i := uint32(0); i < per; i++ {
+				for !h.Enqueue(p<<24 | i) {
+					runtime.Gosched()
+				}
+			}
+		}(uint32(p), h)
+	}
+	var mu sync.Mutex
+	last := make([]int64, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	seen := 0
+	var cwg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cwg.Add(1)
+		go func(h *wcq.DirectStripedHandle[uint32]) {
+			defer cwg.Done()
+			defer h.Unregister()
+			for {
+				mu.Lock()
+				done := seen == int(per)*producers
+				mu.Unlock()
+				if done {
+					return
+				}
+				v, ok := h.Dequeue()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				p, i := int(v>>24), int64(v&(1<<24-1))
+				mu.Lock()
+				// Per-producer order must hold globally here: each
+				// producer's values live in a single FIFO lane.
+				if i <= last[p] {
+					t.Errorf("producer %d reordered: %d after %d", p, i, last[p])
+				}
+				last[p] = i
+				seen++
+				mu.Unlock()
+			}
+		}(h)
+	}
+	wg.Wait()
+	cwg.Wait()
+	if seen != int(per)*producers {
+		t.Fatalf("consumed %d of %d", seen, int(per)*producers)
+	}
+}
+
+func TestDirectStripedLaneRecycling(t *testing.T) {
+	s := mustDirectStriped(t)
+	h1, _ := s.Register()
+	l1 := h1.Lane()
+	h1.Unregister()
+	h2, _ := s.Register()
+	if h2.Lane() != l1 {
+		t.Fatalf("recycled lane %d, want %d", h2.Lane(), l1)
+	}
+	h2.Unregister()
+}
+
+func mustDirectStriped(t *testing.T) *wcq.DirectStriped[uint32] {
+	t.Helper()
+	s, err := wcq.NewDirectStriped[uint32](4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDirectStripedHandleFree(t *testing.T) {
+	s := mustDirectStriped(t)
+	for i := uint32(0); i < 1000; i++ {
+		if !s.Enqueue(i) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+		if v, ok := s.Dequeue(); !ok || v != i {
+			t.Fatalf("got (%d,%v) want %d", v, ok, i)
+		}
+	}
+	vs := []uint32{1, 2, 3, 4, 5}
+	if n := s.EnqueueBatch(vs); n != 5 {
+		t.Fatalf("EnqueueBatch = %d", n)
+	}
+	out := make([]uint32, 8)
+	if n := s.DequeueBatch(out); n != 5 {
+		t.Fatalf("DequeueBatch = %d", n)
+	}
+}
+
+func TestDirectUnboundedGrowsAndRecycles(t *testing.T) {
+	q, err := wcq.NewDirectUnboundedOf[uint64](3, wcq.UintCodec(52), wcq.WithRingPool(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+	// Depth far beyond one 8-slot ring: the queue must grow.
+	const depth = 500
+	for i := uint64(0); i < depth; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(0); i < depth; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	// Churn to steady state; misses must stop growing.
+	for r := 0; r < 30; r++ {
+		for i := uint64(0); i < 64; i++ {
+			h.Enqueue(i)
+		}
+		for i := uint64(0); i < 64; i++ {
+			if _, ok := h.Dequeue(); !ok {
+				t.Fatal("lost a value during churn")
+			}
+		}
+	}
+	_, warm, _ := q.RingStats()
+	for r := 0; r < 100; r++ {
+		for i := uint64(0); i < 64; i++ {
+			h.Enqueue(i)
+		}
+		for i := uint64(0); i < 64; i++ {
+			if _, ok := h.Dequeue(); !ok {
+				t.Fatal("lost a value during churn")
+			}
+		}
+	}
+	if _, misses, _ := q.RingStats(); misses != warm {
+		t.Fatalf("steady churn allocated rings: %d -> %d", warm, misses)
+	}
+	if q.Footprint() <= 0 || q.PeakFootprint() < q.Footprint() {
+		t.Fatalf("footprint accounting: live=%d peak=%d", q.Footprint(), q.PeakFootprint())
+	}
+}
+
+func TestDirectUnboundedHandleFree(t *testing.T) {
+	q, err := wcq.NewDirectUnboundedOf[uint64](4, wcq.UintCodec(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		q.Enqueue(i)
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v) want %d", v, ok, i)
+		}
+	}
+	vs := []uint64{9, 8, 7}
+	if n := q.EnqueueBatch(vs); n != 3 {
+		t.Fatalf("EnqueueBatch = %d", n)
+	}
+	out := make([]uint64, 4)
+	if n := q.DequeueBatch(out); n != 3 || out[0] != 9 {
+		t.Fatalf("DequeueBatch = %d, out=%v", n, out)
+	}
+	if q.LiveHandles() < 0 || q.HandleHighWater() < 1 {
+		t.Fatalf("handle accounting: live=%d hw=%d", q.LiveHandles(), q.HandleHighWater())
+	}
+}

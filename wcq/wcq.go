@@ -18,6 +18,13 @@
 //   - The scq sibling package: the lock-free SCQ, for callers that
 //     prefer slightly higher throughput over wait-freedom.
 //
+// For payloads that fit in 52 bits (pointers, small integers, or a
+// user Codec), the direct-value counterparts — Direct, DirectStriped
+// and DirectUnbounded — store the value in the ring entry itself,
+// halving the atomics per transfer at the cost of lock-freedom
+// instead of wait-freedom and no blocking layer (DESIGN.md §11; see
+// direct.go for the codec contract and the trade-off list).
+//
 // Registration is dynamic (DESIGN.md §9): constructors take no thread
 // count, and goroutines may register and unregister freely — per-
 // participant records live in a grow-only chunked arena bounded only
