@@ -22,9 +22,11 @@
 // Choosing between them: take Direct when the payload fits and raw
 // throughput matters; take the indirect shapes when values are wider
 // than 52 bits, when wait-freedom (rather than lock-freedom) is
-// required, when you need the blocking/Close layer, or when per-ring
-// operation counts can exceed the direct layout's tighter MaxOps wrap
-// bound.
+// required, when you need the blocking/Close layer, or when lifetime
+// operation counts can exceed the direct layout's tighter MaxOps
+// budget (enforced: a bounded direct ring past its budget permanently
+// reports full rather than risking cycle wrap; the unbounded direct
+// shape renews the budget by hopping rings and has no such limit).
 //
 // Registration is dynamic: constructors take no thread count.
 // Per-participant records live in chunked grow-only arenas published

@@ -30,6 +30,23 @@ import (
 // detector observes properly synchronized accesses and weakly ordered
 // machines keep the fences. DESIGN.md §11 carries the full argument
 // per call site.
+//
+// CAVEAT — this is a formal data race. The Go memory model gives a
+// plain load of a concurrently-written word no defined semantics at
+// all; "it's x86" is a hardware argument, not a language one, and the
+// !race build tag deliberately hides these accesses from the race
+// detector. What makes the callers correct in practice is pinned to
+// the gc compiler on amd64: aligned 64-bit plain loads compile to a
+// single MOV (single-copy atomic), and the compiler does not reorder
+// or fold a plain load across the atomic RMW (CAS/F&A) that every
+// consuming loop's back-edge executes — observed gc behavior, not a
+// documented guarantee. A future gc release or an alternative
+// compiler (gccgo, tinygo) could break that assumption; the escape
+// hatches are Options.ConservativeAtomics / scq.WithConservativeAtomics
+// (per-queue, seq-cst throughout) and deleting the amd64 build tag
+// line above (process-wide, falls back to relaxed_atomic.go). A
+// future runtime/internal relaxed-atomic intrinsic (or go:linkname to
+// one) would make this well-defined; none is exported today.
 
 // RelaxedLoad loads p without ordering guarantees beyond same-location
 // coherence. Use only where the value is re-validated (CAS) or where

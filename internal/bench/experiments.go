@@ -7,6 +7,7 @@ import (
 
 	"wcqueue/internal/core"
 	"wcqueue/internal/queues/registry"
+	"wcqueue/internal/scq"
 )
 
 // Experiment regenerates one of the paper's figures or one of the
@@ -280,19 +281,24 @@ func RunRemapAblation(w io.Writer, threads, ops int) error {
 }
 
 // RunDietAblation measures the hot-path atomic diet A/B (experiment
-// E5, DESIGN.md §11): the same wCQ pairwise sweep built with the diet
-// on (default) and off (Options.ConservativeAtomics — seq-cst entry
-// loads and threshold accesses, per-position batch bookkeeping). The
-// delta is the diet's whole contribution; correctness is covered by
-// the conformance suites running the diet build under -race (which
+// E5, DESIGN.md §11): wCQ and the SCQ baseline, pairwise, each built
+// with the diet on (default) and off (Options.ConservativeAtomics on
+// wCQ, scq.WithConservativeAtomics on SCQ — seq-cst entry loads and
+// threshold accesses, per-position batch bookkeeping). The delta is
+// the diet's whole contribution; correctness is covered by the
+// conformance suites running the diet build under -race (which
 // compiles the relaxed accessors down to seq-cst ones) AND the
 // conservative build in TestDirectRingMPMC.
 func RunDietAblation(w io.Writer, threads, ops int) error {
 	fmt.Fprintf(w, "# E5: atomic-diet ablation — pairwise, %d threads, %d ops\n", threads, ops)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
-	fmt.Fprintln(tw, "atomics\tscalar-Mops/s\tbatch16-Mops/s")
+	fmt.Fprintln(tw, "queue\tatomics\tscalar-Mops/s\tbatch16-Mops/s")
 	for _, conservative := range []bool{false, true} {
+		label := "relaxed (diet)"
+		if conservative {
+			label = "seq-cst"
+		}
 		q, err := core.NewQueue[uint64](12, core.Options{ConservativeAtomics: conservative})
 		if err != nil {
 			return err
@@ -309,11 +315,29 @@ func RunDietAblation(w io.Writer, threads, ops int) error {
 		if err != nil {
 			return err
 		}
-		label := "relaxed (diet)"
+		fmt.Fprintf(tw, "wCQ\t%s\t%.2f\t%.2f\n", label, scalar, res.Mops)
+
+		var sopts []scq.Option
 		if conservative {
-			label = "seq-cst"
+			sopts = append(sopts, scq.WithConservativeAtomics())
 		}
-		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\n", label, scalar, res.Mops)
+		sq, err := scq.New[uint64](12, sopts...)
+		if err != nil {
+			return err
+		}
+		sres, err := Run(&scqAblation{q: sq}, Config{Threads: threads, Ops: ops, Repeats: 3, Workload: Pairwise})
+		if err != nil {
+			return err
+		}
+		sqb, err := scq.New[uint64](12, sopts...)
+		if err != nil {
+			return err
+		}
+		sresb, err := Run(&scqAblation{q: sqb}, Config{Threads: threads, Ops: ops, Repeats: 3, Workload: Pairwise, Batch: 16})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "SCQ\t%s\t%.2f\t%.2f\n", label, sres.Mops, sresb.Mops)
 	}
 	return nil
 }
@@ -344,3 +368,20 @@ func (a *wcqDirect) DequeueBatch(h any, out []uint64) int {
 }
 func (a *wcqDirect) Footprint() int64 { return a.q.Footprint() }
 func (a *wcqDirect) Name() string     { return "wCQ" }
+
+// scqAblation adapts scq.Queue for the diet ablation runs (SCQ is
+// handle-free).
+type scqAblation struct{ q *scq.Queue[uint64] }
+
+func (a *scqAblation) Register() (any, error)       { return 0, nil }
+func (a *scqAblation) Unregister(any)               {}
+func (a *scqAblation) Enqueue(_ any, v uint64) bool { return a.q.Enqueue(v) }
+func (a *scqAblation) Dequeue(any) (uint64, bool)   { return a.q.Dequeue() }
+func (a *scqAblation) EnqueueBatch(_ any, vs []uint64) int {
+	return a.q.EnqueueBatch(vs)
+}
+func (a *scqAblation) DequeueBatch(_ any, out []uint64) int {
+	return a.q.DequeueBatch(out)
+}
+func (a *scqAblation) Footprint() int64 { return a.q.Footprint() }
+func (a *scqAblation) Name() string     { return "SCQ" }

@@ -68,7 +68,8 @@ type DirectRing struct {
 	noRemap   bool
 	emulFAA   bool
 	relaxed   bool
-	maxOps    uint64
+	maxOps    uint64 // enqueue-admission budget; Enqueue fail-stops past it
+	hardCap   uint64 // no entry is ever written at a counter >= hardCap
 
 	threshold pad.Int64
 	tail      pad.Uint64 // counter; bit 63 is the finalize flag
@@ -83,11 +84,29 @@ type DirectRing struct {
 // handle options do not apply (there is no slow path and there are no
 // handles).
 //
-// The MaxOps wrap bound is (2^(62-valueBits)−2)·2^(k+1): packing the
-// payload beside the cycle narrows the cycle field, so wide payloads
-// trade operation budget for directness — 52-bit payloads at order 16
-// still clear 10^8 operations per ring, and the unbounded composition
-// renews the budget every ring hop.
+// Packing the payload beside the cycle narrows the cycle field, so
+// wide payloads trade operation budget for directness. Unlike the
+// indirect rings — whose 40+-bit cycle fields make wrap a documented
+// caller obligation — the direct ring ENFORCES its budget: once the
+// tail counter reaches MaxOps() = (2^(61−valueBits)−1)·2^(k+1)
+// (capped at 2^61 for narrow payloads, where the 63-bit counter, not
+// the cycle field, is the binding constraint), Enqueue permanently
+// returns false (as if full), and Reset renews the budget. 52-bit
+// payloads at order 16 still clear 6×10^7 operations per ring, and
+// the unbounded composition hops to a fresh ring when a ring's budget
+// runs out, so its budget is effectively unlimited.
+//
+// The enforced bound sits at half the cycle space; the other half is a
+// guard band between MaxOps and the hard cap (one cycle short of the
+// wrap point, where the entCycle comparisons would go ABA). The
+// admission check is a load-then-F&A race, so concurrently in-flight
+// operations can push the tail counter past MaxOps — by at most one
+// ring (≤ n positions) per in-flight call. The guard band therefore
+// absorbs 2^(62−valueBits) rings of drift (1024 max-size batches, or
+// ~6.7×10^7 scalar enqueues in flight at once, at the widest payload)
+// before reaching the hard cap — and the hard cap itself is checked
+// AFTER every position reservation, so even past it, positions are
+// abandoned rather than written and entry cycles can never wrap.
 func NewDirectRing(order, valueBits uint, opts Options) (*DirectRing, error) {
 	if order < 1 || order > 24 {
 		return nil, fmt.Errorf("core: direct ring order %d out of range [1, 24]", order)
@@ -113,7 +132,17 @@ func NewDirectRing(order, valueBits uint, opts Options) (*DirectRing, error) {
 		emulFAA:   opts.EmulatedFAA,
 		relaxed:   !opts.ConservativeAtomics,
 	}
-	r.maxOps = (r.cycMask - 1) << r.ringOrder
+	if r.cycMask >= uint64(1)<<(62-r.ringOrder) {
+		// Narrow payload: the cycle field is so wide that the 63-bit
+		// counter (bit 63 is the finalize flag), not the cycle, is the
+		// binding constraint — cycMask<<ringOrder would overflow. Cap
+		// well below the finalize bit; unreachable in any real run.
+		r.hardCap = uint64(1) << 62
+		r.maxOps = uint64(1) << 61
+	} else {
+		r.hardCap = r.cycMask << r.ringOrder
+		r.maxOps = (r.cycMask >> 1) << r.ringOrder
+	}
 	r.entries = make([]atomic.Uint64, 1<<r.ringOrder)
 	r.initEmpty()
 	return r, nil
@@ -140,7 +169,10 @@ func (r *DirectRing) ValueBits() uint { return r.valBits }
 // MaxValue returns the largest storable payload, 2^valueBits − 1.
 func (r *DirectRing) MaxValue() uint64 { return 1<<r.valBits - 1 }
 
-// MaxOps returns the cycle-wrap operation bound (DESIGN.md §2.1 §11).
+// MaxOps returns the enforced cycle-wrap operation budget (DESIGN.md
+// §11): once the tail counter reaches it, Enqueue permanently returns
+// false instead of risking an ABA on the narrow cycle field. Reset
+// renews the budget; the unbounded composition hops instead.
 func (r *DirectRing) MaxOps() uint64 { return r.maxOps }
 
 // Footprint returns the live bytes of ring-owned memory; constant.
@@ -217,10 +249,10 @@ func (r *DirectRing) loadEntry(j uint64) uint64 {
 	return r.entries[j].Load()
 }
 
+// thresholdNonNegative stays a real atomic load even under the diet:
+// the empty exit has no RMW on its path, so a relaxed load could be
+// hoisted out of a caller's poll loop (see WCQ.thresholdNonNegative).
 func (r *DirectRing) thresholdNonNegative() bool {
-	if r.relaxed {
-		return atomicx.RelaxedLoadInt64(r.threshold.Raw()) >= 0
-	}
 	return r.threshold.Load() >= 0
 }
 
@@ -284,17 +316,22 @@ func (r *DirectRing) orEntry(j uint64, mask uint64) {
 // distance can only have shrunk — a >= n verdict therefore certifies a
 // moment (the Head read) at which occupancy was genuinely >= n, making
 // the full return linearizable. The converse direction is approximate:
-// concurrent enqueuers that all pass the check may overshoot n by up
-// to their own count, bounded headroom the 2n physical entries absorb
-// (the same slack scqd's F&A-based admission has).
+// concurrent enqueuers that all pass the check may collectively
+// overshoot n by the sum of their in-flight counts (1 per scalar call,
+// up to n per batch), which can exceed the 2n physical headroom.
+// Safety does not depend on the headroom: positions whose slot is
+// still occupied fail enqAt conservatively and the caller retries or
+// reports full (the same slack scqd's F&A-based admission has).
 func (r *DirectRing) full(tailCnt uint64) bool {
 	h := r.head.Load()
 	return tailCnt >= h && tailCnt-h >= r.n
 }
 
-// Enqueue inserts v, returning false when the ring is full or
-// finalized. Lock-free. v must be <= MaxValue (the codec contract);
-// out-of-range values panic rather than corrupt the entry encoding.
+// Enqueue inserts v, returning false when the ring is full, finalized,
+// or out of operation budget (tail counter past MaxOps — the op-count
+// tantrum; the unbounded layer turns this into a ring hop). Lock-free.
+// v must be <= MaxValue (the codec contract); out-of-range values
+// panic rather than corrupt the entry encoding.
 func (r *DirectRing) Enqueue(v uint64) bool {
 	if v>>r.valBits != 0 {
 		panic(fmt.Sprintf("core: direct value %#x exceeds %d-bit payload", v, r.valBits))
@@ -303,6 +340,9 @@ func (r *DirectRing) Enqueue(v uint64) bool {
 		w := r.tail.Load()
 		if w&atomicx.FinalizeBit != 0 {
 			return false
+		}
+		if w >= r.maxOps {
+			return false // budget exhausted: fail-stop before the cycle wraps
 		}
 		if r.full(w) {
 			return false
@@ -321,8 +361,14 @@ func (r *DirectRing) Enqueue(v uint64) bool {
 
 // enqAt is the try_enq body at reserved tail counter t. Failure leaves
 // the entry untouched (abandoned reservations look like failed scalar
-// attempts — the batched path's safety hook).
+// attempts — the batched path's safety hook). The hardCap check is the
+// authoritative wrap guard: whatever admission drift pushed the
+// counter there, a position at or past the cap is abandoned, never
+// written, so entry cycles cannot wrap.
 func (r *DirectRing) enqAt(t, v uint64) bool {
+	if t >= r.hardCap {
+		return false
+	}
 	j := r.remapPos(t)
 	tcyc := r.cycleOf(t)
 	for {
@@ -361,9 +407,15 @@ func (r *DirectRing) Dequeue() (v uint64, ok bool) {
 
 // deqAt is the try_deq body at reserved head counter h. A reserved
 // position must always be processed (the slot is stamped with our
-// cycle so an older producer cannot strand a value there).
-// deferThreshold is the batched diet mode; see WCQ.deqAtFast.
+// cycle so an older producer cannot strand a value there) — except at
+// or past hardCap, where no producer can ever have written (enqAt's
+// authoritative guard), so skipping the stamp strands nothing and
+// keeps wrapped cycles out of the entries. deferThreshold is the
+// batched diet mode; see WCQ.deqAtFast.
 func (r *DirectRing) deqAt(h uint64, deferThreshold bool) (v uint64, st DeqStatus) {
+	if h >= r.hardCap {
+		return 0, DeqEmpty
+	}
 	j := r.remapPos(h)
 	hcyc := r.cycleOf(h)
 	for {
@@ -399,6 +451,28 @@ func (r *DirectRing) deqAt(h uint64, deferThreshold bool) (v uint64, st DeqStatu
 			return 0, DeqRetry
 		}
 		if r.threshold.Add(-1) <= -1 {
+			// The 3n−1 budget licenses an empty conclusion only in the
+			// SCQ setting, where reserved tail positions are never
+			// abandoned AHEAD of Head (indirect-ring enqueuers fail a
+			// position only after Head has passed it). The direct
+			// ring's racy full() admission breaks that premise: an
+			// enqueuer can reserve past n occupancy, find the slot
+			// still holding an old-cycle value, and abandon a position
+			// Head has yet to visit. A run of ≥ 3n such positions would
+			// decay the budget and strand (or, through the unbounded
+			// layer's unlink, drop) a value sitting above the run — so
+			// a decayed budget is re-verified against the precise
+			// Tail/Head distance: positions still ahead mean the decay
+			// came from an abandoned run, not emptiness; re-arm and
+			// keep walking. Bounded: Head is monotonic and every retry
+			// advances it toward the Tail observed here, so the walk
+			// terminates (lock-free, which is all the direct ring
+			// claims).
+			t := r.tail.Load() &^ atomicx.FinalizeBit
+			if t > h+1 {
+				r.threshold.Store(r.thresh3n)
+				return 0, DeqRetry
+			}
 			return 0, DeqEmpty
 		}
 		return 0, DeqRetry
@@ -428,9 +502,14 @@ func (r *DirectRing) catchup(tail, head uint64) {
 
 // EnqueueBatch inserts up to len(vs) values in order, reserving the
 // tail positions with one F&A, and returns how many landed (fewer only
-// when the ring fills or is finalized mid-batch). The reservation is
-// clamped to the observed free space so a batch cannot blow past the
-// capacity headroom; stragglers fall back to scalar enqueues, which
+// when the ring fills, is finalized, or runs out of operation budget
+// mid-batch). The reservation is clamped to free space computed from a
+// tail/head snapshot; the clamp bounds a SINGLE batch, but N
+// concurrent batches can each observe the same free space and
+// collectively reserve up to the sum of their clamps (≤ N·n) past it —
+// the overshoot is bounded by the concurrent batch totals, not by n.
+// Safety never depends on that bound: overshot positions fail enqAt
+// conservatively and stragglers fall back to scalar enqueues, which
 // reserve later positions and so preserve intra-batch FIFO order.
 func (r *DirectRing) EnqueueBatch(vs []uint64) int {
 	if len(vs) == 0 {
@@ -450,6 +529,9 @@ func (r *DirectRing) EnqueueBatch(vs []uint64) int {
 	w := r.tail.Load()
 	if w&atomicx.FinalizeBit != 0 {
 		return 0
+	}
+	if w >= r.maxOps {
+		return 0 // budget exhausted: fail-stop before the cycle wraps
 	}
 	h := r.head.Load()
 	free := r.n

@@ -321,3 +321,110 @@ func TestDirectRingEmulatedFAA(t *testing.T) {
 		}
 	}
 }
+
+func TestDirectRingOpBudgetFailStop(t *testing.T) {
+	// Order 1 with a 52-bit payload has the narrowest cycle field
+	// (10 bits), so MaxOps = 511·4 = 2044 — reachable in a moment. A
+	// balanced enqueue/dequeue workload never fills the 2-slot ring,
+	// yet the ring must fail-stop at its budget instead of letting the
+	// cycle field wrap and the entCycle comparisons go ABA.
+	r := newDirect(t, 1, 52)
+	budget := r.MaxOps()
+	if budget == 0 || budget > 1<<20 {
+		t.Fatalf("unexpected MaxOps %d for an order-1/52-bit ring", budget)
+	}
+	var i uint64
+	for ; r.Enqueue(i); i++ {
+		v, ok := r.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("iter %d: got (%d,%v)", i, v, ok)
+		}
+		if i > budget {
+			t.Fatalf("ring accepted %d enqueues, budget %d", i, budget)
+		}
+	}
+	if i < budget/2 {
+		t.Fatalf("fail-stop after only %d enqueues (budget %d)", i, budget)
+	}
+	if r.Enqueue(99) {
+		t.Fatal("exhausted ring accepted a scalar enqueue")
+	}
+	if n := r.EnqueueBatch([]uint64{1, 2}); n != 0 {
+		t.Fatalf("exhausted ring accepted a batch of %d", n)
+	}
+	if v, ok := r.Dequeue(); ok {
+		t.Fatalf("drained exhausted ring yielded %d", v)
+	}
+	// Reset renews the budget (the unbounded layer's pool reuse).
+	r.Reset()
+	if !r.Enqueue(7) {
+		t.Fatal("reset ring rejected an enqueue")
+	}
+	if v, ok := r.Dequeue(); !ok || v != 7 {
+		t.Fatalf("reset ring dequeue = (%d,%v)", v, ok)
+	}
+}
+
+func TestDirectRingOpBudgetFailStopBatched(t *testing.T) {
+	r := newDirect(t, 1, 52)
+	budget := r.MaxOps()
+	buf := []uint64{0, 1, 2}
+	out := make([]uint64, 3)
+	total := uint64(0)
+	for {
+		n := r.EnqueueBatch(buf)
+		if n == 0 {
+			break
+		}
+		if m := r.DequeueBatch(out[:n]); m != n {
+			t.Fatalf("DequeueBatch = %d want %d", m, n)
+		}
+		total += uint64(n)
+		if total > budget {
+			t.Fatalf("batched ring accepted %d enqueues, budget %d", total, budget)
+		}
+	}
+	if total < budget/2 {
+		t.Fatalf("batched fail-stop after only %d enqueues (budget %d)", total, budget)
+	}
+}
+
+func TestDirectRingAbandonedRunEmptinessDecay(t *testing.T) {
+	// Reconstructs the admission-overshoot interleaving: >= 3n tail
+	// positions reserved but abandoned AHEAD of Head (what concurrent
+	// enqueuers that all passed the racy full() check and then lost
+	// enqAt to occupied slots leave behind), with one landed value
+	// above the run. Walking the run decays the 3n−1 threshold; the
+	// precise Tail/Head re-verify in deqAt must keep Dequeue from
+	// concluding empty — and the unbounded layer's unlink from
+	// dropping the ring — while the value is still present.
+	r := newDirect(t, 1, 52) // n=2, threshold 3n−1 = 5
+	if !r.Enqueue(10) || !r.Enqueue(11) {
+		t.Fatal("setup enqueues failed")
+	}
+	for _, want := range []uint64{10, 11} {
+		if v, ok := r.Dequeue(); !ok || v != want {
+			t.Fatalf("setup dequeue got (%d,%v) want %d", v, ok, want)
+		}
+	}
+	// Six abandoned reservations (3n for n=2), then a landed value.
+	r.faaTail(6)
+	w := r.faaTail(1)
+	if !r.enqAt(w, 12) {
+		t.Fatal("setup enqAt failed")
+	}
+	r.rearmThreshold()
+	if v, ok := r.Dequeue(); !ok || v != 12 {
+		t.Fatalf("value above the abandoned run: got (%d,%v) want 12", v, ok)
+	}
+	if v, ok := r.Dequeue(); ok {
+		t.Fatalf("drained ring yielded %d", v)
+	}
+	// After the genuine empty the fast-exit is armed again.
+	if !r.Enqueue(13) {
+		t.Fatal("post-drain enqueue failed")
+	}
+	if v, ok := r.Dequeue(); !ok || v != 13 {
+		t.Fatalf("post-drain dequeue got (%d,%v)", v, ok)
+	}
+}

@@ -52,12 +52,15 @@ type Options struct {
 	// caps shrink the chunk directory and bound arena growth.
 	MaxHandles int
 	// ConservativeAtomics disables the hot-path atomic diet
-	// (DESIGN.md §11): entry loads, the threshold fast-exit and the
-	// threshold re-arm all run seq-cst, and batched dequeues keep the
-	// per-position threshold bookkeeping. The E-series diet ablation
-	// is the only intended user; the default (diet on) is safe on
-	// every supported platform — race builds and non-TSO targets
-	// already compile the relaxed accessors down to seq-cst ones.
+	// (DESIGN.md §11): entry loads and the threshold re-arm guard run
+	// seq-cst, and batched dequeues keep the per-position threshold
+	// bookkeeping. (The empty fast-exit load is always a real atomic
+	// load, diet or not — it has no RMW on its path to anchor the
+	// relaxed-load argument; see thresholdNonNegative.) The E-series
+	// diet ablation is the only intended user; the default (diet on)
+	// is safe on every supported platform — race builds and non-TSO
+	// targets already compile the relaxed accessors down to seq-cst
+	// ones.
 	ConservativeAtomics bool
 	// OnArenaGrow, when non-nil, is called with the byte size of every
 	// record chunk the arena publishes. The unbounded queue uses it to
@@ -458,17 +461,17 @@ func (q *WCQ) loadEntry(j uint64) uint64 {
 	return q.entries[j].Load()
 }
 
-// thresholdNonNegative is the dequeue-side empty fast-exit check.
-// Relaxed under the diet: the threshold is a heuristic budget, and any
-// load — seq-cst included — is only a momentary snapshot. A stale
-// negative keeps reporting empty exactly as the seq-cst load would
-// have a moment earlier (the re-arm that raised it has no
-// happens-before edge to this dequeuer either way); a stale
-// non-negative merely admits one more fetch-and-add attempt.
+// thresholdNonNegative is the dequeue-side empty fast-exit check. It
+// deliberately stays a real atomic load, diet or no diet: this is the
+// one hot-path load with NO atomic RMW on its own path (the empty exit
+// returns before any F&A), so the diet's "never folded across the
+// consuming loop's back-edge RMW" argument does not cover it — a
+// relaxed load here could legally be hoisted out of a caller's
+// poll-until-nonempty loop by the compiler, turning a momentarily
+// empty observation into a permanent one (the classic plain-bool spin
+// hang). On amd64 the atomic load is the same MOV; what it buys is the
+// compiler ordering barrier, which is exactly the needed property.
 func (q *WCQ) thresholdNonNegative() bool {
-	if q.relaxed {
-		return atomicx.RelaxedLoadInt64(q.threshold.Raw()) >= 0
-	}
 	return q.threshold.Load() >= 0
 }
 

@@ -46,6 +46,7 @@ type Ring struct {
 	thresh3n  int64  // 3n-1
 	remap     RemapFunc
 	emulFAA   bool
+	relaxed   bool // hot-path atomic diet enabled (DESIGN.md §11)
 
 	threshold pad.Int64
 	tail      pad.Uint64
@@ -58,9 +59,10 @@ type Ring struct {
 type Option func(*config)
 
 type config struct {
-	remap   RemapFunc
-	full    bool
-	emulFAA bool
+	remap        RemapFunc
+	full         bool
+	emulFAA      bool
+	conservative bool
 }
 
 // WithEmulatedFAA replaces hardware F&A and atomic OR with CAS loops,
@@ -75,6 +77,14 @@ func WithRemap(f RemapFunc) Option { return func(c *config) { c.remap = f } }
 // WithFull initializes the ring holding indices 0..n-1, the state the
 // "free queue" of the indirection construction starts in.
 func WithFull() Option { return func(c *config) { c.full = true } }
+
+// WithConservativeAtomics disables the hot-path atomic diet (DESIGN.md
+// §11), mirroring core.Options.ConservativeAtomics on the wCQ shapes:
+// entry loads and the threshold re-arm guard run seq-cst, and batched
+// dequeues keep the per-position threshold bookkeeping. (The empty
+// fast-exit load is always a real atomic load, diet or not; see
+// thresholdNonNegative.) The E5 diet ablation is the intended user.
+func WithConservativeAtomics() Option { return func(c *config) { c.conservative = true } }
 
 // maxCatchup bounds the catchup loop. In SCQ catchup is purely a
 // contention optimization (§3.2 "Bounding catchup"), so bounding it is
@@ -106,6 +116,7 @@ func NewRing(order uint, opts ...Option) (*Ring, error) {
 		thresh3n:  3*int64(1<<order) - 1,
 		remap:     cfg.remap,
 		emulFAA:   cfg.emulFAA,
+		relaxed:   !cfg.conservative,
 	}
 	r.entries = make([]atomic.Uint64, 1<<r.ringOrder)
 	if cfg.full {
@@ -207,10 +218,23 @@ func (r *Ring) faaAdd(w *pad.Uint64, k uint64) uint64 {
 }
 
 // loadEntry is the diet-gated entry load of the fast-path CAS loops
-// (DESIGN.md §11): relaxed, because every consumer of the value either
-// re-validates it with a CAS on the same word or fails conservatively.
+// (DESIGN.md §11): relaxed by default, because every consumer of the
+// value either re-validates it with a CAS on the same word or fails
+// conservatively; seq-cst under WithConservativeAtomics (the E5
+// ablation's baseline build).
 func (r *Ring) loadEntry(j uint64) uint64 {
-	return atomicx.RelaxedLoad(&r.entries[j])
+	if r.relaxed {
+		return atomicx.RelaxedLoad(&r.entries[j])
+	}
+	return r.entries[j].Load()
+}
+
+// thresholdNonNegative stays a real atomic load even under the diet:
+// the empty exit has no RMW on its path, so a relaxed load could be
+// hoisted out of a caller's poll loop (see core.WCQ's twin for the
+// full argument).
+func (r *Ring) thresholdNonNegative() bool {
+	return r.threshold.Load() >= 0
 }
 
 // rearmThreshold restores the dequeue budget after a successful
@@ -219,9 +243,14 @@ func (r *Ring) loadEntry(j uint64) uint64 {
 // load — the store stays seq-cst, see core.WCQ.rearmThreshold for the
 // real-time-linearizability argument, which is identical here.
 func (r *Ring) rearmThreshold() {
-	if atomicx.RelaxedLoadInt64(r.threshold.Raw()) != r.thresh3n {
-		r.threshold.Store(r.thresh3n)
+	if r.relaxed {
+		if atomicx.RelaxedLoadInt64(r.threshold.Raw()) == r.thresh3n {
+			return
+		}
+	} else if r.threshold.Load() == r.thresh3n {
+		return
 	}
+	r.threshold.Store(r.thresh3n)
 }
 
 // orEntry atomically ORs mask into entry j.
@@ -363,7 +392,7 @@ func (r *Ring) deqAt(h uint64, deferThreshold bool) (index uint64, status DeqSta
 // Dequeue removes and returns an index, or ok=false if the queue is
 // empty.
 func (r *Ring) Dequeue() (index uint64, ok bool) {
-	if atomicx.RelaxedLoadInt64(r.threshold.Raw()) < 0 {
+	if !r.thresholdNonNegative() {
 		return 0, false
 	}
 	for {
@@ -416,7 +445,7 @@ func (r *Ring) DequeueBatch(out []uint64) int {
 	if k == 0 {
 		return 0
 	}
-	if atomicx.RelaxedLoadInt64(r.threshold.Raw()) < 0 {
+	if !r.thresholdNonNegative() {
 		return 0
 	}
 	if k == 1 {
@@ -430,7 +459,7 @@ func (r *Ring) DequeueBatch(out []uint64) int {
 	h0 := r.faaAdd(&r.head, k)
 	n, retries := 0, 0
 	for i := uint64(0); i < k; i++ {
-		index, status := r.deqAt(h0+i, true)
+		index, status := r.deqAt(h0+i, r.relaxed)
 		switch status {
 		case DeqOK:
 			out[n] = index

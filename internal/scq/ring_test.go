@@ -292,3 +292,39 @@ func TestRingFootprintConstant(t *testing.T) {
 		t.Fatalf("footprint changed %d -> %d", before, r.Footprint())
 	}
 }
+
+func TestQueueConservativeAtomicsMPMC(t *testing.T) {
+	// WithConservativeAtomics builds the seq-cst (diet-off) ring — the
+	// E5 ablation baseline. Same MPMC verification as the diet build.
+	per := uint64(10000)
+	if testing.Short() {
+		per = 1000
+	}
+	q := Must[uint64](10, WithConservativeAtomics())
+	runMPMC(t, queueAdapter{q}, 4, 4, per)
+}
+
+func TestRingConservativeAtomicsBatch(t *testing.T) {
+	q := Must[uint64](6, WithConservativeAtomics())
+	vs := make([]uint64, 16)
+	out := make([]uint64, 16)
+	next, want := uint64(0), uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := range vs {
+			vs[i] = next
+			next++
+		}
+		if n := q.EnqueueBatch(vs); n != len(vs) {
+			t.Fatalf("round %d: EnqueueBatch = %d", round, n)
+		}
+		if n := q.DequeueBatch(out); n != len(out) {
+			t.Fatalf("round %d: DequeueBatch = %d", round, n)
+		}
+		for _, v := range out {
+			if v != want {
+				t.Fatalf("got %d want %d", v, want)
+			}
+			want++
+		}
+	}
+}

@@ -2,9 +2,12 @@
 //
 // DirectQueue is the Appendix A list construction with
 // core.DirectRing segments instead of {aq, fq, data} triples: the tail
-// ring absorbs enqueues until it fills or an enqueuer starves, gets
-// finalized (the LCRQ tantrum the indirect unbounded queue already
-// uses), and a recycled or fresh ring is appended; dequeuers drain
+// ring absorbs enqueues until it fills or exhausts its cycle-wrap
+// operation budget (the ring fail-stops at MaxOps — an op-count
+// tantrum in the spirit of the LCRQ starvation tantrum, needed because
+// the packed entry's narrow cycle field would otherwise wrap and go
+// ABA under a balanced workload that never fills the ring), gets
+// finalized, and a recycled or fresh ring is appended; dequeuers drain
 // finalized rings, re-arm the threshold once for stragglers, and
 // unlink. Retired rings ride the SAME recycling design as the
 // indirect queue — a hazard-pointer domain feeding a bounded pool, so
@@ -228,8 +231,9 @@ func (q *DirectQueue) Enqueue(h *DirectHandle, v uint64) {
 		if lt.r.Enqueue(v) {
 			return
 		}
-		// Full or finalized: close the ring (idempotent) so dequeuers
-		// can unlink it, and append a recycled or fresh ring carrying v.
+		// Full, finalized, or out of op budget (the ring's MaxOps
+		// fail-stop): close the ring (idempotent) so dequeuers can
+		// unlink it, and append a recycled or fresh ring carrying v.
 		lt.r.Finalize()
 		nr, err := q.getRing(h.tid)
 		if err != nil {
@@ -339,8 +343,10 @@ func (q *DirectQueue) DequeueBatch(h *DirectHandle, out []uint64) int {
 // ValueBits returns the payload width.
 func (q *DirectQueue) ValueBits() uint { return q.valBits }
 
-// MaxOps returns the per-ring safe-operation bound; every hop renews
-// the budget.
+// MaxOps returns the per-ring operation budget. The rings enforce it
+// (Enqueue fail-stops at the bound), which forces a finalize-and-hop,
+// and Reset on pool reuse renews it — so the queue as a whole has no
+// operation limit.
 func (q *DirectQueue) MaxOps() uint64 { return q.head.Load().r.MaxOps() }
 
 // Footprint returns live queue-owned bytes: linked rings plus standby

@@ -189,3 +189,34 @@ func TestDirectUnboundedHandleChurn(t *testing.T) {
 		t.Fatalf("handle churn grew high-water to %d, want 1", hw)
 	}
 }
+
+func TestDirectUnboundedOpBudgetHops(t *testing.T) {
+	// Order-1, 52-bit rings carry the tightest per-ring budget
+	// (MaxOps = 2044). This balanced workload keeps occupancy at one
+	// value, so the tail ring never fills and nothing but the op-count
+	// tantrum forces a hop; without it the ring's 10-bit cycle field
+	// would wrap around iteration ~4k and the entCycle comparisons
+	// would go ABA. Running several budgets' worth of traffic checks
+	// that exhausted rings finalize, the queue hops, and FIFO survives.
+	q, err := NewDirect(1, 52, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Unregister(h)
+	iters := 4 * q.MaxOps()
+	for i := uint64(0); i < iters; i++ {
+		q.Enqueue(h, i)
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("iter %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	hits, misses, _ := q.RingStats()
+	if hits+misses < 3 {
+		t.Fatalf("expected budget-driven ring hops, got pool hits=%d misses=%d", hits, misses)
+	}
+}

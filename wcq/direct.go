@@ -21,9 +21,13 @@
 //
 //   - lock-free, not wait-free (no bits left for the wCQ slow path's
 //     Note field at useful payload widths);
-//   - a tighter per-ring MaxOps wrap bound (the payload squeezes the
-//     cycle field; see core.NewDirectRing — the unbounded shape renews
-//     the budget every ring hop);
+//   - a tighter per-ring MaxOps operation budget (the payload squeezes
+//     the cycle field; see core.NewDirectRing). The budget is
+//     ENFORCED: once MaxOps enqueues have passed through a bounded
+//     Direct/DirectStriped ring it permanently reports full — a loud
+//     fail-stop instead of silent cycle-wrap corruption. Size order
+//     and Bits so MaxOps covers the queue's lifetime traffic, or use
+//     DirectUnbounded, whose ring hops renew the budget indefinitely;
 //   - PointerCodec stores the pointer BITS: the queue does not keep
 //     the referent alive for the garbage collector. Callers must hold
 //     another reference (an arena, a registry, the working set) for as
@@ -85,10 +89,14 @@ func UintCodec(bits uint) Codec[uint64] {
 	}
 }
 
-// PointerCodec stores *T pointers directly in ring entries: 48 bits,
-// the user-space virtual address width of x86-64 and AArch64. The
-// queue holds only the BITS — keep the referent alive elsewhere while
-// it is in flight, exactly as with any uintptr stash.
+// PointerCodec stores *T pointers directly in ring entries: 48 bits.
+// Only pointers into the Go heap are supported — the gc runtime keeps
+// heap arenas below 2^48 on every supported platform, so Go-heap
+// addresses always fit. Pointers from outside the Go heap (mmap, cgo
+// allocations) can exceed 48 bits on LA57 (5-level page table) Linux
+// and will panic at Enqueue rather than corrupt the entry encoding.
+// The queue holds only the BITS — keep the referent alive elsewhere
+// while it is in flight, exactly as with any uintptr stash.
 func PointerCodec[T any]() Codec[*T] {
 	return Codec[*T]{
 		Bits: 48,
@@ -98,9 +106,11 @@ func PointerCodec[T any]() Codec[*T] {
 		Decode: func(u uint64) *T {
 			// The round-trip through uintptr is safe only because the
 			// caller keeps the referent reachable (the codec contract
-			// above), so the bits cannot dangle; and because Go's GC
-			// does not move heap objects once a pointer to them has
-			// been stored as bits. The reconstruction goes through a
+			// above), so the bits cannot dangle; and because today's gc
+			// runtime does not move heap objects. That is an
+			// implementation detail of the gc runtime, not a language
+			// guarantee — this codec must be revisited if the runtime
+			// ever compacts the heap. The reconstruction goes through a
 			// local so the conversion is explicit to the checker.
 			up := uintptr(u)
 			return (*T)(*(*unsafe.Pointer)(unsafe.Pointer(&up)))
@@ -227,7 +237,9 @@ func (q *Direct[T]) Cap() int { return int(q.r.N()) }
 // ValueBits returns the codec's payload width.
 func (q *Direct[T]) ValueBits() uint { return q.r.ValueBits() }
 
-// MaxOps returns the cycle-wrap safe-operation bound.
+// MaxOps returns the enforced operation budget: once that many
+// enqueues have passed through the ring, Enqueue permanently returns
+// false (fail-stop instead of cycle-wrap corruption).
 func (q *Direct[T]) MaxOps() uint64 { return q.r.MaxOps() }
 
 // Footprint returns the queue's memory usage in bytes; constant.
@@ -426,7 +438,8 @@ func (s *DirectStriped[T]) Footprint() int64 {
 	return sum
 }
 
-// MaxOps returns the per-lane safe-operation bound.
+// MaxOps returns the per-lane enforced operation budget; a lane that
+// exhausts it permanently reports full (see Direct.MaxOps).
 func (s *DirectStriped[T]) MaxOps() uint64 { return s.lanes[0].MaxOps() }
 
 // DirectUnbounded is the unbounded direct-value queue: DirectRing
@@ -571,8 +584,9 @@ func (q *DirectUnbounded[T]) PeakFootprint() int64 { return q.q.PeakFootprint() 
 // misses, drops).
 func (q *DirectUnbounded[T]) RingStats() (hits, misses, drops uint64) { return q.q.RingStats() }
 
-// MaxOps returns the per-ring safe-operation bound; each ring hop
-// renews the budget.
+// MaxOps returns the per-ring operation budget. The rings enforce it —
+// an exhausted ring fail-stops, which forces a finalize-and-hop onto a
+// fresh ring — so the queue as a whole has no operation limit.
 func (q *DirectUnbounded[T]) MaxOps() uint64 { return q.q.MaxOps() }
 
 // LiveHandles returns the number of currently registered handles.
