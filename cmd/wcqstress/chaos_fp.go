@@ -1,0 +1,18 @@
+//go:build wcq_failpoints
+
+package main
+
+import "wcqueue/internal/failpoint"
+
+// chaosAvailable reports whether this binary carries the failpoint
+// layer; -chaos refuses to run without it rather than silently doing
+// nothing.
+const chaosAvailable = true
+
+// chaosEnable turns on seeded schedule perturbation at every woven
+// failpoint site.
+func chaosEnable(seed uint64) { failpoint.EnableChaos(seed) }
+
+// chaosTrace returns the recent perturbation trace, printed on
+// failure so a run shrinks to "seed + site trace".
+func chaosTrace() string { return failpoint.Trace() }

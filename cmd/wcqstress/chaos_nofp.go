@@ -1,0 +1,12 @@
+//go:build !wcq_failpoints
+
+package main
+
+// Without the wcq_failpoints build tag the failpoint sites compile to
+// nothing, so chaos mode has nothing to drive: -chaos errors out and
+// tells the user to rebuild with the tag.
+const chaosAvailable = false
+
+func chaosEnable(uint64) {}
+
+func chaosTrace() string { return "" }

@@ -60,8 +60,25 @@ func main() {
 			"registration-storm mode: every worker registers, moves one value and unregisters per cycle (-per cycles each); asserts the handle high-water mark stays at peak concurrency")
 		block = flag.Bool("block", false,
 			"blocking mode: consumers park in DequeueWait, producers send bursts through EnqueueWait, and the queue is closed mid-run; asserts every accepted value is delivered exactly once before ErrClosed")
+		chaos = flag.Bool("chaos", false,
+			"perturb the schedule at every failpoint site with a seeded pseudo-random pattern (requires a -tags wcq_failpoints build); composes with any mode")
+		seedFlag = flag.Int64("seed", 0,
+			"seed for every randomized decision in the run (producer burst timing, -chaos perturbation); 0 derives one from the clock. The seed is printed at startup so any run can be replayed")
 	)
 	flag.Parse()
+
+	seed := *seedFlag
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	fmt.Printf("wcqstress: seed %d (replay with -seed %d)\n", seed, seed)
+	if *chaos {
+		if !chaosAvailable {
+			fmt.Fprintln(os.Stderr, "wcqstress: -chaos needs the failpoint layer; rebuild with -tags wcq_failpoints")
+			os.Exit(1)
+		}
+		chaosEnable(uint64(seed))
+	}
 
 	if *producers < 1 || *consumers < 1 {
 		fmt.Fprintf(os.Stderr, "wcqstress: -producers %d / -consumers %d out of range (want >= 1 each)\n", *producers, *consumers)
@@ -93,6 +110,16 @@ func main() {
 		}
 	}
 	exit := 0
+	// A failing chaos run is reproduced from the printed seed; the
+	// trace of acting perturbations narrows down where the schedule
+	// was bent when the accounting broke.
+	failTrace := func() {
+		if *chaos {
+			if tr := chaosTrace(); tr != "" {
+				fmt.Printf("  chaos trace: %s\n", tr)
+			}
+		}
+	}
 	for _, n := range names {
 		q, err := registry.New(n, registry.Config{
 			Threads:     *producers + *consumers,
@@ -108,6 +135,7 @@ func main() {
 			workers := *producers + *consumers
 			if err := registrationStorm(q, workers, *per); err != nil {
 				fmt.Printf("%-12s storm: %v\n", q.Name(), err)
+				failTrace()
 				exit = 1
 				continue
 			}
@@ -117,6 +145,7 @@ func main() {
 				hw = fmt.Sprint(w)
 				if w > workers {
 					fmt.Printf("%-12s storm: high-water %d exceeds %d concurrent workers\n", q.Name(), w, workers)
+					failTrace()
 					exit = 1
 					continue
 				}
@@ -131,9 +160,10 @@ func main() {
 				fmt.Printf("%-12s block: skipped (no blocking API)\n", q.Name())
 				continue
 			}
-			delivered, err := blockingStress(bq, *producers, *consumers, *per)
+			delivered, err := blockingStress(bq, *producers, *consumers, *per, seed)
 			if err != nil {
 				fmt.Printf("%-12s block: %v\n", q.Name(), err)
+				failTrace()
 				exit = 1
 				continue
 			}
@@ -146,6 +176,9 @@ func main() {
 		if rep.Err() != nil {
 			status = rep.Err().Error()
 			exit = 1
+		}
+		if rep.Err() != nil {
+			failTrace()
 		}
 		fmt.Printf("%-10s %d producers × %d values, %d consumers: %s (%.2fs, %d dequeued)\n",
 			q.Name(), *producers, *per, *consumers, status, time.Since(t0).Seconds(), rep.Total)
@@ -198,7 +231,7 @@ func registrationStorm(q queueiface.Queue, workers int, cycles uint64) error {
 // holds within each consumer stream, every delivered set is the exact
 // accepted prefix, and every worker observes ErrClosed and exits. A
 // lost wakeup shows up as a hung run (the CI step's timeout).
-func blockingStress(q queueiface.BlockingQueue, producers, consumers int, per uint64) (uint64, error) {
+func blockingStress(q queueiface.BlockingQueue, producers, consumers int, per uint64, seed int64) (uint64, error) {
 	accepted := make([]uint64, producers)
 	streams := make([][]uint64, consumers)
 	errs := make(chan error, producers+consumers)
@@ -236,7 +269,7 @@ func blockingStress(q queueiface.BlockingQueue, producers, consumers int, per ui
 		go func(p int, h queueiface.Handle) {
 			defer pwg.Done()
 			defer q.Unregister(h)
-			rng := rand.New(rand.NewSource(int64(p) + 1))
+			rng := rand.New(rand.NewSource(seed + int64(p) + 1))
 			for s := uint64(0); s < per; s++ {
 				err := q.EnqueueWait(context.Background(), h, check.Encode(p, s))
 				if err != nil {

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"runtime"
 
+	"wcqueue/internal/failpoint"
 	"wcqueue/internal/waitq"
 )
 
@@ -65,11 +66,21 @@ func (q *Queue[T]) Close() {
 		}
 		return
 	}
+	if failpoint.Enabled {
+		// Closing published, quiescence not yet run: enqueues must
+		// already fail, dequeuers must not yet conclude ErrClosed.
+		failpoint.Inject(failpoint.CoreCloseClosing)
+	}
 	// Quiesce: wait out every enqueue that won the race against the
 	// state flip, by scanning the tid-indexed flag arena (handles that
 	// register after the flip observe closing before touching the
 	// ring, so the scan is complete).
 	q.flags.Quiesce()
+	if failpoint.Enabled {
+		// Quiesced but unsealed: the queue's content is final, yet no
+		// dequeuer may report ErrClosed until the seal lands.
+		failpoint.Inject(failpoint.CoreClosePreSeal)
+	}
 	q.state.Store(stateSealed)
 	q.notEmpty.Broadcast()
 	q.notFull.Broadcast()
@@ -99,6 +110,11 @@ func (q *Queue[T]) EnqueueWait(ctx context.Context, h *Handle, v T) error {
 	w := h.waiter()
 	for {
 		q.notFull.Prepare(w)
+		if failpoint.Enabled {
+			// Armed but not yet re-checked: the lost-wakeup window the
+			// eventcount protocol must close.
+			failpoint.Inject(failpoint.BlockingEnqPrepared)
+		}
 		if q.Enqueue(h, v) {
 			q.notFull.Cancel(w)
 			return nil
@@ -132,6 +148,9 @@ func (q *Queue[T]) DequeueWait(ctx context.Context, h *Handle) (T, error) {
 	w := h.waiter()
 	for {
 		q.notEmpty.Prepare(w)
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.BlockingDeqPrepared)
+		}
 		if v, ok := q.Dequeue(h); ok {
 			q.notEmpty.Cancel(w)
 			return v, nil

@@ -39,6 +39,7 @@ import (
 
 	"wcqueue/internal/atomicx"
 	"wcqueue/internal/bitops"
+	"wcqueue/internal/failpoint"
 	"wcqueue/internal/pad"
 )
 
@@ -269,6 +270,9 @@ func (r *DirectRing) rearmThreshold() {
 	} else if r.threshold.Load() == r.thresh3n {
 		return
 	}
+	if failpoint.Enabled {
+		failpoint.Inject(failpoint.DirectThresholdRearm)
+	}
 	r.threshold.Store(r.thresh3n)
 }
 
@@ -347,9 +351,20 @@ func (r *DirectRing) Enqueue(v uint64) bool {
 		if r.full(w) {
 			return false
 		}
+		if failpoint.Enabled {
+			// Admission check passed, tail F&A pending: the racy
+			// load-then-F&A window behind the cycle-wrap budget's
+			// drift bound.
+			failpoint.Inject(failpoint.DirectEnqAdmitted)
+		}
 		w = r.faaTail(1)
 		if w&atomicx.FinalizeBit != 0 {
 			return false
+		}
+		if failpoint.Enabled {
+			// Position reserved, entry CAS pending: the
+			// abandoned-position window (PR 5 review bug class).
+			failpoint.Inject(failpoint.DirectEnqReserved)
 		}
 		if r.enqAt(w, v) {
 			return true
@@ -395,6 +410,9 @@ func (r *DirectRing) Dequeue() (v uint64, ok bool) {
 	}
 	for {
 		h := r.faaHead(1)
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.DirectDeqReserved)
+		}
 		v, st := r.deqAt(h, false)
 		switch st {
 		case DeqOK:
@@ -468,6 +486,11 @@ func (r *DirectRing) deqAt(h uint64, deferThreshold bool) (v uint64, st DeqStatu
 			// advances it toward the Tail observed here, so the walk
 			// terminates (lock-free, which is all the direct ring
 			// claims).
+			if failpoint.Enabled {
+				// Budget hit the floor, re-verify pending: the decayed-
+				// budget window the PR 5 fix closes.
+				failpoint.Inject(failpoint.DirectBudgetDecay)
+			}
 			t := r.tail.Load() &^ atomicx.FinalizeBit
 			if t > h+1 {
 				r.threshold.Store(r.thresh3n)

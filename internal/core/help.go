@@ -3,6 +3,8 @@ package core
 // This file implements wCQ's helping procedures (Figure 6):
 // help_threads, help_enqueue and help_dequeue.
 
+import "wcqueue/internal/failpoint"
+
 // helpTick charges k operations against the record's HELP_DELAY budget
 // and runs a help scan when it expires. Scalar operations tick 1;
 // batched operations tick the batch size, so a batch of k counts as k
@@ -37,6 +39,12 @@ func (q *WCQ) helpScan(rec *record) {
 	if thr := q.recAt(t); thr == nil {
 		next = (t>>chunkShift + 1) << chunkShift // skip the unpublished chunk
 	} else if thr != rec && thr.pending.Load() {
+		if failpoint.Enabled {
+			// Helper has found a pending request and is about to join
+			// its slow path: a helper frozen here must not block the
+			// requester or other helpers.
+			failpoint.Inject(failpoint.CoreHelpPickup)
+		}
 		if thr.enqueue.Load() {
 			q.helpEnqueue(rec, thr)
 		} else {

@@ -1,6 +1,9 @@
 package core
 
-import "wcqueue/internal/atomicx"
+import (
+	"wcqueue/internal/atomicx"
+	"wcqueue/internal/failpoint"
+)
 
 // DeqStatus is the outcome of one fast-path dequeue attempt.
 type DeqStatus int
@@ -23,6 +26,11 @@ func (q *WCQ) tryEnqFast(index uint64) (tried uint64, ok, finalized bool) {
 		return 0, false, true
 	}
 	t := atomicx.PairCnt(w)
+	if failpoint.Enabled {
+		// Reserved tail counter, entry not yet installed: the
+		// stalled-enqueuer window.
+		failpoint.Inject(failpoint.CoreEnqReserved)
+	}
 	if q.enqAtFast(t, index) {
 		return 0, true, false
 	}
@@ -105,6 +113,9 @@ func (q *WCQ) finalizeRequest(h uint64) {
 // (Note preserved, Enq honored). tried is meaningful only for DeqRetry.
 func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
 	h := q.faa(&q.head)
+	if failpoint.Enabled {
+		failpoint.Inject(failpoint.CoreDeqReserved)
+	}
 	index, st = q.deqAtFast(h, false)
 	if st == DeqRetry {
 		tried = h
@@ -208,6 +219,11 @@ func (q *WCQ) enqueueRec(rec *record, index uint64) {
 	rec.enqueue.Store(true)
 	rec.seq2.Store(seq)
 	rec.pending.Store(true)
+	if failpoint.Enabled {
+		// Help request published, requester not yet running the slow
+		// path: helpers must complete the enqueue exactly once.
+		failpoint.Inject(failpoint.CoreEnqSlowPublished)
+	}
 	q.enqueueSlow(lastTail, index, rec, rec, seq)
 	rec.pending.Store(false)
 	rec.seq1.Store(seq + 1)
@@ -278,6 +294,9 @@ func (q *WCQ) dequeueRec(rec *record) (index uint64, ok bool) {
 	rec.enqueue.Store(false)
 	rec.seq2.Store(seq)
 	rec.pending.Store(true)
+	if failpoint.Enabled {
+		failpoint.Inject(failpoint.CoreDeqSlowPublished)
+	}
 	q.dequeueSlow(lastHead, rec, rec, seq)
 	rec.pending.Store(false)
 	rec.seq1.Store(seq + 1)

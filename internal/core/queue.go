@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"wcqueue/internal/atomicx"
+	"wcqueue/internal/failpoint"
 	"wcqueue/internal/waitq"
 )
 
@@ -153,6 +154,12 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 	if !ok {
 		h.active.Exit()
 		return false // no free index: full
+	}
+	if failpoint.Enabled {
+		// Index reserved inside the active bracket, close re-check
+		// pending: Close's quiescence must wait out a thread frozen
+		// here, and the value must land or be cleanly refused.
+		failpoint.Inject(failpoint.CoreEnqActiveWindow)
 	}
 	// Dekker re-check: the fetch-and-add that won the index is a
 	// seq-cst RMW, so h.active is globally visible before this load —

@@ -22,6 +22,7 @@ import (
 
 	"wcqueue/internal/atomicx"
 	"wcqueue/internal/bitops"
+	"wcqueue/internal/failpoint"
 	"wcqueue/internal/pad"
 )
 
@@ -502,6 +503,11 @@ func (q *WCQ) rearmThreshold() {
 		}
 	} else if q.threshold.Load() == q.thresh3n {
 		return
+	}
+	if failpoint.Enabled {
+		// Decay observed, 3n-1 store pending: a thread frozen here must
+		// not leave dequeuers concluding empty on a non-empty ring.
+		failpoint.Inject(failpoint.CoreThresholdRearm)
 	}
 	q.threshold.Store(q.thresh3n)
 }

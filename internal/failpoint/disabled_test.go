@@ -1,0 +1,18 @@
+//go:build !wcq_failpoints
+
+package failpoint
+
+import "testing"
+
+// The untagged build must expose Enabled == false as an untyped
+// constant (so `if failpoint.Enabled` branches are deleted at compile
+// time) and an Inject that is callable but inert.
+func TestDisabledIsInert(t *testing.T) {
+	const mustBeConst = !Enabled // compile error if Enabled is not a constant
+	if !mustBeConst {
+		t.Fatal("Enabled should be false without the wcq_failpoints tag")
+	}
+	for i := 0; i < NumSites(); i++ {
+		Inject(Site(i)) // must be a no-op
+	}
+}

@@ -1,0 +1,250 @@
+//go:build wcq_failpoints
+
+package failpoint
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled is true under the wcq_failpoints build tag: every woven
+// site consults its armed action (one atomic load when disarmed and
+// chaos is off).
+const Enabled = true
+
+// Kind selects what a tripped site does to the calling thread.
+type Kind int32
+
+const (
+	// KindPark blocks the caller until Release (or Reset) — the
+	// simulated stall/crash: from the peers' point of view the thread
+	// has stopped taking steps mid-window.
+	KindPark Kind = iota + 1
+	// KindDelay sleeps the caller for Action.Delay.
+	KindDelay
+	// KindYield reenters the scheduler Action.Yields times — a cheap
+	// way to widen a window across many schedule shapes.
+	KindYield
+	// KindPanic panics with the site name and Action.Msg — the
+	// user-triggered-panic probe for panic-safety tests.
+	KindPanic
+)
+
+// Action is what an armed site does to threads that reach it.
+type Action struct {
+	Kind   Kind
+	Delay  time.Duration // KindDelay: how long to sleep
+	Yields int           // KindYield: how many Gosched calls
+	Msg    string        // KindPanic: appended to the panic value
+	// Trips bounds how many hits take the action; once exhausted the
+	// site behaves as disarmed (chaos may still perturb it). <= 0
+	// means unlimited. Trips: 1 with KindPark is the stall matrix's
+	// "freeze exactly one thread here".
+	Trips int64
+}
+
+// armed is one arming of a site. Parked threads hold a reference, so
+// re-arming or releasing never strands them: Release closes the old
+// channel.
+type armed struct {
+	act     Action
+	trips   atomic.Int64
+	release chan struct{}
+}
+
+type siteState struct {
+	armed  atomic.Pointer[armed]
+	hits   atomic.Uint64
+	parked atomic.Int64
+}
+
+var sites [numSites]siteState
+
+// Chaos state: when on, unarmed sites perturb the schedule with a
+// deterministic function of (seed, site, per-site hit ordinal), so a
+// run's perturbation decisions reproduce from the printed seed (the
+// Go scheduler itself stays nondeterministic — the seed pins which
+// hits perturb and how, which is what makes a failing seed worth
+// replaying).
+var (
+	chaosOn   atomic.Bool
+	chaosSeed atomic.Uint64
+	chaosRate atomic.Uint64 // perturb ~1/rate hits per site
+)
+
+// Inject runs the armed action (or chaos perturbation) for site s.
+// Disarmed + chaos-off cost: one counter add and one pointer load.
+func Inject(s Site) {
+	st := &sites[s]
+	ord := st.hits.Add(1)
+	if a := st.armed.Load(); a != nil {
+		if a.act.Trips <= 0 || a.trips.Add(-1) >= 0 {
+			trip(s, st, a)
+			return
+		}
+	}
+	if chaosOn.Load() {
+		chaosPerturb(s, st, ord)
+	}
+}
+
+func trip(s Site, st *siteState, a *armed) {
+	switch a.act.Kind {
+	case KindPark:
+		record(s, "park")
+		st.parked.Add(1)
+		<-a.release
+		st.parked.Add(-1)
+	case KindDelay:
+		record(s, "delay")
+		time.Sleep(a.act.Delay)
+	case KindYield:
+		record(s, "yield")
+		for i := 0; i < a.act.Yields; i++ {
+			runtime.Gosched()
+		}
+	case KindPanic:
+		record(s, "panic")
+		panic(fmt.Sprintf("failpoint: %s: %s", s, a.act.Msg))
+	}
+}
+
+// Arm installs act at site s, replacing (and releasing) any previous
+// arming.
+func Arm(s Site, act Action) {
+	a := &armed{act: act, release: make(chan struct{})}
+	a.trips.Store(act.Trips)
+	if old := sites[s].armed.Swap(a); old != nil {
+		close(old.release)
+	}
+}
+
+// Release disarms site s and unparks every thread parked there.
+// Safe to call on a site that was never armed.
+func Release(s Site) {
+	if old := sites[s].armed.Swap(nil); old != nil {
+		close(old.release)
+	}
+}
+
+// Parked returns how many threads are currently parked at s.
+func Parked(s Site) int { return int(sites[s].parked.Load()) }
+
+// Hits returns how many times s has been reached since the last
+// Reset.
+func Hits(s Site) uint64 { return sites[s].hits.Load() }
+
+// Reset releases and disarms every site, turns chaos off, and clears
+// the trace and hit counters. Harnesses call it between cells.
+func Reset() {
+	DisableChaos()
+	for i := Site(0); i < numSites; i++ {
+		Release(i)
+		sites[i].hits.Store(0)
+	}
+	traceMu.Lock()
+	traceBuf = traceBuf[:0]
+	traceMu.Unlock()
+}
+
+// EnableChaos turns on seeded schedule perturbation at every unarmed
+// site, perturbing roughly 1 in 64 hits.
+func EnableChaos(seed uint64) { EnableChaosRate(seed, 64) }
+
+// EnableChaosRate is EnableChaos with an explicit rate: roughly 1 in
+// rate hits per site perturb (rate 1 perturbs every hit).
+func EnableChaosRate(seed, rate uint64) {
+	if rate == 0 {
+		rate = 1
+	}
+	chaosSeed.Store(seed)
+	chaosRate.Store(rate)
+	chaosOn.Store(true)
+}
+
+// DisableChaos turns seeded perturbation off.
+func DisableChaos() { chaosOn.Store(false) }
+
+// mix is splitmix64's finalizer — a cheap, well-distributed hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func chaosPerturb(s Site, st *siteState, ord uint64) {
+	h := mix(chaosSeed.Load() ^ uint64(s)*0x9e3779b97f4a7c15 ^ ord)
+	rate := chaosRate.Load()
+	if h%rate != 0 {
+		return
+	}
+	switch (h >> 32) % 3 {
+	case 0:
+		record(s, "yield")
+		runtime.Gosched()
+	case 1:
+		record(s, "storm")
+		for i := 0; i < 8; i++ {
+			runtime.Gosched()
+		}
+	default:
+		record(s, "sleep")
+		time.Sleep(time.Duration(50+(h>>40)%450) * time.Microsecond)
+	}
+}
+
+// Trace: a bounded ring of the most recent tripped/perturbed hits
+// (not every Inject — only ones that acted), printable on failure so
+// a chaos run shrinks to "seed + site trace".
+const traceCap = 256
+
+type traceEntry struct {
+	site Site
+	ord  uint64
+	act  string
+}
+
+var (
+	traceMu  sync.Mutex
+	traceBuf []traceEntry
+	traceSeq uint64
+)
+
+func record(s Site, act string) {
+	traceMu.Lock()
+	if len(traceBuf) < traceCap {
+		traceBuf = append(traceBuf, traceEntry{s, sites[s].hits.Load(), act})
+	} else {
+		traceBuf[traceSeq%traceCap] = traceEntry{s, sites[s].hits.Load(), act}
+	}
+	traceSeq++
+	traceMu.Unlock()
+}
+
+// Trace returns the recent action trace, oldest first, one
+// "site#ordinal:action" token per hit that acted.
+func Trace() string {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	var b strings.Builder
+	n := len(traceBuf)
+	start := 0
+	if n == traceCap {
+		start = int(traceSeq % traceCap)
+	}
+	for i := 0; i < n; i++ {
+		e := traceBuf[(start+i)%n]
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s#%d:%s", e.site, e.ord, e.act)
+	}
+	return b.String()
+}

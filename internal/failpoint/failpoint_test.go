@@ -1,0 +1,135 @@
+//go:build wcq_failpoints
+
+package failpoint
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestParkTripsOnceAndReleases(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm(CoreEnqReserved, Action{Kind: KindPark, Trips: 1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Inject(CoreEnqReserved)
+		}()
+	}
+	// Exactly one of the four parks; the rest pass through.
+	waitFor(t, "one parked thread", func() bool { return Parked(CoreEnqReserved) == 1 })
+	waitFor(t, "three pass-throughs", func() bool { return Hits(CoreEnqReserved) == 4 })
+	if got := Parked(CoreEnqReserved); got != 1 {
+		t.Fatalf("Parked = %d, want 1", got)
+	}
+	Release(CoreEnqReserved)
+	wg.Wait()
+	if got := Parked(CoreEnqReserved); got != 0 {
+		t.Fatalf("Parked after release = %d, want 0", got)
+	}
+	if !strings.Contains(Trace(), "core/enq-reserved") {
+		t.Fatalf("trace %q missing parked site", Trace())
+	}
+}
+
+func TestRearmReleasesPreviousParkers(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm(SCQDeqReserved, Action{Kind: KindPark, Trips: 1})
+	done := make(chan struct{})
+	go func() { Inject(SCQDeqReserved); close(done) }()
+	waitFor(t, "parked", func() bool { return Parked(SCQDeqReserved) == 1 })
+	// Re-arming must not strand the thread parked under the old arming.
+	Arm(SCQDeqReserved, Action{Kind: KindYield, Yields: 1})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parker stranded after re-arm")
+	}
+	Release(SCQDeqReserved)
+}
+
+func TestDelayAndYieldAndPanic(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm(DirectEnqReserved, Action{Kind: KindDelay, Delay: time.Millisecond, Trips: 1})
+	start := time.Now()
+	Inject(DirectEnqReserved)
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay action returned too fast")
+	}
+	Inject(DirectEnqReserved) // trips exhausted: must be a no-op
+
+	Arm(DirectDeqReserved, Action{Kind: KindYield, Yields: 3, Trips: 2})
+	Inject(DirectDeqReserved)
+	Inject(DirectDeqReserved)
+
+	Arm(HazardRetire, Action{Kind: KindPanic, Msg: "boom", Trips: 1})
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic action did not panic")
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "hazard/retire") || !strings.Contains(s, "boom") {
+				t.Fatalf("panic value %v missing site/msg", r)
+			}
+		}()
+		Inject(HazardRetire)
+	}()
+	Inject(HazardRetire) // exhausted: no panic
+}
+
+func TestChaosIsSeedDeterministicAndTraced(t *testing.T) {
+	defer Reset()
+	run := func(seed uint64) string {
+		Reset()
+		EnableChaosRate(seed, 2)
+		for i := 0; i < 64; i++ {
+			Inject(UnboundedProtect)
+		}
+		DisableChaos()
+		return Trace()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed produced different perturbation traces:\n%s\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("chaos at rate 2 over 64 hits produced no perturbations")
+	}
+	if c := run(43); c == a {
+		t.Fatalf("different seeds produced identical traces (suspicious): %s", c)
+	}
+}
+
+func TestSiteNamesAreUniqueAndTotal(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumSites(); i++ {
+		name := Site(i).String()
+		if name == "" || name == "failpoint/invalid" {
+			t.Fatalf("site %d has no name", i)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate site name %q", name)
+		}
+		seen[name] = true
+	}
+}

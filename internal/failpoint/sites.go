@@ -1,0 +1,169 @@
+// Package failpoint is the repository's named-site fault-injection
+// layer (DESIGN.md §12). Every linearization-critical window in the
+// three ring families and the machinery around them carries an
+// injection site: a named point where a test harness can park a
+// thread mid-operation (simulating an adversarial descheduling or
+// crash), insert a bounded delay, storm the scheduler with yields, or
+// panic. The stall matrix and the chaos mode of cmd/wcqstress drive
+// these sites to verify the wait-freedom contract adversarially —
+// peers must complete a bounded number of operations no matter which
+// single window a thread is frozen in.
+//
+// Without the wcq_failpoints build tag the package compiles to
+// nothing: Enabled is the untyped constant false, every call site is
+// written as
+//
+//	if failpoint.Enabled {
+//		failpoint.Inject(failpoint.SomeSite)
+//	}
+//
+// and the compiler deletes the whole branch. The untagged hot path is
+// therefore bit-identical to a build without the package; the
+// AllocsPerRun regressions and the E-series gate in CI pin that down.
+package failpoint
+
+// Site names one adversarial window. The constant order is stable
+// within a build but not across versions; use String for durable
+// names.
+type Site int32
+
+const (
+	// CoreEnqReserved: a fast-path enqueuer has won its tail position
+	// from the F&A but has not yet installed the entry. A thread
+	// frozen here holds a reserved-but-empty slot; dequeuers must
+	// skip past it via the cycle stamp and the threshold must keep
+	// peers live (SCQ DISC '19 §4).
+	CoreEnqReserved Site = iota
+	// CoreDeqReserved: a fast-path dequeuer between its head F&A and
+	// the entry transition.
+	CoreDeqReserved
+	// CoreEnqSlowPublished: a slow-path enqueuer has published its
+	// help request (seq2 stored, pending set) but has not yet run
+	// enqueueSlow itself. Frozen here, peers' help machinery must
+	// complete the operation exactly once (wCQ SPAA '22 §4.2).
+	CoreEnqSlowPublished
+	// CoreDeqSlowPublished: the dequeue-side twin of
+	// CoreEnqSlowPublished.
+	CoreDeqSlowPublished
+	// CoreHelpPickup: a helper has snapshotted a peer's request and is
+	// about to run the slow path on its behalf. Frozen here, the
+	// requester (or another helper) must still finish the operation.
+	CoreHelpPickup
+	// CoreThresholdRearm: the enqueue-side threshold re-arm observed a
+	// decayed budget and is about to store 3n-1. Frozen between the
+	// observation and the store, dequeuers must not sleep on a
+	// non-empty ring forever (the PR 5 review bug class).
+	CoreThresholdRearm
+	// CoreEnqActiveWindow: an enqueuer is inside the ActiveFlag
+	// bracket with a reserved free-list index, before the close-state
+	// re-check. Close's quiescence must wait for a thread frozen
+	// here, and the value must be delivered or cleanly refused —
+	// never half-enqueued (DESIGN.md §10).
+	CoreEnqActiveWindow
+	// CoreCloseClosing: the closing thread between the open→closing
+	// CAS and the ActiveFlag quiescence scan.
+	CoreCloseClosing
+	// CoreClosePreSeal: the closing thread between quiescence and the
+	// sealed store. Dequeuers must keep draining; none may report
+	// ErrClosed before the seal.
+	CoreClosePreSeal
+	// SCQEnqReserved / SCQDeqReserved / SCQThresholdRearm: the same
+	// three windows in the standalone SCQ ring.
+	SCQEnqReserved
+	SCQDeqReserved
+	SCQThresholdRearm
+	// DirectEnqAdmitted: a direct-ring enqueuer has passed the
+	// occupancy admission check but not yet done the tail F&A — the
+	// admission/reservation race window behind the direct ring's
+	// cycle-wrap budget (DESIGN.md §11).
+	DirectEnqAdmitted
+	// DirectEnqReserved: a direct-ring enqueuer after the tail F&A,
+	// before the entry CAS — the abandoned-position window the PR 5
+	// review fix re-verifies.
+	DirectEnqReserved
+	// DirectDeqReserved: a direct-ring dequeuer after the head F&A.
+	DirectDeqReserved
+	// DirectBudgetDecay: a direct-ring dequeuer whose threshold
+	// decrement hit the floor and is about to re-verify emptiness
+	// against a fresh tail read (the PR 5 decayed-budget fix itself).
+	DirectBudgetDecay
+	// DirectThresholdRearm: the direct ring's enqueue-side re-arm of a
+	// decayed threshold.
+	DirectThresholdRearm
+	// HazardRetire: a thread has unlinked a ring and handed it to the
+	// hazard domain's retire list, before any scan. Frozen here, the
+	// ring must simply wait — no peer may reclaim it early and no
+	// peer may block on the retirer.
+	HazardRetire
+	// UnboundedProtect: a traverser has published a hazard pointer
+	// for a ring and is about to re-validate the source link. Frozen
+	// here (hazard published, validation pending), the pointed-to
+	// ring must never be recycled under it (DESIGN.md §8).
+	UnboundedProtect
+	// UnboundedHopPrepared: an enqueuer holds a fresh (possibly
+	// pooled) ring and is about to CAS it into the tail's next link.
+	// Frozen here, peers append their own rings; the loser's ring
+	// returns to the pool after release.
+	UnboundedHopPrepared
+	// UnboundedUnlinked: a dequeuer won the head-advance CAS and is
+	// about to retire the drained ring. Frozen here, the ring is
+	// unreachable but unretired; reclamation stalls, correctness must
+	// not.
+	UnboundedUnlinked
+	// UnboundedEnqActiveWindow: the unbounded enqueuer inside its
+	// ActiveFlag bracket before the close-state re-check — the
+	// unbounded twin of CoreEnqActiveWindow.
+	UnboundedEnqActiveWindow
+	// BlockingEnqPrepared / BlockingDeqPrepared: a blocking caller
+	// between waitq.Prepare and the condition re-check. Frozen here,
+	// the armed waiter must still be woken by the next signal — the
+	// lost-wakeup window the eventcount protocol closes.
+	BlockingEnqPrepared
+	BlockingDeqPrepared
+	// WaitqCancelForward: Cancel found its waiter already popped by a
+	// signaler and is about to absorb and forward the in-flight
+	// token.
+	WaitqCancelForward
+
+	numSites
+)
+
+var siteNames = [numSites]string{
+	CoreEnqReserved:          "core/enq-reserved",
+	CoreDeqReserved:          "core/deq-reserved",
+	CoreEnqSlowPublished:     "core/enq-slow-published",
+	CoreDeqSlowPublished:     "core/deq-slow-published",
+	CoreHelpPickup:           "core/help-pickup",
+	CoreThresholdRearm:       "core/threshold-rearm",
+	CoreEnqActiveWindow:      "core/enq-active-window",
+	CoreCloseClosing:         "core/close-closing",
+	CoreClosePreSeal:         "core/close-preseal",
+	SCQEnqReserved:           "scq/enq-reserved",
+	SCQDeqReserved:           "scq/deq-reserved",
+	SCQThresholdRearm:        "scq/threshold-rearm",
+	DirectEnqAdmitted:        "direct/enq-admitted",
+	DirectEnqReserved:        "direct/enq-reserved",
+	DirectDeqReserved:        "direct/deq-reserved",
+	DirectBudgetDecay:        "direct/deq-budget-decay",
+	DirectThresholdRearm:     "direct/threshold-rearm",
+	HazardRetire:             "hazard/retire",
+	UnboundedProtect:         "unbounded/protect-published",
+	UnboundedHopPrepared:     "unbounded/hop-prepared",
+	UnboundedUnlinked:        "unbounded/unlinked",
+	UnboundedEnqActiveWindow: "unbounded/enq-active-window",
+	BlockingEnqPrepared:      "blocking/enq-prepared",
+	BlockingDeqPrepared:      "blocking/deq-prepared",
+	WaitqCancelForward:       "waitq/cancel-forward",
+}
+
+// String returns the site's durable name, e.g. "core/enq-reserved".
+func (s Site) String() string {
+	if s < 0 || s >= numSites {
+		return "failpoint/invalid"
+	}
+	return siteNames[s]
+}
+
+// NumSites returns the number of defined sites, for harnesses that
+// iterate the full matrix.
+func NumSites() int { return int(numSites) }

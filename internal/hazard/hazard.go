@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"wcqueue/internal/failpoint"
 	"wcqueue/internal/pad"
 )
 
@@ -161,6 +162,11 @@ func (d *Domain) ClearSlot(tid, i int) { d.slotOf(tid).p[i].Store(nil) }
 // Retire schedules p for free once no thread holds a hazard pointer to
 // it. free runs at most once, from the retiring thread.
 func (d *Domain) Retire(tid int, p unsafe.Pointer, free func(unsafe.Pointer)) {
+	if failpoint.Enabled {
+		// Pointer unreachable but not yet in the retire set: a
+		// retirer frozen here only delays reclamation, never peers.
+		failpoint.Inject(failpoint.HazardRetire)
+	}
 	rs := d.setOf(tid)
 	rs.nodes = append(rs.nodes, retiree{p, free})
 	h := d.active.Load()

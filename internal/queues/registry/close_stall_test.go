@@ -1,0 +1,171 @@
+//go:build wcq_failpoints
+
+package registry
+
+// Close/drain robustness under an adversarial stall: an enqueuer is
+// frozen inside its ActiveFlag bracket — index reserved, close-state
+// re-check not yet run — while another thread calls Close. The
+// close/drain contract (DESIGN.md §10) says Close must wait for the
+// frozen enqueuer (its value is neither lost nor half-enqueued), and
+// once everything settles every accepted value is delivered exactly
+// once before any dequeuer observes the closed error. Runs against
+// every shape in BlockingNames, so a newly registered blocking queue
+// is covered automatically.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"wcqueue/internal/check"
+	"wcqueue/internal/failpoint"
+	"wcqueue/internal/queues/queueiface"
+)
+
+func TestCloseStallsBehindInFlightEnqueuer(t *testing.T) {
+	for _, name := range BlockingNames() {
+		t.Run(name, func(t *testing.T) { runCloseStall(t, name) })
+	}
+}
+
+func runCloseStall(t *testing.T, shapeName string) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+
+	const producers, consumers = 2, 2
+	q, err := New(shapeName, Config{
+		Threads:     producers + consumers + 1,
+		RingOrder:   5,
+		EnqPatience: 1,
+		DeqPatience: 1,
+		HelpDelay:   1,
+	})
+	if err != nil {
+		t.Fatalf("build %s: %v", shapeName, err)
+	}
+	bq, ok := q.(queueiface.BlockingQueue)
+	if !ok {
+		t.Fatalf("%s does not implement BlockingQueue", shapeName)
+	}
+
+	// The bounded shapes pass through core's active window, the
+	// unbounded ones through their own; arm both, freeze one thread.
+	stallSites := []failpoint.Site{failpoint.CoreEnqActiveWindow, failpoint.UnboundedEnqActiveWindow}
+	for _, s := range stallSites {
+		failpoint.Arm(s, failpoint.Action{Kind: failpoint.KindPark, Trips: 1})
+	}
+
+	ctx := context.Background()
+	accepted := make([]uint64, producers)
+	consumed := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h, err := q.Register()
+			if err != nil {
+				t.Errorf("producer %d register: %v", id, err)
+				return
+			}
+			defer q.Unregister(h)
+			var seq uint64
+			for {
+				if bq.EnqueueWait(ctx, h, check.Encode(id, seq)) != nil {
+					break // closed
+				}
+				seq++
+			}
+			accepted[id] = seq
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h, err := q.Register()
+			if err != nil {
+				t.Errorf("consumer %d register: %v", id, err)
+				return
+			}
+			defer q.Unregister(h)
+			for {
+				v, err := bq.DequeueWait(ctx, h)
+				if err != nil {
+					return // closed and drained
+				}
+				consumed[id] = append(consumed[id], v)
+			}
+		}(c)
+	}
+
+	// Wait for a producer to freeze inside the active window.
+	parked := func() int {
+		n := 0
+		for _, s := range stallSites {
+			n += failpoint.Parked(s)
+		}
+		return n
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for parked() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if parked() == 0 {
+		for _, s := range stallSites {
+			failpoint.Release(s)
+		}
+		bq.Close()
+		wg.Wait()
+		t.Fatalf("%s: no enqueuer parked in an active window", shapeName)
+	}
+
+	// Close with the enqueuer frozen: quiescence must wait for it.
+	closeDone := make(chan struct{})
+	go func() {
+		bq.Close()
+		close(closeDone)
+	}()
+	select {
+	case <-closeDone:
+		t.Fatalf("%s: Close completed while an enqueuer was frozen inside its active window — quiescence is broken", shapeName)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	for _, s := range stallSites {
+		failpoint.Release(s)
+	}
+	select {
+	case <-closeDone:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s: Close did not complete after the stalled enqueuer was released", shapeName)
+	}
+	wg.Wait()
+
+	// Exactly-once drain: every accepted value delivered once; the
+	// frozen enqueuer's value either counted (accepted, so delivered)
+	// or refused (not accepted, so absent) — never half-enqueued.
+	seen := make(map[uint64]bool)
+	for id := range consumed {
+		for _, v := range consumed[id] {
+			if seen[v] {
+				p, s := check.Decode(v)
+				t.Fatalf("%s: producer %d seq %d delivered twice across Close", shapeName, p, s)
+			}
+			seen[v] = true
+		}
+	}
+	var total uint64
+	for id := range accepted {
+		total += accepted[id]
+		for s := uint64(0); s < accepted[id]; s++ {
+			if !seen[check.Encode(id, s)] {
+				t.Fatalf("%s: producer %d seq %d accepted before Close but never delivered", shapeName, id, s)
+			}
+		}
+	}
+	if uint64(len(seen)) != total {
+		t.Fatalf("%s: %d values delivered but only %d accepted — a refused enqueue leaked into the queue", shapeName, len(seen), total)
+	}
+}

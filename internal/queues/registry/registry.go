@@ -39,6 +39,13 @@ type Config struct {
 	// PoolSize sets the wCQ-Unbounded ring-pool capacity. Zero selects
 	// the package default.
 	PoolSize int
+	// EnqPatience/DeqPatience/HelpDelay override the wCQ-family tuning
+	// constants when positive (zero keeps the paper defaults). The
+	// stall-robustness harness sets them to 1 so the slow-path and
+	// helping windows trip under ordinary contention.
+	EnqPatience int
+	DeqPatience int
+	HelpDelay   int
 }
 
 func (c Config) stripes() int {
@@ -139,7 +146,12 @@ func New(name string, cfg Config) (queueiface.Queue, error) {
 
 var builders = map[string]func(Config) (queueiface.Queue, error){
 	"wCQ": func(c Config) (queueiface.Queue, error) {
-		q, err := core.NewQueue[uint64](c.ringOrder(), core.Options{EmulatedFAA: c.EmulatedFAA})
+		q, err := core.NewQueue[uint64](c.ringOrder(), core.Options{
+			EmulatedFAA: c.EmulatedFAA,
+			EnqPatience: c.EnqPatience,
+			DeqPatience: c.DeqPatience,
+			HelpDelay:   c.HelpDelay,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -303,10 +315,17 @@ func (a *implicitAdapter) DequeueWait(ctx context.Context, _ queueiface.Handle) 
 }
 
 func stripedOpts(c Config) []wcq.Option {
+	var opts []wcq.Option
 	if c.EmulatedFAA {
-		return []wcq.Option{wcq.WithEmulatedFAA()}
+		opts = append(opts, wcq.WithEmulatedFAA())
 	}
-	return nil
+	if c.EnqPatience > 0 || c.DeqPatience > 0 {
+		opts = append(opts, wcq.WithPatience(c.EnqPatience, c.DeqPatience))
+	}
+	if c.HelpDelay > 0 {
+		opts = append(opts, wcq.WithHelpDelay(c.HelpDelay))
+	}
+	return opts
 }
 
 // directValueBits is the payload width of the registry's direct

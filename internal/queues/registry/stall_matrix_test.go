@@ -1,0 +1,294 @@
+//go:build wcq_failpoints
+
+package registry
+
+// The stall matrix: for every (queue shape, failpoint site) cell it
+// parks ONE thread mid-operation at that site and asserts the
+// wait-freedom contract adversarially (DESIGN.md §12):
+//
+//   1. peers still complete a bounded number of operations while the
+//      thread is frozen (no window in the algorithm lets one stalled
+//      thread block the others), and
+//   2. after the thread is released, every value whose enqueue
+//      reported success is delivered exactly once — the stalled
+//      operation was helped (or resumed) to completion with no loss
+//      and no duplication.
+//
+// The shapes are built with EnqPatience/DeqPatience/HelpDelay = 1 so
+// the slow-path and helping windows trip under ordinary contention
+// rather than needing a pathological schedule.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wcqueue/internal/check"
+	"wcqueue/internal/failpoint"
+	"wcqueue/internal/queues/queueiface"
+)
+
+const (
+	stallWorkers = 4
+	stallBurst   = 32
+	// stallQuota is how many completed peer calls we demand while one
+	// thread is parked — far above anything a blocked peer could
+	// deliver, far below a second of healthy throughput.
+	stallQuota = 2000
+)
+
+// stallShapes lists each shape with the ring order the cell builds
+// (small, so rings fill, finalize and hop constantly) and the sites
+// its operations can reach. Sites not listed for a shape are simply
+// not in that shape's code paths.
+var stallShapes = []struct {
+	name  string
+	order uint
+	sites []failpoint.Site
+}{
+	{"wCQ", 4, []failpoint.Site{
+		failpoint.CoreEnqReserved, failpoint.CoreDeqReserved,
+		failpoint.CoreEnqSlowPublished, failpoint.CoreDeqSlowPublished,
+		failpoint.CoreHelpPickup, failpoint.CoreThresholdRearm,
+		failpoint.CoreEnqActiveWindow,
+	}},
+	{"SCQ", 4, []failpoint.Site{
+		failpoint.SCQEnqReserved, failpoint.SCQDeqReserved,
+		failpoint.SCQThresholdRearm,
+	}},
+	{"wCQ-Direct", 4, []failpoint.Site{
+		failpoint.DirectEnqAdmitted, failpoint.DirectEnqReserved,
+		failpoint.DirectDeqReserved, failpoint.DirectBudgetDecay,
+		failpoint.DirectThresholdRearm,
+	}},
+	{"wCQ-Unbounded", 3, []failpoint.Site{
+		failpoint.CoreEnqReserved, failpoint.CoreDeqReserved,
+		failpoint.CoreEnqSlowPublished, failpoint.CoreDeqSlowPublished,
+		failpoint.CoreHelpPickup, failpoint.CoreThresholdRearm,
+		failpoint.UnboundedEnqActiveWindow, failpoint.UnboundedProtect,
+		failpoint.UnboundedHopPrepared, failpoint.UnboundedUnlinked,
+		failpoint.HazardRetire,
+	}},
+	{"wCQ-Direct-Unbounded", 3, []failpoint.Site{
+		failpoint.DirectEnqAdmitted, failpoint.DirectEnqReserved,
+		failpoint.DirectDeqReserved, failpoint.DirectBudgetDecay,
+		failpoint.DirectThresholdRearm, failpoint.UnboundedProtect,
+		failpoint.UnboundedHopPrepared, failpoint.UnboundedUnlinked,
+		failpoint.HazardRetire,
+	}},
+}
+
+// rareCell marks cells whose site needs a genuine race to trip (a
+// lost entry transition, a helper catching a request mid-flight, a
+// budget decaying to its floor). Those cells skip instead of failing
+// when the window never opens during the bounded run; every other
+// cell MUST trip, which is the matrix's coverage assertion.
+func rareCell(shape string, s failpoint.Site) bool {
+	switch s {
+	case failpoint.CoreDeqSlowPublished, failpoint.DirectBudgetDecay:
+		return true
+	case failpoint.CoreEnqSlowPublished, failpoint.CoreThresholdRearm,
+		failpoint.CoreHelpPickup:
+		// The unbounded composition hops to a fresh ring where the
+		// bounded build would have entered the slow path or decayed
+		// its threshold, so these windows (and the helper pickup that
+		// feeds on a pending request) only open on rare races there.
+		return shape != "wCQ"
+	}
+	return false
+}
+
+func TestStallMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stall matrix is a long test")
+	}
+	for _, shape := range stallShapes {
+		for _, site := range shape.sites {
+			t.Run(shape.name+"/"+site.String(), func(t *testing.T) {
+				runStallCell(t, shape.name, shape.order, site)
+			})
+		}
+	}
+}
+
+type stallWorkerResult struct {
+	enq uint64   // successful enqueues: values 0..enq-1 were accepted
+	got []uint64 // every value this worker dequeued
+}
+
+func runStallCell(t *testing.T, shapeName string, order uint, site failpoint.Site) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+
+	q, err := New(shapeName, Config{
+		Threads:     stallWorkers + 1,
+		RingOrder:   order,
+		PoolSize:    2,
+		EnqPatience: 1,
+		DeqPatience: 1,
+		HelpDelay:   1,
+	})
+	if err != nil {
+		t.Fatalf("build %s: %v", shapeName, err)
+	}
+
+	// Freeze exactly one thread at the site; everyone after passes.
+	failpoint.Arm(site, failpoint.Action{Kind: failpoint.KindPark, Trips: 1})
+
+	// The helper-pickup window only opens while some peer's request is
+	// pending, which is normally a nanosecond-scale blip. Freeze one
+	// dequeuer mid-publication so the request STAYS pending and a
+	// helper must walk into the pickup — the cell then holds a stalled
+	// requester AND a stalled helper at once, and the remaining
+	// workers must both keep the queue live and complete the frozen
+	// request exactly once.
+	companion := failpoint.Site(-1)
+	if site == failpoint.CoreHelpPickup {
+		companion = failpoint.CoreDeqSlowPublished
+		failpoint.Arm(companion, failpoint.Action{Kind: failpoint.KindPark, Trips: 1})
+	}
+	releaseAll := func() {
+		failpoint.Release(site)
+		if companion >= 0 {
+			failpoint.Release(companion)
+		}
+	}
+
+	var (
+		stop    atomic.Bool
+		ops     atomic.Uint64
+		wg      sync.WaitGroup
+		results = make([]stallWorkerResult, stallWorkers)
+	)
+	for w := 0; w < stallWorkers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h, err := q.Register()
+			if err != nil {
+				t.Errorf("worker %d register: %v", id, err)
+				return
+			}
+			defer q.Unregister(h)
+			res := &results[id]
+			var seq uint64
+			for !stop.Load() {
+				for i := 0; i < stallBurst; i++ {
+					// A failed enqueue retries the same value next
+					// round, so a "false that actually landed" shows
+					// up as a duplicate in the final accounting.
+					if q.Enqueue(h, check.Encode(id, seq)) {
+						seq++
+					}
+					ops.Add(1)
+				}
+				for i := 0; i < stallBurst; i++ {
+					if v, ok := q.Dequeue(h); ok {
+						res.got = append(res.got, v)
+					}
+					ops.Add(1)
+				}
+			}
+			res.enq = seq
+		}(w)
+	}
+
+	// Wait for a thread to park at the site. Non-rare cells must trip
+	// — that is the matrix's coverage guarantee.
+	tripTimeout := 10 * time.Second
+	rare := rareCell(shapeName, site)
+	if rare {
+		tripTimeout = 2 * time.Second
+	}
+	deadline := time.Now().Add(tripTimeout)
+	for failpoint.Parked(site) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if failpoint.Parked(site) == 0 {
+		stop.Store(true)
+		releaseAll()
+		wg.Wait()
+		verifyStallAccounting(t, q, results)
+		if rare {
+			t.Skipf("%s: site %v needs a rare race and did not trip in %v (hits: %d)",
+				shapeName, site, tripTimeout, failpoint.Hits(site))
+		}
+		t.Fatalf("%s: site %v never tripped (hits: %d) — matrix coverage hole",
+			shapeName, site, failpoint.Hits(site))
+	}
+
+	// Wait-freedom: with one thread frozen mid-window, the peers must
+	// still complete a bounded number of calls.
+	base := ops.Load()
+	progressDeadline := time.Now().Add(10 * time.Second)
+	for ops.Load() < base+stallQuota {
+		if time.Now().After(progressDeadline) {
+			t.Fatalf("%s: peers made only %d/%d ops in 10s behind a thread parked at %v (trace: %s)",
+				shapeName, ops.Load()-base, uint64(stallQuota), site, failpoint.Trace())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Release the stalled thread; its in-flight operation must resolve
+	// exactly once — verified by the multiset accounting below.
+	stop.Store(true)
+	releaseAll()
+	wg.Wait()
+	if failpoint.Parked(site) != 0 {
+		t.Fatalf("%s: %d threads still parked at %v after release", shapeName, failpoint.Parked(site), site)
+	}
+	verifyStallAccounting(t, q, results)
+}
+
+// verifyStallAccounting drains the quiescent queue and checks the
+// exactly-once contract: every accepted value delivered once, nothing
+// delivered that was not accepted.
+func verifyStallAccounting(t *testing.T, q queueiface.Queue, results []stallWorkerResult) {
+	t.Helper()
+	h, err := q.Register()
+	if err != nil {
+		t.Fatalf("drain register: %v", err)
+	}
+	var leftovers []uint64
+	for misses := 0; misses < 8; {
+		if v, ok := q.Dequeue(h); ok {
+			leftovers = append(leftovers, v)
+			misses = 0
+		} else {
+			misses++
+		}
+	}
+	q.Unregister(h)
+
+	seen := make(map[uint64]bool)
+	addAll := func(src string, vs []uint64) {
+		for _, v := range vs {
+			if seen[v] {
+				p, s := check.Decode(v)
+				t.Fatalf("duplicate delivery of producer %d seq %d (%s) — stalled op applied twice (trace: %s)",
+					p, s, src, failpoint.Trace())
+			}
+			seen[v] = true
+		}
+	}
+	for i := range results {
+		addAll("worker", results[i].got)
+	}
+	addAll("drain", leftovers)
+
+	var total uint64
+	for id := range results {
+		total += results[id].enq
+		for s := uint64(0); s < results[id].enq; s++ {
+			if !seen[check.Encode(id, s)] {
+				t.Fatalf("lost value: producer %d seq %d accepted but never delivered (trace: %s)",
+					id, s, failpoint.Trace())
+			}
+		}
+	}
+	if uint64(len(seen)) != total {
+		t.Fatalf("delivered %d distinct values but only %d were accepted — phantom delivery (trace: %s)",
+			len(seen), total, failpoint.Trace())
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"wcqueue/internal/atomicx"
 	"wcqueue/internal/bitops"
+	"wcqueue/internal/failpoint"
 	"wcqueue/internal/pad"
 )
 
@@ -250,6 +251,11 @@ func (r *Ring) rearmThreshold() {
 	} else if r.threshold.Load() == r.thresh3n {
 		return
 	}
+	if failpoint.Enabled {
+		// Decay observed, re-arm store pending (see
+		// core.WCQ.rearmThreshold).
+		failpoint.Inject(failpoint.SCQThresholdRearm)
+	}
 	r.threshold.Store(r.thresh3n)
 }
 
@@ -272,6 +278,11 @@ func (r *Ring) orEntry(j uint64, mask uint64) {
 // path can start from it.
 func (r *Ring) TryEnq(index uint64) (tried uint64, ok bool) {
 	t := r.faa(&r.tail)
+	if failpoint.Enabled {
+		// Reserved tail counter, entry not yet installed: the
+		// stalled-enqueuer window (DISC '19 §4).
+		failpoint.Inject(failpoint.SCQEnqReserved)
+	}
 	if r.enqAt(t, index) {
 		return 0, true
 	}
@@ -327,6 +338,9 @@ const (
 // DeqRetry and is the head counter that was attempted.
 func (r *Ring) TryDeq() (index uint64, status DeqStatus, tried uint64) {
 	h := r.faa(&r.head)
+	if failpoint.Enabled {
+		failpoint.Inject(failpoint.SCQDeqReserved)
+	}
 	index, status = r.deqAt(h, false)
 	if status == DeqRetry {
 		tried = h

@@ -9,6 +9,7 @@ import (
 	"runtime"
 
 	"wcqueue/internal/core"
+	"wcqueue/internal/failpoint"
 	"wcqueue/internal/waitq"
 )
 
@@ -41,7 +42,13 @@ func (q *Queue[T]) Close() {
 		}
 		return
 	}
+	if failpoint.Enabled {
+		failpoint.Inject(failpoint.CoreCloseClosing)
+	}
 	q.flags.Quiesce()
+	if failpoint.Enabled {
+		failpoint.Inject(failpoint.CoreClosePreSeal)
+	}
 	q.state.Store(stateSealed)
 	q.notEmpty.Broadcast()
 }
@@ -79,6 +86,9 @@ func (q *Queue[T]) DequeueWait(ctx context.Context, h *Handle) (T, error) {
 	w := h.waiter()
 	for {
 		q.notEmpty.Prepare(w)
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.BlockingDeqPrepared)
+		}
 		if v, ok := q.Dequeue(h); ok {
 			q.notEmpty.Cancel(w)
 			return v, nil

@@ -32,6 +32,7 @@ import (
 
 	"wcqueue/internal/atomicx"
 	"wcqueue/internal/core"
+	"wcqueue/internal/failpoint"
 	"wcqueue/internal/hazard"
 	"wcqueue/internal/memtrack"
 	"wcqueue/internal/pad"
@@ -193,6 +194,11 @@ func (q *DirectQueue) protect(h *DirectHandle, src *atomic.Pointer[dnode]) *dnod
 			q.dom.Protect(h.tid, 0, p)
 			h.hp = p
 		}
+		if failpoint.Enabled {
+			// Same window as Queue.protect: hazard published,
+			// re-validation pending.
+			failpoint.Inject(failpoint.UnboundedProtect)
+		}
 		if src.Load() == n {
 			return n
 		}
@@ -242,6 +248,9 @@ func (q *DirectQueue) Enqueue(h *DirectHandle, v uint64) {
 		if !nr.r.Enqueue(v) {
 			panic("unbounded: enqueue on a fresh direct ring failed")
 		}
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.UnboundedHopPrepared)
+		}
 		if lt.next.CompareAndSwap(nil, nr) {
 			q.tail.CompareAndSwap(lt, nr)
 			return
@@ -277,6 +286,9 @@ func (q *DirectQueue) EnqueueBatch(h *DirectHandle, vs []uint64) int {
 		if n == 0 {
 			panic("unbounded: batch enqueue on a fresh direct ring failed")
 		}
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.UnboundedHopPrepared)
+		}
 		if lt.next.CompareAndSwap(nil, nr) {
 			q.tail.CompareAndSwap(lt, nr)
 			vs = vs[n:]
@@ -310,6 +322,9 @@ func (q *DirectQueue) Dequeue(h *DirectHandle) (v uint64, ok bool) {
 		}
 		next := lh.next.Load()
 		if q.head.CompareAndSwap(lh, next) {
+			if failpoint.Enabled {
+				failpoint.Inject(failpoint.UnboundedUnlinked)
+			}
 			q.retireRing(h.tid, lh) // unlinked: recycle through the pool
 		}
 	}
@@ -335,6 +350,9 @@ func (q *DirectQueue) DequeueBatch(h *DirectHandle, out []uint64) int {
 		}
 		next := lh.next.Load()
 		if q.head.CompareAndSwap(lh, next) {
+			if failpoint.Enabled {
+				failpoint.Inject(failpoint.UnboundedUnlinked)
+			}
 			q.retireRing(h.tid, lh)
 		}
 	}

@@ -1,0 +1,235 @@
+//go:build wcq_failpoints
+
+package unbounded
+
+// Hazard-pin robustness: a traverser frozen immediately after
+// publishing its hazard pointer (the unbounded/protect-published
+// window) pins the ring it points at. No matter how much the peers
+// churn — hopping, unlinking and retiring rings around the stalled
+// thread — the pinned ring must never be reclaimed or recycled under
+// it, and reclamation of everything else must not stall behind it
+// (DESIGN.md §8). Covers both the indirect and the direct unbounded
+// compositions, which share the protect window.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wcqueue/internal/core"
+	"wcqueue/internal/failpoint"
+)
+
+// hazardPinQueue abstracts the two unbounded variants down to what
+// the pin scenario needs: per-goroutine sessions and the reclamation
+// probes.
+type hazardPinQueue struct {
+	// session registers a handle and returns closures bound to it.
+	// Panics on registration failure (sessions open on worker
+	// goroutines, where t.Fatal is off-limits).
+	session func() (enq func(uint64), deq func() (uint64, bool), unreg func())
+	retired func() int
+	drain   func() // hazard.Domain.Drain: free everything unprotected
+}
+
+func TestHazardPinPreventsRecycleIndirect(t *testing.T) {
+	q, err := New[uint64](3, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runHazardPin(t, hazardPinQueue{
+		session: func() (func(uint64), func() (uint64, bool), func()) {
+			h, err := q.Register()
+			if err != nil {
+				panic(err)
+			}
+			return func(v uint64) { q.Enqueue(h, v) },
+				func() (uint64, bool) { return q.Dequeue(h) },
+				func() { q.Unregister(h) }
+		},
+		retired: q.RetiredRings,
+		drain:   q.dom.Drain,
+	})
+}
+
+func TestHazardPinPreventsRecycleDirect(t *testing.T) {
+	q, err := NewDirect(3, 52, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runHazardPin(t, hazardPinQueue{
+		session: func() (func(uint64), func() (uint64, bool), func()) {
+			h, err := q.Register()
+			if err != nil {
+				panic(err)
+			}
+			return func(v uint64) { q.Enqueue(h, v) },
+				func() (uint64, bool) { return q.Dequeue(h) },
+				func() { q.Unregister(h) }
+		},
+		retired: q.RetiredRings,
+		drain:   q.dom.Drain,
+	})
+}
+
+func runHazardPin(t *testing.T, q hazardPinQueue) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+
+	// Prefill so the victim's dequeue has something to traverse to.
+	// The session closes right away: a live handle keeps a cached
+	// hazard published, and the pin assertions below must see the
+	// victim's hazard as the only thing keeping a ring alive.
+	enq, _, unreg := q.session()
+	var next uint64
+	enqueued := []uint64{}
+	for i := 0; i < 4; i++ {
+		enq(next)
+		enqueued = append(enqueued, next)
+		next++
+	}
+	unreg()
+
+	// The victim runs alone, so it is the thread that parks: hazard
+	// published on the then-head ring, source re-validation pending.
+	failpoint.Arm(failpoint.UnboundedProtect, failpoint.Action{Kind: failpoint.KindPark, Trips: 1})
+	victimDone := make(chan struct{})
+	var victimGot []uint64
+	go func() {
+		defer close(victimDone)
+		_, deq, unreg := q.session()
+		defer unreg()
+		if v, ok := deq(); ok {
+			victimGot = append(victimGot, v)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for failpoint.Parked(failpoint.UnboundedProtect) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if failpoint.Parked(failpoint.UnboundedProtect) == 0 {
+		failpoint.Release(failpoint.UnboundedProtect)
+		<-victimDone
+		t.Fatal("victim never parked at unbounded/protect-published")
+	}
+
+	// Churn rings around the stalled traverser, in quiescent rounds:
+	// RetiredRings reads the per-thread retire lists unsynchronized (a
+	// teardown/test hook), so the peers are joined before every probe.
+	// next is handed out in blocks so peer values never collide.
+	const peers, burst, rounds = 2, 32, 8
+	var (
+		peerEnq  = make([][]uint64, peers)
+		peerGot  = make([][]uint64, peers)
+		peerSeq  = make([]uint64, peers)
+		peerBase = make([]uint64, peers)
+	)
+	for p := 0; p < peers; p++ {
+		peerBase[p] = uint64(1+p) << 40
+		peerSeq[p] = peerBase[p]
+	}
+	churnRound := func() {
+		var wg sync.WaitGroup
+		for p := 0; p < peers; p++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				enq, deq, unreg := q.session()
+				defer unreg()
+				for r := 0; r < rounds; r++ {
+					for i := 0; i < burst; i++ {
+						enq(peerSeq[id])
+						peerEnq[id] = append(peerEnq[id], peerSeq[id])
+						peerSeq[id]++
+					}
+					for i := 0; i < burst; i++ {
+						if v, ok := deq(); ok {
+							peerGot[id] = append(peerGot[id], v)
+						}
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	// The pinned ring is unlinked and retired once the peers drain it,
+	// and from then on no scan may free it: RetiredRings() >= 1 is
+	// stable until the victim lets go.
+	deadline = time.Now().Add(10 * time.Second)
+	for q.retired() == 0 && time.Now().Before(deadline) {
+		churnRound()
+	}
+	if q.retired() == 0 {
+		failpoint.Release(failpoint.UnboundedProtect)
+		<-victimDone
+		t.Fatal("ring churn never retired a ring while the traverser was pinned")
+	}
+
+	// Quiescent except for the frozen victim: a full drain must free
+	// every unpinned retiree but MUST keep the pinned ring.
+	q.drain()
+	if got := q.retired(); got < 1 {
+		t.Fatalf("pinned ring was reclaimed while a stalled traverser held its hazard (retired=%d)", got)
+	}
+
+	failpoint.Release(failpoint.UnboundedProtect)
+	<-victimDone
+
+	// Exactly-once accounting across the stall: drain what is left and
+	// match the delivered multiset against everything enqueued.
+	_, deq, unregDrain := q.session()
+	var leftovers []uint64
+	for misses := 0; misses < 8; {
+		if v, ok := deq(); ok {
+			leftovers = append(leftovers, v)
+			misses = 0
+		} else {
+			misses++
+		}
+	}
+	unregDrain()
+
+	// Every handle is gone (handles cache a published hazard between
+	// operations, so this must come after the last unregister):
+	// everything must now be reclaimable.
+	q.drain()
+	if got := q.retired(); got != 0 {
+		t.Fatalf("retire list not empty after the pinned traverser left: %d rings stranded", got)
+	}
+
+	seen := make(map[uint64]bool)
+	for _, vs := range [][]uint64{victimGot, leftovers} {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %#x delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	for _, vs := range peerGot {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %#x delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	total := len(enqueued)
+	for _, v := range enqueued {
+		if !seen[v] {
+			t.Fatalf("prefill value %#x lost", v)
+		}
+	}
+	for id, vs := range peerEnq {
+		total += len(vs)
+		for _, v := range vs {
+			if !seen[v] {
+				t.Fatalf("peer %d value %#x lost", id, v)
+			}
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("delivered %d distinct values, enqueued %d — phantom delivery", len(seen), total)
+	}
+}

@@ -39,6 +39,7 @@ import (
 
 	"wcqueue/internal/atomicx"
 	"wcqueue/internal/core"
+	"wcqueue/internal/failpoint"
 	"wcqueue/internal/hazard"
 	"wcqueue/internal/memtrack"
 	"wcqueue/internal/pad"
@@ -80,6 +81,12 @@ func (r *ring[T]) enq(q *Queue[T], tid int, v T) enqResult {
 		// eventually unlink it.
 		r.aq.Finalize()
 		return enqRingFull
+	}
+	if failpoint.Enabled {
+		// Free index reserved inside the active bracket, close
+		// re-check pending — the unbounded twin of
+		// CoreEnqActiveWindow.
+		failpoint.Inject(failpoint.UnboundedEnqActiveWindow)
 	}
 	if q.state.Load() != stateOpen {
 		r.fq.Enqueue(tid, index) // closed: return the index, no value lands
@@ -402,6 +409,11 @@ func (q *Queue[T]) protect(h *Handle, src *atomic.Pointer[ring[T]]) *ring[T] {
 			q.dom.Protect(h.tid, 0, p)
 			h.hp = p
 		}
+		if failpoint.Enabled {
+			// Hazard published, link re-validation pending: the ring
+			// must never be recycled under a thread frozen here.
+			failpoint.Inject(failpoint.UnboundedProtect)
+		}
 		if src.Load() == r {
 			return r
 		}
@@ -583,6 +595,12 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 		case enqRingFull:
 			panic("unbounded: enqueue on a fresh ring failed")
 		}
+		if failpoint.Enabled {
+			// Fresh ring loaded with v, append CAS pending: a thread
+			// frozen here holds an unpublished ring; peers append their
+			// own.
+			failpoint.Inject(failpoint.UnboundedHopPrepared)
+		}
 		if lt.next.CompareAndSwap(nil, nr) {
 			q.tail.CompareAndSwap(lt, nr)
 			h.active.Exit()
@@ -633,6 +651,9 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
 		if n == 0 {
 			panic("unbounded: batch enqueue on a fresh ring failed")
 		}
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.UnboundedHopPrepared)
+		}
 		if lt.next.CompareAndSwap(nil, nr) {
 			q.tail.CompareAndSwap(lt, nr)
 			vs = vs[n:]
@@ -672,6 +693,9 @@ func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 		}
 		next := lh.next.Load()
 		if q.head.CompareAndSwap(lh, next) {
+			if failpoint.Enabled {
+				failpoint.Inject(failpoint.UnboundedUnlinked)
+			}
 			q.retireRing(tid, lh) // unlinked: recycle through the pool
 		}
 	}
@@ -706,6 +730,12 @@ func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
 		}
 		next := lh.next.Load()
 		if q.head.CompareAndSwap(lh, next) {
+			if failpoint.Enabled {
+				// Unlink CAS won, retire pending: the ring is
+				// unreachable but unretired while a thread is frozen
+				// here.
+				failpoint.Inject(failpoint.UnboundedUnlinked)
+			}
 			q.retireRing(tid, lh) // unlinked: recycle through the pool
 		}
 	}

@@ -1,0 +1,78 @@
+//go:build wcq_failpoints
+
+package waitq
+
+// Deterministic version of the Cancel/Signal token-forward race: the
+// canceling thread is frozen at waitq/cancel-forward — token chosen
+// for it by a signaler, absorption and re-Signal still pending. While
+// it is frozen the wakeup is delayed, and the moment it resumes the
+// token must land on the remaining waiter. A lost token here is the
+// classic eventcount bug this window exists to guard.
+
+import (
+	"testing"
+	"time"
+
+	"wcqueue/internal/failpoint"
+)
+
+func TestCancelForwardStallDelaysButNeverLosesToken(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+
+	var ec EventCount
+	w1, w2 := NewWaiter(), NewWaiter()
+	ec.Prepare(w1)
+	ec.Prepare(w2)
+	ec.Signal() // FIFO: pops w1, its token is buffered
+
+	failpoint.Arm(failpoint.WaitqCancelForward, failpoint.Action{Kind: failpoint.KindPark, Trips: 1})
+	cancelDone := make(chan struct{})
+	go func() {
+		defer close(cancelDone)
+		ec.Cancel(w1) // w1 already popped: takes the forward path
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for failpoint.Parked(failpoint.WaitqCancelForward) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if failpoint.Parked(failpoint.WaitqCancelForward) == 0 {
+		failpoint.Release(failpoint.WaitqCancelForward)
+		<-cancelDone
+		t.Fatal("Cancel never reached the forward window")
+	}
+
+	// Frozen mid-forward: w2 must NOT have been woken yet (the token
+	// is still parked with the canceler), and w1's token is intact.
+	select {
+	case <-w2.ch:
+		t.Fatal("w2 woke while the forwarding canceler was frozen")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if got := ec.nwait.Load(); got != 1 {
+		t.Fatalf("nwait = %d while frozen, want 1 (w2 armed)", got)
+	}
+
+	failpoint.Release(failpoint.WaitqCancelForward)
+	select {
+	case <-cancelDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Cancel did not finish after release")
+	}
+	select {
+	case <-w2.ch: // delayed, not lost
+	case <-time.After(5 * time.Second):
+		t.Fatal("token lost across the frozen forward")
+	}
+	select {
+	case <-w1.ch:
+		t.Fatal("canceled waiter kept a token")
+	case <-w2.ch:
+		t.Fatal("second token materialized")
+	default:
+	}
+	if ec.HasWaiters() {
+		t.Fatal("waiters still armed at the end")
+	}
+}

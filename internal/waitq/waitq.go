@@ -47,6 +47,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"wcqueue/internal/failpoint"
 )
 
 // EventCount is the parking site. The zero value is ready to use.
@@ -134,6 +136,12 @@ func (ec *EventCount) Cancel(w *Waiter) {
 	// Cancel. The token is in flight (the pop-to-send window is a few
 	// instructions on the signaler); consume it so w's channel is
 	// clean for reuse, then forward the wakeup.
+	if failpoint.Enabled {
+		// Token absorbed but not yet forwarded once the receive below
+		// completes: a thread frozen across this window delays — but
+		// must never lose — the wakeup.
+		failpoint.Inject(failpoint.WaitqCancelForward)
+	}
 	<-w.ch
 	ec.Signal()
 }
@@ -166,8 +174,10 @@ func (ec *EventCount) unlink(w *Waiter) {
 func (ec *EventCount) Wait(ctx context.Context, w *Waiter) error {
 	done := ctx.Done()
 	if done == nil {
-		// context.Background()/TODO: no cancellation possible, park on
-		// the bare channel (no select machinery).
+		// A nil Done channel means this context can never be canceled
+		// (context.Background and context.TODO are the stdlib cases,
+		// but any Context whose Done returns nil qualifies): park on
+		// the bare channel and skip the select machinery entirely.
 		<-w.ch
 		return nil
 	}

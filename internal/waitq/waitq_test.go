@@ -252,3 +252,43 @@ func TestSpinSchedule(t *testing.T) {
 		t.Fatal("Spin never said spin")
 	}
 }
+
+// TestCancelRacingSignalN races the two orders TestCancelForwardsToken
+// serializes: SignalN(1) may pop w1 before or after Cancel(w1) unlinks
+// it. In both interleavings exactly one token must end up at w2 —
+// never zero (lost wakeup) and never two (spurious second wake).
+func TestCancelRacingSignalN(t *testing.T) {
+	iters := 2000
+	if testing.Short() {
+		iters = 200
+	}
+	var ec EventCount
+	w1, w2 := NewWaiter(), NewWaiter()
+	for i := 0; i < iters; i++ {
+		ec.Prepare(w1)
+		ec.Prepare(w2)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); ec.SignalN(1) }()
+		go func() { defer wg.Done(); ec.Cancel(w1) }()
+		wg.Wait()
+		// Whichever side won the race, the single token reaches w2:
+		// either SignalN popped w1 and Cancel forwarded, or Cancel
+		// unlinked first and SignalN popped w2 directly.
+		select {
+		case <-w2.ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iter %d: token lost between SignalN and Cancel", i)
+		}
+		select {
+		case <-w2.ch:
+			t.Fatalf("iter %d: second token delivered to w2", i)
+		case <-w1.ch:
+			t.Fatalf("iter %d: canceled waiter kept a token", i)
+		default:
+		}
+		if ec.HasWaiters() {
+			t.Fatalf("iter %d: waiters still armed after the round", i)
+		}
+	}
+}

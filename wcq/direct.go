@@ -393,34 +393,33 @@ func (h *DirectStripedHandle[T]) DequeueBatch(out []T) int {
 // Enqueue inserts v through a pooled handle (lane affinity per call).
 func (s *DirectStriped[T]) Enqueue(v T) bool {
 	h := s.pool.mustGet()
-	ok := h.Enqueue(v)
-	s.pool.put(h)
-	return ok
+	// Deferred so a panic inside the operation (the codec's Encode, an
+	// out-of-range direct value) returns the borrowed handle instead
+	// of leaking it. Same on every pooled path below.
+	defer s.pool.put(h)
+	return h.Enqueue(v)
 }
 
 // Dequeue removes a value through a pooled handle.
 func (s *DirectStriped[T]) Dequeue() (v T, ok bool) {
 	h := s.pool.mustGet()
-	v, ok = h.Dequeue()
-	s.pool.put(h)
-	return v, ok
+	defer s.pool.put(h)
+	return h.Dequeue()
 }
 
 // EnqueueBatch inserts up to len(vs) values through a pooled handle;
 // the batch lands in one lane, in order.
 func (s *DirectStriped[T]) EnqueueBatch(vs []T) int {
 	h := s.pool.mustGet()
-	n := h.EnqueueBatch(vs)
-	s.pool.put(h)
-	return n
+	defer s.pool.put(h)
+	return h.EnqueueBatch(vs)
 }
 
 // DequeueBatch removes up to len(out) values through a pooled handle.
 func (s *DirectStriped[T]) DequeueBatch(out []T) int {
 	h := s.pool.mustGet()
-	n := h.DequeueBatch(out)
-	s.pool.put(h)
-	return n
+	defer s.pool.put(h)
+	return h.DequeueBatch(out)
 }
 
 // Stripes returns the lane count W.
@@ -545,32 +544,29 @@ func (h *DirectUnboundedHandle[T]) DequeueBatch(out []T) int {
 // Enqueue appends v through a pooled handle.
 func (q *DirectUnbounded[T]) Enqueue(v T) {
 	h := q.pool.mustGet()
+	defer q.pool.put(h)
 	h.Enqueue(v)
-	q.pool.put(h)
 }
 
 // Dequeue removes the oldest value through a pooled handle.
 func (q *DirectUnbounded[T]) Dequeue() (v T, ok bool) {
 	h := q.pool.mustGet()
-	v, ok = h.Dequeue()
-	q.pool.put(h)
-	return v, ok
+	defer q.pool.put(h)
+	return h.Dequeue()
 }
 
 // EnqueueBatch appends values through a pooled handle.
 func (q *DirectUnbounded[T]) EnqueueBatch(vs []T) int {
 	h := q.pool.mustGet()
-	n := h.EnqueueBatch(vs)
-	q.pool.put(h)
-	return n
+	defer q.pool.put(h)
+	return h.EnqueueBatch(vs)
 }
 
 // DequeueBatch removes values through a pooled handle.
 func (q *DirectUnbounded[T]) DequeueBatch(out []T) int {
 	h := q.pool.mustGet()
-	n := h.DequeueBatch(out)
-	q.pool.put(h)
-	return n
+	defer q.pool.put(h)
+	return h.DequeueBatch(out)
 }
 
 // Footprint returns live queue-owned bytes (linked rings plus the

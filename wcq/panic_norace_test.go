@@ -1,0 +1,57 @@
+//go:build !race
+
+package wcq
+
+// White-box proof that a panicking pooled operation RETURNS its
+// borrowed handle rather than leaking it. DirectStriped registration
+// is uncapped, so a leak would not fail any behavioral test — it
+// would just register a fresh handle next call. But registration is
+// observable: nextLane only advances when the pool cannot supply a
+// returned handle. With the collector off (so neither pool eviction
+// nor the leak-healing finalizer can interfere) hundreds of panicking
+// calls from one goroutine must keep reusing the same handle.
+//
+// Excluded from race builds only because sync.Pool deliberately drops
+// a fraction of Puts under the race detector, which would advance
+// nextLane for reasons unrelated to the leak under test.
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestPooledHandleReturnedOnPanic(t *testing.T) {
+	q, err := NewDirectStripedOf[uint64](4, 4, trapCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	// Prime the pool so the baseline is one registered handle.
+	q.Enqueue(1)
+	q.laneMu.Lock()
+	base := q.nextLane
+	q.laneMu.Unlock()
+
+	for i := 0; i < 300; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("sentinel enqueue did not panic")
+				}
+			}()
+			q.Enqueue(trapValue)
+		}()
+	}
+
+	q.laneMu.Lock()
+	grew := q.nextLane - base
+	free := len(q.freeLanes)
+	q.laneMu.Unlock()
+	// Zero growth is the expected outcome; a small allowance covers a
+	// stray runtime-internal pool shuffle, while a leak would register
+	// a new handle on every one of the 300 panicking calls.
+	if grew > 2 {
+		t.Fatalf("registered %d new handles across 300 panicking calls (freeLanes=%d) — panics are leaking pooled handles", grew, free)
+	}
+}

@@ -1,0 +1,242 @@
+package wcq
+
+// Panic safety (DESIGN.md §12): user code can panic inside a queue
+// operation — a codec's Encode, a direct value outside the declared
+// bit range — and the contract is that the panic escapes BEFORE the
+// operation reserves ring state. The queue afterwards is exactly as
+// if the call had never happened: no slot consumed, no half-written
+// entry, no borrowed pooled handle leaked. These tests run under
+// -race in the tier-1 suite.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mustPanic runs f and returns the recovered panic value, failing the
+// test if f returns normally.
+func mustPanic(t *testing.T, what string, f func()) (v any) {
+	t.Helper()
+	defer func() { v = recover() }()
+	f()
+	t.Fatalf("%s: expected panic, returned normally", what)
+	return nil
+}
+
+// TestDirectOutOfRangePanicsBeforeReservation proves an out-of-range
+// value panics before the ring reserves a slot: after the panic the
+// queue still accepts exactly Cap() values, and delivers them all.
+func TestDirectOutOfRangePanicsBeforeReservation(t *testing.T) {
+	q, err := NewDirectOf[uint64](3, UintCodec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, "Enqueue(1<<8)", func() { q.Enqueue(1 << 8) })
+
+	// A leaked reservation would surface as one slot of lost capacity.
+	n := 0
+	for q.Enqueue(uint64(n & 0xff)) {
+		n++
+		if n > q.Cap() {
+			break
+		}
+	}
+	if n != q.Cap() {
+		t.Fatalf("accepted %d values after panic, want full capacity %d", n, q.Cap())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != uint64(i&0xff) {
+			t.Fatalf("dequeue %d: got (%d, %v), want (%d, true)", i, v, ok, i&0xff)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue not empty after draining everything enqueued")
+	}
+}
+
+// TestDirectBatchOutOfRangePanicsBeforeReservation proves batch
+// validation happens for the whole batch before any reservation: a
+// bad value mid-batch means NONE of the batch lands.
+func TestDirectBatchOutOfRangePanicsBeforeReservation(t *testing.T) {
+	q, err := NewDirectOf[uint64](3, UintCodec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Enqueue(7) {
+		t.Fatal("warm-up enqueue refused")
+	}
+	mustPanic(t, "EnqueueBatch with out-of-range element", func() {
+		q.EnqueueBatch([]uint64{1, 2, 1 << 8, 4})
+	})
+	v, ok := q.Dequeue()
+	if !ok || v != 7 {
+		t.Fatalf("got (%d, %v), want the warm-up value (7, true)", v, ok)
+	}
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("partial batch landed despite the panic: got %d", v)
+	}
+	// Capacity intact too.
+	n := 0
+	for q.Enqueue(uint64(n & 0xff)) {
+		n++
+		if n > q.Cap() {
+			break
+		}
+	}
+	if n != q.Cap() {
+		t.Fatalf("accepted %d values after batch panic, want %d", n, q.Cap())
+	}
+}
+
+// trapCodec is a uint64 identity codec that panics on a sentinel,
+// standing in for user Encode bugs.
+const trapValue = ^uint64(0)
+
+func trapCodec() Codec[uint64] {
+	return Codec[uint64]{
+		Bits: 32,
+		Encode: func(v uint64) uint64 {
+			if v == trapValue {
+				panic("trapCodec: sentinel value")
+			}
+			return v
+		},
+		Decode: func(u uint64) uint64 { return u },
+	}
+}
+
+// TestPooledPanicRecovery hammers the pooled (handle-free) fronts of
+// the codec-carrying shapes with a mix of good values and panicking
+// sentinels from several goroutines. Every panic must leave the queue
+// fully usable — the accounting at the end proves no value was lost,
+// duplicated or invented across hundreds of mid-operation panics.
+func TestPooledPanicRecovery(t *testing.T) {
+	type shape struct {
+		name    string
+		enq     func(uint64) bool
+		enqB    func([]uint64) int
+		deq     func() (uint64, bool)
+		blocked func() bool // bounded shape may legitimately refuse
+	}
+	var shapes []shape
+
+	ds, err := NewDirectStripedOf[uint64](8, 2, trapCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes = append(shapes, shape{"DirectStriped", ds.Enqueue, ds.EnqueueBatch, ds.Dequeue, func() bool { return true }})
+
+	du, err := NewDirectUnboundedOf[uint64](4, trapCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes = append(shapes, shape{
+		"DirectUnbounded",
+		func(v uint64) bool { du.Enqueue(v); return true },
+		du.EnqueueBatch,
+		du.Dequeue,
+		func() bool { return false },
+	})
+
+	for _, s := range shapes {
+		t.Run(s.name, func(t *testing.T) {
+			const workers, iters = 4, 300
+			var (
+				wg  sync.WaitGroup
+				mu  sync.Mutex
+				enq = map[uint64]bool{}
+				got = map[uint64]bool{}
+			)
+			recovering := func(f func()) (panicked bool) {
+				defer func() { panicked = recover() != nil }()
+				f()
+				return false
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					var mine []uint64
+					seq := uint64(id) << 20
+					for i := 0; i < iters; i++ {
+						// Panicking scalar and batch enqueues,
+						// interleaved with real traffic.
+						if !recovering(func() { s.enq(trapValue) }) {
+							panic("sentinel enqueue did not panic")
+						}
+						if !recovering(func() { s.enqB([]uint64{seq, trapValue}) }) {
+							panic("sentinel batch did not panic")
+						}
+						if s.enq(seq) {
+							mine = append(mine, seq)
+						}
+						seq++
+						if v, ok := s.deq(); ok {
+							mu.Lock()
+							got[v] = true
+							mu.Unlock()
+						}
+					}
+					mu.Lock()
+					for _, v := range mine {
+						enq[v] = true
+					}
+					mu.Unlock()
+				}(w)
+			}
+			wg.Wait()
+
+			for misses := 0; misses < 4; {
+				if v, ok := s.deq(); ok {
+					if got[v] {
+						t.Fatalf("value %#x delivered twice", v)
+					}
+					got[v] = true
+					misses = 0
+				} else {
+					misses++
+				}
+			}
+			for v := range got {
+				if !enq[v] {
+					t.Fatalf("phantom value %#x: delivered but never accepted", v)
+				}
+			}
+			for v := range enq {
+				if !got[v] {
+					t.Fatalf("value %#x accepted but lost", v)
+				}
+			}
+		})
+	}
+}
+
+// TestMustGetPanicIsIdentifiable pins the documented failure mode of
+// the handle-free methods at a pinned handle cap: the panic value
+// wraps ErrHandlesExhausted. (The defer-put conversion must not eat
+// or reshape it.)
+func TestMustGetPanicIsIdentifiable(t *testing.T) {
+	q, err := New[int](4, WithMaxHandles(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+	v := mustPanic(t, "Enqueue at pinned cap", func() { q.Enqueue(1) })
+	perr, ok := v.(error)
+	if !ok {
+		t.Fatalf("panic value %v (%T) is not an error", v, v)
+	}
+	if got := fmt.Sprintf("%v", perr); got == "" {
+		t.Fatal("empty panic message")
+	}
+	if !errors.Is(perr, ErrHandlesExhausted) {
+		t.Fatalf("panic %v does not wrap ErrHandlesExhausted", perr)
+	}
+}

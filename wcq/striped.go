@@ -398,18 +398,18 @@ func (s *Striped[T]) Closed() bool { return s.state.Load() != stripedOpen }
 // borrowed handle's lane is full or the queue is closed.
 func (s *Striped[T]) Enqueue(v T) bool {
 	h := s.pool.mustGet()
-	ok := h.Enqueue(v)
-	s.pool.put(h)
-	return ok
+	// Deferred so a panic inside the operation returns the borrowed
+	// handle instead of leaking it. Same on every pooled path below.
+	defer s.pool.put(h)
+	return h.Enqueue(v)
 }
 
 // Dequeue removes a value through a pooled handle, or returns
 // ok=false after observing every lane empty.
 func (s *Striped[T]) Dequeue() (v T, ok bool) {
 	h := s.pool.mustGet()
-	v, ok = h.Dequeue()
-	s.pool.put(h)
-	return v, ok
+	defer s.pool.put(h)
+	return h.Dequeue()
 }
 
 // EnqueueBatch inserts up to len(vs) values through a pooled handle,
@@ -417,18 +417,16 @@ func (s *Striped[T]) Dequeue() (v T, ok bool) {
 // order.
 func (s *Striped[T]) EnqueueBatch(vs []T) int {
 	h := s.pool.mustGet()
-	n := h.EnqueueBatch(vs)
-	s.pool.put(h)
-	return n
+	defer s.pool.put(h)
+	return h.EnqueueBatch(vs)
 }
 
 // DequeueBatch removes up to len(out) values through a pooled handle,
 // returning how many were dequeued.
 func (s *Striped[T]) DequeueBatch(out []T) int {
 	h := s.pool.mustGet()
-	n := h.DequeueBatch(out)
-	s.pool.put(h)
-	return n
+	defer s.pool.put(h)
+	return h.DequeueBatch(out)
 }
 
 // EnqueueWait inserts v through a pooled handle, blocking while the
@@ -439,9 +437,8 @@ func (s *Striped[T]) EnqueueWait(ctx context.Context, v T) error {
 	if err != nil {
 		return err
 	}
-	err = h.EnqueueWait(ctx, v)
-	s.pool.put(h)
-	return err
+	defer s.pool.put(h)
+	return h.EnqueueWait(ctx, v)
 }
 
 // DequeueWait removes a value through a pooled handle, blocking while
@@ -452,9 +449,8 @@ func (s *Striped[T]) DequeueWait(ctx context.Context) (T, error) {
 		var zero T
 		return zero, err
 	}
-	v, err := h.DequeueWait(ctx)
-	s.pool.put(h)
-	return v, err
+	defer s.pool.put(h)
+	return h.DequeueWait(ctx)
 }
 
 // DequeueBlock is DequeueWait without a deadline.

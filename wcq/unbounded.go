@@ -103,18 +103,18 @@ func (h *UnboundedHandle[T]) DequeueBlock() (T, error) {
 // queue is closed.
 func (q *Unbounded[T]) Enqueue(v T) bool {
 	h := q.pool.mustGet()
-	ok := q.q.Enqueue(h, v)
-	q.pool.put(h)
-	return ok
+	// Deferred so a panic inside the operation returns the borrowed
+	// handle instead of leaking it. Same on every pooled path below.
+	defer q.pool.put(h)
+	return q.q.Enqueue(h, v)
 }
 
 // Dequeue removes the oldest value through a pooled handle, or
 // returns ok=false when the whole queue is empty.
 func (q *Unbounded[T]) Dequeue() (v T, ok bool) {
 	h := q.pool.mustGet()
-	v, ok = q.q.Dequeue(h)
-	q.pool.put(h)
-	return v, ok
+	defer q.pool.put(h)
+	return q.q.Dequeue(h)
 }
 
 // EnqueueBatch appends values in order through a pooled handle,
@@ -122,18 +122,16 @@ func (q *Unbounded[T]) Dequeue() (v T, ok bool) {
 // closes mid-batch; see UnboundedHandle.EnqueueBatch).
 func (q *Unbounded[T]) EnqueueBatch(vs []T) int {
 	h := q.pool.mustGet()
-	n := q.q.EnqueueBatch(h, vs)
-	q.pool.put(h)
-	return n
+	defer q.pool.put(h)
+	return q.q.EnqueueBatch(h, vs)
 }
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order through a pooled handle, returning how many were dequeued.
 func (q *Unbounded[T]) DequeueBatch(out []T) int {
 	h := q.pool.mustGet()
-	n := q.q.DequeueBatch(h, out)
-	q.pool.put(h)
-	return n
+	defer q.pool.put(h)
+	return q.q.DequeueBatch(h, out)
 }
 
 // EnqueueWait appends v through a pooled handle; nil or ErrClosed.
@@ -143,9 +141,8 @@ func (q *Unbounded[T]) EnqueueWait(ctx context.Context, v T) error {
 	if err != nil {
 		return err
 	}
-	err = q.q.EnqueueWait(ctx, h, v)
-	q.pool.put(h)
-	return err
+	defer q.pool.put(h)
+	return q.q.EnqueueWait(ctx, h, v)
 }
 
 // DequeueWait removes the oldest value through a pooled handle,
@@ -156,9 +153,8 @@ func (q *Unbounded[T]) DequeueWait(ctx context.Context) (T, error) {
 		var zero T
 		return zero, err
 	}
-	v, err := q.q.DequeueWait(ctx, h)
-	q.pool.put(h)
-	return v, err
+	defer q.pool.put(h)
+	return q.q.DequeueWait(ctx, h)
 }
 
 // DequeueBlock is DequeueWait without a deadline.

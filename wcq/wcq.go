@@ -75,6 +75,21 @@
 // The blocking layer parks on an eventcount and leaves the
 // non-blocking fast paths untouched while no waiter is parked; see
 // examples/workerpool for the channel-replacement pattern.
+//
+// # Robustness guarantees
+//
+// The progress contracts are tested adversarially, not just
+// statistically (DESIGN.md §12): a failpoint layer (built only under
+// the wcq_failpoints tag; a compiled no-op otherwise) can freeze a
+// thread inside any linearization-critical window, and the stall
+// matrix verifies that peers keep completing operations while it is
+// frozen, that the frozen operation is helped exactly once, that
+// Close waits for — and exactly-once drains around — a stalled
+// enqueuer, and that a stalled traverser's hazard pointer keeps its
+// ring alive through arbitrary recycling churn. Panics raised by user
+// code mid-operation (a Codec.Encode, an out-of-range direct value)
+// propagate before any ring state is reserved and never leak a
+// pooled handle: recover and keep using the queue.
 package wcq
 
 import (
@@ -243,9 +258,11 @@ func (h *Handle[T]) DequeueBlock() (T, error) {
 // is pinned by explicit handles (see mustGet).
 func (q *Queue[T]) Enqueue(v T) bool {
 	h := q.pool.mustGet()
-	ok := q.q.Enqueue(h, v)
-	q.pool.put(h)
-	return ok
+	// Deferred so a panic inside the operation (a user codec, an
+	// out-of-range direct value) returns the borrowed handle instead
+	// of leaking it from the pool. Same on every pooled path below.
+	defer q.pool.put(h)
+	return q.q.Enqueue(h, v)
 }
 
 // Dequeue removes the oldest value through a pooled handle, returning
@@ -253,27 +270,24 @@ func (q *Queue[T]) Enqueue(v T) bool {
 // ErrHandlesExhausted if the handle cap is pinned by explicit handles.
 func (q *Queue[T]) Dequeue() (v T, ok bool) {
 	h := q.pool.mustGet()
-	v, ok = q.q.Dequeue(h)
-	q.pool.put(h)
-	return v, ok
+	defer q.pool.put(h)
+	return q.q.Dequeue(h)
 }
 
 // EnqueueBatch inserts up to len(vs) values in order through a pooled
 // handle, returning how many were inserted.
 func (q *Queue[T]) EnqueueBatch(vs []T) int {
 	h := q.pool.mustGet()
-	n := q.q.EnqueueBatch(h, vs)
-	q.pool.put(h)
-	return n
+	defer q.pool.put(h)
+	return q.q.EnqueueBatch(h, vs)
 }
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order through a pooled handle, returning how many were dequeued.
 func (q *Queue[T]) DequeueBatch(out []T) int {
 	h := q.pool.mustGet()
-	n := q.q.DequeueBatch(h, out)
-	q.pool.put(h)
-	return n
+	defer q.pool.put(h)
+	return q.q.DequeueBatch(h, out)
 }
 
 // EnqueueWait inserts v through a pooled handle, blocking while the
@@ -284,9 +298,8 @@ func (q *Queue[T]) EnqueueWait(ctx context.Context, v T) error {
 	if err != nil {
 		return err
 	}
-	err = q.q.EnqueueWait(ctx, h, v)
-	q.pool.put(h)
-	return err
+	defer q.pool.put(h)
+	return q.q.EnqueueWait(ctx, h, v)
 }
 
 // DequeueWait removes the oldest value through a pooled handle,
@@ -298,9 +311,8 @@ func (q *Queue[T]) DequeueWait(ctx context.Context) (T, error) {
 		var zero T
 		return zero, err
 	}
-	v, err := q.q.DequeueWait(ctx, h)
-	q.pool.put(h)
-	return v, err
+	defer q.pool.put(h)
+	return q.q.DequeueWait(ctx, h)
 }
 
 // DequeueBlock is DequeueWait without a deadline.
