@@ -57,7 +57,7 @@ func main() {
 		order     = flag.Uint("ring-order", 14, "wCQ/SCQ ring order")
 		llsc      = flag.Bool("llsc", false, "use emulated-F&A builds of wCQ/SCQ")
 		storm     = flag.Bool("storm", false,
-			"registration-storm mode: every worker registers, moves one value and unregisters per cycle (-per cycles each); asserts the handle high-water mark stays at peak concurrency")
+			"registration-storm mode: every worker registers, moves one value and unregisters per cycle (-per cycles each), with concurrent lane resizes on elastic queues; asserts the handle high-water mark stays at peak concurrency")
 		block = flag.Bool("block", false,
 			"blocking mode: consumers park in DequeueWait, producers send bursts through EnqueueWait, and the queue is closed mid-run; asserts every accepted value is delivered exactly once before ErrClosed")
 		chaos = flag.Bool("chaos", false,
@@ -189,8 +189,33 @@ func main() {
 // registrationStorm churns handle registrations from `workers`
 // goroutines: each cycle registers, round-trips one value and
 // unregisters. Dynamic registration must never fail, and the value
-// must come back (single-handle FIFO per cycle).
+// must come back (single-handle FIFO per cycle). When the queue is
+// elastic (queueiface.Resizable) a resizer goroutine oscillates the
+// lane count for the whole storm, so registration churn runs
+// concurrently with directory publishes, lane drains and retirements —
+// the adversarial overlap of the two rebinding protocols.
 func registrationStorm(q queueiface.Queue, workers int, cycles uint64) error {
+	stopResize := make(chan struct{})
+	var resizer sync.WaitGroup
+	if rq, ok := q.(queueiface.Resizable); ok {
+		resizer.Add(1)
+		go func() {
+			defer resizer.Done()
+			n := 1
+			for {
+				select {
+				case <-stopResize:
+					return
+				default:
+				}
+				n = n%8 + 1
+				if err := rq.Resize(n); err != nil {
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {
@@ -218,6 +243,8 @@ func registrationStorm(q queueiface.Queue, workers int, cycles uint64) error {
 		}(w)
 	}
 	wg.Wait()
+	close(stopResize)
+	resizer.Wait()
 	close(errs)
 	return <-errs
 }

@@ -7,10 +7,13 @@
 // unbounded wcq.Unbounded (Appendix A) — which recycles drained rings
 // through a bounded hazard-pointer-protected pool, so steady-state
 // ring hops allocate nothing and its footprint stays flat — the
-// lock-free scq.Queue baseline, and wcq.Striped — a sharded front-end
-// striping W independent rings with per-handle lane affinity and
-// work-stealing dequeues, for workloads that out-scale a single
-// ring's fetch-and-add. All support batched operations
+// lock-free scq.Queue baseline, and wcq.Striped — the recommended
+// default front-end: a sharded queue over an elastic directory of
+// independent lanes with per-handle lane affinity and work-stealing
+// dequeues, whose contention-feedback governor resizes the lane count
+// online within WithLaneBounds (DESIGN.md §13), so it tracks the
+// machine and the load without tuning. Use wcq.Queue directly when a
+// single total order is required. All support batched operations
 // (EnqueueBatch/DequeueBatch) that reserve ring positions for k
 // operations with a single fetch-and-add.
 //
@@ -33,8 +36,10 @@
 // lock-free and bounded only by the 16-bit owner-id space (65535
 // concurrent handles), with released slots recycled so goroutine
 // churn keeps memory flat. Callers either hold an explicit Handle
-// (zero-overhead) or use the handle-free methods, which borrow
-// pooled implicit handles per call (DESIGN.md §9).
+// (zero-overhead) or use the handle-free methods, which take a
+// per-P cached implicit handle per call — resident and used in place
+// under a processor pin on wcq.Queue, within a few percent of the
+// explicit path (DESIGN.md §9, §13).
 //
 // Alongside the non-blocking operations, every shape offers blocking
 // waits and close/drain semantics (DESIGN.md §10): DequeueWait(ctx) /

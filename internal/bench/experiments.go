@@ -92,6 +92,21 @@ var Experiments = []Experiment{
 	{ID: "direct-churn", Figure: "E4 (ring churn on direct rings: order-3, 64-op bursts; allocs after warm-up + peak footprint)",
 		Workload: RingChurn, Queues: []string{"wCQ-Unbounded", "wCQ-Direct-Unbounded"}, MeasureMemory: true,
 		RingOrder: 3, PoolSize: 16},
+	// PR 7 series (DESIGN.md §13): the elastic lane directory and the
+	// per-P implicit-handle cache. F0 is the elasticity ablation the CI
+	// gate samples: the same striped queue with the resize governor on
+	// (lanes float within the directory bounds) and off (pinned at the
+	// configured stripe count) under register→op→unregister churn —
+	// elasticity must be free on the registration path. F1 sweeps the
+	// lane-scaling behavior of both striped front-ends against the
+	// pinned build under pairwise traffic. The per-P implicit-vs-
+	// explicit comparison reuses D1/D2 (implicit-overhead,
+	// implicit-batch): same IDs, remeasured, so the trajectory against
+	// BENCH_pr3's sync.Pool numbers reads directly.
+	{ID: "elastic-churn", Figure: "F0 (elastic vs pinned lane directory, register→op→unregister churn)",
+		Workload: RegisterChurn, Queues: []string{"wCQ-Striped", "wCQ-Striped-Fixed"}},
+	{ID: "elastic-pairwise", Figure: "F1 (lane scaling: elastic governor vs pinned stripes, pairwise)",
+		Workload: Pairwise, Queues: []string{"wCQ-Striped", "wCQ-Striped-Fixed", "wCQ-Direct-Striped"}},
 }
 
 // batchQueues are the queues implementing queueiface.BatchQueue,

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"wcqueue/internal/queues/registry"
+)
+
+// TestFSeriesExperimentsRegistered pins the F-series experiment table
+// (DESIGN.md §13): the elastic-vs-pinned ablations exist and compare
+// the right builds.
+func TestFSeriesExperimentsRegistered(t *testing.T) {
+	wantQueues := map[string]string{
+		"elastic-churn":    "wCQ-Striped-Fixed",
+		"elastic-pairwise": "wCQ-Direct-Striped",
+	}
+	for id, want := range wantQueues {
+		e, ok := FindExperiment(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		found := false
+		for _, q := range e.Queues {
+			if q == want {
+				found = true
+			}
+			if _, err := registry.New(q, registry.Config{Threads: 1, RingOrder: 4}); err != nil {
+				t.Fatalf("experiment %q references unbuildable queue %q: %v", id, q, err)
+			}
+		}
+		if !found {
+			t.Fatalf("experiment %q does not compare %q (has %v)", id, want, e.Queues)
+		}
+	}
+}
+
+// elasticGateSlack is the noise allowance of the F-series gate: the
+// elastic and pinned builds run the same registration path (the
+// governor only adds a per-handle op counter flushed every 256 ops),
+// so the honest expectation is parity, not a win. The gate exists to
+// catch elasticity becoming EXPENSIVE on the churn path — a directory
+// rebuild per registration, a Bind scan gone quadratic — which shows
+// up as a multiple, not a few percent.
+const elasticGateSlack = 0.85
+
+// TestFSeriesSmokeElasticChurn is the elastic CI gate (DESIGN.md §13):
+// under register→op→unregister churn the elastic striped queue must
+// keep pace with the same queue pinned at its initial lane count.
+// Guarded by WCQ_E_SMOKE like the E-series gate so ordinary `go test
+// ./...` and -race runs stay fast and deterministic.
+func TestFSeriesSmokeElasticChurn(t *testing.T) {
+	if os.Getenv("WCQ_E_SMOKE") == "" {
+		t.Skip("set WCQ_E_SMOKE=1 to run the F-series performance gate")
+	}
+	const ops = 200_000
+	mops := func(name string) float64 {
+		q, err := registry.New(name, registry.Config{Threads: 3, RingOrder: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(q, Config{Threads: 2, Ops: ops, Repeats: 5, Workload: RegisterChurn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mops
+	}
+	// Steal time on a shared runner only ever SLOWS a sample, so the
+	// max over a few alternating samples estimates each build's real
+	// capability; the mean would gate on scheduler luck. The first
+	// sample of a fresh process additionally runs cold, which the max
+	// absorbs too.
+	best := func(name string) float64 {
+		var m float64
+		for i := 0; i < 3; i++ {
+			if v := mops(name); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	// One retry absorbs a scheduler burst on a noisy shared runner, as
+	// in the E-series gate.
+	for attempt := 1; ; attempt++ {
+		elastic := best("wCQ-Striped")
+		fixed := best("wCQ-Striped-Fixed")
+		t.Logf("attempt %d: register-churn 2-thread: elastic %.2f Mops/s, pinned %.2f Mops/s (%.2fx)",
+			attempt, elastic, fixed, elastic/fixed)
+		if elastic >= fixed*elasticGateSlack {
+			return
+		}
+		if attempt == 2 {
+			t.Fatalf("elastic wCQ-Striped (%.2f Mops/s) fell behind the pinned build (%.2f Mops/s) under registration churn",
+				elastic, fixed)
+		}
+	}
+}

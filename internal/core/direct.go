@@ -76,6 +76,10 @@ type DirectRing struct {
 	tail      pad.Uint64 // counter; bit 63 is the finalize flag
 	head      pad.Uint64 // counter
 
+	// contended counts entry-CAS failures, the per-lane contention
+	// signal for the elastic striped governor; see WCQ.contended.
+	contended pad.Uint64
+
 	entries []atomic.Uint64
 }
 
@@ -198,6 +202,18 @@ func (r *DirectRing) Finalize() { r.tail.Or(atomicx.FinalizeBit) }
 
 // Finalized reports whether the ring is closed for enqueues.
 func (r *DirectRing) Finalized() bool { return r.tail.Load()&atomicx.FinalizeBit != 0 }
+
+// ContentionEvents returns the cumulative entry-CAS failure count; see
+// WCQ.ContentionEvents.
+func (r *DirectRing) ContentionEvents() uint64 { return r.contended.Load() }
+
+// Drained is the Tail ≤ Head witness; see WCQ.Drained for the read
+// ordering and the conservativeness argument, which carry over (the
+// finalize bit is stripped from the tail read).
+func (r *DirectRing) Drained() bool {
+	h := r.head.Load()
+	return r.tail.Load()&^atomicx.FinalizeBit <= h
+}
 
 // pack builds an entry word.
 func (r *DirectRing) pack(cycle uint64, safe bool, field uint64) uint64 {
@@ -393,6 +409,7 @@ func (r *DirectRing) enqAt(t, v uint64) bool {
 			(r.entSafe(e) || r.head.Load() <= t) &&
 			(f == r.bottom || f == r.bottomC) {
 			if !r.entries[j].CompareAndSwap(e, r.pack(tcyc, true, v)) {
+				r.contended.Add(1)
 				continue // entry changed; re-evaluate
 			}
 			r.rearmThreshold()
@@ -455,6 +472,7 @@ func (r *DirectRing) deqAt(h uint64, deferThreshold bool) (v uint64, st DeqStatu
 		}
 		if r.entCycle(e) < hcyc {
 			if !r.entries[j].CompareAndSwap(e, n) {
+				r.contended.Add(1)
 				continue
 			}
 		}

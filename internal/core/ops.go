@@ -58,6 +58,7 @@ func (q *WCQ) enqAtFast(t, index uint64) bool {
 			(idx == q.bottom || idx == q.bottomC) {
 			n := q.noteBits(e) | q.packVal(tcyc, true, true, index)
 			if !q.entries[j].CompareAndSwap(e, n) {
+				q.contended.Add(1)
 				continue // entry changed; re-evaluate
 			}
 			q.rearmThreshold()
@@ -168,6 +169,7 @@ func (q *WCQ) deqAtFast(h uint64, deferThreshold bool) (index uint64, st DeqStat
 		}
 		if q.vcyc(e) < hcyc {
 			if !q.entries[j].CompareAndSwap(e, n) {
+				q.contended.Add(1)
 				continue
 			}
 		}

@@ -269,3 +269,16 @@ func (q *Queue[T]) Footprint() int64 {
 
 // MaxOps returns the safe-operation bound of the underlying rings.
 func (q *Queue[T]) MaxOps() uint64 { return min(q.aq.MaxOps(), q.fq.MaxOps()) }
+
+// ContentionEvents returns the cumulative fast-path entry-CAS failure
+// count across both rings — the elastic striped governor's per-lane
+// contention signal (DESIGN.md §13).
+func (q *Queue[T]) ContentionEvents() uint64 {
+	return q.aq.ContentionEvents() + q.fq.ContentionEvents()
+}
+
+// Drained reports that every completed enqueue's value has been
+// claimed by a dequeuer, via the aq ring's Tail ≤ Head witness (a
+// completed Enqueue has always advanced aq's tail — the fq side holds
+// only free indices and does not participate). See WCQ.Drained.
+func (q *Queue[T]) Drained() bool { return q.aq.Drained() }

@@ -104,6 +104,13 @@ type WCQ struct {
 	tail      pad.Uint64 // PairWord {cnt:48, owner:16}
 	head      pad.Uint64 // PairWord
 
+	// contended counts fast-path entry-CAS failures — the moments two
+	// threads actually collided on one slot. It is the per-lane
+	// contention-feedback signal the elastic striped front-end's
+	// resize governor samples (DESIGN.md §13). Only the failure branch
+	// pays the Add, so the uncontended hot path is untouched.
+	contended pad.Uint64
+
 	entries []atomic.Uint64
 
 	// Record arena (arena.go): a fixed directory of atomically
@@ -520,6 +527,29 @@ func (q *WCQ) Tail() uint64 { return q.tailCnt() }
 
 // Threshold returns the current threshold value.
 func (q *WCQ) Threshold() int64 { return q.threshold.Load() }
+
+// ContentionEvents returns the cumulative count of fast-path entry-CAS
+// failures — the resize governor's per-lane contention signal
+// (DESIGN.md §13). Monotone; read racily, so callers must work with
+// deltas.
+func (q *WCQ) ContentionEvents() uint64 { return q.contended.Load() }
+
+// Drained reports that every position a completed enqueue ever
+// reserved has also been claimed by a dequeuer: Tail ≤ Head at one
+// observed instant. Head is read FIRST — Tail only grows, so a Tail
+// read at or below an earlier Head certifies that at the Tail read
+// every reserved position (all of them < Tail) was already covered by
+// a head reservation, i.e. its dequeue had linearized. The witness is
+// conservative in exactly the direction the elastic striped layer
+// needs (DESIGN.md §13): a handle that observes Drained() on its lane
+// knows all its completed enqueues have been consumed in the queue's
+// linearization order, so hopping to a fresh lane cannot reorder its
+// stream. Catchup keeps Tail tracking Head on an empty ring, so the
+// witness does fire in practice.
+func (q *WCQ) Drained() bool {
+	h := q.headCnt()
+	return q.tailCnt() <= h
+}
 
 // ResetThreshold restores the threshold to 3n−1 (Appendix A, line 59).
 func (q *WCQ) ResetThreshold() { q.threshold.Store(q.thresh3n) }

@@ -124,6 +124,18 @@ const (
 	// signaler and is about to absorb and forward the in-flight
 	// token.
 	WaitqCancelForward
+	// LanedirPublish: the resize governor has built the successor lane
+	// directory and is about to CAS it into the published pointer.
+	// Frozen here, handles keep operating on the old directory (their
+	// cached view stays valid) and peers must not block — the governor
+	// holds only the maintenance mutex, which no operation path takes.
+	LanedirPublish
+	// LanedirRetire: a drained lane has been unpublished from the
+	// directory and is about to be handed to the hazard domain's
+	// retire list. Frozen here, in-flight stealers that protected the
+	// lane before the unpublish may still dequeue from it; nobody may
+	// recycle it early (DESIGN.md §13).
+	LanedirRetire
 
 	numSites
 )
@@ -154,6 +166,8 @@ var siteNames = [numSites]string{
 	BlockingEnqPrepared:      "blocking/enq-prepared",
 	BlockingDeqPrepared:      "blocking/deq-prepared",
 	WaitqCancelForward:       "waitq/cancel-forward",
+	LanedirPublish:           "lanedir/dir-publish",
+	LanedirRetire:            "lanedir/lane-retire",
 }
 
 // String returns the site's durable name, e.g. "core/enq-reserved".

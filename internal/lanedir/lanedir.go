@@ -1,0 +1,630 @@
+// Package lanedir implements the elastic lane directory behind the
+// striped front-ends (DESIGN.md §13): an atomically-published set of
+// lanes that a resize governor grows and shrinks online, bounded by
+// [min, max] lanes, driven by per-lane contention feedback.
+//
+// The directory is a generic container: a lane is any comparable
+// value (in practice *core.Queue[T] or *core.DirectRing) adapted
+// through an Ops vtable. The package owns four protocols; the queue
+// shapes on top own the per-operation choreography:
+//
+//   - Publish. The current View (active lanes ++ draining lanes) is
+//     one immutable snapshot behind an atomic pointer. Every mutation
+//     builds a successor and CASes it in under the maintenance mutex,
+//     so readers pay one load and one pointer compare per operation to
+//     detect a resize.
+//
+//   - Bind. Each producer handle is bound to one active slot; the
+//     slot's bind count is what gates retirement. Bind publishes the
+//     count increment BEFORE re-checking the slot's draining flag, so
+//     a bind and a concurrent retire can never both win: either the
+//     binder sees draining and backs off, or the retirer's later
+//     bind-count read includes the increment and skips the slot.
+//
+//   - Drain and retire. A shrink only MARKS lanes draining — they
+//     stay dequeue-visible in View.Slots() and bound producers keep
+//     enqueueing to them (per-handle FIFO migrates a handle only at
+//     its lane's Drained() witness, between its own ops). Once a
+//     draining slot's bind count hits zero, any value still in it can
+//     only belong to a producer that unregistered (a dead stream, so
+//     FIFO is vacuous); the governor moves those residuals into an
+//     active lane through Ops.Drain — exactly once, because the move
+//     is ordinary dequeue/enqueue traffic under the maintenance mutex
+//     — and unpublishes the lane.
+//
+//   - Reclaim. An unpublished lane may still be touched by a stealer
+//     that protected it through the Domain before the unpublish, so
+//     it goes through hazard retirement (the §8 machinery): recycling
+//     (Ops.Recycle — a DirectRing budget-renewing Reset) runs only
+//     once no hazard slot holds the lane, after which the lane waits
+//     in a bounded standby pool for the next grow.
+//
+// The governor is piggybacked, not a goroutine: handles flush op and
+// contention-event counts every few hundred operations (NoteOps /
+// NoteContention), and a flush that crosses the sampling period runs
+// maintenance under TryLock — never blocking an operation, and
+// leaving no background thread for queue shapes that have no Close.
+package lanedir
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"wcqueue/internal/failpoint"
+	"wcqueue/internal/hazard"
+)
+
+// Ops adapts a concrete lane type to the directory. New, Drained and
+// Ptr are required; the rest may be nil.
+type Ops[L comparable] struct {
+	// New allocates a fresh lane for a grow that finds the standby
+	// pool empty.
+	New func() (L, error)
+	// Drain moves residual values from a bind-free draining lane into
+	// an active one, reporting whether from ended drained. It runs
+	// under the maintenance mutex and MUST NOT lose values: a value it
+	// cannot place in into goes back into from (whose capacity its own
+	// dequeue just freed). Nil means residuals are only ever drained
+	// by consumers (the lane retires once its Drained witness fires).
+	Drain func(from, into L) bool
+	// Drained is the lane's Tail ≤ Head witness (core.Queue.Drained /
+	// core.DirectRing.Drained).
+	Drained func(L) bool
+	// Contention reads the lane's cumulative contention events
+	// (entry-CAS failures); the governor samples deltas.
+	Contention func(L) uint64
+	// Recycle prepares a retired, hazard-cleared lane for standby
+	// reuse (a DirectRing Reset renewing its cycle-wrap budget).
+	Recycle func(L)
+	// Ptr maps a lane to the identity the hazard protocol tracks.
+	Ptr func(L) unsafe.Pointer
+	// OnMaintain, if set, runs during every maintenance pass under the
+	// mutex — the front-end's hook for housekeeping that must not race
+	// a resize (the per-P implicit-handle cache eviction).
+	OnMaintain func()
+}
+
+// Slot is one lane's directory entry. Slots are shared across views;
+// the lane is immutable, the flags are atomic.
+type Slot[L comparable] struct {
+	lane     L
+	binds    atomic.Int64
+	draining atomic.Bool
+}
+
+// Lane returns the slot's lane.
+func (s *Slot[L]) Lane() L { return s.lane }
+
+// Draining reports whether the slot is retiring. A bound handle that
+// observes it migrates at its lane's next Drained witness.
+func (s *Slot[L]) Draining() bool { return s.draining.Load() }
+
+// Binds returns the current bind count (test and telemetry hook).
+func (s *Slot[L]) Binds() int { return int(s.binds.Load()) }
+
+// View is one immutable directory snapshot. Handles cache the pointer
+// and detect any resize with a single compare.
+type View[L comparable] struct {
+	epoch    uint64
+	active   []*Slot[L]
+	draining []*Slot[L]
+	slots    []*Slot[L] // active ++ draining: the dequeue-scan domain
+}
+
+// Epoch returns the publish generation (monotone; test hook).
+func (v *View[L]) Epoch() uint64 { return v.epoch }
+
+// Active returns the slots accepting new binds — the enqueue targets.
+func (v *View[L]) Active() []*Slot[L] { return v.active }
+
+// Slots returns every lane a dequeue scan must cover: active lanes
+// plus draining lanes still holding residuals.
+func (v *View[L]) Slots() []*Slot[L] { return v.slots }
+
+// Contains reports whether lane is in the view (active or draining).
+func (v *View[L]) Contains(lane L) bool {
+	for _, s := range v.slots {
+		if s.lane == lane {
+			return true
+		}
+	}
+	return false
+}
+
+// Config sizes a directory.
+type Config struct {
+	Initial    int    // starting lane count
+	Min, Max   int    // governor bounds (manual Resize may exceed Max)
+	Auto       bool   // enable the contention-feedback governor
+	StandbyCap int    // retired-lane pool size; 0 disables reuse
+	MaxBinders int    // handle cap for the hazard domain / tid space
+	SampleOps  uint64 // governor sampling period in flushed ops (0: default)
+}
+
+// DefaultSampleOps is the governor sampling period when Config leaves
+// it zero: coarse enough that a sample amortizes to noise, fine enough
+// to track phase changes within tens of thousands of ops.
+const DefaultSampleOps = 4096
+
+// Governor thresholds: grow when contention events exceed ops/2^growShift
+// in a window, count a window calm when they stay under ops/2^calmShift,
+// and shrink after calmWindows consecutive calm samples.
+const (
+	growShift   = 3
+	calmShift   = 7
+	calmWindows = 2
+)
+
+// Dir is the elastic lane directory.
+type Dir[L comparable] struct {
+	cur atomic.Pointer[View[L]]
+	ops Ops[L]
+	dom *hazard.Domain
+
+	min, max  int
+	auto      bool
+	sampleOps uint64
+
+	// Flushed feedback since the last governor sample. opw doubles as
+	// the sample trigger: the flush that crosses sampleOps claims the
+	// window with a CAS to zero and runs maintenance.
+	opw    atomic.Uint64
+	events atomic.Uint64
+	steals atomic.Uint64
+
+	// mu serializes every directory mutation (resize, drain, retire,
+	// close). No operation path ever takes it: the governor enters via
+	// TryLock, so a frozen maintenance thread can never block peers.
+	mu         sync.Mutex
+	closed     bool
+	standby    []L
+	standbyCap int
+	lastEvents int64 // governor baseline over the sampled counters
+	calm       int
+
+	// Binder-tid allocation. tid 0 is reserved for the governor's
+	// hazard retire set so every Retire/Scan runs under mu.
+	tidMu       sync.Mutex
+	tidFree     []int
+	tidNext     int
+	tidMax      int
+	tidLive     int
+	tidHighMark int
+}
+
+// govTid is the hazard tid reserved for the governor's retire set.
+const govTid = 0
+
+// New builds a directory of cfg.Initial fresh lanes.
+func New[L comparable](ops Ops[L], cfg Config) (*Dir[L], error) {
+	if cfg.Initial < 1 {
+		return nil, fmt.Errorf("lanedir: initial lane count %d out of range [1, ∞)", cfg.Initial)
+	}
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Max < cfg.Initial {
+		cfg.Max = cfg.Initial
+	}
+	if cfg.Min > cfg.Max {
+		return nil, fmt.Errorf("lanedir: lane bounds [%d, %d] inverted", cfg.Min, cfg.Max)
+	}
+	if cfg.MaxBinders < 1 {
+		return nil, fmt.Errorf("lanedir: binder cap %d out of range [1, ∞)", cfg.MaxBinders)
+	}
+	if cfg.SampleOps == 0 {
+		cfg.SampleOps = DefaultSampleOps
+	}
+	d := &Dir[L]{
+		ops:        ops,
+		dom:        hazard.NewDomain(cfg.MaxBinders + 1),
+		min:        cfg.Min,
+		max:        cfg.Max,
+		auto:       cfg.Auto,
+		sampleOps:  cfg.SampleOps,
+		standbyCap: cfg.StandbyCap,
+		tidNext:    govTid + 1,
+		tidMax:     cfg.MaxBinders + 1,
+	}
+	active := make([]*Slot[L], cfg.Initial)
+	for i := range active {
+		lane, err := ops.New()
+		if err != nil {
+			return nil, fmt.Errorf("lanedir: allocating lane %d: %w", i, err)
+		}
+		active[i] = &Slot[L]{lane: lane}
+	}
+	d.cur.Store(&View[L]{active: active, slots: active})
+	return d, nil
+}
+
+// View returns the current snapshot. One atomic load; handles cache
+// the pointer and resync only when it changes.
+func (d *Dir[L]) View() *View[L] { return d.cur.Load() }
+
+// Lanes returns the active lane count.
+func (d *Dir[L]) Lanes() int { return len(d.cur.Load().active) }
+
+// DrainingLanes returns the count of lanes still draining toward
+// retirement.
+func (d *Dir[L]) DrainingLanes() int { return len(d.cur.Load().draining) }
+
+// StandbyLanes returns the retired lanes parked for reuse (test hook).
+func (d *Dir[L]) StandbyLanes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.standby)
+}
+
+// Bounds returns the governor's [min, max] lane bounds.
+func (d *Dir[L]) Bounds() (min, max int) { return d.min, d.max }
+
+// Register claims a binder tid for the hazard protocol. Every handle
+// that steals through Protect needs one.
+func (d *Dir[L]) Register() (int, error) {
+	d.tidMu.Lock()
+	defer d.tidMu.Unlock()
+	if n := len(d.tidFree); n > 0 {
+		tid := d.tidFree[n-1]
+		d.tidFree = d.tidFree[:n-1]
+		d.tidLive++
+		return tid, nil
+	}
+	if d.tidNext >= d.tidMax {
+		return 0, fmt.Errorf("lanedir: binder cap %d exhausted", d.tidMax-1)
+	}
+	tid := d.tidNext
+	d.tidNext++
+	d.tidLive++
+	if d.tidLive > d.tidHighMark {
+		d.tidHighMark = d.tidLive
+	}
+	return tid, nil
+}
+
+// Release returns a binder tid, clearing its hazard slots first so a
+// recycled tid can never pin a lane it no longer touches.
+func (d *Dir[L]) Release(tid int) {
+	d.dom.Clear(tid)
+	d.tidMu.Lock()
+	d.tidFree = append(d.tidFree, tid)
+	d.tidLive--
+	d.tidMu.Unlock()
+}
+
+// Binders returns the live binder count.
+func (d *Dir[L]) Binders() int {
+	d.tidMu.Lock()
+	defer d.tidMu.Unlock()
+	return d.tidLive
+}
+
+// BinderHighWater returns the largest binder count ever live at once.
+func (d *Dir[L]) BinderHighWater() int {
+	d.tidMu.Lock()
+	defer d.tidMu.Unlock()
+	return d.tidHighMark
+}
+
+// Bind attaches a new producer stream to the least-bound active lane
+// and returns its slot. The increment-then-recheck loop is the
+// bind/retire race closure: the bind count is published (seq-cst RMW)
+// BEFORE the draining flag is read, so if the flag reads clear, the
+// governor's later bind-count read — it marks draining strictly before
+// it ever samples binds for retirement — must include this increment
+// and the slot survives; if it reads set, the binder retreats and
+// picks from a fresh view.
+func (d *Dir[L]) Bind() *Slot[L] {
+	for {
+		v := d.cur.Load()
+		// Skip slots already marked draining: between a shrink's marks
+		// and its publish CAS the current view still lists them as
+		// active, and re-picking one forever would livelock against a
+		// stalled publisher. At least one active slot is always
+		// unmarked (a shrink keeps its survivors' flags clear), so the
+		// scan cannot come up empty for that reason.
+		var best *Slot[L]
+		var min int64
+		for _, s := range v.active {
+			if s.draining.Load() {
+				continue
+			}
+			if b := s.binds.Load(); best == nil || b < min {
+				best, min = s, b
+			}
+		}
+		if best == nil {
+			continue
+		}
+		best.binds.Add(1)
+		if !best.draining.Load() {
+			return best
+		}
+		best.binds.Add(-1)
+	}
+}
+
+// Unbind detaches a producer stream from its slot.
+func (d *Dir[L]) Unbind(s *Slot[L]) { s.binds.Add(-1) }
+
+// Protect publishes lane in the binder's hazard slot. The caller must
+// re-load View afterwards and restart if it changed: an unchanged view
+// proves the publish preceded any retirement's unpublish CAS, so the
+// retirer's hazard scan sees it (the §8 argument, verbatim).
+func (d *Dir[L]) Protect(tid int, lane L) { d.dom.Protect(tid, 0, d.ops.Ptr(lane)) }
+
+// ClearHazard drops the binder's published lane at scan end.
+func (d *Dir[L]) ClearHazard(tid int) { d.dom.ClearSlot(tid, 0) }
+
+// NoteOps flushes n completed operations of handle-local counting into
+// the sampling window; the flush that crosses the period claims it and
+// runs a maintenance pass.
+func (d *Dir[L]) NoteOps(n uint64) {
+	c := d.opw.Add(n)
+	if c < d.sampleOps {
+		return
+	}
+	if !d.opw.CompareAndSwap(c, 0) {
+		return // another flush claimed the window
+	}
+	d.maintain(false)
+}
+
+// NoteContention flushes handle-local contention events (lane entry-CAS
+// failures surface per lane; the front-end adds full-lane rejections).
+func (d *Dir[L]) NoteContention(n uint64) { d.events.Add(n) }
+
+// NoteSteals flushes handle-local steal counts (dequeues served by a
+// foreign lane — the over-striping signal).
+func (d *Dir[L]) NoteSteals(n uint64) { d.steals.Add(n) }
+
+// Maintain runs one blocking maintenance pass: drain/retire eligible
+// lanes, run the front-end hook, and (if Auto) one governor decision.
+// Exported for tests and for embedders that pump housekeeping
+// explicitly; operations themselves only ever enter via the TryLock
+// path.
+func (d *Dir[L]) Maintain() { d.maintain(true) }
+
+func (d *Dir[L]) maintain(block bool) {
+	if block {
+		d.mu.Lock()
+	} else if !d.mu.TryLock() {
+		return
+	}
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.drainRetireLocked()
+	if d.ops.OnMaintain != nil {
+		d.ops.OnMaintain()
+	}
+	if d.auto {
+		d.governLocked()
+	}
+}
+
+// Reclaim forces a hazard scan of the governor's retire set, pulling
+// reclaimable lanes into standby (test hook; Retire's own threshold
+// does this in steady state).
+func (d *Dir[L]) Reclaim() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dom.Scan(govTid)
+}
+
+// Resize publishes a directory with n active lanes. Growing first
+// promotes draining lanes back to active (cancelling their
+// retirement), then pulls from standby, then allocates; shrinking
+// marks the top lanes draining. Manual resizes may exceed the
+// governor's Max (the governor will pull back inside its bounds if
+// Auto is on).
+func (d *Dir[L]) Resize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("lanedir: lane count %d out of range [1, ∞)", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("lanedir: directory closed")
+	}
+	return d.resizeLocked(n)
+}
+
+func (d *Dir[L]) resizeLocked(n int) error {
+	v := d.cur.Load()
+	if n == len(v.active) {
+		return nil
+	}
+	active := make([]*Slot[L], 0, n)
+	active = append(active, v.active...)
+	var draining []*Slot[L]
+	if n < len(active) {
+		for _, s := range active[n:] {
+			s.draining.Store(true)
+		}
+		draining = make([]*Slot[L], 0, len(v.draining)+len(active)-n)
+		draining = append(draining, v.draining...)
+		draining = append(draining, active[n:]...)
+		active = active[:n:n]
+	} else {
+		// Promote the youngest draining lanes first: their producers
+		// have migrated least and their residuals are freshest.
+		promote := v.draining
+		for len(active) < n && len(promote) > 0 {
+			s := promote[len(promote)-1]
+			promote = promote[:len(promote)-1]
+			s.draining.Store(false)
+			active = append(active, s)
+		}
+		draining = append([]*Slot[L](nil), promote...)
+		for len(active) < n {
+			lane, ok := d.standbyTakeLocked()
+			if !ok {
+				fresh, err := d.ops.New()
+				if err != nil {
+					// Publish what we assembled so far rather than
+					// dropping the promotions.
+					d.publishLocked(v, active, draining)
+					return fmt.Errorf("lanedir: growing to %d lanes: %w", n, err)
+				}
+				lane = fresh
+			}
+			active = append(active, &Slot[L]{lane: lane})
+		}
+	}
+	d.publishLocked(v, active, draining)
+	return nil
+}
+
+func (d *Dir[L]) standbyTakeLocked() (lane L, ok bool) {
+	if n := len(d.standby); n > 0 {
+		lane = d.standby[n-1]
+		var zero L
+		d.standby[n-1] = zero
+		d.standby = d.standby[:n-1]
+		return lane, true
+	}
+	return lane, false
+}
+
+// publishLocked CASes the successor view in. The CAS always succeeds —
+// mu serializes writers — but keeps the publish a single atomic
+// point a failpoint can freeze on either side of.
+func (d *Dir[L]) publishLocked(old *View[L], active, draining []*Slot[L]) {
+	nv := &View[L]{
+		epoch:    old.epoch + 1,
+		active:   active,
+		draining: draining,
+		slots:    append(append(make([]*Slot[L], 0, len(active)+len(draining)), active...), draining...),
+	}
+	if failpoint.Enabled {
+		// Successor built, publish CAS pending: handles must keep
+		// running on the old view indefinitely.
+		failpoint.Inject(failpoint.LanedirPublish)
+	}
+	d.cur.CompareAndSwap(old, nv)
+}
+
+// drainRetireLocked retires every draining lane whose bind count is
+// zero and whose residuals could be placed. The bind-count gate is
+// what makes the residual handoff exactly-once AND FIFO-safe: zero
+// binds means every producer that ever enqueued to the lane has either
+// migrated (only past its Drained witness, so none of its values
+// remain) or unregistered (its stream is dead, so ordering is
+// vacuous); no new enqueue can start (Bind's recheck refuses draining
+// slots), so Ops.Drain under mu is the lane's only producer and the
+// values move as ordinary queue traffic — once out, once in.
+func (d *Dir[L]) drainRetireLocked() {
+	v := d.cur.Load()
+	if len(v.draining) == 0 {
+		return
+	}
+	target := v.active[0].lane
+	var kept, retired []*Slot[L]
+	for _, s := range v.draining {
+		if s.binds.Load() != 0 {
+			kept = append(kept, s)
+			continue
+		}
+		drained := d.ops.Drained(s.lane)
+		if !drained && d.ops.Drain != nil {
+			drained = d.ops.Drain(s.lane, target)
+		}
+		if !drained {
+			kept = append(kept, s)
+			continue
+		}
+		retired = append(retired, s)
+	}
+	if len(retired) == 0 {
+		return
+	}
+	d.publishLocked(v, v.active, kept)
+	for _, s := range retired {
+		lane := s.lane
+		if failpoint.Enabled {
+			// Lane unpublished, hazard retire pending: stealers that
+			// protected it pre-unpublish may still be dequeuing.
+			failpoint.Inject(failpoint.LanedirRetire)
+		}
+		d.dom.Retire(govTid, d.ops.Ptr(lane), func(unsafe.Pointer) {
+			// Runs under mu: every Retire/Scan on govTid's set holds it.
+			d.standbyPutLocked(lane)
+		})
+	}
+}
+
+func (d *Dir[L]) standbyPutLocked(lane L) {
+	if d.closed || len(d.standby) >= d.standbyCap {
+		return // dropped; the GC owns it now
+	}
+	if d.ops.Recycle != nil {
+		d.ops.Recycle(lane)
+	}
+	d.standby = append(d.standby, lane)
+}
+
+// governLocked is one resize decision from the sampled window: the
+// contention delta across the active lanes plus the front-end's
+// flushed events, rated against the window's op count.
+func (d *Dir[L]) governLocked() {
+	v := d.cur.Load()
+	total := int64(d.events.Load())
+	for _, s := range v.active {
+		if d.ops.Contention != nil {
+			total += int64(d.ops.Contention(s.lane))
+		}
+	}
+	delta := total - d.lastEvents
+	d.lastEvents = total
+	if delta < 0 {
+		return // lane set changed under the baseline; re-anchor only
+	}
+	w := len(v.active)
+	window := int64(d.sampleOps)
+	steals := int64(d.steals.Swap(0))
+	switch {
+	case delta > window>>growShift && w < d.max:
+		d.calm = 0
+		n := w * 2
+		if n > d.max {
+			n = d.max
+		}
+		_ = d.resizeLocked(n)
+	case delta < window>>calmShift && w > d.min:
+		// Calm window. High steal traffic (consumers fed mostly by
+		// foreign lanes) marks over-striping and shrinks immediately;
+		// plain calm waits out calmWindows samples first.
+		d.calm++
+		if d.calm >= calmWindows || steals > window>>2 {
+			d.calm = 0
+			n := w / 2
+			if n < d.min {
+				n = d.min
+			}
+			_ = d.resizeLocked(n)
+		}
+	default:
+		d.calm = 0
+	}
+}
+
+// Close stops all future maintenance and applies f to every lane still
+// in the directory (active and draining). Standby lanes are dropped.
+// The mutex acquisition orders Close after any in-flight drain pass,
+// so a residual handoff never races lane teardown.
+func (d *Dir[L]) Close(f func(L)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, s := range d.cur.Load().slots {
+		f(s.lane)
+	}
+	d.standby = nil
+}

@@ -46,6 +46,22 @@ type BatchQueue interface {
 	DequeueBatch(h Handle, out []uint64) int
 }
 
+// Resizable is the optional elastic extension (DESIGN.md §13): queues
+// whose parallelism degree can be changed online implement it (the
+// striped wCQ front-ends, whose lane directory grows and shrinks under
+// a contention governor). The stress harness type-asserts for it to
+// drive concurrent resizes, and the elastic benchmarks use it to pin
+// or sweep the lane count.
+type Resizable interface {
+	Queue
+	// Resize sets the parallelism degree (lane count) to n ≥ 1. The
+	// transition is online: concurrent operations keep their ordering
+	// guarantees and no value is lost or duplicated.
+	Resize(n int) error
+	// Lanes returns the current active lane count.
+	Lanes() int
+}
+
 // BlockingQueue is the optional blocking extension (DESIGN.md §10):
 // queues with parking waits and close/drain semantics implement it
 // (the wCQ family). The blocking conformance suite and the wcqstress

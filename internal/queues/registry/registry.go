@@ -33,9 +33,13 @@ type Config struct {
 	RingOrder uint
 	// EmulatedFAA builds the wCQ/SCQ LL/SC variants (Fig. 12).
 	EmulatedFAA bool
-	// Stripes sets the lane count of the wCQ-Striped build. Zero
-	// selects 4.
+	// Stripes sets the initial lane count of the striped builds. Zero
+	// selects 4. The elastic builds then float within the directory's
+	// lane bounds unless FixedLanes is set.
 	Stripes int
+	// FixedLanes disables the striped builds' resize governor, pinning
+	// the lane count at Stripes (wcq.WithFixedLanes).
+	FixedLanes bool
 	// PoolSize sets the wCQ-Unbounded ring-pool capacity. Zero selects
 	// the package default.
 	PoolSize int
@@ -188,7 +192,28 @@ var builders = map[string]func(Config) (queueiface.Queue, error){
 		if err != nil {
 			return nil, err
 		}
-		return &stripedAdapter{q: q}, nil
+		return &stripedAdapter{q: q, fixed: c.FixedLanes}, nil
+	},
+	// wCQ-Striped-Fixed pins the lane directory at the configured
+	// stripe count (governor off) — the pre-elastic behavior, kept
+	// under the full suites and as the baseline the elastic benchmark
+	// gate compares against.
+	"wCQ-Striped-Fixed": func(c Config) (queueiface.Queue, error) {
+		c.FixedLanes = true
+		q, err := wcq.NewStriped[uint64](c.ringOrder(), c.stripes(), stripedOpts(c)...)
+		if err != nil {
+			return nil, err
+		}
+		return &stripedAdapter{q: q, fixed: true}, nil
+	},
+	// wCQ-Direct-Striped rides the same elastic lane directory with
+	// direct-value lanes (DESIGN.md §11, §13).
+	"wCQ-Direct-Striped": func(c Config) (queueiface.Queue, error) {
+		q, err := wcq.NewDirectStripedOf[uint64](c.ringOrder(), c.stripes(), wcq.UintCodec(directValueBits), directOpts(c)...)
+		if err != nil {
+			return nil, err
+		}
+		return &directStripedAdapter{q: q}, nil
 	},
 	"wCQ-Unbounded": func(c Config) (queueiface.Queue, error) {
 		opts := stripedOpts(c)
@@ -325,6 +350,9 @@ func stripedOpts(c Config) []wcq.Option {
 	if c.HelpDelay > 0 {
 		opts = append(opts, wcq.WithHelpDelay(c.HelpDelay))
 	}
+	if c.FixedLanes {
+		opts = append(opts, wcq.WithFixedLanes())
+	}
 	return opts
 }
 
@@ -431,7 +459,8 @@ func (a *unboundedAdapter) RingStats() (hits, misses, drops uint64) {
 
 // stripedAdapter exposes wcq.Striped through queueiface.
 type stripedAdapter struct {
-	q *wcq.Striped[uint64]
+	q     *wcq.Striped[uint64]
+	fixed bool
 }
 
 func (a *stripedAdapter) Register() (queueiface.Handle, error) { return a.q.Register() }
@@ -450,16 +479,54 @@ func (a *stripedAdapter) EnqueueBatch(h queueiface.Handle, vs []uint64) int {
 func (a *stripedAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
 	return h.(*wcq.StripedHandle[uint64]).DequeueBatch(out)
 }
-func (a *stripedAdapter) Footprint() int64     { return a.q.Footprint() }
-func (a *stripedAdapter) Name() string         { return "wCQ-Striped" }
+func (a *stripedAdapter) Footprint() int64 { return a.q.Footprint() }
+func (a *stripedAdapter) Name() string {
+	if a.fixed {
+		return "wCQ-Striped-Fixed"
+	}
+	return "wCQ-Striped"
+}
 func (a *stripedAdapter) HandleHighWater() int { return a.q.HandleHighWater() }
 func (a *stripedAdapter) Close()               { a.q.Close() }
+
+// Resize and Lanes implement queueiface.Resizable.
+func (a *stripedAdapter) Resize(n int) error { return a.q.Resize(n) }
+func (a *stripedAdapter) Lanes() int         { return a.q.Stripes() }
 func (a *stripedAdapter) EnqueueWait(ctx context.Context, h queueiface.Handle, v uint64) error {
 	return h.(*wcq.StripedHandle[uint64]).EnqueueWait(ctx, v)
 }
 func (a *stripedAdapter) DequeueWait(ctx context.Context, h queueiface.Handle) (uint64, error) {
 	return h.(*wcq.StripedHandle[uint64]).DequeueWait(ctx)
 }
+
+// directStripedAdapter exposes wcq.DirectStriped through queueiface.
+type directStripedAdapter struct {
+	q *wcq.DirectStriped[uint64]
+}
+
+func (a *directStripedAdapter) Register() (queueiface.Handle, error) { return a.q.Register() }
+func (a *directStripedAdapter) Unregister(h queueiface.Handle) {
+	h.(*wcq.DirectStripedHandle[uint64]).Unregister()
+}
+func (a *directStripedAdapter) Enqueue(h queueiface.Handle, v uint64) bool {
+	return h.(*wcq.DirectStripedHandle[uint64]).Enqueue(v)
+}
+func (a *directStripedAdapter) Dequeue(h queueiface.Handle) (uint64, bool) {
+	return h.(*wcq.DirectStripedHandle[uint64]).Dequeue()
+}
+func (a *directStripedAdapter) EnqueueBatch(h queueiface.Handle, vs []uint64) int {
+	return h.(*wcq.DirectStripedHandle[uint64]).EnqueueBatch(vs)
+}
+func (a *directStripedAdapter) DequeueBatch(h queueiface.Handle, out []uint64) int {
+	return h.(*wcq.DirectStripedHandle[uint64]).DequeueBatch(out)
+}
+func (a *directStripedAdapter) Footprint() int64     { return a.q.Footprint() }
+func (a *directStripedAdapter) Name() string         { return "wCQ-Direct-Striped" }
+func (a *directStripedAdapter) HandleHighWater() int { return a.q.HandleHighWater() }
+
+// Resize and Lanes implement queueiface.Resizable.
+func (a *directStripedAdapter) Resize(n int) error { return a.q.Resize(n) }
+func (a *directStripedAdapter) Lanes() int         { return a.q.Stripes() }
 
 // scqAdapter exposes scq.Queue through queueiface.
 type scqAdapter struct {

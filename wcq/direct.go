@@ -39,10 +39,12 @@ package wcq
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"unsafe"
 
 	"wcqueue/internal/core"
+	"wcqueue/internal/lanedir"
 	"wcqueue/internal/unbounded"
 )
 
@@ -246,26 +248,41 @@ func (q *Direct[T]) MaxOps() uint64 { return q.r.MaxOps() }
 func (q *Direct[T]) Footprint() int64 { return q.r.Footprint() }
 
 // DirectStriped is the sharded front-end over W direct lanes: the
-// Striped design (DESIGN.md §7) with DirectRing lanes. FIFO per
+// Striped design (DESIGN.md §7, §13) with DirectRing lanes. FIFO per
 // handle, lock-free, roughly half the atomics of Striped per transfer.
-// Handles exist only to carry lane affinity (the lanes themselves are
-// handle-free), so registration is a mutex-guarded lane pick.
+// The lane set rides the same elastic directory as Striped — online
+// grow/shrink under the contention governor, FIFO-preserving handle
+// migration at the drained witness, exactly-once residual handoff —
+// with one direct-specific twist: a retired lane's ring is Reset on
+// its way to the standby pool, which RENEWS its MaxOps budget, so an
+// elastic DirectStriped sheds the per-lane budget exhaustion that a
+// fixed lane set eventually hits. Handles exist to carry lane affinity
+// and the hazard slot steals publish through (the lanes themselves are
+// handle-free).
 type DirectStriped[T any] struct {
-	lanes []*core.DirectRing
+	dir   *lanedir.Dir[*core.DirectRing]
 	codec Codec[T]
 	pool  handlePool[DirectStripedHandle[T]]
 
-	laneMu    sync.Mutex
-	freeLanes []int
-	nextLane  int
+	laneCap int
+	maxOps  uint64
 }
 
 // DirectStripedHandle pins a goroutine to a lane. Must not be shared
 // between concurrently running goroutines.
 type DirectStripedHandle[T any] struct {
-	s       *DirectStriped[T]
-	lane    int
-	scratch []uint64
+	s    *DirectStriped[T]
+	slot *lanedir.Slot[*core.DirectRing]
+	view *lanedir.View[*core.DirectRing]
+	tid  int
+	rot  uint
+	opn  uint32
+	evn  uint32
+	// migrating marks a handle whose lane is draining; see
+	// StripedHandle.resync for the FIFO-preserving migration rule,
+	// which is identical here.
+	migrating bool
+	scratch   []uint64
 }
 
 // NewDirectStriped creates a striped direct queue of `stripes` lanes
@@ -284,44 +301,105 @@ func NewDirectStripedOf[T any](order uint, stripes int, codec Codec[T], opts ...
 		return nil, err
 	}
 	c := buildConfig(opts)
-	s := &DirectStriped[T]{lanes: make([]*core.DirectRing, stripes), codec: codec}
-	for i := range s.lanes {
-		r, err := core.NewDirectRing(order, codec.Bits, c.core)
-		if err != nil {
-			return nil, fmt.Errorf("wcq: allocating direct stripe %d: %w", i, err)
-		}
-		s.lanes[i] = r
+	s := &DirectStriped[T]{codec: codec, laneCap: 1 << order}
+	laneOpts := lanedir.Ops[*core.DirectRing]{
+		New: func() (*core.DirectRing, error) {
+			return core.NewDirectRing(order, codec.Bits, c.core)
+		},
+		Drain:      s.drainLane,
+		Drained:    func(r *core.DirectRing) bool { return r.Drained() },
+		Contention: func(r *core.DirectRing) uint64 { return r.ContentionEvents() },
+		// Reset on the way to standby renews the ring's MaxOps budget:
+		// safe exactly here because the hazard scan has proven no
+		// reader holds the ring and the directory mutex excludes new
+		// ones (the same quiescence window unbounded's pool uses).
+		Recycle:    func(r *core.DirectRing) { r.Reset() },
+		Ptr:        func(r *core.DirectRing) unsafe.Pointer { return unsafe.Pointer(r) },
+		OnMaintain: s.evictStale,
 	}
+	dir, err := lanedir.New(laneOpts, lanedirConfig(stripes, c))
+	if err != nil {
+		return nil, fmt.Errorf("wcq: %w", err)
+	}
+	s.dir = dir
+	s.maxOps = dir.View().Active()[0].Lane().MaxOps()
 	s.pool.init(s.Register, func(h *DirectStripedHandle[T]) { h.Unregister() })
 	return s, nil
 }
 
-// Register claims a handle pinned to a recycled or round-robin lane.
-func (s *DirectStriped[T]) Register() (*DirectStripedHandle[T], error) {
-	s.laneMu.Lock()
-	defer s.laneMu.Unlock()
-	var lane int
-	if n := len(s.freeLanes); n > 0 {
-		lane = s.freeLanes[n-1]
-		s.freeLanes = s.freeLanes[:n-1]
-	} else {
-		lane = s.nextLane % len(s.lanes)
-		s.nextLane++
+// drainLane is the directory's residual handoff for direct lanes; the
+// shape of Striped.drainLane plus one direct-only precondition. A
+// put-back into `from` (target full mid-batch) is an ordinary enqueue
+// and therefore spends `from`'s enforced MaxOps budget — on a
+// budget-exhausted ring it would fail forever and strand the values in
+// the buffer. So each round first checks that `from` retains enough
+// budget to re-admit a full batch and otherwise leaves the lane
+// draining: nothing is lost, consumers keep stealing from it, and
+// either their dequeues empty it (the Drained witness retires it) or
+// the next maintenance pass finds the budget freed. from has no
+// producers (binds are zero and nothing enqueues into foreign lanes),
+// so between the guard and the put-back the tail counter only moves by
+// our own re-admissions, which the guard already covers.
+func (s *DirectStriped[T]) drainLane(from, into *core.DirectRing) bool {
+	var buf [32]uint64
+	for {
+		if from.Tail()+uint64(len(buf)) > from.MaxOps() {
+			return false
+		}
+		n := from.DequeueBatch(buf[:])
+		if n == 0 {
+			return from.Drained()
+		}
+		m := into.EnqueueBatch(buf[:n])
+		if m < n {
+			rest := buf[m:n]
+			for len(rest) > 0 {
+				k := from.EnqueueBatch(rest)
+				rest = rest[k:]
+				if k == 0 {
+					runtime.Gosched()
+				}
+			}
+			return false
+		}
 	}
-	return &DirectStripedHandle[T]{s: s, lane: lane}, nil
 }
 
-// Unregister recycles the handle's lane assignment so churn cannot
-// skew lane occupancy.
+// evictStale sweeps parked implicit handles off draining lanes; see
+// Striped.evictStale.
+func (s *DirectStriped[T]) evictStale() {
+	s.pool.evict(func(h *DirectStripedHandle[T]) bool {
+		return h.slot.Draining()
+	})
+}
+
+// Register claims a handle bound to the least-bound active lane.
+func (s *DirectStriped[T]) Register() (*DirectStripedHandle[T], error) {
+	tid, err := s.dir.Register()
+	if err != nil {
+		return nil, err
+	}
+	slot := s.dir.Bind()
+	return &DirectStripedHandle[T]{s: s, slot: slot, view: s.dir.View(), tid: tid}, nil
+}
+
+// Unregister releases the handle's lane binding and binder tid.
 func (h *DirectStripedHandle[T]) Unregister() {
-	s := h.s
-	s.laneMu.Lock()
-	s.freeLanes = append(s.freeLanes, h.lane)
-	s.laneMu.Unlock()
+	h.s.dir.Unbind(h.slot)
+	h.s.dir.Release(h.tid)
 }
 
-// Lane returns the handle's lane affinity (test and telemetry hook).
-func (h *DirectStripedHandle[T]) Lane() int { return h.lane }
+// Lane returns the handle's lane binding as an index into the active
+// directory, or -1 while its lane is draining (test and telemetry
+// hook).
+func (h *DirectStripedHandle[T]) Lane() int {
+	for i, s := range h.s.dir.View().Active() {
+		if s == h.slot {
+			return i
+		}
+	}
+	return -1
+}
 
 func (h *DirectStripedHandle[T]) buf(k int) []uint64 {
 	if cap(h.scratch) < k {
@@ -330,27 +408,105 @@ func (h *DirectStripedHandle[T]) buf(k int) []uint64 {
 	return h.scratch[:k]
 }
 
+// pre is the per-operation resync gate; see StripedHandle.pre.
+func (h *DirectStripedHandle[T]) pre() {
+	if h.migrating || h.view != h.s.dir.View() {
+		h.resync()
+	}
+}
+
+// resync refreshes the handle after a directory change, migrating off
+// a draining lane only at its Drained witness — the FIFO-across-resize
+// rule of StripedHandle.resync, simpler here because direct lanes need
+// no per-lane registration.
+func (h *DirectStripedHandle[T]) resync() {
+	s := h.s
+	if h.slot.Draining() {
+		if !h.slot.Lane().Drained() {
+			h.migrating = true
+			h.view = s.dir.View()
+			return
+		}
+		ns := s.dir.Bind()
+		s.dir.Unbind(h.slot)
+		h.slot = ns
+		h.migrating = false
+	}
+	h.view = s.dir.View()
+}
+
+// tick is the handle-local op accounting; see StripedHandle.tick.
+func (h *DirectStripedHandle[T]) tick(contended bool) {
+	if contended {
+		h.evn++
+	}
+	h.opn++
+	if h.opn >= handleFlushOps {
+		s := h.s
+		if h.evn > 0 {
+			s.dir.NoteContention(uint64(h.evn))
+			h.evn = 0
+		}
+		n := uint64(h.opn)
+		h.opn = 0
+		s.dir.NoteOps(n)
+	}
+}
+
 // Enqueue inserts v into the handle's lane, returning false when that
-// lane is full (per-handle FIFO comes from staying on one lane).
+// lane is full or out of budget (per-handle FIFO comes from staying on
+// one lane). No hazard publication: the handle's bind keeps its lane
+// out of the retire path.
 func (h *DirectStripedHandle[T]) Enqueue(v T) bool {
-	return h.s.lanes[h.lane].Enqueue(h.s.codec.Encode(v))
+	h.pre()
+	ok := h.slot.Lane().Enqueue(h.s.codec.Encode(v))
+	h.tick(!ok)
+	return ok
 }
 
 // Dequeue removes a value, preferring the handle's own lane and
-// stealing from the others in ring order. As with Striped, the
-// lane-by-lane emptiness scan is advisory, not linearizable.
+// stealing from the others starting at a rotating lane (the same
+// starvation-avoidance rotation as Striped). Foreign lanes are
+// hazard-protected against concurrent retirement, with the directory
+// re-checked after each publication; see StripedHandle.steal. As with
+// Striped, the lane-by-lane emptiness scan is advisory, not
+// linearizable.
 func (h *DirectStripedHandle[T]) Dequeue() (v T, ok bool) {
 	s := h.s
-	w := len(s.lanes)
-	for i := 0; i < w; i++ {
-		l := h.lane + i
-		if l >= w {
-			l -= w
-		}
-		if u, ok := s.lanes[l].Dequeue(); ok {
-			return s.codec.Decode(u), true
-		}
+	h.pre()
+	if u, ok := h.slot.Lane().Dequeue(); ok {
+		h.tick(false)
+		return s.codec.Decode(u), true
 	}
+restart:
+	view := h.view
+	slots := view.Slots()
+	w := len(slots)
+	if w > 1 {
+		r := int(h.rot)
+		h.rot++
+		for i := 0; i < w; i++ {
+			c := slots[(r+i)%w]
+			if c == h.slot {
+				continue
+			}
+			lane := c.Lane()
+			s.dir.Protect(h.tid, lane)
+			if s.dir.View() != view {
+				s.dir.ClearHazard(h.tid)
+				h.resync()
+				goto restart
+			}
+			if u, ok := lane.Dequeue(); ok {
+				s.dir.ClearHazard(h.tid)
+				s.dir.NoteSteals(1)
+				h.tick(false)
+				return s.codec.Decode(u), true
+			}
+		}
+		s.dir.ClearHazard(h.tid)
+	}
+	h.tick(false)
 	return v, false
 }
 
@@ -360,33 +516,62 @@ func (h *DirectStripedHandle[T]) EnqueueBatch(vs []T) int {
 	if len(vs) == 0 {
 		return 0
 	}
+	h.pre()
 	buf := h.buf(len(vs))
 	for i, v := range vs {
 		buf[i] = h.s.codec.Encode(v)
 	}
-	return h.s.lanes[h.lane].EnqueueBatch(buf)
+	n := h.slot.Lane().EnqueueBatch(buf)
+	h.tick(n < len(vs))
+	return n
 }
 
 // DequeueBatch removes up to len(out) values, draining the handle's
-// own lane first and stealing the remainder.
+// own lane first and stealing the remainder (rotating start,
+// hazard-protected; see Dequeue).
 func (h *DirectStripedHandle[T]) DequeueBatch(out []T) int {
 	if len(out) == 0 {
 		return 0
 	}
 	s := h.s
+	h.pre()
 	buf := h.buf(len(out))
-	w, n := len(s.lanes), 0
-	for i := 0; i < w && n < len(out); i++ {
-		l := h.lane + i
-		if l >= w {
-			l -= w
-		}
-		m := s.lanes[l].DequeueBatch(buf[:len(out)-n])
-		for j := 0; j < m; j++ {
-			out[n] = s.codec.Decode(buf[j])
-			n++
-		}
+	n := 0
+	for j, m := 0, h.slot.Lane().DequeueBatch(buf); j < m; j++ {
+		out[n] = s.codec.Decode(buf[j])
+		n++
 	}
+restart:
+	view := h.view
+	slots := view.Slots()
+	w := len(slots)
+	if w > 1 && n < len(out) {
+		r := int(h.rot)
+		h.rot++
+		for i := 0; i < w && n < len(out); i++ {
+			c := slots[(r+i)%w]
+			if c == h.slot {
+				continue
+			}
+			lane := c.Lane()
+			s.dir.Protect(h.tid, lane)
+			if s.dir.View() != view {
+				s.dir.ClearHazard(h.tid)
+				h.resync()
+				goto restart
+			}
+			m := lane.DequeueBatch(buf[:len(out)-n])
+			if m > 0 {
+				s.dir.NoteSteals(uint64(m))
+			}
+			for j := 0; j < m; j++ {
+				out[n] = s.codec.Decode(buf[j])
+				n++
+			}
+		}
+		s.dir.ClearHazard(h.tid)
+	}
+	h.tick(false)
 	return n
 }
 
@@ -422,24 +607,46 @@ func (s *DirectStriped[T]) DequeueBatch(out []T) int {
 	return h.DequeueBatch(out)
 }
 
-// Stripes returns the lane count W.
-func (s *DirectStriped[T]) Stripes() int { return len(s.lanes) }
+// Stripes returns the current active lane count W.
+func (s *DirectStriped[T]) Stripes() int { return s.dir.Lanes() }
 
-// Cap returns the total capacity across all lanes.
-func (s *DirectStriped[T]) Cap() int { return len(s.lanes) * int(s.lanes[0].N()) }
+// DrainingLanes returns the lanes still draining toward retirement
+// after a shrink (telemetry and test hook).
+func (s *DirectStriped[T]) DrainingLanes() int { return s.dir.DrainingLanes() }
 
-// Footprint returns the live bytes across all lanes; constant.
+// Resize sets the active lane count to n (≥ 1); see Striped.Resize.
+// Because retired direct lanes are Reset on the way to standby, a
+// shrink-regrow cycle also renews their operation budgets.
+func (s *DirectStriped[T]) Resize(n int) error { return s.dir.Resize(n) }
+
+// Maintain runs one blocking directory maintenance pass; see
+// Striped.Maintain.
+func (s *DirectStriped[T]) Maintain() { s.dir.Maintain() }
+
+// Cap returns the total capacity across the active lanes.
+func (s *DirectStriped[T]) Cap() int { return s.dir.Lanes() * s.laneCap }
+
+// Footprint returns the live bytes across the directory's lanes
+// (active and draining); it moves with the lane count.
 func (s *DirectStriped[T]) Footprint() int64 {
 	var sum int64
-	for _, r := range s.lanes {
-		sum += r.Footprint()
+	for _, sl := range s.dir.View().Slots() {
+		sum += sl.Lane().Footprint()
 	}
 	return sum
 }
 
 // MaxOps returns the per-lane enforced operation budget; a lane that
-// exhausts it permanently reports full (see Direct.MaxOps).
-func (s *DirectStriped[T]) MaxOps() uint64 { return s.lanes[0].MaxOps() }
+// exhausts it reports full until the directory recycles it (see
+// Direct.MaxOps and Resize).
+func (s *DirectStriped[T]) MaxOps() uint64 { return s.maxOps }
+
+// LiveHandles returns the number of currently registered handles.
+func (s *DirectStriped[T]) LiveHandles() int { return s.dir.Binders() }
+
+// HandleHighWater returns the largest number of handles ever live at
+// once.
+func (s *DirectStriped[T]) HandleHighWater() int { return s.dir.BinderHighWater() }
 
 // DirectUnbounded is the unbounded direct-value queue: DirectRing
 // segments linked per Appendix A, with drained rings recycled through

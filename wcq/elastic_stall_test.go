@@ -1,0 +1,180 @@
+//go:build wcq_failpoints
+
+package wcq
+
+// Resize-stall robustness (DESIGN.md §13): a thread frozen in the
+// middle of a directory resize — at the publish CAS with the successor
+// view built, or between a lane's unpublish and its hazard retire —
+// must not block peer operations. The directory mutex is only ever
+// taken by maintenance (operations enter via TryLock and give up), so
+// a stalled maintainer may stall lane-count changes but never
+// throughput. Each cell freezes one thread at a lanedir site while
+// producers and consumers complete a fixed op quota, then releases the
+// stall and checks multiset integrity. wCQ-Striped is not a
+// stall-matrix shape (the matrix drives core sites), so this is the
+// dedicated cell for the lanedir windows.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"wcqueue/internal/check"
+	"wcqueue/internal/failpoint"
+)
+
+func TestResizeStallDoesNotBlockOperations(t *testing.T) {
+	cells := []struct {
+		name string
+		site failpoint.Site
+		// trigger drives the directory to the armed site from a
+		// dedicated maintenance goroutine.
+		trigger func(s *Striped[uint64])
+	}{
+		{
+			// Freeze between building the successor view and the
+			// publish CAS of a shrink.
+			name: "dir-publish",
+			site: failpoint.LanedirPublish,
+			trigger: func(s *Striped[uint64]) {
+				_ = s.Resize(2)
+			},
+		},
+		{
+			// Freeze after a retiring lane's unpublish, before its
+			// hazard retire: stealers that protected the lane earlier
+			// may still be dequeueing from it. The fifth lane has no
+			// bound handle (the four workers occupy lanes 0–3), so it
+			// is empty and bind-free — retirement is immediate.
+			name: "lane-retire",
+			site: failpoint.LanedirRetire,
+			trigger: func(s *Striped[uint64]) {
+				_ = s.Resize(4)
+				s.Maintain()
+			},
+		},
+	}
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) { runResizeStall(t, cell.site, cell.trigger) })
+	}
+}
+
+func runResizeStall(t *testing.T, site failpoint.Site, trigger func(*Striped[uint64])) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+
+	const producers, consumers = 2, 2
+	const quota = 2000
+	// Five lanes, four worker handles: lanes 0–3 get one bound handle
+	// each (least-bound binding), lane 4 stays bind-free — the
+	// immediately-retirable victim the lane-retire cell shrinks away.
+	s := MustStriped[uint64](8, 5, WithLaneBounds(1, 8))
+
+	// Register the workers BEFORE arming so their registration cannot
+	// trip the site.
+	phs := make([]*StripedHandle[uint64], producers)
+	chs := make([]*StripedHandle[uint64], consumers)
+	for i := range phs {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		phs[i] = h
+	}
+	for i := range chs {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		chs[i] = h
+	}
+
+	failpoint.Arm(site, failpoint.Action{Kind: failpoint.KindPark, Trips: 1})
+
+	maintDone := make(chan struct{})
+	go func() {
+		defer close(maintDone)
+		trigger(s)
+	}()
+
+	// Wait for the maintainer to freeze at the site.
+	deadline := time.Now().Add(10 * time.Second)
+	for failpoint.Parked(site) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if failpoint.Parked(site) == 0 {
+		failpoint.Release(site)
+		<-maintDone
+		t.Fatalf("maintenance never reached %v", site)
+	}
+
+	// With the maintainer frozen (holding the directory mutex), the
+	// full op quota must complete: operations never wait on
+	// maintenance.
+	streams := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int, h *StripedHandle[uint64]) {
+			defer wg.Done()
+			for seq := uint64(0); seq < quota; seq++ {
+				for !h.Enqueue(check.Encode(p, seq)) {
+					runtime.Gosched()
+				}
+			}
+		}(p, phs[p])
+	}
+	var consumed sync.WaitGroup
+	consumed.Add(producers * quota)
+	stop := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int, h *StripedHandle[uint64]) {
+			defer wg.Done()
+			var local []uint64
+			for {
+				select {
+				case <-stop:
+					streams[c] = local
+					return
+				default:
+				}
+				if v, ok := h.Dequeue(); ok {
+					local = append(local, v)
+					consumed.Done()
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c, chs[c])
+	}
+	quotaDone := make(chan struct{})
+	go func() { consumed.Wait(); close(quotaDone) }()
+	select {
+	case <-quotaDone:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("op quota stalled behind the frozen maintainer at %v (parked=%d)",
+			site, failpoint.Parked(site))
+	}
+	close(stop)
+	wg.Wait()
+
+	// Thaw the maintainer and let retirement finish; every value must
+	// have been delivered exactly once.
+	failpoint.Release(site)
+	<-maintDone
+	for i := 0; i < 1000 && s.DrainingLanes() > 0; i++ {
+		s.Maintain()
+		runtime.Gosched()
+	}
+	if err := check.Verify(streams, producers, quota).Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range phs {
+		h.Unregister()
+	}
+	for _, h := range chs {
+		h.Unregister()
+	}
+}

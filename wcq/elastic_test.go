@@ -1,0 +1,396 @@
+package wcq
+
+// Elastic-striping behavior tests (DESIGN.md §13): per-handle FIFO
+// must survive online lane resizes, residuals of unregistered
+// producers must be handed off exactly once, the dequeue scan must
+// rotate its steal start, and the per-P implicit cache must not pin
+// draining lanes.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wcqueue/internal/check"
+)
+
+// drainAllDraining pumps maintenance until every draining lane has
+// retired, consuming through h to supply the Drained witness when
+// residual handoff alone cannot (e.g. a full target lane).
+func drainAllDraining[T any](t *testing.T, s *Striped[T], sink func()) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		if s.DrainingLanes() == 0 {
+			return
+		}
+		s.Maintain()
+		if sink != nil {
+			sink()
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("draining lanes never retired: %d left", s.DrainingLanes())
+}
+
+// TestElasticResizeBasics: manual grow and shrink move the active
+// count, capacity follows, and retired lanes leave no residue.
+func TestElasticResizeBasics(t *testing.T) {
+	s := MustStriped[int](6, 2, WithLaneBounds(1, 8))
+	if s.Stripes() != 2 {
+		t.Fatalf("Stripes() = %d", s.Stripes())
+	}
+	if err := s.Resize(6); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stripes() != 6 || s.Cap() != 6*64 {
+		t.Fatalf("after grow: Stripes()=%d Cap()=%d", s.Stripes(), s.Cap())
+	}
+	if err := s.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stripes() != 1 {
+		t.Fatalf("after shrink: Stripes()=%d", s.Stripes())
+	}
+	drainAllDraining(t, s, nil)
+	if err := s.Resize(0); err == nil {
+		t.Fatal("Resize(0) accepted")
+	}
+}
+
+// TestElasticPerHandleFIFOAcrossResizeChurn is the tentpole ordering
+// guarantee: with a resizer oscillating the lane count the whole run,
+// every producer's stream must still be dequeued in order, with no
+// loss and no duplication.
+func TestElasticPerHandleFIFOAcrossResizeChurn(t *testing.T) {
+	const producers, consumers = 4, 4
+	per := uint64(6000)
+	if testing.Short() {
+		per = 600
+	}
+	s := MustStriped[uint64](8, 2, WithLaneBounds(1, 8))
+	total := per * producers
+	streams := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(int(total))
+	stop := make(chan struct{})
+
+	// Resizer: sweep the lane count up and down while traffic runs.
+	var resizer sync.WaitGroup
+	resizer.Add(1)
+	go func() {
+		defer resizer.Done()
+		n := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n = n%8 + 1
+			_ = s.Resize(n)
+			s.Maintain()
+			runtime.Gosched()
+		}
+	}()
+
+	for c := 0; c < consumers; c++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *StripedHandle[uint64]) {
+			defer wg.Done()
+			defer h.Unregister()
+			budget := total / consumers
+			if c == 0 {
+				budget += total % consumers
+			}
+			local := make([]uint64, 0, budget)
+			for uint64(len(local)) < budget {
+				v, ok := h.Dequeue()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				consumed.Done()
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *StripedHandle[uint64]) {
+			defer wg.Done()
+			defer h.Unregister()
+			for seq := uint64(0); seq < per; seq++ {
+				for !h.Enqueue(check.Encode(p, seq)) {
+					runtime.Gosched()
+				}
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	consumed.Wait()
+	close(stop)
+	resizer.Wait()
+	if err := check.Verify(streams, producers, per).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElasticResidualDrainExactlyOnce: values left in a lane by a
+// producer that unregistered must migrate into a surviving lane during
+// retirement — each exactly once.
+func TestElasticResidualDrainExactlyOnce(t *testing.T) {
+	s := MustStriped[int](6, 4, WithLaneBounds(1, 8))
+	// Spread residuals over all four lanes through four handles, then
+	// abandon the streams.
+	const perLane = 10
+	for i := 0; i < 4; i++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < perLane; j++ {
+			if !h.Enqueue(i*100 + j) {
+				t.Fatalf("seed enqueue lane %d value %d failed", i, j)
+			}
+		}
+		h.Unregister()
+	}
+	if err := s.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	drainAllDraining(t, s, nil)
+	got := map[int]int{}
+	n := 0
+	for {
+		v, ok := s.Dequeue()
+		if !ok {
+			break
+		}
+		got[v]++
+		n++
+	}
+	if n != 4*perLane {
+		t.Fatalf("recovered %d values after retirement, want %d", n, 4*perLane)
+	}
+	for v, c := range got {
+		if c != 1 {
+			t.Fatalf("value %d recovered %d times", v, c)
+		}
+	}
+}
+
+// TestStripedDequeueScanRotates: the steal scan must start at a
+// rotating lane, not a fixed one, so consecutive scans spread first
+// service across lanes instead of always favoring the lane after the
+// consumer's.
+func TestStripedDequeueScanRotates(t *testing.T) {
+	s := MustStriped[int](6, 4, WithFixedLanes())
+	hs := make([]*StripedHandle[int], 4)
+	for i := range hs {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Unregister()
+		hs[i] = h
+	}
+	consumer := hs[0]
+	firstLanes := map[int]bool{}
+	for round := 0; round < 8; round++ {
+		// One value per foreign lane, tagged by owner.
+		for i := 1; i < 4; i++ {
+			if !hs[i].Enqueue(i) {
+				t.Fatalf("round %d: enqueue on lane %d failed", round, i)
+			}
+		}
+		v, ok := consumer.Dequeue()
+		if !ok {
+			t.Fatalf("round %d: steal failed", round)
+		}
+		firstLanes[v] = true
+		// Drain the rest so the next round starts clean.
+		for i := 0; i < 2; i++ {
+			if _, ok := consumer.Dequeue(); !ok {
+				t.Fatalf("round %d: drain failed", round)
+			}
+		}
+	}
+	if len(firstLanes) < 2 {
+		t.Fatalf("8 scans always stole from the same lane first (%v) — scan start is not rotating", firstLanes)
+	}
+}
+
+// TestElasticImplicitEvict: a parked per-P implicit handle bound to a
+// draining lane must be evicted by maintenance so the lane can retire.
+func TestElasticImplicitEvict(t *testing.T) {
+	s := MustStriped[int](6, 4, WithLaneBounds(1, 8))
+	// Occupy lanes 0..2 with explicit handles so the implicit borrow
+	// below binds the last lane — a shrink victim.
+	var pins []*StripedHandle[int]
+	for i := 0; i < 3; i++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pins = append(pins, h)
+	}
+	if !s.Enqueue(42) { // parks an implicit handle bound to lane 3
+		t.Fatal("implicit enqueue failed")
+	}
+	live := s.LiveHandles()
+	if live != 4 {
+		t.Fatalf("LiveHandles() = %d, want 4 (3 explicit + 1 parked implicit)", live)
+	}
+	if err := s.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range pins {
+		h.Unregister()
+	}
+	// Maintenance must evict the parked handle (its lane is draining),
+	// hand off the residual 42, and retire all three victim lanes.
+	drainAllDraining(t, s, nil)
+	if v, ok := s.Dequeue(); !ok || v != 42 {
+		t.Fatalf("residual after evict = (%d, %v), want (42, true)", v, ok)
+	}
+}
+
+// TestDirectElasticResizeChurn: the direct front-end rides the same
+// directory — multiset integrity and per-handle FIFO under resize
+// churn, plus budget renewal via lane recycling.
+func TestDirectElasticResizeChurn(t *testing.T) {
+	const producers, consumers = 2, 2
+	per := uint64(4000)
+	if testing.Short() {
+		per = 400
+	}
+	s, err := NewDirectStripedOf[uint64](8, 2, UintCodec(52), WithLaneBounds(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := per * producers
+	streams := make([][]uint64, consumers)
+	var done atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	var resizer sync.WaitGroup
+	resizer.Add(1)
+	go func() {
+		defer resizer.Done()
+		n := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n = n%4 + 1
+			_ = s.Resize(n)
+			s.Maintain()
+			runtime.Gosched()
+		}
+	}()
+
+	for c := 0; c < consumers; c++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *DirectStripedHandle[uint64]) {
+			defer wg.Done()
+			defer h.Unregister()
+			var local []uint64
+			for done.Load() < total {
+				v, ok := h.Dequeue()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				done.Add(1)
+			}
+			streams[c] = local
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *DirectStripedHandle[uint64]) {
+			defer wg.Done()
+			defer h.Unregister()
+			for seq := uint64(0); seq < per; seq++ {
+				for !h.Enqueue(check.Encode(p, seq)) {
+					runtime.Gosched()
+				}
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	close(stop)
+	resizer.Wait()
+	if err := check.Verify(streams, producers, per).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectElasticBudgetRenewal: a shrink-retire-regrow cycle Resets
+// retired rings, renewing their cycle-wrap budgets — the elastic
+// answer to the direct shapes' enforced MaxOps fail-stop.
+func TestDirectElasticBudgetRenewal(t *testing.T) {
+	s, err := NewDirectStripedOf[uint64](2, 2, UintCodec(52), WithLaneBounds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+	// Rings of 4 with a 52-bit payload have a tiny budget; burn most
+	// of one lane's budget with enqueue/dequeue pairs.
+	spent := uint64(0)
+	for spent < s.MaxOps()-4 {
+		if !h.Enqueue(1) {
+			break
+		}
+		if _, ok := h.Dequeue(); !ok {
+			t.Fatal("paired dequeue failed")
+		}
+		spent++
+	}
+	// Shrink away the OTHER lane and regrow: the recycled standby lane
+	// comes back with a renewed budget. (The handle's own lane still
+	// holds spent budget; what matters is that recycled lanes reset.)
+	if err := s.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000 && s.DrainingLanes() > 0; i++ {
+		s.Maintain()
+		runtime.Gosched()
+	}
+	if s.DrainingLanes() != 0 {
+		t.Fatalf("lane never retired (%d draining)", s.DrainingLanes())
+	}
+	if err := s.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stripes() != 2 {
+		t.Fatalf("Stripes() = %d after regrow", s.Stripes())
+	}
+}

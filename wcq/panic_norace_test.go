@@ -3,17 +3,18 @@
 package wcq
 
 // White-box proof that a panicking pooled operation RETURNS its
-// borrowed handle rather than leaking it. DirectStriped registration
-// is uncapped, so a leak would not fail any behavioral test — it
-// would just register a fresh handle next call. But registration is
-// observable: nextLane only advances when the pool cannot supply a
-// returned handle. With the collector off (so neither pool eviction
-// nor the leak-healing finalizer can interfere) hundreds of panicking
-// calls from one goroutine must keep reusing the same handle.
+// borrowed handle rather than leaking it. A leaked handle would not
+// fail any behavioral test — the next call would just register a
+// fresh one. But registration is observable through the directory's
+// binder count: with the collector off (so neither pool eviction nor
+// the leak-healing finalizer can interfere) hundreds of panicking
+// calls from one goroutine must keep reusing the same registered
+// handle, so LiveHandles must not grow.
 //
-// Excluded from race builds only because sync.Pool deliberately drops
-// a fraction of Puts under the race detector, which would advance
-// nextLane for reasons unrelated to the leak under test.
+// Excluded from race builds only because sync.Pool (the per-P cache's
+// oversubscription overflow) deliberately drops a fraction of Puts
+// under the race detector, which would register fresh handles for
+// reasons unrelated to the leak under test.
 
 import (
 	"runtime/debug"
@@ -27,11 +28,9 @@ func TestPooledHandleReturnedOnPanic(t *testing.T) {
 	}
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
-	// Prime the pool so the baseline is one registered handle.
+	// Prime the pool so the baseline includes the cached handle.
 	q.Enqueue(1)
-	q.laneMu.Lock()
-	base := q.nextLane
-	q.laneMu.Unlock()
+	base := q.LiveHandles()
 
 	for i := 0; i < 300; i++ {
 		func() {
@@ -44,14 +43,11 @@ func TestPooledHandleReturnedOnPanic(t *testing.T) {
 		}()
 	}
 
-	q.laneMu.Lock()
-	grew := q.nextLane - base
-	free := len(q.freeLanes)
-	q.laneMu.Unlock()
+	grew := q.LiveHandles() - base
 	// Zero growth is the expected outcome; a small allowance covers a
 	// stray runtime-internal pool shuffle, while a leak would register
 	// a new handle on every one of the 300 panicking calls.
 	if grew > 2 {
-		t.Fatalf("registered %d new handles across 300 panicking calls (freeLanes=%d) — panics are leaking pooled handles", grew, free)
+		t.Fatalf("registered %d new handles across 300 panicking calls — panics are leaking pooled handles", grew)
 	}
 }

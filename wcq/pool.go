@@ -5,6 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"wcqueue/internal/pad"
 )
 
 // ErrHandlesExhausted is returned (or carried by the panic of the
@@ -23,44 +27,137 @@ var ErrHandlesExhausted = errors.New("wcq: implicit handle unavailable: handle c
 const implicitRetries = 64
 
 // handlePool backs the handle-free ("implicit") methods of every queue
-// shape: a sync.Pool of registered handles, borrowed for the duration
-// of one call. sync.Pool's per-P caches make the steady-state acquire
-// a few nanoseconds with no shared contention, and its exclusivity
-// guarantee (an item is handed to at most one goroutine at a time)
-// provides exactly the reuse safety handles demand — a borrowed handle
-// is never shared between concurrently running goroutines.
+// shape: registered handles parked in per-P cache slots, borrowed for
+// the duration of one call (DESIGN.md §13). Each P owns one padded
+// slot indexed by procid(); borrowing is a single uncontended Swap on
+// the caller's own cache line, returning a single CAS. That replaces
+// the earlier sync.Pool backing for two reasons: the steady-state
+// acquire drops the pool's interface conversion and victim-cache
+// machinery from the hot path (the ~17% implicit-vs-explicit scalar
+// gap of BENCH_pr3), and — the part sync.Pool cannot provide — the
+// SAME P reliably gets the SAME handle back, so an implicit caller
+// keeps one stable lane affinity on the striped shapes and the
+// steal/rebalance rate collapses. A sync.Pool remains underneath as
+// the oversubscription overflow: when more goroutines run implicit
+// calls than there are Ps (shard occupied on put), handles spill there
+// and keep the old behavior.
 //
-// Registration leaks are closed by a finalizer: when the GC evicts a
-// pooled handle (sync.Pool sheds items across collection cycles), the
-// finalizer unregisters it, returning the slot to the free list. The
-// registration high-water mark therefore tracks peak concurrent use of
-// the implicit API, not its call count, and register/unregister storms
-// through the pool stay flat.
+// Exclusivity: Swap hands a parked handle to exactly one caller, and
+// put only re-parks via nil→h CAS, so a borrowed handle is never
+// shared between concurrently running goroutines — the handle
+// contract.
 //
-// Registration happens in get, not in sync.Pool.New: a New hook that
-// panics would throw from innocent-looking calls deep inside the
-// runtime's pool machinery. get instead reports cap exhaustion as an
-// error after a bounded retry, and each public method decides whether
-// to surface it as an error (the blocking/ctx variants) or as a
-// documented panic (the methods whose signatures predate Close).
+// Registration leaks are closed by a finalizer: when the GC evicts an
+// overflow handle (sync.Pool sheds items across collection cycles),
+// the finalizer unregisters it. Shard-parked handles are strongly
+// referenced and never collected; the striped front-end reclaims stale
+// ones through evict (its resize governor's maintenance hook), so a
+// parked handle cannot pin a draining lane forever. The registration
+// high-water mark therefore tracks peak concurrent use of the implicit
+// API, not its call count.
+//
+// Registration happens in get, not in a pool-new hook: get reports cap
+// exhaustion as an error after a bounded retry, and each public method
+// decides whether to surface it as an error (the blocking/ctx
+// variants) or as a documented panic (the methods whose signatures
+// predate Close).
 type handlePool[H any] struct {
-	p          sync.Pool
 	register   func() (*H, error)
 	unregister func(*H)
+	shards     []poolShard[H]
+	mask       int
+	// resident enables the zero-atomic fast path: each shard may hold a
+	// RESIDENT handle that is used in place while the caller holds the
+	// processor pin, rather than being swapped out and back (pinnedGet).
+	// Exclusivity comes from the pin itself — while pinned, no other
+	// goroutine can run on this P, and the resident is only ever touched
+	// by the goroutine pinned to its P — so the steady-state borrow is
+	// two plain atomic loads instead of two locked RMWs. Only shapes
+	// whose operations are bounded, non-yielding and panic-free between
+	// pin and unpin may enable this (Queue[T]: the core ring ops never
+	// block, never call Gosched, and allocate nothing after
+	// registration). The striped shapes keep the swap-borrow: their
+	// operations can run lane maintenance, which yields.
+	resident bool
+	overflow sync.Pool
 }
 
-// init wires the pool to a queue's register/unregister pair.
+// poolShard is one P's parking slot, padded so neighboring Ps never
+// share its cache line. v parks an exclusively-borrowed handle
+// (Swap out, CAS back); res holds the P's resident handle for the
+// pinned in-place path.
+type poolShard[H any] struct {
+	_   pad.Pad
+	v   atomic.Pointer[H]
+	res atomic.Pointer[H]
+	_   pad.Pad
+}
+
+// init wires the pool to a queue's register/unregister pair and sizes
+// the per-P shard array from GOMAXPROCS at construction (power of two
+// for mask indexing; later GOMAXPROCS growth folds onto existing
+// shards, which only costs sharing, never correctness).
 func (hp *handlePool[H]) init(register func() (*H, error), unregister func(*H)) {
 	hp.register = register
 	hp.unregister = unregister
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	hp.shards = make([]poolShard[H], n)
+	hp.mask = n - 1
 }
 
-// get borrows a pooled handle, registering a fresh one when the pool
-// is empty. At the handle cap it retries a bounded number of times
-// (yielding, so current borrowers can return theirs) and then reports
-// ErrHandlesExhausted.
+// pinnedGet claims the calling P's resident handle for ONE bounded
+// operation and returns with the processor pin HELD; the caller must
+// run the operation without yielding, blocking, or panicking, then
+// call pinnedRelease(sh). A nil shard means no resident path is
+// available (residency disabled, no resident installed yet, or the P
+// id exceeds the shard array after a GOMAXPROCS raise — folding two
+// Ps onto one shard would break the pin-exclusivity argument); fall
+// back to get/put. The fast path costs a pin, an atomic load and an
+// unpin — no locked RMW.
+func (hp *handlePool[H]) pinnedGet() (*H, *poolShard[H]) {
+	if !canPin || !hp.resident {
+		return nil, nil
+	}
+	pid := pinProc()
+	if pid > hp.mask {
+		unpinProc()
+		return nil, nil
+	}
+	sh := &hp.shards[pid]
+	h := sh.res.Load()
+	if h == nil {
+		unpinProc()
+		return nil, nil
+	}
+	// Happens-before from the previous operation's pinnedRelease on
+	// this shard (race builds only; real ordering comes from the
+	// runtime's P handoff, which every schedule crosses with barriers).
+	poolRaceAcquire(unsafe.Pointer(sh))
+	return h, sh
+}
+
+// pinnedRelease ends a pinnedGet section: publishes the operation's
+// effects on the resident handle to the next pinned user and drops the
+// processor pin. The resident stays in the shard.
+func (hp *handlePool[H]) pinnedRelease(sh *poolShard[H]) {
+	poolRaceRelease(unsafe.Pointer(sh))
+	unpinProc()
+}
+
+// get borrows an implicit handle: own P's shard, then the overflow
+// pool, then a fresh registration. At the handle cap it retries a
+// bounded number of times (yielding, so current borrowers can return
+// theirs) and then reports ErrHandlesExhausted. Resident handles are
+// never borrowed: a borrow is exclusive, and a resident may be in use
+// by a pinned peer.
 func (hp *handlePool[H]) get() (*H, error) {
-	if h, ok := hp.p.Get().(*H); ok && h != nil {
+	if h := hp.shards[procid()&hp.mask].v.Swap(nil); h != nil {
+		return h, nil
+	}
+	if h, ok := hp.overflow.Get().(*H); ok && h != nil {
 		return h, nil
 	}
 	var lastErr error
@@ -75,20 +172,23 @@ func (hp *handlePool[H]) get() (*H, error) {
 			break
 		}
 		if i == 7 || i == 23 {
-			// A slot can be pinned by a handle the pool already
-			// evicted but the GC has not yet finalized (sync.Pool
-			// sheds items across collection cycles — and deliberately
-			// drops Puts in race builds). Forcing a cycle lets the
-			// finalizer return such slots, making the retry loop
-			// self-healing rather than dependent on GC timing. Two
-			// cycles, because an evicted item spends one GC in the
+			// A slot can be pinned by a handle the overflow pool
+			// already evicted but the GC has not yet finalized
+			// (sync.Pool sheds items across collection cycles — and
+			// deliberately drops Puts in race builds). Forcing a cycle
+			// lets the finalizer return such slots, making the retry
+			// loop self-healing rather than dependent on GC timing.
+			// Two cycles, because an evicted item spends one GC in the
 			// pool's victim cache before becoming unreachable; capped
 			// at two so a caller looping on a genuinely pinned cap
 			// does not turn every failed call into a GC storm.
 			runtime.GC()
 		}
 		runtime.Gosched()
-		if h, ok := hp.p.Get().(*H); ok && h != nil {
+		if h := hp.shards[procid()&hp.mask].v.Swap(nil); h != nil {
+			return h, nil
+		}
+		if h, ok := hp.overflow.Get().(*H); ok && h != nil {
 			return h, nil
 		}
 	}
@@ -109,4 +209,49 @@ func (hp *handlePool[H]) mustGet() *H {
 	return h
 }
 
-func (hp *handlePool[H]) put(h *H) { hp.p.Put(h) }
+// put parks the handle in the caller's P shard; an occupied shard
+// (oversubscription: another goroutine on this P parked first) spills
+// to the overflow pool. With residency enabled, a P whose res slot is
+// empty promotes the returned handle to resident instead — from then
+// on this P's scalar ops take the pinned in-place path and the handle
+// never circulates again (strongly referenced by the shard, so its
+// finalizer never fires).
+func (hp *handlePool[H]) put(h *H) {
+	pid := procid()
+	sh := &hp.shards[pid&hp.mask]
+	if hp.resident && pid <= hp.mask && sh.res.CompareAndSwap(nil, h) {
+		return
+	}
+	if sh.v.CompareAndSwap(nil, h) {
+		return
+	}
+	hp.overflow.Put(h)
+}
+
+// evict sweeps the per-P shards and unregisters every parked handle
+// the predicate flags as stale. Only the exclusive parking slots are
+// swept: the pools that evict (the striped front-ends' governors) run
+// with residency disabled, so their res slots are always nil — and a
+// resident could not be unregistered synchronously anyway, since a
+// pinned peer may be mid-operation on it. The Swap transfers ownership to the
+// sweeper, so the unregister cannot race a borrower; the finalizer is
+// disarmed first so the GC cannot unregister the same handle again.
+// Fresh handles re-register on the next implicit call. The striped
+// front-ends run this from the resize governor so an idle parked
+// handle cannot keep a draining lane bound forever (DESIGN.md §13).
+func (hp *handlePool[H]) evict(stale func(*H) bool) {
+	for i := range hp.shards {
+		h := hp.shards[i].v.Swap(nil)
+		if h == nil {
+			continue
+		}
+		if stale(h) {
+			runtime.SetFinalizer(h, nil)
+			hp.unregister(h)
+			continue
+		}
+		if !hp.shards[i].v.CompareAndSwap(nil, h) {
+			hp.overflow.Put(h)
+		}
+	}
+}

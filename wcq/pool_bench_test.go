@@ -1,0 +1,48 @@
+package wcq
+
+import "testing"
+
+// Benchmarks isolating the implicit-handle borrow cost against the
+// explicit baseline (DESIGN.md §13, experiment D1's unit-level view).
+
+func BenchmarkExplicitPairwise(b *testing.B) {
+	q, err := New[uint64](16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Unregister()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Enqueue(1)
+		h.Dequeue()
+	}
+}
+
+func BenchmarkImplicitPairwise(b *testing.B) {
+	q, err := New[uint64](16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(1)
+		q.Dequeue()
+	}
+}
+
+// BenchmarkPoolGetPut measures the bare borrow/park cycle.
+func BenchmarkPoolGetPut(b *testing.B) {
+	q, err := New[uint64](16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := q.pool.mustGet()
+		q.pool.put(h)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !race
+
+package wcq
+
+import "unsafe"
+
+// No-op race annotations for the resident-handle fast path; see
+// pool_race.go for the race-build variants and the rationale.
+
+func poolRaceAcquire(unsafe.Pointer) {}
+
+func poolRaceRelease(unsafe.Pointer) {}

@@ -1,0 +1,20 @@
+//go:build race
+
+package wcq
+
+import (
+	"runtime"
+	"unsafe"
+)
+
+// Race-detector happens-before edges for the resident-handle fast path
+// (pool.go). Successive implicit operations on one P mutate the
+// resident handle's state with plain accesses; the processor pin
+// serializes them in reality, but the race detector cannot see
+// scheduler-level exclusion, so each operation brackets itself with an
+// acquire/release pair on its shard — exactly how sync.Pool annotates
+// its private slot. Compiled out of non-race builds (pool_norace.go).
+
+func poolRaceAcquire(p unsafe.Pointer) { runtime.RaceAcquire(p) }
+
+func poolRaceRelease(p unsafe.Pointer) { runtime.RaceReleaseMerge(p) }

@@ -1,0 +1,38 @@
+//go:build gc
+
+package wcq
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// The per-P implicit-handle cache (pool.go) shards by the id of the P
+// the calling goroutine runs on. procPin/procUnpin are the runtime's
+// own primitives for exactly this (sync.Pool's per-P caches sit on
+// them); the pin is released immediately, so the id is a HINT — the
+// goroutine may migrate before the shard access — never a correctness
+// input. A stale hint only sends the access to a colder shard.
+
+//go:linkname runtimeProcPin runtime.procPin
+func runtimeProcPin() int
+
+//go:linkname runtimeProcUnpin runtime.procUnpin
+func runtimeProcUnpin()
+
+// procid returns the current P's id as a shard hint.
+func procid() int {
+	p := runtimeProcPin()
+	runtimeProcUnpin()
+	return p
+}
+
+// canPin reports that the runtime supports holding the processor pin
+// across an operation — the resident-handle fast path's exclusivity
+// mechanism (pool.go). On the gc runtime pinProc/unpinProc bracket a
+// bounded, non-yielding section during which no other goroutine can
+// run on this P.
+const canPin = true
+
+func pinProc() int { return runtimeProcPin() }
+
+func unpinProc() { runtimeProcUnpin() }

@@ -1,0 +1,17 @@
+//go:build !gc
+
+package wcq
+
+// Without the gc runtime's procPin the per-P cache degrades to a
+// single shard; the overflow sync.Pool carries the load, which is the
+// pre-elastic behavior.
+func procid() int { return 0 }
+
+// Without procPin the resident-handle fast path cannot establish
+// exclusivity, so it is disabled entirely (pool.go checks canPin
+// before touching the pin).
+const canPin = false
+
+func pinProc() int { return 0 }
+
+func unpinProc() {}

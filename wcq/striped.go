@@ -4,49 +4,64 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"wcqueue/internal/core"
+	"wcqueue/internal/lanedir"
 	"wcqueue/internal/waitq"
 )
 
-// Striped is a sharded front-end over W independent wCQ rings
-// (DESIGN.md §7). Every handle is pinned to one stripe ("lane"):
-// enqueues always target the handle's own lane, dequeues scan all
-// lanes starting from it (work stealing), so the shared Tail/Head
-// fetch-and-add — the scalability bottleneck of a single ring — is
-// split W ways.
+// Striped is a sharded front-end over an elastic directory of
+// independent wCQ rings ("lanes", DESIGN.md §7, §13). Every handle is
+// bound to one lane: enqueues always target the handle's own lane,
+// dequeues try it first and then steal from the other lanes, so the
+// shared Tail/Head fetch-and-add — the scalability bottleneck of a
+// single ring — is split W ways.
+//
+// W is no longer fixed: the lane set lives in an atomically-published
+// directory (internal/lanedir) and a contention-feedback governor
+// grows and shrinks it online within WithLaneBounds — per-lane
+// entry-CAS failure counters and full-lane rejections push W up,
+// sustained calm (and steal-heavy scans) pull it down. Resizes are
+// invisible to the operation contract: a shrunk lane keeps serving
+// bound producers and dequeue scans while it drains, retires only once
+// unbound and empty (residuals from unregistered producers are handed
+// off to an active lane exactly once), and a handle migrates lanes
+// only between its own operations at its lane's drained witness — so
+// the per-handle FIFO guarantee below holds ACROSS resizes. Manual
+// Resize is available for tests and embedders; WithFixedLanes turns
+// the governor off.
 //
 // Ordering contract: Striped is NOT a single FIFO. It is FIFO per
 // handle — two values enqueued through the same handle are always
-// dequeued in order, because a handle's values live in one lane and
-// each lane is a wait-free FIFO. Values from different handles may
-// interleave arbitrarily, which is exactly the reordering a concurrent
-// single queue already exhibits between producers. The handle-free
-// methods borrow a pooled handle per call and therefore order only
-// within a call (a batch stays in order); workloads that need
-// per-goroutine order across calls should hold an explicit
-// StripedHandle, and those that need a single total order should use
-// Queue instead.
+// dequeued in (linearization) order: while the handle stays on one
+// lane its values share that lane's wait-free FIFO, and the handle
+// only ever leaves a lane after every value it enqueued there has been
+// claimed. Values from different handles may interleave arbitrarily,
+// which is exactly the reordering a concurrent single queue already
+// exhibits between producers. The handle-free methods borrow a per-P
+// cached handle, so on a steady P they order like an explicit handle;
+// goroutines that migrate Ps mid-stream (or need guaranteed
+// per-goroutine order) should hold an explicit StripedHandle, and
+// workloads that need a single total order should use Queue instead.
 //
-// Progress: every operation is wait-free (enqueue touches one lane;
-// dequeue does at most one wait-free Dequeue per lane per scan).
-// Enqueue returns false only when the handle's lane is full; Dequeue
-// returns false only after observing every lane empty — observations
-// taken lane by lane, not atomically, so false is advisory under
-// concurrent enqueues (see StripedHandle.Dequeue).
+// Progress: every operation is wait-free in a quiescent directory
+// (enqueue touches one lane; dequeue does at most one wait-free
+// Dequeue per lane per scan). A concurrent resize can force a steal
+// scan to restart, so formally operations are wait-free between
+// resizes and lock-free across them; the governor resizes at most
+// once per sampling window, and never while holding anything an
+// operation waits on. Enqueue returns false only when the handle's
+// lane is full; Dequeue returns false only after observing every lane
+// empty — observations taken lane by lane, not atomically, so false is
+// advisory under concurrent enqueues (see StripedHandle.Dequeue).
 type Striped[T any] struct {
-	lanes []*core.Queue[T]
-	pool  handlePool[StripedHandle[T]]
+	dir  *lanedir.Dir[*core.Queue[T]]
+	pool handlePool[StripedHandle[T]]
 
-	// Lane assignment. Fresh handles take recycled lanes LIFO before
-	// advancing the round-robin cursor: a monotone cursor alone skews
-	// occupancy under register/unregister churn (lanes whose handles
-	// left stay empty while the cursor piles new handles elsewhere).
-	laneMu    sync.Mutex
-	freeLanes []int
-	nextLane  int
+	laneCap int
+	maxOps  uint64
 
 	// Blocking layer (DESIGN.md §10). Waiters park at the striped
 	// level, not per lane: a blocked dequeuer must be woken by an
@@ -70,16 +85,40 @@ const (
 	stripedSealed
 )
 
+// handleFlushOps is how many handle-local operations accumulate before
+// a flush into the directory's sampling window — the governor's
+// heartbeat, amortized to one atomic Add per this many ops.
+const handleFlushOps = 256
+
 // StripedHandle is a registered per-goroutine token of a Striped
-// queue. It carries one underlying handle per lane plus the lane
-// affinity. Must not be shared between concurrently running
+// queue. It carries the lane binding, a cached directory view, and
+// lazily-registered per-lane core handles for the lanes its steals
+// have touched. Must not be shared between concurrently running
 // goroutines.
 type StripedHandle[T any] struct {
 	s    *Striped[T]
-	lane int
-	hs   []*core.Handle
+	slot *lanedir.Slot[*core.Queue[T]]
+	view *lanedir.View[*core.Queue[T]]
+	own  *core.Handle // registration on the bound lane
+	lhs  []laneHandle[T]
+	tid  int // lanedir binder tid: the hazard slot steals publish through
+	rot  uint
+	opn  uint32
+	evn  uint32
+	// migrating marks a handle whose lane is draining: it keeps
+	// enqueueing there (preserving its FIFO stream) and re-checks the
+	// drained witness every operation until it can rebind.
+	migrating bool
 	// w is the parking token for the blocking operations. Handle-local.
 	w *waitq.Waiter
+}
+
+// laneHandle caches one lane's core registration, keyed by lane
+// identity so directory churn (retire, standby, reactivation) never
+// invalidates it silently.
+type laneHandle[T any] struct {
+	lane *core.Queue[T]
+	h    *core.Handle
 }
 
 // waiter returns the handle's parking token, allocated on first use.
@@ -90,24 +129,67 @@ func (h *StripedHandle[T]) waiter() *waitq.Waiter {
 	return h.w
 }
 
-// NewStriped creates a striped queue of `stripes` independent lanes,
-// each holding up to 2^order values (total capacity: stripes·2^order).
-// Handles register dynamically, as with New.
+// NewStriped creates a striped queue starting at `stripes` lanes of up
+// to 2^order values each. The lane count then floats within
+// WithLaneBounds (default [1, max(stripes, GOMAXPROCS)]) under the
+// resize governor unless WithFixedLanes pins it. Handles register
+// dynamically, as with New.
 func NewStriped[T any](order uint, stripes int, opts ...Option) (*Striped[T], error) {
 	if stripes < 1 {
 		return nil, fmt.Errorf("wcq: stripes %d out of range [1, ∞)", stripes)
 	}
 	c := buildConfig(opts)
-	s := &Striped[T]{lanes: make([]*core.Queue[T], stripes)}
-	for i := range s.lanes {
-		q, err := core.NewQueue[T](order, c.core)
-		if err != nil {
-			return nil, fmt.Errorf("wcq: allocating stripe %d: %w", i, err)
-		}
-		s.lanes[i] = q
+	s := &Striped[T]{laneCap: 1 << order}
+	laneOpts := lanedir.Ops[*core.Queue[T]]{
+		New: func() (*core.Queue[T], error) {
+			return core.NewQueue[T](order, c.core)
+		},
+		Drain:      s.drainLane,
+		Drained:    func(q *core.Queue[T]) bool { return q.Drained() },
+		Contention: func(q *core.Queue[T]) uint64 { return q.ContentionEvents() },
+		Ptr:        func(q *core.Queue[T]) unsafe.Pointer { return unsafe.Pointer(q) },
+		OnMaintain: s.evictStale,
 	}
+	dir, err := lanedir.New(laneOpts, lanedirConfig(stripes, c))
+	if err != nil {
+		return nil, fmt.Errorf("wcq: %w", err)
+	}
+	s.dir = dir
+	s.maxOps = dir.View().Active()[0].Lane().MaxOps()
 	s.pool.init(s.Register, func(h *StripedHandle[T]) { h.Unregister() })
 	return s, nil
+}
+
+// lanedirConfig derives the directory sizing shared by Striped and
+// DirectStriped: bounds default to [1, max(stripes, GOMAXPROCS)], the
+// standby pool holds up to the max lane count, and the binder cap
+// follows WithMaxHandles.
+func lanedirConfig(stripes int, c config) lanedir.Config {
+	min, max := c.laneMin, c.laneMax
+	if min < 1 {
+		min = 1
+	}
+	if max < 1 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	if max < stripes {
+		max = stripes
+	}
+	if min > max {
+		min = max
+	}
+	binders := c.core.MaxHandles
+	if binders <= 0 {
+		binders = 1 << 16
+	}
+	return lanedir.Config{
+		Initial:    stripes,
+		Min:        min,
+		Max:        max,
+		Auto:       !c.fixedLanes,
+		StandbyCap: max,
+		MaxBinders: binders,
+	}
 }
 
 // MustStriped is NewStriped that panics on error.
@@ -119,86 +201,235 @@ func MustStriped[T any](order uint, stripes int, opts ...Option) *Striped[T] {
 	return s
 }
 
-// Stripes returns the lane count W.
-func (s *Striped[T]) Stripes() int { return len(s.lanes) }
-
-// Cap returns the total capacity across all lanes.
-func (s *Striped[T]) Cap() int { return len(s.lanes) * s.lanes[0].Cap() }
-
-// assignLane picks the affinity for a fresh handle: the most recently
-// recycled lane when one is free, else the next lane round-robin.
-func (s *Striped[T]) assignLane() int {
-	s.laneMu.Lock()
-	defer s.laneMu.Unlock()
-	if n := len(s.freeLanes); n > 0 {
-		l := s.freeLanes[n-1]
-		s.freeLanes = s.freeLanes[:n-1]
-		return l
+// drainLane is the directory's residual handoff (Ops.Drain): invoked
+// under the maintenance mutex on a draining lane with zero binds, so
+// this call is the lane's ONLY producer — concurrent stealers may
+// still dequeue, which only helps. Values that do not fit in the
+// target go back into `from` (whose capacity our own dequeues just
+// freed), so no value is ever lost; a false return parks the lane for
+// the next maintenance pass.
+func (s *Striped[T]) drainLane(from, into *core.Queue[T]) bool {
+	fh, err := from.Register()
+	if err != nil {
+		return false
 	}
-	l := s.nextLane % len(s.lanes)
-	s.nextLane++
-	return l
+	defer from.Unregister(fh)
+	ih, err := into.Register()
+	if err != nil {
+		return false
+	}
+	defer into.Unregister(ih)
+	var buf [32]T
+	for {
+		n := from.DequeueBatch(fh, buf[:])
+		if n == 0 {
+			return from.Drained()
+		}
+		m := into.EnqueueBatch(ih, buf[:n])
+		s.notEmpty.SignalN(m)
+		if m < n {
+			// Target full: put the remainder back. The put-back cannot
+			// fail permanently — we freed n ≥ n−m slots, nobody else
+			// enqueues here, and the lane is not closed (Close takes
+			// the same mutex this drain holds).
+			rest := buf[m:n]
+			for len(rest) > 0 {
+				k := from.EnqueueBatch(fh, rest)
+				rest = rest[k:]
+				if k == 0 {
+					runtime.Gosched()
+				}
+			}
+			return false
+		}
+	}
 }
 
-func (s *Striped[T]) releaseLane(l int) {
-	s.laneMu.Lock()
-	s.freeLanes = append(s.freeLanes, l)
-	s.laneMu.Unlock()
+// evictStale is the governor's per-P cache sweep (Ops.OnMaintain): a
+// parked implicit handle is the one binder that cannot migrate off a
+// draining lane on its own (it only runs during a borrow), so the
+// sweep unregisters any parked handle bound to a draining lane,
+// unpinning the lane; the next implicit call on that P registers
+// fresh against an active lane.
+func (s *Striped[T]) evictStale() {
+	s.pool.evict(func(h *StripedHandle[T]) bool {
+		return h.slot.Draining()
+	})
 }
 
-// Register claims a handle, registering it on every lane and pinning
-// it to a recycled or round-robin lane.
+// Register claims a handle bound to the least-bound active lane.
 func (s *Striped[T]) Register() (*StripedHandle[T], error) {
+	tid, err := s.dir.Register()
+	if err != nil {
+		return nil, err
+	}
+	slot := s.dir.Bind()
+	lh, err := slot.Lane().Register()
+	if err != nil {
+		s.dir.Unbind(slot)
+		s.dir.Release(tid)
+		return nil, err
+	}
 	h := &StripedHandle[T]{
 		s:    s,
-		lane: s.assignLane(),
-		hs:   make([]*core.Handle, len(s.lanes)),
-	}
-	for i, q := range s.lanes {
-		lh, err := q.Register()
-		if err != nil {
-			for j := 0; j < i; j++ {
-				s.lanes[j].Unregister(h.hs[j])
-			}
-			s.releaseLane(h.lane)
-			return nil, err
-		}
-		h.hs[i] = lh
+		slot: slot,
+		view: s.dir.View(),
+		own:  lh,
+		tid:  tid,
+		lhs:  []laneHandle[T]{{slot.Lane(), lh}},
 	}
 	return h, nil
 }
 
-// Unregister releases the handle's slot on every lane and recycles its
-// lane assignment, so churn cannot concentrate surviving handles on a
-// few lanes.
+// Unregister releases the handle's lane binding, its per-lane core
+// registrations, and its binder tid (hazard slots cleared).
 func (h *StripedHandle[T]) Unregister() {
-	for i, q := range h.s.lanes {
-		q.Unregister(h.hs[i])
+	for _, e := range h.lhs {
+		e.lane.Unregister(e.h)
 	}
-	h.s.releaseLane(h.lane)
+	h.lhs = nil
+	h.s.dir.Unbind(h.slot)
+	h.s.dir.Release(h.tid)
 }
 
-// Lane returns the handle's lane affinity (test and telemetry hook).
-func (h *StripedHandle[T]) Lane() int { return h.lane }
+// Lane returns the handle's current lane binding as an index into the
+// active directory, or -1 while its lane is draining (test and
+// telemetry hook).
+func (h *StripedHandle[T]) Lane() int {
+	for i, s := range h.s.dir.View().Active() {
+		if s == h.slot {
+			return i
+		}
+	}
+	return -1
+}
+
+// pre is the per-operation resync gate: one cached-pointer compare in
+// steady state. It runs every operation while migrating, because only
+// the drained witness — not a directory change — licenses the rebind.
+func (h *StripedHandle[T]) pre() {
+	if h.migrating || h.view != h.s.dir.View() {
+		h.resync()
+	}
+}
+
+// resync refreshes the handle after a directory change. The FIFO-
+// preserving migration rule lives here: a handle whose lane is
+// draining keeps enqueueing to it until the lane's Drained witness
+// fires — at that instant every value the handle ever enqueued there
+// has been claimed in linearization order, so rebinding to a fresh
+// lane cannot reorder its stream. Rebind and witness check both happen
+// between the handle's own operations, which is the contract the
+// directory's retire path depends on.
+func (h *StripedHandle[T]) resync() {
+	s := h.s
+	if h.slot.Draining() {
+		if !h.slot.Lane().Drained() {
+			h.migrating = true
+			h.view = s.dir.View()
+			return
+		}
+		ns := s.dir.Bind()
+		lh := h.laneHandle(ns.Lane())
+		if lh == nil {
+			// Could not register on the new lane (per-lane handle cap);
+			// stay on the draining lane — it remains fully functional —
+			// and retry at the next operation.
+			s.dir.Unbind(ns)
+			h.migrating = true
+			h.view = s.dir.View()
+			return
+		}
+		s.dir.Unbind(h.slot)
+		h.slot, h.own = ns, lh
+		h.migrating = false
+	}
+	v := s.dir.View()
+	h.view = v
+	h.prune(v)
+}
+
+// laneHandle returns the handle's registration on lane, registering on
+// first touch. Returns nil when the lane's handle cap is exhausted
+// (the caller skips that lane).
+func (h *StripedHandle[T]) laneHandle(lane *core.Queue[T]) *core.Handle {
+	for _, e := range h.lhs {
+		if e.lane == lane {
+			return e.h
+		}
+	}
+	lh, err := lane.Register()
+	if err != nil {
+		return nil
+	}
+	h.lhs = append(h.lhs, laneHandle[T]{lane, lh})
+	return lh
+}
+
+// prune drops registrations on lanes that left the directory (retired
+// to standby or dropped); a lane that returns later re-registers on
+// first touch.
+func (h *StripedHandle[T]) prune(v *lanedir.View[*core.Queue[T]]) {
+	kept := h.lhs[:0]
+	for _, e := range h.lhs {
+		if e.lane == h.slot.Lane() || v.Contains(e.lane) {
+			kept = append(kept, e)
+			continue
+		}
+		e.lane.Unregister(e.h)
+	}
+	for i := len(kept); i < len(h.lhs); i++ {
+		h.lhs[i] = laneHandle[T]{}
+	}
+	h.lhs = kept
+}
+
+// tick is the handle-local op accounting: flushed into the directory
+// every handleFlushOps operations, where it may trigger a governor
+// sample. contended marks full-lane rejections and entry collisions
+// the front-end itself observed.
+func (h *StripedHandle[T]) tick(contended bool) {
+	if contended {
+		h.evn++
+	}
+	h.opn++
+	if h.opn >= handleFlushOps {
+		s := h.s
+		if h.evn > 0 {
+			s.dir.NoteContention(uint64(h.evn))
+			h.evn = 0
+		}
+		n := uint64(h.opn)
+		h.opn = 0
+		s.dir.NoteOps(n)
+	}
+}
 
 // Enqueue inserts v into the handle's lane, returning false when that
 // lane is full or the queue is closed. Staying on one lane is what
 // preserves per-handle FIFO; callers that prefer load spilling over
-// ordering can Register several handles. Wait-free.
+// ordering can Register several handles. Wait-free; no hazard
+// publication — the handle's bind is what keeps its lane alive.
 func (h *StripedHandle[T]) Enqueue(v T) bool {
 	s := h.s
 	if s.state.Load() != stripedOpen {
 		return false // fail fast; the lane's own close check is the authority
 	}
-	ok := s.lanes[h.lane].Enqueue(h.hs[h.lane], v)
+	h.pre()
+	ok := h.slot.Lane().Enqueue(h.own, v)
 	if ok {
 		s.notEmpty.Signal()
 	}
+	h.tick(!ok)
 	return ok
 }
 
 // Dequeue removes a value, preferring the handle's own lane and
-// stealing from the others in ring order. Returns ok=false only after
+// stealing from the others starting at a rotating lane. The rotation
+// (advanced once per steal scan) is what keeps high-index lanes from
+// starving when consumers cluster on low indices: with a fixed
+// own-lane start, a lane just past a busy consumer's index could wait
+// behind every other lane on every scan. Returns ok=false only after
 // every lane reported empty during the scan. That scan is NOT a
 // linearizable emptiness check: the per-lane observations happen at
 // different instants, so a concurrent enqueue landing in a lane the
@@ -206,20 +437,60 @@ func (h *StripedHandle[T]) Enqueue(v T) bool {
 // queue was never globally empty at any single point in time. Callers
 // polling a striped queue must treat false as "probably empty" and
 // retry, exactly as they would with any work-stealing deque.
-// Wait-free.
+// Wait-free between resizes.
 func (h *StripedHandle[T]) Dequeue() (v T, ok bool) {
 	s := h.s
-	w := len(s.lanes)
-	for i := 0; i < w; i++ {
-		l := h.lane + i
-		if l >= w {
-			l -= w
-		}
-		if v, ok := s.lanes[l].Dequeue(h.hs[l]); ok {
-			s.notFull.Signal()
-			return v, true
-		}
+	h.pre()
+	if v, ok := h.slot.Lane().Dequeue(h.own); ok {
+		s.notFull.Signal()
+		h.tick(false)
+		return v, true
 	}
+	return h.steal()
+}
+
+// steal scans the foreign lanes (active and draining) for a value.
+// Each foreign lane is published in the handle's hazard slot before
+// use and the directory pointer re-checked after: an unchanged
+// directory proves the retire path's hazard scan will see the
+// publication, so the lane cannot be recycled mid-dequeue; a changed
+// one restarts the scan on the fresh view (DESIGN.md §13).
+func (h *StripedHandle[T]) steal() (v T, ok bool) {
+	s := h.s
+restart:
+	view := h.view
+	slots := view.Slots()
+	w := len(slots)
+	if w > 1 {
+		r := int(h.rot)
+		h.rot++
+		for i := 0; i < w; i++ {
+			c := slots[(r+i)%w]
+			if c == h.slot {
+				continue
+			}
+			lane := c.Lane()
+			s.dir.Protect(h.tid, lane)
+			if s.dir.View() != view {
+				s.dir.ClearHazard(h.tid)
+				h.resync()
+				goto restart
+			}
+			lh := h.laneHandle(lane)
+			if lh == nil {
+				continue
+			}
+			if vv, ok := lane.Dequeue(lh); ok {
+				s.dir.ClearHazard(h.tid)
+				s.notFull.Signal()
+				s.dir.NoteSteals(1)
+				h.tick(false)
+				return vv, true
+			}
+		}
+		s.dir.ClearHazard(h.tid)
+	}
+	h.tick(false)
 	return v, false
 }
 
@@ -231,25 +502,63 @@ func (h *StripedHandle[T]) EnqueueBatch(vs []T) int {
 	if s.state.Load() != stripedOpen {
 		return 0 // fail fast; the lane's own close check is the authority
 	}
-	n := s.lanes[h.lane].EnqueueBatch(h.hs[h.lane], vs)
+	h.pre()
+	n := h.slot.Lane().EnqueueBatch(h.own, vs)
 	s.notEmpty.SignalN(n)
+	h.tick(n < len(vs))
 	return n
 }
 
 // DequeueBatch removes up to len(out) values, draining the handle's
-// own lane first and stealing the remainder from the other lanes.
-// Returns how many were dequeued. Wait-free.
+// own lane first and stealing the remainder from the other lanes
+// (rotating start, hazard-protected; see Dequeue). Returns how many
+// were dequeued. Wait-free between resizes.
 func (h *StripedHandle[T]) DequeueBatch(out []T) int {
 	s := h.s
-	w, n := len(s.lanes), 0
-	for i := 0; i < w && n < len(out); i++ {
-		l := h.lane + i
-		if l >= w {
-			l -= w
-		}
-		n += s.lanes[l].DequeueBatch(h.hs[l], out[n:])
+	h.pre()
+	n := h.slot.Lane().DequeueBatch(h.own, out)
+	if n < len(out) {
+		n += h.stealBatch(out[n:])
 	}
 	s.notFull.SignalN(n)
+	h.tick(false)
+	return n
+}
+
+// stealBatch is steal for the batched path.
+func (h *StripedHandle[T]) stealBatch(out []T) int {
+	s := h.s
+	n := 0
+restart:
+	view := h.view
+	slots := view.Slots()
+	w := len(slots)
+	if w > 1 {
+		r := int(h.rot)
+		h.rot++
+		for i := 0; i < w && n < len(out); i++ {
+			c := slots[(r+i)%w]
+			if c == h.slot {
+				continue
+			}
+			lane := c.Lane()
+			s.dir.Protect(h.tid, lane)
+			if s.dir.View() != view {
+				s.dir.ClearHazard(h.tid)
+				h.resync()
+				goto restart
+			}
+			lh := h.laneHandle(lane)
+			if lh == nil {
+				continue
+			}
+			if k := lane.DequeueBatch(lh, out[n:]); k > 0 {
+				n += k
+				s.dir.NoteSteals(uint64(k))
+			}
+		}
+		s.dir.ClearHazard(h.tid)
+	}
 	return n
 }
 
@@ -348,8 +657,9 @@ func (h *StripedHandle[T]) DequeueWait(ctx context.Context) (T, error) {
 		if s.state.Load() == stripedSealed {
 			s.notEmpty.Cancel(w)
 			// One full scan after observing sealed is conclusive: no
-			// enqueue can land past the seal, so all-lanes-empty is
-			// now a stable property.
+			// enqueue can land past the seal, the directory is frozen
+			// (Close holds the maintenance mutex last), so
+			// all-lanes-empty is now a stable property.
 			if v, ok := h.Dequeue(); ok {
 				return v, nil
 			}
@@ -375,7 +685,10 @@ func (h *StripedHandle[T]) DequeueBlock() (T, error) {
 // in-flight enqueues is delegated to the lanes — closing each lane
 // quiesces its enqueuers (core's ActiveFlag protocol), so once every
 // lane is sealed, a full all-lanes-empty scan is conclusive and
-// stripedSealed is published. Idempotent.
+// stripedSealed is published. Closing the lanes goes through the
+// directory's Close, whose mutex orders it after any in-flight
+// residual drain and freezes the lane set permanently — no lane can
+// appear, retire, or be recycled after the seal. Idempotent.
 func (s *Striped[T]) Close() {
 	if !s.state.CompareAndSwap(stripedOpen, stripedClosing) {
 		for s.state.Load() != stripedSealed {
@@ -383,9 +696,7 @@ func (s *Striped[T]) Close() {
 		}
 		return
 	}
-	for _, q := range s.lanes {
-		q.Close()
-	}
+	s.dir.Close(func(q *core.Queue[T]) { q.Close() })
 	s.state.Store(stripedSealed)
 	s.notEmpty.Broadcast()
 	s.notFull.Broadcast()
@@ -394,8 +705,32 @@ func (s *Striped[T]) Close() {
 // Closed reports whether Close has been called.
 func (s *Striped[T]) Closed() bool { return s.state.Load() != stripedOpen }
 
-// Enqueue inserts v through a pooled handle, returning false when the
-// borrowed handle's lane is full or the queue is closed.
+// Stripes returns the current active lane count W.
+func (s *Striped[T]) Stripes() int { return s.dir.Lanes() }
+
+// DrainingLanes returns the lanes still draining toward retirement
+// after a shrink (telemetry and test hook).
+func (s *Striped[T]) DrainingLanes() int { return s.dir.DrainingLanes() }
+
+// Resize sets the active lane count to n (≥ 1), growing from the
+// retired-lane standby pool before allocating and shrinking by
+// draining lanes out through the retire protocol. With the governor
+// on (the default), a manual resize is a hint the governor may later
+// override. Returns an error on a closed queue.
+func (s *Striped[T]) Resize(n int) error { return s.dir.Resize(n) }
+
+// Maintain runs one blocking directory maintenance pass — residual
+// drains, retirement, per-P cache sweep, and (unless WithFixedLanes)
+// one governor decision. Operations pump this automatically every few
+// hundred ops; it is exported for tests and for embedders that want
+// deterministic housekeeping points.
+func (s *Striped[T]) Maintain() { s.dir.Maintain() }
+
+// Cap returns the total capacity across the active lanes.
+func (s *Striped[T]) Cap() int { return s.dir.Lanes() * s.laneCap }
+
+// Enqueue inserts v through a per-P cached handle, returning false
+// when the borrowed handle's lane is full or the queue is closed.
 func (s *Striped[T]) Enqueue(v T) bool {
 	h := s.pool.mustGet()
 	// Deferred so a panic inside the operation returns the borrowed
@@ -404,7 +739,7 @@ func (s *Striped[T]) Enqueue(v T) bool {
 	return h.Enqueue(v)
 }
 
-// Dequeue removes a value through a pooled handle, or returns
+// Dequeue removes a value through a per-P cached handle, or returns
 // ok=false after observing every lane empty.
 func (s *Striped[T]) Dequeue() (v T, ok bool) {
 	h := s.pool.mustGet()
@@ -412,26 +747,26 @@ func (s *Striped[T]) Dequeue() (v T, ok bool) {
 	return h.Dequeue()
 }
 
-// EnqueueBatch inserts up to len(vs) values through a pooled handle,
-// returning how many were inserted. The batch lands in one lane, in
-// order.
+// EnqueueBatch inserts up to len(vs) values through a per-P cached
+// handle, returning how many were inserted. The batch lands in one
+// lane, in order.
 func (s *Striped[T]) EnqueueBatch(vs []T) int {
 	h := s.pool.mustGet()
 	defer s.pool.put(h)
 	return h.EnqueueBatch(vs)
 }
 
-// DequeueBatch removes up to len(out) values through a pooled handle,
-// returning how many were dequeued.
+// DequeueBatch removes up to len(out) values through a per-P cached
+// handle, returning how many were dequeued.
 func (s *Striped[T]) DequeueBatch(out []T) int {
 	h := s.pool.mustGet()
 	defer s.pool.put(h)
 	return h.DequeueBatch(out)
 }
 
-// EnqueueWait inserts v through a pooled handle, blocking while the
-// borrowed handle's lane is full. Reports handle-cap exhaustion as an
-// error rather than panicking.
+// EnqueueWait inserts v through a per-P cached handle, blocking while
+// the borrowed handle's lane is full. Reports handle-cap exhaustion as
+// an error rather than panicking.
 func (s *Striped[T]) EnqueueWait(ctx context.Context, v T) error {
 	h, err := s.pool.get()
 	if err != nil {
@@ -441,8 +776,8 @@ func (s *Striped[T]) EnqueueWait(ctx context.Context, v T) error {
 	return h.EnqueueWait(ctx, v)
 }
 
-// DequeueWait removes a value through a pooled handle, blocking while
-// every lane is empty; see StripedHandle.DequeueWait.
+// DequeueWait removes a value through a per-P cached handle, blocking
+// while every lane is empty; see StripedHandle.DequeueWait.
 func (s *Striped[T]) DequeueWait(ctx context.Context) (T, error) {
 	h, err := s.pool.get()
 	if err != nil {
@@ -456,32 +791,36 @@ func (s *Striped[T]) DequeueWait(ctx context.Context) (T, error) {
 // DequeueBlock is DequeueWait without a deadline.
 func (s *Striped[T]) DequeueBlock() (T, error) { return s.DequeueWait(context.Background()) }
 
-// Footprint returns the live bytes across all lanes; it moves only
-// with the handle high-water mark.
+// Footprint returns the live bytes across the directory's lanes
+// (active and draining); it moves with the lane count and the handle
+// high-water mark.
 func (s *Striped[T]) Footprint() int64 {
 	var sum int64
-	for _, q := range s.lanes {
-		sum += q.Footprint()
+	for _, sl := range s.dir.View().Slots() {
+		sum += sl.Lane().Footprint()
 	}
 	return sum
 }
 
 // MaxOps returns the per-lane safe-operation bound (the binding limit,
 // since each lane counts its own operations).
-func (s *Striped[T]) MaxOps() uint64 { return s.lanes[0].MaxOps() }
+func (s *Striped[T]) MaxOps() uint64 { return s.maxOps }
 
-// LiveHandles returns the number of currently registered handles.
-func (s *Striped[T]) LiveHandles() int { return s.lanes[0].LiveHandles() }
+// LiveHandles returns the number of currently registered striped
+// handles (implicit ones included while cached).
+func (s *Striped[T]) LiveHandles() int { return s.dir.Binders() }
 
-// HandleHighWater returns the largest number of handles ever live at
-// once.
-func (s *Striped[T]) HandleHighWater() int { return s.lanes[0].HandleHighWater() }
+// HandleHighWater returns the largest number of striped handles ever
+// live at once.
+func (s *Striped[T]) HandleHighWater() int { return s.dir.BinderHighWater() }
 
-// Stats aggregates slow-path statistics across all lanes.
+// Stats aggregates slow-path statistics across the directory's lanes.
+// Retired lanes' counts leave with them; Stats is a rate probe, not a
+// lifetime ledger.
 func (s *Striped[T]) Stats() Stats {
 	var out Stats
-	for _, q := range s.lanes {
-		st := q.Stats()
+	for _, sl := range s.dir.View().Slots() {
+		st := sl.Lane().Stats()
 		out.SlowEnqueues += st.SlowEnqueues
 		out.SlowDequeues += st.SlowDequeues
 		out.Helps += st.Helps

@@ -86,14 +86,14 @@ func TestStripedLaneAffinityAndStealing(t *testing.T) {
 	}
 	lanes := map[int]int{}
 	for _, h := range hs {
-		lanes[h.lane]++
+		lanes[h.Lane()]++
 	}
 	if len(lanes) != 4 {
 		t.Fatalf("8 handles spread over %d lanes, want 4", len(lanes))
 	}
 	for l, n := range lanes {
 		if n != 2 {
-			t.Fatalf("lane %d has %d handles, want 2 (round-robin)", l, n)
+			t.Fatalf("lane %d has %d handles, want 2 (least-bound balancing)", l, n)
 		}
 	}
 	// Park one value on every lane, then drain it all from one handle.
@@ -118,15 +118,16 @@ func TestStripedLaneAffinityAndStealing(t *testing.T) {
 	}
 }
 
-// TestStripedLaneRecycling is the churn-skew regression test: lanes
-// released by Unregister must be handed to the next registrations, so
-// register/unregister storms keep occupancy balanced instead of
-// concentrating surviving handles on a few lanes.
+// TestStripedLaneRecycling is the churn-skew regression test: lane
+// binding follows live occupancy (least-bound active lane), so
+// register/unregister storms keep the surviving population balanced
+// instead of concentrating it on a few lanes.
 func TestStripedLaneRecycling(t *testing.T) {
 	const stripes = 4
-	s := MustStriped[int](6, stripes)
-	// Churn: register/unregister pairs must not advance lane
-	// assignment for the stable population that follows.
+	// Fixed lanes so the churn below exercises binding, not the governor.
+	s := MustStriped[int](6, stripes, WithFixedLanes())
+	// Churn: register/unregister pairs must not skew lane assignment
+	// for the stable population that follows.
 	for i := 0; i < 1000; i++ {
 		h, err := s.Register()
 		if err != nil {
@@ -142,22 +143,23 @@ func TestStripedLaneRecycling(t *testing.T) {
 			t.Fatal(err)
 		}
 		hs[i] = h
-		lanes[h.lane]++
+		lanes[h.Lane()]++
 	}
 	for l := 0; l < stripes; l++ {
 		if lanes[l] != 2 {
 			t.Fatalf("after churn, lane occupancy %v is skewed (lane %d has %d)", lanes, l, lanes[l])
 		}
 	}
-	// Interior release: the freed lane goes to the next registration.
-	freed := hs[3].lane
+	// Interior release: the freed lane is now least-bound, so the next
+	// registration lands on it.
+	freed := hs[3].Lane()
 	hs[3].Unregister()
 	h, err := s.Register()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.lane != freed {
-		t.Fatalf("recycled registration got lane %d, want freed lane %d", h.lane, freed)
+	if h.Lane() != freed {
+		t.Fatalf("recycled registration got lane %d, want freed lane %d", h.Lane(), freed)
 	}
 }
 
@@ -174,10 +176,10 @@ func TestStripedEnqueueFullLane(t *testing.T) {
 	if h.Enqueue(99) {
 		t.Fatal("full lane accepted a value")
 	}
-	// A second handle (next lane round-robin) still has room.
+	// A second handle (least-bound: the other lane) still has room.
 	h2, _ := s.Register()
-	if h2.lane == h.lane {
-		t.Fatal("round-robin assigned the same lane twice")
+	if h2.Lane() == h.Lane() {
+		t.Fatal("least-bound binding assigned the same lane twice")
 	}
 	if !h2.Enqueue(5) {
 		t.Fatal("other lane rejected a value")

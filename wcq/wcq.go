@@ -11,10 +11,15 @@
 //     rings are recycled through a bounded hazard-pointer-protected
 //     pool (WithRingPool), so steady-state ring hops allocate nothing
 //     and Footprint stays flat (DESIGN.md §8).
-//   - Striped[T]: a sharded front-end over W independent rings with
-//     per-handle lane affinity and work-stealing dequeues. FIFO per
-//     handle rather than globally, in exchange for throughput that
-//     scales past a single ring's fetch-and-add (DESIGN.md §7).
+//   - Striped[T]: the recommended default front-end — a sharded queue
+//     over an elastic directory of independent lanes with per-handle
+//     lane affinity and work-stealing dequeues. A contention-driven
+//     governor grows and shrinks the lane count online within
+//     WithLaneBounds, so it tracks the machine and the load without
+//     tuning (DESIGN.md §7, §13). FIFO per handle rather than
+//     globally, in exchange for throughput that scales past a single
+//     ring's fetch-and-add; use Queue[T] when a single total order is
+//     required.
 //   - The scq sibling package: the lock-free SCQ, for callers that
 //     prefer slightly higher throughput over wait-freedom.
 //
@@ -43,12 +48,17 @@
 //	h.Enqueue(req)
 //	v, ok := h.Dequeue()
 //
-// The handle-free methods borrow a registered handle from an internal
-// sync.Pool-backed cache per call, costing a few nanoseconds over the
-// explicit path; goroutines on a hot path should hold an explicit
-// Handle. Handles carry the per-thread helping state the wait-free
-// protocol requires and must not be shared between concurrently
-// running goroutines.
+// The handle-free methods use a registered handle from a per-P cache
+// per call (see pool.go), so the same P keeps the same handle — and
+// on the striped shapes the same lane — across calls. On Queue[T]
+// each P's handle is RESIDENT: the scalar ops pin the processor and
+// use it in place, so a handle-free call costs a pin and one atomic
+// load over the explicit path — within a few percent of an explicit
+// Handle. The other shapes borrow with a single Swap on the caller's
+// own cache line; goroutines on a hot path can still hold an
+// explicit Handle. Handles carry the per-thread helping state the
+// wait-free protocol requires and must not be shared between
+// concurrently running goroutines.
 //
 // All shapes also expose EnqueueBatch/DequeueBatch, which amortize
 // the ring reservation — one fetch-and-add per ring for a batch of k
@@ -94,6 +104,7 @@ package wcq
 
 import (
 	"context"
+	"unsafe"
 
 	"wcqueue/internal/core"
 )
@@ -107,8 +118,11 @@ var ErrClosed = core.ErrClosed
 // config collects every construction knob; core ring options plus the
 // shapes' own parameters.
 type config struct {
-	core     core.Options
-	ringPool int
+	core       core.Options
+	ringPool   int
+	laneMin    int
+	laneMax    int
+	fixedLanes bool
 }
 
 // Option configures queue construction.
@@ -152,6 +166,22 @@ func WithRingPool(n int) Option {
 	return func(c *config) { c.ringPool = n }
 }
 
+// WithLaneBounds sets the striped shapes' elastic lane bounds
+// [min, max] for the resize governor (DESIGN.md §13). Defaults: min 1,
+// max the larger of the constructed stripe count and GOMAXPROCS.
+// Ignored by the non-striped shapes.
+func WithLaneBounds(min, max int) Option {
+	return func(c *config) { c.laneMin, c.laneMax = min, max }
+}
+
+// WithFixedLanes disables the striped shapes' resize governor: the
+// lane count stays at construction (manual Resize still works). The
+// pre-elastic behavior, kept for benchmark baselines and workloads
+// with known-stable parallelism.
+func WithFixedLanes() Option {
+	return func(c *config) { c.fixedLanes = true }
+}
+
 func buildConfig(opts []Option) config {
 	var c config
 	for _, f := range opts {
@@ -188,6 +218,13 @@ func New[T any](order uint, opts ...Option) (*Queue[T], error) {
 	}
 	qq := &Queue[T]{q: q}
 	qq.pool.init(q.Register, q.Unregister)
+	// The core ring operations are bounded, never yield and cannot
+	// panic on a valid queue, so the implicit path may run them under
+	// the processor pin with a resident handle (pool.go) — the
+	// zero-RMW borrow that closes the implicit-vs-explicit gap
+	// (DESIGN.md §13). The striped shapes must not enable this: their
+	// operations can run lane maintenance, which yields.
+	qq.pool.resident = true
 	return qq, nil
 }
 
@@ -257,10 +294,29 @@ func (h *Handle[T]) DequeueBlock() (T, error) {
 // Panics with an error wrapping ErrHandlesExhausted if the handle cap
 // is pinned by explicit handles (see mustGet).
 func (q *Queue[T]) Enqueue(v T) bool {
+	// Resident fast path, open-coded (pinnedGet is a call too far at
+	// this op cost): the core op runs under the processor pin on this
+	// P's resident handle — no locked RMW, no defer. Safe without a
+	// deferred unpin because the indirect core ops cannot panic (no
+	// user codec runs here; full/empty report false). See pool.go for
+	// the exclusivity argument. Same on every scalar/batch path below.
+	if canPin && q.pool.resident {
+		if pid := pinProc(); pid <= q.pool.mask {
+			sh := &q.pool.shards[pid]
+			if h := sh.res.Load(); h != nil {
+				poolRaceAcquire(unsafe.Pointer(sh))
+				ok := q.q.Enqueue(h, v)
+				poolRaceRelease(unsafe.Pointer(sh))
+				unpinProc()
+				return ok
+			}
+		}
+		unpinProc()
+	}
 	h := q.pool.mustGet()
 	// Deferred so a panic inside the operation (a user codec, an
 	// out-of-range direct value) returns the borrowed handle instead
-	// of leaking it from the pool. Same on every pooled path below.
+	// of leaking it from the pool. Same on every borrowed path below.
 	defer q.pool.put(h)
 	return q.q.Enqueue(h, v)
 }
@@ -269,6 +325,19 @@ func (q *Queue[T]) Enqueue(v T) bool {
 // ok=false when the queue is empty. Panics with an error wrapping
 // ErrHandlesExhausted if the handle cap is pinned by explicit handles.
 func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	if canPin && q.pool.resident {
+		if pid := pinProc(); pid <= q.pool.mask {
+			sh := &q.pool.shards[pid]
+			if h := sh.res.Load(); h != nil {
+				poolRaceAcquire(unsafe.Pointer(sh))
+				v, ok = q.q.Dequeue(h)
+				poolRaceRelease(unsafe.Pointer(sh))
+				unpinProc()
+				return v, ok
+			}
+		}
+		unpinProc()
+	}
 	h := q.pool.mustGet()
 	defer q.pool.put(h)
 	return q.q.Dequeue(h)
@@ -277,14 +346,28 @@ func (q *Queue[T]) Dequeue() (v T, ok bool) {
 // EnqueueBatch inserts up to len(vs) values in order through a pooled
 // handle, returning how many were inserted.
 func (q *Queue[T]) EnqueueBatch(vs []T) int {
+	if h, sh := q.pool.pinnedGet(); sh != nil {
+		n := q.q.EnqueueBatch(h, vs)
+		q.pool.pinnedRelease(sh)
+		return n
+	}
 	h := q.pool.mustGet()
 	defer q.pool.put(h)
 	return q.q.EnqueueBatch(h, vs)
 }
 
+// The batch paths keep the pinnedGet/pinnedRelease helpers: a batch
+// amortizes the extra two calls over k operations, so open-coding
+// would buy nothing.
+
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order through a pooled handle, returning how many were dequeued.
 func (q *Queue[T]) DequeueBatch(out []T) int {
+	if h, sh := q.pool.pinnedGet(); sh != nil {
+		n := q.q.DequeueBatch(h, out)
+		q.pool.pinnedRelease(sh)
+		return n
+	}
 	h := q.pool.mustGet()
 	defer q.pool.put(h)
 	return q.q.DequeueBatch(h, out)
