@@ -101,6 +101,11 @@ type Result struct {
 	RingAllocs         uint64 `json:"ring_allocs,omitempty"`
 	RingRecycles       uint64 `json:"ring_recycles,omitempty"`
 	PeakFootprintBytes int64  `json:"peak_footprint_bytes,omitempty"`
+	// RatioToFAA is the contract-free FAA baseline's throughput divided
+	// by this point's, at the same thread count — the "gap to FAA" the
+	// G-series tracks (1.0 for FAA itself, annotated only on sweeps that
+	// include FAA).
+	RatioToFAA float64 `json:"ratio_to_faa,omitempty"`
 }
 
 // ringStatser is implemented by queues that recycle rings through a

@@ -107,6 +107,16 @@ var Experiments = []Experiment{
 		Workload: RegisterChurn, Queues: []string{"wCQ-Striped", "wCQ-Striped-Fixed"}},
 	{ID: "elastic-pairwise", Figure: "F1 (lane scaling: elastic governor vs pinned stripes, pairwise)",
 		Workload: Pairwise, Queues: []string{"wCQ-Striped", "wCQ-Striped-Fixed", "wCQ-Direct-Striped"}},
+	// PR 8 series (DESIGN.md §14): the handle-local diet — cached
+	// head/tail windows plus amortized threshold maintenance — measured
+	// as the remaining gap to the contract-free FAA baseline. The Eager
+	// shape is the ablation arm: the same direct ring driven through the
+	// handle-free eager entry points, so the wCQ-Direct delta over it is
+	// exactly the diet's contribution — and wCQ-Direct-Coalesce adds the
+	// coalescing window closing the remaining gap on same-handle
+	// produce-consume traffic.
+	{ID: "faa-gap", Figure: "G0 (gap to the FAA baseline: handle windows + amortized threshold vs eager, pairwise)",
+		Workload: Pairwise, Queues: []string{"FAA", "wCQ-Direct", "wCQ-Direct-Eager", "wCQ-Direct-Coalesce"}},
 }
 
 // batchQueues are the queues implementing queueiface.BatchQueue,
@@ -162,12 +172,22 @@ func RunExperiment(w io.Writer, e Experiment, opts RunOptions) ([]Result, error)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
 
+	hasFAA := false
+	for _, name := range e.Queues {
+		if name == "FAA" {
+			hasFAA = true
+		}
+	}
+
 	fmt.Fprintf(tw, "queue\tthreads\tMops/s\tCV\t")
 	if e.MeasureMemory {
 		fmt.Fprintf(tw, "footprint-MB\t")
 	}
 	if e.Workload == RingChurn {
 		fmt.Fprintf(tw, "ring-allocs\tring-recycles\tpeak-MB\t")
+	}
+	if hasFAA {
+		fmt.Fprintf(tw, "ratio-to-FAA\t")
 	}
 	fmt.Fprintln(tw)
 
@@ -176,6 +196,7 @@ func RunExperiment(w io.Writer, e Experiment, opts RunOptions) ([]Result, error)
 		ringOrder = e.RingOrder
 	}
 	var results []Result
+	faaMops := map[int]float64{} // per-thread-count baseline; FAA leads the legend
 	for _, name := range e.Queues {
 		for _, threads := range opts.Threads {
 			q, err := registry.New(name, registry.Config{
@@ -198,6 +219,14 @@ func RunExperiment(w io.Writer, e Experiment, opts RunOptions) ([]Result, error)
 			if err != nil {
 				return nil, fmt.Errorf("bench: running %s: %w", name, err)
 			}
+			if hasFAA {
+				if name == "FAA" {
+					faaMops[threads] = res.Mops
+				}
+				if base := faaMops[threads]; base > 0 && res.Mops > 0 {
+					res.RatioToFAA = base / res.Mops
+				}
+			}
 			results = append(results, res)
 			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.4f\t", res.QueueName, res.Threads, res.Mops, res.CV)
 			if e.MeasureMemory {
@@ -206,6 +235,9 @@ func RunExperiment(w io.Writer, e Experiment, opts RunOptions) ([]Result, error)
 			if e.Workload == RingChurn {
 				fmt.Fprintf(tw, "%d\t%d\t%.2f\t",
 					res.RingAllocs, res.RingRecycles, float64(res.PeakFootprintBytes)/(1<<20))
+			}
+			if hasFAA {
+				fmt.Fprintf(tw, "%.2f\t", res.RatioToFAA)
 			}
 			fmt.Fprintln(tw)
 		}

@@ -72,6 +72,18 @@ type DirectRing struct {
 	maxOps    uint64 // enqueue-admission budget; Enqueue fail-stops past it
 	hardCap   uint64 // no entry is ever written at a counter >= hardCap
 
+	// gen is the ring's recycle generation, bumped by Reset and
+	// ResetThreshold so DirectHandle caches (tail/head windows, deferred
+	// threshold decrements) from a previous ring life are dropped rather
+	// than leaked into the recycled ring (the lanedir standby pool and
+	// the unbounded hop both recycle rings under handles that survive
+	// the recycling). It lives on the read-mostly header line with the
+	// immutable geometry fields: every handle op loads it, but it is
+	// written only inside the recycle quiescence window, so the line
+	// stays in shared state and the load is a cache hit, not coherence
+	// traffic.
+	gen atomic.Uint64
+
 	threshold pad.Int64
 	tail      pad.Uint64 // counter; bit 63 is the finalize flag
 	head      pad.Uint64 // counter
@@ -187,14 +199,37 @@ func (r *DirectRing) Footprint() int64 { return int64(len(r.entries)) * 8 }
 func (r *DirectRing) Threshold() int64 { return r.threshold.Load() }
 
 // ResetThreshold restores the budget to 3n−1 (the unbounded layer's
-// pre-unlink re-arm, Appendix A line 59).
-func (r *DirectRing) ResetThreshold() { r.threshold.Store(r.thresh3n) }
+// pre-unlink re-arm, Appendix A line 59). Like Reset it bumps the
+// recycle generation: a handle that owes deferred threshold decrements
+// from before the re-arm must not flush that stale debt into the
+// renewed budget (DESIGN.md §14).
+func (r *DirectRing) ResetThreshold() {
+	r.gen.Add(1)
+	r.threshold.Store(r.thresh3n)
+}
+
+// Gen returns the recycle generation (see DirectHandle).
+func (r *DirectRing) Gen() uint64 { return r.gen.Load() }
 
 // Head and Tail expose the raw counters for tests and invariants.
 func (r *DirectRing) Head() uint64 { return r.head.Load() }
 
 // Tail returns the tail counter (finalize bit stripped).
 func (r *DirectRing) Tail() uint64 { return r.tail.Load() &^ atomicx.FinalizeBit }
+
+// ObservedEmpty reports whether the ring was provably empty at some
+// instant during the call — the license the wcq coalescing handles
+// need to eliminate an enqueue/dequeue pair without touching the ring.
+// The load order carries the proof: Head is read first, so at the
+// instant of the Tail load the head counter is at least the value
+// returned earlier (both counters are monotone), and tail <= head at
+// one instant means no value was logically inside the ring then. A
+// false negative (racing traffic) is always safe — callers fall back
+// to the ring path.
+func (r *DirectRing) ObservedEmpty() bool {
+	h := r.head.Load()
+	return r.tail.Load()&^atomicx.FinalizeBit <= h
+}
 
 // Finalize permanently closes the ring for enqueues; dequeues drain
 // what remains. An enqueue whose F&A precedes the OR may still land.
@@ -253,8 +288,15 @@ func (r *DirectRing) initEmpty() {
 // Reset returns the ring to its post-New empty state (finalize bit
 // cleared) without reallocating, for pool recycling. Same quiescence
 // contract as WCQ.Reset: no operation in flight, none until return —
-// the unbounded layer's hazard reclamation provides the window.
-func (r *DirectRing) Reset() { r.initEmpty() }
+// the unbounded layer's hazard reclamation provides the window. The
+// generation bump invalidates every DirectHandle cache built against
+// the previous life: a stale-high tailSeen would otherwise make the
+// recycled ring look budget-exhausted or full, and stale deferred
+// decrements would leak budget debt into the fresh threshold.
+func (r *DirectRing) Reset() {
+	r.gen.Add(1)
+	r.initEmpty()
+}
 
 // loadEntry is the diet-gated entry load; see WCQ.loadEntry for the
 // per-branch safety argument, which carries over unchanged (the direct
@@ -347,15 +389,23 @@ func (r *DirectRing) full(tailCnt uint64) bool {
 	return tailCnt >= h && tailCnt-h >= r.n
 }
 
+// CheckValue panics if v exceeds the ring's payload width — the same
+// validation every enqueue entry point performs, exported so deferred-
+// publish callers (the wcq coalescing handles) can raise the failure at
+// the call that supplied the value instead of at the later flush.
+func (r *DirectRing) CheckValue(v uint64) {
+	if v>>r.valBits != 0 {
+		panic(fmt.Sprintf("core: direct value %#x exceeds %d-bit payload", v, r.valBits))
+	}
+}
+
 // Enqueue inserts v, returning false when the ring is full, finalized,
 // or out of operation budget (tail counter past MaxOps — the op-count
 // tantrum; the unbounded layer turns this into a ring hop). Lock-free.
 // v must be <= MaxValue (the codec contract); out-of-range values
 // panic rather than corrupt the entry encoding.
 func (r *DirectRing) Enqueue(v uint64) bool {
-	if v>>r.valBits != 0 {
-		panic(fmt.Sprintf("core: direct value %#x exceeds %d-bit payload", v, r.valBits))
-	}
+	r.CheckValue(v)
 	for {
 		w := r.tail.Load()
 		if w&atomicx.FinalizeBit != 0 {
@@ -563,9 +613,7 @@ func (r *DirectRing) EnqueueBatch(vs []uint64) int {
 		return 0
 	}
 	for _, v := range vs {
-		if v>>r.valBits != 0 {
-			panic(fmt.Sprintf("core: direct value %#x exceeds %d-bit payload", v, r.valBits))
-		}
+		r.CheckValue(v)
 	}
 	w := r.tail.Load()
 	if w&atomicx.FinalizeBit != 0 {

@@ -1,0 +1,302 @@
+package core
+
+// This file puts the direct ring's hot path on a handle-local diet
+// (DESIGN.md §14). The handle-free Enqueue/Dequeue pay three shared
+// loads per pair that the contract-free FAA baseline does not: the
+// enqueuer's Tail pre-read and full()'s Head read, and the dequeuer's
+// threshold fast-exit read. All three answer questions a handle can
+// usually answer from values it has already seen:
+//
+//   - tailSeen is a monotone under-estimate of Tail — only values the
+//     tail counter actually held (the handle's own F&A results plus
+//     one, or fresh Tail loads). Because Tail is monotone,
+//     tailSeen >= maxOps is a CONCLUSIVE budget verdict with no load,
+//     and an occupancy bound computed from tailSeen can only
+//     over-state the distance Tail-Head, never under-state it.
+//   - headSeen is the same under-estimate of Head (own dequeue F&A
+//     results plus one, or fresh Head loads on a full-suspect).
+//
+// The full pre-check becomes: suspect full only when
+// tailSeen-headSeen >= n; since headSeen <= Head, the cached distance
+// over-estimates occupancy, so the suspect fires at or before real
+// occupancy n — the handle never admits past n without a fresh Head
+// read confirming occupancy < n, and a confirmed verdict
+// (tailSeen-Head >= n with Tail >= tailSeen) certifies a real instant
+// of >= n occupancy, so the full return stays linearizable. The empty
+// fast-exit becomes: skip the shared threshold read entirely while
+// headSeen < tailSeen (an insertion the handle itself witnessed has
+// not provably been consumed); the skip is sound because the fast-exit
+// is a pure optimization — deqAt's post-F&A checks stay authoritative.
+// After any DeqEmpty the window closes by construction (the empty
+// detection observed Tail <= h+1 = headSeen), restoring the cheap
+// threshold poll for empty-spinning consumers.
+//
+// Threshold decrements are amortized: a walk miss with values still
+// ahead owes one decrement, but instead of an immediate Add(-1) the
+// handle banks it and flushes the batch as one Add(-d) when the batch
+// reaches deferCap or when an eager implementation would have reached
+// the floor now (threshold - deferred <= -1). Deferral only leaves the
+// shared threshold HIGHER than the eager protocol would — it can delay
+// the empty fast-exit (costing bounded extra F&A walks, repaired by
+// catchup), never hasten it — so it cannot introduce a false empty.
+// Every flush that does reach the floor runs the same precise
+// Tail/Head re-verify as the PR 5 decayed-budget fix before concluding
+// anything, and every DeqEmpty this file returns rests on a precise
+// Tail <= h+1 observation. See DESIGN.md §14 for the staleness-bound
+// argument.
+
+import (
+	"wcqueue/internal/atomicx"
+	"wcqueue/internal/failpoint"
+)
+
+// maxDeferCap bounds a handle's banked threshold decrements. 64 keeps
+// the per-handle staleness far below the 3n-1 budget at useful orders
+// while amortizing the Add to under 2% of walk misses.
+const maxDeferCap = 64
+
+// DirectHandle caches a single caller's view of one DirectRing: the
+// head/tail windows and the deferred threshold decrements above. It is
+// NOT safe for concurrent use; each goroutine takes its own (the wcq
+// layer's Register does). A handle never makes the ring less safe —
+// every cached conclusion is either conservative or re-verified against
+// the shared counters — so handle-full and handle-free calls mix
+// freely on one ring.
+type DirectHandle struct {
+	r *DirectRing
+	// gen mirrors the ring's recycle generation; on mismatch (Reset or
+	// ResetThreshold happened) every cached field below is dropped.
+	gen      uint64
+	tailSeen uint64 // monotone under-estimate of the tail counter
+	headSeen uint64 // monotone under-estimate of the head counter
+	deferred int64  // threshold decrements owed but not yet flushed
+	deferCap int64
+}
+
+// NewHandle returns a fresh handle on r. The deferral cap is
+// min(64, max(1, n/4)): at tiny orders deferral degenerates to the
+// eager protocol rather than letting one handle bank a meaningful
+// fraction of the 3n-1 budget.
+func (r *DirectRing) NewHandle() *DirectHandle {
+	dc := int64(r.n / 4)
+	if dc < 1 {
+		dc = 1
+	}
+	if dc > maxDeferCap {
+		dc = maxDeferCap
+	}
+	return &DirectHandle{r: r, gen: r.gen.Load(), deferCap: dc}
+}
+
+// Ring returns the ring this handle operates on.
+func (h *DirectHandle) Ring() *DirectRing { return h.r }
+
+// Rebind points the handle at a different ring (lane migration, ring
+// hop), dropping every cached field. Pending deferred decrements are
+// abandoned, which is sound: dropping debt leaves the old ring's
+// threshold higher than eager, never lower.
+func (h *DirectHandle) Rebind(r *DirectRing) {
+	h.r = r
+	h.gen = r.gen.Load()
+	h.tailSeen, h.headSeen, h.deferred = 0, 0, 0
+}
+
+// sync drops the caches when the ring was recycled since the last op.
+func (h *DirectHandle) sync() {
+	if g := h.r.gen.Load(); g != h.gen {
+		h.gen = g
+		h.tailSeen, h.headSeen, h.deferred = 0, 0, 0
+	}
+}
+
+// Deferred returns the banked threshold decrements (tests).
+func (h *DirectHandle) Deferred() int64 { return h.deferred }
+
+// DeferCap returns the flush boundary k (tests).
+func (h *DirectHandle) DeferCap() int64 { return h.deferCap }
+
+// Enqueue inserts v through the cached-window fast path: no Tail
+// pre-read, no Head read unless the cached window suspects the ring is
+// full. Same contract as DirectRing.Enqueue, with one refinement: past
+// the MaxOps budget the reserved position is abandoned (enqAt's
+// hardCap discipline) rather than written, and the cached tailSeen
+// then short-circuits every later call with zero shared loads — a
+// handle burns at most one guard-band position, ever.
+func (h *DirectHandle) Enqueue(v uint64) bool {
+	r := h.r
+	r.CheckValue(v)
+	h.sync()
+	if h.tailSeen == 0 {
+		// Never-observed window (the counters start at 2n and only
+		// grow, so 0 is unreachable as a real observation). Seed it
+		// with one authoritative Tail read: without it the first op
+		// could pass the full-suspect check blind and admit into a
+		// full ring without ever loading Head — the handle-free path
+		// always pre-reads, and a fresh handle must not be laxer.
+		h.tailSeen = r.tail.Load() &^ atomicx.FinalizeBit
+	}
+	for {
+		if ts := h.tailSeen; ts >= h.headSeen && ts-h.headSeen >= r.n {
+			// Full-suspect. headSeen <= Head means the cached distance
+			// over-estimates occupancy, so refresh before concluding.
+			he := r.head.Load()
+			h.headSeen = he
+			if ts >= he && ts-he >= r.n {
+				// Tail >= tailSeen >= Head+n at the instant of the Head
+				// read: genuinely full, linearized there.
+				return false
+			}
+		}
+		if h.tailSeen >= r.maxOps {
+			return false // conclusive: Tail once held tailSeen and is monotone
+		}
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.DirectEnqAdmitted)
+		}
+		w := r.faaTail(1)
+		cnt := w &^ atomicx.FinalizeBit
+		h.tailSeen = cnt + 1
+		if w&atomicx.FinalizeBit != 0 {
+			return false
+		}
+		if cnt >= r.maxOps {
+			return false // budget exhausted: abandon the position, never write
+		}
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.DirectEnqReserved)
+		}
+		if r.enqAt(cnt, v) {
+			return true
+		}
+		// Lost the slot to a dequeuer's cycle stamp; the grown tailSeen
+		// re-runs the full-suspect check and we retry with a fresh
+		// position, exactly like the handle-free loop.
+	}
+}
+
+// Dequeue removes the oldest value through the cached-window fast
+// path: while headSeen < tailSeen the shared threshold fast-exit read
+// is skipped outright. Same contract as DirectRing.Dequeue.
+func (h *DirectHandle) Dequeue() (v uint64, ok bool) {
+	r := h.r
+	h.sync()
+	if h.headSeen >= h.tailSeen {
+		// Closed window: nothing provably inserted since our last
+		// observation, so fall back on the shared empty fast-exit.
+		// Flush banked decrements first so the budget read is precise
+		// at the decision point.
+		h.flushDeferred()
+		if !r.thresholdNonNegative() {
+			return 0, false
+		}
+		// Budget says non-empty: one Tail read re-opens the window so a
+		// draining run (pure consumer) pays it once per window, not per
+		// op.
+		if t := r.tail.Load() &^ atomicx.FinalizeBit; t > h.tailSeen {
+			h.tailSeen = t
+		}
+	}
+	for {
+		hd := r.faaHead(1)
+		h.headSeen = hd + 1
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.DirectDeqReserved)
+		}
+		v, st := h.deqAt(hd)
+		switch st {
+		case DeqOK:
+			return v, true
+		case DeqEmpty:
+			return 0, false
+		}
+	}
+}
+
+// flushDeferred settles the banked decrements in one Add. A flush that
+// reaches the floor runs the decayed-budget re-verify (the PR 5 fix):
+// values still ahead of Head mean the decay is stale debt, not
+// emptiness, so the budget is re-armed rather than left negative — the
+// threshold is never LEFT below zero while values are provably ahead,
+// which is the invariant the thresholdNonNegative fast-exit rests on.
+func (h *DirectHandle) flushDeferred() {
+	d := h.deferred
+	if d == 0 {
+		return
+	}
+	h.deferred = 0
+	r := h.r
+	if r.threshold.Add(-d) <= -1 {
+		t := r.tail.Load() &^ atomicx.FinalizeBit
+		if t > r.head.Load() {
+			r.threshold.Store(r.thresh3n)
+		}
+	}
+}
+
+// deqAt is deqAt with the handle's window refresh and amortized
+// threshold maintenance folded in. Reserved-position discipline,
+// entry automaton and empty detection are identical to the ring's.
+func (h *DirectHandle) deqAt(hd uint64) (uint64, DeqStatus) {
+	r := h.r
+	if hd >= r.hardCap {
+		return 0, DeqEmpty
+	}
+	j := r.remapPos(hd)
+	hcyc := r.cycleOf(hd)
+	for {
+		e := r.loadEntry(j)
+		f := r.entField(e)
+		if r.entCycle(e) == hcyc {
+			r.orEntry(j, r.bottomC)
+			return f, DeqOK
+		}
+		var nw uint64
+		if f == r.bottom || f == r.bottomC {
+			nw = r.pack(hcyc, r.entSafe(e), r.bottom)
+		} else {
+			nw = r.pack(r.entCycle(e), false, f)
+		}
+		if r.entCycle(e) < hcyc {
+			if !r.entries[j].CompareAndSwap(e, nw) {
+				r.contended.Add(1)
+				continue
+			}
+		}
+		// Empty detection — the Tail read it needs doubles as a free
+		// window refresh.
+		t := r.tail.Load() &^ atomicx.FinalizeBit
+		if t > h.tailSeen {
+			h.tailSeen = t
+		}
+		if t <= hd+1 {
+			r.catchup(t, hd+1)
+			// Precise empty: settle this walk's decrement together with
+			// the banked ones. No re-verify needed — Tail <= hd+1 was
+			// observed just now, so the empty conclusion stands on the
+			// counters, not on the budget.
+			r.threshold.Add(-(h.deferred + 1))
+			h.deferred = 0
+			return 0, DeqEmpty
+		}
+		// Miss with values still ahead: owe one decrement. Bank it, and
+		// flush when the batch reaches deferCap or when the eager
+		// protocol would be at the floor now.
+		h.deferred++
+		if h.deferred >= h.deferCap || r.threshold.Load()-h.deferred <= -1 {
+			d := h.deferred
+			h.deferred = 0
+			if r.threshold.Add(-d) <= -1 {
+				if failpoint.Enabled {
+					failpoint.Inject(failpoint.DirectBudgetDecay)
+				}
+				t := r.tail.Load() &^ atomicx.FinalizeBit
+				if t > hd+1 {
+					r.threshold.Store(r.thresh3n)
+					return 0, DeqRetry
+				}
+				return 0, DeqEmpty
+			}
+		}
+		return 0, DeqRetry
+	}
+}

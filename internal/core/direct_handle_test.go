@@ -1,0 +1,397 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestDirectHandleSequentialFIFO(t *testing.T) {
+	r := newDirect(t, 6, 52)
+	h := r.NewHandle()
+	const n = 1000 // spans many cycles of the 64-capacity ring
+	next, out := uint64(0), uint64(0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < (i%5)+1; j++ {
+			if h.Enqueue(next) {
+				next++
+			}
+		}
+		for j := 0; j < (i%3)+1 && out < next; j++ {
+			v, ok := h.Dequeue()
+			if !ok {
+				t.Fatalf("iter %d: empty with %d outstanding", i, next-out)
+			}
+			if v != out {
+				t.Fatalf("iter %d: got %d want %d", i, v, out)
+			}
+			out++
+		}
+	}
+	for out < next {
+		v, ok := h.Dequeue()
+		if !ok || v != out {
+			t.Fatalf("drain: got (%d,%v) want %d", v, ok, out)
+		}
+		out++
+	}
+	if v, ok := h.Dequeue(); ok {
+		t.Fatalf("drained ring yielded %d", v)
+	}
+}
+
+func TestDirectHandleFullDetection(t *testing.T) {
+	r := newDirect(t, 3, 16) // capacity 8
+	h := r.NewHandle()
+	for i := uint64(0); i < r.N(); i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("enqueue %d of %d rejected", i, r.N())
+		}
+	}
+	if h.Enqueue(99) {
+		t.Fatal("enqueue beyond capacity accepted")
+	}
+	// The cached window must not over-report full either: drain one,
+	// and the next enqueue has to land after refreshing headSeen.
+	if v, ok := h.Dequeue(); !ok || v != 0 {
+		t.Fatalf("dequeue got (%d,%v)", v, ok)
+	}
+	if !h.Enqueue(8) {
+		t.Fatal("enqueue after drain rejected")
+	}
+	if h.Enqueue(9) {
+		t.Fatal("refill overshot capacity")
+	}
+	for i := uint64(1); i <= 8; i++ {
+		if v, ok := h.Dequeue(); !ok || v != i {
+			t.Fatalf("drain got (%d,%v) want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDirectHandleMixesWithHandleFreeOps(t *testing.T) {
+	// Handle-full and handle-free calls on one ring must interleave
+	// freely: the handle's caches are under-estimates, never promises.
+	r := newDirect(t, 4, 32)
+	h := r.NewHandle()
+	for i := uint64(0); i < 6; i++ {
+		if i%2 == 0 {
+			if !h.Enqueue(i) {
+				t.Fatalf("handle enqueue %d rejected", i)
+			}
+		} else if !r.Enqueue(i) {
+			t.Fatalf("ring enqueue %d rejected", i)
+		}
+	}
+	for i := uint64(0); i < 6; i++ {
+		var v uint64
+		var ok bool
+		if i%2 == 1 {
+			v, ok = h.Dequeue()
+		} else {
+			v, ok = r.Dequeue()
+		}
+		if !ok || v != i {
+			t.Fatalf("dequeue %d got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestDirectHandleEmptyPollAfterDeqEmpty(t *testing.T) {
+	// After a DeqEmpty the window must close (headSeen >= tailSeen) so
+	// empty-spinning consumers fall back to the cheap threshold
+	// fast-exit instead of burning head positions with F&As.
+	r := newDirect(t, 4, 32)
+	h := r.NewHandle()
+	if !h.Enqueue(1) {
+		t.Fatal("enqueue rejected")
+	}
+	if v, ok := h.Dequeue(); !ok || v != 1 {
+		t.Fatalf("dequeue got (%d,%v)", v, ok)
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("empty ring yielded a value")
+	}
+	if h.headSeen < h.tailSeen {
+		t.Fatalf("window still open after DeqEmpty: headSeen=%d tailSeen=%d", h.headSeen, h.tailSeen)
+	}
+	head := r.Head()
+	for i := 0; i < 100; i++ {
+		if _, ok := h.Dequeue(); ok {
+			t.Fatal("empty ring yielded a value")
+		}
+	}
+	// Threshold decays below zero after the first full walk; from there
+	// every poll must exit on the threshold read without reserving.
+	if got := r.Head(); got > head+uint64(3*r.N()) {
+		t.Fatalf("empty polls burned %d head positions (threshold fast-exit not restored)", got-head)
+	}
+	// An enqueue re-arms the budget and the value is immediately
+	// observable through the same handle.
+	if !h.Enqueue(9) {
+		t.Fatal("enqueue rejected")
+	}
+	if v, ok := h.Dequeue(); !ok || v != 9 {
+		t.Fatalf("dequeue after decay got (%d,%v)", v, ok)
+	}
+}
+
+// TestDirectHandleDeferredFlushNoFalseEmpty is the ISSUE 8 flush-
+// boundary regression: a near-empty ring plus a handle holding
+// deferCap-1 banked decrements — the worst staleness the protocol
+// allows — must still deliver the remaining value, and the flush that
+// reaches the floor must re-arm the budget (values are ahead, so the
+// decay is stale debt, not emptiness).
+func TestDirectHandleDeferredFlushNoFalseEmpty(t *testing.T) {
+	r := newDirect(t, 8, 32) // n=256: deferCap = 64
+	h := r.NewHandle()
+	if h.DeferCap() != maxDeferCap {
+		t.Fatalf("deferCap = %d, want %d", h.DeferCap(), maxDeferCap)
+	}
+	if !r.Enqueue(7) {
+		t.Fatal("enqueue rejected")
+	}
+	// Decay the shared budget to the brink, as a storm of failed walks
+	// would, then hand the handle the maximum banked debt.
+	r.threshold.Store(1)
+	h.deferred = h.deferCap - 1
+	// The closed-window poll path flushes first: Add(-(k-1)) drives the
+	// budget to the floor, and the re-verify must re-arm it because a
+	// value is still ahead — then the dequeue must find that value.
+	h.headSeen, h.tailSeen = 1, 1 // force the closed-window path
+	if v, ok := h.Dequeue(); !ok || v != 7 {
+		t.Fatalf("dequeue with banked debt got (%d,%v), want (7,true)", v, ok)
+	}
+	if h.Deferred() != 0 {
+		t.Fatalf("deferred = %d after flush", h.Deferred())
+	}
+	if th := r.Threshold(); th < 0 {
+		t.Fatalf("threshold left at %d with the flush re-verify owed", th)
+	}
+}
+
+func TestDirectHandleDeferredFlushOnGenuinelyEmpty(t *testing.T) {
+	// The dual case: banked debt flushed over an empty ring must leave
+	// the fast-exit armed (threshold below zero) without wedging the
+	// ring — the next enqueue re-arms and is observable.
+	r := newDirect(t, 8, 32)
+	h := r.NewHandle()
+	r.threshold.Store(1)
+	h.deferred = 5
+	h.headSeen, h.tailSeen = 1, 1
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("empty ring yielded a value")
+	}
+	if h.Deferred() != 0 {
+		t.Fatalf("deferred = %d after flush", h.Deferred())
+	}
+	if !r.Enqueue(3) {
+		t.Fatal("enqueue rejected")
+	}
+	if v, ok := h.Dequeue(); !ok || v != 3 {
+		t.Fatalf("dequeue got (%d,%v), want (3,true)", v, ok)
+	}
+}
+
+// TestDirectHandleRecycleDropsDeferred is the ISSUE 8 satellite-6
+// regression: Reset and ResetThreshold bump the ring generation, so a
+// handle that owes decrements from the previous ring life must drop
+// that debt instead of flushing it into the recycled ring's fresh
+// budget (the lanedir standby pool recycles rings under live handles).
+func TestDirectHandleRecycleDropsDeferred(t *testing.T) {
+	r := newDirect(t, 8, 32)
+	h := r.NewHandle()
+
+	// ResetThreshold: stale debt must not dent the renewed 3n-1 budget.
+	h.deferred = 40
+	h.headSeen, h.tailSeen = 1, 1
+	r.ResetThreshold()
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("empty ring yielded a value")
+	}
+	// The poll's own walk costs exactly one decrement; the 40 banked
+	// ones belonged to the previous generation and must be gone.
+	if th, want := r.Threshold(), r.thresh3n-1; th != want {
+		t.Fatalf("threshold = %d after recycled poll, want %d (stale debt leaked)", th, want)
+	}
+
+	// Reset: stale-high windows must not make the fresh ring look full
+	// or budget-exhausted, and stale debt must not survive.
+	for i := uint64(0); i < r.N(); i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	h.deferred = 40
+	r.Reset()
+	if h.Deferred() != 40 {
+		t.Fatal("test setup: deferred cleared too early")
+	}
+	if !h.Enqueue(77) {
+		t.Fatal("enqueue on recycled ring rejected (stale window leaked)")
+	}
+	if h.Deferred() != 0 {
+		t.Fatalf("deferred = %d after recycle sync", h.Deferred())
+	}
+	if v, ok := h.Dequeue(); !ok || v != 77 {
+		t.Fatalf("dequeue on recycled ring got (%d,%v), want (77,true)", v, ok)
+	}
+}
+
+func TestDirectHandleOpBudgetFailStop(t *testing.T) {
+	// order 1, 52-bit payload: 10 cycle bits, maxOps = 512*4 = 2048.
+	r := newDirect(t, 1, 52)
+	h := r.NewHandle()
+	budget := r.MaxOps()
+	if budget == 0 || budget > 1<<20 {
+		t.Fatalf("test wants a small budget, got %d", budget)
+	}
+	moved := uint64(0)
+	for {
+		if !h.Enqueue(moved) {
+			break
+		}
+		if v, ok := h.Dequeue(); !ok || v != moved {
+			t.Fatalf("pairwise got (%d,%v) want %d", v, ok, moved)
+		}
+		moved++
+	}
+	if moved < budget/2-uint64(r.N()) {
+		t.Fatalf("fail-stop fired early: %d pairs of ~%d budget", moved, budget)
+	}
+	// Exhausted: the cached tailSeen short-circuits every later call.
+	if h.tailSeen < r.maxOps {
+		t.Fatalf("tailSeen = %d below maxOps %d after fail-stop", h.tailSeen, r.maxOps)
+	}
+	for i := 0; i < 100; i++ {
+		if h.Enqueue(1) {
+			t.Fatal("enqueue accepted past the op budget")
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("drained ring yielded a value")
+	}
+	// Reset renews the budget; the generation bump must clear the
+	// handle's conclusive fail-stop.
+	r.Reset()
+	if !h.Enqueue(5) {
+		t.Fatal("enqueue after Reset rejected (stale budget verdict leaked)")
+	}
+	if v, ok := h.Dequeue(); !ok || v != 5 {
+		t.Fatalf("dequeue after Reset got (%d,%v)", v, ok)
+	}
+}
+
+func TestDirectHandleFinalize(t *testing.T) {
+	r := newDirect(t, 4, 32)
+	h := r.NewHandle()
+	for i := uint64(0); i < 3; i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	r.Finalize()
+	if h.Enqueue(99) {
+		t.Fatal("enqueue accepted on finalized ring")
+	}
+	for i := uint64(0); i < 3; i++ {
+		if v, ok := h.Dequeue(); !ok || v != i {
+			t.Fatalf("drain got (%d,%v) want %d", v, ok, i)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("finalized empty ring yielded a value")
+	}
+}
+
+func TestDirectHandleRebind(t *testing.T) {
+	a := newDirect(t, 3, 32)
+	b := newDirect(t, 3, 32)
+	h := a.NewHandle()
+	for i := uint64(0); i < a.N(); i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	h.deferred = 2
+	h.Rebind(b)
+	if h.Ring() != b || h.Deferred() != 0 || h.tailSeen != 0 {
+		t.Fatal("Rebind did not drop cached state")
+	}
+	if !h.Enqueue(42) {
+		t.Fatal("enqueue on rebound ring rejected")
+	}
+	if v, ok := h.Dequeue(); !ok || v != 42 {
+		t.Fatalf("dequeue on rebound ring got (%d,%v)", v, ok)
+	}
+}
+
+// TestDirectHandleMPMC moves values through handle-owning producers and
+// consumers concurrently and checks the exact multiset plus
+// per-producer FIFO — the windows and the amortized threshold must not
+// lose, duplicate, or reorder values under contention. Mirrors
+// TestDirectRingMPMC's exact-count drain (every consumer retries until
+// its share arrives, so transient empties cannot end the run early).
+func TestDirectHandleMPMC(t *testing.T) {
+	r := newDirect(t, 8, 52)
+	const producers, consumers = 4, 4
+	per := uint64(20000)
+	if testing.Short() {
+		per = 2000
+	}
+	total := producers * per
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, total)
+	lastSeq := make([][]int64, consumers)
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		lastSeq[c] = make([]int64, producers)
+		for p := range lastSeq[c] {
+			lastSeq[c][p] = -1
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := r.NewHandle()
+			count := total / consumers
+			local := make([]uint64, 0, count)
+			for uint64(len(local)) < count {
+				v, ok := h.Dequeue()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, v := range local {
+				p, seq := int(v>>32), int64(v&0xFFFFFFFF)
+				if seen[v] {
+					t.Errorf("duplicate value %#x", v)
+				}
+				seen[v] = true
+				if seq <= lastSeq[c][p] {
+					t.Errorf("consumer %d: producer %d went backwards (%d after %d)", c, p, seq, lastSeq[c][p])
+				}
+				lastSeq[c][p] = seq
+			}
+		}(c)
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := r.NewHandle()
+			for s := uint64(0); s < per; s++ {
+				for !h.Enqueue(uint64(p)<<32 | s) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if uint64(len(seen)) != total {
+		t.Fatalf("saw %d distinct values, want %d", len(seen), total)
+	}
+}

@@ -136,10 +136,16 @@ func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
 // (no premature empty conclusion, so no value can be stranded); the
 // precise tail-caught-head empty detection is kept, so a genuinely
 // empty queue is still recognized. Deferring the decrements for a
-// later combined Add(-k) would NOT be sound: a re-arm interleaving
-// between a failure and its deferred flush could leave the threshold
-// negative with a freshly enqueued value in the ring, and the
-// threshold<0 fast-exit would make that state sticky.
+// later combined Add(-k) would NOT be sound HERE: a re-arm
+// interleaving between a failure and its deferred flush could leave
+// the threshold negative with a freshly enqueued value in the ring,
+// and the threshold<0 fast-exit would make that state sticky — this
+// ring draws empty conclusions from the decayed budget alone. The
+// direct ring is different: its PR 5 decayed-budget fix re-verifies
+// every floor-reaching decrement against the precise Tail/Head
+// distance and re-arms when values are ahead, which is exactly the
+// repair that makes a combined deferred Add(-k) sound there — see
+// DirectHandle.deqAt and DESIGN.md §14.
 //
 // Diet notes: the entry load is relaxed. Every branch re-validates it
 // with a CAS on the same word except the cycle-match consume — and a

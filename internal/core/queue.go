@@ -88,6 +88,16 @@ type Handle struct {
 	// w is the handle's parking token for the blocking operations,
 	// allocated on first blocking call. Handle-local.
 	w *waitq.Waiter
+	// aqDry/fqDry gate the shared threshold fast-exit loads (DESIGN.md
+	// §14): the pre-check is a pure optimization — dequeueRec is
+	// authoritative, with its own threshold decay and empty detection —
+	// so a handle only pays the read-shared threshold load while its
+	// last claim on that ring actually failed. Steady-state transfers
+	// (both rings delivering) skip both loads; the first failed claim
+	// flips the hint and restores the cheap fast-exit for the poll loop
+	// that typically follows. Owner-written only, like scratch.
+	aqDry bool // last aq claim failed: empty-suspect
+	fqDry bool // last fq index rent failed: full-suspect
 }
 
 // waiter returns the handle's parking token, allocating it on first
@@ -146,15 +156,17 @@ func (q *Queue[T]) Cap() int { return len(q.data) }
 // load each while the queue is open with nobody parked.
 func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 	h.active.Enter()
-	ok := q.fq.thresholdNonNegative()
+	ok := !h.fqDry || q.fq.thresholdNonNegative()
 	var index uint64
 	if ok {
 		index, ok = q.fq.dequeueRec(h.fqRec)
 	}
 	if !ok {
+		h.fqDry = true
 		h.active.Exit()
 		return false // no free index: full
 	}
+	h.fqDry = false
 	if failpoint.Enabled {
 		// Index reserved inside the active bracket, close re-check
 		// pending: Close's quiescence must wait out a thread frozen
@@ -179,13 +191,15 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 // Dequeue removes the oldest value, or returns ok=false when empty.
 // Dequeues keep working after Close until the queue drains. Wait-free.
 func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
-	if !q.aq.thresholdNonNegative() {
+	if h.aqDry && !q.aq.thresholdNonNegative() {
 		return v, false // empty fast-exit
 	}
 	index, ok := q.aq.dequeueRec(h.aqRec)
 	if !ok {
+		h.aqDry = true
 		return v, false
 	}
+	h.aqDry = false
 	v = q.data[index]
 	var zero T
 	q.data[index] = zero
@@ -205,13 +219,15 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
 	h.active.Enter()
 	idx := h.buf(len(vs))
 	n := 0
-	if q.fq.thresholdNonNegative() {
+	if !h.fqDry || q.fq.thresholdNonNegative() {
 		n = q.fq.dequeueBatchAny(h.fqRec, idx)
 	}
 	if n == 0 {
+		h.fqDry = true
 		h.active.Exit()
 		return 0 // no free indices: full
 	}
+	h.fqDry = false
 	// Dekker re-check after the batch reservation's fetch-and-add; see
 	// Enqueue.
 	if q.state.Load() != stateOpen {
@@ -234,14 +250,16 @@ func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 	if len(out) == 0 {
 		return 0
 	}
-	if !q.aq.thresholdNonNegative() {
+	if h.aqDry && !q.aq.thresholdNonNegative() {
 		return 0 // empty fast-exit
 	}
 	idx := h.buf(len(out))
 	n := q.aq.dequeueBatchAny(h.aqRec, idx)
 	if n == 0 {
+		h.aqDry = true
 		return 0
 	}
+	h.aqDry = false
 	var zero T
 	for i := 0; i < n; i++ {
 		out[i] = q.data[idx[i]]

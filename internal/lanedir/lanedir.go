@@ -174,6 +174,16 @@ type Dir[L comparable] struct {
 	events atomic.Uint64
 	steals atomic.Uint64
 
+	// Cumulative telemetry, never reset (ROADMAP item 3: Resize was
+	// exported but unobserved). grows/shrinks count lane-count changes
+	// actually applied through resizeLocked — governor decisions and
+	// manual Resize calls alike — and stealsTotal mirrors the steals
+	// window counter without its per-sample Swap(0). Surfaced through
+	// Telemetry for the front-end Stats layer.
+	grows       atomic.Uint64
+	shrinks     atomic.Uint64
+	stealsTotal atomic.Uint64
+
 	// mu serializes every directory mutation (resize, drain, retire,
 	// close). No operation path ever takes it: the governor enters via
 	// TryLock, so a frozen maintenance thread can never block peers.
@@ -378,7 +388,30 @@ func (d *Dir[L]) NoteContention(n uint64) { d.events.Add(n) }
 
 // NoteSteals flushes handle-local steal counts (dequeues served by a
 // foreign lane — the over-striping signal).
-func (d *Dir[L]) NoteSteals(n uint64) { d.steals.Add(n) }
+func (d *Dir[L]) NoteSteals(n uint64) {
+	d.steals.Add(n)
+	d.stealsTotal.Add(n)
+}
+
+// Telemetry is the directory's cumulative observability snapshot.
+type Telemetry struct {
+	Lanes   int    // current active lane count
+	Grows   uint64 // lane-count increases applied (governor or Resize)
+	Shrinks uint64 // lane-count decreases applied (governor or Resize)
+	Steals  uint64 // cross-lane steal dequeues flushed by handles
+}
+
+// Telemetry returns the cumulative counters above. Lock-free reads;
+// the counters are monotone, so deltas between snapshots are
+// meaningful even across concurrent resizes.
+func (d *Dir[L]) Telemetry() Telemetry {
+	return Telemetry{
+		Lanes:   len(d.cur.Load().active),
+		Grows:   d.grows.Load(),
+		Shrinks: d.shrinks.Load(),
+		Steals:  d.stealsTotal.Load(),
+	}
+}
 
 // Maintain runs one blocking maintenance pass: drain/retire eligible
 // lanes, run the front-end hook, and (if Auto) one governor decision.
@@ -435,7 +468,8 @@ func (d *Dir[L]) Resize(n int) error {
 
 func (d *Dir[L]) resizeLocked(n int) error {
 	v := d.cur.Load()
-	if n == len(v.active) {
+	from := len(v.active)
+	if n == from {
 		return nil
 	}
 	active := make([]*Slot[L], 0, n)
@@ -468,6 +502,7 @@ func (d *Dir[L]) resizeLocked(n int) error {
 					// Publish what we assembled so far rather than
 					// dropping the promotions.
 					d.publishLocked(v, active, draining)
+					d.noteResizeLocked(from, len(active))
 					return fmt.Errorf("lanedir: growing to %d lanes: %w", n, err)
 				}
 				lane = fresh
@@ -476,7 +511,19 @@ func (d *Dir[L]) resizeLocked(n int) error {
 		}
 	}
 	d.publishLocked(v, active, draining)
+	d.noteResizeLocked(from, len(active))
 	return nil
+}
+
+// noteResizeLocked records an applied lane-count change in the
+// cumulative telemetry.
+func (d *Dir[L]) noteResizeLocked(from, to int) {
+	switch {
+	case to > from:
+		d.grows.Add(1)
+	case to < from:
+		d.shrinks.Add(1)
+	}
 }
 
 func (d *Dir[L]) standbyTakeLocked() (lane L, ok bool) {

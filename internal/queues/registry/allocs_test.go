@@ -110,10 +110,13 @@ func TestBatchedPairwiseAllocationFree(t *testing.T) {
 }
 
 // TestImplicitHandleFreePathAllocationFree covers the handle-free call
-// style explicitly (wCQ-Implicit routes through it by construction,
-// but the direct shapes' pooled scratch deserves its own assertion).
+// style explicitly: wCQ-Implicit routes through the pooled-handle
+// machinery by construction, and wCQ-Direct-Eager drives the internal
+// ring's handle-free entry points. (wCQ-Direct itself now registers
+// real handles — its explicit path is covered above, and the public
+// resident implicit path has its own assertion in the wcq package.)
 func TestImplicitHandleFreePathAllocationFree(t *testing.T) {
-	for _, name := range []string{"wCQ-Implicit", "wCQ-Direct"} {
+	for _, name := range []string{"wCQ-Implicit", "wCQ-Direct-Eager"} {
 		t.Run(name, func(t *testing.T) {
 			q := build(t, name, 2)
 			h, _ := q.Register() // inert token for these adapters

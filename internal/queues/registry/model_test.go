@@ -97,4 +97,4 @@ func (a *stripedAdapter) capHint() int { return a.q.Cap() / a.q.Stripes() }
 
 // The direct ring's capacity is exact sequentially (the model runs
 // single-threaded), so the plain Cap is the right hint.
-func (a *directAdapter) capHint() int { return a.q.Cap() }
+func (a *directAdapter) capHint() int { return int(a.r.N()) }

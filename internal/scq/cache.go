@@ -1,0 +1,92 @@
+package scq
+
+import (
+	"wcqueue/internal/failpoint"
+)
+
+// RingCache is a single caller's cached view of one Ring — the SCQ
+// sibling of core.DirectHandle (DESIGN.md §14). It keeps monotone
+// under-estimates of the Head and Tail counters (only values the
+// counters actually held: the caller's own F&A results plus one, or
+// fresh loads) and uses them to skip the dequeue-side shared threshold
+// fast-exit read while headSeen < tailSeen — an insertion this caller
+// itself witnessed has not provably been consumed, so the poll is
+// worth a reservation without consulting the budget. The skip is sound
+// because the fast-exit is a pure optimization: deqAt's precise
+// tail-caught-head detection stays authoritative, and after any
+// DeqEmpty the window closes by construction (tailSeen was set before
+// the empty detection read Tail <= h+1 = headSeen), restoring the
+// cheap threshold poll for empty-spinning consumers.
+//
+// Two deliberate asymmetries against core.DirectHandle: there is no
+// full-window on the enqueue side, because the Ring contract (at most
+// n live indices, from the indirection construction) means Enqueue
+// never observes a full ring — there is no pre-check to skip; and
+// threshold decrements stay per-operation, because SCQ draws empty
+// conclusions from the decayed budget alone (no precise re-verify),
+// where a deferred combined Add(-k) would be unsound — see the
+// deqAtFast commentary in core/ops.go.
+//
+// A RingCache is NOT safe for concurrent use; each goroutine takes its
+// own. Cached and cache-free calls mix freely on one ring — every
+// cached conclusion is conservative.
+type RingCache struct {
+	r        *Ring
+	tailSeen uint64 // monotone under-estimate of the tail counter
+	headSeen uint64 // monotone under-estimate of the head counter
+}
+
+// NewCache returns a fresh single-caller cache on r.
+func (r *Ring) NewCache() *RingCache { return &RingCache{r: r} }
+
+// Ring returns the ring this cache operates on.
+func (c *RingCache) Ring() *Ring { return c.r }
+
+// Enqueue inserts index through the cached path, recording the
+// reserved tail counters as the window's tail bound. Same contract as
+// Ring.Enqueue (the ≤ n live indices invariant makes it total).
+func (c *RingCache) Enqueue(index uint64) {
+	r := c.r
+	for {
+		t := r.faa(&r.tail)
+		c.tailSeen = t + 1
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.SCQEnqReserved)
+		}
+		if r.enqAt(t, index) {
+			return
+		}
+	}
+}
+
+// Dequeue removes an index, skipping the shared threshold read while
+// the cached window proves the poll is worth a reservation. Same
+// contract as Ring.Dequeue.
+func (c *RingCache) Dequeue() (index uint64, ok bool) {
+	r := c.r
+	if c.headSeen >= c.tailSeen {
+		// Closed window: fall back on the shared empty fast-exit.
+		if !r.thresholdNonNegative() {
+			return 0, false
+		}
+		// Budget says non-empty: one Tail read re-opens the window so a
+		// draining run pays it once per window, not per op.
+		if t := r.tail.Load(); t > c.tailSeen {
+			c.tailSeen = t
+		}
+	}
+	for {
+		h := r.faa(&r.head)
+		c.headSeen = h + 1
+		if failpoint.Enabled {
+			failpoint.Inject(failpoint.SCQDeqReserved)
+		}
+		index, st := r.deqAt(h, false)
+		switch st {
+		case DeqOK:
+			return index, true
+		case DeqEmpty:
+			return 0, false
+		}
+	}
+}

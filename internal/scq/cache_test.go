@@ -1,0 +1,145 @@
+package scq
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestRingCacheSequentialFIFO(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.NewCache()
+	const rounds = 200 // spans many cycles of the 16-slot ring
+	next, out := uint64(0), uint64(0)
+	for i := 0; i < rounds; i++ {
+		for j := 0; j < (i%5)+1 && next-out < r.N(); j++ {
+			c.Enqueue(next % r.N())
+			next++
+		}
+		for j := 0; j < (i%3)+1 && out < next; j++ {
+			idx, ok := c.Dequeue()
+			if !ok {
+				t.Fatalf("iter %d: empty with %d outstanding", i, next-out)
+			}
+			if idx != out%r.N() {
+				t.Fatalf("iter %d: got %d want %d", i, idx, out%r.N())
+			}
+			out++
+		}
+	}
+	for out < next {
+		idx, ok := c.Dequeue()
+		if !ok || idx != out%r.N() {
+			t.Fatalf("drain: got (%d,%v) want %d", idx, ok, out%r.N())
+		}
+		out++
+	}
+	if idx, ok := c.Dequeue(); ok {
+		t.Fatalf("drained ring yielded %d", idx)
+	}
+}
+
+func TestRingCacheWindowClosesAfterEmpty(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.NewCache()
+	c.Enqueue(3)
+	if idx, ok := c.Dequeue(); !ok || idx != 3 {
+		t.Fatalf("dequeue got (%d,%v)", idx, ok)
+	}
+	if _, ok := c.Dequeue(); ok {
+		t.Fatal("empty ring yielded an index")
+	}
+	if c.headSeen < c.tailSeen {
+		t.Fatalf("window still open after DeqEmpty: headSeen=%d tailSeen=%d", c.headSeen, c.tailSeen)
+	}
+	// From here the empty polls must ride the threshold fast-exit, not
+	// burn head reservations.
+	head := r.Head()
+	for i := 0; i < 200; i++ {
+		if _, ok := c.Dequeue(); ok {
+			t.Fatal("empty ring yielded an index")
+		}
+	}
+	if got := r.Head(); got > head+3*r.N() {
+		t.Fatalf("empty polls burned %d head positions (fast-exit not restored)", got-head)
+	}
+	// A fresh insertion is observable through the same cache.
+	c.Enqueue(7)
+	if idx, ok := c.Dequeue(); !ok || idx != 7 {
+		t.Fatalf("dequeue after decay got (%d,%v)", idx, ok)
+	}
+}
+
+func TestRingCacheMixesWithCacheFreeOps(t *testing.T) {
+	r, err := NewRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.NewCache()
+	c.Enqueue(1)
+	r.Enqueue(2)
+	if idx, ok := r.Dequeue(); !ok || idx != 1 {
+		t.Fatalf("ring dequeue got (%d,%v)", idx, ok)
+	}
+	if idx, ok := c.Dequeue(); !ok || idx != 2 {
+		t.Fatalf("cached dequeue got (%d,%v)", idx, ok)
+	}
+}
+
+// TestRingCacheMPMC runs pairwise workers (each enqueues then
+// dequeues through its own cache) so the ≤ n live-indices Ring
+// contract holds by construction while caches race on head, tail,
+// threshold and the entries.
+func TestRingCacheMPMC(t *testing.T) {
+	r, err := NewRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	per := uint64(20000)
+	if testing.Short() {
+		per = 2000
+	}
+	var moved, failed [workers]uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.NewCache()
+			for s := uint64(0); s < per; s++ {
+				c.Enqueue(s % r.N())
+				if _, ok := c.Dequeue(); ok {
+					moved[w]++
+				} else {
+					failed[w]++
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total, miss uint64
+	for w := range moved {
+		total += moved[w]
+		miss += failed[w]
+	}
+	// Every enqueue completed, so the values a worker's dequeue missed
+	// (claimed by a racing peer) remain in the ring; drain and balance.
+	c := r.NewCache()
+	for {
+		if _, ok := c.Dequeue(); !ok {
+			break
+		}
+		total++
+	}
+	if total != workers*per {
+		t.Fatalf("moved %d of %d values (%d transient misses)", total, workers*per, miss)
+	}
+}

@@ -1,0 +1,95 @@
+//go:build !race
+
+// Allocation-regression tests for the Direct front-end hot paths added
+// in PR 8: the handle-window explicit path, the opt-in coalescing path,
+// and the pooled/resident implicit path (which the registry's
+// allocation suite no longer exercises directly — wCQ-Direct registers
+// real handles there). Guarded by !race because the race detector
+// deliberately drops sync.Pool puts, making pooled handles allocate on
+// every call.
+
+package wcq
+
+import "testing"
+
+func TestDirectHandlePathAllocationFree(t *testing.T) {
+	q, err := NewDirect[uint32](6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+	for i := uint32(0); i < 64; i++ { // steady state before measuring
+		h.Enqueue(i)
+		h.Dequeue()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if !h.Enqueue(42) {
+			t.Fatal("enqueue failed")
+		}
+		if _, ok := h.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("handle scalar pairwise allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestDirectCoalescingPathAllocationFree(t *testing.T) {
+	q, err := NewDirect[uint32](6, WithCoalescing(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 64; i++ {
+		h.Enqueue(i)
+		h.Dequeue()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for i := uint32(0); i < 8; i++ { // full window: buffer, flush, prefetch
+			if !h.Enqueue(i) {
+				t.Fatal("enqueue failed")
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if _, ok := h.Dequeue(); !ok {
+				t.Fatal("dequeue failed")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("coalescing pairwise allocates %.2f objects/op, want 0", avg)
+	}
+	if lost := h.Unregister(); lost != 0 {
+		t.Fatalf("Unregister reported %d undelivered", lost)
+	}
+}
+
+func TestDirectImplicitResidentPathAllocationFree(t *testing.T) {
+	q, err := NewDirect[uint32](6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 64; i++ { // install the resident handle
+		q.Enqueue(i)
+		q.Dequeue()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if !q.Enqueue(7) {
+			t.Fatal("enqueue failed")
+		}
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("implicit pairwise allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -1,0 +1,291 @@
+package wcq
+
+import "testing"
+
+// Coalescing-handle tests (PR 8 tentpole part 3, DESIGN.md §14): the
+// opt-in window buffers back-to-back scalar enqueues into one ring
+// reservation and prefetches dequeues the same way, preserving
+// per-handle FIFO across every flush boundary.
+
+func TestDirectCoalescingWindowPublish(t *testing.T) {
+	q, err := NewDirect[uint32](6, WithCoalescing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 3; i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if h.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", h.Pending())
+	}
+	// Deferred visibility: a foreign consumer must not see the window
+	// before it flushes.
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("buffered value %d visible before flush", v)
+	}
+	if !h.Enqueue(3) { // fills the window: one reservation publishes all 4
+		t.Fatal("window-filling enqueue failed")
+	}
+	if h.Pending() != 0 {
+		t.Fatalf("Pending = %d after window flush, want 0", h.Pending())
+	}
+	for i := uint32(0); i < 4; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("got (%d,%v) want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDirectCoalescingFlushBoundaries(t *testing.T) {
+	q, err := NewDirect[uint32](6, WithCoalescing(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dequeue publishes the pending window first, so a handle can
+	// never miss its own values.
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Enqueue(42) {
+		t.Fatal("enqueue failed")
+	}
+	if v, ok := h.Dequeue(); !ok || v != 42 {
+		t.Fatalf("own-value dequeue got (%d,%v)", v, ok)
+	}
+	// Flush is an explicit boundary.
+	if !h.Enqueue(7) {
+		t.Fatal("enqueue failed")
+	}
+	if !h.Flush() || h.Pending() != 0 {
+		t.Fatalf("Flush left Pending = %d", h.Pending())
+	}
+	if v, ok := q.Dequeue(); !ok || v != 7 {
+		t.Fatalf("flushed value got (%d,%v)", v, ok)
+	}
+	// Unregister is a boundary too, and reports full delivery.
+	h2, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Enqueue(9) {
+		t.Fatal("enqueue failed")
+	}
+	if lost := h2.Unregister(); lost != 0 {
+		t.Fatalf("Unregister reported %d undelivered", lost)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 9 {
+		t.Fatalf("post-Unregister value got (%d,%v)", v, ok)
+	}
+}
+
+func TestDirectCoalescingPrefetch(t *testing.T) {
+	q, err := NewDirect[uint32](6, WithCoalescing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 10; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h.Dequeue(); !ok || v != 0 {
+		t.Fatalf("dequeue got (%d,%v)", v, ok)
+	}
+	if h.Buffered() != 3 {
+		t.Fatalf("Buffered = %d after prefetch, want 3", h.Buffered())
+	}
+	for i := uint32(1); i < 8; i++ { // 1-3 from the window, 4-7 via refill
+		if v, ok := h.Dequeue(); !ok || v != i {
+			t.Fatalf("got (%d,%v) want %d", v, ok, i)
+		}
+	}
+	// Unregister pushes unreturned prefetched values back (they re-enter
+	// at the tail, behind 8 and 9).
+	h2, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h2.Dequeue(); !ok || v != 8 {
+		t.Fatalf("h2 dequeue got (%d,%v)", v, ok)
+	}
+	if h2.Buffered() != 1 {
+		t.Fatalf("Buffered = %d, want 1", h2.Buffered())
+	}
+	if lost := h2.Unregister(); lost != 0 {
+		t.Fatalf("Unregister reported %d undelivered", lost)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 9 {
+		t.Fatalf("got (%d,%v) want the pushed-back tail to follow 9", v, ok)
+	}
+}
+
+func TestDirectCoalescingPerHandleFIFO(t *testing.T) {
+	q, err := NewDirect[uint32](4, WithCoalescing(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Irregular enqueue/dequeue interleaving across many window and
+	// ring-cycle boundaries: values must come back in insertion order.
+	// The backlog is drained below half capacity each round so enqueues
+	// never hit a legitimately full ring.
+	next, out := uint32(0), uint32(0)
+	for i := 0; i < 300; i++ {
+		for j := 0; j < (i%4)+1; j++ {
+			if !h.Enqueue(next) {
+				t.Fatalf("iter %d: enqueue %d failed", i, next)
+			}
+			next++
+		}
+		for j := 0; (j < (i%3)+1 || next-out > 8) && out < next; j++ {
+			v, ok := h.Dequeue()
+			if !ok {
+				t.Fatalf("iter %d: empty with %d outstanding", i, next-out)
+			}
+			if v != out {
+				t.Fatalf("iter %d: got %d want %d", i, v, out)
+			}
+			out++
+		}
+	}
+	for out < next {
+		v, ok := h.Dequeue()
+		if !ok || v != out {
+			t.Fatalf("drain: got (%d,%v) want %d", v, ok, out)
+		}
+		out++
+	}
+	if v, ok := h.Dequeue(); ok {
+		t.Fatalf("drained queue yielded %d", v)
+	}
+}
+
+func TestDirectCoalescingBatchOrdering(t *testing.T) {
+	q, err := NewDirect[uint32](6, WithCoalescing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch behind a partly filled window must land after it.
+	if !h.Enqueue(0) || !h.Enqueue(1) {
+		t.Fatal("enqueue failed")
+	}
+	if n := h.EnqueueBatch([]uint32{2, 3, 4}); n != 3 {
+		t.Fatalf("EnqueueBatch = %d", n)
+	}
+	out := make([]uint32, 8)
+	if n := h.DequeueBatch(out); n != 5 {
+		t.Fatalf("DequeueBatch = %d", n)
+	}
+	for i := uint32(0); i < 5; i++ {
+		if out[i] != i {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestDirectCoalescingElimination(t *testing.T) {
+	q, err := NewDirect[uint32](6, WithCoalescing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-handle produce-consume on an empty ring must eliminate
+	// against the pending window: values flow, head never moves.
+	head := q.r.Head()
+	for i := uint32(0); i < 100; i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+		if v, ok := h.Dequeue(); !ok || v != i {
+			t.Fatalf("got (%d,%v) want %d", v, ok, i)
+		}
+	}
+	if got := q.r.Head(); got != head {
+		t.Fatalf("eliminated pairs moved head %d -> %d (ring traffic)", head, got)
+	}
+	// Elimination preserves window order: buffer two, eliminate both.
+	if !h.Enqueue(200) || !h.Enqueue(201) {
+		t.Fatal("enqueue failed")
+	}
+	if v, ok := h.Dequeue(); !ok || v != 200 {
+		t.Fatalf("got (%d,%v) want 200", v, ok)
+	}
+	if v, ok := h.Dequeue(); !ok || v != 201 {
+		t.Fatalf("got (%d,%v) want 201", v, ok)
+	}
+}
+
+func TestDirectCoalescingNoEliminationPastForeignValues(t *testing.T) {
+	q, err := NewDirect[uint32](6, WithCoalescing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A foreign value already in the ring is older than anything this
+	// handle buffers: the dequeue must NOT serve the buffer ahead of it.
+	if !q.Enqueue(111) {
+		t.Fatal("foreign enqueue failed")
+	}
+	if !h.Enqueue(222) {
+		t.Fatal("handle enqueue failed")
+	}
+	if v, ok := h.Dequeue(); !ok || v != 111 {
+		t.Fatalf("got (%d,%v), want the older foreign 111", v, ok)
+	}
+	if v, ok := h.Dequeue(); !ok || v != 222 {
+		t.Fatalf("got (%d,%v) want 222", v, ok)
+	}
+}
+
+func TestDirectCoalescingWidthPanicAtCall(t *testing.T) {
+	q, err := NewDirectOf[uint64](4, UintCodec(8), WithCoalescing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range value did not panic at the Enqueue call")
+			}
+		}()
+		h.Enqueue(1 << 9) // exceeds the 8-bit codec: must fail NOW, not at flush
+	}()
+	if h.Pending() != 0 {
+		t.Fatalf("panicking enqueue left %d values pending", h.Pending())
+	}
+	// The handle stays usable.
+	if !h.Enqueue(5) || !h.Flush() {
+		t.Fatal("handle unusable after recovered panic")
+	}
+	if v, ok := q.Dequeue(); !ok || v != 5 {
+		t.Fatalf("got (%d,%v)", v, ok)
+	}
+}

@@ -149,12 +149,21 @@ func (sp *scratchPool) get(k int) *[]uint64 {
 func (sp *scratchPool) put(b *[]uint64) { sp.p.Put(b) }
 
 // Direct is a bounded lock-free MPMC FIFO queue of direct values:
-// one ring, no index indirection, no handles — every method may be
-// called from any goroutine directly.
+// one ring, no index indirection. Every method may be called from any
+// goroutine directly; the scalar handle-free calls ride a per-P
+// resident handle (as Queue[T] does, DESIGN.md §13) so even the
+// implicit style gets the handle-local head/tail windows of DESIGN.md
+// §14. Hot goroutines hold an explicit DirectHandle.
 type Direct[T any] struct {
 	r       *core.DirectRing
 	codec   Codec[T]
 	scratch scratchPool
+	pool    handlePool[DirectHandle[T]]
+
+	// coalesce is the WithCoalescing window explicit handles are born
+	// with; pooled implicit handles always get zero (a borrowed handle
+	// must never hold values across calls).
+	coalesce int
 }
 
 // NewDirect creates a direct queue holding up to 2^order values of an
@@ -174,7 +183,16 @@ func NewDirectOf[T any](order uint, codec Codec[T], opts ...Option) (*Direct[T],
 	if err != nil {
 		return nil, err
 	}
-	return &Direct[T]{r: r, codec: codec}, nil
+	q := &Direct[T]{r: r, codec: codec, coalesce: c.coalesce}
+	q.pool.init(q.registerPlain, func(h *DirectHandle[T]) { h.Unregister() })
+	// The direct ring ops are bounded, never yield and — with the value
+	// width pre-validated before the pin — cannot panic, so the implicit
+	// scalar paths may run them on a per-P resident handle (pool.go),
+	// which is also what keeps the handle-local windows effective for
+	// the handle-free call style: the same P reuses the same window
+	// state across calls.
+	q.pool.resident = true
+	return q, nil
 }
 
 // MustDirect is NewDirect that panics on error.
@@ -186,13 +204,281 @@ func MustDirect[T DirectValue](order uint, opts ...Option) *Direct[T] {
 	return q
 }
 
+// DirectHandle is a registered per-goroutine token of a Direct queue.
+// It carries the handle-local ring telemetry of DESIGN.md §14 — cached
+// head/tail windows that skip the shared-cacheline full/empty pre-check
+// loads while the cache proves the answer, and the amortized threshold
+// bank — plus, when the queue was built WithCoalescing, the op-
+// coalescing buffers. A DirectHandle must not be shared between
+// concurrently running goroutines.
+type DirectHandle[T any] struct {
+	q *Direct[T]
+	h *core.DirectHandle
+
+	// Coalescing state; enq/deq stay nil without WithCoalescing, and
+	// the scalar ops take the direct window path. enq[:nenq] holds
+	// encoded values accepted but not yet published; deq[deqHead:deqLen]
+	// holds prefetched values not yet returned. Encoding happens at the
+	// Enqueue call (codec panics fire immediately, not at the flush).
+	enq     []uint64
+	nenq    int
+	deq     []uint64
+	deqHead int
+	deqLen  int
+	scratch []uint64
+}
+
+// registerPlain backs the implicit pool: always window-path handles,
+// never coalescing buffers — a borrowed handle must not hold values
+// across calls.
+func (q *Direct[T]) registerPlain() (*DirectHandle[T], error) {
+	return &DirectHandle[T]{q: q, h: q.r.NewHandle()}, nil
+}
+
+// Register claims an explicit per-goroutine handle — the fast path for
+// hot goroutines, and the only place the WithCoalescing window takes
+// effect. Registration on the direct shape cannot fail (there is no
+// per-handle ring state to allocate slots for); the error keeps the
+// signature uniform with the other shapes.
+func (q *Direct[T]) Register() (*DirectHandle[T], error) {
+	h := &DirectHandle[T]{q: q, h: q.r.NewHandle()}
+	if w := q.coalesce; w > 0 {
+		if c := int(q.r.N()); w > c {
+			w = c // a window past capacity could never flush whole
+		}
+		h.enq = make([]uint64, w)
+		h.deq = make([]uint64, w)
+	}
+	return h, nil
+}
+
+// Unregister releases the handle. A coalescing handle first publishes
+// its pending enqueues and re-enqueues any prefetched values it never
+// returned (one best-effort pass each — Unregister must stay lock-free,
+// so it does not spin on a full or budget-exhausted ring). It returns
+// how many buffered values could NOT be delivered; callers that need
+// the guarantee of zero call Flush and drain the handle before
+// unregistering. Always zero without coalescing. Re-enqueued prefetched
+// values re-enter at the tail: per-handle FIFO of the remaining handles
+// is unaffected, but those values lose their original positions — the
+// documented cost of abandoning a prefetching handle mid-stream.
+func (h *DirectHandle[T]) Unregister() (undelivered int) {
+	h.flushEnq()
+	undelivered = h.nenq
+	h.nenq = 0
+	if h.deqHead < h.deqLen {
+		h.deqHead += h.q.r.EnqueueBatch(h.deq[h.deqHead:h.deqLen])
+		undelivered += h.deqLen - h.deqHead
+		h.deqHead, h.deqLen = 0, 0
+	}
+	return undelivered
+}
+
+// flushEnq publishes the deferred-enqueue buffer with one ring
+// reservation, preserving insertion order; a partial landing (ring
+// full or out of budget) compacts the residue to the front. Reports
+// whether the buffer fully drained.
+func (h *DirectHandle[T]) flushEnq() bool {
+	if h.nenq == 0 {
+		return true
+	}
+	n := h.q.r.EnqueueBatch(h.enq[:h.nenq])
+	if n == h.nenq {
+		h.nenq = 0
+		return true
+	}
+	copy(h.enq, h.enq[n:h.nenq])
+	h.nenq -= n
+	return false
+}
+
+// Flush publishes any enqueues the coalescing window is still holding,
+// reporting whether the buffer fully drained (false: ring full or out
+// of budget; the residue stays buffered for the next flush point).
+// Always true without coalescing.
+func (h *DirectHandle[T]) Flush() bool { return h.flushEnq() }
+
+// Pending returns the enqueues accepted but not yet published by the
+// coalescing window (zero without coalescing).
+func (h *DirectHandle[T]) Pending() int { return h.nenq }
+
+// Buffered returns the prefetched values this handle holds but has not
+// yet returned (zero without coalescing).
+func (h *DirectHandle[T]) Buffered() int { return h.deqLen - h.deqHead }
+
+// Enqueue inserts v, returning false when the queue is full or out of
+// budget. With coalescing, true means "accepted for the next flush":
+// the value becomes visible when the window fills (one ring reservation
+// publishes the whole window) or at the next dequeue/Flush/Unregister
+// boundary; false means the window is full AND the ring cannot absorb
+// it.
+func (h *DirectHandle[T]) Enqueue(v T) bool {
+	u := h.q.codec.Encode(v)
+	if h.enq == nil {
+		return h.h.Enqueue(u)
+	}
+	h.q.r.CheckValue(u) // fail at the call that supplied the value, not at the flush
+	if h.nenq == len(h.enq) && !h.flushEnq() {
+		return false
+	}
+	h.enq[h.nenq] = u
+	h.nenq++
+	if h.nenq == len(h.enq) {
+		h.flushEnq() // the coalesced publish: one reservation for the whole window
+	}
+	return true
+}
+
+// Dequeue removes the oldest value, or returns ok=false when the queue
+// is observed empty. With coalescing it serves from the prefetched
+// window first, refilling it with one ring reservation; the pending
+// enqueue window is published before any empty conclusion, so a handle
+// can never miss its own values (per-handle FIFO).
+//
+// When the pending window is non-empty and the ring is provably empty,
+// the dequeue ELIMINATES against the window instead of flushing: the
+// oldest buffered value is returned without any ring traffic. This is
+// linearizable — at the instant core.DirectRing.ObservedEmpty
+// witnessed tail <= head there was no older value anywhere, so the
+// buffered enqueue and this dequeue linearize back-to-back at that
+// instant (a net no-op to every peer, which may observe the queue
+// empty throughout — exactly as if the pair ran atomically). This is
+// what closes the FAA gap for same-handle produce-consume traffic:
+// the pair costs two shared loads instead of two F&As plus two entry
+// RMWs. See DESIGN.md §14.
+func (h *DirectHandle[T]) Dequeue() (v T, ok bool) {
+	if h.deqHead < h.deqLen {
+		u := h.deq[h.deqHead]
+		h.deqHead++
+		return h.q.codec.Decode(u), true
+	}
+	if h.nenq > 0 {
+		if h.q.r.ObservedEmpty() {
+			u := h.enq[0]
+			h.nenq--
+			copy(h.enq[:h.nenq], h.enq[1:h.nenq+1])
+			return h.q.codec.Decode(u), true
+		}
+		h.flushEnq()
+	}
+	if h.deq == nil {
+		u, ok := h.h.Dequeue()
+		if !ok {
+			return v, false
+		}
+		return h.q.codec.Decode(u), true
+	}
+	n := h.q.r.DequeueBatch(h.deq)
+	if n == 0 {
+		return v, false
+	}
+	h.deqHead, h.deqLen = 1, n
+	return h.q.codec.Decode(h.deq[0]), true
+}
+
+func (h *DirectHandle[T]) buf(k int) []uint64 {
+	if cap(h.scratch) < k {
+		h.scratch = make([]uint64, k)
+	}
+	return h.scratch[:k]
+}
+
+// EnqueueBatch inserts up to len(vs) values in order with one ring
+// reservation and returns how many landed. A coalescing handle first
+// publishes its pending window (order before the batch); if that flush
+// cannot complete the ring is full and the batch reports zero.
+func (h *DirectHandle[T]) EnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	if h.nenq > 0 && !h.flushEnq() {
+		return 0
+	}
+	buf := h.buf(len(vs))
+	for i, v := range vs {
+		buf[i] = h.q.codec.Encode(v)
+	}
+	return h.q.r.EnqueueBatch(buf)
+}
+
+// DequeueBatch removes up to len(out) of the oldest values in FIFO
+// order and returns how many were dequeued, draining a coalescing
+// handle's prefetched window first.
+func (h *DirectHandle[T]) DequeueBatch(out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	n := 0
+	for h.deqHead < h.deqLen && n < len(out) {
+		out[n] = h.q.codec.Decode(h.deq[h.deqHead])
+		h.deqHead++
+		n++
+	}
+	if n == len(out) {
+		return n
+	}
+	if h.nenq > 0 {
+		h.flushEnq()
+	}
+	buf := h.buf(len(out) - n)
+	m := h.q.r.DequeueBatch(buf)
+	for i := 0; i < m; i++ {
+		out[n] = h.q.codec.Decode(buf[i])
+		n++
+	}
+	return n
+}
+
 // Enqueue inserts v, returning false when the queue is full.
-// Lock-free; one ring operation (the indirect Queue pays two).
-func (q *Direct[T]) Enqueue(v T) bool { return q.r.Enqueue(q.codec.Encode(v)) }
+// Lock-free; one ring operation (the indirect Queue pays two). Runs on
+// the calling P's resident handle when one is installed (see New's
+// twin in pool.go): the encode and the width check happen before the
+// pin, so the pinned section is panic-free.
+func (q *Direct[T]) Enqueue(v T) bool {
+	u := q.codec.Encode(v)
+	q.r.CheckValue(u)
+	if canPin && q.pool.resident {
+		if pid := pinProc(); pid <= q.pool.mask {
+			sh := &q.pool.shards[pid]
+			if h := sh.res.Load(); h != nil {
+				poolRaceAcquire(unsafe.Pointer(sh))
+				ok := h.h.Enqueue(u)
+				poolRaceRelease(unsafe.Pointer(sh))
+				unpinProc()
+				return ok
+			}
+		}
+		unpinProc()
+	}
+	h := q.pool.mustGet()
+	ok := h.h.Enqueue(u)
+	q.pool.put(h)
+	return ok
+}
 
 // Dequeue removes the oldest value, or returns ok=false when empty.
 func (q *Direct[T]) Dequeue() (v T, ok bool) {
-	u, ok := q.r.Dequeue()
+	if canPin && q.pool.resident {
+		if pid := pinProc(); pid <= q.pool.mask {
+			sh := &q.pool.shards[pid]
+			if h := sh.res.Load(); h != nil {
+				poolRaceAcquire(unsafe.Pointer(sh))
+				u, ok := h.h.Dequeue()
+				poolRaceRelease(unsafe.Pointer(sh))
+				unpinProc()
+				if !ok {
+					return v, false
+				}
+				// Decode runs after the unpin: a panicking user codec
+				// must not fire inside the pinned section.
+				return q.codec.Decode(u), true
+			}
+		}
+		unpinProc()
+	}
+	h := q.pool.mustGet()
+	u, ok := h.h.Dequeue()
+	q.pool.put(h)
 	if !ok {
 		return v, false
 	}
@@ -274,10 +560,16 @@ type DirectStripedHandle[T any] struct {
 	s    *DirectStriped[T]
 	slot *lanedir.Slot[*core.DirectRing]
 	view *lanedir.View[*core.DirectRing]
-	tid  int
-	rot  uint
-	opn  uint32
-	evn  uint32
+	// ch is the handle-local window/threshold state on the OWN lane
+	// (DESIGN.md §14), rebound on lane migration. Steals stay on the
+	// foreign lanes' handle-free entry points — a steal is already the
+	// slow, occasional path, and window state for every foreign lane
+	// would go stale across resizes.
+	ch  *core.DirectHandle
+	tid int
+	rot uint
+	opn uint32
+	evn uint32
 	// migrating marks a handle whose lane is draining; see
 	// StripedHandle.resync for the FIFO-preserving migration rule,
 	// which is identical here.
@@ -380,7 +672,10 @@ func (s *DirectStriped[T]) Register() (*DirectStripedHandle[T], error) {
 		return nil, err
 	}
 	slot := s.dir.Bind()
-	return &DirectStripedHandle[T]{s: s, slot: slot, view: s.dir.View(), tid: tid}, nil
+	return &DirectStripedHandle[T]{
+		s: s, slot: slot, view: s.dir.View(), tid: tid,
+		ch: slot.Lane().NewHandle(),
+	}, nil
 }
 
 // Unregister releases the handle's lane binding and binder tid.
@@ -430,6 +725,7 @@ func (h *DirectStripedHandle[T]) resync() {
 		ns := s.dir.Bind()
 		s.dir.Unbind(h.slot)
 		h.slot = ns
+		h.ch.Rebind(ns.Lane())
 		h.migrating = false
 	}
 	h.view = s.dir.View()
@@ -459,7 +755,7 @@ func (h *DirectStripedHandle[T]) tick(contended bool) {
 // out of the retire path.
 func (h *DirectStripedHandle[T]) Enqueue(v T) bool {
 	h.pre()
-	ok := h.slot.Lane().Enqueue(h.s.codec.Encode(v))
+	ok := h.ch.Enqueue(h.s.codec.Encode(v))
 	h.tick(!ok)
 	return ok
 }
@@ -474,7 +770,7 @@ func (h *DirectStripedHandle[T]) Enqueue(v T) bool {
 func (h *DirectStripedHandle[T]) Dequeue() (v T, ok bool) {
 	s := h.s
 	h.pre()
-	if u, ok := h.slot.Lane().Dequeue(); ok {
+	if u, ok := h.ch.Dequeue(); ok {
 		h.tick(false)
 		return s.codec.Decode(u), true
 	}
@@ -609,6 +905,20 @@ func (s *DirectStriped[T]) DequeueBatch(out []T) int {
 
 // Stripes returns the current active lane count W.
 func (s *DirectStriped[T]) Stripes() int { return s.dir.Lanes() }
+
+// Stats reports the elastic lane directory's telemetry. The direct
+// lanes have no wait-free slow path, so the slow-path and helping
+// counters stay zero; the lane fields are cumulative and survive lane
+// churn (see Stats).
+func (s *DirectStriped[T]) Stats() Stats {
+	tel := s.dir.Telemetry()
+	return Stats{
+		Lanes:       tel.Lanes,
+		LaneGrows:   tel.Grows,
+		LaneShrinks: tel.Shrinks,
+		Steals:      tel.Steals,
+	}
+}
 
 // DrainingLanes returns the lanes still draining toward retirement
 // after a shrink (telemetry and test hook).

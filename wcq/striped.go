@@ -814,9 +814,11 @@ func (s *Striped[T]) LiveHandles() int { return s.dir.Binders() }
 // live at once.
 func (s *Striped[T]) HandleHighWater() int { return s.dir.BinderHighWater() }
 
-// Stats aggregates slow-path statistics across the directory's lanes.
-// Retired lanes' counts leave with them; Stats is a rate probe, not a
-// lifetime ledger.
+// Stats aggregates slow-path statistics across the directory's lanes
+// and reports the elastic directory's telemetry. Retired lanes' counts
+// leave with them, so the slow-path fields are a rate probe, not a
+// lifetime ledger; the lane telemetry (Lanes/LaneGrows/LaneShrinks/
+// Steals) is cumulative and survives lane churn.
 func (s *Striped[T]) Stats() Stats {
 	var out Stats
 	for _, sl := range s.dir.View().Slots() {
@@ -825,5 +827,10 @@ func (s *Striped[T]) Stats() Stats {
 		out.SlowDequeues += st.SlowDequeues
 		out.Helps += st.Helps
 	}
+	tel := s.dir.Telemetry()
+	out.Lanes = tel.Lanes
+	out.LaneGrows = tel.Grows
+	out.LaneShrinks = tel.Shrinks
+	out.Steals = tel.Steals
 	return out
 }

@@ -1,0 +1,106 @@
+package wcq
+
+import "testing"
+
+// Lane-telemetry tests (PR 8 satellite, ROADMAP item 3: "Resize is
+// exported but unobserved"): the Stats lane fields must move when the
+// directory is forcibly resized and when dequeues steal across lanes,
+// on both striped front-ends.
+
+func TestStatsLaneTelemetryUnderResize(t *testing.T) {
+	s := MustStriped[int](6, 2, WithLaneBounds(1, 8), WithFixedLanes())
+	if st := s.Stats(); st.Lanes != 2 || st.LaneGrows != 0 || st.LaneShrinks != 0 {
+		t.Fatalf("fresh stats: %+v", st)
+	}
+	if err := s.Resize(6); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Lanes != 6 || st.LaneGrows != 1 {
+		t.Fatalf("after grow: Lanes=%d LaneGrows=%d", st.Lanes, st.LaneGrows)
+	}
+	if err := s.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Lanes != 1 || st.LaneGrows != 1 || st.LaneShrinks != 1 {
+		t.Fatalf("after shrink: Lanes=%d LaneGrows=%d LaneShrinks=%d",
+			st.Lanes, st.LaneGrows, st.LaneShrinks)
+	}
+}
+
+func TestDirectStatsLaneTelemetryUnderResize(t *testing.T) {
+	s, err := NewDirectStriped[uint32](6, 2, WithLaneBounds(1, 8), WithFixedLanes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Lanes != 2 || st.LaneGrows != 0 || st.LaneShrinks != 0 {
+		t.Fatalf("fresh stats: %+v", st)
+	}
+	if err := s.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Lanes != 5 || st.LaneGrows != 1 {
+		t.Fatalf("after grow: Lanes=%d LaneGrows=%d", st.Lanes, st.LaneGrows)
+	}
+	if err := s.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Lanes != 2 || st.LaneShrinks != 1 {
+		t.Fatalf("after shrink: Lanes=%d LaneShrinks=%d", st.Lanes, st.LaneShrinks)
+	}
+}
+
+func TestStatsStealTelemetry(t *testing.T) {
+	s := MustStriped[int](6, 2, WithFixedLanes())
+	h1, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Unregister()
+	h2, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Unregister()
+	if h1.Lane() == h2.Lane() {
+		t.Fatalf("handles share lane %d; least-bound Bind should split them", h1.Lane())
+	}
+	if !h1.Enqueue(7) {
+		t.Fatal("enqueue failed")
+	}
+	// h2 is bound to the other lane, so its dequeue must steal.
+	if v, ok := h2.Dequeue(); !ok || v != 7 {
+		t.Fatalf("steal dequeue got (%d,%v)", v, ok)
+	}
+	if st := s.Stats(); st.Steals == 0 {
+		t.Fatal("cross-lane dequeue did not move Stats.Steals")
+	}
+}
+
+func TestDirectStatsStealTelemetry(t *testing.T) {
+	s, err := NewDirectStriped[uint32](6, 2, WithFixedLanes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Unregister()
+	h2, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Unregister()
+	if h1.Lane() == h2.Lane() {
+		t.Fatalf("handles share lane %d; least-bound Bind should split them", h1.Lane())
+	}
+	if !h1.Enqueue(7) {
+		t.Fatal("enqueue failed")
+	}
+	if v, ok := h2.Dequeue(); !ok || v != 7 {
+		t.Fatalf("steal dequeue got (%d,%v)", v, ok)
+	}
+	if st := s.Stats(); st.Steals == 0 {
+		t.Fatal("cross-lane dequeue did not move Stats.Steals")
+	}
+}

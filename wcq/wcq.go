@@ -60,6 +60,19 @@
 // wait-free protocol requires and must not be shared between
 // concurrently running goroutines.
 //
+// On the direct shapes, explicit handles additionally carry a cached
+// head/tail window and amortized threshold maintenance (DESIGN.md
+// §14), so steady-state scalar ops skip the shared-cacheline
+// pre-checks entirely; Direct[T] further offers WithCoalescing, which
+// merges bursts of scalar enqueues into one ring reservation,
+// prefetches dequeues the same way, and eliminates same-handle
+// produce-consume pairs on an empty queue without touching the ring.
+// Coalescing trades peer visibility for throughput — a buffered value
+// is published at the next window fill, dequeue, Flush or Unregister
+// — so reach for it on streaming handles that own their traffic, not
+// for request/response handoffs where another goroutine must observe
+// each value immediately.
+//
 // All shapes also expose EnqueueBatch/DequeueBatch, which amortize
 // the ring reservation — one fetch-and-add per ring for a batch of k
 // operations instead of k — while preserving per-handle FIFO order
@@ -123,6 +136,7 @@ type config struct {
 	laneMin    int
 	laneMax    int
 	fixedLanes bool
+	coalesce   int
 }
 
 // Option configures queue construction.
@@ -180,6 +194,28 @@ func WithLaneBounds(min, max int) Option {
 // with known-stable parallelism.
 func WithFixedLanes() Option {
 	return func(c *config) { c.fixedLanes = true }
+}
+
+// WithCoalescing sets the op-coalescing window of the Direct queue's
+// explicit handles (DESIGN.md §14): a handle buffers up to `window`
+// back-to-back scalar enqueues and publishes them with ONE ring
+// reservation, and its scalar dequeues prefetch up to `window` values
+// per reservation. Per-handle FIFO is preserved — the buffers drain in
+// insertion order and every cross-call boundary (a dequeue after
+// enqueues, Flush, Unregister) publishes the pending window first.
+//
+// The trade-off is deferred visibility: a coalescing handle's Enqueue
+// returning true means "accepted for the next flush", not "visible to
+// other consumers yet", and prefetched values are invisible to peers
+// until this handle returns them. Use it for handles that stream —
+// pipeline stages, samplers, log shippers — not for request/response
+// signaling; leave it off (the default) when each value must be
+// observable the moment Enqueue returns. The window is clamped to the
+// queue capacity. Ignored by every other shape and by the handle-free
+// (pooled) call style, whose borrowed handles must never hold values
+// across calls.
+func WithCoalescing(window int) Option {
+	return func(c *config) { c.coalesce = window }
 }
 
 func buildConfig(opts []Option) config {
@@ -442,7 +478,9 @@ func (q *Queue[T]) Stats() Stats {
 
 // Stats are cumulative slow-path counters, plus — for Unbounded — the
 // ring-recycling pool counters (always zero for the bounded shapes,
-// which never allocate or recycle rings).
+// which never allocate or recycle rings), plus — for the striped
+// shapes — the elastic lane directory's telemetry (ROADMAP item 3:
+// Resize was exported but unobserved).
 type Stats struct {
 	SlowEnqueues uint64
 	SlowDequeues uint64
@@ -450,4 +488,15 @@ type Stats struct {
 	PoolHits     uint64 // ring hops served from the recycled pool
 	PoolMisses   uint64 // ring hops that allocated a fresh ring
 	PoolDrops    uint64 // retired rings dropped because the pool was full
+
+	// Elastic lane telemetry (striped shapes only; zero elsewhere).
+	// Grows/Shrinks/Steals are cumulative over the queue's lifetime —
+	// they count governor decisions and manual Resize calls actually
+	// applied, and dequeues served by a foreign lane — so deltas
+	// between snapshots are meaningful even though the per-lane
+	// slow-path counters above leave with retired lanes.
+	Lanes       int    // current active lane count
+	LaneGrows   uint64 // lane-count increases applied (governor or Resize)
+	LaneShrinks uint64 // lane-count decreases applied (governor or Resize)
+	Steals      uint64 // dequeues served by a foreign lane
 }
