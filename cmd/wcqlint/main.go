@@ -1,0 +1,102 @@
+// Command wcqlint is the repository's concurrency-invariant linter
+// (DESIGN.md §15): a multichecker for the custom analyzers in
+// internal/analysis that turns the prose invariants of DESIGN.md
+// §11/§12/§13/§14 into compile-time checks.
+//
+// Standalone (the CI mode — loads, builds, and checks packages):
+//
+//	go run ./cmd/wcqlint ./...
+//	go run ./cmd/wcqlint -tags wcq_failpoints ./...
+//
+// As a go vet tool (the per-package unitchecker protocol):
+//
+//	go build -o /tmp/wcqlint ./cmd/wcqlint
+//	go vet -vettool=/tmp/wcqlint ./...
+//
+// Exit status: 0 clean, 1 usage/load error, 2 findings — matching go
+// vet's convention so CI can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wcqueue/internal/analysis"
+	"wcqueue/internal/analysis/atomicmix"
+	"wcqueue/internal/analysis/failpointweave"
+	"wcqueue/internal/analysis/noallocdecl"
+	"wcqueue/internal/analysis/pinnedsection"
+	"wcqueue/internal/analysis/relaxedguard"
+)
+
+// analyzers is the suite; order fixes the report order for same-pos
+// findings.
+var analyzers = []*analysis.Analyzer{
+	relaxedguard.Analyzer,
+	atomicmix.Analyzer,
+	failpointweave.Analyzer,
+	noallocdecl.Analyzer,
+	pinnedsection.Analyzer,
+}
+
+func main() {
+	// go vet probes the tool's identity with -V=full and its flag set
+	// with -flags, then invokes it once per package with a *.cfg file
+	// as the sole argument.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		printVersion()
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		// No per-analyzer flags to expose to the driver.
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		vetMain(os.Args[1], analyzers)
+		return
+	}
+
+	tags := flag.String("tags", "", "comma-separated build tags forwarded to the loader")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wcqlint [-tags taglist] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cfg := analysis.LoadConfig{}
+	if *tags != "" {
+		cfg.Tags = strings.Split(*tags, ",")
+	}
+	pkgs, err := analysis.Load(cfg, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wcqlint: %v\n", err)
+		os.Exit(1)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wcqlint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fset := pkgs[0].Fset
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wcqlint: %d finding(s)\n", len(diags))
+		os.Exit(2)
+	}
+}

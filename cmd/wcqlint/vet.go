@@ -1,0 +1,160 @@
+package main
+
+// The go vet driver protocol ("unitchecker" mode): `go vet
+// -vettool=wcqlint` first runs `wcqlint -V=full` to fingerprint the
+// tool for build caching, then invokes it once per package with the
+// path of a JSON config file describing the unit of work — source
+// files, the import map, and the export-data file for every
+// dependency (the go command has already built those). The tool
+// type-checks the unit, runs the analyzers, writes the (empty — these
+// analyzers exchange no facts) .vetx facts file the driver expects,
+// and exits 2 if it found anything.
+//
+// This is a stdlib-only reimplementation of the subset of
+// golang.org/x/tools/go/analysis/unitchecker the suite needs; facts,
+// JSON diagnostics with suggested fixes, and flag forwarding are out
+// of scope.
+
+import (
+	"crypto/md5"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"wcqueue/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go command writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers `wcqlint -V=full`. The go command requires a
+// single line of the form "name version fingerprint..." and uses it as
+// the tool's cache key, so the fingerprint hashes the executable: a
+// rebuilt linter invalidates cached vet results.
+func printVersion() {
+	h := md5.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("wcqlint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// vetMain runs one unit of vet work described by cfgFile.
+func vetMain(cfgFile string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgFile, err)
+	}
+
+	// The driver expects the facts file regardless of findings; these
+	// analyzers produce none, so write it first and unconditionally.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "wcqlint: "+format+"\n", args...)
+	os.Exit(1)
+}

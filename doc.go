@@ -60,4 +60,18 @@
 // design (§6-§7), and the ring-recycling reset/reuse safety argument
 // (§8). The root package exists to host the per-figure benchmarks in
 // bench_test.go.
+//
+// Contributors: the repository's concurrency invariants are
+// machine-checked by cmd/wcqlint (DESIGN.md §15). Run it before
+// sending changes, either standalone as
+//
+//	go run ./cmd/wcqlint ./...
+//
+// or through the vet driver after installing the binary:
+//
+//	go vet -vettool=$(which wcqlint) ./...
+//
+// Findings are suppressed line-by-line with wcq:*-ok annotations, and
+// every suppression must state the reason the exception is safe; a
+// bare annotation is itself a finding.
 package wcqueue

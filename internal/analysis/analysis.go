@@ -1,0 +1,220 @@
+// Package analysis is the repository's static-analysis framework: a
+// deliberately small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface the wcqlint analyzers need
+// (DESIGN.md §15). The real go/analysis module is not vendored — the
+// build environment is offline and the repo's policy is stdlib-only —
+// so this package mirrors its Analyzer/Pass/Diagnostic shape on top of
+// go/ast + go/types, close enough that the analyzers would port to the
+// upstream API mechanically if the dependency ever lands.
+//
+// Beyond the go/analysis core, this package owns the one piece of
+// machinery every wcqlint analyzer shares: the `wcq:` annotation
+// grammar. Invariant suppressions are written
+//
+//	// wcq:relaxed-ok <reason>   (same line, or alone on the line above)
+//	// wcq:plain-ok <reason>
+//	// wcq:pinned-ok <reason>
+//	// wcq:alloc-ok <reason>
+//
+// and hot-path declarations are tagged in their doc comment
+//
+//	// wcq:noalloc
+//
+// A suppression without a reason is itself a finding: the whole point
+// of machine-checking DESIGN.md §11/§12/§14 is that every exception
+// carries its safety argument next to the code it excuses.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, e.g. "relaxedguard".
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Analyzers usually call Reportf.
+	Report func(Diagnostic)
+
+	// annots maps filename -> line -> annotations on that line, built
+	// lazily from the files' comment lists.
+	annots map[string]map[int][]Annotation
+}
+
+// An Annotation is one parsed `wcq:<name> <reason>` comment.
+type Annotation struct {
+	Name   string // e.g. "relaxed-ok" (the "wcq:" prefix is stripped)
+	Reason string // text after the name; may be empty (a finding)
+	Pos    token.Pos
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// AnnotationPrefix is the comment marker shared by every wcqlint
+// annotation and suppression.
+const AnnotationPrefix = "wcq:"
+
+// parseAnnotations scans every comment in the pass's files once.
+func (p *Pass) parseAnnotations() {
+	p.annots = make(map[string]map[int][]Annotation)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if strings.HasPrefix(text, "/*") {
+					// Block form, for lines that also carry another
+					// comment (fixtures pairing a suppression with a
+					// want marker).
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				} else {
+					text = strings.TrimPrefix(text, "//")
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AnnotationPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, AnnotationPrefix)
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if p.annots[pos.Filename] == nil {
+					p.annots[pos.Filename] = make(map[int][]Annotation)
+				}
+				p.annots[pos.Filename][pos.Line] = append(p.annots[pos.Filename][pos.Line],
+					Annotation{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()})
+			}
+		}
+	}
+}
+
+// Suppression looks for a `wcq:<name>` annotation covering pos: on the
+// same source line, or alone on the line immediately above (the
+// standalone form used when the flagged line has no room).
+func (p *Pass) Suppression(pos token.Pos, name string) (Annotation, bool) {
+	if p.annots == nil {
+		p.parseAnnotations()
+	}
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, a := range p.annots[position.Filename][line] {
+			if a.Name == name {
+				return a, true
+			}
+		}
+	}
+	return Annotation{}, false
+}
+
+// SuppressedOrReport is the shared suppression protocol: if pos carries
+// a `wcq:<name>` annotation with a non-empty reason the finding is
+// suppressed; an annotation without a reason is converted into its own
+// finding; otherwise msg is reported as-is.
+func (p *Pass) SuppressedOrReport(pos token.Pos, name, msg string) {
+	if a, ok := p.Suppression(pos, name); ok {
+		if a.Reason == "" {
+			p.Reportf(a.Pos, "wcq:%s annotation is missing its reason: every suppression must carry the safety argument that licenses it", name)
+		}
+		return
+	}
+	p.Reportf(pos, "%s", msg)
+}
+
+// HasDeclAnnotation reports whether a declaration's doc comment carries
+// `wcq:<name>` (e.g. wcq:noalloc on a hot-path function).
+func HasDeclAnnotation(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, AnnotationPrefix+name) {
+			rest := strings.TrimPrefix(text, AnnotationPrefix+name)
+			if rest == "" || strings.HasPrefix(rest, " ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PkgPathHasSuffix reports whether path is pkg or ends in "/pkg" — the
+// matching rule the analyzers use to recognize the repo's helper
+// packages (wcqueue/internal/atomicx, .../failpoint) while staying
+// testable against same-named stub packages in testdata.
+func PkgPathHasSuffix(path, pkg string) bool {
+	return path == pkg || strings.HasSuffix(path, "/"+pkg)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. The analyzers skip test files: the invariants they enforce are
+// hot-path production contracts, and tests legitimately do quiescent
+// plain access (Reset harnesses, white-box probes) everywhere.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// Callee resolves the object a call expression invokes (function,
+// method, or builtin), or nil when the callee is dynamic (a function
+// value or an interface method through a non-selector expression).
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}

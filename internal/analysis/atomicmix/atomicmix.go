@@ -1,0 +1,242 @@
+// Package atomicmix enforces the repository's single-discipline rule
+// for shared words (DESIGN.md §8/§10/§11): a field that is accessed
+// atomically anywhere must be accessed atomically everywhere. Mixing
+// disciplines is how quiescent-path shortcuts rot into data races —
+// the legal exceptions (Reset/Finalize/teardown paths that run inside
+// a documented quiescence window, and the TSO plain-store fast paths
+// whose ordering is carried by a neighboring RMW) must each carry a
+// `// wcq:plain-ok <reason>` annotation citing the quiescence or
+// ordering argument that makes the plain access safe.
+//
+// Two directions are checked, per package:
+//
+//  1. A plain-typed struct field whose address is passed to a
+//     sync/atomic function anywhere in the package must not also be
+//     read or written plainly.
+//  2. A field (or element) of an atomic wrapper type — sync/atomic's
+//     types, or the pad package's padded wrappers — must only be used
+//     through its methods or by taking its address; copying or
+//     overwriting the wrapper as a value bypasses the atomic API.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wcqueue/internal/analysis"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "check that a field touched by sync/atomic anywhere is accessed atomically " +
+		"everywhere, with wcq:plain-ok escape hatches for quiescent paths",
+	Run: run,
+}
+
+// use classifies one appearance of a tracked field.
+type use struct {
+	pos    token.Pos
+	atomic bool
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: classify every selector access of a plain-typed struct
+	// field as atomic (&f passed to a sync/atomic function) or plain.
+	uses := make(map[*types.Var][]use)
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldVar(pass, sel)
+			if field == nil || isAtomicType(field.Type()) {
+				return true
+			}
+			switch {
+			case isAtomicFuncArg(pass, sel, stack):
+				uses[field] = append(uses[field], use{sel.Pos(), true})
+			case isValueAccess(stack, sel):
+				uses[field] = append(uses[field], use{sel.Pos(), false})
+			}
+			return true
+		})
+	}
+	for field, us := range uses {
+		hasAtomic := false
+		for _, u := range us {
+			if u.atomic {
+				hasAtomic = true
+				break
+			}
+		}
+		if !hasAtomic {
+			continue
+		}
+		for _, u := range us {
+			if u.atomic {
+				continue
+			}
+			pass.SuppressedOrReport(u.pos, "plain-ok", fmt.Sprintf(
+				"field %s is accessed with sync/atomic elsewhere in this package but "+
+					"plainly here; use the atomic API, or annotate a quiescent path with "+
+					"// wcq:plain-ok <reason>", field.Name()))
+		}
+	}
+
+	// Pass 2: atomic wrapper values must never be copied or assigned
+	// wholesale — only method calls and address-taking are legal.
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			switch expr.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.Ident:
+			default:
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || !tv.IsValue() || !isAtomicType(tv.Type) {
+				return true
+			}
+			if id, ok := expr.(*ast.Ident); ok {
+				// Only flag identifiers naming variables (not types,
+				// package names, or field names inside selectors —
+				// those are reached through their parent selector).
+				if _, isVar := pass.TypesInfo.Uses[id].(*types.Var); !isVar {
+					return true
+				}
+				if len(stack) > 0 {
+					if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == id {
+						return true
+					}
+				}
+			}
+			if legalWrapperUse(pass, stack, expr) {
+				return true
+			}
+			pass.SuppressedOrReport(expr.Pos(), "plain-ok", fmt.Sprintf(
+				"%s value used plainly (copied, overwritten, or compared); atomic "+
+					"wrapper types must be used only through their methods or by address, "+
+					"or the quiescent path annotated with // wcq:plain-ok <reason>",
+				tv.Type.String()))
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil.
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj().(*types.Var)
+	}
+	// Qualified package-level vars (pkg.V) resolve through Uses; only
+	// struct fields are tracked, so ignore them.
+	return nil
+}
+
+// isAtomicType reports whether t is (a named instance of) an atomic
+// wrapper: any named type of package sync/atomic, or a struct-backed
+// named type of a pad package (the padded wrappers; the pure padding
+// arrays are not wrappers).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path == "sync/atomic" {
+		return true
+	}
+	if analysis.PkgPathHasSuffix(path, "pad") {
+		_, isStruct := named.Underlying().(*types.Struct)
+		return isStruct
+	}
+	return false
+}
+
+// isAtomicFuncArg reports whether sel appears as &sel in an argument of
+// a sync/atomic function call (atomic.LoadUint32(&f.v), ...).
+func isAtomicFuncArg(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	unary, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			obj := analysis.Callee(pass.TypesInfo, parent)
+			return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isValueAccess reports whether sel is a plain read or write of the
+// field's value: anything except taking its address or selecting
+// further through it.
+func isValueAccess(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.UnaryExpr:
+		return parent.Op != token.AND
+	case *ast.SelectorExpr:
+		// x.f.g — the access is classified at the outer selector.
+		return false
+	}
+	return true
+}
+
+// legalWrapperUse reports whether an atomic-wrapper-typed expression is
+// used in one of the legal shapes: method-call receiver, operand of &,
+// or base of an index/selector that is itself used legally.
+func legalWrapperUse(pass *analysis.Pass, stack []ast.Node, expr ast.Expr) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.UnaryExpr:
+		return parent.Op == token.AND
+	case *ast.SelectorExpr:
+		// Receiver of a method call (w.Load()), or intermediate
+		// selection; method selections are always legal, field
+		// selections into the wrapper's internals don't typecheck
+		// outside its package anyway.
+		return parent.X == expr
+	case *ast.ParenExpr, *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		// entries[j] as a base: legality is decided at the IndexExpr,
+		// which is itself visited as an expression.
+		return parent.X == expr
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		// Zero-value initialization inside a literal.
+		return true
+	}
+	return false
+}

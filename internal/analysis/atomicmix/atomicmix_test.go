@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"wcqueue/internal/analysis/atomicmix"
+	"wcqueue/internal/analysis/checktest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	checktest.Run(t, atomicmix.Analyzer, "a")
+}

@@ -1,0 +1,64 @@
+// Package a exercises atomicmix: a field touched by sync/atomic
+// anywhere must be accessed atomically everywhere, and atomic wrapper
+// values must not be copied or overwritten wholesale.
+package a
+
+import "sync/atomic"
+
+// S mixes disciplines on n; m is plain-only and never flagged.
+type S struct {
+	n uint64
+	m uint64
+}
+
+func atomicUse(s *S) { atomic.AddUint64(&s.n, 1) }
+
+func plainRead(s *S) uint64 {
+	return s.n // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func plainWrite(s *S) {
+	s.n = 0 // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func plainOnly(s *S) uint64 { return s.m }
+
+// quiescent is the legal escape hatch: the plain access carries its
+// quiescence argument.
+func quiescent(s *S) {
+	// wcq:plain-ok Reset runs after Close drains every handle; no concurrent access remains
+	s.n = 0
+}
+
+// missingReason converts an unreasoned suppression into a finding.
+func missingReason(s *S) uint64 {
+	return s.n /* wcq:plain-ok */ // want `missing its reason`
+}
+
+// W holds an atomic wrapper value.
+type W struct {
+	v atomic.Uint64
+}
+
+func copyWrapper(w *W) atomic.Uint64 {
+	return w.v // want `value used plainly`
+}
+
+func overwriteWrapper(w *W, o atomic.Uint64) {
+	w.v = o // want `value used plainly` `value used plainly`
+}
+
+func methodUse(w *W) uint64 { return w.v.Load() }
+
+func addrUse(w *W) *atomic.Uint64 { return &w.v }
+
+// sliceElem indexes into a wrapper slice and uses methods: legal.
+func sliceElem(es []atomic.Uint64, j int) uint64 {
+	return es[j].Load()
+}
+
+// wrapperQuiescent uses the same escape hatch for a wrapper copy.
+func wrapperQuiescent(w *W) atomic.Uint64 {
+	// wcq:plain-ok snapshot taken inside the recycle quiescence window
+	return w.v
+}

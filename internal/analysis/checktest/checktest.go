@@ -1,0 +1,133 @@
+// Package checktest is the analysistest-style harness for the wcqlint
+// analyzers: it loads fixture packages from the calling analyzer's
+// testdata/src tree, runs one analyzer over them, and compares the
+// findings against `// want "regexp"` comments in the fixture source.
+// A diagnostic with no matching want, or a want with no matching
+// diagnostic, fails the test — the fixtures pin both directions, so an
+// analyzer can neither regress into silence nor grow false positives
+// unnoticed.
+//
+// Fixture packages are ordinary module packages that happen to live
+// under testdata/ (the go tool ignores them in ./... expansion but
+// loads them fine when named explicitly), so stubs resolve by import
+// path suffix: a fixture's atomicx stub at
+// .../testdata/src/atomicx satisfies the analyzers'
+// PkgPathHasSuffix matching exactly like the real
+// wcqueue/internal/atomicx does.
+package checktest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path"
+	"regexp"
+	"strings"
+	"testing"
+
+	"wcqueue/internal/analysis"
+)
+
+// wantRE extracts the quoted patterns of one `// want "rx" "rx2"`
+// comment.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one unconsumed want pattern at a file:line.
+type expectation struct {
+	rx   *regexp.Regexp
+	text string
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package
+// (relative to the test's working directory, which `go test` sets to
+// the analyzer's source directory), applies the analyzer, and checks
+// its findings against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("checktest: getwd: %v", err)
+	}
+	patterns := make([]string, len(fixtures))
+	for i, p := range fixtures {
+		patterns[i] = "./" + path.Join("testdata", "src", p)
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: wd}, patterns...)
+	if err != nil {
+		t.Fatalf("checktest: loading fixtures: %v", err)
+	}
+	if len(pkgs) != len(fixtures) {
+		t.Fatalf("checktest: loaded %d packages for %d fixtures", len(pkgs), len(fixtures))
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("checktest: running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		rest := wants[key][:0]
+		for _, w := range wants[key] {
+			if !matched && w.rx.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s: no finding matched want %q", key, w.text)
+		}
+	}
+}
+
+// collectWants scans every fixture file's comments for want patterns.
+func collectWants(t *testing.T, pkgs []*analysis.Package) map[string][]expectation {
+	t.Helper()
+	wants := make(map[string][]expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					addWants(t, wants, pkg.Fset, c.Pos(), strings.TrimPrefix(text, "want "))
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func addWants(t *testing.T, wants map[string][]expectation, fset *token.FileSet, pos token.Pos, spec string) {
+	t.Helper()
+	position := fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	ms := wantRE.FindAllStringSubmatch(spec, -1)
+	if len(ms) == 0 {
+		t.Fatalf("%s: malformed want comment %q: no quoted pattern", key, spec)
+	}
+	for _, m := range ms {
+		pat := m[1]
+		if m[2] != "" {
+			pat = m[2]
+		} else {
+			pat = strings.ReplaceAll(pat, `\"`, `"`)
+		}
+		rx, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+		}
+		wants[key] = append(wants[key], expectation{rx: rx, text: pat})
+	}
+}

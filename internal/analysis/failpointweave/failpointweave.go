@@ -1,0 +1,168 @@
+// Package failpointweave enforces the failpoint weave pattern
+// (DESIGN.md §12): the injection layer must dead-code to nothing in
+// untagged builds, which is only true when every failpoint.Inject call
+// is guarded by `if failpoint.Enabled` (the untyped-constant-false
+// branch the compiler deletes), its site argument is one of the named
+// Site constants, and sites are declared in exactly one place —
+// internal/failpoint/sites.go — so site names stay unique and
+// harnesses can iterate the full matrix.
+package failpointweave
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"wcqueue/internal/analysis"
+)
+
+// Analyzer is the failpointweave analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "failpointweave",
+	Doc: "check that every failpoint.Inject is guarded by if failpoint.Enabled, takes " +
+		"a named Site constant, and that Site constants are declared only in sites.go",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	inFailpointPkg := analysis.PkgPathHasSuffix(pass.Pkg.Path(), "failpoint")
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		checkSiteDecls(pass, file, inFailpointPkg)
+		analysis.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isInjectCall(pass, call) {
+				return true
+			}
+			if !guardedByEnabled(pass, stack) {
+				pass.Reportf(call.Pos(),
+					"failpoint.Inject outside an `if failpoint.Enabled` guard: the weave "+
+						"must dead-code to nothing in untagged builds (DESIGN.md §12)")
+			}
+			if len(call.Args) != 1 || !isSiteConst(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"failpoint.Inject argument must be a named Site constant declared in "+
+						"internal/failpoint/sites.go, not a computed value")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSiteDecls reports Site-typed constant or variable declarations
+// outside their single legal home. Inside the failpoint package that
+// home is sites.go; other packages may not declare sites at all.
+func checkSiteDecls(pass *analysis.Pass, file *ast.File, inFailpointPkg bool) {
+	base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+	if inFailpointPkg && base == "sites.go" {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for _, name := range spec.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || !isSiteType(obj.Type()) {
+				continue
+			}
+			if _, isConst := obj.(*types.Const); !isConst {
+				if _, isVar := obj.(*types.Var); !isVar {
+					continue
+				}
+			}
+			if inFailpointPkg {
+				pass.Reportf(name.Pos(),
+					"failpoint Site %s declared outside sites.go: sites.go is the single "+
+						"declaration point, so site constants stay unique and enumerable", name.Name)
+			} else {
+				pass.Reportf(name.Pos(),
+					"failpoint Site %s declared outside the failpoint package: add new "+
+						"sites to internal/failpoint/sites.go", name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isInjectCall reports whether call invokes failpoint.Inject.
+func isInjectCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := analysis.Callee(pass.TypesInfo, call)
+	return obj != nil && obj.Name() == "Inject" && obj.Pkg() != nil &&
+		analysis.PkgPathHasSuffix(obj.Pkg().Path(), "failpoint")
+}
+
+// guardedByEnabled reports whether some enclosing if statement's
+// condition is (or conjoins) the failpoint.Enabled constant.
+func guardedByEnabled(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// The Inject call must be in the body (not the condition or
+		// the else branch) for the guard to dead-code it.
+		if i+1 < len(stack) && stack[i+1] != ast.Node(ifStmt.Body) {
+			continue
+		}
+		if condHasEnabled(pass, ifStmt.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// condHasEnabled reports whether cond is failpoint.Enabled or a &&
+// conjunction containing it (x && Enabled dead-codes just the same).
+func condHasEnabled(pass *analysis.Pass, cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op.String() == "&&" {
+			return condHasEnabled(pass, e.X) || condHasEnabled(pass, e.Y)
+		}
+		return false
+	default:
+		obj := usedObj(pass, cond)
+		return obj != nil && obj.Name() == "Enabled" && obj.Pkg() != nil &&
+			analysis.PkgPathHasSuffix(obj.Pkg().Path(), "failpoint")
+	}
+}
+
+// isSiteConst reports whether arg names a constant of the failpoint
+// Site type.
+func isSiteConst(pass *analysis.Pass, arg ast.Expr) bool {
+	obj := usedObj(pass, arg)
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.Const); !ok {
+		return false
+	}
+	return isSiteType(obj.Type())
+}
+
+// isSiteType reports whether t is the failpoint package's Site type.
+func isSiteType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Site" && obj.Pkg() != nil &&
+		analysis.PkgPathHasSuffix(obj.Pkg().Path(), "failpoint")
+}
+
+// usedObj resolves an identifier or selector expression to its object.
+func usedObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}

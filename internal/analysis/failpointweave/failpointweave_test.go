@@ -1,0 +1,12 @@
+package failpointweave_test
+
+import (
+	"testing"
+
+	"wcqueue/internal/analysis/checktest"
+	"wcqueue/internal/analysis/failpointweave"
+)
+
+func TestFailpointWeave(t *testing.T) {
+	checktest.Run(t, failpointweave.Analyzer, "a", "failpoint")
+}

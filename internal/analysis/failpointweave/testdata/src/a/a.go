@@ -1,0 +1,57 @@
+// Package a exercises failpointweave: every Inject guarded by
+// failpoint.Enabled, site arguments named constants, sites declared
+// only in the failpoint package's sites.go.
+package a
+
+import (
+	"wcqueue/internal/analysis/failpointweave/testdata/src/failpoint"
+)
+
+var debug bool
+
+// guarded is the weave pattern: dead-codes to nothing when Enabled is
+// the constant false.
+func guarded() {
+	if failpoint.Enabled {
+		failpoint.Inject(failpoint.SiteA)
+	}
+}
+
+// conjunction keeps the dead-coding property: the && with Enabled
+// still deletes the branch.
+func conjunction() {
+	if debug && failpoint.Enabled {
+		failpoint.Inject(failpoint.SiteB)
+	}
+}
+
+// unguarded leaves the Inject call live in untagged builds.
+func unguarded() {
+	failpoint.Inject(failpoint.SiteA) // want `outside an .if failpoint.Enabled. guard`
+}
+
+// wrongGuard tests that an unrelated condition does not count.
+func wrongGuard() {
+	if debug {
+		failpoint.Inject(failpoint.SiteA) // want `outside an .if failpoint.Enabled. guard`
+	}
+}
+
+// elseBranch puts the Inject where the guard cannot dead-code it.
+func elseBranch() {
+	if failpoint.Enabled {
+		_ = debug
+	} else {
+		failpoint.Inject(failpoint.SiteA) // want `outside an .if failpoint.Enabled. guard`
+	}
+}
+
+// computed passes a non-constant site.
+func computed(s failpoint.Site) {
+	if failpoint.Enabled {
+		failpoint.Inject(s) // want `must be a named Site constant`
+	}
+}
+
+// outsideDecl declares a site outside the failpoint package.
+const outsideDecl failpoint.Site = 7 // want `Site outsideDecl declared outside the failpoint package`

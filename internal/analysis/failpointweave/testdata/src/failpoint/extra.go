@@ -1,0 +1,5 @@
+package failpoint
+
+// A site declared outside sites.go breaks the single-declaration-point
+// rule even inside the failpoint package itself.
+const Rogue Site = 99 // want `Site Rogue declared outside sites.go`

@@ -1,0 +1,8 @@
+// Package failpoint is a fixture stub mirroring the shape of
+// wcqueue/internal/failpoint: a Site enum declared in sites.go, a
+// compile-time Enabled constant, and an Inject entry point.
+package failpoint
+
+const Enabled = false
+
+func Inject(s Site) {}

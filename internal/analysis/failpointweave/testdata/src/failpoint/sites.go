@@ -1,0 +1,9 @@
+package failpoint
+
+// Site names one failpoint injection site.
+type Site uint32
+
+const (
+	SiteA Site = iota
+	SiteB
+)

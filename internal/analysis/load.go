@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// LoadConfig controls Load.
+type LoadConfig struct {
+	// Dir is the directory go list runs in (the module root, or any
+	// directory inside it). Empty means the current directory.
+	Dir string
+	// Tags are extra build tags (e.g. wcq_failpoints) forwarded to go
+	// list, so tagged weaves can be linted too.
+	Tags []string
+	// Env entries are appended to the go list environment (e.g.
+	// GOARCH=arm64 to lint another build-tag split).
+	Env []string
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+}
+
+// Load loads and type-checks the packages matched by patterns, plus
+// export data for their whole dependency closure, using only the go
+// command and the standard library. It is the offline stand-in for
+// golang.org/x/tools/go/packages.Load: `go list -export -deps` builds
+// and exposes gc export data for every dependency (stdlib included),
+// the matched packages themselves are parsed from source with comments
+// (the analyzers need the wcq: annotations), and imports resolve
+// through importer.ForCompiler's export-data reader.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	roots, err := goList(cfg, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(cfg, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	sizes := types.SizesFor("gc", goEnvArch(cfg))
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+
+	var pkgs []*Package
+	for _, lp := range roots {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// goEnvArch returns the GOARCH the load is configured for (an explicit
+// GOARCH in cfg.Env, else the process's).
+func goEnvArch(cfg LoadConfig) string {
+	for _, e := range cfg.Env {
+		if v, ok := strings.CutPrefix(e, "GOARCH="); ok && v != "" {
+			return v
+		}
+	}
+	return runtime.GOARCH
+}
+
+func goList(cfg LoadConfig, deps bool, patterns []string) ([]listedPkg, error) {
+	args := []string{"list", "-json=ImportPath,Dir,Export,GoFiles,Standard"}
+	if deps {
+		args = append(args, "-deps", "-export")
+	}
+	if len(cfg.Tags) > 0 {
+		args = append(args, "-tags", strings.Join(cfg.Tags, ","))
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), cfg.Env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,212 @@
+// Package noallocdecl enforces the hot-path allocation contract: a
+// function whose doc comment carries `// wcq:noalloc` — the paths
+// pinned to zero by the AllocsPerRun regression tests — must contain
+// no allocating construct. The dynamic tests catch a regression only
+// on the inputs they run; this analyzer catches it at vet time on
+// every path.
+//
+// Flagged constructs: make/new/append, composite literals, closures
+// (func literals), go statements, interface boxing (explicit
+// conversions and concrete arguments to interface parameters,
+// including panic's operand), and string<->[]byte conversions. Calls
+// into the same package must target functions that are themselves
+// annotated wcq:noalloc, so the guarantee composes down the local call
+// graph; cross-package and interface calls are out of scope (the
+// AllocsPerRun tests remain the dynamic backstop there). A cold path
+// inside a hot function (a panic formatting its message, a fallback
+// that registers a new handle) is suppressed with
+// `// wcq:alloc-ok <reason>`.
+package noallocdecl
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wcqueue/internal/analysis"
+)
+
+// Analyzer is the noallocdecl analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noallocdecl",
+	Doc: "check that functions annotated wcq:noalloc contain no allocating " +
+		"constructs and call only wcq:noalloc functions within their package",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Map every package-level function/method declaration to whether it
+	// carries the annotation, for the same-package composition rule.
+	noalloc := make(map[types.Object]bool)
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			noalloc[obj] = analysis.HasDeclAnnotation(fd.Doc, "noalloc")
+		}
+	}
+	for obj, fd := range decls {
+		if noalloc[obj] && fd.Body != nil {
+			checkBody(pass, fd, noalloc, decls)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, noalloc map[types.Object]bool, decls map[types.Object]*ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(pass, n.Pos(), "func literal allocates a closure")
+			return false // the literal's own body runs un-annotated
+		case *ast.GoStmt:
+			report(pass, n.Pos(), "go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			report(pass, n.Pos(), "composite literal may allocate")
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n, noalloc, decls)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, noalloc map[types.Object]bool, decls map[types.Object]*ast.FuncDecl) {
+	// Type conversions.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, call, tv.Type)
+		return
+	}
+	obj := analysis.Callee(pass.TypesInfo, call)
+	if b, ok := obj.(*types.Builtin); ok {
+		switch b.Name() {
+		case "make", "new", "append":
+			report(pass, call.Pos(), fmt.Sprintf("%s allocates", b.Name()))
+		case "panic":
+			if len(call.Args) == 1 && boxes(pass, call.Args[0], types.NewInterfaceType(nil, nil)) {
+				report(pass, call.Pos(), "panic boxes its operand into an interface")
+			}
+		}
+		return
+	}
+	// Interface boxing at ordinary call arguments.
+	if sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature); ok && call.Ellipsis == 0 {
+		checkArgs(pass, call, sig)
+	}
+	// Same-package composition: a noalloc function may only call
+	// same-package functions that are themselves noalloc.
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != pass.Pkg {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return // dynamic dispatch: out of static scope
+		}
+	}
+	if _, declared := decls[fn]; declared && !noalloc[fn] {
+		report(pass, call.Pos(), fmt.Sprintf(
+			"call to %s, which is not annotated wcq:noalloc; annotate it (the "+
+				"guarantee must compose) or suppress a cold path with wcq:alloc-ok", fn.Name()))
+	}
+}
+
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	if types.IsInterface(target) && boxes(pass, arg, target) {
+		report(pass, call.Pos(), "conversion to interface type allocates")
+		return
+	}
+	at, ok := pass.TypesInfo.Types[arg]
+	if !ok {
+		return
+	}
+	tu, au := target.Underlying(), at.Type.Underlying()
+	_, targetSlice := tu.(*types.Slice)
+	_, argSlice := au.(*types.Slice)
+	targetStr := isString(tu)
+	argStr := isString(au)
+	if (targetStr && argSlice) || (targetSlice && argStr) {
+		report(pass, call.Pos(), "string/slice conversion copies and allocates")
+	}
+}
+
+func checkArgs(pass *analysis.Pass, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt != nil && types.IsInterface(pt) && boxes(pass, arg, pt) {
+			report(pass, arg.Pos(), "concrete value boxed into interface parameter allocates")
+		}
+	}
+}
+
+// boxes reports whether passing arg to an interface-typed slot
+// requires a representation change that can allocate: the argument is
+// a concrete (non-interface) value that is not pointer-shaped.
+// Pointer-shaped values — pointers, channels, maps, funcs,
+// unsafe.Pointer — are stored directly in the interface data word, so
+// boxing them never allocates.
+func boxes(pass *analysis.Pass, arg ast.Expr, _ types.Type) bool {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() || tv.Type == types.Typ[types.UntypedNil] {
+		return false
+	}
+	if types.IsInterface(tv.Type) {
+		return false
+	}
+	if tv.Value != nil {
+		// Constant operand: the compiler materializes it in static
+		// data, so the interface conversion is allocation-free
+		// (panic("message") being the common case).
+		return false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// report applies the shared suppression protocol: a finding inside a
+// wcq:noalloc function is silenced only by a reasoned wcq:alloc-ok on
+// its line (or the line above).
+func report(pass *analysis.Pass, pos token.Pos, msg string) {
+	pass.SuppressedOrReport(pos, "alloc-ok", msg+" in a wcq:noalloc function")
+}

@@ -1,0 +1,12 @@
+package noallocdecl_test
+
+import (
+	"testing"
+
+	"wcqueue/internal/analysis/checktest"
+	"wcqueue/internal/analysis/noallocdecl"
+)
+
+func TestNoAllocDecl(t *testing.T) {
+	checktest.Run(t, noallocdecl.Analyzer, "a")
+}

@@ -1,0 +1,102 @@
+// Package a exercises noallocdecl: functions annotated wcq:noalloc
+// must contain no allocating construct, and the guarantee must compose
+// through same-package calls.
+package a
+
+var sinkVal int
+
+// wcq:noalloc
+func badMake() []int {
+	return make([]int, 4) // want `make allocates`
+}
+
+// wcq:noalloc
+func badNew() *int {
+	return new(int) // want `new allocates`
+}
+
+// wcq:noalloc
+func badAppend(s []int) []int {
+	return append(s, 1) // want `append allocates`
+}
+
+// wcq:noalloc
+func badClosure() func() {
+	return func() {} // want `func literal allocates a closure`
+}
+
+// wcq:noalloc
+func badGo() {
+	go leaf() // want `go statement allocates a goroutine`
+}
+
+type pair struct{ a, b int }
+
+// wcq:noalloc
+func badComposite() pair {
+	return pair{1, 2} // want `composite literal may allocate`
+}
+
+// wcq:noalloc
+func sink(v interface{}) {}
+
+// wcq:noalloc
+func badBox(x int) {
+	sink(x) // want `concrete value boxed into interface parameter allocates`
+}
+
+// wcq:noalloc
+func badPanicBox() {
+	panic(sinkVal) // want `panic boxes its operand into an interface`
+}
+
+// wcq:noalloc
+func badConvert(x int) interface{} {
+	return interface{}(x) // want `conversion to interface type allocates`
+}
+
+// wcq:noalloc
+func badString(b []byte) string {
+	return string(b) // want `string/slice conversion copies and allocates`
+}
+
+// wcq:noalloc
+func badCompose() {
+	unannotated() // want `call to unannotated, which is not annotated`
+}
+
+func unannotated() {}
+
+// wcq:noalloc
+func leaf() {}
+
+// okPointer passes a pointer-shaped value: stored directly in the
+// interface word, no allocation.
+// wcq:noalloc
+func okPointer(p *int) {
+	sink(p)
+}
+
+// okConst boxes a constant: materialized in static data.
+// wcq:noalloc
+func okConst() {
+	panic("fixture: invariant broken")
+}
+
+// okSuppressed carries the cold-path escape hatch.
+// wcq:noalloc
+func okSuppressed() []int {
+	// wcq:alloc-ok cold fallback behind a once guard; the steady state returns the cached slice
+	return make([]int, 4)
+}
+
+// missingReason turns an unreasoned suppression into a finding.
+// wcq:noalloc
+func missingReason() []int {
+	return make([]int, 4) /* wcq:alloc-ok */ // want `missing its reason`
+}
+
+// unpinned is not annotated: allocations are fine here.
+func unpinned() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,160 @@
+// Package pinnedsection enforces the resident fast path's pin contract
+// (DESIGN.md §13): between procPin and procUnpin the goroutine holds
+// its P exclusively, so the pinned section must be bounded, non-
+// yielding, non-blocking, and panic-free — a channel operation, lock,
+// Gosched, sleep, or panic while pinned can deadlock the scheduler or
+// strand the pin. The analyzer recognizes the repo's pin brackets
+// (pinProc/unpinProc, runtimeProcPin/runtimeProcUnpin, and the
+// pinnedGet/pinnedRelease pool helpers) and flags yielding constructs
+// that appear, in source order, inside an open bracket.
+//
+// The scan is linear over each function body rather than a full CFG:
+// a construct after an early unpin on one path but before the final
+// unpin on another is conservatively treated as pinned. A site the
+// analyzer cannot see is safe (e.g. provably after every unpin) is
+// annotated `// wcq:pinned-ok <reason>`.
+package pinnedsection
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"wcqueue/internal/analysis"
+)
+
+// Analyzer is the pinnedsection analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "pinnedsection",
+	Doc: "check that no yielding or blocking construct (channel ops, locks, Gosched, " +
+		"Sleep, panic, go) appears between procPin and procUnpin",
+	Run: run,
+}
+
+var pinNames = map[string]bool{
+	"pinProc":        true,
+	"runtimeProcPin": true,
+	"pinnedGet":      true,
+}
+
+var unpinNames = map[string]bool{
+	"unpinProc":        true,
+	"runtimeProcUnpin": true,
+	"pinnedRelease":    true,
+}
+
+// blockingCalls maps callee names to why they are illegal while
+// pinned. Matching is by name plus, for the stdlib entries, package
+// or receiver origin checked in yieldReason.
+var blockingCalls = map[string]string{
+	"Gosched": "reenters the scheduler",
+	"Sleep":   "blocks the P",
+	"Lock":    "may block on a contended lock",
+	"RLock":   "may block on a contended lock",
+	"Wait":    "parks the goroutine",
+}
+
+type event struct {
+	pos  token.Pos
+	kind int // 0 pin, 1 unpin, 2 yield
+	msg  string
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := calleeName(pass, n); ok {
+				switch {
+				case pinNames[name]:
+					events = append(events, event{n.Pos(), 0, ""})
+				case unpinNames[name]:
+					events = append(events, event{n.Pos(), 1, ""})
+				default:
+					if why, bad := blockingCalls[name]; bad && stdlibOrSyncCallee(pass, n) {
+						events = append(events, event{n.Pos(), 2, "call to " + name + " " + why})
+					}
+				}
+			}
+			if b, ok := analysis.Callee(pass.TypesInfo, n).(*types.Builtin); ok && b.Name() == "panic" {
+				events = append(events, event{n.Pos(), 2, "panic unwinds with the pin held"})
+			}
+		case *ast.SendStmt:
+			events = append(events, event{n.Pos(), 2, "channel send may block"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, event{n.Pos(), 2, "channel receive may block"})
+			}
+		case *ast.SelectStmt:
+			events = append(events, event{n.Pos(), 2, "select may block"})
+			// Still descend: nested sections inside cases are scanned.
+		case *ast.GoStmt:
+			events = append(events, event{n.Pos(), 2, "go statement hands work to the scheduler"})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	depth := 0
+	for _, e := range events {
+		switch e.kind {
+		case 0:
+			depth++
+		case 1:
+			if depth > 0 {
+				depth--
+			}
+		case 2:
+			if depth > 0 {
+				pass.SuppressedOrReport(e.pos, "pinned-ok",
+					e.msg+" inside a procPin/procUnpin section; the resident fast path "+
+						"must stay bounded and non-yielding (DESIGN.md §13)")
+			}
+		}
+	}
+}
+
+// calleeName extracts the bare name of a call's callee (function or
+// method), for matching against the pin/unpin/blocking tables.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name, true
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, true
+	}
+	return "", false
+}
+
+// stdlibOrSyncCallee limits the blockingCalls matches to callees that
+// plausibly block: functions from runtime/time, methods on sync types,
+// or any callee the type checker cannot attribute (conservative).
+func stdlibOrSyncCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := analysis.Callee(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil {
+		return true
+	}
+	switch obj.Pkg().Path() {
+	case "runtime", "time", "sync":
+		return true
+	}
+	return false
+}
+

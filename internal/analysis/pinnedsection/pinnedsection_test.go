@@ -1,0 +1,12 @@
+package pinnedsection_test
+
+import (
+	"testing"
+
+	"wcqueue/internal/analysis/checktest"
+	"wcqueue/internal/analysis/pinnedsection"
+)
+
+func TestPinnedSection(t *testing.T) {
+	checktest.Run(t, pinnedsection.Analyzer, "a")
+}

@@ -1,0 +1,103 @@
+// Package a exercises pinnedsection: no yielding or blocking construct
+// between procPin and procUnpin.
+package a
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// pinProc and unpinProc mirror the repo's pin bracket; the analyzer
+// matches them by name.
+func pinProc() int { return 0 }
+
+func unpinProc() {}
+
+func badSend(ch chan int) {
+	pinProc()
+	ch <- 1 // want `channel send may block`
+	unpinProc()
+}
+
+func badRecv(ch chan int) int {
+	pinProc()
+	v := <-ch // want `channel receive may block`
+	unpinProc()
+	return v
+}
+
+func badGosched() {
+	pinProc()
+	runtime.Gosched() // want `call to Gosched reenters the scheduler`
+	unpinProc()
+}
+
+func badSleep() {
+	pinProc()
+	time.Sleep(time.Millisecond) // want `call to Sleep blocks the P`
+	unpinProc()
+}
+
+func badLock(mu *sync.Mutex) {
+	pinProc()
+	mu.Lock() // want `call to Lock may block on a contended lock`
+	unpinProc()
+}
+
+func badPanic(broken bool) {
+	pinProc()
+	if broken {
+		panic("fixture: invariant broken") // want `panic unwinds with the pin held`
+	}
+	unpinProc()
+}
+
+func badGo() {
+	pinProc()
+	go unpinProc() // want `go statement hands work to the scheduler`
+	unpinProc()
+}
+
+func badSelect(ch chan int) {
+	pinProc()
+	select { // want `select may block`
+	case v := <-ch: // want `channel receive may block`
+		_ = v
+	default:
+	}
+	unpinProc()
+}
+
+// okAfterUnpin yields only once the pin is released.
+func okAfterUnpin(ch chan int) {
+	pinProc()
+	unpinProc()
+	ch <- 1
+}
+
+// okUnpinned never pins at all.
+func okUnpinned(ch chan int) {
+	go badGo()
+	ch <- 1
+	runtime.Gosched()
+}
+
+// okSuppressed carries the pinned-ok escape hatch with its reason.
+func okSuppressed(ch chan int) {
+	pinProc()
+	// wcq:pinned-ok buffered channel sized by the caller, the send cannot block
+	ch <- 1
+	unpinProc()
+}
+
+// okLocalLock is a Lock on a non-stdlib receiver: not flagged.
+type spin struct{}
+
+func (spin) Lock() {}
+
+func okLocalLock(s spin) {
+	pinProc()
+	s.Lock()
+	unpinProc()
+}

@@ -1,0 +1,179 @@
+// Package relaxedguard enforces the hot-path atomic diet's consumption
+// contract (DESIGN.md §11): the value returned by an
+// atomicx.RelaxedLoad* call is a formal data race with no ordering
+// guarantees, so it is only legal to use where staleness is harmless —
+// it must flow into an authoritative atomic re-check (a CompareAndSwap
+// that re-validates it, or a guarded early-exit whose false negative
+// merely costs more work) before anything irreversible depends on it.
+// A use the analyzer cannot prove safe must carry a
+// `// wcq:relaxed-ok <reason>` annotation stating the site's safety
+// argument — the PR 5 review bug class (a hoisted threshold load) is
+// exactly what an unguarded escape looks like.
+package relaxedguard
+
+import (
+	"go/ast"
+	"go/token"
+
+	"wcqueue/internal/analysis"
+)
+
+// Analyzer is the relaxedguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "relaxedguard",
+	Doc: "check that every atomicx.RelaxedLoad* result is re-validated by a CAS, " +
+		"consumed by a conservative early-exit guard, or annotated wcq:relaxed-ok",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRelaxedLoad(pass, call) {
+				return true
+			}
+			if safeUse(pass, call, stack) {
+				return true
+			}
+			pass.SuppressedOrReport(call.Pos(), "relaxed-ok",
+				"relaxed load result is not re-validated by an authoritative atomic "+
+					"re-check (CAS or seq-cst reload) in this function; re-check it or "+
+					"annotate the site with // wcq:relaxed-ok <reason> (DESIGN.md §11)")
+			return true
+		})
+	}
+	return nil
+}
+
+// isRelaxedLoad reports whether call invokes a RelaxedLoad* function of
+// an atomicx package.
+func isRelaxedLoad(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := analysis.Callee(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if !analysis.PkgPathHasSuffix(obj.Pkg().Path(), "atomicx") {
+		return false
+	}
+	name := obj.Name()
+	return len(name) >= len("RelaxedLoad") && name[:len("RelaxedLoad")] == "RelaxedLoad"
+}
+
+// safeUse reports whether the relaxed load's result provably flows into
+// an authoritative re-check within the enclosing function. Three local
+// patterns qualify:
+//
+//  1. The result is an argument of a CompareAndSwap call — the CAS
+//     re-validates the value (a stale read costs one retry).
+//  2. The result feeds a comparison that is the condition of an if
+//     whose body only returns — the conservative early-exit (a stale
+//     read makes the caller do strictly more work, never less).
+//  3. The result is bound to a local that is later passed to a
+//     CompareAndSwap in the same function — the spelled-out form of 1.
+func safeUse(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	// Walk outward, skipping parenthesization and the comparison /
+	// boolean structure of a guard condition.
+	child := ast.Node(call)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr, *ast.BinaryExpr:
+			child = parent
+			continue
+		case *ast.CallExpr:
+			// Pattern 1: argument of CompareAndSwap.
+			if isCASCall(pass, parent) && child != ast.Node(parent.Fun) {
+				return true
+			}
+			return false
+		case *ast.IfStmt:
+			// Pattern 2: (part of) the condition of an early-exit guard.
+			if containsNode(parent.Cond, child) && bodyOnlyReturns(parent.Body) {
+				return true
+			}
+			return false
+		case *ast.AssignStmt:
+			// Pattern 3: v := RelaxedLoad(p); ... p.CompareAndSwap(v, ...).
+			if len(parent.Lhs) == 1 && len(parent.Rhs) == 1 && parent.Rhs[0] == child {
+				if id, ok := parent.Lhs[0].(*ast.Ident); ok {
+					if fn := analysis.EnclosingFunc(stack); fn != nil {
+						return casConsumes(pass, fn, id, parent.End())
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isCASCall reports whether call invokes a method or function named
+// CompareAndSwap*.
+func isCASCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := analysis.Callee(pass.TypesInfo, call)
+	if obj == nil {
+		return false
+	}
+	name := obj.Name()
+	return len(name) >= len("CompareAndSwap") && name[:len("CompareAndSwap")] == "CompareAndSwap"
+}
+
+// containsNode reports whether needle appears within root.
+func containsNode(root ast.Node, needle ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyOnlyReturns reports whether a block consists solely of return
+// statements (the early-exit shape).
+func bodyOnlyReturns(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		if _, ok := stmt.(*ast.ReturnStmt); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// casConsumes reports whether the variable defined by id is used as an
+// argument of a CompareAndSwap call after pos within fn.
+func casConsumes(pass *analysis.Pass, fn ast.Node, id *ast.Ident, pos token.Pos) bool {
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || !isCASCall(pass, call) {
+			return !found
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if use, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[use] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

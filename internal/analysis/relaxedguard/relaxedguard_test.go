@@ -1,0 +1,12 @@
+package relaxedguard_test
+
+import (
+	"testing"
+
+	"wcqueue/internal/analysis/checktest"
+	"wcqueue/internal/analysis/relaxedguard"
+)
+
+func TestRelaxedGuard(t *testing.T) {
+	checktest.Run(t, relaxedguard.Analyzer, "a")
+}

@@ -1,0 +1,83 @@
+// Package a exercises relaxedguard: every RelaxedLoad* result must
+// flow into an authoritative re-check or carry wcq:relaxed-ok.
+package a
+
+import (
+	"sync/atomic"
+
+	"wcqueue/internal/analysis/relaxedguard/testdata/src/atomicx"
+)
+
+// escape returns the raw relaxed value: the unguarded use the analyzer
+// exists to catch.
+func escape(p *atomic.Uint64) uint64 {
+	return atomicx.RelaxedLoad(p) // want `relaxed load result is not re-validated`
+}
+
+// casArg feeds the relaxed value straight into a CAS: pattern 1.
+func casArg(p *atomic.Uint64) {
+	p.CompareAndSwap(atomicx.RelaxedLoad(p), 1)
+}
+
+// guardExit consumes the relaxed value in an early-exit comparison
+// whose body only returns: pattern 2 (the rearmThreshold shape).
+func guardExit(p *atomic.Int64, thresh int64) {
+	if atomicx.RelaxedLoadInt64(p) == thresh {
+		return
+	}
+	p.Store(thresh)
+}
+
+// guardConjunction still qualifies with the comparison buried in a
+// boolean conjunction.
+func guardConjunction(p *atomic.Uint64, ready bool) {
+	if ready && atomicx.RelaxedLoad(p) > 4 {
+		return
+	}
+	p.Store(0)
+}
+
+// localCAS binds the value to a local later re-validated by a CAS in
+// the same function: pattern 3.
+func localCAS(p *atomic.Uint64) {
+	v := atomicx.RelaxedLoad(p)
+	for !p.CompareAndSwap(v, v+1) {
+		v = p.Load()
+	}
+}
+
+// localEscape binds the value to a local that never reaches a CAS.
+func localEscape(p *atomic.Uint64) uint64 {
+	v := atomicx.RelaxedLoad(p) // want `relaxed load result is not re-validated`
+	return v + 1
+}
+
+// guardWithWork does more than return inside the guard body, so the
+// stale read could gate real effects: not an early exit.
+func guardWithWork(p *atomic.Uint64) {
+	if atomicx.RelaxedLoad(p) == 0 { // want `relaxed load result is not re-validated`
+		p.Store(1)
+	}
+}
+
+// suppressed carries the annotation and its reason.
+func suppressed(p *atomic.Uint64) uint64 {
+	return atomicx.RelaxedLoad(p) // wcq:relaxed-ok telemetry counter, staleness only skews a report
+}
+
+// suppressedAbove uses the standalone-line form.
+func suppressedAbove(p *atomic.Uint64) uint64 {
+	// wcq:relaxed-ok telemetry counter, staleness only skews a report
+	return atomicx.RelaxedLoad(p)
+}
+
+// missingReason has the annotation but no safety argument, which is
+// itself a finding.
+func missingReason(p *atomic.Uint64) uint64 {
+	return atomicx.RelaxedLoad(p) /* wcq:relaxed-ok */ // want `missing its reason`
+}
+
+// seqCst is not a relaxed load; never flagged.
+func seqCst(p *atomic.Uint64) uint64 {
+	return p.Load()
+}

@@ -1,0 +1,11 @@
+// Package atomicx is a fixture stub standing in for the repository's
+// wcqueue/internal/atomicx: the analyzers match helper packages by
+// import-path suffix, so this stub exercises them without importing
+// production code into the fixtures.
+package atomicx
+
+import "sync/atomic"
+
+func RelaxedLoad(p *atomic.Uint64) uint64 { return p.Load() }
+
+func RelaxedLoadInt64(p *atomic.Int64) int64 { return p.Load() }

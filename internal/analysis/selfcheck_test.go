@@ -1,0 +1,79 @@
+package analysis_test
+
+// The selfcheck pins the ISSUE's acceptance criterion inside the
+// ordinary test suite: the whole repository lints clean under every
+// wcqlint analyzer, in the default build and under the failpoint
+// weave tag. A finding here means either a real invariant violation
+// slipped in or a suppression lost its reason — both block the build
+// the same way the CI wcqlint job does.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wcqueue/internal/analysis"
+	"wcqueue/internal/analysis/atomicmix"
+	"wcqueue/internal/analysis/failpointweave"
+	"wcqueue/internal/analysis/noallocdecl"
+	"wcqueue/internal/analysis/pinnedsection"
+	"wcqueue/internal/analysis/relaxedguard"
+)
+
+var all = []*analysis.Analyzer{
+	relaxedguard.Analyzer,
+	atomicmix.Analyzer,
+	failpointweave.Analyzer,
+	noallocdecl.Analyzer,
+	pinnedsection.Analyzer,
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+func selfcheck(t *testing.T, tags []string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("repo-wide lint load in -short mode")
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: moduleRoot(t), Tags: tags}, "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, all)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", pkgs[0].Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+	}
+}
+
+// TestRepositoryLintsClean is the zero-findings gate for the default
+// build.
+func TestRepositoryLintsClean(t *testing.T) {
+	selfcheck(t, nil)
+}
+
+// TestRepositoryLintsCleanFailpoints re-lints with the failpoint weave
+// compiled in, covering the injection sites the default build
+// dead-codes away.
+func TestRepositoryLintsCleanFailpoints(t *testing.T) {
+	selfcheck(t, []string{"wcq_failpoints"})
+}

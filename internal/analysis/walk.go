@@ -1,0 +1,36 @@
+package analysis
+
+import "go/ast"
+
+// InspectStack walks the tree rooted at root in depth-first order,
+// calling fn for every node with the stack of its ancestors (outermost
+// first, not including n itself). If fn returns false the node's
+// children are skipped. It is the offline stand-in for the x/tools
+// inspector's WithStack traversal.
+func InspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+			return true
+		}
+		return false
+	})
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// in stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

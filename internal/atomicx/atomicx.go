@@ -25,12 +25,15 @@ const (
 )
 
 // Counter strips the FIN and INC flags from a flagged word.
+// wcq:noalloc
 func Counter(v uint64) uint64 { return v & CounterMask }
 
 // HasFIN reports whether the FIN flag is set.
+// wcq:noalloc
 func HasFIN(v uint64) bool { return v&FIN != 0 }
 
 // HasINC reports whether the INC flag is set.
+// wcq:noalloc
 func HasINC(v uint64) bool { return v&INC != 0 }
 
 // PairWord layout: [ finalize : 1 ][ counter : 47 bits ][ owner id : 16 bits ].
@@ -70,31 +73,39 @@ const (
 
 // PackPair builds a PairWord from a counter and an owner id
 // (NoOwner for null). The finalize bit is clear.
+// wcq:noalloc
 func PackPair(cnt, id uint64) uint64 {
 	return (cnt&pairCntMask)<<pairIDBits | id&pairIDMask
 }
 
 // PairCnt extracts the counter component of a PairWord.
+// wcq:noalloc
 func PairCnt(w uint64) uint64 { return w >> pairIDBits & pairCntMask }
 
 // PairFinalized reports whether the finalize bit is set.
+// wcq:noalloc
 func PairFinalized(w uint64) bool { return w&FinalizeBit != 0 }
 
 // PairSetCnt returns w with the counter replaced, preserving the owner
 // id and finalize bits.
+// wcq:noalloc
 func PairSetCnt(w, cnt uint64) uint64 {
 	return w&^(pairCntMask<<pairIDBits) | (cnt&pairCntMask)<<pairIDBits
 }
 
 // PairClearID returns w with the owner id cleared, preserving the
 // counter and finalize bits.
+// wcq:noalloc
 func PairClearID(w uint64) uint64 { return w &^ pairIDMask }
 
 // PairID extracts the owner id component of a PairWord.
+// wcq:noalloc
 func PairID(w uint64) uint64 { return w & pairIDMask }
 
 // OwnerID converts a zero-based thread index into a non-null owner id.
+// wcq:noalloc
 func OwnerID(tid int) uint64 { return uint64(tid) + 1 }
 
 // OwnerTID converts a non-null owner id back to a zero-based index.
+// wcq:noalloc
 func OwnerTID(id uint64) int { return int(id) - 1 }

@@ -11,7 +11,9 @@ import "sync/atomic"
 // contract.
 
 // RelaxedLoad loads p. On this build it is a seq-cst load.
+// wcq:noalloc
 func RelaxedLoad(p *atomic.Uint64) uint64 { return p.Load() }
 
 // RelaxedLoadInt64 loads p. On this build it is a seq-cst load.
+// wcq:noalloc
 func RelaxedLoadInt64(p *atomic.Int64) int64 { return p.Load() }

@@ -51,11 +51,13 @@ import (
 // RelaxedLoad loads p without ordering guarantees beyond same-location
 // coherence. Use only where the value is re-validated (CAS) or where
 // staleness is conservative.
+// wcq:noalloc
 func RelaxedLoad(p *atomic.Uint64) uint64 {
 	return *(*uint64)(unsafe.Pointer(p))
 }
 
 // RelaxedLoadInt64 is RelaxedLoad for int64 words.
+// wcq:noalloc
 func RelaxedLoadInt64(p *atomic.Int64) int64 {
 	return *(*int64)(unsafe.Pointer(p))
 }

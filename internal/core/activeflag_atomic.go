@@ -13,9 +13,11 @@ import "sync/atomic"
 type ActiveFlag struct{ v atomic.Uint32 }
 
 // Enter marks the owner as inside an operation.
+// wcq:noalloc
 func (f *ActiveFlag) Enter() { f.v.Store(1) }
 
 // Exit clears the flag after the operation's effects are published.
+// wcq:noalloc
 func (f *ActiveFlag) Exit() { f.v.Store(0) }
 
 // Active reports whether the owner is inside an operation.

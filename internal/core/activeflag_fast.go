@@ -30,9 +30,15 @@ type ActiveFlag struct{ v uint32 }
 // Enter marks the owner as inside an operation. The caller must
 // execute at least one seq-cst atomic RMW before acting on a
 // subsequent close-state load.
+//
+// wcq:noalloc
+// wcq:plain-ok TSO plain store per the Dekker piggyback above: the caller's ring-reservation RMW drains the store buffer before its close-state load, and this file is gated to amd64/386 !race
 func (f *ActiveFlag) Enter() { f.v = 1 }
 
 // Exit clears the flag after the operation's effects are published.
+//
+// wcq:noalloc
+// wcq:plain-ok TSO preserves store order, so the clear cannot pass the operation's ring stores; the closer's Active load stays atomic (amd64/386 !race build only)
 func (f *ActiveFlag) Exit() { f.v = 0 }
 
 // Active reports whether the owner is inside an operation.

@@ -105,6 +105,7 @@ var chunkBytes = int64(unsafe.Sizeof(recordChunk{}))
 // recAt returns tid's record if its chunk is published, else nil.
 // Readers iterating the arena use it so unpublished (sparse) chunks
 // are skipped instead of materialized.
+// wcq:noalloc
 func (q *WCQ) recAt(tid int) *record {
 	c := q.chunks[tid>>chunkShift].Load()
 	if c == nil {
@@ -116,10 +117,12 @@ func (q *WCQ) recAt(tid int) *record {
 // rec returns tid's record, publishing its chunk first if needed. The
 // grow path runs at most once per chunk per ring; afterwards the cost
 // is one atomic load and an index.
+// wcq:noalloc
 func (q *WCQ) rec(tid int) *record {
 	ci := tid >> chunkShift
 	c := q.chunks[ci].Load()
 	if c == nil {
+		// wcq:alloc-ok one-time chunk publish, at most once per chunk per ring life; the steady state above it is an atomic load plus an index
 		c = q.growChunk(ci)
 	}
 	return &c.recs[tid&(chunkSize-1)]

@@ -19,11 +19,13 @@ import "wcqueue/internal/atomicx"
 // scalar attempts) and enqueues the rest through the scalar wait-free
 // path, preserving intra-batch FIFO order. Like Enqueue, this must
 // only be used on rings that are never finalized.
+// wcq:noalloc
 func (q *WCQ) EnqueueBatch(tid int, indices []uint64) {
 	q.enqueueBatchRec(q.rec(tid), indices)
 }
 
 // enqueueBatchRec is EnqueueBatch for callers that cache the record.
+// wcq:noalloc
 func (q *WCQ) enqueueBatchRec(rec *record, indices []uint64) {
 	k := uint64(len(indices))
 	if k == 0 {
@@ -54,6 +56,7 @@ func (q *WCQ) enqueueBatchRec(rec *record, indices []uint64) {
 // slot); positions lost to races are recovered with scalar wait-free
 // dequeues after the reservation, which keeps out[] ordered — the
 // recovered values come from head positions past the whole reservation.
+// wcq:noalloc
 func (q *WCQ) DequeueBatch(tid int, out []uint64) int {
 	if len(out) == 0 {
 		return 0
@@ -67,6 +70,7 @@ func (q *WCQ) DequeueBatch(tid int, out []uint64) int {
 // dequeueBatchAny dispatches a cached-record batched dequeue of any
 // size >= 1 (size 1 falls back to the scalar path, as DequeueBatch
 // does). The caller must have checked thresholdNonNegative.
+// wcq:noalloc
 func (q *WCQ) dequeueBatchAny(rec *record, out []uint64) int {
 	if len(out) == 1 {
 		index, ok := q.dequeueRec(rec)
@@ -90,6 +94,7 @@ func (q *WCQ) dequeueBatchAny(rec *record, out []uint64) int {
 // precise tail-caught-head detection still fires on a genuinely empty
 // queue, and the batch's own length bounds the extra work a too-high
 // budget can admit.
+// wcq:noalloc
 func (q *WCQ) dequeueBatchRec(rec *record, out []uint64) int {
 	k := uint64(len(out))
 	q.helpTick(rec, len(out))

@@ -251,6 +251,7 @@ func (r *DirectRing) Drained() bool {
 }
 
 // pack builds an entry word.
+// wcq:noalloc
 func (r *DirectRing) pack(cycle uint64, safe bool, field uint64) uint64 {
 	w := (cycle&r.cycMask)<<r.cycShift | field
 	if safe {
@@ -259,13 +260,18 @@ func (r *DirectRing) pack(cycle uint64, safe bool, field uint64) uint64 {
 	return w
 }
 
+// wcq:noalloc
 func (r *DirectRing) entCycle(e uint64) uint64 { return e >> r.cycShift }
+// wcq:noalloc
 func (r *DirectRing) entField(e uint64) uint64 { return e & r.fieldMask }
+// wcq:noalloc
 func (r *DirectRing) entSafe(e uint64) bool    { return e&r.safeBit != 0 }
 
 // cycleOf maps a Head/Tail counter to its cycle number.
+// wcq:noalloc
 func (r *DirectRing) cycleOf(counter uint64) uint64 { return (counter >> r.ringOrder) & r.cycMask }
 
+// wcq:noalloc
 func (r *DirectRing) remapPos(counter uint64) uint64 {
 	if r.noRemap {
 		return counter & r.posMask
@@ -301,8 +307,10 @@ func (r *DirectRing) Reset() {
 // loadEntry is the diet-gated entry load; see WCQ.loadEntry for the
 // per-branch safety argument, which carries over unchanged (the direct
 // entry automaton is the SCQ automaton with a wider "index" field).
+// wcq:noalloc
 func (r *DirectRing) loadEntry(j uint64) uint64 {
 	if r.relaxed {
+		// wcq:relaxed-ok every caller is a CAS loop on this entry word (enqAt/deqAt re-validate the value before acting; a stale read costs one retry), per the §11 diet argument
 		return atomicx.RelaxedLoad(&r.entries[j])
 	}
 	return r.entries[j].Load()
@@ -311,6 +319,7 @@ func (r *DirectRing) loadEntry(j uint64) uint64 {
 // thresholdNonNegative stays a real atomic load even under the diet:
 // the empty exit has no RMW on its path, so a relaxed load could be
 // hoisted out of a caller's poll loop (see WCQ.thresholdNonNegative).
+// wcq:noalloc
 func (r *DirectRing) thresholdNonNegative() bool {
 	return r.threshold.Load() >= 0
 }
@@ -320,6 +329,7 @@ func (r *DirectRing) thresholdNonNegative() bool {
 // WCQ.rearmThreshold for why the store must stay seq-cst (a buffered
 // plain store could let a later-starting Dequeue miss a completed
 // enqueue — a real-time linearizability violation).
+// wcq:noalloc
 func (r *DirectRing) rearmThreshold() {
 	if r.relaxed {
 		if atomicx.RelaxedLoadInt64(r.threshold.Raw()) == r.thresh3n {
@@ -336,6 +346,7 @@ func (r *DirectRing) rearmThreshold() {
 
 // faaTail reserves one tail position, returning the raw word (counter
 // plus finalize bit). CAS loop under EmulatedFAA.
+// wcq:noalloc
 func (r *DirectRing) faaTail(k uint64) uint64 {
 	if r.emulFAA {
 		for {
@@ -348,6 +359,7 @@ func (r *DirectRing) faaTail(k uint64) uint64 {
 	return r.tail.Add(k) - k
 }
 
+// wcq:noalloc
 func (r *DirectRing) faaHead(k uint64) uint64 {
 	if r.emulFAA {
 		for {
@@ -361,6 +373,7 @@ func (r *DirectRing) faaHead(k uint64) uint64 {
 }
 
 // orEntry atomically ORs mask into entry j.
+// wcq:noalloc
 func (r *DirectRing) orEntry(j uint64, mask uint64) {
 	if r.emulFAA {
 		for {
@@ -384,6 +397,7 @@ func (r *DirectRing) orEntry(j uint64, mask uint64) {
 // Safety does not depend on the headroom: positions whose slot is
 // still occupied fail enqAt conservatively and the caller retries or
 // reports full (the same slack scqd's F&A-based admission has).
+// wcq:noalloc
 func (r *DirectRing) full(tailCnt uint64) bool {
 	h := r.head.Load()
 	return tailCnt >= h && tailCnt-h >= r.n
@@ -393,8 +407,10 @@ func (r *DirectRing) full(tailCnt uint64) bool {
 // validation every enqueue entry point performs, exported so deferred-
 // publish callers (the wcq coalescing handles) can raise the failure at
 // the call that supplied the value instead of at the later flush.
+// wcq:noalloc
 func (r *DirectRing) CheckValue(v uint64) {
 	if v>>r.valBits != 0 {
+		// wcq:alloc-ok cold failure path: a caller bug terminates the process here, so the Sprintf boxing never runs on the AllocsPerRun-pinned path
 		panic(fmt.Sprintf("core: direct value %#x exceeds %d-bit payload", v, r.valBits))
 	}
 }
@@ -404,6 +420,7 @@ func (r *DirectRing) CheckValue(v uint64) {
 // tantrum; the unbounded layer turns this into a ring hop). Lock-free.
 // v must be <= MaxValue (the codec contract); out-of-range values
 // panic rather than corrupt the entry encoding.
+// wcq:noalloc
 func (r *DirectRing) Enqueue(v uint64) bool {
 	r.CheckValue(v)
 	for {
@@ -446,6 +463,7 @@ func (r *DirectRing) Enqueue(v uint64) bool {
 // authoritative wrap guard: whatever admission drift pushed the
 // counter there, a position at or past the cap is abandoned, never
 // written, so entry cycles cannot wrap.
+// wcq:noalloc
 func (r *DirectRing) enqAt(t, v uint64) bool {
 	if t >= r.hardCap {
 		return false
@@ -471,6 +489,7 @@ func (r *DirectRing) enqAt(t, v uint64) bool {
 
 // Dequeue removes the oldest value, or returns ok=false when empty.
 // Lock-free.
+// wcq:noalloc
 func (r *DirectRing) Dequeue() (v uint64, ok bool) {
 	if !r.thresholdNonNegative() {
 		return 0, false // empty fast-exit
@@ -497,6 +516,7 @@ func (r *DirectRing) Dequeue() (v uint64, ok bool) {
 // authoritative guard), so skipping the stamp strands nothing and
 // keeps wrapped cycles out of the entries. deferThreshold is the
 // batched diet mode; see WCQ.deqAtFast.
+// wcq:noalloc
 func (r *DirectRing) deqAt(h uint64, deferThreshold bool) (v uint64, st DeqStatus) {
 	if h >= r.hardCap {
 		return 0, DeqEmpty
@@ -573,6 +593,7 @@ func (r *DirectRing) deqAt(h uint64, deferThreshold bool) (v uint64, st DeqStatu
 // catchup advances Tail's counter to head when dequeuers have overrun
 // it, preserving the finalize bit. Bounded (lock-freedom only needs
 // someone to succeed).
+// wcq:noalloc
 func (r *DirectRing) catchup(tail, head uint64) {
 	for i := 0; i < maxCatchup; i++ {
 		w := r.tail.Load()
@@ -602,6 +623,7 @@ func (r *DirectRing) catchup(tail, head uint64) {
 // Safety never depends on that bound: overshot positions fail enqAt
 // conservatively and stragglers fall back to scalar enqueues, which
 // reserve later positions and so preserve intra-batch FIFO order.
+// wcq:noalloc
 func (r *DirectRing) EnqueueBatch(vs []uint64) int {
 	if len(vs) == 0 {
 		return 0
@@ -662,6 +684,7 @@ func (r *DirectRing) EnqueueBatch(vs []uint64) int {
 // many were dequeued. Reserved positions lost to races run in
 // deferred-threshold mode (DESIGN.md §11) and are recovered through
 // scalar dequeues past the reservation, keeping out[] ordered.
+// wcq:noalloc
 func (r *DirectRing) DequeueBatch(out []uint64) int {
 	if len(out) == 0 {
 		return 0

@@ -102,6 +102,7 @@ func (h *DirectHandle) Rebind(r *DirectRing) {
 }
 
 // sync drops the caches when the ring was recycled since the last op.
+// wcq:noalloc
 func (h *DirectHandle) sync() {
 	if g := h.r.gen.Load(); g != h.gen {
 		h.gen = g
@@ -122,6 +123,7 @@ func (h *DirectHandle) DeferCap() int64 { return h.deferCap }
 // hardCap discipline) rather than written, and the cached tailSeen
 // then short-circuits every later call with zero shared loads — a
 // handle burns at most one guard-band position, ever.
+// wcq:noalloc
 func (h *DirectHandle) Enqueue(v uint64) bool {
 	r := h.r
 	r.CheckValue(v)
@@ -177,6 +179,7 @@ func (h *DirectHandle) Enqueue(v uint64) bool {
 // Dequeue removes the oldest value through the cached-window fast
 // path: while headSeen < tailSeen the shared threshold fast-exit read
 // is skipped outright. Same contract as DirectRing.Dequeue.
+// wcq:noalloc
 func (h *DirectHandle) Dequeue() (v uint64, ok bool) {
 	r := h.r
 	h.sync()
@@ -218,6 +221,7 @@ func (h *DirectHandle) Dequeue() (v uint64, ok bool) {
 // emptiness, so the budget is re-armed rather than left negative — the
 // threshold is never LEFT below zero while values are provably ahead,
 // which is the invariant the thresholdNonNegative fast-exit rests on.
+// wcq:noalloc
 func (h *DirectHandle) flushDeferred() {
 	d := h.deferred
 	if d == 0 {
@@ -236,6 +240,7 @@ func (h *DirectHandle) flushDeferred() {
 // deqAt is deqAt with the handle's window refresh and amortized
 // threshold maintenance folded in. Reserved-position discipline,
 // entry automaton and empty detection are identical to the ring's.
+// wcq:noalloc
 func (h *DirectHandle) deqAt(hd uint64) (uint64, DeqStatus) {
 	r := h.r
 	if hd >= r.hardCap {

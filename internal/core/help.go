@@ -13,6 +13,7 @@ import "wcqueue/internal/failpoint"
 // helping-latency bound by the same factor (DESIGN.md §11). The
 // fast path is this two-line check on record-private state; the Go
 // compiler inlines it, so the common case costs no call.
+// wcq:noalloc
 func (q *WCQ) helpTick(rec *record, k int) {
 	rec.nextCheck -= k
 	if rec.nextCheck <= 0 {
@@ -22,6 +23,7 @@ func (q *WCQ) helpTick(rec *record, k int) {
 
 // helpThreads is one HELP_DELAY-gated helping tick (Figure 6,
 // help_threads), kept for tests that drive the cadence directly.
+// wcq:noalloc
 func (q *WCQ) helpThreads(rec *record) { q.helpTick(rec, 1) }
 
 // helpScan scans one peer for a pending help request and re-arms the
@@ -29,6 +31,7 @@ func (q *WCQ) helpThreads(rec *record) { q.helpTick(rec, 1) }
 // bound is re-read each time so records registered after this ring was
 // built join the rotation, and unpublished chunks are skipped
 // wholesale (their records cannot be pending).
+// wcq:noalloc
 func (q *WCQ) helpScan(rec *record) {
 	n := int(q.nrec.Load())
 	t := rec.nextTid
@@ -64,6 +67,7 @@ func (q *WCQ) helpScan(rec *record) {
 // seq2 first, fields, then the seq1 check — guarantees the snapshot
 // is internally consistent: a request can only pass the check if all
 // fields belong to it.
+// wcq:noalloc
 func (q *WCQ) helpEnqueue(rec, thr *record) {
 	seq := thr.seq2.Load()
 	enqueue := thr.enqueue.Load()
@@ -75,6 +79,7 @@ func (q *WCQ) helpEnqueue(rec, thr *record) {
 }
 
 // helpDequeue is the dequeue counterpart of helpEnqueue.
+// wcq:noalloc
 func (q *WCQ) helpDequeue(rec, thr *record) {
 	seq := thr.seq2.Load()
 	enqueue := thr.enqueue.Load()

@@ -20,6 +20,7 @@ const (
 // returns the tail counter it tried, the slow path's starting point.
 // finalized reports that the ring was closed before our F&A, in which
 // case no attempt was made.
+// wcq:noalloc
 func (q *WCQ) tryEnqFast(index uint64) (tried uint64, ok, finalized bool) {
 	w := q.faaRaw(&q.tail)
 	if atomicx.PairFinalized(w) {
@@ -47,6 +48,7 @@ func (q *WCQ) tryEnqFast(index uint64) (tried uint64, ok, finalized bool) {
 // the IsSafe escape stays seq-cst (its value is consumed as a
 // snapshot, not re-validated), and the threshold re-arm goes through
 // rearmThreshold's relaxed-guard/seq-cst-store check.
+// wcq:noalloc
 func (q *WCQ) enqAtFast(t, index uint64) bool {
 	j := q.remapPos(t)
 	tcyc := q.cycleOf(t)
@@ -72,6 +74,7 @@ func (q *WCQ) enqAtFast(t, index uint64) bool {
 // index bits all set (⊥c) and Enq forced to 1. If the producer's slow
 // path has not finalized (Enq=0), the consumer finalizes the request
 // first (Figure 5, consume).
+// wcq:noalloc
 func (q *WCQ) consume(h, j, e uint64) {
 	if !q.entEnq(e) {
 		q.finalizeRequest(h)
@@ -93,6 +96,7 @@ func (q *WCQ) consume(h, j, e uint64) {
 // The chunk pointer itself is always visible — its publish
 // happens-before the localTail store that produced the Enq=0 entry
 // this caller just read, and chunk loads are seq-cst.
+// wcq:noalloc
 func (q *WCQ) finalizeRequest(h uint64) {
 	for ci := range q.chunks {
 		c := q.chunks[ci].Load()
@@ -112,6 +116,7 @@ func (q *WCQ) finalizeRequest(h uint64) {
 
 // tryDeqFast is one SCQ fast-path dequeue attempt on wCQ's layout
 // (Note preserved, Enq honored). tried is meaningful only for DeqRetry.
+// wcq:noalloc
 func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
 	h := q.faa(&q.head)
 	if failpoint.Enabled {
@@ -154,6 +159,7 @@ func (q *WCQ) tryDeqFast() (index uint64, st DeqStatus, tried uint64) {
 // is us (each head counter is handed to exactly one dequeuer by the
 // F&A), so the value bits cannot have changed; a stale Enq=0 reading
 // at most repeats consume's idempotent finalizeRequest scan.
+// wcq:noalloc
 func (q *WCQ) deqAtFast(h uint64, deferThreshold bool) (index uint64, st DeqStatus) {
 	j := q.remapPos(h)
 	hcyc := q.cycleOf(h)
@@ -200,12 +206,14 @@ func (q *WCQ) deqAtFast(h uint64, deferThreshold bool) (index uint64, st DeqStat
 // by the helping slow path. Enqueue must only be used on rings that
 // are never finalized (the bounded queue); the unbounded construction
 // uses EnqueueClosable.
+// wcq:noalloc
 func (q *WCQ) Enqueue(tid int, index uint64) {
 	q.enqueueRec(q.rec(tid), index)
 }
 
 // enqueueRec is Enqueue for callers that cache the record (the bounded
 // queue's handles), saving the per-operation chunk-directory load.
+// wcq:noalloc
 func (q *WCQ) enqueueRec(rec *record, index uint64) {
 	q.helpTick(rec, 1)
 
@@ -245,6 +253,7 @@ func (q *WCQ) enqueueRec(rec *record, index uint64) {
 // linearizes before the finalize OR (its claiming CAS succeeded) or
 // observably fails — at the cost of ring-local wait-freedom; the
 // unbounded queue is lock-free overall (see DESIGN.md §5).
+// wcq:noalloc
 func (q *WCQ) EnqueueClosable(tid int, index uint64) bool {
 	rec := q.rec(tid)
 	q.helpTick(rec, 1)
@@ -270,6 +279,7 @@ const closePatience = 256
 
 // Dequeue removes the oldest index (Figure 5, Dequeue_wCQ), or returns
 // ok=false when the queue is empty. Wait-free.
+// wcq:noalloc
 func (q *WCQ) Dequeue(tid int) (index uint64, ok bool) {
 	if !q.thresholdNonNegative() {
 		return 0, false // empty fast-exit
@@ -279,6 +289,7 @@ func (q *WCQ) Dequeue(tid int) (index uint64, ok bool) {
 
 // dequeueRec is Dequeue past the empty fast-exit, for callers that
 // cache the record. The caller must have checked thresholdNonNegative.
+// wcq:noalloc
 func (q *WCQ) dequeueRec(rec *record) (index uint64, ok bool) {
 	q.helpTick(rec, 1)
 

@@ -102,6 +102,7 @@ type Handle struct {
 
 // waiter returns the handle's parking token, allocating it on first
 // use so the non-blocking-only workloads never pay for it.
+// wcq:noalloc
 func (h *Handle) waiter() *waitq.Waiter {
 	if h.w == nil {
 		h.w = waitq.NewWaiter()
@@ -110,8 +111,10 @@ func (h *Handle) waiter() *waitq.Waiter {
 }
 
 // buf returns the handle's scratch buffer with capacity ≥ k.
+// wcq:noalloc
 func (h *Handle) buf(k int) []uint64 {
 	if cap(h.scratch) < k {
+		// wcq:alloc-ok grow-once scratch: after the first batch at a given width the buffer is reused, so AllocsPerRun's warm-up iteration absorbs it
 		h.scratch = make([]uint64, k)
 	}
 	return h.scratch[:k]
@@ -154,6 +157,7 @@ func (q *Queue[T]) Cap() int { return len(q.data) }
 // plain on TSO) is what lets Close linearize after in-flight
 // enqueues; the state check and the waiter wakeup are one read-shared
 // load each while the queue is open with nobody parked.
+// wcq:noalloc
 func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 	h.active.Enter()
 	ok := !h.fqDry || q.fq.thresholdNonNegative()
@@ -190,6 +194,7 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 
 // Dequeue removes the oldest value, or returns ok=false when empty.
 // Dequeues keep working after Close until the queue drains. Wait-free.
+// wcq:noalloc
 func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
 	if h.aqDry && !q.aq.thresholdNonNegative() {
 		return v, false // empty fast-exit
@@ -212,6 +217,7 @@ func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
 // many were inserted (fewer only when the queue fills). A batch of k
 // costs two ring F&As — one on fq.Head, one on aq.Tail — instead of
 // the scalar path's 2k. Wait-free.
+// wcq:noalloc
 func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
 	if len(vs) == 0 {
 		return 0
@@ -246,6 +252,7 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order and returns how many were dequeued. Wait-free.
+// wcq:noalloc
 func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 	if len(out) == 0 {
 		return 0

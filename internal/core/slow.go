@@ -24,6 +24,7 @@ import (
 //	      CASes can never succeed; only adopted reads need the guard.
 
 // enqueueSlow runs the slow-path enqueue loop (Figure 7, line 70).
+// wcq:noalloc
 func (q *WCQ) enqueueSlow(t, index uint64, rec, thr *record, seq uint64) {
 	v := t
 	for q.slowFAA(&q.tail, &thr.localTail, &v, nil, rec, thr, seq) {
@@ -36,6 +37,7 @@ func (q *WCQ) enqueueSlow(t, index uint64, rec, thr *record, seq uint64) {
 // dequeueSlow runs the slow-path dequeue loop (Figure 7, line 73).
 // The threshold is decremented inside slow_F&A, once per global Head
 // increment (Lemma 5.6).
+// wcq:noalloc
 func (q *WCQ) dequeueSlow(h uint64, rec, thr *record, seq uint64) {
 	v := h
 	for q.slowFAA(&q.head, &thr.localHead, &v, &q.threshold, rec, thr, seq) {
@@ -51,6 +53,7 @@ func (q *WCQ) dequeueSlow(h uint64, rec, thr *record, seq uint64) {
 // so that the global counter advances exactly once per group
 // iteration. On return true, *v holds the counter the caller should
 // attempt; on return false the request is finished (FIN) or stale.
+// wcq:noalloc
 func (q *WCQ) slowFAA(global *pad.Uint64, local *atomic.Uint64, v *uint64, thld *pad.Int64, rec, thr *record, seq uint64) bool {
 	ph := &rec.phase2
 	for {
@@ -92,6 +95,7 @@ func (q *WCQ) slowFAA(global *pad.Uint64, local *atomic.Uint64, v *uint64, thld 
 
 // preparePhase2 publishes a phase-2 help request in the executing
 // thread's phase2 block (Figure 7, line 38). Seqlock write protocol.
+// wcq:noalloc
 func (q *WCQ) preparePhase2(ph *phase2rec, local *atomic.Uint64, cnt uint64) {
 	seq := ph.seq1.Add(1)
 	ph.local.Store(local)
@@ -103,6 +107,7 @@ func (q *WCQ) preparePhase2(ph *phase2rec, local *atomic.Uint64, cnt uint64) {
 // phase-2 request it finds so the pointer component returns to null
 // (Figure 7, line 77). Returns ok=false when the caller's own request
 // has finished (FIN) or gone stale.
+// wcq:noalloc
 func (q *WCQ) loadGlobalHelpPhase2(global *pad.Uint64, mylocal *atomic.Uint64, thr *record, seq uint64) (cnt uint64, ok bool) {
 	for {
 		lv := mylocal.Load()
@@ -141,6 +146,7 @@ func (q *WCQ) loadGlobalHelpPhase2(global *pad.Uint64, mylocal *atomic.Uint64, t
 // (Figure 7, line 1). Returns true when the request's element is in
 // the ring (inserted by us or a cooperative thread); false directs the
 // group to the next counter.
+// wcq:noalloc
 func (q *WCQ) tryEnqSlow(t, index uint64, thr *record) bool {
 	j := q.remapPos(t)
 	tcyc := q.cycleOf(t)
@@ -180,6 +186,7 @@ func (q *WCQ) tryEnqSlow(t, index uint64, thr *record) bool {
 // tryDeqSlow is one slow-path dequeue attempt at head counter h
 // (Figure 7, line 43). Returns true when the result is ready (or the
 // queue is empty and FIN was set); false directs the group onward.
+// wcq:noalloc
 func (q *WCQ) tryDeqSlow(h uint64, thr *record) bool {
 	j := q.remapPos(h)
 	hcyc := q.cycleOf(h)

@@ -274,6 +274,7 @@ func (q *WCQ) Footprint() int64 { return q.footBase + q.arenaBytes.Load() }
 // paper's CAS2 on the {Note, Value} pair.
 
 // packVal builds the non-note (Value) bits of an entry word.
+// wcq:noalloc
 func (q *WCQ) packVal(cycle uint64, safe, enq bool, index uint64) uint64 {
 	w := (cycle&q.vMask)<<q.vShift | index
 	if safe {
@@ -285,27 +286,36 @@ func (q *WCQ) packVal(cycle uint64, safe, enq bool, index uint64) uint64 {
 	return w
 }
 
+// wcq:noalloc
 func (q *WCQ) vcyc(e uint64) uint64     { return (e >> q.vShift) & q.vMask }
+// wcq:noalloc
 func (q *WCQ) entIndex(e uint64) uint64 { return e & q.idxMask }
+// wcq:noalloc
 func (q *WCQ) entSafe(e uint64) bool    { return e&q.safeBit != 0 }
+// wcq:noalloc
 func (q *WCQ) entEnq(e uint64) bool     { return e&q.enqBit != 0 }
 
 // noteBits returns just the note field bits of e (in place).
+// wcq:noalloc
 func (q *WCQ) noteBits(e uint64) uint64 { return e &^ q.valMask }
 
 // noteLess reports Note < cycle (with the +1 bias: field ≤ cycle).
+// wcq:noalloc
 func (q *WCQ) noteLess(e, cycle uint64) bool {
 	return e>>q.noteShift <= cycle&q.nMask
 }
 
 // setNote returns e with the Note field advanced to cycle.
+// wcq:noalloc
 func (q *WCQ) setNote(e, cycle uint64) uint64 {
 	return e&q.valMask | ((cycle+1)&q.nMask)<<q.noteShift
 }
 
 // cycleOf maps a Head/Tail counter to its cycle number (field width).
+// wcq:noalloc
 func (q *WCQ) cycleOf(counter uint64) uint64 { return (counter >> q.ringOrder) & q.vMask }
 
+// wcq:noalloc
 func (q *WCQ) remapPos(counter uint64) uint64 {
 	if q.noRemap {
 		return counter & q.posMask
@@ -401,6 +411,7 @@ func (q *WCQ) InitFull() {
 // returning the previous raw word (callers extract the counter and the
 // finalize bit). With EmulatedFAA it runs the CAS loop an LL/SC
 // machine would.
+// wcq:noalloc
 func (q *WCQ) faaRaw(global *pad.Uint64) uint64 {
 	if q.emulFAA {
 		for {
@@ -414,6 +425,7 @@ func (q *WCQ) faaRaw(global *pad.Uint64) uint64 {
 }
 
 // faa is faaRaw returning just the previous counter.
+// wcq:noalloc
 func (q *WCQ) faa(global *pad.Uint64) uint64 {
 	return atomicx.PairCnt(q.faaRaw(global))
 }
@@ -423,6 +435,7 @@ func (q *WCQ) faa(global *pad.Uint64) uint64 {
 // field), returning the previous raw word. One F&A for k operations is
 // the batched fast path's amortization point; it is linearizable as k
 // back-to-back single F&As with nothing interleaved.
+// wcq:noalloc
 func (q *WCQ) faaAddRaw(global *pad.Uint64, k uint64) uint64 {
 	delta := k * atomicx.CntUnit
 	if q.emulFAA {
@@ -438,6 +451,7 @@ func (q *WCQ) faaAddRaw(global *pad.Uint64, k uint64) uint64 {
 
 // orEntry atomically ORs mask into entry j (hardware OR, or a CAS loop
 // under EmulatedFAA).
+// wcq:noalloc
 func (q *WCQ) orEntry(j uint64, mask uint64) {
 	if q.emulFAA {
 		for {
@@ -450,7 +464,9 @@ func (q *WCQ) orEntry(j uint64, mask uint64) {
 	q.entries[j].Or(mask)
 }
 
+// wcq:noalloc
 func (q *WCQ) headCnt() uint64 { return atomicx.PairCnt(q.head.Load()) }
+// wcq:noalloc
 func (q *WCQ) tailCnt() uint64 { return atomicx.PairCnt(q.tail.Load()) }
 
 // ---- Hot-path atomic diet (DESIGN.md §11) --------------------------------
@@ -462,8 +478,10 @@ func (q *WCQ) tailCnt() uint64 { return atomicx.PairCnt(q.tail.Load()) }
 // position it could have used — indistinguishable from losing a race).
 // The slow path keeps seq-cst entry loads; its proofs lean on
 // unconditional Note monotonicity rather than CAS re-validation.
+// wcq:noalloc
 func (q *WCQ) loadEntry(j uint64) uint64 {
 	if q.relaxed {
+		// wcq:relaxed-ok fast-path consumers CAS the same entry word (re-validation) or fail the position conservatively; the slow path never takes this branch (seq-cst loads), DESIGN.md §11
 		return atomicx.RelaxedLoad(&q.entries[j])
 	}
 	return q.entries[j].Load()
@@ -479,6 +497,7 @@ func (q *WCQ) loadEntry(j uint64) uint64 {
 // empty observation into a permanent one (the classic plain-bool spin
 // hang). On amd64 the atomic load is the same MOV; what it buys is the
 // compiler ordering barrier, which is exactly the needed property.
+// wcq:noalloc
 func (q *WCQ) thresholdNonNegative() bool {
 	return q.threshold.Load() >= 0
 }
@@ -503,6 +522,7 @@ func (q *WCQ) thresholdNonNegative() bool {
 // XCHG drains the buffer before Enqueue returns, exactly the property
 // the original unconditional Store provided; it only runs when the
 // budget actually decayed, so the armed steady state never pays it.
+// wcq:noalloc
 func (q *WCQ) rearmThreshold() {
 	if q.relaxed {
 		if atomicx.RelaxedLoadInt64(q.threshold.Raw()) == q.thresh3n {
@@ -560,6 +580,7 @@ const maxCatchup = 8
 
 // catchup advances Tail's counter to head when dequeuers overran it,
 // preserving the phase2 owner id and finalize bits.
+// wcq:noalloc
 func (q *WCQ) catchup(tail, head uint64) {
 	for i := 0; i < maxCatchup; i++ {
 		w := q.tail.Load()
@@ -582,6 +603,7 @@ func (q *WCQ) catchup(tail, head uint64) {
 // Dequeues continue to drain remaining elements. Enqueues whose F&A
 // precedes the OR may still complete; enqueues after it fail, which is
 // the linearization the unbounded construction relies on.
+// wcq:noalloc
 func (q *WCQ) Finalize() { q.tail.Or(atomicx.FinalizeBit) }
 
 // Finalized reports whether the ring is closed for enqueues.

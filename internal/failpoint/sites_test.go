@@ -1,0 +1,77 @@
+package failpoint
+
+// These tests pin the two structural properties the failpointweave
+// analyzer and the stall-matrix harnesses lean on: every site has a
+// unique, non-empty durable name, and sites.go is the package's single
+// Site declaration point (the analyzer enforces the same rule at lint
+// time; this test keeps the invariant honest even when only `go test`
+// runs).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSiteNamesUniqueAndComplete asserts every declared site carries a
+// distinct durable name of the family/window form.
+func TestSiteNamesUniqueAndComplete(t *testing.T) {
+	seen := make(map[string]Site, NumSites())
+	for s := Site(0); s < numSites; s++ {
+		name := s.String()
+		if name == "" || name == "failpoint/invalid" {
+			t.Errorf("site %d has no durable name", int(s))
+			continue
+		}
+		if !strings.Contains(name, "/") {
+			t.Errorf("site %q does not follow the family/window naming form", name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("site name %q is shared by sites %d and %d", name, int(prev), int(s))
+		}
+		seen[name] = s
+	}
+	if len(seen) != NumSites() {
+		t.Errorf("got %d unique names for %d sites", len(seen), NumSites())
+	}
+	if Site(-1).String() != "failpoint/invalid" || numSites.String() != "failpoint/invalid" {
+		t.Error("out-of-range sites must stringify to failpoint/invalid")
+	}
+}
+
+// TestSitesDeclaredOnlyInSitesFile parses the package source and
+// asserts no file other than sites.go declares a Site constant or
+// variable — the single-declaration-point rule that keeps the harness
+// matrix enumerable.
+func TestSitesDeclaredOnlyInSitesFile(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing package: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for filename, file := range pkg.Files {
+			base := filepath.Base(filename)
+			if base == "sites.go" || strings.HasSuffix(base, "_test.go") {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				spec, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				// A syntactic check is enough here: within this
+				// package a Site declaration must spell its type.
+				if id, ok := spec.Type.(*ast.Ident); ok && id.Name == "Site" {
+					for _, name := range spec.Names {
+						t.Errorf("%s: Site %s declared outside sites.go", base, name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -95,10 +95,12 @@ type Slot[L comparable] struct {
 }
 
 // Lane returns the slot's lane.
+// wcq:noalloc
 func (s *Slot[L]) Lane() L { return s.lane }
 
 // Draining reports whether the slot is retiring. A bound handle that
 // observes it migrates at its lane's next Drained witness.
+// wcq:noalloc
 func (s *Slot[L]) Draining() bool { return s.draining.Load() }
 
 // Binds returns the current bind count (test and telemetry hook).
@@ -114,9 +116,11 @@ type View[L comparable] struct {
 }
 
 // Epoch returns the publish generation (monotone; test hook).
+// wcq:noalloc
 func (v *View[L]) Epoch() uint64 { return v.epoch }
 
 // Active returns the slots accepting new binds — the enqueue targets.
+// wcq:noalloc
 func (v *View[L]) Active() []*Slot[L] { return v.active }
 
 // Slots returns every lane a dequeue scan must cover: active lanes
@@ -124,6 +128,7 @@ func (v *View[L]) Active() []*Slot[L] { return v.active }
 func (v *View[L]) Slots() []*Slot[L] { return v.slots }
 
 // Contains reports whether lane is in the view (active or draining).
+// wcq:noalloc
 func (v *View[L]) Contains(lane L) bool {
 	for _, s := range v.slots {
 		if s.lane == lane {
@@ -252,6 +257,7 @@ func New[L comparable](ops Ops[L], cfg Config) (*Dir[L], error) {
 
 // View returns the current snapshot. One atomic load; handles cache
 // the pointer and resync only when it changes.
+// wcq:noalloc
 func (d *Dir[L]) View() *View[L] { return d.cur.Load() }
 
 // Lanes returns the active lane count.
@@ -326,6 +332,7 @@ func (d *Dir[L]) BinderHighWater() int {
 // it ever samples binds for retirement — must include this increment
 // and the slot survives; if it reads set, the binder retreats and
 // picks from a fresh view.
+// wcq:noalloc
 func (d *Dir[L]) Bind() *Slot[L] {
 	for {
 		v := d.cur.Load()
@@ -357,20 +364,24 @@ func (d *Dir[L]) Bind() *Slot[L] {
 }
 
 // Unbind detaches a producer stream from its slot.
+// wcq:noalloc
 func (d *Dir[L]) Unbind(s *Slot[L]) { s.binds.Add(-1) }
 
 // Protect publishes lane in the binder's hazard slot. The caller must
 // re-load View afterwards and restart if it changed: an unchanged view
 // proves the publish preceded any retirement's unpublish CAS, so the
 // retirer's hazard scan sees it (the §8 argument, verbatim).
+// wcq:noalloc
 func (d *Dir[L]) Protect(tid int, lane L) { d.dom.Protect(tid, 0, d.ops.Ptr(lane)) }
 
 // ClearHazard drops the binder's published lane at scan end.
+// wcq:noalloc
 func (d *Dir[L]) ClearHazard(tid int) { d.dom.ClearSlot(tid, 0) }
 
 // NoteOps flushes n completed operations of handle-local counting into
 // the sampling window; the flush that crosses the period claims it and
 // runs a maintenance pass.
+// wcq:noalloc
 func (d *Dir[L]) NoteOps(n uint64) {
 	c := d.opw.Add(n)
 	if c < d.sampleOps {
@@ -384,10 +395,12 @@ func (d *Dir[L]) NoteOps(n uint64) {
 
 // NoteContention flushes handle-local contention events (lane entry-CAS
 // failures surface per lane; the front-end adds full-lane rejections).
+// wcq:noalloc
 func (d *Dir[L]) NoteContention(n uint64) { d.events.Add(n) }
 
 // NoteSteals flushes handle-local steal counts (dequeues served by a
 // foreign lane — the over-striping signal).
+// wcq:noalloc
 func (d *Dir[L]) NoteSteals(n uint64) {
 	d.steals.Add(n)
 	d.stealsTotal.Add(n)

@@ -45,6 +45,7 @@ func (c *RingCache) Ring() *Ring { return c.r }
 // Enqueue inserts index through the cached path, recording the
 // reserved tail counters as the window's tail bound. Same contract as
 // Ring.Enqueue (the ≤ n live indices invariant makes it total).
+// wcq:noalloc
 func (c *RingCache) Enqueue(index uint64) {
 	r := c.r
 	for {
@@ -62,6 +63,7 @@ func (c *RingCache) Enqueue(index uint64) {
 // Dequeue removes an index, skipping the shared threshold read while
 // the cached window proves the poll is worth a reservation. Same
 // contract as Ring.Dequeue.
+// wcq:noalloc
 func (c *RingCache) Dequeue() (index uint64, ok bool) {
 	r := c.r
 	if c.headSeen >= c.tailSeen {

@@ -150,6 +150,7 @@ func (r *Ring) Footprint() int64 { return int64(len(r.entries)) * 8 }
 
 // pack builds an entry word. IsSafe occupies the bit just above the
 // index field; the cycle takes the remaining high bits.
+// wcq:noalloc
 func (r *Ring) pack(cycle uint64, safe bool, index uint64) uint64 {
 	w := cycle<<r.cycShift | index
 	if safe {
@@ -158,11 +159,15 @@ func (r *Ring) pack(cycle uint64, safe bool, index uint64) uint64 {
 	return w
 }
 
+// wcq:noalloc
 func (r *Ring) entCycle(e uint64) uint64 { return e >> r.cycShift }
+// wcq:noalloc
 func (r *Ring) entIndex(e uint64) uint64 { return e & r.idxMask }
+// wcq:noalloc
 func (r *Ring) entSafe(e uint64) bool    { return e&r.safeBit != 0 }
 
 // cycleOf maps a Head/Tail counter to its cycle number.
+// wcq:noalloc
 func (r *Ring) cycleOf(counter uint64) uint64 { return counter >> r.ringOrder }
 
 // initEmpty resets to the canonical empty state: Tail = Head = 2n
@@ -199,6 +204,7 @@ func (r *Ring) initFull() {
 
 // faa fetch-and-increments a counter, via hardware F&A or — under
 // WithEmulatedFAA — the CAS loop an LL/SC machine effectively runs.
+// wcq:noalloc
 func (r *Ring) faa(w *pad.Uint64) uint64 {
 	return r.faaAdd(w, 1)
 }
@@ -206,6 +212,7 @@ func (r *Ring) faa(w *pad.Uint64) uint64 {
 // faaAdd fetch-and-adds k to a counter, reserving k consecutive
 // positions with a single atomic instruction. This is the batched fast
 // path's amortization point: one F&A for k operations.
+// wcq:noalloc
 func (r *Ring) faaAdd(w *pad.Uint64, k uint64) uint64 {
 	if r.emulFAA {
 		for {
@@ -223,8 +230,10 @@ func (r *Ring) faaAdd(w *pad.Uint64, k uint64) uint64 {
 // value either re-validates it with a CAS on the same word or fails
 // conservatively; seq-cst under WithConservativeAtomics (the E5
 // ablation's baseline build).
+// wcq:noalloc
 func (r *Ring) loadEntry(j uint64) uint64 {
 	if r.relaxed {
+		// wcq:relaxed-ok every consumer CASes the same entry word before acting (enq/deq retry loops) or fails conservatively; stale reads cost one retry, DESIGN.md §11
 		return atomicx.RelaxedLoad(&r.entries[j])
 	}
 	return r.entries[j].Load()
@@ -234,6 +243,7 @@ func (r *Ring) loadEntry(j uint64) uint64 {
 // the empty exit has no RMW on its path, so a relaxed load could be
 // hoisted out of a caller's poll loop (see core.WCQ's twin for the
 // full argument).
+// wcq:noalloc
 func (r *Ring) thresholdNonNegative() bool {
 	return r.threshold.Load() >= 0
 }
@@ -243,6 +253,7 @@ func (r *Ring) thresholdNonNegative() bool {
 // behind the threshold<0 fast-exit); the diet only relaxes the guard
 // load — the store stays seq-cst, see core.WCQ.rearmThreshold for the
 // real-time-linearizability argument, which is identical here.
+// wcq:noalloc
 func (r *Ring) rearmThreshold() {
 	if r.relaxed {
 		if atomicx.RelaxedLoadInt64(r.threshold.Raw()) == r.thresh3n {
@@ -260,6 +271,7 @@ func (r *Ring) rearmThreshold() {
 }
 
 // orEntry atomically ORs mask into entry j.
+// wcq:noalloc
 func (r *Ring) orEntry(j uint64, mask uint64) {
 	if r.emulFAA {
 		for {
@@ -276,6 +288,7 @@ func (r *Ring) orEntry(j uint64, mask uint64) {
 // executes exactly one F&A on Tail. On success it returns (0, true);
 // on failure it returns the tail counter that was tried, so wCQ's slow
 // path can start from it.
+// wcq:noalloc
 func (r *Ring) TryEnq(index uint64) (tried uint64, ok bool) {
 	t := r.faa(&r.tail)
 	if failpoint.Enabled {
@@ -293,6 +306,7 @@ func (r *Ring) TryEnq(index uint64) (tried uint64, ok bool) {
 // everything after the F&A. Leaving the entry untouched on failure is
 // what makes reserved-but-abandoned tail positions safe — they are
 // indistinguishable from a failed scalar attempt.
+// wcq:noalloc
 func (r *Ring) enqAt(t, index uint64) bool {
 	j := r.remap(t&r.posMask, r.ringOrder)
 	tcyc := r.cycleOf(t)
@@ -315,6 +329,7 @@ func (r *Ring) enqAt(t, index uint64) bool {
 // Enqueue inserts index, retrying F&A until a slot accepts it. Under
 // the ≤ n live indices invariant this loop is lock-free and, in the
 // absence of concurrent dequeuers racing the same slots, short.
+// wcq:noalloc
 func (r *Ring) Enqueue(index uint64) {
 	for {
 		if _, ok := r.TryEnq(index); ok {
@@ -336,6 +351,7 @@ const (
 // TryDeq is one fast-path dequeue attempt (Figure 3, try_deq). It
 // executes exactly one F&A on Head. tried is meaningful only for
 // DeqRetry and is the head counter that was attempted.
+// wcq:noalloc
 func (r *Ring) TryDeq() (index uint64, status DeqStatus, tried uint64) {
 	h := r.faa(&r.head)
 	if failpoint.Enabled {
@@ -359,6 +375,7 @@ func (r *Ring) TryDeq() (index uint64, status DeqStatus, tried uint64) {
 // conclusion. Skipping only keeps the budget HIGHER than per-operation
 // bookkeeping would — strictly conservative — while the precise
 // tail-caught-head detection still recognizes a genuinely empty ring.
+// wcq:noalloc
 func (r *Ring) deqAt(h uint64, deferThreshold bool) (index uint64, status DeqStatus) {
 	j := r.remap(h&r.posMask, r.ringOrder)
 	hcyc := r.cycleOf(h)
@@ -405,6 +422,7 @@ func (r *Ring) deqAt(h uint64, deferThreshold bool) (index uint64, status DeqSta
 
 // Dequeue removes and returns an index, or ok=false if the queue is
 // empty.
+// wcq:noalloc
 func (r *Ring) Dequeue() (index uint64, ok bool) {
 	if !r.thresholdNonNegative() {
 		return 0, false
@@ -426,6 +444,7 @@ func (r *Ring) Dequeue() (index uint64, ok bool) {
 // of the reservation (safe — untouched reserved positions are exactly
 // failed scalar attempts) and the remaining indices are enqueued
 // through the scalar path, preserving intra-batch FIFO order.
+// wcq:noalloc
 func (r *Ring) EnqueueBatch(indices []uint64) {
 	k := uint64(len(indices))
 	if k == 0 {
@@ -454,6 +473,7 @@ func (r *Ring) EnqueueBatch(indices []uint64) {
 // races are recovered through the scalar path after the reservation,
 // which keeps out[] in FIFO order (recovered values always come from
 // later head positions than the whole reservation).
+// wcq:noalloc
 func (r *Ring) DequeueBatch(out []uint64) int {
 	k := uint64(len(out))
 	if k == 0 {
@@ -495,6 +515,7 @@ func (r *Ring) DequeueBatch(out []uint64) int {
 
 // catchup advances Tail to head when dequeuers have overrun it
 // (Figure 3, catchup), bounded per wCQ §3.2.
+// wcq:noalloc
 func (r *Ring) catchup(tail, head uint64) {
 	for i := 0; i < maxCatchup; i++ {
 		if r.tail.CompareAndSwap(tail, head) {

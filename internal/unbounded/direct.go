@@ -139,6 +139,7 @@ func (q *DirectQueue) newRing() (*dnode, error) {
 // getRing produces the ring for a hop: pooled and reset when possible,
 // newly allocated otherwise (after pulling the caller's retire list
 // forward, exactly as the indirect queue does).
+// wcq:noalloc
 func (q *DirectQueue) getRing(tid int) (*dnode, error) {
 	if n := q.poolGet(); n != nil {
 		q.poolHits.Add(1)
@@ -152,9 +153,11 @@ func (q *DirectQueue) getRing(tid int) (*dnode, error) {
 		return n, nil
 	}
 	q.poolMisses.Add(1)
+	// wcq:alloc-ok pool-miss ring allocation on the hop path; steady state recycles from the standby pool (RingStats tracks the miss rate)
 	return q.newRing()
 }
 
+// wcq:noalloc
 func (q *DirectQueue) poolGet() *dnode {
 	for i := range q.pool {
 		if n := q.pool[i].Load(); n != nil && q.pool[i].CompareAndSwap(n, nil) {
@@ -169,6 +172,7 @@ func (q *DirectQueue) poolGet() *dnode {
 // are left as-is — they are plain bits, not references, so a pooled
 // direct ring cannot keep user objects live; Reset rewrites them on
 // reuse.
+// wcq:noalloc
 func (q *DirectQueue) poolPut(n *dnode) {
 	n.next.Store(nil)
 	for i := range q.pool {
@@ -187,6 +191,7 @@ func (q *DirectQueue) retireRing(tid int, n *dnode) {
 // protect publishes a validated hazard pointer to *src in the handle's
 // slot 0, skipping the seq-cst store when the slot already covers the
 // ring (see Queue.protect — the protocol is identical).
+// wcq:noalloc
 func (q *DirectQueue) protect(h *DirectHandle, src *atomic.Pointer[dnode]) *dnode {
 	for {
 		n := src.Load()
@@ -227,6 +232,7 @@ func (q *DirectQueue) Unregister(h *DirectHandle) {
 
 // Enqueue appends v. Always succeeds (capacity never runs out);
 // lock-free. v must fit the queue's payload width.
+// wcq:noalloc
 func (q *DirectQueue) Enqueue(h *DirectHandle, v uint64) {
 	for {
 		lt := q.protect(h, &q.tail)
@@ -265,6 +271,7 @@ func (q *DirectQueue) Enqueue(h *DirectHandle, v uint64) {
 // EnqueueBatch appends all values in order (the queue cannot fill, so
 // the count is always len(vs)); the tail reservation is amortized over
 // each ring's share of the batch. Lock-free.
+// wcq:noalloc
 func (q *DirectQueue) EnqueueBatch(h *DirectHandle, vs []uint64) int {
 	total := len(vs)
 	for len(vs) > 0 {
@@ -305,6 +312,7 @@ func (q *DirectQueue) EnqueueBatch(h *DirectHandle, vs []uint64) int {
 // queue is observed empty. Lock-free; the unlink protocol (threshold
 // re-arm, second drain, hazard-protected head CAS) is the indirect
 // queue's, verbatim.
+// wcq:noalloc
 func (q *DirectQueue) Dequeue(h *DirectHandle) (v uint64, ok bool) {
 	for {
 		lh := q.protect(h, &q.head)
@@ -325,6 +333,7 @@ func (q *DirectQueue) Dequeue(h *DirectHandle) (v uint64, ok bool) {
 			if failpoint.Enabled {
 				failpoint.Inject(failpoint.UnboundedUnlinked)
 			}
+			// wcq:alloc-ok ring-hop boundary, once per ring lifetime, not per operation; hazard-domain retirement may defer frees
 			q.retireRing(h.tid, lh) // unlinked: recycle through the pool
 		}
 	}
@@ -332,6 +341,7 @@ func (q *DirectQueue) Dequeue(h *DirectHandle) (v uint64, ok bool) {
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order, returning how many were dequeued.
+// wcq:noalloc
 func (q *DirectQueue) DequeueBatch(h *DirectHandle, out []uint64) int {
 	if len(out) == 0 {
 		return 0
@@ -353,6 +363,7 @@ func (q *DirectQueue) DequeueBatch(h *DirectHandle, out []uint64) int {
 			if failpoint.Enabled {
 				failpoint.Inject(failpoint.UnboundedUnlinked)
 			}
+			// wcq:alloc-ok ring-hop boundary, once per ring lifetime, not per operation; hazard-domain retirement may defer frees
 			q.retireRing(h.tid, lh)
 		}
 	}

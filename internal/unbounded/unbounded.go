@@ -74,6 +74,7 @@ const (
 // that fetch-and-add is the seq-cst RMW that makes the caller's
 // ActiveFlag visible before the state load (the Dekker handshake
 // against Close — see core.ActiveFlag and DESIGN.md §10).
+// wcq:noalloc
 func (r *ring[T]) enq(q *Queue[T], tid int, v T) enqResult {
 	index, ok := r.fq.Dequeue(tid)
 	if !ok {
@@ -106,6 +107,7 @@ func (r *ring[T]) enq(q *Queue[T], tid int, v T) enqResult {
 // through scalar EnqueueClosable; a finalization mid-batch returns the
 // unused indices and reports a short count. The close re-check
 // follows the batch reservation, as in enq.
+// wcq:noalloc
 func (r *ring[T]) enqBatch(q *Queue[T], h *Handle, vs []T) (n int, res enqResult) {
 	idx := h.buf(len(vs))
 	n = r.fq.DequeueBatch(h.tid, idx)
@@ -138,6 +140,7 @@ func (r *ring[T]) enqBatch(q *Queue[T], h *Handle, vs []T) (n int, res enqResult
 }
 
 // deqBatch removes up to len(out) values in FIFO order.
+// wcq:noalloc
 func (r *ring[T]) deqBatch(h *Handle, out []T) int {
 	idx := h.buf(len(out))
 	n := r.aq.DequeueBatch(h.tid, idx)
@@ -154,6 +157,7 @@ func (r *ring[T]) deqBatch(h *Handle, out []T) int {
 }
 
 // deq removes the oldest value.
+// wcq:noalloc
 func (r *ring[T]) deq(tid int) (v T, ok bool) {
 	index, ok := r.aq.Dequeue(tid)
 	if !ok {
@@ -252,8 +256,10 @@ type Handle struct {
 }
 
 // buf returns the handle's scratch buffer with capacity ≥ k.
+// wcq:noalloc
 func (h *Handle) buf(k int) []uint64 {
 	if cap(h.scratch) < k {
+		// wcq:alloc-ok grow-once scratch: reused for every later batch at this width, so the pinned steady state never re-allocates
 		h.scratch = make([]uint64, k)
 	}
 	return h.scratch[:k]
@@ -346,6 +352,7 @@ func (r *ring[T]) arenaBytes() int64 { return r.aq.ArenaBytes() + r.fq.ArenaByte
 // possible, newly allocated otherwise. A pool miss first runs a hazard
 // scan over the caller's own retire list so rings awaiting reclamation
 // are pulled forward instead of allocating.
+// wcq:noalloc
 func (q *Queue[T]) getRing(tid int) (*ring[T], error) {
 	if r := q.poolGet(); r != nil {
 		q.poolHits.Add(1)
@@ -365,6 +372,7 @@ func (q *Queue[T]) getRing(tid int) (*ring[T], error) {
 // poolGet pops any pooled ring. The per-slot CAS is ABA-free: slots
 // only ever swing between nil and a quiescent ring, and whichever ring
 // is won is valid regardless of interleaving.
+// wcq:noalloc
 func (q *Queue[T]) poolGet() *ring[T] {
 	for i := range q.pool {
 		if r := q.pool[i].Load(); r != nil && q.pool[i].CompareAndSwap(r, nil) {
@@ -377,6 +385,7 @@ func (q *Queue[T]) poolGet() *ring[T] {
 // poolPut scrubs a quiescent ring and stashes it for reuse, or drops
 // it to the GC when the pool is full (the drop is what keeps the pool
 // — and hence Footprint — bounded).
+// wcq:noalloc
 func (q *Queue[T]) poolPut(r *ring[T]) {
 	r.scrub()
 	for i := range q.pool {
@@ -402,6 +411,7 @@ func (q *Queue[T]) retireRing(tid int, r *ring[T]) {
 // When the slot already publishes the ring (h.hp cache), the store is
 // skipped: protection has then been continuous since the previous
 // publish, which is strictly stronger than re-publishing.
+// wcq:noalloc
 func (q *Queue[T]) protect(h *Handle, src *atomic.Pointer[ring[T]]) *ring[T] {
 	for {
 		r := src.Load()
@@ -420,11 +430,14 @@ func (q *Queue[T]) protect(h *Handle, src *atomic.Pointer[ring[T]]) *ring[T] {
 	}
 }
 
+// wcq:noalloc
 func (q *Queue[T]) protectHead(h *Handle) *ring[T] { return q.protect(h, &q.head) }
+// wcq:noalloc
 func (q *Queue[T]) protectTail(h *Handle) *ring[T] { return q.protect(h, &q.tail) }
 
 // protectHeadAt is the uncached protect loop for the reserved Stats
 // tid (no handle).
+// wcq:noalloc
 func (q *Queue[T]) protectHeadAt(tid int) *ring[T] {
 	for {
 		r := q.head.Load()
@@ -564,6 +577,7 @@ type Stats struct {
 // protection also makes the next-append CAS ABA-free — a protected
 // ring cannot be recycled, so tail.next can only transition nil →
 // successor once.
+// wcq:noalloc
 func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 	h.active.Enter()
 	tid := h.tid
@@ -619,6 +633,7 @@ func (q *Queue[T]) Enqueue(h *Handle, v T) bool {
 // (like a short write — the counted prefix is in the queue and will
 // be drained; the rest was not inserted). Lock-free; the free-ring
 // reservation is amortized over the batch.
+// wcq:noalloc
 func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
 	h.active.Enter()
 	total := len(vs)
@@ -672,6 +687,7 @@ func (q *Queue[T]) EnqueueBatch(h *Handle, vs []T) int {
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order, returning how many were dequeued (0 only when the whole queue
 // is observed empty).
+// wcq:noalloc
 func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 	if len(out) == 0 {
 		return 0
@@ -709,6 +725,7 @@ func (q *Queue[T]) DequeueBatch(h *Handle, out []T) int {
 // re-linked while the CAS is pending — head equals lh only if lh is
 // still the original head ring, and lh.next (written once, before lh
 // was ever unlinkable) is its genuine successor.
+// wcq:noalloc
 func (q *Queue[T]) Dequeue(h *Handle) (v T, ok bool) {
 	tid := h.tid
 	for {

@@ -55,20 +55,24 @@ func Must[T any](order uint, opts ...Option) *Queue[T] {
 }
 
 // Enqueue inserts v, returning false if the queue is full. Lock-free.
+// wcq:noalloc
 func (q *Queue[T]) Enqueue(v T) bool { return q.q.Enqueue(v) }
 
 // Dequeue removes the oldest value, returning ok=false when the queue
 // is empty. Lock-free.
+// wcq:noalloc
 func (q *Queue[T]) Dequeue() (v T, ok bool) { return q.q.Dequeue() }
 
 // EnqueueBatch inserts up to len(vs) values in order and returns how
 // many were inserted (fewer only when the queue fills). A batch of k
 // reserves its ring positions with one fetch-and-add per ring instead
 // of k. Lock-free.
+// wcq:noalloc
 func (q *Queue[T]) EnqueueBatch(vs []T) int { return q.q.EnqueueBatch(vs) }
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order and returns how many were dequeued. Lock-free.
+// wcq:noalloc
 func (q *Queue[T]) DequeueBatch(out []T) int { return q.q.DequeueBatch(out) }
 
 // Cap returns the queue capacity (2^order).

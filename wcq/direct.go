@@ -134,18 +134,22 @@ func (c Codec[T]) validate() error {
 // so the steady-state cycle allocates nothing.
 type scratchPool struct{ p sync.Pool }
 
+// wcq:noalloc
 func (sp *scratchPool) get(k int) *[]uint64 {
 	b, _ := sp.p.Get().(*[]uint64)
 	if b == nil {
+		// wcq:alloc-ok pool-miss path: sync.Pool refills the steady state, so AllocsPerRun's warm-up absorbs the first-cycle make
 		s := make([]uint64, k)
 		return &s
 	}
 	if cap(*b) < k {
+		// wcq:alloc-ok grow-once on a wider batch than any pooled buffer has seen; reused through the pool thereafter
 		*b = make([]uint64, k)
 	}
 	return b
 }
 
+// wcq:noalloc
 func (sp *scratchPool) put(b *[]uint64) { sp.p.Put(b) }
 
 // Direct is a bounded lock-free MPMC FIFO queue of direct values:
@@ -278,6 +282,7 @@ func (h *DirectHandle[T]) Unregister() (undelivered int) {
 // reservation, preserving insertion order; a partial landing (ring
 // full or out of budget) compacts the residue to the front. Reports
 // whether the buffer fully drained.
+// wcq:noalloc
 func (h *DirectHandle[T]) flushEnq() bool {
 	if h.nenq == 0 {
 		return true
@@ -296,6 +301,7 @@ func (h *DirectHandle[T]) flushEnq() bool {
 // reporting whether the buffer fully drained (false: ring full or out
 // of budget; the residue stays buffered for the next flush point).
 // Always true without coalescing.
+// wcq:noalloc
 func (h *DirectHandle[T]) Flush() bool { return h.flushEnq() }
 
 // Pending returns the enqueues accepted but not yet published by the
@@ -312,6 +318,7 @@ func (h *DirectHandle[T]) Buffered() int { return h.deqLen - h.deqHead }
 // publishes the whole window) or at the next dequeue/Flush/Unregister
 // boundary; false means the window is full AND the ring cannot absorb
 // it.
+// wcq:noalloc
 func (h *DirectHandle[T]) Enqueue(v T) bool {
 	u := h.q.codec.Encode(v)
 	if h.enq == nil {
@@ -346,6 +353,7 @@ func (h *DirectHandle[T]) Enqueue(v T) bool {
 // what closes the FAA gap for same-handle produce-consume traffic:
 // the pair costs two shared loads instead of two F&As plus two entry
 // RMWs. See DESIGN.md §14.
+// wcq:noalloc
 func (h *DirectHandle[T]) Dequeue() (v T, ok bool) {
 	if h.deqHead < h.deqLen {
 		u := h.deq[h.deqHead]
@@ -376,8 +384,10 @@ func (h *DirectHandle[T]) Dequeue() (v T, ok bool) {
 	return h.q.codec.Decode(h.deq[0]), true
 }
 
+// wcq:noalloc
 func (h *DirectHandle[T]) buf(k int) []uint64 {
 	if cap(h.scratch) < k {
+		// wcq:alloc-ok grow-once scratch: reused for every later batch at this width, so the pinned steady state never re-allocates
 		h.scratch = make([]uint64, k)
 	}
 	return h.scratch[:k]
@@ -387,6 +397,7 @@ func (h *DirectHandle[T]) buf(k int) []uint64 {
 // reservation and returns how many landed. A coalescing handle first
 // publishes its pending window (order before the batch); if that flush
 // cannot complete the ring is full and the batch reports zero.
+// wcq:noalloc
 func (h *DirectHandle[T]) EnqueueBatch(vs []T) int {
 	if len(vs) == 0 {
 		return 0
@@ -404,6 +415,7 @@ func (h *DirectHandle[T]) EnqueueBatch(vs []T) int {
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order and returns how many were dequeued, draining a coalescing
 // handle's prefetched window first.
+// wcq:noalloc
 func (h *DirectHandle[T]) DequeueBatch(out []T) int {
 	if len(out) == 0 {
 		return 0
@@ -434,6 +446,7 @@ func (h *DirectHandle[T]) DequeueBatch(out []T) int {
 // the calling P's resident handle when one is installed (see New's
 // twin in pool.go): the encode and the width check happen before the
 // pin, so the pinned section is panic-free.
+// wcq:noalloc
 func (q *Direct[T]) Enqueue(v T) bool {
 	u := q.codec.Encode(v)
 	q.r.CheckValue(u)
@@ -457,6 +470,7 @@ func (q *Direct[T]) Enqueue(v T) bool {
 }
 
 // Dequeue removes the oldest value, or returns ok=false when empty.
+// wcq:noalloc
 func (q *Direct[T]) Dequeue() (v T, ok bool) {
 	if canPin && q.pool.resident {
 		if pid := pinProc(); pid <= q.pool.mask {
@@ -488,6 +502,7 @@ func (q *Direct[T]) Dequeue() (v T, ok bool) {
 // EnqueueBatch inserts up to len(vs) values in order with one ring
 // reservation and returns how many landed (fewer only when the queue
 // fills).
+// wcq:noalloc
 func (q *Direct[T]) EnqueueBatch(vs []T) int {
 	if len(vs) == 0 {
 		return 0
@@ -503,6 +518,7 @@ func (q *Direct[T]) EnqueueBatch(vs []T) int {
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order and returns how many were dequeued.
+// wcq:noalloc
 func (q *Direct[T]) DequeueBatch(out []T) int {
 	if len(out) == 0 {
 		return 0

@@ -117,6 +117,7 @@ func (hp *handlePool[H]) init(register func() (*H, error), unregister func(*H)) 
 // Ps onto one shard would break the pin-exclusivity argument); fall
 // back to get/put. The fast path costs a pin, an atomic load and an
 // unpin — no locked RMW.
+// wcq:noalloc
 func (hp *handlePool[H]) pinnedGet() (*H, *poolShard[H]) {
 	if !canPin || !hp.resident {
 		return nil, nil
@@ -142,6 +143,7 @@ func (hp *handlePool[H]) pinnedGet() (*H, *poolShard[H]) {
 // pinnedRelease ends a pinnedGet section: publishes the operation's
 // effects on the resident handle to the next pinned user and drops the
 // processor pin. The resident stays in the shard.
+// wcq:noalloc
 func (hp *handlePool[H]) pinnedRelease(sh *poolShard[H]) {
 	poolRaceRelease(unsafe.Pointer(sh))
 	unpinProc()
@@ -153,6 +155,7 @@ func (hp *handlePool[H]) pinnedRelease(sh *poolShard[H]) {
 // theirs) and then reports ErrHandlesExhausted. Resident handles are
 // never borrowed: a borrow is exclusive, and a resident may be in use
 // by a pinned peer.
+// wcq:noalloc
 func (hp *handlePool[H]) get() (*H, error) {
 	if h := hp.shards[procid()&hp.mask].v.Swap(nil); h != nil {
 		return h, nil
@@ -201,6 +204,7 @@ func (hp *handlePool[H]) get() (*H, error) {
 // with errors.Is after recover. Reaching it requires pinning every
 // slot of a deliberately small WithMaxHandles cap with explicit
 // handles, so ordinary implicit use never sees the panic.
+// wcq:noalloc
 func (hp *handlePool[H]) mustGet() *H {
 	h, err := hp.get()
 	if err != nil {
@@ -216,6 +220,7 @@ func (hp *handlePool[H]) mustGet() *H {
 // on this P's scalar ops take the pinned in-place path and the handle
 // never circulates again (strongly referenced by the shard, so its
 // finalizer never fires).
+// wcq:noalloc
 func (hp *handlePool[H]) put(h *H) {
 	pid := procid()
 	sh := &hp.shards[pid&hp.mask]

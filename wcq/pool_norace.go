@@ -7,6 +7,8 @@ import "unsafe"
 // No-op race annotations for the resident-handle fast path; see
 // pool_race.go for the race-build variants and the rationale.
 
+// wcq:noalloc
 func poolRaceAcquire(unsafe.Pointer) {}
 
+// wcq:noalloc
 func poolRaceRelease(unsafe.Pointer) {}

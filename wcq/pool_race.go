@@ -15,6 +15,8 @@ import (
 // acquire/release pair on its shard — exactly how sync.Pool annotates
 // its private slot. Compiled out of non-race builds (pool_norace.go).
 
+// wcq:noalloc
 func poolRaceAcquire(p unsafe.Pointer) { runtime.RaceAcquire(p) }
 
+// wcq:noalloc
 func poolRaceRelease(p unsafe.Pointer) { runtime.RaceReleaseMerge(p) }

@@ -14,12 +14,15 @@ import (
 // input. A stale hint only sends the access to a colder shard.
 
 //go:linkname runtimeProcPin runtime.procPin
+// wcq:noalloc
 func runtimeProcPin() int
 
 //go:linkname runtimeProcUnpin runtime.procUnpin
+// wcq:noalloc
 func runtimeProcUnpin()
 
 // procid returns the current P's id as a shard hint.
+// wcq:noalloc
 func procid() int {
 	p := runtimeProcPin()
 	runtimeProcUnpin()
@@ -33,6 +36,8 @@ func procid() int {
 // run on this P.
 const canPin = true
 
+// wcq:noalloc
 func pinProc() int { return runtimeProcPin() }
 
+// wcq:noalloc
 func unpinProc() { runtimeProcUnpin() }

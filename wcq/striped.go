@@ -307,6 +307,7 @@ func (h *StripedHandle[T]) Lane() int {
 // pre is the per-operation resync gate: one cached-pointer compare in
 // steady state. It runs every operation while migrating, because only
 // the drained witness — not a directory change — licenses the rebind.
+// wcq:noalloc
 func (h *StripedHandle[T]) pre() {
 	if h.migrating || h.view != h.s.dir.View() {
 		h.resync()
@@ -352,6 +353,7 @@ func (h *StripedHandle[T]) resync() {
 // laneHandle returns the handle's registration on lane, registering on
 // first touch. Returns nil when the lane's handle cap is exhausted
 // (the caller skips that lane).
+// wcq:noalloc
 func (h *StripedHandle[T]) laneHandle(lane *core.Queue[T]) *core.Handle {
 	for _, e := range h.lhs {
 		if e.lane == lane {
@@ -362,6 +364,7 @@ func (h *StripedHandle[T]) laneHandle(lane *core.Queue[T]) *core.Handle {
 	if err != nil {
 		return nil
 	}
+	// wcq:alloc-ok once per (handle, lane) pair: lane registration is an epoch event, and the cache hit above is the per-op path
 	h.lhs = append(h.lhs, laneHandle[T]{lane, lh})
 	return lh
 }
@@ -388,6 +391,7 @@ func (h *StripedHandle[T]) prune(v *lanedir.View[*core.Queue[T]]) {
 // every handleFlushOps operations, where it may trigger a governor
 // sample. contended marks full-lane rejections and entry collisions
 // the front-end itself observed.
+// wcq:noalloc
 func (h *StripedHandle[T]) tick(contended bool) {
 	if contended {
 		h.evn++
@@ -410,6 +414,7 @@ func (h *StripedHandle[T]) tick(contended bool) {
 // preserves per-handle FIFO; callers that prefer load spilling over
 // ordering can Register several handles. Wait-free; no hazard
 // publication — the handle's bind is what keeps its lane alive.
+// wcq:noalloc
 func (h *StripedHandle[T]) Enqueue(v T) bool {
 	s := h.s
 	if s.state.Load() != stripedOpen {
@@ -438,6 +443,7 @@ func (h *StripedHandle[T]) Enqueue(v T) bool {
 // polling a striped queue must treat false as "probably empty" and
 // retry, exactly as they would with any work-stealing deque.
 // Wait-free between resizes.
+// wcq:noalloc
 func (h *StripedHandle[T]) Dequeue() (v T, ok bool) {
 	s := h.s
 	h.pre()
@@ -455,6 +461,7 @@ func (h *StripedHandle[T]) Dequeue() (v T, ok bool) {
 // directory proves the retire path's hazard scan will see the
 // publication, so the lane cannot be recycled mid-dequeue; a changed
 // one restarts the scan on the fresh view (DESIGN.md §13).
+// wcq:noalloc
 func (h *StripedHandle[T]) steal() (v T, ok bool) {
 	s := h.s
 restart:
@@ -497,6 +504,7 @@ restart:
 // EnqueueBatch inserts up to len(vs) values into the handle's lane
 // with batched ring reservations, returning how many were inserted
 // (0 when the queue is closed). Wait-free.
+// wcq:noalloc
 func (h *StripedHandle[T]) EnqueueBatch(vs []T) int {
 	s := h.s
 	if s.state.Load() != stripedOpen {
@@ -513,6 +521,7 @@ func (h *StripedHandle[T]) EnqueueBatch(vs []T) int {
 // own lane first and stealing the remainder from the other lanes
 // (rotating start, hazard-protected; see Dequeue). Returns how many
 // were dequeued. Wait-free between resizes.
+// wcq:noalloc
 func (h *StripedHandle[T]) DequeueBatch(out []T) int {
 	s := h.s
 	h.pre()
@@ -526,6 +535,7 @@ func (h *StripedHandle[T]) DequeueBatch(out []T) int {
 }
 
 // stealBatch is steal for the batched path.
+// wcq:noalloc
 func (h *StripedHandle[T]) stealBatch(out []T) int {
 	s := h.s
 	n := 0
@@ -731,6 +741,7 @@ func (s *Striped[T]) Cap() int { return s.dir.Lanes() * s.laneCap }
 
 // Enqueue inserts v through a per-P cached handle, returning false
 // when the borrowed handle's lane is full or the queue is closed.
+// wcq:noalloc
 func (s *Striped[T]) Enqueue(v T) bool {
 	h := s.pool.mustGet()
 	// Deferred so a panic inside the operation returns the borrowed
@@ -741,6 +752,7 @@ func (s *Striped[T]) Enqueue(v T) bool {
 
 // Dequeue removes a value through a per-P cached handle, or returns
 // ok=false after observing every lane empty.
+// wcq:noalloc
 func (s *Striped[T]) Dequeue() (v T, ok bool) {
 	h := s.pool.mustGet()
 	defer s.pool.put(h)
@@ -750,6 +762,7 @@ func (s *Striped[T]) Dequeue() (v T, ok bool) {
 // EnqueueBatch inserts up to len(vs) values through a per-P cached
 // handle, returning how many were inserted. The batch lands in one
 // lane, in order.
+// wcq:noalloc
 func (s *Striped[T]) EnqueueBatch(vs []T) int {
 	h := s.pool.mustGet()
 	defer s.pool.put(h)
@@ -758,6 +771,7 @@ func (s *Striped[T]) EnqueueBatch(vs []T) int {
 
 // DequeueBatch removes up to len(out) values through a per-P cached
 // handle, returning how many were dequeued.
+// wcq:noalloc
 func (s *Striped[T]) DequeueBatch(out []T) int {
 	h := s.pool.mustGet()
 	defer s.pool.put(h)

@@ -64,9 +64,11 @@ func (h *UnboundedHandle[T]) Unregister() { h.q.q.Unregister(h.h) }
 
 // Enqueue appends v. Fails (returns false) only when the queue is
 // closed — capacity never runs out.
+// wcq:noalloc
 func (h *UnboundedHandle[T]) Enqueue(v T) bool { return h.q.q.Enqueue(h.h, v) }
 
 // Dequeue removes the oldest value, or returns ok=false when empty.
+// wcq:noalloc
 func (h *UnboundedHandle[T]) Dequeue() (v T, ok bool) { return h.q.q.Dequeue(h.h) }
 
 // EnqueueBatch appends values in order, amortizing ring reservations
@@ -74,10 +76,12 @@ func (h *UnboundedHandle[T]) Dequeue() (v T, ok bool) { return h.q.q.Dequeue(h.h
 // fewer when the queue closes mid-batch (a short write — the counted
 // prefix is in the queue and will be drained; the rest was not
 // inserted).
+// wcq:noalloc
 func (h *UnboundedHandle[T]) EnqueueBatch(vs []T) int { return h.q.q.EnqueueBatch(h.h, vs) }
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order, returning how many were dequeued.
+// wcq:noalloc
 func (h *UnboundedHandle[T]) DequeueBatch(out []T) int { return h.q.q.DequeueBatch(h.h, out) }
 
 // EnqueueWait appends v. The queue is never full, so this does not
@@ -101,6 +105,7 @@ func (h *UnboundedHandle[T]) DequeueBlock() (T, error) {
 
 // Enqueue appends v through a pooled handle. Fails only when the
 // queue is closed.
+// wcq:noalloc
 func (q *Unbounded[T]) Enqueue(v T) bool {
 	h := q.pool.mustGet()
 	// Deferred so a panic inside the operation returns the borrowed
@@ -111,6 +116,7 @@ func (q *Unbounded[T]) Enqueue(v T) bool {
 
 // Dequeue removes the oldest value through a pooled handle, or
 // returns ok=false when the whole queue is empty.
+// wcq:noalloc
 func (q *Unbounded[T]) Dequeue() (v T, ok bool) {
 	h := q.pool.mustGet()
 	defer q.pool.put(h)
@@ -120,6 +126,7 @@ func (q *Unbounded[T]) Dequeue() (v T, ok bool) {
 // EnqueueBatch appends values in order through a pooled handle,
 // returning how many were inserted (a short count when the queue
 // closes mid-batch; see UnboundedHandle.EnqueueBatch).
+// wcq:noalloc
 func (q *Unbounded[T]) EnqueueBatch(vs []T) int {
 	h := q.pool.mustGet()
 	defer q.pool.put(h)
@@ -128,6 +135,7 @@ func (q *Unbounded[T]) EnqueueBatch(vs []T) int {
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order through a pooled handle, returning how many were dequeued.
+// wcq:noalloc
 func (q *Unbounded[T]) DequeueBatch(out []T) int {
 	h := q.pool.mustGet()
 	defer q.pool.put(h)

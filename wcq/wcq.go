@@ -287,10 +287,12 @@ func (q *Queue[T]) Register() (*Handle[T], error) {
 func (h *Handle[T]) Unregister() { h.q.q.Unregister(h.h) }
 
 // Enqueue inserts v, returning false if the queue is full. Wait-free.
+// wcq:noalloc
 func (h *Handle[T]) Enqueue(v T) bool { return h.q.q.Enqueue(h.h, v) }
 
 // Dequeue removes the oldest value, returning ok=false when the queue
 // is empty. Wait-free.
+// wcq:noalloc
 func (h *Handle[T]) Dequeue() (v T, ok bool) { return h.q.q.Dequeue(h.h) }
 
 // EnqueueBatch inserts up to len(vs) values in order and returns how
@@ -298,10 +300,12 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) { return h.q.q.Dequeue(h.h) }
 // reserves its ring positions with one fetch-and-add per ring instead
 // of k, which is the dominant cost at high core counts (DESIGN.md §6).
 // Wait-free.
+// wcq:noalloc
 func (h *Handle[T]) EnqueueBatch(vs []T) int { return h.q.q.EnqueueBatch(h.h, vs) }
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order and returns how many were dequeued. Wait-free.
+// wcq:noalloc
 func (h *Handle[T]) DequeueBatch(out []T) int { return h.q.q.DequeueBatch(h.h, out) }
 
 // EnqueueWait inserts v, blocking while the queue is full. Returns nil
@@ -329,6 +333,7 @@ func (h *Handle[T]) DequeueBlock() (T, error) {
 // queue is full or closed. Prefer an explicit Handle on hot paths.
 // Panics with an error wrapping ErrHandlesExhausted if the handle cap
 // is pinned by explicit handles (see mustGet).
+// wcq:noalloc
 func (q *Queue[T]) Enqueue(v T) bool {
 	// Resident fast path, open-coded (pinnedGet is a call too far at
 	// this op cost): the core op runs under the processor pin on this
@@ -360,6 +365,7 @@ func (q *Queue[T]) Enqueue(v T) bool {
 // Dequeue removes the oldest value through a pooled handle, returning
 // ok=false when the queue is empty. Panics with an error wrapping
 // ErrHandlesExhausted if the handle cap is pinned by explicit handles.
+// wcq:noalloc
 func (q *Queue[T]) Dequeue() (v T, ok bool) {
 	if canPin && q.pool.resident {
 		if pid := pinProc(); pid <= q.pool.mask {
@@ -381,6 +387,7 @@ func (q *Queue[T]) Dequeue() (v T, ok bool) {
 
 // EnqueueBatch inserts up to len(vs) values in order through a pooled
 // handle, returning how many were inserted.
+// wcq:noalloc
 func (q *Queue[T]) EnqueueBatch(vs []T) int {
 	if h, sh := q.pool.pinnedGet(); sh != nil {
 		n := q.q.EnqueueBatch(h, vs)
@@ -398,6 +405,7 @@ func (q *Queue[T]) EnqueueBatch(vs []T) int {
 
 // DequeueBatch removes up to len(out) of the oldest values in FIFO
 // order through a pooled handle, returning how many were dequeued.
+// wcq:noalloc
 func (q *Queue[T]) DequeueBatch(out []T) int {
 	if h, sh := q.pool.pinnedGet(); sh != nil {
 		n := q.q.DequeueBatch(h, out)
