@@ -31,6 +31,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"wcqueue/internal/bench"
 )
@@ -43,6 +44,7 @@ func main() {
 		threads  = flag.String("threads", "", "comma-separated thread counts (default: 1,2,4..2×GOMAXPROCS)")
 		order    = flag.Uint("ring-order", 16, "wCQ/SCQ ring order (capacity 2^order, paper: 16)")
 		jsonPath = flag.String("json", "", "write measured points as JSON to this file (BENCH_*.json)")
+		duration = flag.Duration("duration", 2*time.Second, "measurement window per overload point (H-series only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write an allocation profile at sweep end to this file")
 	)
@@ -101,6 +103,7 @@ func main() {
 		fmt.Printf("  %-14s %s\n", "helpdelay", "A2: HELP_DELAY ablation")
 		fmt.Printf("  %-14s %s\n", "remap", "A4: Cache_Remap ablation")
 		fmt.Printf("  %-14s %s\n", "diet", "E5: hot-path atomic-diet A/B ablation")
+		fmt.Printf("  %-14s %s\n", "overload", "H: goodput/shed/admission-latency vs offered load (0.5x/1x/2x capacity)")
 		fmt.Printf("  %-14s %s\n", "all", "every figure experiment")
 		return
 	case "all":
@@ -134,14 +137,22 @@ func main() {
 			fatal(err)
 		}
 		return
+	case "overload":
+		results, err := bench.RunOverloadSeries(os.Stdout, bench.OverloadOptions{Duration: *duration})
+		if err != nil {
+			fatal(err)
+		}
+		collected = append(collected, results...)
+		emit()
+		return
 	}
 
 	// Comma-separated experiment ids run in sequence into one report.
 	for _, id := range strings.Split(*expID, ",") {
 		id = strings.TrimSpace(id)
 		switch id {
-		case "patience", "helpdelay", "remap", "diet":
-			fatal(fmt.Errorf("ablation %q cannot be combined in a comma list; run -experiment %s alone", id, id))
+		case "patience", "helpdelay", "remap", "diet", "overload":
+			fatal(fmt.Errorf("%q cannot be combined in a comma list; run -experiment %s alone", id, id))
 		}
 		e, ok := bench.FindExperiment(id)
 		if !ok {

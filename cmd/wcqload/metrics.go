@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// metric is one exported series: Prometheus text exposition format,
+// hand-rolled — the exporter is a dozen fixed series, and the repo
+// takes no dependencies beyond the standard library.
+type metric struct {
+	name string
+	kind string // "counter" or "gauge"
+	help string
+	val  float64
+}
+
+// snapshot collects every exported series from the snapshot APIs.
+// Counters are cumulative since boot; gauges are instantaneous.
+func (s *Server) snapshot() []metric {
+	a := s.ctrl.Stats()
+	q := s.q.Stats()
+	return []metric{
+		// Admission ledger (DESIGN.md §16): accepted = delivered +
+		// expired + in_flight; submits = accepted + shed.
+		{"wcqload_accepted_total", "counter", "submits admitted into the queue", float64(a.Accepted)},
+		{"wcqload_shed_full_total", "counter", "submits shed because the queue was full (Reject policy)", float64(a.ShedFull)},
+		{"wcqload_shed_deadline_total", "counter", "submits shed because the admission deadline expired", float64(a.ShedDeadline)},
+		{"wcqload_expired_total", "counter", "accepted items dropped at dequeue past their TTL", float64(a.Expired)},
+		{"wcqload_delivered_total", "counter", "accepted items handed to a worker", float64(a.Delivered)},
+		{"wcqload_in_flight", "gauge", "accepted items not yet delivered or expired (queue depth)", float64(a.InFlight())},
+		// Blocking-layer gauges and counters the watchdog samples.
+		{"wcqload_enq_waiters", "gauge", "producers currently parked (queue full)", float64(q.EnqWaiters)},
+		{"wcqload_deq_waiters", "gauge", "workers currently parked (queue empty)", float64(q.DeqWaiters)},
+		{"wcqload_waits_total", "counter", "cumulative parks, both sides", float64(q.Waits)},
+		{"wcqload_wakes_total", "counter", "cumulative wakeups delivered, both sides", float64(q.Wakes)},
+		// Elastic lane directory.
+		{"wcqload_lanes", "gauge", "active striped lanes", float64(q.Lanes)},
+		{"wcqload_lane_grows_total", "counter", "lane-count increases applied", float64(q.LaneGrows)},
+		{"wcqload_lane_shrinks_total", "counter", "lane-count decreases applied", float64(q.LaneShrinks)},
+		{"wcqload_steals_total", "counter", "dequeues served by a foreign lane", float64(q.Steals)},
+		// Ring pool and slow-path health.
+		{"wcqload_pool_hits_total", "counter", "ring hops served from the recycled pool", float64(q.PoolHits)},
+		{"wcqload_pool_misses_total", "counter", "ring hops that allocated a fresh ring", float64(q.PoolMisses)},
+		{"wcqload_slow_enqueues_total", "counter", "enqueues that left the fast path", float64(q.SlowEnqueues)},
+		{"wcqload_slow_dequeues_total", "counter", "dequeues that left the fast path", float64(q.SlowDequeues)},
+		{"wcqload_helps_total", "counter", "helping-protocol completions", float64(q.Helps)},
+		// Watchdog and admission latency.
+		{"wcqload_watchdog_stalls_total", "counter", "stall reports emitted by the progress watchdog", float64(s.stalls.Load())},
+		{"wcqload_admit_latency_p50_seconds", "gauge", "median Submit latency since boot", s.hist.Quantile(0.50).Seconds()},
+		{"wcqload_admit_latency_p99_seconds", "gauge", "p99 Submit latency since boot", s.hist.Quantile(0.99).Seconds()},
+		{"wcqload_admit_latency_p999_seconds", "gauge", "p999 Submit latency since boot", s.hist.Quantile(0.999).Seconds()},
+		{"wcqload_uptime_seconds", "gauge", "time since the server started", s.Uptime().Seconds()},
+	}
+}
+
+// writeMetrics renders the snapshot in Prometheus text exposition
+// format (text/plain; version=0.0.4).
+func (s *Server) writeMetrics(w io.Writer) {
+	for _, m := range s.snapshot() {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.kind, m.name, m.val)
+	}
+}
+
+// handler serves /metrics and /healthz. Health flips to 503 once the
+// drain has begun so load balancers stop routing during shutdown.
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writeMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.drained.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wcqueue/internal/admission"
+	"wcqueue/internal/bench"
+	"wcqueue/wcq"
+)
+
+// Config parameterizes the simulated service. The load generators
+// offer Load× the pool's capacity (calibrated or nominal), with
+// Zipf-distributed burst sizes so arrivals are clumped the way real
+// ingest traffic is — smooth Poisson-ish arrival is the easy case for
+// a queue, and not the one admission control exists for.
+type Config struct {
+	Workers       int           // consumer pool size
+	Producers     int           // ingest generator goroutines
+	Service       time.Duration // simulated per-item service time
+	Load          float64       // offered load as a multiple of capacity
+	Capacity      float64       // items/sec; 0 = nominal Workers/Service
+	Order         uint          // per-lane ring order
+	Lanes         int           // initial lane count (elastic above this)
+	Policy        admission.Policy
+	SubmitTimeout time.Duration // Deadline-policy park bound
+	TTL           time.Duration // entry freshness bound (0 = none)
+	Burst         int           // max burst size, Zipf-distributed (1 = smooth)
+	ZipfS         float64       // burst-size skew (>1; larger = smoother)
+	Seed          int64
+	Grace         int           // watchdog still-polls before a stall report
+	Interval      time.Duration // watchdog poll interval
+}
+
+func (c Config) defaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Producers <= 0 {
+		c.Producers = 4
+	}
+	if c.Service <= 0 {
+		c.Service = 200 * time.Microsecond
+	}
+	if c.Load <= 0 {
+		c.Load = 0.8
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = float64(c.Workers) / c.Service.Seconds()
+	}
+	if c.Order == 0 {
+		c.Order = 10
+	}
+	if c.Lanes <= 0 {
+		c.Lanes = 2
+	}
+	if c.SubmitTimeout <= 0 {
+		c.SubmitTimeout = 4 * c.Service
+	}
+	if c.Burst <= 0 {
+		c.Burst = 16
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Grace < 2 {
+		c.Grace = 3
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the traffic simulator: ingest generators fan into an
+// elastic wcq.Striped through the admission controller, a worker pool
+// drains it, and a progress watchdog reports workers whose counters
+// stop moving while work is pending. Everything it exports on
+// /metrics comes from the snapshot APIs (admission.Stats, wcq.Stats,
+// bench.Histogram) — the serving path itself keeps no extra state.
+type Server struct {
+	cfg    Config
+	q      *wcq.Striped[admission.Item[uint64]]
+	ctrl   *admission.Controller[uint64]
+	dog    *admission.Watchdog
+	hist   bench.Histogram
+	stalls atomic.Uint64
+
+	stop    chan struct{}
+	pwg     sync.WaitGroup
+	wwg     sync.WaitGroup
+	started time.Time
+	drained atomic.Bool
+}
+
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.defaults()
+	q, err := wcq.NewStriped[admission.Item[uint64]](cfg.Order, cfg.Lanes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, q: q, stop: make(chan struct{})}
+	s.ctrl = admission.NewController[uint64](q, admission.Config{
+		Policy:        cfg.Policy,
+		SubmitTimeout: cfg.SubmitTimeout,
+		TTL:           cfg.TTL,
+	})
+	s.dog = admission.NewWatchdog(admission.WatchdogConfig{
+		Grace:    cfg.Grace,
+		Interval: cfg.Interval,
+		Pending:  s.ctrl.InFlight,
+		Waiters: func() (int, int) {
+			st := q.Stats()
+			return st.EnqWaiters, st.DeqWaiters
+		},
+		OnStall: func(reports []admission.StallReport) {
+			s.stalls.Add(uint64(len(reports)))
+			for _, r := range reports {
+				fmt.Fprintf(os.Stderr, "wcqload: watchdog: %s stalled for %d polls (pending %d, enq-waiters %d, deq-waiters %d)\n",
+					r.Worker, r.Polls, r.Pending, r.EnqWaiters, r.DeqWaiters)
+			}
+		},
+	})
+	return s, nil
+}
+
+// Start launches the worker pool, the ingest generators, and the
+// watchdog. It returns immediately; Drain stops everything.
+func (s *Server) Start() {
+	s.started = time.Now()
+	for w := 0; w < s.cfg.Workers; w++ {
+		prog := s.dog.Register(fmt.Sprintf("worker-%d", w))
+		s.wwg.Add(1)
+		go s.worker(prog)
+	}
+	offered := s.cfg.Load * s.cfg.Capacity
+	// Each producer owns 1/Producers of the offered rate; burst sizes
+	// are Zipf-distributed, so the mean burst scales the interarrival
+	// gap to keep the offered rate honest.
+	for p := 0; p < s.cfg.Producers; p++ {
+		s.pwg.Add(1)
+		go s.producer(p, offered/float64(s.cfg.Producers))
+	}
+	s.dog.Start()
+}
+
+func (s *Server) worker(prog *admission.Progress) {
+	defer s.wwg.Done()
+	for {
+		if _, err := s.ctrl.Take(context.Background()); err != nil {
+			return // closed and drained
+		}
+		time.Sleep(s.cfg.Service) // simulated service
+		prog.Bump()
+	}
+}
+
+func (s *Server) producer(id int, rate float64) {
+	defer s.pwg.Done()
+	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(id)))
+	var zipf *rand.Zipf
+	if s.cfg.Burst > 1 {
+		zipf = rand.NewZipf(rng, s.cfg.ZipfS, 1, uint64(s.cfg.Burst-1))
+	}
+	perItem := time.Duration(float64(time.Second) / rate)
+	next := time.Now()
+	var n uint64
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		burst := 1
+		if zipf != nil {
+			burst = int(zipf.Uint64()) + 1
+		}
+		// The whole burst arrives at once; the pacer then sits out
+		// burst×perItem so the mean offered rate stays at the target.
+		next = next.Add(time.Duration(burst) * perItem)
+		for i := 0; i < burst; i++ {
+			t0 := time.Now()
+			err := s.ctrl.Submit(context.Background(), uint64(id)<<32|n)
+			s.hist.Record(time.Since(t0))
+			n++
+			if err != nil && !errors.Is(err, admission.ErrShed) {
+				return // closed
+			}
+		}
+	}
+}
+
+// Drain is the SIGTERM path: stop the generators, close the
+// controller (sealing the queue), wait for the workers to take every
+// accepted item, stop the watchdog, and verify the exactly-once
+// ledger. A ledger violation is a bug, not a shutdown condition — it
+// returns as an error so main can exit nonzero.
+func (s *Server) Drain() error {
+	if !s.drained.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stop)
+	s.pwg.Wait()
+	s.ctrl.Close()
+	s.wwg.Wait()
+	s.dog.Stop()
+	st := s.ctrl.Stats()
+	if st.Delivered+st.Expired != st.Accepted {
+		return fmt.Errorf("drain ledger: accepted %d != delivered %d + expired %d",
+			st.Accepted, st.Delivered, st.Expired)
+	}
+	if got := st.InFlight(); got != 0 {
+		return fmt.Errorf("drain ledger: %d items still in flight after drain", got)
+	}
+	return nil
+}
+
+// Uptime reports how long the server has been serving.
+func (s *Server) Uptime() time.Duration { return time.Since(s.started) }

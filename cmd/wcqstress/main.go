@@ -60,6 +60,12 @@ func main() {
 			"registration-storm mode: every worker registers, moves one value and unregisters per cycle (-per cycles each), with concurrent lane resizes on elastic queues; asserts the handle high-water mark stays at peak concurrency")
 		block = flag.Bool("block", false,
 			"blocking mode: consumers park in DequeueWait, producers send bursts through EnqueueWait, and the queue is closed mid-run; asserts every accepted value is delivered exactly once before ErrClosed")
+		overload = flag.Bool("overload", false,
+			"oversubscription + overload mode: -oversub submitter goroutines (tens of thousands over few Ps) push through the admission controller over an elastic striped queue; the controller closes at half traffic; asserts the exactly-once accepted/shed/closed ledger value by value")
+		oversub = flag.Int("oversub", 50_000,
+			"submitter goroutine count for -overload mode")
+		deadlinePol = flag.Bool("deadline", true,
+			"-overload mode: use the Deadline admission policy (submitters park, bounded) instead of Reject")
 		chaos = flag.Bool("chaos", false,
 			"perturb the schedule at every failpoint site with a seeded pseudo-random pattern (requires a -tags wcq_failpoints build); composes with any mode")
 		seedFlag = flag.Int64("seed", 0,
@@ -92,9 +98,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wcqstress: -per %d out of range (want >= 1)\n", *per)
 		os.Exit(1)
 	}
-	if *storm && *block {
-		fmt.Fprintln(os.Stderr, "wcqstress: -storm and -block are mutually exclusive")
+	modes := 0
+	for _, m := range []bool{*storm, *block, *overload} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "wcqstress: -storm, -block and -overload are mutually exclusive")
 		os.Exit(1)
+	}
+
+	// Overload mode runs over the admission layer, not a registry
+	// queue: it is the service-stack stress, and -queue does not apply.
+	if *overload {
+		if *oversub < 1 {
+			fmt.Fprintf(os.Stderr, "wcqstress: -oversub %d out of range (want >= 1)\n", *oversub)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		if err := overloadStress(*oversub, *consumers, *per, *order, *deadlinePol); err != nil {
+			fmt.Printf("overload: %v\n", err)
+			failTraceErr := *chaos
+			if failTraceErr {
+				if tr := chaosTrace(); tr != "" {
+					fmt.Printf("  chaos trace: %s\n", tr)
+				}
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("overload: %d submitters, %d consumers, Close at half traffic: OK (%.2fs)\n",
+			*oversub, *consumers, time.Since(t0).Seconds())
+		return
 	}
 
 	names := []string{*name}

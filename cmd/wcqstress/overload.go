@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wcqueue/internal/admission"
+	"wcqueue/wcq"
+)
+
+// Outcome codes for the overload ledger: every submitted value ends
+// in exactly one state on the submit side, and the delivery side must
+// agree — accepted values arrive exactly once, shed and closed-out
+// values never arrive. This is the oversubscription analogue of
+// check.Report: the queues' exactly-once contract extended across the
+// admission layer.
+const (
+	outUnknown uint32 = iota
+	outAccepted
+	outShed
+	outClosed
+)
+
+// overloadStress is the oversubscription + overload harness (DESIGN.md
+// §16): `submitters` goroutines — tens of thousands, far beyond
+// GOMAXPROCS — each push `per` values through the admission
+// controller over an elastic striped queue, while a small consumer
+// pool drains. The controller closes at half traffic, so the run
+// exercises all three exits (accepted, shed, closed) concurrently
+// with the drain protocol, and a progress watchdog samples the run
+// throughout. Under the Deadline policy the submitters park in
+// EnqueueWait by the tens of thousands — the waiter-list regime the
+// eventcounts were built for.
+func overloadStress(submitters, consumers int, per uint64, order uint, deadline bool) error {
+	q, err := wcq.NewStriped[admission.Item[uint64]](order, 2)
+	if err != nil {
+		return err
+	}
+	pol, timeout := admission.Reject, time.Duration(0)
+	if deadline {
+		pol, timeout = admission.Deadline, 2*time.Millisecond
+	}
+	ctrl := admission.NewController[uint64](q, admission.Config{Policy: pol, SubmitTimeout: timeout})
+
+	total := uint64(submitters) * per
+	outcome := make([]atomic.Uint32, total)
+	delivered := make([]atomic.Uint32, total)
+
+	var stalls atomic.Uint64
+	dog := admission.NewWatchdog(admission.WatchdogConfig{
+		Grace:    3,
+		Interval: 50 * time.Millisecond,
+		Pending:  ctrl.InFlight,
+		Waiters: func() (int, int) {
+			st := q.Stats()
+			return st.EnqWaiters, st.DeqWaiters
+		},
+		// Stall reports under oversubscription are informational —
+		// 25× more runnable goroutines than Ps genuinely starves
+		// consumers for whole grace windows sometimes, and that is
+		// exactly what the watchdog is for.
+		OnStall: func(reports []admission.StallReport) { stalls.Add(uint64(len(reports))) },
+	})
+
+	var cwg sync.WaitGroup
+	var taken atomic.Uint64
+	for c := 0; c < consumers; c++ {
+		prog := dog.Register(fmt.Sprintf("consumer-%d", c))
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, err := ctrl.Take(context.Background())
+				if err != nil {
+					return
+				}
+				if v >= total {
+					panic(fmt.Sprintf("delivered out-of-range value %d", v))
+				}
+				if delivered[v].Add(1) != 1 {
+					panic(fmt.Sprintf("value %d delivered twice", v))
+				}
+				taken.Add(1)
+				prog.Bump()
+			}
+		}()
+	}
+	dog.Start()
+
+	// The closer seals the queue once half the traffic has been
+	// attempted: the remaining submitters race Close from every state
+	// (pre-submit, parked in EnqueueWait, mid fast path).
+	var attempts atomic.Uint64
+	closeAt := total / 2
+	go func() {
+		for attempts.Load() < closeAt {
+			time.Sleep(200 * time.Microsecond)
+		}
+		ctrl.Close()
+	}()
+
+	var swg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		swg.Add(1)
+		go func(g uint64) {
+			defer swg.Done()
+			for i := uint64(0); i < per; i++ {
+				v := g*per + i
+				attempts.Add(1)
+				err := ctrl.Submit(context.Background(), v)
+				switch {
+				case err == nil:
+					outcome[v].Store(outAccepted)
+				case errors.Is(err, admission.ErrShed):
+					outcome[v].Store(outShed)
+				default:
+					outcome[v].Store(outClosed)
+				}
+			}
+		}(uint64(g))
+	}
+	swg.Wait()
+	// Every submitter has resolved; if the closer never fired (all
+	// traffic shed before closeAt — impossible since attempts counts
+	// attempts, but belt and braces) close now so consumers exit.
+	ctrl.Close()
+	cwg.Wait()
+	dog.Stop()
+
+	// The ledger, value by value.
+	var acc, shed, closed uint64
+	for v := uint64(0); v < total; v++ {
+		o, d := outcome[v].Load(), delivered[v].Load()
+		switch o {
+		case outAccepted:
+			acc++
+			if d != 1 {
+				return fmt.Errorf("value %d accepted but delivered %d times", v, d)
+			}
+		case outShed:
+			shed++
+			if d != 0 {
+				return fmt.Errorf("value %d shed but delivered (phantom publish)", v)
+			}
+		case outClosed:
+			closed++
+			if d != 0 {
+				return fmt.Errorf("value %d rejected at close but delivered", v)
+			}
+		default:
+			return fmt.Errorf("value %d never resolved", v)
+		}
+	}
+	// And the controller's counters must tell the same story.
+	st := ctrl.Stats()
+	if st.Accepted != acc || st.Shed() != shed {
+		return fmt.Errorf("controller counters (accepted %d, shed %d) disagree with the per-value ledger (%d, %d)",
+			st.Accepted, st.Shed(), acc, shed)
+	}
+	if st.Delivered != acc || taken.Load() != acc {
+		return fmt.Errorf("delivered %d (consumers saw %d) != accepted %d", st.Delivered, taken.Load(), acc)
+	}
+	fmt.Printf("  overload: %d submitters × %d: %d accepted+delivered, %d shed, %d closed out, %d watchdog stalls\n",
+		submitters, per, acc, shed, closed, stalls.Load())
+	return nil
+}

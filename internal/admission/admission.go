@@ -1,0 +1,248 @@
+// Package admission implements the overload-robustness layer over the
+// repository's blocking queues (DESIGN.md §16): deadline-aware
+// admission control with load shedding on the enqueue side,
+// expired-entry dropping on the dequeue side, and a progress watchdog
+// (watchdog.go) that notices consumers that have stopped taking steps.
+//
+// The controller's contract is the exactly-once ledger the overload
+// harnesses account on: every Submit resolves to exactly one of
+// accepted or shed, every accepted entry resolves to exactly one of
+// delivered or expired, and a shed entry is never observable
+// downstream. The no-phantom-delivery guarantee rests on the queues'
+// blocking conformance: EnqueueWait with an expired context does not
+// publish (see the expired-context conformance suite in
+// internal/queues/registry).
+//
+// Shedding is what buys graceful degradation: past saturation a
+// system without admission control converts overload into unbounded
+// queueing delay for everyone; with it, the controller bounds how
+// long any producer blocks (Deadline policy) or refuses instantly
+// (Reject policy), so goodput stays near capacity while the excess is
+// refused cheaply at the front door.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"wcqueue/internal/core"
+)
+
+// errClosed is the closed-queue sentinel every wcq shape returns
+// (exported publicly as wcq.ErrClosed — the same value).
+var errClosed = core.ErrClosed
+
+// BlockingQueue is the handle-free blocking surface every wcq shape
+// exposes (wcq.Queue, wcq.Unbounded, wcq.Striped — the controller is
+// generic over all of them).
+type BlockingQueue[T any] interface {
+	Enqueue(v T) bool
+	Dequeue() (v T, ok bool)
+	EnqueueWait(ctx context.Context, v T) error
+	DequeueWait(ctx context.Context) (T, error)
+	Close()
+	Closed() bool
+}
+
+// ErrShed is the sentinel wrapped by every shed outcome, so callers
+// can match "refused by admission control" without caring which
+// policy refused: errors.Is(err, admission.ErrShed).
+var ErrShed = errors.New("admission: shed")
+
+// ErrShedFull reports a Reject-policy refusal: the queue was full at
+// submit time and the policy does not wait.
+var ErrShedFull = fmt.Errorf("%w: queue full", ErrShed)
+
+// ErrShedDeadline reports a Deadline-policy refusal: the submit
+// deadline (or the caller's context) expired before a slot freed.
+var ErrShedDeadline = fmt.Errorf("%w: deadline expired before admission", ErrShed)
+
+// Policy selects what Submit does when the queue is full.
+type Policy int
+
+const (
+	// Reject sheds immediately on a full queue: Submit is the
+	// non-blocking Enqueue and never parks. The cheapest refusal —
+	// overload costs the refused producer two shared loads.
+	Reject Policy = iota
+	// Deadline blocks in EnqueueWait up to the submit deadline and
+	// sheds on expiry: overload costs the refused producer a bounded
+	// park, and short bursts above capacity are absorbed rather than
+	// refused.
+	Deadline
+)
+
+// Item is the envelope the controller enqueues: the caller's value
+// plus the entry's expiry on the controller clock (0 = never
+// expires). Callers instantiate their queue as
+// BlockingQueue[admission.Item[T]].
+type Item[T any] struct {
+	V      T
+	Expiry int64 // controller-clock nanoseconds; 0 = no TTL
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Policy selects the full-queue behavior (default Reject).
+	Policy Policy
+	// SubmitTimeout bounds how long a Deadline-policy Submit may park
+	// waiting for a slot. <= 0 with the Deadline policy means Submit
+	// is bounded only by the caller's context.
+	SubmitTimeout time.Duration
+	// TTL is the per-entry time-to-live: entries older than TTL at
+	// dequeue time are dropped by Take (counted Expired, never
+	// delivered). <= 0 disables expiry — every accepted entry is
+	// delivered.
+	TTL time.Duration
+	// Now is the controller clock in nanoseconds, injectable so tests
+	// drive expiry deterministically. Nil uses the wall clock.
+	Now func() int64
+}
+
+// Controller is the admission layer over one queue. All methods are
+// safe for concurrent use.
+type Controller[T any] struct {
+	q   BlockingQueue[Item[T]]
+	cfg Config
+	now func() int64
+
+	accepted     atomic.Uint64
+	shedFull     atomic.Uint64
+	shedDeadline atomic.Uint64
+	expired      atomic.Uint64
+	delivered    atomic.Uint64
+}
+
+// NewController wraps q in an admission controller. The queue must be
+// used exclusively through the controller for the ledger to balance
+// (a bare Enqueue bypasses the accepted count).
+func NewController[T any](q BlockingQueue[Item[T]], cfg Config) *Controller[T] {
+	now := cfg.Now
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Controller[T]{q: q, cfg: cfg, now: now}
+}
+
+// Submit offers v for admission. It returns nil when the value is
+// accepted (it will be delivered by exactly one Take, or counted
+// Expired if its TTL lapses first), an ErrShed-wrapped error when
+// refused, wcq's ErrClosed once the queue is closed, or ctx.Err()
+// when the caller's context expires first (counted shed: the value
+// was not published).
+func (c *Controller[T]) Submit(ctx context.Context, v T) error {
+	it := Item[T]{V: v}
+	if c.cfg.TTL > 0 {
+		it.Expiry = c.now() + c.cfg.TTL.Nanoseconds()
+	}
+	if c.cfg.Policy == Reject {
+		if c.q.Enqueue(it) {
+			c.accepted.Add(1)
+			return nil
+		}
+		if c.q.Closed() {
+			return errClosed
+		}
+		c.shedFull.Add(1)
+		return ErrShedFull
+	}
+	sctx := ctx
+	if c.cfg.SubmitTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, c.cfg.SubmitTimeout)
+		defer cancel()
+	}
+	err := c.q.EnqueueWait(sctx, it)
+	switch {
+	case err == nil:
+		c.accepted.Add(1)
+		return nil
+	case errors.Is(err, errClosed):
+		return err
+	case ctx.Err() != nil:
+		// The caller's own context expired (not just the submit
+		// timeout): surface their error, still counted as shed — the
+		// conformance contract guarantees nothing was published.
+		c.shedDeadline.Add(1)
+		return ctx.Err()
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		c.shedDeadline.Add(1)
+		return ErrShedDeadline
+	default:
+		return err
+	}
+}
+
+// Take removes the next live entry, blocking while the queue is
+// empty. Entries whose TTL lapsed while queued are dropped (counted
+// Expired) and never returned — the dequeue-side half of shedding,
+// which keeps a stalled consumer pool from serving requests whose
+// callers have long given up. Returns wcq's ErrClosed once the queue
+// is closed and drained (any still-queued expired entries are dropped
+// and counted on the way), or ctx.Err().
+func (c *Controller[T]) Take(ctx context.Context) (T, error) {
+	for {
+		it, err := c.q.DequeueWait(ctx)
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		if it.Expiry != 0 && c.now() > it.Expiry {
+			c.expired.Add(1)
+			continue
+		}
+		c.delivered.Add(1)
+		return it.V, nil
+	}
+}
+
+// Close closes the underlying queue: subsequent Submits fail with
+// ErrClosed and Takes drain the remaining entries before observing
+// it. Idempotent.
+func (c *Controller[T]) Close() { c.q.Close() }
+
+// Closed reports whether Close has been called.
+func (c *Controller[T]) Closed() bool { return c.q.Closed() }
+
+// Stats is the controller's ledger snapshot. The invariants the
+// overload harnesses assert: every Submit is exactly one of Accepted,
+// ShedFull, or ShedDeadline; every Accepted entry ends as exactly one
+// of Delivered or Expired; Delivered+Expired never exceeds Accepted.
+type Stats struct {
+	Accepted     uint64 // Submits that published
+	ShedFull     uint64 // Reject-policy refusals (queue full)
+	ShedDeadline uint64 // Deadline-policy refusals (timer or ctx expiry)
+	Expired      uint64 // accepted entries dropped at Take (TTL lapsed)
+	Delivered    uint64 // accepted entries returned by Take
+}
+
+// Shed returns the total refusals across both causes.
+func (s Stats) Shed() uint64 { return s.ShedFull + s.ShedDeadline }
+
+// InFlight returns accepted entries not yet delivered or expired —
+// the watchdog's work-pending probe. Counter loads are not mutually
+// atomic, so transient small negatives are clamped to zero.
+func (s Stats) InFlight() int64 {
+	n := int64(s.Accepted) - int64(s.Delivered) - int64(s.Expired)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Stats returns the current ledger snapshot.
+func (c *Controller[T]) Stats() Stats {
+	return Stats{
+		Accepted:     c.accepted.Load(),
+		ShedFull:     c.shedFull.Load(),
+		ShedDeadline: c.shedDeadline.Load(),
+		Expired:      c.expired.Load(),
+		Delivered:    c.delivered.Load(),
+	}
+}
+
+// InFlight returns the current ledger's InFlight.
+func (c *Controller[T]) InFlight() int64 { return c.Stats().InFlight() }

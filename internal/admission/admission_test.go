@@ -1,0 +1,269 @@
+package admission_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wcqueue/internal/admission"
+	"wcqueue/wcq"
+)
+
+// ledger asserts the controller's counter invariants: every Submit
+// resolved exactly once, every accepted entry at most once.
+func ledger(t *testing.T, s admission.Stats, submits uint64) {
+	t.Helper()
+	if s.Accepted+s.Shed() != submits {
+		t.Fatalf("ledger: accepted %d + shed %d != submits %d", s.Accepted, s.Shed(), submits)
+	}
+	if s.Delivered+s.Expired > s.Accepted {
+		t.Fatalf("ledger: delivered %d + expired %d > accepted %d", s.Delivered, s.Expired, s.Accepted)
+	}
+}
+
+// TestRejectPolicySheds pins the Reject policy: a full queue refuses
+// instantly with ErrShedFull (matching the ErrShed sentinel), nothing
+// shed is ever delivered, and the ledger balances.
+func TestRejectPolicySheds(t *testing.T) {
+	q := wcq.Must[admission.Item[int]](2) // capacity 4
+	c := admission.NewController(q, admission.Config{Policy: admission.Reject})
+	var submits uint64
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		submits++
+		err := c.Submit(context.Background(), i)
+		if err == nil {
+			accepted++
+			continue
+		}
+		if !errors.Is(err, admission.ErrShed) || !errors.Is(err, admission.ErrShedFull) {
+			t.Fatalf("submit %d: %v, want ErrShedFull", i, err)
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted %d, want the queue capacity 4", accepted)
+	}
+	for i := 0; i < accepted; i++ {
+		v, err := c.Take(context.Background())
+		if err != nil {
+			t.Fatalf("take %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("take %d: got %d — FIFO violated or shed value delivered", i, v)
+		}
+	}
+	s := c.Stats()
+	ledger(t, s, submits)
+	if s.Accepted != 4 || s.ShedFull != 6 || s.Delivered != 4 || s.ShedDeadline != 0 || s.Expired != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestDeadlinePolicyBoundedBlocking pins the Deadline policy's two
+// halves: a Submit against a full queue with no consumer sheds after
+// the submit timeout (bounded blocking — it does not park forever),
+// and a Submit racing a live consumer is absorbed instead of shed.
+func TestDeadlinePolicyBoundedBlocking(t *testing.T) {
+	q := wcq.Must[admission.Item[int]](1) // capacity 2
+	c := admission.NewController(q, admission.Config{
+		Policy:        admission.Deadline,
+		SubmitTimeout: 25 * time.Millisecond,
+	})
+	for i := 0; i < 2; i++ {
+		if err := c.Submit(context.Background(), i); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	start := time.Now()
+	err := c.Submit(context.Background(), 99)
+	if !errors.Is(err, admission.ErrShed) || !errors.Is(err, admission.ErrShedDeadline) {
+		t.Fatalf("overload submit = %v, want ErrShedDeadline", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("submit blocked %v — not bounded by the submit timeout", waited)
+	}
+	// With a consumer draining, the same overload submit is absorbed.
+	done := make(chan error, 1)
+	go func() {
+		e := c.Submit(context.Background(), 3)
+		done <- e
+	}()
+	if _, err := c.Take(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("submit with live consumer = %v, want absorbed", err)
+	}
+	s := c.Stats()
+	ledger(t, s, 4)
+	if s.ShedDeadline != 1 || s.Accepted != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestCallerContextShedsWithoutPublishing: a Submit whose own context
+// is already done is counted shed and must not publish (the queue
+// conformance contract surfaced through the controller).
+func TestCallerContextShedsWithoutPublishing(t *testing.T) {
+	q := wcq.Must[admission.Item[int]](4)
+	c := admission.NewController(q, admission.Config{Policy: admission.Deadline})
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Submit(cancelled, 7); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit(cancelled) = %v", err)
+	}
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("phantom delivery: shed submit published %+v", v)
+	}
+	s := c.Stats()
+	if s.ShedDeadline != 1 || s.Accepted != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestTTLExpiredEntriesDropped pins the dequeue-side shedding: entries
+// whose TTL lapsed while queued are dropped by Take — counted Expired,
+// never returned — while fresh entries behind them are delivered. The
+// clock is injected, so expiry is deterministic.
+func TestTTLExpiredEntriesDropped(t *testing.T) {
+	var clk atomic.Int64
+	q := wcq.Must[admission.Item[int]](4)
+	c := admission.NewController(q, admission.Config{
+		Policy: admission.Reject,
+		TTL:    100 * time.Nanosecond,
+		Now:    clk.Load,
+	})
+	for i := 0; i < 3; i++ {
+		if err := c.Submit(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Store(1000) // all three now expired
+	if err := c.Submit(context.Background(), 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Take(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("Take returned %d — an expired entry leaked through", v)
+	}
+	s := c.Stats()
+	ledger(t, s, 4)
+	if s.Expired != 3 || s.Delivered != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestSubmitTakeAfterClose: Close fails Submits with the wcq closed
+// error under both policies, and Take drains the backlog (dropping
+// expired entries on the way) before reporting it.
+func TestSubmitTakeAfterClose(t *testing.T) {
+	for _, policy := range []admission.Policy{admission.Reject, admission.Deadline} {
+		q := wcq.Must[admission.Item[int]](4)
+		c := admission.NewController(q, admission.Config{Policy: policy, SubmitTimeout: time.Second})
+		if err := c.Submit(context.Background(), 1); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		if !c.Closed() {
+			t.Fatal("Closed() false after Close")
+		}
+		if err := c.Submit(context.Background(), 2); !errors.Is(err, wcq.ErrClosed) {
+			t.Fatalf("policy %d: Submit after Close = %v, want ErrClosed", policy, err)
+		}
+		if v, err := c.Take(context.Background()); err != nil || v != 1 {
+			t.Fatalf("drain: %d, %v", v, err)
+		}
+		if _, err := c.Take(context.Background()); !errors.Is(err, wcq.ErrClosed) {
+			t.Fatalf("Take on drained closed queue = %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestControllerOverStriped is the exactly-once accounting harness in
+// miniature, over the striped front-end the service layer actually
+// uses: producers Submit under the Deadline policy with a short
+// timeout (so overload sheds), consumers Take until close, and the
+// delivered multiset must equal exactly the accepted set — shed values
+// never appear, accepted values appear once each. Runs under -race in
+// CI.
+func TestControllerOverStriped(t *testing.T) {
+	const producers, consumers, perProducer = 4, 2, 500
+	q := wcq.MustStriped[admission.Item[uint64]](4, 2, wcq.WithFixedLanes())
+	c := admission.NewController[uint64](q, admission.Config{
+		Policy:        admission.Deadline,
+		SubmitTimeout: 2 * time.Millisecond,
+	})
+
+	acceptedSets := make([]map[uint64]bool, producers)
+	var wg, pwg sync.WaitGroup
+	streams := make([][]uint64, consumers)
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var local []uint64
+			for {
+				v, err := c.Take(context.Background())
+				if err != nil {
+					streams[i] = local
+					return
+				}
+				local = append(local, v)
+			}
+		}(i)
+	}
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			acc := make(map[uint64]bool)
+			for s := uint64(0); s < perProducer; s++ {
+				v := uint64(p)<<32 | s
+				if err := c.Submit(context.Background(), v); err == nil {
+					acc[v] = true
+				} else if !errors.Is(err, admission.ErrShed) {
+					t.Errorf("producer %d: %v", p, err)
+				}
+			}
+			acceptedSets[p] = acc
+		}(p)
+	}
+	pwg.Wait()
+	c.Close()
+	wg.Wait()
+
+	accepted := make(map[uint64]bool)
+	for _, s := range acceptedSets {
+		for v := range s {
+			accepted[v] = true
+		}
+	}
+	delivered := make(map[uint64]bool)
+	for _, s := range streams {
+		for _, v := range s {
+			if delivered[v] {
+				t.Fatalf("value %#x delivered twice", v)
+			}
+			delivered[v] = true
+			if !accepted[v] {
+				t.Fatalf("shed value %#x was delivered", v)
+			}
+		}
+	}
+	for v := range accepted {
+		if !delivered[v] {
+			t.Fatalf("accepted value %#x never delivered", v)
+		}
+	}
+	s := c.Stats()
+	ledger(t, s, producers*perProducer)
+	if s.Accepted != uint64(len(accepted)) || s.Delivered != uint64(len(delivered)) {
+		t.Fatalf("counter/set mismatch: %+v vs %d accepted, %d delivered", s, len(accepted), len(delivered))
+	}
+}

@@ -1,0 +1,197 @@
+// The progress watchdog: a sampler that notices consumers that have
+// stopped taking steps while work is pending (DESIGN.md §16).
+//
+// The detector deliberately samples cheap monotone counters instead
+// of instrumenting the hot path: each worker owns a Progress counter
+// it bumps once per completed item (one uncontended atomic add), and
+// the watchdog polls them. The stall rule is:
+//
+//	work is pending (Pending() > 0)
+//	AND a worker's counter has not moved for Grace consecutive polls
+//
+// Both conjuncts matter. Without the pending probe an idle pool looks
+// stalled (nothing to do is not a stall); without the grace window a
+// worker mid-item at sample time gets flagged by the race between its
+// bump and the poll. The waiter gauges (wcq.Stats EnqWaiters /
+// DeqWaiters) ride along in each report so the operator can tell "one
+// consumer is wedged while peers drain" (pending > 0, some counters
+// moving) from "the whole pool is parked on an empty queue that
+// producers stopped feeding" — the failpoint suite drives a real
+// frozen consumer through exactly this detector.
+package admission
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is one worker's op counter. The worker bumps it after each
+// completed item; the watchdog only reads it. The zero value is ready
+// to use.
+type Progress struct {
+	ops atomic.Uint64
+
+	// sampled state, owned by the watchdog's poll loop (guarded by
+	// the Watchdog mutex).
+	last    uint64
+	stalled int
+}
+
+// Bump records one completed item.
+// wcq:noalloc
+func (p *Progress) Bump() { p.ops.Add(1) }
+
+// Ops returns the counter's current value.
+func (p *Progress) Ops() uint64 { return p.ops.Load() }
+
+// StallReport describes one worker the detector currently considers
+// stalled.
+type StallReport struct {
+	Worker     string // the name given at Register
+	Ops        uint64 // the counter value it has been frozen at
+	Polls      int    // consecutive no-progress polls (>= Grace)
+	Pending    int64  // work pending at detection time
+	EnqWaiters int    // parked producers at detection time (if sampled)
+	DeqWaiters int    // parked consumers at detection time (if sampled)
+}
+
+// WatchdogConfig parameterizes a Watchdog.
+type WatchdogConfig struct {
+	// Grace is how many consecutive polls a worker's counter must
+	// stand still (with work pending) before it is reported. Minimum
+	// (and default) 2: one still sample is indistinguishable from an
+	// unlucky race with the worker's bump.
+	Grace int
+	// Interval is the Start loop's poll period (default 100ms).
+	// Deterministic tests skip Start and drive Poll directly.
+	Interval time.Duration
+	// Pending reports outstanding work — typically
+	// Controller.InFlight. Required: the detector never reports while
+	// Pending() <= 0.
+	Pending func() int64
+	// Waiters optionally samples the parked-caller gauges (from
+	// wcq.Stats) into each report. Nil leaves them zero.
+	Waiters func() (enq, deq int)
+	// OnStall, if set, is invoked from the poll loop once per poll
+	// with the full report set whenever at least one worker is
+	// stalled.
+	OnStall func([]StallReport)
+}
+
+// Watchdog samples registered workers' Progress counters and reports
+// the ones that stopped while work was pending. Register before the
+// first Poll/Start; Poll and Start/Stop are safe for concurrent use.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu      sync.Mutex
+	names   []string
+	workers []*Progress
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWatchdog creates a watchdog. cfg.Pending must be non-nil.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Pending == nil {
+		panic("admission: WatchdogConfig.Pending is required")
+	}
+	if cfg.Grace < 2 {
+		cfg.Grace = 2
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	return &Watchdog{cfg: cfg}
+}
+
+// Register adds a named worker and returns its Progress counter.
+func (d *Watchdog) Register(name string) *Progress {
+	p := &Progress{}
+	d.mu.Lock()
+	d.names = append(d.names, name)
+	d.workers = append(d.workers, p)
+	d.mu.Unlock()
+	return p
+}
+
+// Poll runs one sampling pass and returns the workers currently
+// considered stalled (nil when none). Exported so tests and embedders
+// can drive the detector deterministically; Start calls it on a
+// ticker.
+func (d *Watchdog) Poll() []StallReport {
+	pending := d.cfg.Pending()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []StallReport
+	for i, p := range d.workers {
+		ops := p.Ops()
+		if ops != p.last || pending <= 0 {
+			// Progress, or nothing to do: either way, not a stall —
+			// and the streak restarts, so a worker must stand still
+			// through Grace *pending* polls to be reported.
+			p.last = ops
+			p.stalled = 0
+			continue
+		}
+		p.stalled++
+		if p.stalled >= d.cfg.Grace {
+			r := StallReport{
+				Worker:  d.names[i],
+				Ops:     ops,
+				Polls:   p.stalled,
+				Pending: pending,
+			}
+			if d.cfg.Waiters != nil {
+				r.EnqWaiters, r.DeqWaiters = d.cfg.Waiters()
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Start launches the background poll loop. Stop terminates it; Start
+// after Stop restarts it. A second Start without Stop is a no-op.
+func (d *Watchdog) Start() {
+	d.mu.Lock()
+	if d.stop != nil {
+		d.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	d.stop, d.done = stop, done
+	d.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(d.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if rs := d.Poll(); len(rs) > 0 && d.cfg.OnStall != nil {
+					d.cfg.OnStall(rs)
+				}
+			}
+		}
+	}()
+}
+
+// Stop terminates the background poll loop and waits for it to exit.
+// Safe to call without Start.
+func (d *Watchdog) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,118 @@
+package admission_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wcqueue/internal/admission"
+)
+
+// TestWatchdogStallRule drives Poll deterministically through the
+// detector's truth table: a worker is reported iff work is pending AND
+// its counter stood still for Grace consecutive polls; progress or an
+// empty backlog clears the streak.
+func TestWatchdogStallRule(t *testing.T) {
+	var pending atomic.Int64
+	var enq, deq atomic.Int64
+	d := admission.NewWatchdog(admission.WatchdogConfig{
+		Grace:   3,
+		Pending: pending.Load,
+		Waiters: func() (int, int) { return int(enq.Load()), int(deq.Load()) },
+	})
+	healthy := d.Register("worker-0")
+	frozen := d.Register("worker-1")
+
+	// No pending work: nobody is stalled no matter how still the
+	// counters stand.
+	for i := 0; i < 5; i++ {
+		if rs := d.Poll(); rs != nil {
+			t.Fatalf("poll %d with empty backlog reported %+v", i, rs)
+		}
+	}
+
+	// Pending work, one worker bumping, one frozen: only the frozen
+	// one is reported, and only once its streak reaches Grace.
+	pending.Store(10)
+	deq.Store(1)
+	for i := 1; i <= 2; i++ {
+		healthy.Bump()
+		if rs := d.Poll(); rs != nil {
+			t.Fatalf("reported before Grace (poll %d): %+v", i, rs)
+		}
+	}
+	healthy.Bump()
+	rs := d.Poll()
+	if len(rs) != 1 {
+		t.Fatalf("want exactly the frozen worker, got %+v", rs)
+	}
+	r := rs[0]
+	if r.Worker != "worker-1" || r.Polls != 3 || r.Pending != 10 || r.DeqWaiters != 1 || r.EnqWaiters != 0 {
+		t.Fatalf("report %+v", r)
+	}
+	if r.Ops != frozen.Ops() {
+		t.Fatalf("report ops %d, counter %d", r.Ops, frozen.Ops())
+	}
+
+	// The frozen worker resumes: the report clears on the next poll and
+	// the streak restarts from zero.
+	frozen.Bump()
+	healthy.Bump()
+	if rs := d.Poll(); rs != nil {
+		t.Fatalf("reported after progress: %+v", rs)
+	}
+
+	// An empty backlog mid-streak also restarts it: two still polls,
+	// one idle poll, two more still polls — never reaches Grace.
+	for i := 0; i < 2; i++ {
+		healthy.Bump()
+		if rs := d.Poll(); rs != nil {
+			t.Fatalf("pre-idle poll %d reported %+v", i, rs)
+		}
+	}
+	pending.Store(0)
+	d.Poll()
+	pending.Store(10)
+	for i := 0; i < 2; i++ {
+		healthy.Bump()
+		if rs := d.Poll(); rs != nil {
+			t.Fatalf("post-idle poll %d reported %+v — idle did not clear the streak", i, rs)
+		}
+	}
+}
+
+// TestWatchdogStartStop exercises the background loop: a frozen
+// worker with pending work must be reported through OnStall, and Stop
+// must quiesce the loop.
+func TestWatchdogStartStop(t *testing.T) {
+	var pending atomic.Int64
+	pending.Store(1)
+	fired := make(chan []admission.StallReport, 16)
+	d := admission.NewWatchdog(admission.WatchdogConfig{
+		Grace:    2,
+		Interval: time.Millisecond,
+		Pending:  pending.Load,
+		OnStall: func(rs []admission.StallReport) {
+			select {
+			case fired <- rs:
+			default:
+			}
+		},
+	})
+	d.Register("w")
+	d.Start()
+	defer d.Stop()
+	select {
+	case rs := <-fired:
+		if len(rs) != 1 || rs[0].Worker != "w" {
+			t.Fatalf("report %+v", rs)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("background loop never reported the frozen worker")
+	}
+	d.Stop()
+	// Stop is idempotent and Start restarts cleanly.
+	d.Stop()
+	d.Start()
+	d.Stop()
+}

@@ -106,6 +106,17 @@ type Result struct {
 	// G-series tracks (1.0 for FAA itself, annotated only on sweeps that
 	// include FAA).
 	RatioToFAA float64 `json:"ratio_to_faa,omitempty"`
+	// Overload (H-series) metrics, present only for Workload
+	// "Overload" (overload.go): offered load as a multiple of pool
+	// capacity, delivered items per second, the shed fraction of all
+	// submits, and admission (Submit) latency percentiles from the
+	// alloc-free histogram.
+	OfferedLoad     float64 `json:"offered_load,omitempty"`
+	Goodput         float64 `json:"goodput_per_sec,omitempty"`
+	ShedRate        float64 `json:"shed_rate,omitempty"`
+	AdmitP50Micros  float64 `json:"admit_p50_us,omitempty"`
+	AdmitP99Micros  float64 `json:"admit_p99_us,omitempty"`
+	AdmitP999Micros float64 `json:"admit_p999_us,omitempty"`
 }
 
 // ringStatser is implemented by queues that recycle rings through a

@@ -1,0 +1,130 @@
+// Alloc-free fixed-bucket latency histogram (ROADMAP item 4): the
+// recorder the overload experiments and cmd/wcqload use for admission
+// latency percentiles. Mean throughput is blind to exactly the thing
+// the overload regime is about — a stalled tail — so the H-series
+// reports p50/p99/p999 admission latency alongside goodput.
+package bench
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histSubBits sets the per-octave resolution: 2^histSubBits
+// sub-buckets per power of two, i.e. relative error bounded by
+// 1/2^histSubBits (~6% at 4). The bucket array is fixed at
+// construction — Record never allocates, so it is safe on latency-
+// sensitive paths and inside AllocsPerRun-pinned tests.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// 64-bit values span 64 octaves; values below histSub are indexed
+	// linearly into group 0.
+	histBuckets = (64 - histSubBits + 1) * histSub
+)
+
+// Histogram is a fixed-bucket log-linear histogram of nanosecond
+// durations. All methods are safe for concurrent use; Record is
+// wait-free (one atomic add per counter) and allocation-free. The
+// zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// histIndex maps a nanosecond count to its bucket: values < histSub
+// land in a linear prefix (exact), larger values keep their top
+// histSubBits+1 significant bits (log-linear).
+// wcq:noalloc
+func histIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	l := bits.Len64(v) // >= histSubBits+1
+	g := l - histSubBits
+	m := int(v>>(uint(g)-1)) - histSub // top bits minus the implicit leading 1
+	return g<<histSubBits + m
+}
+
+// histUpper returns the largest value mapping to bucket idx — the
+// conservative (upper-bound) value quantiles report.
+func histUpper(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	g := uint(idx >> histSubBits)
+	m := uint64(idx&(histSub-1)) + histSub
+	return m<<(g-1) + 1<<(g-1) - 1
+}
+
+// Record adds one duration. Negative durations clamp to zero.
+// wcq:noalloc
+func (h *Histogram) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of recorded durations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean recorded duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper bound on the p-quantile (p in [0,1]) of
+// the recorded durations, with relative error bounded by the bucket
+// width (~1/2^histSubBits). Returns 0 when empty. The walk reads each
+// bucket once; concurrent Records may or may not be included.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			return time.Duration(histUpper(i))
+		}
+	}
+	// Concurrent recording moved count past the buckets' sum: report
+	// the largest non-empty bucket.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.counts[i].Load() != 0 {
+			return time.Duration(histUpper(i))
+		}
+	}
+	return 0
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Records; callers quiesce recorders first.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}

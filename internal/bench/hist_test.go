@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketRoundTrip pins the bucket math: every index in
+// range maps back to a value inside its own bucket, buckets are
+// ordered, and the relative error bound holds.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	for idx := 0; idx < histBuckets; idx++ {
+		up := histUpper(idx)
+		if got := histIndex(up); got != idx {
+			t.Fatalf("histIndex(histUpper(%d)=%d) = %d", idx, up, got)
+		}
+	}
+	for _, v := range []uint64{0, 1, 15, 16, 17, 31, 32, 33, 1000, 1 << 20, 1<<40 + 12345} {
+		idx := histIndex(v)
+		up := histUpper(idx)
+		if up < v {
+			t.Fatalf("value %d above its bucket upper bound %d", v, up)
+		}
+		// Log-linear error bound: the bucket upper bound overstates the
+		// value by at most one sub-bucket width (~1/16 relative).
+		if v >= histSub && float64(up-v) > float64(v)/histSub+1 {
+			t.Fatalf("value %d: upper bound %d exceeds the error bound", v, up)
+		}
+	}
+}
+
+// TestHistogramQuantiles records a known distribution and checks the
+// quantiles against the exact order statistics within the bucket
+// error bound.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	vals := make([]uint64, n)
+	for i := range vals {
+		// Log-uniform-ish spread: the regime quantile sketches get wrong
+		// when bucket math is off by an octave.
+		vals[i] = uint64(rng.Int63n(1 << uint(10+rng.Intn(20))))
+		h.Record(time.Duration(vals[i]))
+	}
+	if h.Count() != n {
+		t.Fatalf("count %d", h.Count())
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{0.5, 0.99, 0.999} {
+		exact := vals[int(p*float64(n))]
+		got := uint64(h.Quantile(p))
+		if got < exact {
+			t.Fatalf("p%v: %d below the exact order statistic %d (quantiles must be upper bounds)", p, got, exact)
+		}
+		if exact >= histSub && float64(got) > float64(exact)*(1+2.0/histSub)+2 {
+			t.Fatalf("p%v: %d overstates exact %d past the error bound", p, got, exact)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord hammers Record from several goroutines
+// (the histogram is shared by every producer in the overload harness)
+// and checks totals; runs under -race in CI.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	if q := h.Quantile(1); q < time.Duration(7*1000+per-1) {
+		t.Fatalf("max quantile %d below the recorded max", q)
+	}
+}
+
+// TestHistogramRecordAllocFree pins the alloc-free contract Record's
+// annotation claims.
+func TestHistogramRecordAllocFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Record(123 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Record allocates %v per call", n)
+	}
+}

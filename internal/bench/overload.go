@@ -1,0 +1,302 @@
+// The H-series overload experiment (DESIGN.md §16): goodput, shed
+// rate, and admission latency percentiles versus offered load, driven
+// through the admission controller over the striped front-end — the
+// first latency numbers in the trajectory (ROADMAP item 4
+// down-payment). Unlike the A–G series, which measure the queues'
+// throughput ceiling, the H-series measures what the service layer
+// does PAST the ceiling: a robust stack sheds the excess cheaply and
+// keeps goodput near capacity; a fragile one converts overload into
+// queueing delay for every request.
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"wcqueue/internal/admission"
+	"wcqueue/wcq"
+)
+
+// OverloadOptions parameterizes one overload point.
+type OverloadOptions struct {
+	Workers       int           // consumer pool size (default 4)
+	Producers     int           // offered-load generator goroutines (default 8)
+	Service       time.Duration // simulated per-item service time (default 200µs)
+	Load          float64       // offered load as a multiple of pool capacity (default 1)
+	Duration      time.Duration // measurement window (default 2s)
+	Order         uint          // per-lane ring order (default 8)
+	Lanes         int           // fixed lane count (default 2)
+	Policy        admission.Policy
+	SubmitTimeout time.Duration // Deadline policy park bound (default Service×4)
+	// Capacity overrides the nominal Workers/Service capacity with a
+	// measured one, in items/sec. The nominal figure assumes the
+	// sleep-based service simulation is exact; real sleep granularity
+	// inflates short service times severalfold, which would turn "0.5×
+	// capacity" into deep overload. RunOverloadSeries calibrates this
+	// once (MeasureCapacity) and reuses it for every point, so the
+	// load multiples are honest. 0 = use the nominal figure.
+	Capacity float64
+}
+
+func (o OverloadOptions) defaults() OverloadOptions {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Producers <= 0 {
+		o.Producers = 8
+	}
+	if o.Service <= 0 {
+		o.Service = 200 * time.Microsecond
+	}
+	if o.Load <= 0 {
+		o.Load = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Order == 0 {
+		o.Order = 8
+	}
+	if o.Lanes <= 0 {
+		o.Lanes = 2
+	}
+	if o.SubmitTimeout <= 0 {
+		o.SubmitTimeout = 4 * o.Service
+	}
+	return o
+}
+
+// RunOverload measures one offered-load point and verifies the
+// exactly-once ledger on the way out (an accounting violation is an
+// error, not a number). The pool's nominal capacity is
+// Workers/Service items per second; producers offer Load× that,
+// paced, through the admission controller; workers Take and simulate
+// Service per item. After the window the generators stop, the
+// controller closes, and the drain must deliver every accepted item.
+func RunOverload(o OverloadOptions) (Result, error) {
+	o = o.defaults()
+	q, err := wcq.NewStriped[admission.Item[uint64]](o.Order, o.Lanes, wcq.WithFixedLanes())
+	if err != nil {
+		return Result{}, err
+	}
+	ctrl := admission.NewController[uint64](q, admission.Config{
+		Policy:        o.Policy,
+		SubmitTimeout: o.SubmitTimeout,
+	})
+	var hist Histogram
+
+	capacity := o.Capacity
+	if capacity <= 0 {
+		capacity = float64(o.Workers) / o.Service.Seconds() // nominal items/sec
+	}
+	offered := o.Load * capacity
+	interarrival := time.Duration(float64(o.Producers) / offered * float64(time.Second))
+
+	var wg, pwg sync.WaitGroup
+	var delivered, submitted uint64
+	var mu sync.Mutex // folds per-goroutine tallies at exit
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n uint64
+			for {
+				if _, err := ctrl.Take(context.Background()); err != nil {
+					mu.Lock()
+					delivered += n
+					mu.Unlock()
+					return
+				}
+				spinFor(o.Service)
+				n++
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for p := 0; p < o.Producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			var n uint64
+			next := time.Now()
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					submitted += n
+					mu.Unlock()
+					return
+				default:
+				}
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(interarrival)
+				t0 := time.Now()
+				err := ctrl.Submit(context.Background(), uint64(p)<<32|n)
+				hist.Record(time.Since(t0))
+				n++
+				if err != nil && !errors.Is(err, admission.ErrShed) {
+					// Closed or unexpected: the window is over.
+					mu.Lock()
+					submitted += n
+					mu.Unlock()
+					return
+				}
+			}
+		}(p)
+	}
+
+	start := time.Now()
+	time.Sleep(o.Duration)
+	close(stop)
+	pwg.Wait()
+	ctrl.Close()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	s := ctrl.Stats()
+	if s.Delivered+s.Expired != s.Accepted {
+		return Result{}, fmt.Errorf("overload ledger: accepted %d != delivered %d + expired %d", s.Accepted, s.Delivered, s.Expired)
+	}
+	if s.Accepted+s.Shed() != submitted {
+		return Result{}, fmt.Errorf("overload ledger: submits %d != accepted %d + shed %d", submitted, s.Accepted, s.Shed())
+	}
+	if delivered != s.Delivered {
+		return Result{}, fmt.Errorf("overload ledger: workers took %d, controller says %d", delivered, s.Delivered)
+	}
+
+	shedRate := 0.0
+	if submitted > 0 {
+		shedRate = float64(s.Shed()) / float64(submitted)
+	}
+	goodput := float64(s.Delivered) / elapsed
+	return Result{
+		QueueName:       "wCQ-Striped",
+		Workload:        "Overload",
+		Threads:         o.Workers + o.Producers,
+		Batch:           1,
+		Mops:            goodput / 1e6,
+		OfferedLoad:     o.Load,
+		Goodput:         goodput,
+		ShedRate:        shedRate,
+		AdmitP50Micros:  float64(hist.Quantile(0.50)) / 1e3,
+		AdmitP99Micros:  float64(hist.Quantile(0.99)) / 1e3,
+		AdmitP999Micros: float64(hist.Quantile(0.999)) / 1e3,
+	}, nil
+}
+
+// spinFor simulates service time. Sleep-based: the point of the
+// harness is queueing behavior at a known capacity, not burning CPU,
+// and oversubscribed CI hosts cannot spare Workers cores anyway.
+func spinFor(d time.Duration) { time.Sleep(d) }
+
+// MeasureCapacity measures the worker pool's effective drain rate in
+// items/sec: producers submit unpaced (saturating) for the window and
+// the delivered rate IS the capacity, sleep granularity and scheduler
+// behavior included.
+func MeasureCapacity(o OverloadOptions) (float64, error) {
+	o = o.defaults()
+	q, err := wcq.NewStriped[admission.Item[uint64]](o.Order, o.Lanes, wcq.WithFixedLanes())
+	if err != nil {
+		return 0, err
+	}
+	ctrl := admission.NewController[uint64](q, admission.Config{Policy: admission.Reject})
+	var wg, pwg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := ctrl.Take(context.Background()); err != nil {
+					return
+				}
+				spinFor(o.Service)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for p := 0; p < o.Producers; p++ {
+		pwg.Add(1)
+		go func(p uint64) {
+			defer pwg.Done()
+			for n := uint64(0); ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := ctrl.Submit(context.Background(), p<<32|n)
+				switch {
+				case err == nil:
+				case errors.Is(err, admission.ErrShed):
+					// Queue full: the backlog is hundreds deep, so the
+					// workers are saturated. Back off instead of spinning —
+					// a hot shed loop would starve the very workers being
+					// measured of CPU.
+					time.Sleep(o.Service)
+				default:
+					return
+				}
+			}
+		}(uint64(p))
+	}
+	window := o.Duration / 2
+	if window > time.Second {
+		window = time.Second
+	}
+	start := time.Now()
+	time.Sleep(window)
+	before := ctrl.Stats().Delivered
+	time.Sleep(window)
+	elapsed := time.Since(start).Seconds() / 2
+	after := ctrl.Stats().Delivered
+	close(stop)
+	pwg.Wait()
+	ctrl.Close()
+	wg.Wait()
+	capacity := float64(after-before) / elapsed
+	if capacity <= 0 {
+		return 0, fmt.Errorf("capacity calibration delivered nothing")
+	}
+	return capacity, nil
+}
+
+// OverloadLoads is the H-series offered-load sweep: half capacity
+// (shedding should be negligible), saturation, and twice capacity
+// (the regime admission control exists for).
+var OverloadLoads = []float64{0.5, 1, 2}
+
+// RunOverloadSeries measures the H-series sweep and prints the
+// figure-style table: one row per offered load with goodput, shed
+// rate, and admission latency percentiles. Capacity is calibrated
+// once (MeasureCapacity) unless o.Capacity is preset.
+func RunOverloadSeries(w io.Writer, o OverloadOptions) ([]Result, error) {
+	o = o.defaults()
+	if o.Capacity <= 0 {
+		c, err := MeasureCapacity(o)
+		if err != nil {
+			return nil, err
+		}
+		o.Capacity = c
+	}
+	fmt.Fprintf(w, "# H-series: overload (workers %d, service %v, measured capacity %.0f items/s, policy %v)\n",
+		o.Workers, o.Service, o.Capacity, o.Policy)
+	fmt.Fprintf(w, "%-8s %12s %10s %12s %12s %12s\n", "load", "goodput/s", "shed", "p50(µs)", "p99(µs)", "p999(µs)")
+	var out []Result
+	for _, load := range OverloadLoads {
+		o.Load = load
+		r, err := RunOverload(o)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "%-8.2f %12.0f %9.1f%% %12.1f %12.1f %12.1f\n",
+			r.OfferedLoad, r.Goodput, r.ShedRate*100, r.AdmitP50Micros, r.AdmitP99Micros, r.AdmitP999Micros)
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -89,10 +89,44 @@ func (q *Queue[T]) Close() {
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.state.Load() != stateOpen }
 
+// WaitStats reports the blocking layer's telemetry (DESIGN.md §16):
+// instantaneous parked-caller gauges per side plus cumulative
+// park/wake counters summed over both eventcounts. Four to eight
+// atomic loads; safe to poll at watchdog frequency.
+func (q *Queue[T]) WaitStats() WaitStats {
+	return WaitStats{
+		EnqWaiters: q.notFull.Waiters(),
+		DeqWaiters: q.notEmpty.Waiters(),
+		Waits:      q.notFull.Waits() + q.notEmpty.Waits(),
+		Wakes:      q.notFull.Wakes() + q.notEmpty.Wakes(),
+	}
+}
+
+// WaitStats is the blocking layer's telemetry snapshot: how many
+// callers are parked right now (per side) and how many parks and
+// wakeups have happened over the queue's lifetime. The gauges are the
+// watchdog's stall signal; the counters make deltas between snapshots
+// meaningful.
+type WaitStats struct {
+	EnqWaiters int    // enqueuers currently parked (queue full)
+	DeqWaiters int    // dequeuers currently parked (queue empty)
+	Waits      uint64 // cumulative parks, both sides
+	Wakes      uint64 // cumulative wakeups delivered, both sides
+}
+
 // EnqueueWait inserts v, blocking while the queue is full. It returns
 // nil on success, ErrClosed if the queue is (or becomes) closed before
 // the value is inserted, or ctx.Err() if the context is done first.
 func (q *Queue[T]) EnqueueWait(ctx context.Context, h *Handle, v T) error {
+	// An already-expired context must not publish the value: callers
+	// key exactly-once accepted/shed accounting off the error result
+	// (internal/admission), so a phantom delivery after ctx.Err() would
+	// be counted on both sides. Checked before the first insertion
+	// attempt; once Enqueue succeeds the value is in and nil is
+	// returned regardless of any concurrent cancellation.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if q.Enqueue(h, v) {
 		return nil
 	}
@@ -134,6 +168,15 @@ func (q *Queue[T]) EnqueueWait(ctx context.Context, h *Handle, v T) error {
 // drained, or ctx.Err() if the context is done first. Values already
 // in the queue are always delivered before ErrClosed.
 func (q *Queue[T]) DequeueWait(ctx context.Context, h *Handle) (T, error) {
+	// Mirror of the EnqueueWait pre-check: an already-expired context
+	// returns ctx.Err() before consuming anything, so no value is ever
+	// dequeued into an error return (which would lose it). Once a
+	// Dequeue succeeds the value travels with a nil error regardless of
+	// a concurrent cancellation.
+	if err := ctx.Err(); err != nil {
+		var zero T
+		return zero, err
+	}
 	if v, ok := q.Dequeue(h); ok {
 		return v, nil
 	}

@@ -198,6 +198,156 @@ func TestBlockingConformanceCloseDrain(t *testing.T) {
 	}
 }
 
+// TestBlockingConformanceExpiredContext pins the no-phantom-delivery
+// contract the admission layer accounts on (DESIGN.md §16): an
+// EnqueueWait handed an already-cancelled or already-expired context
+// must NOT publish the value — the caller was told "shed", so the
+// value appearing downstream would be delivered and shed at once —
+// and a DequeueWait handed one must NOT consume a value into its
+// error return (which would lose it). Both polarity checks run for
+// every blocking shape; the registry package runs under -race in CI.
+func TestBlockingConformanceExpiredContext(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancelExp := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancelExp()
+	deadCtxs := []struct {
+		label string
+		ctx   context.Context
+		want  error
+	}{
+		{"cancelled", cancelled, context.Canceled},
+		{"expired", expired, context.DeadlineExceeded},
+	}
+	for _, name := range blockingNames {
+		t.Run(name, func(t *testing.T) {
+			for _, dc := range deadCtxs {
+				t.Run(dc.label, func(t *testing.T) {
+					q := buildBlocking(t, name, 1)
+					h, err := q.Register()
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer q.Unregister(h)
+					if err := q.EnqueueWait(dc.ctx, h, check.Encode(0, 99)); !errors.Is(err, dc.want) {
+						t.Fatalf("EnqueueWait(%s ctx) = %v, want %v", dc.label, err, dc.want)
+					}
+					if v, ok := q.Dequeue(h); ok {
+						t.Fatalf("phantom delivery: EnqueueWait(%s ctx) returned an error yet published %#x", dc.label, v)
+					}
+					if !q.Enqueue(h, check.Encode(0, 0)) {
+						t.Fatal("setup enqueue failed")
+					}
+					if _, err := q.DequeueWait(dc.ctx, h); !errors.Is(err, dc.want) {
+						t.Fatalf("DequeueWait(%s ctx) = %v, want %v", dc.label, err, dc.want)
+					}
+					v, ok := q.Dequeue(h)
+					if !ok {
+						t.Fatalf("value lost: DequeueWait(%s ctx) returned an error yet consumed the queued value", dc.label)
+					}
+					if v != check.Encode(0, 0) {
+						t.Fatalf("queue corrupted: got %#x", v)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestBlockingConformanceExpiredContextConcurrent is the racing
+// variant: producers interleave live EnqueueWaits with pre-cancelled
+// ones while consumers drain, and the exactly-once ledger must balance
+// over ONLY the accepted (err == nil) set — a phantom delivery from a
+// cancelled call shows up as an unaccepted value, a loss as a missing
+// one.
+func TestBlockingConformanceExpiredContextConcurrent(t *testing.T) {
+	const producers, consumers, perProducer = 3, 2, 400
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range blockingNames {
+		t.Run(name, func(t *testing.T) {
+			q := buildBlocking(t, name, producers+consumers)
+			accepted := make([]uint64, producers)
+			streams := make([][]uint64, consumers)
+			var wg, pwg sync.WaitGroup
+			for c := 0; c < consumers; c++ {
+				h, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(c int, h queueiface.Handle) {
+					defer wg.Done()
+					defer q.Unregister(h)
+					var local []uint64
+					for {
+						v, err := q.DequeueWait(context.Background(), h)
+						if err != nil {
+							streams[c] = local
+							return
+						}
+						local = append(local, v)
+					}
+				}(c, h)
+			}
+			for p := 0; p < producers; p++ {
+				h, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pwg.Add(1)
+				go func(p int, h queueiface.Handle) {
+					defer pwg.Done()
+					defer q.Unregister(h)
+					for s := uint64(0); s < perProducer; s++ {
+						ctx := context.Background()
+						if s%3 == 2 {
+							ctx = cancelled
+						}
+						if err := q.EnqueueWait(ctx, h, check.Encode(p, s)); err == nil {
+							atomic.AddUint64(&accepted[p], 1)
+						} else if ctx == cancelled && !errors.Is(err, context.Canceled) {
+							t.Errorf("producer %d: cancelled EnqueueWait = %v", p, err)
+						}
+					}
+				}(p, h)
+			}
+			pwg.Wait()
+			q.Close()
+			wg.Wait()
+
+			seen := make([]map[uint64]bool, producers)
+			for p := range seen {
+				seen[p] = make(map[uint64]bool)
+			}
+			var delivered uint64
+			for _, s := range streams {
+				for _, v := range s {
+					p, seq := check.Decode(v)
+					if p < 0 || p >= producers {
+						t.Fatalf("corrupt value %#x", v)
+					}
+					if seq%3 == 2 {
+						t.Fatalf("phantom delivery: p%d/%d was enqueued under a cancelled ctx", p, seq)
+					}
+					if seen[p][seq] {
+						t.Fatalf("value p%d/%d delivered twice", p, seq)
+					}
+					seen[p][seq] = true
+					delivered++
+				}
+			}
+			var acc uint64
+			for p := 0; p < producers; p++ {
+				acc += atomic.LoadUint64(&accepted[p])
+			}
+			if delivered != acc {
+				t.Fatalf("accepted %d, delivered %d", acc, delivered)
+			}
+		})
+	}
+}
+
 // TestBlockingConformanceEnqueueWaitAfterClose: EnqueueWait on a
 // closed queue returns the closed error without blocking, on every
 // shape.

@@ -56,11 +56,33 @@ func (q *Queue[T]) Close() {
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.state.Load() != stateOpen }
 
-// EnqueueWait appends v. The queue is never full, so the only blocking
-// this does is none at all: it returns nil on success or
-// core.ErrClosed if the queue is closed. ctx is accepted for signature
-// symmetry with the bounded shapes.
+// WaitStats reports the blocking layer's telemetry. Enqueuers never
+// park on an unbounded queue (see EnqueueWait), so the enqueue-side
+// gauge is definitionally zero and only the dequeue eventcount
+// contributes.
+func (q *Queue[T]) WaitStats() core.WaitStats {
+	return core.WaitStats{
+		DeqWaiters: q.notEmpty.Waiters(),
+		Waits:      q.notEmpty.Waits(),
+		Wakes:      q.notEmpty.Wakes(),
+	}
+}
+
+// EnqueueWait appends v. The queue is never full, so this path is
+// GUARANTEED never to park: no waitq Prepare, no Wait — it is exactly
+// a context pre-check, the lock-free Enqueue, and a closed check. The
+// only eventcount interaction is the wake side (Enqueue signals
+// notEmpty), which with no parked dequeuer is a single atomic load —
+// so an enqueuer with no one to wake never touches the eventcount's
+// mutex at all (TestEnqueueWaitNeverParks pins this by wedging the
+// mutex and enqueuing through it). ctx is consulted only up front —
+// an already-expired context must not publish (the no-phantom-
+// delivery contract the admission layer accounts on); after that it
+// returns nil on success or core.ErrClosed.
 func (q *Queue[T]) EnqueueWait(ctx context.Context, h *Handle, v T) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if q.Enqueue(h, v) {
 		return nil
 	}
@@ -72,6 +94,12 @@ func (q *Queue[T]) EnqueueWait(ctx context.Context, h *Handle, v T) error {
 // and drained, or ctx.Err() if the context is done first. Values
 // already in the queue are always delivered before ErrClosed.
 func (q *Queue[T]) DequeueWait(ctx context.Context, h *Handle) (T, error) {
+	// Expired-context pre-check, as in core: return ctx.Err() before
+	// consuming anything so no value is dequeued into an error return.
+	if err := ctx.Err(); err != nil {
+		var zero T
+		return zero, err
+	}
 	if v, ok := q.Dequeue(h); ok {
 		return v, nil
 	}

@@ -219,3 +219,55 @@ func TestCloseDrainExactlyOnceAcrossRings(t *testing.T) {
 		t.Fatalf("accepted %d, delivered %d", accepted.Load(), len(seen))
 	}
 }
+
+// TestEnqueueWaitNeverParks pins the unbounded short-circuit guarantee
+// (blocking.go): EnqueueWait never touches the park machinery. The
+// proof is mechanical — the test wedges the notEmpty eventcount's
+// mutex (every Prepare, Cancel, and wake blocks on it) and runs a
+// burst of EnqueueWaits straight through the wedge. Any code path that
+// armed a waiter, parked, or tried to wake one (there is no parked
+// dequeuer, so the signal side stays a lone atomic load) would
+// deadlock here and trip the watchdog timeout.
+func TestEnqueueWaitNeverParks(t *testing.T) {
+	q := Must[uint64](4, 0, core.Options{})
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Unregister(h)
+
+	unwedge := q.notEmpty.Wedge()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < 100; i++ {
+			if err := q.EnqueueWait(context.Background(), h, i); err != nil {
+				t.Errorf("EnqueueWait under wedge: %v", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("EnqueueWait blocked on the wedged eventcount: the unbounded path touched the park machinery")
+	}
+	unwedge()
+
+	// And the expired-ctx pre-check holds on the short-circuit path too:
+	// no phantom publish past the 100 accepted values.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := q.EnqueueWait(cancelled, h, 999); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EnqueueWait(cancelled) = %v, want context.Canceled", err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("drain[%d] = %d,%v", i, v, ok)
+		}
+	}
+	if v, ok := q.Dequeue(h); ok {
+		t.Fatalf("phantom value %d published under a cancelled ctx", v)
+	}
+}

@@ -65,6 +65,15 @@ type EventCount struct {
 	// wake path.
 	epoch atomic.Uint64
 
+	// waits and wakes are cumulative telemetry: waits counts parks
+	// (callers that reached Wait and slept, including those later
+	// canceled by their context) and wakes counts waiters actually
+	// popped and handed a token. Both live off the fast path: waits is
+	// bumped only by a caller already committed to sleeping, wakes only
+	// inside the mutex-guarded wake pop.
+	waits atomic.Uint64
+	wakes atomic.Uint64
+
 	// mu guards the FIFO list of armed waiters. It is only ever taken
 	// by threads that are about to sleep or about to wake a sleeper —
 	// never on a fast path.
@@ -96,6 +105,29 @@ func (ec *EventCount) HasWaiters() bool { return ec.nwait.Load() != 0 }
 // found at least one waiter to wake. A telemetry and test hook (no
 // queue algorithm depends on it).
 func (ec *EventCount) Epoch() uint64 { return ec.epoch.Load() }
+
+// Waiters returns the number of currently armed or parked waiters —
+// the instantaneous depth gauge the Stats plumbing exports. One atomic
+// load; safe to poll at high frequency.
+func (ec *EventCount) Waiters() int { return int(ec.nwait.Load()) }
+
+// Waits returns the cumulative number of parks: callers that armed,
+// re-checked, and actually slept in Wait. Monotonic telemetry.
+func (ec *EventCount) Waits() uint64 { return ec.waits.Load() }
+
+// Wakes returns the cumulative number of waiters woken (popped and
+// handed a token by Signal/SignalN/Broadcast). Monotonic telemetry.
+func (ec *EventCount) Wakes() uint64 { return ec.wakes.Load() }
+
+// Wedge seizes the eventcount's internal mutex and returns the release
+// function, blocking every Prepare, Cancel, and wake until released. A
+// TEST HOOK ONLY: it exists so tests can prove a code path never
+// touches the park machinery (it would deadlock here if it did). Never
+// call it from production code.
+func (ec *EventCount) Wedge() (unwedge func()) {
+	ec.mu.Lock()
+	return ec.mu.Unlock
+}
 
 // Prepare arms w: from the moment Prepare returns, any Signal or
 // Broadcast will wake w (or a waiter armed before it). The caller must
@@ -172,6 +204,7 @@ func (ec *EventCount) unlink(w *Waiter) {
 // disarmed and its channel drained, ready for the next Prepare. w must
 // have been armed by Prepare on this EventCount.
 func (ec *EventCount) Wait(ctx context.Context, w *Waiter) error {
+	ec.waits.Add(1)
 	done := ctx.Done()
 	if done == nil {
 		// A nil Done channel means this context can never be canceled
@@ -225,6 +258,7 @@ func (ec *EventCount) Broadcast() {
 // outstanding token (Prepare requires a drained channel).
 func (ec *EventCount) wake(n int) {
 	var first, last *Waiter
+	var popped uint64
 	ec.mu.Lock()
 	for ; n > 0 && ec.head != nil; n-- {
 		w := ec.head
@@ -241,9 +275,11 @@ func (ec *EventCount) wake(n int) {
 			last.next = w
 		}
 		last = w
+		popped++
 	}
 	if first != nil {
 		ec.epoch.Add(1)
+		ec.wakes.Add(popped)
 	}
 	ec.mu.Unlock()
 	for w := first; w != nil; {

@@ -2,6 +2,7 @@ package waitq
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -290,5 +291,98 @@ func TestCancelRacingSignalN(t *testing.T) {
 		if ec.HasWaiters() {
 			t.Fatalf("iter %d: waiters still armed after the round", i)
 		}
+	}
+}
+
+// TestWaitWakeCounters pins the telemetry contract: Waiters tracks the
+// armed count, Waits counts actual parks (not Prepare/Cancel rounds),
+// and Wakes counts tokens delivered by the wake path.
+func TestWaitWakeCounters(t *testing.T) {
+	var ec EventCount
+	w := NewWaiter()
+
+	// Prepare+Cancel arms and disarms without parking: the gauge moves,
+	// the cumulative counters do not.
+	ec.Prepare(w)
+	if ec.Waiters() != 1 {
+		t.Fatalf("Waiters after Prepare = %d, want 1", ec.Waiters())
+	}
+	ec.Cancel(w)
+	if ec.Waiters() != 0 || ec.Waits() != 0 || ec.Wakes() != 0 {
+		t.Fatalf("after Prepare/Cancel: waiters %d waits %d wakes %d, want all 0",
+			ec.Waiters(), ec.Waits(), ec.Wakes())
+	}
+
+	// A real park/signal round moves both cumulative counters by one.
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		parked := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			ec.Prepare(w)
+			close(parked)
+			done <- ec.Wait(context.Background(), w)
+		}()
+		<-parked
+		for ec.Waiters() == 0 {
+			runtime.Gosched()
+		}
+		ec.Signal()
+		if err := <-done; err != nil {
+			t.Fatalf("round %d: Wait = %v", i, err)
+		}
+	}
+	if ec.Waiters() != 0 {
+		t.Fatalf("Waiters after drain = %d, want 0", ec.Waiters())
+	}
+	if ec.Waits() != rounds {
+		t.Fatalf("Waits = %d, want %d", ec.Waits(), rounds)
+	}
+	if ec.Wakes() != rounds {
+		t.Fatalf("Wakes = %d, want %d", ec.Wakes(), rounds)
+	}
+
+	// A context-cancelled park counts as a wait but not a wake.
+	ctx, cancel := context.WithCancel(context.Background())
+	armed := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		ec.Prepare(w)
+		close(armed)
+		done <- ec.Wait(ctx, w)
+	}()
+	<-armed
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled Wait = %v", err)
+	}
+	if ec.Waits() != rounds+1 || ec.Wakes() != rounds {
+		t.Fatalf("after cancelled park: waits %d wakes %d, want %d/%d",
+			ec.Waits(), ec.Wakes(), rounds+1, rounds)
+	}
+}
+
+// TestWedge pins the test hook: while wedged, Prepare blocks; after
+// release it proceeds.
+func TestWedge(t *testing.T) {
+	var ec EventCount
+	unwedge := ec.Wedge()
+	prepared := make(chan struct{})
+	go func() {
+		w := NewWaiter()
+		ec.Prepare(w)
+		ec.Cancel(w)
+		close(prepared)
+	}()
+	select {
+	case <-prepared:
+		t.Fatal("Prepare proceeded through a wedged eventcount")
+	case <-time.After(20 * time.Millisecond):
+	}
+	unwedge()
+	select {
+	case <-prepared:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Prepare still blocked after unwedge")
 	}
 }

@@ -583,6 +583,12 @@ restart:
 // forever on a queue with a free slot.
 func (h *StripedHandle[T]) EnqueueWait(ctx context.Context, v T) error {
 	s := h.s
+	// An already-expired context must not publish (the no-phantom-
+	// delivery contract exact accepted/shed accounting rests on); after
+	// a successful Enqueue the value is in regardless of cancellation.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if h.Enqueue(v) {
 		return nil
 	}
@@ -644,6 +650,12 @@ func (h *StripedHandle[T]) EnqueueWait(ctx context.Context, v T) error {
 // it; any enqueue before it is found by the re-scan itself.
 func (h *StripedHandle[T]) DequeueWait(ctx context.Context) (T, error) {
 	s := h.s
+	// Expired-context pre-check: return ctx.Err() before consuming
+	// anything, so no value is dequeued into an error return.
+	if err := ctx.Err(); err != nil {
+		var zero T
+		return zero, err
+	}
 	if v, ok := h.Dequeue(); ok {
 		return v, nil
 	}
@@ -846,5 +858,9 @@ func (s *Striped[T]) Stats() Stats {
 	out.LaneGrows = tel.Grows
 	out.LaneShrinks = tel.Shrinks
 	out.Steals = tel.Steals
+	out.EnqWaiters = s.notFull.Waiters()
+	out.DeqWaiters = s.notEmpty.Waiters()
+	out.Waits = s.notFull.Waits() + s.notEmpty.Waits()
+	out.Wakes = s.notFull.Wakes() + s.notEmpty.Wakes()
 	return out
 }

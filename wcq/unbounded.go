@@ -84,9 +84,12 @@ func (h *UnboundedHandle[T]) EnqueueBatch(vs []T) int { return h.q.q.EnqueueBatc
 // wcq:noalloc
 func (h *UnboundedHandle[T]) DequeueBatch(out []T) int { return h.q.q.DequeueBatch(h.h, out) }
 
-// EnqueueWait appends v. The queue is never full, so this does not
-// block: it returns nil on success or ErrClosed. ctx is accepted for
-// signature symmetry with the bounded shapes.
+// EnqueueWait appends v. The queue is never full, so this never
+// blocks and never parks: no waiter is prepared, no Wait is entered —
+// the only eventcount interaction is waking a parked consumer, which
+// costs a single atomic load when no one is parked. It returns nil on
+// success, ErrClosed, or ctx.Err() if ctx was already done on entry
+// (in which case the value is not published).
 func (h *UnboundedHandle[T]) EnqueueWait(ctx context.Context, v T) error {
 	return h.q.q.EnqueueWait(ctx, h.h, v)
 }
@@ -142,8 +145,10 @@ func (q *Unbounded[T]) DequeueBatch(out []T) int {
 	return q.q.DequeueBatch(h, out)
 }
 
-// EnqueueWait appends v through a pooled handle; nil or ErrClosed.
-// Reports handle-cap exhaustion as an error rather than panicking.
+// EnqueueWait appends v through a pooled handle; nil, ErrClosed, or
+// ctx.Err() when ctx was already done on entry. Never parks (see
+// UnboundedHandle.EnqueueWait). Reports handle-cap exhaustion as an
+// error rather than panicking.
 func (q *Unbounded[T]) EnqueueWait(ctx context.Context, v T) error {
 	h, err := q.pool.get()
 	if err != nil {
@@ -213,8 +218,10 @@ func (q *Unbounded[T]) MaxOps() uint64 { return q.q.MaxOps() }
 // them) plus the ring-recycling pool counters.
 func (q *Unbounded[T]) Stats() Stats {
 	s := q.q.Stats()
+	ws := q.q.WaitStats()
 	return Stats{
 		SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps,
 		PoolHits: s.PoolHits, PoolMisses: s.PoolMisses, PoolDrops: s.PoolDrops,
+		DeqWaiters: ws.DeqWaiters, Waits: ws.Waits, Wakes: ws.Wakes,
 	}
 }

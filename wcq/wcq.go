@@ -113,6 +113,24 @@
 // code mid-operation (a Codec.Encode, an out-of-range direct value)
 // propagate before any ring state is reserved and never leak a
 // pooled handle: recover and keep using the queue.
+//
+// # Running a service on top
+//
+// A queue keeps overload honest but does not decide what to do about
+// it; that is a service-layer concern (DESIGN.md §16). For production
+// ingest paths, front the queue with internal/admission-style
+// admission control rather than unbounded EnqueueWait: pick
+// reject-on-full or a deadline-bounded wait, so producers shed excess
+// load instead of accumulating parked goroutines, and every submit
+// resolves to exactly one of accepted, shed, or closed. Stats exposes
+// the signals such a layer needs — EnqWaiters/DeqWaiters gauges for
+// a progress watchdog, Waits/Wakes for park-rate deltas, and the
+// lane and pool counters for capacity tuning — and an already-expired
+// context is rejected before any queue state changes, so "shed" can
+// never mean "published anyway". cmd/wcqload runs the whole stack as
+// a scrapeable service; see it for the wiring pattern, including the
+// SIGTERM Close-then-drain shutdown that delivers every accepted
+// value exactly once.
 package wcq
 
 import (
@@ -481,7 +499,11 @@ func (q *Queue[T]) HandleHighWater() int { return q.q.HandleHighWater() }
 // path and how often threads helped peers.
 func (q *Queue[T]) Stats() Stats {
 	s := q.q.Stats()
-	return Stats{SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps}
+	ws := q.q.WaitStats()
+	return Stats{
+		SlowEnqueues: s.SlowEnqueues, SlowDequeues: s.SlowDequeues, Helps: s.Helps,
+		EnqWaiters: ws.EnqWaiters, DeqWaiters: ws.DeqWaiters, Waits: ws.Waits, Wakes: ws.Wakes,
+	}
 }
 
 // Stats are cumulative slow-path counters, plus — for Unbounded — the
@@ -507,4 +529,16 @@ type Stats struct {
 	LaneGrows   uint64 // lane-count increases applied (governor or Resize)
 	LaneShrinks uint64 // lane-count decreases applied (governor or Resize)
 	Steals      uint64 // dequeues served by a foreign lane
+
+	// Blocking-layer telemetry (DESIGN.md §10, §16): instantaneous
+	// parked-caller gauges per side plus cumulative park/wake counters
+	// from the shape's eventcounts. The gauges are what the admission
+	// watchdog and cmd/wcqload export sample; the counters make deltas
+	// between snapshots meaningful. EnqWaiters is definitionally zero
+	// for the unbounded shapes (enqueuers never park there — see
+	// Unbounded.EnqueueWait).
+	EnqWaiters int    // enqueuers currently parked (queue full)
+	DeqWaiters int    // dequeuers currently parked (queue empty)
+	Waits      uint64 // cumulative parks, both sides
+	Wakes      uint64 // cumulative wakeups delivered, both sides
 }
